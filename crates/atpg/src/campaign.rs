@@ -1,0 +1,343 @@
+//! Random-pattern fault-simulation campaigns.
+
+use crate::fault::Fault;
+use crate::observe::structurally_observable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use r2d3_netlist::Netlist;
+use serde::{Deserialize, Serialize};
+
+/// Campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// Total test patterns to apply (rounded up to a multiple of 64, the
+    /// bit-parallel block width). The paper's budget is 10 M ATPG
+    /// instructions; one pattern models one test instruction.
+    pub max_patterns: usize,
+    /// RNG seed for pattern generation.
+    pub seed: u64,
+    /// Number of worker threads for the fault loop (1 = serial).
+    pub threads: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { max_patterns: 8192, seed: 0xA7C6, threads: 1 }
+    }
+}
+
+/// Classification of one fault after the campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultStatus {
+    /// Fault effect observed; `pattern` is the first detecting pattern
+    /// index (a proxy for detection latency in test instructions).
+    Detected {
+        /// First detecting pattern index.
+        pattern: usize,
+    },
+    /// Detectable in principle but not detected within the pattern budget.
+    Undetected,
+    /// Provably undetectable: the site is redundant by construction or has
+    /// no structural path to any observed output.
+    Undetectable,
+}
+
+impl FaultStatus {
+    /// `true` for [`FaultStatus::Detected`].
+    #[must_use]
+    pub fn is_detected(self) -> bool {
+        matches!(self, FaultStatus::Detected { .. })
+    }
+}
+
+/// Result of a campaign: per-fault classifications in input order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignOutcome {
+    faults: Vec<Fault>,
+    statuses: Vec<FaultStatus>,
+    patterns_applied: usize,
+}
+
+impl CampaignOutcome {
+    /// Reassembles an outcome from parts (used by
+    /// [`crate::observe::core_level_campaign`] to split a composed-chain
+    /// outcome back into per-stage views).
+    pub(crate) fn from_raw_parts(
+        faults: Vec<Fault>,
+        statuses: Vec<FaultStatus>,
+        patterns_applied: usize,
+    ) -> Self {
+        CampaignOutcome { faults, statuses, patterns_applied }
+    }
+
+    /// The faults, in the order supplied to [`run_campaign`].
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Per-fault statuses, parallel to [`faults`](CampaignOutcome::faults).
+    #[must_use]
+    pub fn statuses(&self) -> &[FaultStatus] {
+        &self.statuses
+    }
+
+    /// `(fault, status)` pairs.
+    pub fn results(&self) -> Vec<(Fault, FaultStatus)> {
+        self.faults.iter().copied().zip(self.statuses.iter().copied()).collect()
+    }
+
+    /// Iterator over detected faults with their detection pattern index.
+    pub fn detected(&self) -> impl Iterator<Item = (Fault, usize)> + '_ {
+        self.faults.iter().zip(&self.statuses).filter_map(|(f, s)| match s {
+            FaultStatus::Detected { pattern } => Some((*f, *pattern)),
+            _ => None,
+        })
+    }
+
+    /// Number of faults in each class: `(detected, undetected, undetectable)`.
+    #[must_use]
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut c = (0, 0, 0);
+        for s in &self.statuses {
+            match s {
+                FaultStatus::Detected { .. } => c.0 += 1,
+                FaultStatus::Undetected => c.1 += 1,
+                FaultStatus::Undetectable => c.2 += 1,
+            }
+        }
+        c
+    }
+
+    /// Fraction of *all* faults that are detectable (detected + undetected),
+    /// the quantity the paper reports as coverage in Fig. 4(b).
+    #[must_use]
+    pub fn detectable_fraction(&self) -> f64 {
+        let (d, u, _) = self.counts();
+        (d + u) as f64 / self.statuses.len().max(1) as f64
+    }
+
+    /// Fraction of detectable faults that were detected within the budget.
+    #[must_use]
+    pub fn detected_of_detectable(&self) -> f64 {
+        let (d, u, _) = self.counts();
+        d as f64 / (d + u).max(1) as f64
+    }
+
+    /// Patterns actually applied.
+    #[must_use]
+    pub fn patterns_applied(&self) -> usize {
+        self.patterns_applied
+    }
+}
+
+/// Runs a random-pattern stuck-at campaign over `faults` on `netlist`,
+/// observing the netlist's primary outputs.
+///
+/// Faults that are ground-truth redundant
+/// ([`Netlist::redundant_constants`]) or structurally unobservable from
+/// the outputs are classified [`FaultStatus::Undetectable`] without
+/// simulation. The rest are fault-simulated with 64 patterns per pass and
+/// dropped once detected.
+#[must_use]
+pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig) -> CampaignOutcome {
+    let blocks = config.max_patterns.div_ceil(64).max(1);
+    let observable = structurally_observable(netlist, netlist.outputs());
+
+    // Pre-classify provably undetectable faults.
+    let mut statuses = vec![FaultStatus::Undetected; faults.len()];
+    let mut active: Vec<usize> = Vec::with_capacity(faults.len());
+    for (i, fault) in faults.iter().enumerate() {
+        let redundant = netlist
+            .redundant_constants()
+            .iter()
+            .any(|&(net, val)| net == fault.net && val == fault.stuck);
+        if redundant || !observable[fault.net.index()] {
+            statuses[i] = FaultStatus::Undetectable;
+        } else {
+            active.push(i);
+        }
+    }
+
+    let threads = config.threads.max(1);
+    if threads == 1 || active.len() < 128 {
+        simulate_chunk(netlist, faults, &active, blocks, config.seed, &mut statuses);
+    } else {
+        let chunk_len = active.len().div_ceil(threads);
+        let chunks: Vec<&[usize]> = active.chunks(chunk_len).collect();
+        let mut partials: Vec<Vec<(usize, FaultStatus)>> = Vec::new();
+        crossbeam::scope(|scope| {
+            let mut handles = Vec::new();
+            for chunk in &chunks {
+                let chunk: Vec<usize> = chunk.to_vec();
+                handles.push(scope.spawn(move |_| {
+                    let mut local = vec![FaultStatus::Undetected; chunk.len()];
+                    let mut local_statuses = vec![FaultStatus::Undetected; faults.len()];
+                    simulate_chunk(netlist, faults, &chunk, blocks, config.seed, &mut local_statuses);
+                    for (j, &fi) in chunk.iter().enumerate() {
+                        local[j] = local_statuses[fi];
+                    }
+                    chunk.into_iter().zip(local).collect::<Vec<_>>()
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("campaign worker panicked"));
+            }
+        })
+        .expect("campaign thread scope failed");
+        for partial in partials {
+            for (fi, st) in partial {
+                statuses[fi] = st;
+            }
+        }
+    }
+
+    CampaignOutcome {
+        faults: faults.to_vec(),
+        statuses,
+        patterns_applied: blocks * 64,
+    }
+}
+
+/// Simulates the faults at indices `active` over all pattern blocks,
+/// updating `statuses` in place. All workers use the same seed, so the
+/// pattern sequence is identical regardless of threading.
+fn simulate_chunk(
+    netlist: &Netlist,
+    faults: &[Fault],
+    active: &[usize],
+    blocks: usize,
+    seed: u64,
+    statuses: &mut [FaultStatus],
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut remaining: Vec<usize> = active.to_vec();
+    let mut inputs = vec![0u64; netlist.num_inputs()];
+    let mut faulty_values: Vec<u64> = Vec::with_capacity(netlist.num_nets());
+
+    for block in 0..blocks {
+        if remaining.is_empty() {
+            break;
+        }
+        for slot in inputs.iter_mut() {
+            *slot = rng.gen();
+        }
+        let good = netlist.eval_all(&inputs);
+        let good_out = netlist.output_values(&good);
+
+        remaining.retain(|&fi| {
+            let fault = faults[fi];
+            netlist.eval_all_stuck_into(&inputs, (fault.net, fault.stuck), &mut faulty_values);
+            let mut diff = 0u64;
+            for (o, g) in netlist.outputs().iter().zip(&good_out) {
+                diff |= faulty_values[o.index()] ^ g;
+            }
+            if diff != 0 {
+                let lane = diff.trailing_zeros() as usize;
+                statuses[fi] = FaultStatus::Detected { pattern: block * 64 + lane };
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::all_faults;
+    use r2d3_netlist::NetlistBuilder;
+
+    fn parity4() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(4);
+        let x = b.xor_tree(&i);
+        b.output(x);
+        b.finish()
+    }
+
+    #[test]
+    fn parity_tree_fully_detectable() {
+        let nl = parity4();
+        let out = run_campaign(&nl, &all_faults(&nl), &CampaignConfig::default());
+        let (d, u, un) = out.counts();
+        assert_eq!(u, 0);
+        assert_eq!(un, 0);
+        assert_eq!(d, out.faults().len());
+        // XOR propagates every flip: detection should be nearly immediate.
+        for (_, pattern) in out.detected() {
+            assert!(pattern < 64, "parity fault took {pattern} patterns");
+        }
+    }
+
+    #[test]
+    fn redundant_faults_classified_undetectable() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let z = b.redundant_zero(i[0]);
+        let live = b.or2(i[1], z);
+        b.output(live);
+        let nl = b.finish();
+        let faults = all_faults(&nl);
+        let out = run_campaign(&nl, &faults, &CampaignConfig::default());
+        let sa0_on_z = faults.iter().position(|f| f.net == z && !f.stuck).unwrap();
+        assert_eq!(out.statuses()[sa0_on_z], FaultStatus::Undetectable);
+        // SA1 on the redundant net *is* detectable (forces the OR high
+        // when i1 = 0).
+        let sa1_on_z = faults.iter().position(|f| f.net == z && f.stuck).unwrap();
+        assert!(out.statuses()[sa1_on_z].is_detected());
+    }
+
+    #[test]
+    fn unobservable_logic_classified_undetectable() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let dead = b.and2(i[0], i[1]); // never observed
+        let live = b.xor2(i[0], i[1]);
+        let _ = dead;
+        b.output(live);
+        let nl = b.finish();
+        let faults = all_faults(&nl);
+        let out = run_campaign(&nl, &faults, &CampaignConfig::default());
+        let dead_fault = faults.iter().position(|f| f.net == dead).unwrap();
+        assert_eq!(out.statuses()[dead_fault], FaultStatus::Undetectable);
+    }
+
+    #[test]
+    fn budget_limits_detection() {
+        // An AND tree over many inputs needs the all-ones pattern for SA0
+        // at the root; with a tiny budget some faults stay undetected.
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(24);
+        let root = b.and_tree(&i);
+        b.output(root);
+        let nl = b.finish();
+        let faults = all_faults(&nl);
+        let tiny = CampaignConfig { max_patterns: 64, seed: 1, threads: 1 };
+        let out = run_campaign(&nl, &faults, &tiny);
+        let (_, undetected, _) = out.counts();
+        assert!(undetected > 0, "24-input AND should resist 64 random patterns");
+        // With a larger budget, coverage must be monotonically better.
+        let big = CampaignConfig { max_patterns: 1 << 16, seed: 1, threads: 1 };
+        let out_big = run_campaign(&nl, &faults, &big);
+        assert!(out_big.counts().0 >= out.counts().0);
+    }
+
+    #[test]
+    fn threaded_matches_serial() {
+        let nl = parity4();
+        let faults = all_faults(&nl);
+        let serial = run_campaign(&nl, &faults, &CampaignConfig { threads: 1, ..Default::default() });
+        let par = run_campaign(&nl, &faults, &CampaignConfig { threads: 4, ..Default::default() });
+        assert_eq!(serial.statuses(), par.statuses());
+    }
+
+    #[test]
+    fn detectable_fraction_arithmetic() {
+        let nl = parity4();
+        let out = run_campaign(&nl, &all_faults(&nl), &CampaignConfig::default());
+        assert!((out.detectable_fraction() - 1.0).abs() < f64::EPSILON);
+        assert!((out.detected_of_detectable() - 1.0).abs() < f64::EPSILON);
+    }
+}

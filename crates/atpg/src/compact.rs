@@ -1,0 +1,144 @@
+//! Static test-set compaction.
+//!
+//! A production test set is applied on every manufactured die (or, in
+//! R2D3's online setting, on every epoch-boundary scan), so its *length*
+//! is cost. Classic reverse-order fault-simulation compaction drops
+//! patterns that detect nothing new when the set is replayed backwards —
+//! typically shrinking random-generated sets severalfold at equal
+//! coverage.
+
+use crate::fault::Fault;
+use r2d3_netlist::Netlist;
+use std::collections::HashSet;
+
+/// A single test pattern: one `bool` per primary input.
+pub type Pattern = Vec<bool>;
+
+/// Expands a pattern to the bit-parallel input encoding (all 64 lanes
+/// carry the same pattern).
+fn lanes(pattern: &Pattern) -> Vec<u64> {
+    pattern.iter().map(|&b| if b { !0u64 } else { 0 }).collect()
+}
+
+/// Faults of `faults` detected by `pattern` (indices).
+fn detected_by(netlist: &Netlist, faults: &[Fault], pattern: &Pattern) -> Vec<usize> {
+    let inputs = lanes(pattern);
+    let good = netlist.eval_all(&inputs);
+    let good_out = netlist.output_values(&good);
+    let mut values = Vec::new();
+    let mut hits = Vec::new();
+    for (i, fault) in faults.iter().enumerate() {
+        netlist.eval_all_stuck_into(&inputs, (fault.net, fault.stuck), &mut values);
+        let diff = netlist
+            .outputs()
+            .iter()
+            .zip(&good_out)
+            .any(|(o, g)| values[o.index()] & 1 != g & 1);
+        if diff {
+            hits.push(i);
+        }
+    }
+    hits
+}
+
+/// Result of a compaction pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Compacted {
+    /// Indices (into the original set) of the kept patterns, in replay
+    /// order.
+    pub kept: Vec<usize>,
+    /// Faults (indices) covered by the kept set.
+    pub covered: HashSet<usize>,
+}
+
+/// Reverse-order fault-simulation compaction: walk the pattern set from
+/// the end, keeping a pattern only if it detects a fault no later-kept
+/// pattern detects.
+///
+/// The kept set provably covers exactly the faults the full set covers
+/// (tested below).
+#[must_use]
+pub fn compact(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> Compacted {
+    let mut covered: HashSet<usize> = HashSet::new();
+    let mut kept = Vec::new();
+    for (idx, pattern) in patterns.iter().enumerate().rev() {
+        let hits = detected_by(netlist, faults, pattern);
+        if hits.iter().any(|h| !covered.contains(h)) {
+            covered.extend(hits);
+            kept.push(idx);
+        }
+    }
+    kept.reverse();
+    Compacted { kept, covered }
+}
+
+/// Coverage of an arbitrary pattern set (fault indices detected).
+#[must_use]
+pub fn coverage(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> HashSet<usize> {
+    let mut covered = HashSet::new();
+    for pattern in patterns {
+        covered.extend(detected_by(netlist, faults, pattern));
+    }
+    covered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::collapsed_faults;
+    use r2d3_netlist::stages::{stage_netlist, StageSizing};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_patterns(n: usize, width: usize, seed: u64) -> Vec<Pattern> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| (0..width).map(|_| rng.gen()).collect()).collect()
+    }
+
+    #[test]
+    fn compaction_preserves_coverage_and_shrinks() {
+        let sizing = StageSizing { gates_per_mm2: 800.0, ..Default::default() };
+        let sn = stage_netlist(r2d3_isa::Unit::Exu, &sizing);
+        let nl = sn.netlist();
+        let faults = collapsed_faults(nl);
+        let patterns = random_patterns(128, nl.num_inputs(), 4);
+
+        let full = coverage(nl, &faults, &patterns);
+        let compacted = compact(nl, &faults, &patterns);
+        assert_eq!(compacted.covered, full, "compaction must not lose coverage");
+        assert!(
+            compacted.kept.len() < patterns.len() / 2,
+            "random sets compact well: kept {} of {}",
+            compacted.kept.len(),
+            patterns.len()
+        );
+        // The kept subset alone really covers everything.
+        let kept_patterns: Vec<Pattern> =
+            compacted.kept.iter().map(|&i| patterns[i].clone()).collect();
+        assert_eq!(coverage(nl, &faults, &kept_patterns), full);
+    }
+
+    #[test]
+    fn kept_order_is_replay_order() {
+        let sizing = StageSizing { gates_per_mm2: 500.0, ..Default::default() };
+        let sn = stage_netlist(r2d3_isa::Unit::Ffu, &sizing);
+        let nl = sn.netlist();
+        let faults = collapsed_faults(nl);
+        let patterns = random_patterns(32, nl.num_inputs(), 9);
+        let c = compact(nl, &faults, &patterns);
+        for w in c.kept.windows(2) {
+            assert!(w[0] < w[1], "kept indices must be ascending");
+        }
+    }
+
+    #[test]
+    fn empty_inputs_behave() {
+        let sizing = StageSizing { gates_per_mm2: 500.0, ..Default::default() };
+        let sn = stage_netlist(r2d3_isa::Unit::Tlu, &sizing);
+        let nl = sn.netlist();
+        let faults = collapsed_faults(nl);
+        let c = compact(nl, &faults, &[]);
+        assert!(c.kept.is_empty());
+        assert!(c.covered.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! The stuck-at fault universe.
+
+use r2d3_netlist::{GateKind, NetId, Netlist};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A single stuck-at fault: `net` permanently at logic `stuck`.
+///
+/// This is the industry-standard fault model the paper uses ("It assumes
+/// that a circuit defect behaves as a node stuck at 0 or 1").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Fault {
+    /// The faulted net.
+    pub net: NetId,
+    /// The stuck value (`false` = SA0, `true` = SA1).
+    pub stuck: bool,
+}
+
+impl Fault {
+    /// Stuck-at-0 on `net`.
+    #[must_use]
+    pub fn sa0(net: NetId) -> Self {
+        Fault { net, stuck: false }
+    }
+
+    /// Stuck-at-1 on `net`.
+    #[must_use]
+    pub fn sa1(net: NetId) -> Self {
+        Fault { net, stuck: true }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/sa{}", self.net, u8::from(self.stuck))
+    }
+}
+
+/// The uncollapsed fault universe: SA0 and SA1 on every net.
+#[must_use]
+pub fn all_faults(netlist: &Netlist) -> Vec<Fault> {
+    (0..netlist.num_nets() as u32)
+        .flat_map(|n| [Fault::sa0(NetId(n)), Fault::sa1(NetId(n))])
+        .collect()
+}
+
+/// Equivalence-collapsed fault universe.
+///
+/// Classical structural collapsing rules for single-fanout nets:
+///
+/// * `Buf`: output faults are equivalent to the same input faults — drop
+///   the output pair.
+/// * `Not`: output faults are equivalent to the *inverted* input faults —
+///   drop the output pair.
+/// * `And`/`Nand`: SA0 on any input is equivalent to SA0 (`And`) / SA1
+///   (`Nand`) on the output — keep the output fault, drop input SA0s when
+///   the input net has fanout 1 and is itself a gate output (so dropping
+///   does not orphan a site).
+/// * `Or`/`Nor`: dual rule for input SA1s.
+///
+/// Collapsing only changes which representative of an equivalence class is
+/// simulated; coverage percentages over the collapsed set equal those over
+/// the full set up to class weighting, which is how commercial tools
+/// report coverage.
+#[must_use]
+pub fn collapsed_faults(netlist: &Netlist) -> Vec<Fault> {
+    let mut fanout = vec![0usize; netlist.num_nets()];
+    for gate in netlist.gates() {
+        for input in &gate.inputs {
+            fanout[input.index()] += 1;
+        }
+    }
+    for out in netlist.outputs() {
+        fanout[out.index()] += 1;
+    }
+
+    let mut keep_sa0 = vec![true; netlist.num_nets()];
+    let mut keep_sa1 = vec![true; netlist.num_nets()];
+
+    for gate in netlist.gates() {
+        match gate.kind {
+            GateKind::Buf | GateKind::Not => {
+                // Output faults fold into the (possibly inverted) input
+                // faults; always safe to drop the output pair.
+                keep_sa0[gate.output.index()] = false;
+                keep_sa1[gate.output.index()] = false;
+            }
+            GateKind::And | GateKind::Nand => {
+                for input in &gate.inputs {
+                    if fanout[input.index()] == 1 {
+                        keep_sa0[input.index()] = false;
+                    }
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                for input in &gate.inputs {
+                    if fanout[input.index()] == 1 {
+                        keep_sa1[input.index()] = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let mut faults = Vec::new();
+    for n in 0..netlist.num_nets() as u32 {
+        let net = NetId(n);
+        if keep_sa0[net.index()] {
+            faults.push(Fault::sa0(net));
+        }
+        if keep_sa1[net.index()] {
+            faults.push(Fault::sa1(net));
+        }
+    }
+    faults
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d3_netlist::NetlistBuilder;
+
+    #[test]
+    fn universe_size_is_two_per_net() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let x = b.and2(i[0], i[1]);
+        b.output(x);
+        let nl = b.finish();
+        assert_eq!(all_faults(&nl).len(), 2 * nl.num_nets());
+    }
+
+    #[test]
+    fn collapsing_reduces_universe() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(4);
+        let a = b.and2(i[0], i[1]);
+        let o = b.or2(a, i[2]);
+        let n = b.not(o);
+        let x = b.xor2(n, i[3]);
+        b.output(x);
+        let nl = b.finish();
+        let full = all_faults(&nl);
+        let collapsed = collapsed_faults(&nl);
+        assert!(collapsed.len() < full.len());
+        // The NOT's output faults must be gone.
+        assert!(!collapsed.iter().any(|f| f.net == n));
+    }
+
+    #[test]
+    fn collapsing_preserves_fanout_stems() {
+        // A net with fanout 2 must keep both faults even when feeding an AND.
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let stem = b.or2(i[0], i[1]);
+        let a1 = b.and2(stem, i[0]);
+        let a2 = b.and2(stem, i[1]);
+        b.output(a1);
+        b.output(a2);
+        let nl = b.finish();
+        let collapsed = collapsed_faults(&nl);
+        assert!(collapsed.contains(&Fault::sa0(stem)));
+        assert!(collapsed.contains(&Fault::sa1(stem)));
+    }
+}

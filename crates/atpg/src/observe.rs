@@ -1,0 +1,204 @@
+//! Observation models: stage-boundary vs core-boundary checkers.
+//!
+//! R2D3 observes every pipeline-stage boundary through the vertical
+//! crossbars, so a stage-level campaign observes each unit netlist's own
+//! outputs. A conventional core-level checker only sees the core's
+//! architectural outputs, i.e. a fault effect must propagate functionally
+//! through every downstream unit. [`core_level_campaign`] models this by
+//! composing the five unit netlists into a chain and re-running the same
+//! fault universe against the final outputs only.
+
+use crate::campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+use crate::fault::Fault;
+use r2d3_netlist::netlist::ComposeOptions;
+use r2d3_netlist::{compose_chain_with, NetId, Netlist, NetlistError};
+
+/// Computes, for every net, whether a structural path exists from the net
+/// to any of the `observed` outputs (reverse reachability over gate
+/// edges). Faults on unreachable nets are undetectable by any pattern.
+#[must_use]
+pub fn structurally_observable(netlist: &Netlist, observed: &[NetId]) -> Vec<bool> {
+    let mut reach = vec![false; netlist.num_nets()];
+    for o in observed {
+        reach[o.index()] = true;
+    }
+    // Gates are topologically ordered, so one reverse sweep suffices.
+    for gate in netlist.gates().iter().rev() {
+        if reach[gate.output.index()] {
+            for input in &gate.inputs {
+                reach[input.index()] = true;
+            }
+        }
+    }
+    reach
+}
+
+/// Runs the fault campaign under *core-level* observation.
+///
+/// `stage_netlists` are the per-unit netlists in pipeline order;
+/// `stage_faults[i]` is the fault list for stage `i` expressed in that
+/// stage's local net numbering. The stages are composed into a single
+/// chain circuit (stage outputs feed the next stage's inputs) and each
+/// fault is mapped into the composition, so detection requires functional
+/// propagation through all downstream stages.
+///
+/// Returns one [`CampaignOutcome`] per stage, each aligned with its input
+/// fault list.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::EmptyChain`] if `stage_netlists` is empty.
+///
+/// # Panics
+///
+/// Panics if `stage_faults.len() != stage_netlists.len()`.
+pub fn core_level_campaign(
+    stage_netlists: &[&Netlist],
+    stage_faults: &[Vec<Fault>],
+    config: &CampaignConfig,
+) -> Result<Vec<CampaignOutcome>, NetlistError> {
+    core_level_campaign_with(stage_netlists, stage_faults, config, &ComposeOptions::default())
+}
+
+/// [`core_level_campaign`] with explicit width-adaptation options for the
+/// stage composition (see [`ComposeOptions`]).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::EmptyChain`] if `stage_netlists` is empty.
+///
+/// # Panics
+///
+/// Panics if `stage_faults.len() != stage_netlists.len()`.
+pub fn core_level_campaign_with(
+    stage_netlists: &[&Netlist],
+    stage_faults: &[Vec<Fault>],
+    config: &CampaignConfig,
+    options: &ComposeOptions,
+) -> Result<Vec<CampaignOutcome>, NetlistError> {
+    assert_eq!(stage_netlists.len(), stage_faults.len(), "one fault list per stage");
+    let (composed, maps) = compose_chain_with(stage_netlists, options)?;
+
+    // Map stage-local fault sites into the composed netlist. Stage-local
+    // primary inputs of stage i > 0 are *driven nets* of the composition
+    // (previous stage outputs); faults on them map to those driver nets.
+    let mut mapped: Vec<Fault> = Vec::new();
+    let mut spans: Vec<(usize, usize)> = Vec::new(); // (start, len) per stage
+    for (si, faults) in stage_faults.iter().enumerate() {
+        let start = mapped.len();
+        let map = &maps[si];
+        for f in faults {
+            mapped.push(Fault { net: map[f.net.index()], stuck: f.stuck });
+        }
+        spans.push((start, faults.len()));
+    }
+
+    let outcome = run_campaign(&composed, &mapped, config);
+
+    // Split the flat outcome back into per-stage outcomes, restoring the
+    // stage-local fault identities.
+    let statuses = outcome.statuses();
+    let mut per_stage = Vec::with_capacity(stage_faults.len());
+    for (si, (start, len)) in spans.iter().enumerate() {
+        let sts = statuses[*start..start + len].to_vec();
+        per_stage.push(CampaignOutcome::from_raw_parts(
+            stage_faults[si].clone(),
+            sts,
+            outcome.patterns_applied(),
+        ));
+    }
+    Ok(per_stage)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::FaultStatus;
+    use crate::fault::all_faults;
+    use r2d3_netlist::NetlistBuilder;
+
+    fn small_stage() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(4);
+        let x = b.xor2(i[0], i[1]);
+        let y = b.and2(i[2], i[3]);
+        let z = b.or2(x, y);
+        let w = b.xor2(x, i[2]);
+        b.output(z);
+        b.output(w);
+        b.output(x);
+        b.output(y);
+        b.finish()
+    }
+
+    #[test]
+    fn observability_reaches_inputs() {
+        let nl = small_stage();
+        let obs = structurally_observable(&nl, nl.outputs());
+        for i in nl.inputs() {
+            assert!(obs[i.index()], "input {i} should reach outputs");
+        }
+    }
+
+    #[test]
+    fn observability_excludes_dead_logic() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let dead = b.and2(i[0], i[1]);
+        let live = b.or2(i[0], i[1]);
+        b.output(live);
+        let nl = b.finish();
+        let obs = structurally_observable(&nl, nl.outputs());
+        assert!(!obs[dead.index()]);
+        assert!(obs[live.index()]);
+    }
+
+    #[test]
+    fn core_level_coverage_not_higher_than_stage_level() {
+        let s1 = small_stage();
+        let s2 = small_stage();
+        let s3 = small_stage();
+        let faults: Vec<Vec<Fault>> =
+            [&s1, &s2, &s3].iter().map(|n| all_faults(n)).collect();
+        let config = CampaignConfig { max_patterns: 4096, seed: 3, threads: 1 };
+
+        // Stage-level: each stage observed at its own boundary.
+        let stage_detected: usize = [&s1, &s2, &s3]
+            .iter()
+            .zip(&faults)
+            .map(|(n, f)| run_campaign(n, f, &config).counts().0)
+            .sum();
+
+        let core = core_level_campaign(&[&s1, &s2, &s3], &faults, &config).unwrap();
+        let core_detected: usize = core.iter().map(|o| o.counts().0).sum();
+
+        assert!(
+            core_detected <= stage_detected,
+            "core-level {core_detected} must not exceed stage-level {stage_detected}"
+        );
+        // Structure is preserved.
+        assert_eq!(core.len(), 3);
+        for (o, f) in core.iter().zip(&faults) {
+            assert_eq!(o.faults().len(), f.len());
+        }
+    }
+
+    #[test]
+    fn core_level_empty_chain_is_error() {
+        assert!(core_level_campaign(&[], &[], &CampaignConfig::default()).is_err());
+    }
+
+    #[test]
+    fn last_stage_faults_still_detectable_at_core_level() {
+        let s1 = small_stage();
+        let s2 = small_stage();
+        let faults: Vec<Vec<Fault>> = [&s1, &s2].iter().map(|n| all_faults(n)).collect();
+        let config = CampaignConfig { max_patterns: 4096, seed: 5, threads: 1 };
+        let core = core_level_campaign(&[&s1, &s2], &faults, &config).unwrap();
+        // The final stage is directly observed, so a healthy majority of its
+        // faults must be detected.
+        let (d, _, _) = core[1].counts();
+        assert!(d * 2 > faults[1].len(), "detected {d} of {}", faults[1].len());
+        let _ = FaultStatus::Undetected;
+    }
+}

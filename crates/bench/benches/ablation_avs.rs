@@ -1,0 +1,73 @@
+//! Ablation — voltage-scaling lifetime management (§II-B's related work)
+//! vs R2D3's reconfiguration-based prevention.
+//!
+//! The paper argues AVS-family techniques are limited: boosting the
+//! supply to hide ΔVth accelerates further degradation, so "the Vth
+//! degradation soon converges to that found in the guardbanded case".
+//! This harness puts numbers on that argument with the same NBTI model
+//! the lifetime simulation uses, then contrasts R2D3-Pro, whose
+//! prevention needs no voltage headroom at all.
+
+use r2d3_aging::avs::{avs_trajectory, AvsParams, AvsPolicy};
+use r2d3_aging::nbti::NbtiModel;
+use r2d3_bench::format::Table;
+use r2d3_bench::{header, quick_lifetime_config};
+use r2d3_core::lifetime::LifetimeSim;
+use r2d3_core::policy::PolicyKind;
+use r2d3_isa::kernels::KernelKind;
+
+fn main() {
+    header("Ablation", "AVS / Facelift voltage management vs R2D3 reconfiguration");
+    let nbti = NbtiModel::default();
+    let params = AvsParams::default();
+    let temp = 130.0; // a hot always-on stage of the unmanaged stack
+    let months = 96;
+
+    let guard = avs_trajectory(&nbti, &params, AvsPolicy::Guardband, 1.0, temp, months);
+    let adaptive = avs_trajectory(&nbti, &params, AvsPolicy::Adaptive, 1.0, temp, months);
+    let facelift = avs_trajectory(
+        &nbti,
+        &params,
+        AvsPolicy::OneTimeSwitch { switch_month: 48, low_vdd: 0.95, high_vdd: 1.05 },
+        1.0,
+        temp,
+        months,
+    );
+
+    // R2D3-Pro's hottest-stage trajectory from the pure-aging lifetime sim.
+    let mut cfg = quick_lifetime_config(PolicyKind::Pro, KernelKind::Gemm);
+    cfg.reliability.base_rate_per_month = 0.0;
+    cfg.replicas = 1;
+    let pro = LifetimeSim::new(cfg).run().expect("lifetime sim");
+
+    let mut t = Table::new(&[
+        "Year", "Guardband ΔVth/freq", "AVS ΔVth/freq", "Facelift ΔVth/freq", "R2D3-Pro ΔVth",
+    ]);
+    for year in [0usize, 2, 4, 6, 8] {
+        let m = if year == 0 { 0 } else { year * 12 - 1 };
+        t.row(&[
+            format!("{year}"),
+            format!("{:.3} V / {:.2}", guard[m].vth_shift, guard[m].freq_factor),
+            format!("{:.3} V / {:.2}", adaptive[m].vth_shift, adaptive[m].freq_factor),
+            format!("{:.3} V / {:.2}", facelift[m].vth_shift, facelift[m].freq_factor),
+            format!("{:.3} V", pro.series.max_vth[m.min(95)]),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!(
+        "AVS sustains frequency ({:.2} at 8 y vs guardband {:.2}) but its ΔVth ({:.3} V) \
+         meets/exceeds the guardbanded case ({:.3} V) — the paper's §II-B convergence argument.",
+        adaptive.last().unwrap().freq_factor,
+        guard.last().unwrap().freq_factor,
+        adaptive.last().unwrap().vth_shift,
+        guard.last().unwrap().vth_shift
+    );
+    println!(
+        "R2D3-Pro reduces the *degradation itself* ({:.3} V at 8 y, {:.0} % below guardband) \
+         instead of hiding it behind voltage headroom.",
+        pro.series.max_vth.last().unwrap(),
+        100.0 * (1.0 - pro.series.max_vth.last().unwrap() / guard.last().unwrap().vth_shift)
+    );
+}

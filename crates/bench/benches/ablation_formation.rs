@@ -1,0 +1,71 @@
+//! Ablation — repair-assignment strategies: balanced (sorted pairing) vs
+//! locality-aware (nearest-layer greedy) pipeline formation.
+//!
+//! Both salvage the same number of pipelines; they differ in the vertical
+//! span instructions must cross through the crossbar, which sets the MIV
+//! path length (§III-A's delay budget).
+
+use r2d3_bench::format::Table;
+use r2d3_bench::header;
+use r2d3_core::repair::{form_pipelines, form_pipelines_local};
+use r2d3_physical::MivModel;
+use r2d3_pipeline_sim::StageId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    header("Ablation", "pipeline-formation strategies under random fault maps");
+    let miv = MivModel::default();
+    let mut rng = StdRng::seed_from_u64(0xF0F0);
+
+    let mut t = Table::new(&[
+        "Faults", "Formed", "Balanced avg span", "Local avg span",
+        "Balanced worst ps", "Local worst ps",
+    ]);
+    for faults in [2usize, 4, 8, 12, 16] {
+        let trials = 200;
+        let mut formed_total = 0usize;
+        let mut span_balanced = 0.0;
+        let mut span_local = 0.0;
+        let mut worst_balanced = 0usize;
+        let mut worst_local = 0usize;
+        let mut count = 0usize;
+        for _ in 0..trials {
+            let mut dead = [false; 40];
+            for _ in 0..faults {
+                dead[rng.gen_range(0..40)] = true;
+            }
+            let usable = |s: StageId| !dead[s.flat_index()];
+            let balanced = form_pipelines(8, usable, 8);
+            let local = form_pipelines_local(8, usable, 8);
+            formed_total += balanced.len();
+            for p in &balanced {
+                span_balanced += p.max_span() as f64;
+                worst_balanced = worst_balanced.max(p.max_span());
+                count += 1;
+            }
+            for p in &local {
+                span_local += p.max_span() as f64;
+                worst_local = worst_local.max(p.max_span());
+            }
+        }
+        t.row(&[
+            format!("{faults}"),
+            format!("{:.1}", formed_total as f64 / trials as f64),
+            format!("{:.2}", span_balanced / count.max(1) as f64),
+            format!("{:.2}", span_local / count.max(1) as f64),
+            format!("{:.0}", miv.crossing_delay_ps(worst_balanced)),
+            format!("{:.0}", miv.crossing_delay_ps(worst_local)),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "Both strategies salvage identically (the count is fixed by per-unit \
+         availability). The locality-aware variant shortens *average* crossbar \
+         spans — less switching energy per transfer — while its greedy last \
+         picks occasionally span the full stack; either way the worst case \
+         stays inside the §III-A single-cycle MIV budget (the crossing delay \
+         column vs the 1000 ps period)."
+    );
+}

@@ -1,0 +1,60 @@
+//! Ablation — deterministic ATPG cleanup (the PODEM phase).
+//!
+//! The paper's TetraMAX flow is deterministic; our Fig. 4 campaign uses
+//! random patterns for speed. This harness quantifies what the
+//! deterministic phase adds: PODEM settles the random-resistant tail,
+//! upgrading undetected faults to detected (with a witness vector) or
+//! proving them undetectable.
+
+use r2d3_atpg::campaign::CampaignConfig;
+use r2d3_atpg::fault::collapsed_faults;
+use r2d3_atpg::flow::{run_full_flow, FlowConfig};
+use r2d3_bench::format::Table;
+use r2d3_bench::header;
+use r2d3_netlist::stages::{all_stage_netlists, StageSizing};
+
+fn main() {
+    header("Ablation", "random-only vs random+PODEM fault classification per unit");
+    let stages = all_stage_netlists(&StageSizing::default());
+
+    let mut t = Table::new(&[
+        "Unit", "Faults", "Random det %", "Flow det %", "PODEM proved untestable", "Aborted",
+    ]);
+    let mut total_random_det = 0usize;
+    let mut total_flow_det = 0usize;
+    let mut total_faults = 0usize;
+    for sn in &stages {
+        let faults = collapsed_faults(sn.netlist());
+        let config = FlowConfig {
+            random: CampaignConfig { max_patterns: 4096, seed: 17, threads: 8 },
+            podem_backtracks: 4_000,
+        };
+        let random_only =
+            r2d3_atpg::campaign::run_campaign(sn.netlist(), &faults, &config.random);
+        let (flow, stats) = run_full_flow(sn.netlist(), &faults, &config);
+
+        let (rd, _, _) = random_only.counts();
+        let (fd, _, _) = flow.counts();
+        total_random_det += rd;
+        total_flow_det += fd;
+        total_faults += faults.len();
+        t.row(&[
+            sn.unit().name().into(),
+            format!("{}", faults.len()),
+            format!("{:.1}", 100.0 * rd as f64 / faults.len() as f64),
+            format!("{:.1}", 100.0 * fd as f64 / faults.len() as f64),
+            format!("{}", stats.proven_untestable),
+            format!("{}", stats.aborted),
+        ]);
+    }
+    t.print();
+
+    println!();
+    println!(
+        "Deterministic cleanup lifts detection from {:.1} % to {:.1} % of all faults \
+         and converts budget-limited 'undetected' verdicts into proofs — the reason \
+         commercial flows (and the paper's coverage numbers) rely on deterministic ATPG.",
+        100.0 * total_random_det as f64 / total_faults as f64,
+        100.0 * total_flow_det as f64 / total_faults as f64,
+    );
+}

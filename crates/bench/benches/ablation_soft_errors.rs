@@ -1,0 +1,49 @@
+//! Ablation — transient (soft-error) handling statistics.
+//!
+//! Quantifies the paper's contribution 2: transients are caught by the
+//! concurrent checkers, classified by the single-cycle TMR replay, and
+//! never cost hardware.
+
+use r2d3_bench::format::Table;
+use r2d3_bench::header;
+use r2d3_core::soft_error::{run_soft_error_campaign, SoftErrorConfig};
+
+fn main() {
+    header("Ablation", "soft-error injection campaign (transient classification)");
+
+    let mut t = Table::new(&[
+        "T_epoch", "Injected", "Caught", "Masked", "Silent", "Crashed", "Misdiagnosed",
+        "Handled %",
+    ]);
+    // Shorter epochs keep the comparison window near the upset —
+    // the knob trading detection latency for leftover power (§III-C).
+    for t_epoch in [2_000u64, 4_000, 8_000, 16_000] {
+        let config = SoftErrorConfig {
+            injections: 60,
+            engine: r2d3_core::R2d3Config {
+                t_epoch,
+                t_test: t_epoch.min(5_000),
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let r = run_soft_error_campaign(&config).expect("campaign");
+        t.row(&[
+            format!("{t_epoch}"),
+            format!("{}", r.injected),
+            format!("{}", r.caught),
+            format!("{}", r.masked),
+            format!("{}", r.silent),
+            format!("{}", r.crashed),
+            format!("{}", r.misdiagnosed),
+            format!("{:.0}", 100.0 * r.handled_fraction()),
+        ]);
+    }
+    t.print();
+    println!();
+    println!(
+        "No transient is ever misdiagnosed as permanent (the replay guarantee), and \
+         shorter epochs raise the caught fraction — the latency/power trade-off the \
+         paper tunes with T_epoch."
+    );
+}

@@ -1,0 +1,76 @@
+//! Criterion micro-benchmarks: throughput of the four substrates the
+//! reproduction is built on.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use r2d3_atpg::campaign::{run_campaign, CampaignConfig};
+use r2d3_atpg::fault::collapsed_faults;
+use r2d3_isa::kernels::gemm;
+use r2d3_isa::Unit;
+use r2d3_netlist::stages::{stage_netlist, StageSizing};
+use r2d3_pipeline_sim::{System3d, SystemConfig};
+use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
+
+fn pipeline_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pipeline_sim");
+    let cycles = 50_000u64;
+    group.throughput(Throughput::Elements(cycles * 8));
+    group.bench_function("8core_gemm_cycles", |b| {
+        b.iter(|| {
+            let mut sys = System3d::new(&SystemConfig::default());
+            for p in 0..8 {
+                sys.load_program(p, gemm(16, 16, 16, p as u64 + 1).program().clone()).unwrap();
+            }
+            sys.run(cycles).unwrap();
+            sys.aggregate_ipc()
+        });
+    });
+    group.finish();
+}
+
+fn netlist_eval(c: &mut Criterion) {
+    let sn = stage_netlist(Unit::Exu, &StageSizing::default());
+    let nl = sn.netlist().clone();
+    let inputs: Vec<u64> = (0..nl.num_inputs() as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+    let mut group = c.benchmark_group("netlist");
+    group.throughput(Throughput::Elements(nl.num_gates() as u64 * 64));
+    group.bench_function("exu_eval_64_patterns", |b| {
+        b.iter(|| nl.eval(&inputs));
+    });
+    group.finish();
+}
+
+fn fault_sim(c: &mut Criterion) {
+    let sizing = StageSizing { gates_per_mm2: 3_000.0, ..Default::default() };
+    let sn = stage_netlist(Unit::Ffu, &sizing);
+    let faults = collapsed_faults(sn.netlist());
+    let cc = CampaignConfig { max_patterns: 256, seed: 1, threads: 1 };
+    let mut group = c.benchmark_group("atpg");
+    group.throughput(Throughput::Elements(faults.len() as u64));
+    group.bench_function("ffu_campaign_256_patterns", |b| {
+        b.iter(|| run_campaign(sn.netlist(), &faults, &cc));
+    });
+    group.finish();
+}
+
+fn thermal_solve(c: &mut Criterion) {
+    let fp = Floorplan::opensparc_3d(8);
+    let grid = ThermalGrid::new(&fp, &GridConfig { nx: 8, ny: 6, ..Default::default() });
+    let mut power = PowerMap::new(&fp);
+    for layer in 0..8 {
+        for unit in Unit::ALL {
+            power.set_block(layer, unit, 0.03);
+        }
+    }
+    let mut group = c.benchmark_group("thermal");
+    group.bench_function("steady_state_8x6x8", |b| {
+        b.iter(|| grid.steady_state(&power).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = pipeline_sim, netlist_eval, fault_sim, thermal_solve
+}
+criterion_main!(benches);

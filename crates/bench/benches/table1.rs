@@ -1,0 +1,89 @@
+//! Table I — the feature-comparison matrix.
+//!
+//! Prior-work rows are literature data reproduced from the paper; the
+//! R2D3 row is *measured* by this repository: detection coverage from the
+//! ATPG campaign (Fig. 4 pipeline), performance from the 8-year lifetime
+//! sweep, and overheads from the calibrated physical model.
+
+use r2d3_bench::format::Table;
+use r2d3_bench::{fig4_campaigns, fig5_sweep, header, Fig4Config};
+use r2d3_core::policy::PolicyKind;
+use r2d3_isa::kernels::KernelKind;
+use r2d3_physical::{DesignVariant, PhysicalModel};
+
+struct Prior {
+    name: &'static str,
+    granularity: &'static str,
+    detection: &'static str,
+    repair: bool,
+    lifetime: &'static str,
+    perf_oh: &'static str,
+    area_oh: &'static str,
+    power_oh: &'static str,
+}
+
+const PRIOR: &[Prior] = &[
+    Prior { name: "ARGUS", granularity: "Core", detection: "98%", repair: false, lifetime: "-", perf_oh: "3.9", area_oh: "17.0", power_oh: "N.R." },
+    Prior { name: "BulletProof", granularity: "Pipeline stage", detection: "89%", repair: false, lifetime: "-", perf_oh: "18.0", area_oh: "5.9", power_oh: "N.R." },
+    Prior { name: "ACE", granularity: "Core", detection: "99%", repair: false, lifetime: "-", perf_oh: "5.5", area_oh: "5.8", power_oh: "4.0" },
+    Prior { name: "CoreCannibal", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Performance: 2.4", perf_oh: "12.0", area_oh: "3.5", power_oh: "N.R." },
+    Prior { name: "3DFAR", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Frequency: 16%", perf_oh: "5.0", area_oh: "7.0", power_oh: "N.R." },
+    Prior { name: "StageNet", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Throughput: 30%", perf_oh: "33.0", area_oh: "17.0", power_oh: "16.0" },
+    Prior { name: "Viper", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Failure: 20%", perf_oh: "24.0", area_oh: "8.0", power_oh: "N.R." },
+    Prior { name: "NBTI 3D", granularity: "Core", detection: "-", repair: false, lifetime: "MTTF: 30%", perf_oh: "9.0", area_oh: "N.R.", power_oh: "N.R." },
+    Prior { name: "Bubblewrap", granularity: "Core", detection: "-", repair: false, lifetime: "Performance: 25%", perf_oh: "N.R.", area_oh: "N.R.", power_oh: "up to 90.0" },
+    Prior { name: "NBTI Multicore", granularity: "Core", detection: "-", repair: false, lifetime: "Performance: 78%", perf_oh: "6.0", area_oh: "N.R.", power_oh: "N.R." },
+    Prior { name: "Artemis", granularity: "Core", detection: "-", repair: false, lifetime: "Lifetime: 116%", perf_oh: "2.0", area_oh: "N.R.", power_oh: "N.R." },
+];
+
+fn main() {
+    header("Table I", "feature comparison matrix (prior work = literature data; R2D3 row measured)");
+
+    // Measured coverage (stage-level detectable fraction).
+    let fig4 = fig4_campaigns(&Fig4Config::default());
+    let coverage = fig4.total.detectable_pct();
+
+    // Measured 8-year performance improvement (time-averaged Pro vs NoRecon).
+    let sweep = fig5_sweep(KernelKind::Gemm);
+    let avg = |k: PolicyKind| {
+        let s = &sweep.policy(k).series.norm_ipc;
+        s.iter().sum::<f64>() / s.len() as f64
+    };
+    let perf_gain = 100.0 * (avg(PolicyKind::Pro) / avg(PolicyKind::NoRecon) - 1.0);
+
+    // Measured overheads.
+    let model = PhysicalModel::table_iii();
+    let design = model.design(DesignVariant::R2d3);
+
+    let mut t = Table::new(&[
+        "Solution", "Granularity", "Detection", "Repair", "Lifetime mgmt",
+        "Perf OH %", "Area OH %", "Power OH %",
+    ]);
+    for p in PRIOR {
+        t.row(&[
+            p.name.into(),
+            p.granularity.into(),
+            p.detection.into(),
+            if p.repair { "yes".into() } else { "-".to_string() },
+            p.lifetime.into(),
+            p.perf_oh.into(),
+            p.area_oh.into(),
+            p.power_oh.into(),
+        ]);
+    }
+    t.row(&[
+        "R2D3 [this work]".into(),
+        "Pipeline stage".into(),
+        format!("{coverage:.0}% (paper 96%)"),
+        "yes".into(),
+        format!("Performance: {perf_gain:.0}% (paper 78%)"),
+        format!("{:.1} (paper 8.2)", 100.0 * design.frequency_overhead),
+        format!("{:.1} (paper 7.4)", 100.0 * design.area_overhead),
+        format!("{:.1} (paper 6.5)", 100.0 * design.power_overhead),
+    ]);
+    t.print();
+    println!();
+    println!(
+        "R2D3 is the only row providing detection+diagnosis, repair and lifetime management simultaneously."
+    );
+}

@@ -1,0 +1,46 @@
+//! Table II — simulation parameters of the modeled system.
+
+use r2d3_bench::format::Table;
+use r2d3_bench::header;
+use r2d3_pipeline_sim::SystemConfig;
+
+fn main() {
+    header("Table II", "simulation parameters (paper: gem5; here: r2d3-pipeline-sim)");
+    let cfg = SystemConfig::default();
+    let h = &cfg.hierarchy;
+    let mut t = Table::new(&["Module", "Parameters", "Paper (Table II)"]);
+    t.row(&[
+        "Core".into(),
+        format!(
+            "single-issue in-order, {} layers × {} pipelines @ 1.0 GHz",
+            cfg.layers, cfg.pipelines
+        ),
+        "Single-issue, in-order pipeline @ 1.0 GHz".into(),
+    ]);
+    t.row(&[
+        "L1 D-Cache".into(),
+        format!("{} kB, {}-way, private, {}-cycle hit", h.l1d.size_bytes / 1024, h.l1d.ways, h.l1d.hit_cycles),
+        "8 kB, 4-way set-associative, private".into(),
+    ]);
+    t.row(&[
+        "L2 D-Cache".into(),
+        format!("{} kB, {}-way, shared, {}-cycle hit", h.l2.size_bytes / 1024, h.l2.ways, h.l2.hit_cycles),
+        "64 kB, 4-way set-associative, shared".into(),
+    ]);
+    t.row(&[
+        "I-Cache".into(),
+        format!("{} kB, {}-way, private", h.l1i.size_bytes / 1024, h.l1i.ways),
+        "4 kB, 4-way set-associative, private".into(),
+    ]);
+    t.row(&[
+        "Main Memory".into(),
+        format!("{}-cycle fixed latency", h.memory_cycles),
+        "4-channel DDR4-2400 x64 @ 18.8 GB/s per channel".into(),
+    ]);
+    t.row(&[
+        "R2D3 traces".into(),
+        format!("{}-record stage trace rings", cfg.trace_capacity),
+        "replay register + vertical buses".into(),
+    ]);
+    t.print();
+}

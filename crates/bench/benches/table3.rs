@@ -1,0 +1,51 @@
+//! Table III — area/power per pipeline stage plus §V-A design overheads.
+
+use r2d3_bench::format::Table;
+use r2d3_bench::header;
+use r2d3_physical::{table, DesignVariant, PhysicalModel};
+
+fn main() {
+    header("Table III", "area and power for a 5-stage pipeline (45 nm SOI anchor)");
+    let mut t = Table::new(&[
+        "Stage", "Area (mm²)", "Crossbar OH (%)", "Checker OH (%)", "Protected (%)", "Power (mW)",
+    ]);
+    for row in &table::TABLE_III {
+        t.row(&[
+            row.unit.name().into(),
+            format!("{:.3}", row.area_mm2),
+            format!("{:.1}", row.crossbar_overhead_pct),
+            format!("{:.2}", row.checker_overhead_pct),
+            format!("{:.0}", row.protected_area_pct),
+            format!("{:.0}", row.power_mw),
+        ]);
+    }
+    let totals = table::totals();
+    t.row(&[
+        "Total".into(),
+        format!("{:.3}", totals.area_mm2),
+        format!("{:.1}", totals.crossbar_overhead_pct),
+        format!("{:.2}", totals.checker_overhead_pct),
+        format!("{:.0}", totals.protected_area_pct),
+        format!("{:.0}", totals.power_mw),
+    ]);
+    t.print();
+
+    println!();
+    println!("Derived §V-A design overheads (R2D3 vs NoRecon):");
+    let model = PhysicalModel::table_iii();
+    let d = model.design(DesignVariant::R2d3);
+    let mut t = Table::new(&["Metric", "Measured", "Paper"]);
+    t.row(&["Area overhead".into(), format!("{:.1} %", 100.0 * d.area_overhead), "7.4 %".into()]);
+    t.row(&[
+        "Frequency overhead".into(),
+        format!("{:.1} %", 100.0 * d.frequency_overhead),
+        "8.2 %".into(),
+    ]);
+    t.row(&["Power overhead".into(), format!("{:.1} %", 100.0 * d.power_overhead), "6.5 %".into()]);
+    t.row(&[
+        "Core frequency".into(),
+        format!("{:.3} GHz", d.frequency_ghz),
+        "1 GHz − 8.2 %".into(),
+    ]);
+    t.print();
+}

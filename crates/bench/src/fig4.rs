@@ -1,0 +1,119 @@
+//! Driver for the Fig. 4(b)/4(c) fault-coverage campaigns.
+
+use r2d3_atpg::campaign::{run_campaign, CampaignConfig};
+use r2d3_atpg::fault::collapsed_faults;
+use r2d3_atpg::observe::core_level_campaign_with;
+use r2d3_atpg::report::{unit_report, UnitReport};
+use r2d3_netlist::stages::{all_stage_netlists, StageSizing};
+use r2d3_netlist::ComposeOptions;
+
+/// Campaign sizing for the figure harnesses.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Config {
+    /// Netlist sizing (gate budgets per unit).
+    pub sizing: StageSizing,
+    /// Test-pattern budget (the paper runs 10 M ATPG instructions; the
+    /// default here keeps the harness under a minute while preserving the
+    /// coverage plateau).
+    pub max_patterns: usize,
+    /// Worker threads.
+    pub threads: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for Fig4Config {
+    fn default() -> Self {
+        Fig4Config {
+            sizing: StageSizing::default(),
+            max_patterns: 1 << 14,
+            threads: 8,
+            seed: 7,
+        }
+    }
+}
+
+/// Per-unit stage-level reports, their aggregate, and the core-level
+/// aggregate — everything Fig. 4(b) and 4(c) plot.
+#[derive(Debug, Clone)]
+pub struct Fig4Results {
+    /// One report per unit (stage-boundary observation).
+    pub units: Vec<UnitReport>,
+    /// Aggregate over all units (the figure's "Total" bar).
+    pub total: UnitReport,
+    /// Core-boundary observation aggregate (the "Core Level" bar).
+    pub core_level: UnitReport,
+}
+
+/// Runs both observation models over the five generated unit netlists.
+#[must_use]
+pub fn fig4_campaigns(config: &Fig4Config) -> Fig4Results {
+    let stages = all_stage_netlists(&config.sizing);
+    let cc = CampaignConfig {
+        max_patterns: config.max_patterns,
+        seed: config.seed,
+        threads: config.threads,
+    };
+
+    let mut units = Vec::new();
+    let mut total: Option<UnitReport> = None;
+    for sn in &stages {
+        let faults = collapsed_faults(sn.netlist());
+        let outcome = run_campaign(sn.netlist(), &faults, &cc);
+        let report = unit_report(sn.unit().name(), &outcome);
+        match &mut total {
+            None => total = Some(UnitReport { label: "Total".into(), ..report.clone() }),
+            Some(t) => t.merge(&report),
+        }
+        units.push(report);
+    }
+    let total = total.expect("five units");
+
+    let netlists: Vec<_> = stages.iter().map(|s| s.netlist()).collect();
+    let faults: Vec<_> = netlists.iter().map(|n| collapsed_faults(n)).collect();
+    let outcomes =
+        core_level_campaign_with(&netlists, &faults, &cc, &ComposeOptions::core_level())
+            .expect("non-empty chain");
+    let mut core_level: Option<UnitReport> = None;
+    for (sn, outcome) in stages.iter().zip(&outcomes) {
+        let report = unit_report(sn.unit().name(), outcome);
+        match &mut core_level {
+            None => {
+                core_level = Some(UnitReport { label: "Core-Level".into(), ..report.clone() });
+            }
+            Some(t) => t.merge(&report),
+        }
+    }
+
+    Fig4Results { units, total, core_level: core_level.expect("five units") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d3_atpg::report::LatencyBucket;
+
+    #[test]
+    fn small_campaign_reproduces_stage_vs_core_gap() {
+        let config = Fig4Config {
+            sizing: StageSizing { gates_per_mm2: 4_000.0, ..Default::default() },
+            max_patterns: 4096,
+            threads: 4,
+            seed: 3,
+        };
+        let r = fig4_campaigns(&config);
+        assert_eq!(r.units.len(), 5);
+        // Core-level observability must not beat stage-level (Fig. 4(b)).
+        assert!(
+            r.core_level.detectable_pct() < r.total.detectable_pct(),
+            "core {:.1} vs stage {:.1}",
+            r.core_level.detectable_pct(),
+            r.total.detectable_pct()
+        );
+        // And detection within 5k patterns is slower at core level (4(c)).
+        assert!(
+            r.core_level.cumulative_detected_pct(LatencyBucket::Lt5k)
+                < r.total.cumulative_detected_pct(LatencyBucket::Lt5k)
+        );
+    }
+}

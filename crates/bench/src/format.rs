@@ -1,0 +1,84 @@
+//! Plain-text table formatting for the harness output.
+
+/// A simple fixed-width table printer.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| (*s).to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (cells are displayed as given).
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let mut line = String::new();
+        for (i, h) in self.headers.iter().enumerate() {
+            line.push_str(&format!("{:>width$}  ", h, width = widths[i]));
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = String::new();
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                line.push_str(&format!("{:>width$}  ", cell, width = widths[i]));
+            }
+            out.push_str(line.trim_end());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a measured-vs-paper pair.
+#[must_use]
+pub fn vs(measured: f64, paper: f64, unit: &str) -> String {
+    format!("{measured:.1}{unit} (paper {paper:.1}{unit})")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("name"));
+        assert!(lines[3].contains("longer"));
+    }
+
+    #[test]
+    fn vs_format() {
+        assert_eq!(vs(95.5, 96.0, "%"), "95.5% (paper 96.0%)");
+    }
+}

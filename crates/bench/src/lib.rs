@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! Shared experiment drivers for the per-table / per-figure harnesses.
+//!
+//! Each `[[bench]]` target in this crate regenerates one table or figure
+//! of the paper (`cargo bench -p r2d3-bench --bench fig5a` etc.), printing
+//! the paper's reported value next to the measured one. The heavy lifting
+//! lives here so the bench binaries stay thin and the drivers are
+//! unit-testable.
+
+pub mod fig4;
+pub mod fig5;
+pub mod format;
+
+pub use fig4::{fig4_campaigns, Fig4Config, Fig4Results};
+pub use fig5::{fig5_sweep, fig5a_sweep, quick_lifetime_config, Fig5Results};
+
+/// Prints the standard harness header.
+pub fn header(id: &str, what: &str) {
+    println!("==================================================================");
+    println!("R2D3 reproduction — {id}: {what}");
+    println!("==================================================================");
+}

@@ -1,0 +1,317 @@
+//! Subcommand implementations.
+
+use r2d3_core::engine::{EngineEvent, R2d3Engine};
+use r2d3_core::R2d3Config;
+use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
+use r2d3_core::policy::PolicyKind;
+use r2d3_isa::kernels::{gemv, KernelKind};
+use r2d3_isa::text::parse_program;
+use r2d3_isa::Unit;
+use r2d3_pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
+use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
+
+pub type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+/// Pulls `--name value` out of an argument list; returns remaining
+/// positional arguments.
+fn parse_flags<'a>(
+    args: &'a [String],
+    flags: &mut [(&str, &mut Option<&'a str>)],
+) -> Result<Vec<&'a str>, String> {
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            let slot = flags
+                .iter_mut()
+                .find(|(n, _)| *n == name)
+                .ok_or_else(|| format!("unknown flag --{name}"))?;
+            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
+            *slot.1 = Some(value);
+        } else {
+            positional.push(arg.as_str());
+        }
+    }
+    Ok(positional)
+}
+
+fn parse_unit(token: &str) -> Result<Unit, String> {
+    Unit::ALL
+        .iter()
+        .copied()
+        .find(|u| u.name().eq_ignore_ascii_case(token))
+        .ok_or_else(|| format!("unknown unit `{token}` (IFU/EXU/LSU/TLU/FFU)"))
+}
+
+/// `r2d3 run <file.s>`
+pub fn run(args: &[String]) -> CliResult {
+    let (mut pipes, mut cycles) = (None, None);
+    let pos = parse_flags(args, &mut [("pipes", &mut pipes), ("cycles", &mut cycles)])?;
+    let path = pos.first().ok_or("run needs a .s file")?;
+    let pipes: usize = pipes.map_or(Ok(1), str::parse)?;
+    let cycles: u64 = cycles.map_or(Ok(1_000_000), str::parse)?;
+
+    let source = std::fs::read_to_string(path)?;
+    let program = parse_program(&source)?;
+    println!("{path}: {} instructions, {} data words", program.len(), program.data_words());
+
+    let config = SystemConfig { pipelines: pipes.clamp(1, 8), ..Default::default() };
+    let mut sys = System3d::new(&config);
+    for p in 0..config.pipelines {
+        sys.load_program(p, program.clone())?;
+    }
+    sys.run(cycles)?;
+
+    for p in 0..config.pipelines {
+        let pipe = sys.pipeline(p).expect("pipeline exists");
+        println!(
+            "pipeline {p}: {} — retired {}, IPC {:.3}, L1D hit {:.1} %, bpred {:.1} %",
+            if pipe.halted() { "halted" } else { "running" },
+            pipe.retired(),
+            pipe.ipc(),
+            100.0 * pipe.l1d().hit_rate(),
+            100.0 * pipe.predictor().accuracy(),
+        );
+        if pipe.halted() {
+            // Dump the first few registers for quick inspection.
+            let regs: Vec<String> = (1..=4)
+                .map(|i| {
+                    let r = r2d3_isa::Reg::from_index(i).expect("index < 32");
+                    format!("{r}={:#x}", pipe.reg(r))
+                })
+                .collect();
+            println!("  {}", regs.join("  "));
+        }
+    }
+    Ok(())
+}
+
+/// `r2d3 inject <unit> <layer>`
+pub fn inject(args: &[String]) -> CliResult {
+    let mut bit = None;
+    let pos = parse_flags(args, &mut [("bit", &mut bit)])?;
+    let unit = parse_unit(pos.first().ok_or("inject needs a unit (e.g. EXU)")?)?;
+    let layer: usize = pos.get(1).ok_or("inject needs a layer (0..8)")?.parse()?;
+    let bit: u8 = bit.map_or(Ok(0), str::parse)?;
+
+    let config = SystemConfig { pipelines: 6, ..Default::default() };
+    let mut sys = System3d::new(&config);
+    let kernel = gemv(32, 32, 7);
+    for p in 0..6 {
+        sys.load_program(p, kernel.program().clone())?;
+    }
+    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let victim = StageId::new(layer, unit);
+    sys.inject_fault(victim, FaultEffect { bit, stuck: true })?;
+    println!("injected stuck-at-1 (bit {bit}) into {victim}; running epochs…");
+
+    for epoch in 1..=64 {
+        let events = engine.run_epoch(&mut sys)?;
+        for e in &events {
+            match e {
+                EngineEvent::Symptom { dut, pipe } => {
+                    println!("epoch {epoch:>2}: symptom on {dut} (pipeline {pipe})");
+                }
+                EngineEvent::Permanent { stage } => {
+                    println!("epoch {epoch:>2}: permanent fault localized at {stage}");
+                }
+                EngineEvent::Repaired { pipelines_formed } => {
+                    println!("epoch {epoch:>2}: repaired — {pipelines_formed} pipelines formed");
+                }
+                other => println!("epoch {epoch:>2}: {other:?}"),
+            }
+        }
+        if engine.believed_faulty().contains(&victim) {
+            println!("\ndiagnosis complete; believed-faulty = {:?}", engine.believed_faulty());
+            if let Some(stats) = engine.checkpoint_stats() {
+                println!(
+                    "recovery: {} rollback(s), {} restart(s), {} instructions of work lost",
+                    stats.restores, stats.restarts, stats.lost_instructions
+                );
+            }
+            return Ok(());
+        }
+    }
+    println!("fault did not manifest within 64 epochs (data-dependent masking)");
+    Ok(())
+}
+
+/// `r2d3 atpg`
+pub fn atpg(args: &[String]) -> CliResult {
+    use r2d3_atpg::campaign::{run_campaign, CampaignConfig};
+    use r2d3_atpg::fault::collapsed_faults;
+    use r2d3_atpg::flow::{run_full_flow, FlowConfig};
+    use r2d3_atpg::report::unit_report;
+    use r2d3_netlist::stages::{all_stage_netlists, StageSizing};
+
+    let (mut patterns, mut podem) = (None, None);
+    let pos = parse_flags(args, &mut [("patterns", &mut patterns), ("podem", &mut podem)])?;
+    let _ = pos;
+    let patterns: usize = patterns.map_or(Ok(8192), str::parse)?;
+    let use_podem = podem.map_or(Ok(false), str::parse)?;
+
+    println!(
+        "stuck-at campaign: {patterns} random patterns{}",
+        if use_podem { " + PODEM cleanup" } else { "" }
+    );
+    for sn in all_stage_netlists(&StageSizing::default()) {
+        let faults = collapsed_faults(sn.netlist());
+        let cc = CampaignConfig { max_patterns: patterns, seed: 7, threads: 8 };
+        let report = if use_podem {
+            let (outcome, _) = run_full_flow(
+                sn.netlist(),
+                &faults,
+                &FlowConfig { random: cc, podem_backtracks: 4_000 },
+            );
+            unit_report(sn.unit().name(), &outcome)
+        } else {
+            unit_report(sn.unit().name(), &run_campaign(sn.netlist(), &faults, &cc))
+        };
+        println!(
+            "{:4}: {:5} faults — detected {:5.1} %, undetected {:4.1} %, undetectable {:4.1} %",
+            report.label,
+            report.total,
+            100.0 * report.detected as f64 / report.total as f64,
+            100.0 * report.undetected as f64 / report.total as f64,
+            100.0 * report.undetectable as f64 / report.total as f64,
+        );
+    }
+    Ok(())
+}
+
+/// `r2d3 lifetime`
+pub fn lifetime(args: &[String]) -> CliResult {
+    let (mut policy, mut months, mut workload) = (None, None, None);
+    parse_flags(
+        args,
+        &mut [("policy", &mut policy), ("months", &mut months), ("workload", &mut workload)],
+    )?;
+    let policy = match policy.unwrap_or("pro") {
+        "norecon" => PolicyKind::NoRecon,
+        "static" => PolicyKind::Static,
+        "lite" => PolicyKind::Lite,
+        "pro" => PolicyKind::Pro,
+        other => return Err(format!("unknown policy `{other}`").into()),
+    };
+    let months: usize = months.map_or(Ok(96), str::parse)?;
+    let workload = match workload.unwrap_or("gemm") {
+        "gemm" => KernelKind::Gemm,
+        "gemv" => KernelKind::Gemv,
+        "fft" => KernelKind::Fft,
+        other => return Err(format!("unknown workload `{other}`").into()),
+    };
+
+    let config = LifetimeConfig {
+        months,
+        replicas: 6,
+        mttf_trials: 200,
+        grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
+        ..LifetimeConfig::new(policy, workload.core_demand_fraction(), workload.activity_weight())
+    };
+    println!("{policy} on {workload} for {months} months…");
+    let out = LifetimeSim::new(config).run()?;
+    let s = &out.series;
+    println!("month   ΔVth(V)   MTTF(mo)   IPC   hottest(°C)");
+    for m in (0..months).step_by((months / 8).max(1)).chain([months - 1]) {
+        println!(
+            "{:>5}   {:.4}    {:>6.0}   {:.2}   {:.1}",
+            m, s.max_vth[m], s.mttf_months[m], s.norm_ipc[m], s.hottest_layer_temp[m]
+        );
+    }
+    Ok(())
+}
+
+/// `r2d3 thermal`
+pub fn thermal(args: &[String]) -> CliResult {
+    let mut active = None;
+    parse_flags(args, &mut [("active", &mut active)])?;
+    let active: usize = active.map_or(Ok(8), str::parse)?;
+
+    let fp = Floorplan::opensparc_3d(8);
+    let grid = ThermalGrid::new(&fp, &GridConfig::default());
+    let physical = r2d3_physical::PhysicalModel::table_iii();
+    let mut p = PowerMap::new(&fp);
+    for layer in (8 - active.clamp(1, 8))..8 {
+        for unit in Unit::ALL {
+            p.add_block(layer, unit, physical.unit_powers_w()[unit.index()]);
+        }
+    }
+    let t = grid.steady_state(&p)?;
+    println!("{} active layers, {:.2} W total", active, p.total());
+    for layer in (0..8).rev() {
+        println!("layer {layer}: avg {:6.1} °C  max {:6.1} °C", t.layer_avg(layer), t.layer_max(layer));
+    }
+    let hottest = t.hottest_layer();
+    let (lo, hi) = (t.layer_avg(0) - 10.0, t.layer_max(hottest));
+    println!("\nhottest layer ({hottest}):");
+    print!("{}", t.render_layer(hottest, lo, hi));
+    Ok(())
+}
+
+/// `r2d3 info`
+pub fn info() -> CliResult {
+    use r2d3_physical::{table, DesignVariant, PhysicalModel};
+    let model = PhysicalModel::table_iii();
+    println!("45 nm SOI physical anchor (paper Table III):");
+    for row in &table::TABLE_III {
+        println!(
+            "  {:4}: {:.3} mm²  {:5.1} mW  crossbar +{:.1} %  checker +{:.2} %  protected {:.0} %",
+            row.unit.name(),
+            row.area_mm2,
+            row.power_mw,
+            row.crossbar_overhead_pct,
+            row.checker_overhead_pct,
+            row.protected_area_pct,
+        );
+    }
+    let d = model.design(DesignVariant::R2d3);
+    println!(
+        "\nR2D3 vs NoRecon: area +{:.1} %, frequency −{:.1} % ({:.3} GHz), power +{:.1} %",
+        100.0 * d.area_overhead,
+        100.0 * d.frequency_overhead,
+        d.frequency_ghz,
+        100.0 * d.power_overhead,
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_string()).collect()
+    }
+
+    #[test]
+    fn flags_and_positionals_separate() {
+        let a = args(&["file.s", "--pipes", "4", "--cycles", "100"]);
+        let (mut pipes, mut cycles) = (None, None);
+        let pos =
+            parse_flags(&a, &mut [("pipes", &mut pipes), ("cycles", &mut cycles)]).unwrap();
+        assert_eq!(pos, vec!["file.s"]);
+        assert_eq!(pipes, Some("4"));
+        assert_eq!(cycles, Some("100"));
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let a = args(&["--bogus", "1"]);
+        let err = parse_flags(&a, &mut []).unwrap_err();
+        assert!(err.contains("bogus"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        let a = args(&["--pipes"]);
+        let mut pipes = None;
+        assert!(parse_flags(&a, &mut [("pipes", &mut pipes)]).is_err());
+    }
+
+    #[test]
+    fn unit_names_parse_case_insensitively() {
+        assert_eq!(parse_unit("exu").unwrap(), Unit::Exu);
+        assert_eq!(parse_unit("LSU").unwrap(), Unit::Lsu);
+        assert!(parse_unit("XYZ").is_err());
+    }
+}

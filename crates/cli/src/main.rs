@@ -1,0 +1,56 @@
+//! `r2d3` — command-line front end for the reproduction.
+//!
+//! ```text
+//! r2d3 run <file.s> [--pipes N] [--cycles N]   assemble + run on the 8-core sim
+//! r2d3 inject <unit> <layer> [--bit B]         fault scenario with the engine
+//! r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per unit
+//! r2d3 lifetime [--policy P] [--months N]      8-year lifetime trajectory
+//! r2d3 thermal [--active N]                    steady-state stack heat map
+//! r2d3 info                                    physical design summary
+//! ```
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("run") => commands::run(&args[1..]),
+        Some("inject") => commands::inject(&args[1..]),
+        Some("atpg") => commands::atpg(&args[1..]),
+        Some("lifetime") => commands::lifetime(&args[1..]),
+        Some("thermal") => commands::thermal(&args[1..]),
+        Some("info") => commands::info(),
+        Some("help") | None => {
+            print_usage();
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n");
+            print_usage();
+            Err("unknown command".into())
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_usage() {
+    println!(
+        "r2d3 — reliability engine for 3D parallel systems (DAC 2020 reproduction)\n\
+         \n\
+         USAGE:\n\
+         \x20 r2d3 run <file.s> [--pipes N] [--cycles N]   assemble and run a program\n\
+         \x20 r2d3 inject <unit> <layer> [--bit B]         inject a fault; watch the engine repair\n\
+         \x20 r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per pipeline unit\n\
+         \x20 r2d3 lifetime [--policy P] [--months N]      lifetime trajectory (P: norecon|static|lite|pro)\n\
+         \x20 r2d3 thermal [--active N]                    steady-state stack temperatures\n\
+         \x20 r2d3 info                                    physical design summary (Table III)\n"
+    );
+}

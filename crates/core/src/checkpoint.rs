@@ -1,0 +1,221 @@
+//! Epoch-committed checkpointing (§III-C / §III-D recovery).
+//!
+//! The paper: "R2D3 controller utilizes a checkpointing mechanism that
+//! creates epochs of execution" and, after repair, "we re-execute the
+//! task, starting either from a checkpoint or the beginning." The commit
+//! rule follows BulletProof's epoch semantics: an epoch's state is only
+//! *committed* as a checkpoint once the epoch-end detection pass found no
+//! symptom — otherwise the corrupted epoch is discarded and recovery
+//! rolls back to the last validated commit.
+
+use r2d3_pipeline_sim::{PipelineCheckpoint, SimError, System3d};
+use serde::{Deserialize, Serialize};
+
+/// Checkpointing parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Commit a checkpoint every `interval_epochs` clean epochs.
+    pub interval_epochs: u64,
+    /// Bookkeeping cost of one commit (cycles; state streams out over
+    /// the vertical buses during normal execution, so this is small).
+    pub save_cost_cycles: u64,
+    /// Cost of a rollback restore (cycles).
+    pub restore_cost_cycles: u64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig { interval_epochs: 4, save_cost_cycles: 64, restore_cost_cycles: 256 }
+    }
+}
+
+/// Recovery accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CheckpointStats {
+    /// Checkpoints committed.
+    pub commits: u64,
+    /// Rollback restores performed.
+    pub restores: u64,
+    /// Full restarts (no committed checkpoint was available).
+    pub restarts: u64,
+    /// Instructions of work discarded by rollbacks/restarts.
+    pub lost_instructions: u64,
+    /// Total bookkeeping cycles (commits + restores).
+    pub overhead_cycles: u64,
+}
+
+/// Per-pipeline checkpoint store with validated-commit semantics.
+#[derive(Debug, Clone, Default)]
+pub struct CheckpointManager {
+    config: CheckpointConfig,
+    slots: Vec<Option<PipelineCheckpoint>>,
+    stats: CheckpointStats,
+}
+
+impl CheckpointManager {
+    /// Creates a manager for `pipelines` slots.
+    #[must_use]
+    pub fn new(config: CheckpointConfig, pipelines: usize) -> Self {
+        CheckpointManager { config, slots: vec![None; pipelines], stats: CheckpointStats::default() }
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.config
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &CheckpointStats {
+        &self.stats
+    }
+
+    /// Whether this epoch index is a commit boundary.
+    #[must_use]
+    pub fn is_commit_epoch(&self, epoch: u64) -> bool {
+        self.config.interval_epochs > 0 && epoch.is_multiple_of(self.config.interval_epochs)
+    }
+
+    /// Commits checkpoints for all pipelines — call only after a clean
+    /// (symptom-free) epoch-end scan.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn commit_all(&mut self, sys: &System3d) -> Result<(), SimError> {
+        for pipe in 0..self.slots.len().min(sys.pipeline_count()) {
+            self.slots[pipe] = Some(sys.checkpoint_pipeline(pipe)?);
+            self.stats.commits += 1;
+            self.stats.overhead_cycles += self.config.save_cost_cycles;
+        }
+        Ok(())
+    }
+
+    /// Recovers one pipeline after repair: rolls back to its last
+    /// committed checkpoint, or restarts the program when none exists.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors.
+    pub fn recover(&mut self, sys: &mut System3d, pipe: usize) -> Result<(), SimError> {
+        let retired_now = sys.pipeline(pipe).map_or(0, |p| p.retired());
+        match &self.slots[pipe] {
+            Some(cp) => {
+                self.stats.lost_instructions +=
+                    retired_now.saturating_sub(cp.retired());
+                self.stats.restores += 1;
+                self.stats.overhead_cycles += self.config.restore_cost_cycles;
+                sys.restore_pipeline(pipe, &cp.clone())?;
+            }
+            None => {
+                self.stats.lost_instructions += retired_now;
+                self.stats.restarts += 1;
+                self.stats.overhead_cycles += self.config.restore_cost_cycles;
+                sys.restart_program(pipe)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Drops a pipeline's committed checkpoint (e.g. when its epoch was
+    /// found corrupted before commit).
+    pub fn invalidate(&mut self, pipe: usize) {
+        if let Some(slot) = self.slots.get_mut(pipe) {
+            *slot = None;
+        }
+    }
+
+    /// Whether a pipeline has a committed checkpoint.
+    #[must_use]
+    pub fn has_checkpoint(&self, pipe: usize) -> bool {
+        self.slots.get(pipe).is_some_and(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d3_isa::kernels::gemv;
+    use r2d3_pipeline_sim::SystemConfig;
+
+    fn loaded_system() -> System3d {
+        let cfg = SystemConfig { pipelines: 2, ..Default::default() };
+        let mut sys = System3d::new(&cfg);
+        for p in 0..2 {
+            sys.load_program(p, gemv(32, 32, p as u64 + 1).program().clone()).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn rollback_restores_committed_state() {
+        let mut sys = loaded_system();
+        let mut mgr = CheckpointManager::new(CheckpointConfig::default(), 2);
+
+        sys.run(5_000).unwrap();
+        let retired_at_commit = sys.pipeline(0).unwrap().retired();
+        mgr.commit_all(&sys).unwrap();
+
+        sys.run(5_000).unwrap();
+        let retired_later = sys.pipeline(0).unwrap().retired();
+        assert!(retired_later > retired_at_commit);
+
+        mgr.recover(&mut sys, 0).unwrap();
+        assert_eq!(sys.pipeline(0).unwrap().retired(), retired_at_commit);
+        assert_eq!(mgr.stats().restores, 1);
+        assert_eq!(mgr.stats().lost_instructions, retired_later - retired_at_commit);
+        // Physical time is not rewound.
+        assert!(sys.pipeline(0).unwrap().cycles() >= 10_000);
+    }
+
+    #[test]
+    fn recover_without_checkpoint_restarts() {
+        let mut sys = loaded_system();
+        let mut mgr = CheckpointManager::new(CheckpointConfig::default(), 2);
+        sys.run(5_000).unwrap();
+        let retired = sys.pipeline(1).unwrap().retired();
+        mgr.recover(&mut sys, 1).unwrap();
+        assert_eq!(sys.pipeline(1).unwrap().retired(), 0);
+        assert_eq!(mgr.stats().restarts, 1);
+        assert_eq!(mgr.stats().lost_instructions, retired);
+    }
+
+    #[test]
+    fn resumed_run_finishes_correctly() {
+        let kernel = gemv(32, 32, 1);
+        let mut sys = loaded_system();
+        let mut mgr = CheckpointManager::new(CheckpointConfig::default(), 2);
+        sys.run(4_000).unwrap();
+        mgr.commit_all(&sys).unwrap();
+        sys.run(4_000).unwrap();
+        mgr.recover(&mut sys, 0).unwrap();
+        sys.run(400_000).unwrap();
+        let p = sys.pipeline(0).unwrap();
+        assert!(p.halted());
+        assert!(kernel.verify(p.memory()), "post-rollback execution must be correct");
+    }
+
+    #[test]
+    fn commit_epochs_follow_interval() {
+        let mgr = CheckpointManager::new(
+            CheckpointConfig { interval_epochs: 3, ..Default::default() },
+            1,
+        );
+        assert!(mgr.is_commit_epoch(0));
+        assert!(!mgr.is_commit_epoch(1));
+        assert!(mgr.is_commit_epoch(3));
+    }
+
+    #[test]
+    fn invalidate_clears_slot() {
+        let mut sys = loaded_system();
+        let mut mgr = CheckpointManager::new(CheckpointConfig::default(), 2);
+        sys.run(1_000).unwrap();
+        mgr.commit_all(&sys).unwrap();
+        assert!(mgr.has_checkpoint(0));
+        mgr.invalidate(0);
+        assert!(!mgr.has_checkpoint(0));
+        assert!(mgr.has_checkpoint(1));
+    }
+}

@@ -1,0 +1,85 @@
+//! Engine configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// R2D3 engine parameters (§III-C and §III-E of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct R2d3Config {
+    /// Epoch length in cycles (`T_epoch`): how often each stage is tested.
+    pub t_epoch: u64,
+    /// Online-test window in cycles (`T_test`): how many recent DUT
+    /// operations the leftover re-executes at each epoch boundary. The
+    /// paper selects 5 k cycles as the coverage/power sweet spot (§V-B).
+    pub t_test: u64,
+    /// Calibration window in cycles (`T_cal`): how often the lifetime
+    /// policies re-evaluate activity indices and rotate leftovers. The
+    /// paper uses 5 ms = 5 M cycles at 1 GHz.
+    pub t_cal: u64,
+    /// Which rotation policy the engine applies at calibration boundaries.
+    pub policy: crate::policy::PolicyKind,
+    /// When no leftover of a unit type exists, temporarily suspend another
+    /// core to provide the redundant stage (paper: "extremely rare"). If
+    /// `false`, the test is skipped for that unit.
+    pub suspend_when_no_leftover: bool,
+    /// Epoch-committed checkpointing for post-repair recovery; `None`
+    /// restarts corrupted programs from the beginning.
+    pub checkpoint: Option<crate::checkpoint::CheckpointConfig>,
+}
+
+impl Default for R2d3Config {
+    fn default() -> Self {
+        R2d3Config {
+            t_epoch: 20_000,
+            t_test: 5_000,
+            t_cal: 5_000_000,
+            policy: crate::policy::PolicyKind::Pro,
+            suspend_when_no_leftover: true,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig::default()),
+        }
+    }
+}
+
+impl R2d3Config {
+    /// Validates parameter consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::EngineError::InvalidConfig`] when `t_test` is zero
+    /// or exceeds `t_epoch`, or when `t_cal < t_epoch`.
+    pub fn validate(&self) -> Result<(), crate::EngineError> {
+        if self.t_test == 0 {
+            return Err(crate::EngineError::InvalidConfig("t_test must be positive".into()));
+        }
+        if self.t_test > self.t_epoch {
+            return Err(crate::EngineError::InvalidConfig(
+                "t_test cannot exceed t_epoch".into(),
+            ));
+        }
+        if self.t_cal < self.t_epoch {
+            return Err(crate::EngineError::InvalidConfig(
+                "t_cal must be at least one epoch".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        R2d3Config::default().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_inconsistent_windows() {
+        let bad = R2d3Config { t_test: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = R2d3Config { t_test: 10, t_epoch: 5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = R2d3Config { t_cal: 10, t_epoch: 100, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+}

@@ -1,0 +1,222 @@
+//! Epoch-boundary concurrent detection.
+//!
+//! §III-C: at the end of each epoch the controller warms up a leftover
+//! stage with the DUT's state and re-executes the last `T_test` cycles of
+//! the DUT's instruction stream in parallel, comparing outputs with the
+//! inter-stage checkers. Detection costs no performance (it runs on
+//! otherwise-idle leftovers); if no leftover of the right unit type
+//! exists, the controller may temporarily suspend another core's stage —
+//! rare, because workloads and thermal limits rarely allow 100 %
+//! utilization.
+
+use crate::checker::{compare_window, Symptom};
+use crate::config::R2d3Config;
+use r2d3_isa::Unit;
+use r2d3_pipeline_sim::{StageId, System3d};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// How the redundant stage for a test was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RedundantSource {
+    /// A genuine leftover (idle functional stage).
+    Leftover,
+    /// Another core's stage, temporarily suspended for the test.
+    SuspendedCore {
+        /// The pipeline whose stage was borrowed.
+        pipe: usize,
+    },
+}
+
+/// One positive detection from an epoch scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Pipeline whose stage was under test.
+    pub pipe: usize,
+    /// Unit type tested.
+    pub unit: Unit,
+    /// The design-under-test stage.
+    pub dut: StageId,
+    /// The redundant stage that re-executed the window.
+    pub redundant: StageId,
+    /// Where the redundant stage came from.
+    pub source: RedundantSource,
+    /// The disagreeing record.
+    pub symptom: Symptom,
+}
+
+/// Scans every mapped stage of every pipeline at an epoch boundary.
+///
+/// Returns all symptoms found. Stages already believed faulty are skipped
+/// (they should no longer be mapped); tests without any available
+/// redundant stage are skipped when the config forbids suspension.
+///
+/// `salt` (typically the epoch counter) rotates which leftover serves
+/// each test, so every spare stage is exercised — and therefore itself
+/// checked — over successive epochs.
+#[must_use]
+pub fn epoch_scan(
+    sys: &System3d,
+    config: &R2d3Config,
+    believed_faulty: &HashSet<StageId>,
+    salt: u64,
+) -> Vec<Detection> {
+    let mut detections = Vec::new();
+    let leftovers = sys.leftovers();
+
+    for pipe in 0..sys.pipeline_count() {
+        for unit in Unit::ALL {
+            let Some(dut) = sys.fabric().stage_for(pipe, unit) else {
+                continue;
+            };
+            if believed_faulty.contains(&dut) {
+                continue;
+            }
+            let Some((redundant, source)) =
+                pick_redundant(sys, pipe, unit, dut, &leftovers, believed_faulty, config, salt)
+            else {
+                continue;
+            };
+
+            let window = sys.stage_trace(dut).last(config.t_test as usize);
+            if window.is_empty() {
+                continue;
+            }
+            let redundant_effect = sys.health(redundant).effect();
+            if let Some(symptom) = compare_window(&window, redundant_effect) {
+                detections.push(Detection { pipe, unit, dut, redundant, source, symptom });
+            }
+        }
+    }
+    detections
+}
+
+/// Chooses the redundant stage for a test: a believed-healthy leftover of
+/// the same unit (rotated by `salt` so all spares get exercised), else
+/// (if allowed) the same unit of the next pipeline.
+#[allow(clippy::too_many_arguments)]
+fn pick_redundant(
+    sys: &System3d,
+    pipe: usize,
+    unit: Unit,
+    dut: StageId,
+    leftovers: &[StageId],
+    believed_faulty: &HashSet<StageId>,
+    config: &R2d3Config,
+    salt: u64,
+) -> Option<(StageId, RedundantSource)> {
+    let candidates: Vec<StageId> = leftovers
+        .iter()
+        .copied()
+        .filter(|s| s.unit == unit && !believed_faulty.contains(s))
+        .collect();
+    if !candidates.is_empty() {
+        let idx = (salt as usize + dut.layer) % candidates.len();
+        return Some((candidates[idx], RedundantSource::Leftover));
+    }
+    if !config.suspend_when_no_leftover {
+        return None;
+    }
+    // Borrow the same unit from another pipeline (the paper's rare
+    // suspension path).
+    let n = sys.pipeline_count();
+    for step in 1..n {
+        let other = (pipe + step) % n;
+        if let Some(s) = sys.fabric().stage_for(other, unit) {
+            if s != dut && !believed_faulty.contains(&s) {
+                return Some((s, RedundantSource::SuspendedCore { pipe: other }));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d3_isa::kernels::gemv;
+    use r2d3_pipeline_sim::{FaultEffect, SystemConfig};
+
+    fn system_with_kernel(pipelines: usize) -> System3d {
+        let config = SystemConfig { pipelines, ..Default::default() };
+        let mut sys = System3d::new(&config);
+        for p in 0..pipelines {
+            sys.load_program(p, gemv(12, 12, p as u64 + 1).program().clone()).unwrap();
+        }
+        sys
+    }
+
+    #[test]
+    fn healthy_system_has_no_detections() {
+        let mut sys = system_with_kernel(6);
+        sys.run(20_000).unwrap();
+        let d = epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), 0);
+        assert!(d.is_empty(), "false positives: {d:?}");
+    }
+
+    #[test]
+    fn faulty_exu_is_detected() {
+        let mut sys = system_with_kernel(6);
+        sys.inject_fault(StageId::new(1, Unit::Exu), FaultEffect { bit: 0, stuck: true })
+            .unwrap();
+        sys.run(20_000).unwrap();
+        let d = epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), 0);
+        assert!(
+            d.iter().any(|x| x.dut == StageId::new(1, Unit::Exu)),
+            "EXU fault missed: {d:?}"
+        );
+    }
+
+    #[test]
+    fn faulty_leftover_fires_too() {
+        // Fault in a *leftover* stage is caught when it serves as the
+        // redundant side of a comparison.
+        let mut sys = system_with_kernel(6);
+        sys.inject_fault(StageId::new(7, Unit::Exu), FaultEffect { bit: 0, stuck: true })
+            .unwrap();
+        sys.run(20_000).unwrap();
+        // The salt rotates which leftover serves; within two epochs the
+        // faulty spare at layer 7 must have been exercised.
+        let hit = (0..2).any(|salt| {
+            epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), salt)
+                .iter()
+                .any(|x| x.redundant == StageId::new(7, Unit::Exu))
+        });
+        assert!(hit, "leftover fault missed");
+    }
+
+    #[test]
+    fn full_stack_uses_suspension() {
+        // 8 pipelines on 8 layers: no leftovers, so detection must borrow
+        // a stage from another core when allowed.
+        let mut sys = system_with_kernel(8);
+        sys.inject_fault(StageId::new(0, Unit::Lsu), FaultEffect { bit: 1, stuck: true })
+            .unwrap();
+        sys.run(20_000).unwrap();
+        let d = epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), 0);
+        let hit = d.iter().find(|x| x.dut == StageId::new(0, Unit::Lsu));
+        let hit = hit.expect("suspension path must detect the LSU fault");
+        assert!(matches!(hit.source, RedundantSource::SuspendedCore { .. }));
+
+        // With suspension disabled and no leftovers, nothing is tested.
+        let no_suspend =
+            R2d3Config { suspend_when_no_leftover: false, ..Default::default() };
+        let d = epoch_scan(&sys, &no_suspend, &HashSet::new(), 0);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn nonmanifesting_fault_stays_hidden() {
+        // SA1 on bit 31 of the EXU: GEMV index arithmetic never sets bit
+        // 31, and a stuck bit that never changes an actual output cannot
+        // be seen by any comparison.
+        let mut sys = system_with_kernel(6);
+        sys.inject_fault(StageId::new(1, Unit::Tlu), FaultEffect { bit: 7, stuck: true })
+            .unwrap();
+        sys.run(20_000).unwrap();
+        let d = epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), 0);
+        // GEMV has no traps, so the TLU never produced a record: no
+        // detection is possible (and none should be fabricated).
+        assert!(d.iter().all(|x| x.dut != StageId::new(1, Unit::Tlu)));
+    }
+}

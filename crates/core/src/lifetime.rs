@@ -1,0 +1,771 @@
+//! The 8-year lifetime co-simulation (paper §V-C, Figs. 5 and 6).
+//!
+//! Couples, on a monthly timestep, the pieces the paper's divide-and-
+//! conquer methodology chains: the policy's duty assignment → the power
+//! map → a HotSpot-style steady-state thermal solve → NBTI ΔVth
+//! accumulation → stochastic permanent-fault arrival → pipeline
+//! re-formation (repair) → throughput. Each monthly state also yields a
+//! forward Monte-Carlo MTTF estimate (Fig. 5(b)) from the instantaneous
+//! per-stage hazard rates.
+//!
+//! The cycle-level simulator is *not* stepped inside this loop (8 years
+//! ≈ 2.5 × 10¹⁷ cycles); instead, per-workload IPC and occupancy come
+//! from short cycle-level measurements (see
+//! [`crate::report::measure_kernel_profile`]), exactly the two-timescale
+//! split the paper uses between gem5 runs and the reliability evaluation.
+
+use crate::activity::{alpha_from_temperature, pro_layer_weights, weighted_fill};
+use crate::policy::PolicyKind;
+use crate::repair::{core_level_formable, stage_level_formable};
+use crate::EngineError;
+use r2d3_aging::mttf::{mttf_monte_carlo, MttfConfig};
+use r2d3_aging::nbti::{NbtiModel, NbtiParams, NbtiState};
+use r2d3_aging::{kelvin, BOLTZMANN_EV, SECONDS_PER_MONTH};
+use r2d3_isa::Unit;
+use r2d3_physical::{DesignVariant, PhysicalModel};
+use r2d3_pipeline_sim::StageId;
+use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which system-failure criterion the forward-MTTF Monte Carlo uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MttfCriterion {
+    /// System fails when no complete logical pipeline can be formed
+    /// (total loss). Produces the paper's declining Fig. 5(b) shape.
+    TotalLoss,
+    /// System fails at the next *service-degrading* fault: when
+    /// deliverable capacity `min(formable, wanted)` drops below its
+    /// current value (ablation variant).
+    ServiceLevel,
+}
+
+/// Hard-fault arrival model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReliabilityParams {
+    /// Baseline per-stage hard-fault rate (per month) at the reference
+    /// temperature with a fresh device.
+    pub base_rate_per_month: f64,
+    /// Arrhenius activation energy (eV) of the hard-fault mechanisms.
+    pub fault_ea_ev: f64,
+    /// Reference temperature (°C) for the baseline rate.
+    pub ref_temp_c: f64,
+    /// ΔVth acceleration: rate multiplies by `exp(ΔVth / scale)`.
+    pub vth_accel_scale: f64,
+    /// Extra duty leftovers carry from online testing (the paper accounts
+    /// the "additional NBTI-based wearout of using leftovers for
+    /// detection" — §III-C).
+    pub detection_duty: f64,
+    /// Also include the JEP122 mechanisms (EM, TDDB, HCI) in the
+    /// per-stage hazard, beyond the NBTI-driven term. Off by default:
+    /// the paper optimizes for NBTI and the calibration targets its
+    /// numbers; the ablation bench flips this on.
+    pub jep122: bool,
+}
+
+impl Default for ReliabilityParams {
+    fn default() -> Self {
+        ReliabilityParams {
+            base_rate_per_month: 0.0045,
+            fault_ea_ev: 0.35,
+            ref_temp_c: 90.0,
+            vth_accel_scale: 0.03,
+            detection_duty: 0.05,
+            jep122: false,
+        }
+    }
+}
+
+/// Configuration of one lifetime run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeConfig {
+    /// Policy under evaluation.
+    pub policy: PolicyKind,
+    /// Months simulated (the paper evaluates 8 years = 96 months).
+    pub months: usize,
+    /// Tiers in the stack.
+    pub layers: usize,
+    /// Logical pipelines at full health.
+    pub pipelines: usize,
+    /// Fraction of the pipelines the workload wants busy
+    /// ([`r2d3_isa::kernels::KernelKind::core_demand_fraction`]).
+    pub demand: f64,
+    /// Relative switching-activity weight of the workload.
+    pub activity_weight: f64,
+    /// Monte-Carlo replicas of the whole trajectory (fault arrival varies).
+    pub replicas: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Fault-arrival model.
+    pub reliability: ReliabilityParams,
+    /// NBTI model parameters.
+    pub nbti: NbtiParams,
+    /// Forward-MTTF Monte-Carlo trials per recorded month.
+    pub mttf_trials: usize,
+    /// Thermal grid configuration.
+    pub grid: GridConfig,
+    /// Temperature sensitivity θ (°C) of Pro's α prediction.
+    pub alpha_theta: f64,
+    /// Use runtime-measured temperatures for Pro's activity factors
+    /// instead of the paper's offline steady-state-temperature method.
+    pub pro_runtime_temps: bool,
+    /// System-failure criterion for the forward-MTTF estimate.
+    pub mttf_criterion: MttfCriterion,
+}
+
+impl LifetimeConfig {
+    /// Default 8-year configuration for a policy and workload demand.
+    #[must_use]
+    pub fn new(policy: PolicyKind, demand: f64, activity_weight: f64) -> Self {
+        LifetimeConfig {
+            policy,
+            months: 96,
+            layers: 8,
+            pipelines: 8,
+            demand,
+            activity_weight,
+            replicas: 12,
+            seed: 0x52D3,
+            reliability: ReliabilityParams::default(),
+            nbti: NbtiParams::default(),
+            mttf_trials: 300,
+            grid: GridConfig::default(),
+            alpha_theta: 18.0,
+            pro_runtime_temps: false,
+            mttf_criterion: MttfCriterion::TotalLoss,
+        }
+    }
+}
+
+/// Time series produced by the lifetime simulation (replica-averaged).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct LifetimeSeries {
+    /// Month index of each sample.
+    pub months: Vec<f64>,
+    /// Mean ΔVth (V) over stages currently carrying duty (in-service
+    /// wear; can dip when load shifts to fresher stages after a fault).
+    pub mean_vth: Vec<f64>,
+    /// Max ΔVth (V) over *all* stages, dead or alive — the system's
+    /// accumulated degradation (Fig. 5(a) metric; monotone).
+    pub max_vth: Vec<f64>,
+    /// Forward MTTF estimate in months (Fig. 5(b)).
+    pub mttf_months: Vec<f64>,
+    /// Throughput normalized to the fresh NoRecon system (Fig. 5(c)).
+    pub norm_ipc: Vec<f64>,
+    /// Active (formed and demanded) pipelines.
+    pub active_pipelines: Vec<f64>,
+    /// Average temperature of the hottest layer (°C, Fig. 6 headline).
+    pub hottest_layer_temp: Vec<f64>,
+}
+
+/// Result of a lifetime run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeOutcome {
+    /// Policy evaluated.
+    pub policy: PolicyKind,
+    /// Replica-averaged series.
+    pub series: LifetimeSeries,
+    /// Month-0 temperature map of the hottest layer (Fig. 6), row-major
+    /// `grid.ny × grid.nx` cells in °C.
+    pub initial_hot_layer_map: Vec<f64>,
+    /// Grid width of the map.
+    pub map_nx: usize,
+    /// Grid height of the map.
+    pub map_ny: usize,
+}
+
+/// Final-month per-stage state of the last replica run (debug aid).
+#[doc(hidden)]
+#[derive(Debug, Clone, Default)]
+pub struct ReplicaDebug {
+    /// ΔVth per stage (flat index).
+    pub wear: Vec<f64>,
+    /// Duty per stage.
+    pub duty: Vec<f64>,
+    /// Temperature per stage (°C).
+    pub temps: Vec<f64>,
+}
+
+/// The lifetime co-simulation driver.
+#[derive(Debug)]
+pub struct LifetimeSim {
+    config: LifetimeConfig,
+    physical: PhysicalModel,
+    debug: std::cell::RefCell<Option<ReplicaDebug>>,
+}
+
+impl LifetimeSim {
+    /// Creates a simulation from a configuration (physical model defaults
+    /// to the paper's Table III anchor).
+    #[must_use]
+    pub fn new(config: LifetimeConfig) -> Self {
+        LifetimeSim {
+            config,
+            physical: PhysicalModel::table_iii(),
+            debug: std::cell::RefCell::new(None),
+        }
+    }
+
+    /// Final-month per-stage wear/duty/temps of the last replica run.
+    #[doc(hidden)]
+    pub fn take_debug(&self) -> Option<ReplicaDebug> {
+        self.debug.borrow_mut().take()
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &LifetimeConfig {
+        &self.config
+    }
+
+    /// Runs all replicas and returns the averaged outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Thermal`] if a thermal solve fails.
+    pub fn run(&self) -> Result<LifetimeOutcome, EngineError> {
+        let cfg = &self.config;
+        let floorplan = Floorplan::opensparc_3d(cfg.layers);
+        let grid = ThermalGrid::new(&floorplan, &cfg.grid);
+        let mut cache: HashMap<Vec<u16>, Vec<f64>> = HashMap::new();
+
+        let mut acc = LifetimeSeries::default();
+        let mut map = Vec::new();
+        for replica in 0..cfg.replicas {
+            let (series, hot_map) =
+                self.run_replica(replica, &grid, &mut cache)?;
+            accumulate(&mut acc, &series, cfg.replicas as f64);
+            if replica == 0 {
+                map = hot_map;
+            }
+        }
+
+        Ok(LifetimeOutcome {
+            policy: cfg.policy,
+            series: acc,
+            initial_hot_layer_map: map,
+            map_nx: cfg.grid.nx,
+            map_ny: cfg.grid.ny,
+        })
+    }
+
+    /// One full 8-year trajectory.
+    #[allow(clippy::too_many_lines)]
+    fn run_replica(
+        &self,
+        replica: usize,
+        grid: &ThermalGrid,
+        cache: &mut HashMap<Vec<u16>, Vec<f64>>,
+    ) -> Result<(LifetimeSeries, Vec<f64>), EngineError> {
+        let cfg = &self.config;
+        let nstages = cfg.layers * Unit::COUNT;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (replica as u64).wrapping_mul(0x9e37));
+        let nbti = NbtiModel::new(cfg.nbti);
+        let rel = &cfg.reliability;
+
+        let mut alive = vec![true; nstages];
+        let mut wear = vec![NbtiState::new(); nstages];
+        let mut last_temps: Vec<f64> = initial_temp_guess(cfg.layers);
+        let mut series = LifetimeSeries::default();
+        let mut hot_map_month0: Vec<f64> = Vec::new();
+
+        let mut debug_final: Option<ReplicaDebug> = None;
+        let wanted = ((cfg.demand * cfg.pipelines as f64).round() as usize).max(1);
+        let freq_factor = self.frequency_factor();
+        let power_factor = self.power_factor();
+        let unit_w = self.physical.unit_powers_w();
+        let uncore_w = self.physical.uncore_power_w();
+
+        for month in 0..cfg.months {
+            // --- formation + duty assignment ---------------------------
+            let alive_c = alive.clone();
+            let usable = move |s: StageId| alive_c[s.flat_index()];
+            let formable = match cfg.policy {
+                PolicyKind::NoRecon => core_level_formable(cfg.layers, &usable),
+                _ => stage_level_formable(cfg.layers, &usable),
+            };
+            let active = formable.min(wanted);
+            let duty = self.assign_duty(&alive, &last_temps, active, month);
+
+            // --- power map + thermal solve ------------------------------
+            let temps = self.solve_temps(grid, &duty, &unit_w, uncore_w, power_factor, cache)?;
+            if month == 0 {
+                hot_map_month0 = hottest_layer_map(grid, &duty, &unit_w, uncore_w, power_factor)?;
+            }
+
+            // --- aging ---------------------------------------------------
+            for s in 0..nstages {
+                if alive[s] {
+                    nbti.advance(&mut wear[s], duty[s], temps[s], SECONDS_PER_MONTH);
+                }
+            }
+
+            // --- metrics -------------------------------------------------
+            let used: Vec<usize> = (0..nstages).filter(|&s| duty[s] > 0.02).collect();
+            let mean_vth = if used.is_empty() {
+                0.0
+            } else {
+                used.iter().map(|&s| wear[s].vth_shift()).sum::<f64>() / used.len() as f64
+            };
+            let max_vth = wear.iter().map(NbtiState::vth_shift).fold(0.0f64, f64::max);
+
+            let rates: Vec<f64> = (0..nstages)
+                .map(|s| {
+                    if alive[s] {
+                        self.hazard_rate(rel, temps[s], duty[s], wear[s].vth_shift())
+                    } else {
+                        0.0
+                    }
+                })
+                .collect();
+
+            let mttf = self.forward_mttf(&alive, &rates, wanted, month as u64);
+            let norm_ipc = active as f64 / wanted as f64 * freq_factor;
+            let hottest = (0..cfg.layers)
+                .map(|l| layer_mean(&temps, l))
+                .fold(f64::NEG_INFINITY, f64::max);
+
+            series.months.push(month as f64);
+            series.mean_vth.push(mean_vth);
+            series.max_vth.push(max_vth);
+            series.mttf_months.push(mttf);
+            series.norm_ipc.push(norm_ipc);
+            series.active_pipelines.push(active as f64);
+            series.hottest_layer_temp.push(hottest);
+
+            if month + 1 == cfg.months {
+                debug_final = Some(ReplicaDebug {
+                    wear: wear.iter().map(NbtiState::vth_shift).collect(),
+                    duty: duty.clone(),
+                    temps: temps.clone(),
+                });
+            }
+
+            // --- stochastic fault arrival for next month -----------------
+            for s in 0..nstages {
+                if alive[s] {
+                    let p = 1.0 - (-rates[s]).exp();
+                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                        alive[s] = false;
+                    }
+                }
+            }
+            last_temps = temps;
+        }
+
+        *self.debug.borrow_mut() = debug_final;
+        Ok((series, hot_map_month0))
+    }
+
+    /// Per-stage duty assignment for the month, per policy.
+    fn assign_duty(
+        &self,
+        alive: &[bool],
+        last_temps: &[f64],
+        active: usize,
+        month: usize,
+    ) -> Vec<f64> {
+        let cfg = &self.config;
+        let nstages = cfg.layers * Unit::COUNT;
+        let mut duty = vec![0.0f64; nstages];
+
+        // The thermally-unaware baselines fill cores from the tier
+        // *farthest* from the heat sink: the stack's I/O lands on the top
+        // tier (the controller occupies the sink-side tier, §III-A), so a
+        // naive allocator enumerates cores top-down. This reproduces the
+        // paper's observed Static behaviour — its Fig. 6 map shows the
+        // far-from-sink layer fully loaded and hot.
+        match cfg.policy {
+            PolicyKind::NoRecon => {
+                // Top-down fully-healthy layers serve at full duty.
+                let mut taken = 0;
+                for layer in (0..cfg.layers).rev() {
+                    if taken == active {
+                        break;
+                    }
+                    if Unit::ALL.iter().all(|&u| alive[StageId::new(layer, u).flat_index()]) {
+                        for u in Unit::ALL {
+                            duty[StageId::new(layer, u).flat_index()] = 1.0;
+                        }
+                        taken += 1;
+                    }
+                }
+            }
+            PolicyKind::Static => {
+                // Stage-level salvaging, but with the same top-down,
+                // thermally-unaware preference as NoRecon.
+                for u in Unit::ALL {
+                    let mut healthy: Vec<usize> = (0..cfg.layers)
+                        .filter(|&l| alive[StageId::new(l, u).flat_index()])
+                        .collect();
+                    healthy.reverse();
+                    for &l in healthy.iter().take(active) {
+                        duty[StageId::new(l, u).flat_index()] = 1.0;
+                    }
+                }
+            }
+            PolicyKind::Lite => {
+                // Round-robin over the calibration window: every healthy
+                // stage of a unit carries an equal share of the demand.
+                for u in Unit::ALL {
+                    let healthy: Vec<usize> = (0..cfg.layers)
+                        .filter(|&l| alive[StageId::new(l, u).flat_index()])
+                        .collect();
+                    if healthy.is_empty() {
+                        continue;
+                    }
+                    let share = (active as f64 / healthy.len() as f64).min(1.0);
+                    for l in healthy {
+                        duty[StageId::new(l, u).flat_index()] = share;
+                    }
+                }
+                let _ = month;
+            }
+            PolicyKind::Pro => {
+                // Eq. 1: duty follows the temperature-predicted activity
+                // indices, clamped and water-filled to preserve the total.
+                for u in Unit::ALL {
+                    let healthy: Vec<usize> = (0..cfg.layers)
+                        .filter(|&l| alive[StageId::new(l, u).flat_index()])
+                        .collect();
+                    if healthy.is_empty() {
+                        continue;
+                    }
+                    // The paper: "Activity factors can either be
+                    // determined offline based on the steady state
+                    // temperature of cores for typical workloads
+                    // (implicitly based on the location of cores), or at
+                    // runtime based on the temperature and wear-out
+                    // history. In this work, we use the steady state
+                    // temperature method." The offline layer weights are
+                    // that method; the runtime variant feeds measured
+                    // block temperatures through Eq. 1 instead.
+                    let alphas: Vec<f64> = if cfg.pro_runtime_temps && month > 0 {
+                        let temps: Vec<f64> = healthy
+                            .iter()
+                            .map(|&l| last_temps[StageId::new(l, u).flat_index()])
+                            .collect();
+                        alpha_from_temperature(&temps, cfg.alpha_theta)
+                    } else {
+                        let w = pro_layer_weights(cfg.layers);
+                        healthy.iter().map(|&l| w[l]).collect()
+                    };
+                    let shares = weighted_fill(&alphas, active as f64);
+                    for (&l, &share) in healthy.iter().zip(&shares) {
+                        duty[StageId::new(l, u).flat_index()] = share;
+                    }
+                }
+            }
+        }
+
+        // Detection wearout: leftovers of repair-capable policies carry
+        // the online-test duty.
+        if cfg.policy.rotates() {
+            for s in 0..nstages {
+                if alive[s] && duty[s] == 0.0 {
+                    duty[s] = cfg.reliability.detection_duty;
+                }
+            }
+        }
+        duty
+    }
+
+    /// Thermal solve for a duty vector, with caching (duty patterns repeat
+    /// until the fault map changes).
+    fn solve_temps(
+        &self,
+        grid: &ThermalGrid,
+        duty: &[f64],
+        unit_w: &[f64; 5],
+        uncore_w: f64,
+        power_factor: f64,
+        cache: &mut HashMap<Vec<u16>, Vec<f64>>,
+    ) -> Result<Vec<f64>, EngineError> {
+        let key: Vec<u16> = duty.iter().map(|d| (d * 256.0).round() as u16).collect();
+        if let Some(t) = cache.get(&key) {
+            return Ok(t.clone());
+        }
+        let field = grid
+            .steady_state(&self.power_map(grid, duty, unit_w, uncore_w, power_factor))?;
+        let cfg = &self.config;
+        let mut temps = vec![0.0; cfg.layers * Unit::COUNT];
+        for s in StageId::all(cfg.layers) {
+            temps[s.flat_index()] = field
+                .block_avg(r2d3_thermal::BlockId { layer: s.layer, unit: s.unit })
+                .map_err(EngineError::Thermal)?;
+        }
+        cache.insert(key, temps.clone());
+        Ok(temps)
+    }
+
+    fn power_map(
+        &self,
+        grid: &ThermalGrid,
+        duty: &[f64],
+        unit_w: &[f64; 5],
+        uncore_w: f64,
+        power_factor: f64,
+    ) -> PowerMap {
+        let cfg = &self.config;
+        let fp = Floorplan::opensparc_3d(cfg.layers);
+        let mut p = PowerMap::new(&fp);
+        let _ = grid;
+        for s in StageId::all(cfg.layers) {
+            let d = duty[s.flat_index()];
+            let watts =
+                unit_w[s.unit.index()] * d * cfg.activity_weight * power_factor;
+            p.add_block(s.layer, s.unit, watts);
+        }
+        // Uncore power scales with the layer's mean duty.
+        for layer in 0..cfg.layers {
+            let mean: f64 = Unit::ALL
+                .iter()
+                .map(|&u| duty[StageId::new(layer, u).flat_index()])
+                .sum::<f64>()
+                / Unit::COUNT as f64;
+            // Spread uncore power over the layer's five blocks pro rata
+            // by area (add_block accumulates onto unit blocks).
+            for u in Unit::ALL {
+                let frac = r2d3_thermal::grid::UNIT_AREA_MM2[u.index()]
+                    / r2d3_thermal::grid::UNIT_AREA_MM2.iter().sum::<f64>();
+                p.add_block(layer, u, uncore_w * mean * cfg.activity_weight * frac);
+            }
+        }
+        p
+    }
+
+    /// Instantaneous per-stage hazard rate (per month).
+    fn hazard_rate(&self, rel: &ReliabilityParams, temp_c: f64, duty: f64, vth: f64) -> f64 {
+        let arrhenius = (rel.fault_ea_ev / BOLTZMANN_EV
+            * (1.0 / kelvin(rel.ref_temp_c) - 1.0 / kelvin(temp_c)))
+        .exp();
+        let mut rate = rel.base_rate_per_month * arrhenius * (vth / rel.vth_accel_scale).exp();
+        if rel.jep122 {
+            // Competing risks: add the JEP122 mechanisms at this stage's
+            // operating point. Current density and switching activity
+            // scale with duty; the oxide field is nominal.
+            let op = r2d3_aging::jep122::OperatingPoint {
+                temp_c,
+                j_rel: duty.max(0.05),
+                activity: (duty * self.config.activity_weight).max(0.05),
+                ..Default::default()
+            };
+            let composite = r2d3_aging::jep122::CompositeModel::default();
+            let hours_per_month = SECONDS_PER_MONTH / 3600.0;
+            rate += composite.rate_per_hour(&op) * hours_per_month;
+        }
+        rate
+    }
+
+    /// Forward MTTF (months) from the current state via Monte Carlo.
+    ///
+    /// See [`MttfCriterion`] for the failure definition.
+    fn forward_mttf(&self, alive: &[bool], rates: &[f64], wanted: usize, salt: u64) -> f64 {
+        let cfg = &self.config;
+        let layers = cfg.layers;
+        let policy = cfg.policy;
+        let criterion = cfg.mttf_criterion;
+        let base_alive = alive.to_vec();
+        let formable_of = move |ok: &dyn Fn(StageId) -> bool| match policy {
+            PolicyKind::NoRecon => core_level_formable(layers, ok),
+            _ => stage_level_formable(layers, ok),
+        };
+        let alive_now = base_alive.clone();
+        let level_now = match criterion {
+            MttfCriterion::TotalLoss => 1,
+            MttfCriterion::ServiceLevel => {
+                formable_of(&move |s: StageId| alive_now[s.flat_index()]).min(wanted)
+            }
+        };
+        if level_now == 0 {
+            return 0.0;
+        }
+        let predicate = move |mask: &[bool]| {
+            let ok = |s: StageId| base_alive[s.flat_index()] && mask[s.flat_index()];
+            formable_of(&ok).min(wanted) >= level_now
+        };
+        let mc = MttfConfig {
+            trials: cfg.mttf_trials,
+            seed: cfg.seed ^ salt.wrapping_mul(0x517c_c1b7),
+            survivor_horizon: 1e9,
+        };
+        mttf_monte_carlo(rates, predicate, &mc)
+    }
+
+    fn frequency_factor(&self) -> f64 {
+        let variant = if self.config.policy.has_fabric() {
+            DesignVariant::R2d3
+        } else {
+            DesignVariant::NoRecon
+        };
+        self.physical.design(variant).frequency_ghz / self.physical.nominal_ghz
+    }
+
+    fn power_factor(&self) -> f64 {
+        if self.config.policy.has_fabric() {
+            1.0 + self.physical.power_overhead
+        } else {
+            1.0
+        }
+    }
+}
+
+fn initial_temp_guess(layers: usize) -> Vec<f64> {
+    // Warmer with layer distance from the sink; refined after month 0.
+    StageId::all(layers).map(|s| 90.0 + 5.0 * s.layer as f64).collect()
+}
+
+fn layer_mean(temps: &[f64], layer: usize) -> f64 {
+    let base = layer * Unit::COUNT;
+    temps[base..base + Unit::COUNT].iter().sum::<f64>() / Unit::COUNT as f64
+}
+
+fn accumulate(acc: &mut LifetimeSeries, one: &LifetimeSeries, replicas: f64) {
+    let w = 1.0 / replicas;
+    if acc.months.is_empty() {
+        acc.months = one.months.clone();
+        acc.mean_vth = vec![0.0; one.months.len()];
+        acc.max_vth = vec![0.0; one.months.len()];
+        acc.mttf_months = vec![0.0; one.months.len()];
+        acc.norm_ipc = vec![0.0; one.months.len()];
+        acc.active_pipelines = vec![0.0; one.months.len()];
+        acc.hottest_layer_temp = vec![0.0; one.months.len()];
+    }
+    for i in 0..one.months.len() {
+        acc.mean_vth[i] += one.mean_vth[i] * w;
+        acc.max_vth[i] += one.max_vth[i] * w;
+        acc.mttf_months[i] += one.mttf_months[i] * w;
+        acc.norm_ipc[i] += one.norm_ipc[i] * w;
+        acc.active_pipelines[i] += one.active_pipelines[i] * w;
+        acc.hottest_layer_temp[i] += one.hottest_layer_temp[i] * w;
+    }
+}
+
+/// Solves the month-0 thermal map and extracts the hottest layer's cells.
+fn hottest_layer_map(
+    grid: &ThermalGrid,
+    duty: &[f64],
+    unit_w: &[f64; 5],
+    uncore_w: f64,
+    power_factor: f64,
+) -> Result<Vec<f64>, EngineError> {
+    let layers = grid.layers();
+    let fp = Floorplan::opensparc_3d(layers);
+    let mut p = PowerMap::new(&fp);
+    for s in StageId::all(layers) {
+        let watts = unit_w[s.unit.index()] * duty[s.flat_index()] * power_factor;
+        p.add_block(s.layer, s.unit, watts);
+    }
+    for layer in 0..layers {
+        let mean: f64 = Unit::ALL
+            .iter()
+            .map(|&u| duty[StageId::new(layer, u).flat_index()])
+            .sum::<f64>()
+            / Unit::COUNT as f64;
+        for u in Unit::ALL {
+            let frac = r2d3_thermal::grid::UNIT_AREA_MM2[u.index()]
+                / r2d3_thermal::grid::UNIT_AREA_MM2.iter().sum::<f64>();
+            p.add_block(layer, u, uncore_w * mean * frac);
+        }
+    }
+    let field = grid.steady_state(&p)?;
+    let hot = field.hottest_layer();
+    let per = grid.nx() * grid.ny();
+    Ok(field.cells()[hot * per..(hot + 1) * per].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config(policy: PolicyKind) -> LifetimeConfig {
+        LifetimeConfig {
+            months: 24,
+            replicas: 3,
+            mttf_trials: 60,
+            grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
+            ..LifetimeConfig::new(policy, 0.75, 0.85)
+        }
+    }
+
+    #[test]
+    fn series_has_expected_length() {
+        let out = LifetimeSim::new(quick_config(PolicyKind::Static)).run().unwrap();
+        assert_eq!(out.series.months.len(), 24);
+        assert_eq!(out.initial_hot_layer_map.len(), 8 * 6);
+    }
+
+    #[test]
+    fn vth_grows_monotonically() {
+        let out = LifetimeSim::new(quick_config(PolicyKind::NoRecon)).run().unwrap();
+        for w in out.series.max_vth.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "max ΔVth decreased: {w:?}");
+        }
+        assert!(out.series.max_vth.last().unwrap() > &0.01);
+    }
+
+    #[test]
+    fn pro_ages_slower_than_norecon() {
+        // Disable fault noise for a clean aging comparison.
+        let mut pro_cfg = quick_config(PolicyKind::Pro);
+        pro_cfg.reliability.base_rate_per_month = 0.0;
+        let mut base_cfg = quick_config(PolicyKind::NoRecon);
+        base_cfg.reliability.base_rate_per_month = 0.0;
+        let pro = LifetimeSim::new(pro_cfg).run().unwrap();
+        let base = LifetimeSim::new(base_cfg).run().unwrap();
+        let pro_final = *pro.series.max_vth.last().unwrap();
+        let base_final = *base.series.max_vth.last().unwrap();
+        assert!(
+            pro_final < base_final,
+            "Pro ΔVth {pro_final:.4} should be below NoRecon {base_final:.4}"
+        );
+    }
+
+    #[test]
+    fn repairing_policies_sustain_more_throughput() {
+        let mut cfg_static = quick_config(PolicyKind::Static);
+        let mut cfg_norecon = quick_config(PolicyKind::NoRecon);
+        // Accelerate failures so the 24-month window shows attrition.
+        cfg_static.reliability.base_rate_per_month = 0.02;
+        cfg_norecon.reliability.base_rate_per_month = 0.02;
+        let st = LifetimeSim::new(cfg_static).run().unwrap();
+        let nr = LifetimeSim::new(cfg_norecon).run().unwrap();
+        let st_final = *st.series.active_pipelines.last().unwrap();
+        let nr_final = *nr.series.active_pipelines.last().unwrap();
+        assert!(
+            st_final >= nr_final,
+            "stage-level repair ({st_final:.2}) must keep at least as many pipelines as core-level loss ({nr_final:.2})"
+        );
+    }
+
+    #[test]
+    fn jep122_mechanisms_lower_mttf() {
+        let base = quick_config(PolicyKind::Pro);
+        let mut multi = base.clone();
+        multi.reliability.jep122 = true;
+        let a = LifetimeSim::new(base).run().unwrap();
+        let b = LifetimeSim::new(multi).run().unwrap();
+        assert!(
+            b.series.mttf_months[0] < a.series.mttf_months[0],
+            "adding mechanisms must lower MTTF: {} vs {}",
+            b.series.mttf_months[0],
+            a.series.mttf_months[0]
+        );
+    }
+
+    #[test]
+    fn mttf_declines_with_age() {
+        // Strong ΔVth acceleration so 24 months of wear dominates the
+        // Monte-Carlo noise of the forward-MTTF estimate.
+        let mut cfg = quick_config(PolicyKind::Static);
+        cfg.reliability.vth_accel_scale = 0.015;
+        cfg.mttf_trials = 200;
+        let out = LifetimeSim::new(cfg).run().unwrap();
+        let head: f64 = out.series.mttf_months[..3].iter().sum::<f64>() / 3.0;
+        let n = out.series.mttf_months.len();
+        let tail: f64 = out.series.mttf_months[n - 3..].iter().sum::<f64>() / 3.0;
+        assert!(tail < head * 0.95, "MTTF should decline: {head:.1} -> {tail:.1}");
+    }
+}

@@ -1,0 +1,341 @@
+//! A tiny two-pass assembler with label support.
+
+use crate::instr::{AluOp, BranchCond, FpuOp, Instruction, TrapCode};
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::IsaError;
+
+/// An opaque forward-referenceable code label created by [`Asm::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Instruction whose branch target is patched at assembly time.
+#[derive(Debug, Clone, Copy)]
+enum Pending {
+    Branch { cond: BranchCond, rs1: Reg, rs2: Reg, target: Label },
+    Jal { rd: Reg, target: Label },
+}
+
+/// A two-pass assembler: emit instructions, bind labels, then
+/// [`assemble`](Asm::assemble) into a [`Program`].
+///
+/// # Example
+///
+/// ```
+/// use r2d3_isa::{asm::Asm, interp::Interp, Reg};
+///
+/// # fn main() -> Result<(), r2d3_isa::IsaError> {
+/// // Sum 1..=10 into r3.
+/// let mut a = Asm::new();
+/// a.li(Reg::R1, 1);        // i
+/// a.li(Reg::R2, 10);       // n
+/// let top = a.label();
+/// a.bind(top);
+/// a.add(Reg::R3, Reg::R3, Reg::R1);
+/// a.addi(Reg::R1, Reg::R1, 1);
+/// a.ble(Reg::R1, Reg::R2, top);
+/// a.halt();
+///
+/// let mut cpu = Interp::new(&a.assemble()?);
+/// cpu.run(1_000)?;
+/// assert_eq!(cpu.reg(Reg::R3), 55);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    text: Vec<Slot>,
+    labels: Vec<Option<u32>>,
+    data: Vec<u32>,
+    data_words: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Slot {
+    Fixed(Instruction),
+    Pending(Pending),
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    #[must_use]
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current instruction address (where the next emit lands).
+    #[must_use]
+    pub fn here(&self) -> u32 {
+        self.text.len() as u32
+    }
+
+    /// Creates a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (each label may be bound once).
+    pub fn bind(&mut self, label: Label) {
+        let here = self.here();
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(here);
+    }
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instruction) {
+        self.text.push(Slot::Fixed(instr));
+    }
+
+    /// Appends `words` to the data image, returning the word address of the
+    /// first appended element.
+    pub fn data(&mut self, words: &[u32]) -> u32 {
+        let addr = self.data.len() as u32;
+        self.data.extend_from_slice(words);
+        self.data_words = self.data_words.max(self.data.len());
+        addr
+    }
+
+    /// Reserves `words` zeroed data words, returning their start address.
+    pub fn bss(&mut self, words: usize) -> u32 {
+        let addr = self.data_words as u32;
+        self.data_words += words;
+        addr
+    }
+
+    // --- convenience emitters -------------------------------------------
+
+    /// `rd = rs1 <op> rs2`
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instruction::Alu { op, rd, rs1, rs2 });
+    }
+
+    /// `rd = rs1 + rs2`
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Add, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 - rs2`
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Sub, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 * rs2` (low 32 bits)
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.alu(AluOp::Mul, rd, rs1, rs2);
+    }
+
+    /// `rd = rs1 + imm`
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i16) {
+        self.emit(Instruction::AluImm { op: AluOp::Add, rd, rs1, imm });
+    }
+
+    /// `rd = rs1 << imm`
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i16) {
+        self.emit(Instruction::AluImm { op: AluOp::Sll, rd, rs1, imm });
+    }
+
+    /// Loads a 32-bit constant with `lui`+`ori` (or a single `addi` when it
+    /// fits in 16 bits signed).
+    pub fn li(&mut self, rd: Reg, value: i32) {
+        if let Ok(imm) = i16::try_from(value) {
+            self.addi(rd, Reg::R0, imm);
+        } else {
+            let v = value as u32;
+            self.emit(Instruction::Lui { rd, imm: (v >> 16) as u16 });
+            self.emit(Instruction::AluImm {
+                op: AluOp::Or,
+                rd,
+                rs1: rd,
+                imm: (v & 0xffff) as u16 as i16,
+            });
+        }
+    }
+
+    /// `rd = mem[base + offset]`
+    pub fn lw(&mut self, rd: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::Load { rd, base, offset });
+    }
+
+    /// `mem[base + offset] = src`
+    pub fn sw(&mut self, src: Reg, base: Reg, offset: i16) {
+        self.emit(Instruction::Store { src, base, offset });
+    }
+
+    /// Conditional branch to `target`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, target: Label) {
+        self.text.push(Slot::Pending(Pending::Branch { cond, rs1, rs2, target }));
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Eq, rs1, rs2, target);
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ne, rs1, rs2, target);
+    }
+
+    /// Branch if `rs1 < rs2` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Lt, rs1, rs2, target);
+    }
+
+    /// Branch if `rs1 <= rs2` (signed), i.e. not `rs2 < rs1`.
+    pub fn ble(&mut self, rs1: Reg, rs2: Reg, target: Label) {
+        self.branch(BranchCond::Ge, rs2, rs1, target);
+    }
+
+    /// Unconditional jump to `target` (discards the link).
+    pub fn j(&mut self, target: Label) {
+        self.text.push(Slot::Pending(Pending::Jal { rd: Reg::R0, target }));
+    }
+
+    /// Jump-and-link to `target`.
+    pub fn jal(&mut self, rd: Reg, target: Label) {
+        self.text.push(Slot::Pending(Pending::Jal { rd, target }));
+    }
+
+    /// Indirect jump through `rs1` (e.g. return from subroutine).
+    pub fn jr(&mut self, rs1: Reg) {
+        self.emit(Instruction::Jalr { rd: Reg::R0, rs1, offset: 0 });
+    }
+
+    /// Floating-point op.
+    pub fn fpu(&mut self, op: FpuOp, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.emit(Instruction::Fpu { op, rd, rs1, rs2 });
+    }
+
+    /// `rd += rs1 * rs2` (FP multiply-accumulate)
+    pub fn fmac(&mut self, rd: Reg, rs1: Reg, rs2: Reg) {
+        self.fpu(FpuOp::Fmac, rd, rs1, rs2);
+    }
+
+    /// Software trap.
+    pub fn trap(&mut self, code: TrapCode) {
+        self.emit(Instruction::Trap { code });
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.emit(Instruction::Nop);
+    }
+
+    /// Halts the hart.
+    pub fn halt(&mut self) {
+        self.emit(Instruction::Halt);
+    }
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// * [`IsaError::UnboundLabel`] if a referenced label was never bound.
+    /// * [`IsaError::BranchOutOfRange`] if a branch target does not fit the
+    ///   16-bit PC-relative field.
+    pub fn assemble(&self) -> Result<Program, IsaError> {
+        let mut text = Vec::with_capacity(self.text.len());
+        for (pc, slot) in self.text.iter().enumerate() {
+            let pc = pc as u32;
+            let instr = match *slot {
+                Slot::Fixed(i) => i,
+                Slot::Pending(p) => self.resolve(pc, p)?,
+            };
+            text.push(instr);
+        }
+        Ok(Program::new(text, self.data.clone(), self.data_words))
+    }
+
+    fn resolve(&self, pc: u32, pending: Pending) -> Result<Instruction, IsaError> {
+        let target_of = |l: Label| self.labels[l.0].ok_or(IsaError::UnboundLabel(l.0));
+        match pending {
+            Pending::Branch { cond, rs1, rs2, target } => {
+                let to = target_of(target)?;
+                // Offset relative to the *next* instruction, in words.
+                let delta = i64::from(to) - i64::from(pc) - 1;
+                let offset = i16::try_from(delta)
+                    .map_err(|_| IsaError::BranchOutOfRange { from: pc, to })?;
+                Ok(Instruction::Branch { cond, rs1, rs2, offset })
+            }
+            Pending::Jal { rd, target } => {
+                let to = target_of(target)?;
+                let delta = i64::from(to) - i64::from(pc) - 1;
+                let offset = i32::try_from(delta)
+                    .map_err(|_| IsaError::BranchOutOfRange { from: pc, to })?;
+                Ok(Instruction::Jal { rd, offset })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    #[test]
+    fn forward_and_backward_labels() {
+        let mut a = Asm::new();
+        let end = a.label();
+        a.li(Reg::R1, 3);
+        let top = a.label();
+        a.bind(top);
+        a.addi(Reg::R1, Reg::R1, -1);
+        a.beq(Reg::R1, Reg::R0, end); // forward ref
+        a.j(top); // backward ref
+        a.bind(end);
+        a.halt();
+
+        let p = a.assemble().unwrap();
+        let mut cpu = Interp::new(&p);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.j(l);
+        assert!(matches!(a.assemble(), Err(IsaError::UnboundLabel(_))));
+    }
+
+    #[test]
+    fn li_wide_constant() {
+        let mut a = Asm::new();
+        a.li(Reg::R1, 0x1234_5678);
+        a.li(Reg::R2, -1);
+        a.halt();
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(Reg::R1), 0x1234_5678);
+        assert_eq!(cpu.reg(Reg::R2), u32::MAX);
+    }
+
+    #[test]
+    fn data_and_bss_layout() {
+        let mut a = Asm::new();
+        let d = a.data(&[10, 20]);
+        let b = a.bss(3);
+        assert_eq!(d, 0);
+        assert_eq!(b, 2);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.initial_memory(), vec![10, 20, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut a = Asm::new();
+        let l = a.label();
+        a.bind(l);
+        a.bind(l);
+    }
+}

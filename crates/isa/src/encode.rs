@@ -1,0 +1,236 @@
+//! Binary encoding of instructions.
+//!
+//! R2D3's inter-stage checkers compare raw bit patterns flowing between
+//! pipeline stages, so the ISA needs a concrete 32-bit encoding. The
+//! layout is MIPS-like:
+//!
+//! ```text
+//! R-type  : opcode[31:26] rd[25:21] rs1[20:16] rs2[15:11] funct[10:0]
+//! I-type  : opcode[31:26] rd[25:21] rs1[20:16] imm[15:0]
+//! J-type  : opcode[31:26] rd[25:21] offset[20:0]
+//! ```
+//!
+//! Every [`Instruction`] round-trips exactly through [`encode`] /
+//! [`decode`]; this invariant is property-tested.
+
+use crate::instr::{AluOp, BranchCond, FpuOp, Instruction, TrapCode};
+use crate::reg::Reg;
+use crate::IsaError;
+
+const OP_ALU: u32 = 0x00;
+const OP_FPU: u32 = 0x01;
+const OP_NOP: u32 = 0x02;
+const OP_HALT: u32 = 0x03;
+const OP_ALUI_BASE: u32 = 0x08; // 0x08 ..= 0x11, one per AluOp
+const OP_LUI: u32 = 0x12;
+const OP_LOAD: u32 = 0x13;
+const OP_STORE: u32 = 0x14;
+const OP_BRANCH_BASE: u32 = 0x18; // 0x18 ..= 0x1b, one per BranchCond
+const OP_JAL: u32 = 0x1c;
+const OP_JALR: u32 = 0x1d;
+const OP_TRAP: u32 = 0x1e;
+
+/// Maximum magnitude of a [`Instruction::Jal`] offset (21-bit signed words).
+pub const JAL_OFFSET_MAX: i32 = (1 << 20) - 1;
+/// Minimum (most negative) [`Instruction::Jal`] offset.
+pub const JAL_OFFSET_MIN: i32 = -(1 << 20);
+
+fn field_reg(word: u32, hi_shift: u32) -> Reg {
+    // 5-bit fields can only produce indices 0..32, so the lookup never fails.
+    Reg::from_index(((word >> hi_shift) & 0x1f) as usize).expect("5-bit register field")
+}
+
+fn imm16(word: u32) -> i16 {
+    (word & 0xffff) as u16 as i16
+}
+
+/// Encodes an instruction into its 32-bit word.
+///
+/// # Errors
+///
+/// Returns [`IsaError::ImmOutOfRange`] if a [`Instruction::Jal`] offset does
+/// not fit in its 21-bit field. All other variants always encode.
+///
+/// # Example
+///
+/// ```
+/// use r2d3_isa::{encode::{encode, decode}, Instruction, AluOp, Reg};
+///
+/// # fn main() -> Result<(), r2d3_isa::IsaError> {
+/// let i = Instruction::Alu { op: AluOp::Xor, rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 };
+/// let word = encode(i)?;
+/// assert_eq!(decode(word)?, i);
+/// # Ok(())
+/// # }
+/// ```
+pub fn encode(instr: Instruction) -> Result<u32, IsaError> {
+    let r = |reg: Reg, shift: u32| (reg.index() as u32) << shift;
+    let word = match instr {
+        Instruction::Alu { op, rd, rs1, rs2 } => {
+            (OP_ALU << 26) | r(rd, 21) | r(rs1, 16) | r(rs2, 11) | op as u32
+        }
+        Instruction::Fpu { op, rd, rs1, rs2 } => {
+            (OP_FPU << 26) | r(rd, 21) | r(rs1, 16) | r(rs2, 11) | op as u32
+        }
+        Instruction::Nop => OP_NOP << 26,
+        Instruction::Halt => OP_HALT << 26,
+        Instruction::AluImm { op, rd, rs1, imm } => {
+            ((OP_ALUI_BASE + op as u32) << 26) | r(rd, 21) | r(rs1, 16) | (imm as u16 as u32)
+        }
+        Instruction::Lui { rd, imm } => (OP_LUI << 26) | r(rd, 21) | u32::from(imm),
+        Instruction::Load { rd, base, offset } => {
+            (OP_LOAD << 26) | r(rd, 21) | r(base, 16) | (offset as u16 as u32)
+        }
+        Instruction::Store { src, base, offset } => {
+            (OP_STORE << 26) | r(src, 21) | r(base, 16) | (offset as u16 as u32)
+        }
+        Instruction::Branch { cond, rs1, rs2, offset } => {
+            ((OP_BRANCH_BASE + cond as u32) << 26)
+                | r(rs1, 21)
+                | r(rs2, 16)
+                | (offset as u16 as u32)
+        }
+        Instruction::Jal { rd, offset } => {
+            if !(JAL_OFFSET_MIN..=JAL_OFFSET_MAX).contains(&offset) {
+                return Err(IsaError::ImmOutOfRange(i64::from(offset)));
+            }
+            (OP_JAL << 26) | r(rd, 21) | ((offset as u32) & 0x1f_ffff)
+        }
+        Instruction::Jalr { rd, rs1, offset } => {
+            (OP_JALR << 26) | r(rd, 21) | r(rs1, 16) | (offset as u16 as u32)
+        }
+        Instruction::Trap { code } => (OP_TRAP << 26) | code as u32,
+    };
+    Ok(word)
+}
+
+/// Decodes a 32-bit word back into an instruction.
+///
+/// # Errors
+///
+/// Returns [`IsaError::DecodeInvalid`] for words whose opcode or function
+/// field does not correspond to a defined instruction.
+pub fn decode(word: u32) -> Result<Instruction, IsaError> {
+    let opcode = word >> 26;
+    let rd = field_reg(word, 21);
+    let rs1 = field_reg(word, 16);
+    let rs2 = field_reg(word, 11);
+    let invalid = || IsaError::DecodeInvalid(word);
+
+    let instr = match opcode {
+        OP_ALU => {
+            let funct = (word & 0x7ff) as usize;
+            let op = *AluOp::ALL.get(funct).ok_or_else(invalid)?;
+            Instruction::Alu { op, rd, rs1, rs2 }
+        }
+        OP_FPU => {
+            let funct = (word & 0x7ff) as usize;
+            let op = *FpuOp::ALL.get(funct).ok_or_else(invalid)?;
+            Instruction::Fpu { op, rd, rs1, rs2 }
+        }
+        OP_NOP => Instruction::Nop,
+        OP_HALT => Instruction::Halt,
+        o if (OP_ALUI_BASE..OP_ALUI_BASE + AluOp::ALL.len() as u32).contains(&o) => {
+            let op = AluOp::ALL[(o - OP_ALUI_BASE) as usize];
+            Instruction::AluImm { op, rd, rs1, imm: imm16(word) }
+        }
+        OP_LUI => Instruction::Lui { rd, imm: (word & 0xffff) as u16 },
+        OP_LOAD => Instruction::Load { rd, base: rs1, offset: imm16(word) },
+        OP_STORE => Instruction::Store { src: rd, base: rs1, offset: imm16(word) },
+        o if (OP_BRANCH_BASE..OP_BRANCH_BASE + BranchCond::ALL.len() as u32).contains(&o) => {
+            let cond = BranchCond::ALL[(o - OP_BRANCH_BASE) as usize];
+            Instruction::Branch { cond, rs1: rd, rs2: rs1, offset: imm16(word) }
+        }
+        OP_JAL => {
+            // Sign-extend the 21-bit offset.
+            let raw = word & 0x1f_ffff;
+            let offset = ((raw << 11) as i32) >> 11;
+            Instruction::Jal { rd, offset }
+        }
+        OP_JALR => Instruction::Jalr { rd, rs1, offset: imm16(word) },
+        OP_TRAP => {
+            let code = match word & 0x3ff_ffff {
+                0 => TrapCode::Syscall,
+                1 => TrapCode::Break,
+                _ => return Err(invalid()),
+            };
+            Instruction::Trap { code }
+        }
+        _ => return Err(invalid()),
+    };
+    Ok(instr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_reg() -> impl Strategy<Value = Reg> {
+        (0usize..32).prop_map(|i| Reg::from_index(i).unwrap())
+    }
+
+    fn arb_instr() -> impl Strategy<Value = Instruction> {
+        prop_oneof![
+            (0usize..10, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+                Instruction::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }
+            }),
+            (0usize..10, arb_reg(), arb_reg(), any::<i16>()).prop_map(|(op, rd, rs1, imm)| {
+                Instruction::AluImm { op: AluOp::ALL[op], rd, rs1, imm }
+            }),
+            (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+            (arb_reg(), arb_reg(), any::<i16>())
+                .prop_map(|(rd, base, offset)| Instruction::Load { rd, base, offset }),
+            (arb_reg(), arb_reg(), any::<i16>())
+                .prop_map(|(src, base, offset)| Instruction::Store { src, base, offset }),
+            (0usize..4, arb_reg(), arb_reg(), any::<i16>()).prop_map(|(c, rs1, rs2, offset)| {
+                Instruction::Branch { cond: BranchCond::ALL[c], rs1, rs2, offset }
+            }),
+            (arb_reg(), JAL_OFFSET_MIN..=JAL_OFFSET_MAX)
+                .prop_map(|(rd, offset)| Instruction::Jal { rd, offset }),
+            (arb_reg(), arb_reg(), any::<i16>())
+                .prop_map(|(rd, rs1, offset)| Instruction::Jalr { rd, rs1, offset }),
+            (0usize..4, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+                Instruction::Fpu { op: FpuOp::ALL[op], rd, rs1, rs2 }
+            }),
+            Just(Instruction::Trap { code: TrapCode::Syscall }),
+            Just(Instruction::Trap { code: TrapCode::Break }),
+            Just(Instruction::Nop),
+            Just(Instruction::Halt),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip(instr in arb_instr()) {
+            let word = encode(instr).unwrap();
+            prop_assert_eq!(decode(word).unwrap(), instr);
+        }
+
+        #[test]
+        fn decode_never_panics(word in any::<u32>()) {
+            let _ = decode(word);
+        }
+    }
+
+    #[test]
+    fn jal_range_checked() {
+        let too_far = Instruction::Jal { rd: Reg::R1, offset: JAL_OFFSET_MAX + 1 };
+        assert!(matches!(encode(too_far), Err(IsaError::ImmOutOfRange(_))));
+        let ok = Instruction::Jal { rd: Reg::R1, offset: JAL_OFFSET_MIN };
+        assert!(encode(ok).is_ok());
+    }
+
+    #[test]
+    fn negative_jal_roundtrip() {
+        let i = Instruction::Jal { rd: Reg::R0, offset: -3 };
+        assert_eq!(decode(encode(i).unwrap()).unwrap(), i);
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        assert!(decode(0x3f << 26).is_err());
+        // ALU funct out of range.
+        assert!(decode(10).is_err());
+    }
+}

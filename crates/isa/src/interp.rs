@@ -1,0 +1,280 @@
+//! Reference interpreter — the golden architectural model.
+//!
+//! The pipeline simulator in `r2d3-pipeline-sim` must produce exactly the
+//! architectural state this interpreter produces for any fault-free run;
+//! that equivalence is property-tested in the integration suite.
+
+use crate::instr::Instruction;
+use crate::program::Program;
+use crate::reg::Reg;
+use crate::IsaError;
+
+/// Architectural state: program counter, register file and data memory.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    program: Program,
+    pc: u32,
+    regs: [u32; 32],
+    mem: Vec<u32>,
+    halted: bool,
+    retired: u64,
+    trap_count: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter with the program loaded and state reset.
+    #[must_use]
+    pub fn new(program: &Program) -> Self {
+        Interp {
+            mem: program.initial_memory(),
+            program: program.clone(),
+            pc: 0,
+            regs: [0; 32],
+            halted: false,
+            retired: 0,
+            trap_count: 0,
+        }
+    }
+
+    /// Current program counter (word address).
+    #[must_use]
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Reads a register (reads of `R0` always return 0).
+    #[must_use]
+    pub fn reg(&self, r: Reg) -> u32 {
+        if r.is_zero() {
+            0
+        } else {
+            self.regs[r.index()]
+        }
+    }
+
+    /// Writes a register (writes to `R0` are discarded).
+    pub fn set_reg(&mut self, r: Reg, value: u32) {
+        if !r.is_zero() {
+            self.regs[r.index()] = value;
+        }
+    }
+
+    /// Reads data memory at a word address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IsaError::MemOutOfRange`] for addresses past the image.
+    pub fn mem(&self, addr: u32) -> Result<u32, IsaError> {
+        self.mem.get(addr as usize).copied().ok_or(IsaError::MemOutOfRange(addr))
+    }
+
+    /// The whole data memory.
+    #[must_use]
+    pub fn memory(&self) -> &[u32] {
+        &self.mem
+    }
+
+    /// Whether a `Halt` has retired.
+    #[must_use]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Number of retired instructions.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Number of retired `Trap` instructions.
+    #[must_use]
+    pub fn trap_count(&self) -> u64 {
+        self.trap_count
+    }
+
+    /// Executes one instruction.
+    ///
+    /// Returns the retired instruction, or `None` if already halted.
+    ///
+    /// # Errors
+    ///
+    /// * [`IsaError::PcOutOfRange`] if the PC leaves the text segment.
+    /// * [`IsaError::MemOutOfRange`] on an out-of-image access.
+    pub fn step(&mut self) -> Result<Option<Instruction>, IsaError> {
+        if self.halted {
+            return Ok(None);
+        }
+        let instr = self.program.fetch(self.pc).ok_or(IsaError::PcOutOfRange(self.pc))?;
+        let next_pc = self.pc.wrapping_add(1);
+        let mut target = next_pc;
+
+        match instr {
+            Instruction::Alu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instruction::AluImm { op, rd, rs1, imm } => {
+                let v = op.apply(self.reg(rs1), imm as i32 as u32);
+                self.set_reg(rd, v);
+            }
+            Instruction::Lui { rd, imm } => {
+                self.set_reg(rd, u32::from(imm) << 16);
+            }
+            Instruction::Load { rd, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                let v = self.mem(addr)?;
+                self.set_reg(rd, v);
+            }
+            Instruction::Store { src, base, offset } => {
+                let addr = self.reg(base).wrapping_add(offset as i32 as u32);
+                let value = self.reg(src);
+                let slot = self
+                    .mem
+                    .get_mut(addr as usize)
+                    .ok_or(IsaError::MemOutOfRange(addr))?;
+                *slot = value;
+            }
+            Instruction::Branch { cond, rs1, rs2, offset } => {
+                if cond.eval(self.reg(rs1), self.reg(rs2)) {
+                    target = next_pc.wrapping_add(offset as i32 as u32);
+                }
+            }
+            Instruction::Jal { rd, offset } => {
+                self.set_reg(rd, next_pc);
+                target = next_pc.wrapping_add(offset as u32);
+            }
+            Instruction::Jalr { rd, rs1, offset } => {
+                let t = self.reg(rs1).wrapping_add(offset as i32 as u32);
+                self.set_reg(rd, next_pc);
+                target = t;
+            }
+            Instruction::Fpu { op, rd, rs1, rs2 } => {
+                let v = op.apply(self.reg(rd), self.reg(rs1), self.reg(rs2));
+                self.set_reg(rd, v);
+            }
+            Instruction::Trap { .. } => {
+                self.trap_count += 1;
+            }
+            Instruction::Nop => {}
+            Instruction::Halt => {
+                self.halted = true;
+            }
+        }
+
+        self.pc = target;
+        self.retired += 1;
+        Ok(Some(instr))
+    }
+
+    /// Runs until `Halt` or until `max_steps` instructions have retired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IsaError`] from [`step`](Interp::step) and returns
+    /// [`IsaError::CycleBudgetExceeded`] if the program does not halt.
+    pub fn run(&mut self, max_steps: u64) -> Result<(), IsaError> {
+        for _ in 0..max_steps {
+            if self.step()?.is_none() {
+                return Ok(());
+            }
+            if self.halted {
+                return Ok(());
+            }
+        }
+        if self.halted {
+            Ok(())
+        } else {
+            Err(IsaError::CycleBudgetExceeded(max_steps))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+
+    #[test]
+    fn loads_and_stores() {
+        let mut a = Asm::new();
+        let d = a.data(&[100, 200]);
+        a.li(Reg::R1, d as i32);
+        a.lw(Reg::R2, Reg::R1, 1);
+        a.addi(Reg::R2, Reg::R2, 5);
+        a.sw(Reg::R2, Reg::R1, 0);
+        a.halt();
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.mem(0).unwrap(), 205);
+        assert_eq!(cpu.mem(1).unwrap(), 200);
+    }
+
+    #[test]
+    fn out_of_range_load_is_error() {
+        let mut a = Asm::new();
+        a.lw(Reg::R1, Reg::R0, 1000);
+        a.halt();
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        assert!(matches!(cpu.run(10), Err(IsaError::MemOutOfRange(1000))));
+    }
+
+    #[test]
+    fn jal_links_and_returns() {
+        let mut a = Asm::new();
+        let sub = a.label();
+        a.li(Reg::R5, 1); // 0..=1 (one addi)
+        a.jal(Reg::R31, sub);
+        a.addi(Reg::R5, Reg::R5, 10);
+        a.halt();
+        a.bind(sub);
+        a.addi(Reg::R5, Reg::R5, 100);
+        a.jr(Reg::R31);
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg::R5), 111);
+    }
+
+    #[test]
+    fn trap_counts_and_continues() {
+        let mut a = Asm::new();
+        a.trap(crate::instr::TrapCode::Syscall);
+        a.trap(crate::instr::TrapCode::Break);
+        a.halt();
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.trap_count(), 2);
+        assert_eq!(cpu.retired(), 3);
+    }
+
+    #[test]
+    fn budget_exceeded() {
+        let mut a = Asm::new();
+        let top = a.label();
+        a.bind(top);
+        a.j(top);
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        assert!(matches!(cpu.run(5), Err(IsaError::CycleBudgetExceeded(5))));
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let mut a = Asm::new();
+        a.addi(Reg::R0, Reg::R0, 7);
+        a.add(Reg::R1, Reg::R0, Reg::R0);
+        a.halt();
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.reg(Reg::R0), 0);
+        assert_eq!(cpu.reg(Reg::R1), 0);
+    }
+
+    #[test]
+    fn step_after_halt_returns_none() {
+        let mut a = Asm::new();
+        a.halt();
+        let mut cpu = Interp::new(&a.assemble().unwrap());
+        cpu.run(10).unwrap();
+        assert!(cpu.halted());
+        assert_eq!(cpu.step().unwrap(), None);
+    }
+}

@@ -1,0 +1,136 @@
+//! 2-D convolution kernel generator.
+//!
+//! The paper motivates 3D parallel systems with streaming accelerators,
+//! citing Kung et al.'s 3D systolic CNN inference mapping \[17\]. This
+//! kernel is the corresponding workload: a single-channel 2-D
+//! convolution with a K×K filter over an H×W image (valid padding),
+//! FMAC-heavy with strided memory access — the access pattern systolic
+//! mappings stream through stacked tiers.
+
+use super::{Kernel, KernelKind, ValueStream};
+use crate::asm::Asm;
+use crate::reg::Reg;
+
+/// Generates a `conv2d` workload: `image` is `h×w` row-major `f32`,
+/// `filter` is `k×k`, output is `(h-k+1)×(w-k+1)` (valid padding).
+///
+/// Reports itself as [`KernelKind::Gemm`]-class for occupancy profiling
+/// (convolution shares GEMM's compute-bound character).
+///
+/// # Panics
+///
+/// Panics if `k` is zero or larger than either image dimension, or the
+/// footprint exceeds the generator's addressing budget.
+#[must_use]
+pub fn conv2d(h: usize, w: usize, k: usize, seed: u64) -> Kernel {
+    assert!(k > 0 && k <= h && k <= w, "filter must fit the image");
+    let (oh, ow) = (h - k + 1, w - k + 1);
+    assert!(h * w + k * k + oh * ow <= 30_000, "footprint too large for generator");
+
+    let mut vs = ValueStream::new(seed);
+    let image: Vec<f32> = (0..h * w).map(|_| vs.next_f32()).collect();
+    let filter: Vec<f32> = (0..k * k).map(|_| vs.next_f32()).collect();
+
+    // Reference with identical accumulation order (ky outer, kx inner).
+    let mut expected = vec![0.0f32; oh * ow];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let mut acc = 0.0f32;
+            for ky in 0..k {
+                for kx in 0..k {
+                    acc += image[(oy + ky) * w + (ox + kx)] * filter[ky * k + kx];
+                }
+            }
+            expected[oy * ow + ox] = acc;
+        }
+    }
+
+    let mut a = Asm::new();
+    let base_img = a.data(&image.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    let base_flt = a.data(&filter.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    let base_out = a.bss(oh * ow);
+
+    // Register plan:
+    //   r1 = oy, r2 = ox, r3 = ky, r4 = kx
+    //   r5 = h-k+1, r6 = w-k+1, r7 = k, r8 = w
+    //   r9/r10/r11 = bases, r12 = acc, r13.. temps
+    use Reg::*;
+    a.li(R5, oh as i32);
+    a.li(R6, ow as i32);
+    a.li(R7, k as i32);
+    a.li(R8, w as i32);
+    a.li(R9, base_img as i32);
+    a.li(R10, base_flt as i32);
+    a.li(R11, base_out as i32);
+
+    a.li(R1, 0);
+    let loop_oy = a.label();
+    a.bind(loop_oy);
+    a.li(R2, 0);
+    let loop_ox = a.label();
+    a.bind(loop_ox);
+    a.li(R12, 0); // acc
+    a.li(R3, 0); // ky
+    let loop_ky = a.label();
+    a.bind(loop_ky);
+    a.li(R4, 0); // kx
+    let loop_kx = a.label();
+    a.bind(loop_kx);
+    // r13 = &image[(oy+ky)*w + ox+kx]
+    a.add(R13, R1, R3);
+    a.mul(R13, R13, R8);
+    a.add(R13, R13, R2);
+    a.add(R13, R13, R4);
+    a.add(R13, R13, R9);
+    a.lw(R14, R13, 0);
+    // r15 = &filter[ky*k + kx]
+    a.mul(R15, R3, R7);
+    a.add(R15, R15, R4);
+    a.add(R15, R15, R10);
+    a.lw(R16, R15, 0);
+    a.fmac(R12, R14, R16);
+    a.addi(R4, R4, 1);
+    a.blt(R4, R7, loop_kx);
+    a.addi(R3, R3, 1);
+    a.blt(R3, R7, loop_ky);
+    // out[oy*ow + ox] = acc
+    a.mul(R13, R1, R6);
+    a.add(R13, R13, R2);
+    a.add(R13, R13, R11);
+    a.sw(R12, R13, 0);
+    a.addi(R2, R2, 1);
+    a.blt(R2, R6, loop_ox);
+    a.addi(R1, R1, 1);
+    a.blt(R1, R5, loop_oy);
+    a.halt();
+
+    let program = a.assemble().expect("conv2d generator emits valid code");
+    Kernel::new(KernelKind::Gemm, program, base_out, expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    #[test]
+    fn conv_matches_reference() {
+        let kern = conv2d(8, 8, 3, 4);
+        let mut cpu = Interp::new(kern.program());
+        cpu.run(2_000_000).unwrap();
+        assert!(kern.verify(cpu.memory()));
+        assert_eq!(kern.output_len(), 36);
+    }
+
+    #[test]
+    fn identity_filter_copies_the_image() {
+        // A 1×1 unit filter makes conv2d(x) == x (same op order, so the
+        // accumulated value is exactly image * 1.0 + 0.0).
+        let kern = conv2d(4, 5, 1, 9);
+        let mut cpu = Interp::new(kern.program());
+        cpu.run(200_000).unwrap();
+        assert!(kern.verify(cpu.memory()));
+        // Output dims = image dims for k = 1.
+        assert_eq!(kern.output_len(), 20);
+    }
+}

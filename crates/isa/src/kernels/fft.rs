@@ -1,0 +1,213 @@
+//! FFT kernel generator: iterative radix-2 Cooley–Tukey, single precision.
+
+use super::{Kernel, KernelKind, ValueStream};
+use crate::asm::Asm;
+use crate::instr::{AluOp, FpuOp, Instruction};
+use crate::reg::Reg;
+
+/// Generates an `N = 2^log2n`-point complex FFT workload.
+///
+/// The input is `N` complex samples (interleaved re/im `f32`), the output
+/// is the DFT in the same layout. The code performs an explicit
+/// bit-reversal copy followed by `log2n` butterfly stages using a
+/// precomputed twiddle table, matching the structure of a DSP
+/// implementation (per the paper, FFT is "widely used in communication and
+/// visual processing systems").
+///
+/// # Panics
+///
+/// Panics if `log2n` is 0 or greater than 12 (the generator's immediate
+/// addressing limit).
+#[must_use]
+pub fn fft(log2n: u32, seed: u64) -> Kernel {
+    assert!((1..=12).contains(&log2n), "log2n must be in 1..=12");
+    let n = 1usize << log2n;
+
+    let mut vs = ValueStream::new(seed);
+    let input: Vec<f32> = (0..2 * n).map(|_| vs.next_f32()).collect();
+
+    // Twiddle factors w_j = exp(-2*pi*i*j/N) for j in 0..N/2, stored f32.
+    let mut twiddles = Vec::with_capacity(n.max(2));
+    for j in 0..(n / 2).max(1) {
+        let angle = -2.0 * std::f64::consts::PI * j as f64 / n as f64;
+        twiddles.push(angle.cos() as f32);
+        twiddles.push(angle.sin() as f32);
+    }
+
+    // Bit-reversal table.
+    let rev: Vec<u32> = (0..n as u32)
+        .map(|i| i.reverse_bits() >> (32 - log2n))
+        .collect();
+
+    let expected = reference_fft(&input, &twiddles, &rev, n);
+
+    let mut a = Asm::new();
+    let in_base = a.data(&input.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    let tw_base = a.data(&twiddles.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    let rev_base = a.data(&rev);
+    let buf_base = a.bss(2 * n);
+
+    use Reg::*;
+    a.li(R4, n as i32);
+    a.li(R6, buf_base as i32);
+    a.li(R7, tw_base as i32);
+    a.li(R26, in_base as i32);
+    a.li(R27, rev_base as i32);
+
+    // --- bit-reversal copy: buf[i] = in[rev[i]] -------------------------
+    a.li(R8, 0);
+    let loop_rev = a.label();
+    a.bind(loop_rev);
+    a.add(R9, R27, R8);
+    a.lw(R10, R9, 0); // r = rev[i]
+    a.slli(R11, R10, 1);
+    a.add(R11, R11, R26); // &in[2r]
+    a.lw(R12, R11, 0);
+    a.lw(R13, R11, 1);
+    a.slli(R14, R8, 1);
+    a.add(R14, R14, R6); // &buf[2i]
+    a.sw(R12, R14, 0);
+    a.sw(R13, R14, 1);
+    a.addi(R8, R8, 1);
+    a.blt(R8, R4, loop_rev);
+
+    // --- butterfly stages ------------------------------------------------
+    a.li(R1, 1); // h = half-butterfly span
+    a.li(R5, (n / 2) as i32); // twiddle stride
+    let loop_stage = a.label();
+    a.bind(loop_stage);
+    a.li(R2, 0); // base
+    let loop_base = a.label();
+    a.bind(loop_base);
+    a.li(R3, 0); // j
+    let loop_j = a.label();
+    a.bind(loop_j);
+    // w = tw[j * stride]
+    a.mul(R8, R3, R5);
+    a.slli(R8, R8, 1);
+    a.add(R8, R8, R7);
+    a.lw(R20, R8, 0); // wre
+    a.lw(R21, R8, 1); // wim
+    // u = buf[base + j]
+    a.add(R9, R2, R3);
+    a.slli(R10, R9, 1);
+    a.add(R10, R10, R6);
+    a.lw(R16, R10, 0); // ure
+    a.lw(R17, R10, 1); // uim
+    // x = buf[base + j + h]
+    a.add(R11, R9, R1);
+    a.slli(R12, R11, 1);
+    a.add(R12, R12, R6);
+    a.lw(R18, R12, 0); // xre
+    a.lw(R19, R12, 1); // xim
+    // v = x * w (complex)
+    a.fpu(FpuOp::Fmul, R22, R18, R20);
+    a.fpu(FpuOp::Fmul, R23, R19, R21);
+    a.fpu(FpuOp::Fsub, R24, R22, R23); // vre = xre*wre - xim*wim
+    a.fpu(FpuOp::Fmul, R22, R18, R21);
+    a.fpu(FpuOp::Fmul, R23, R19, R20);
+    a.fpu(FpuOp::Fadd, R25, R22, R23); // vim = xre*wim + xim*wre
+    // buf[base+j] = u + v ; buf[base+j+h] = u - v
+    a.fpu(FpuOp::Fadd, R13, R16, R24);
+    a.sw(R13, R10, 0);
+    a.fpu(FpuOp::Fadd, R13, R17, R25);
+    a.sw(R13, R10, 1);
+    a.fpu(FpuOp::Fsub, R13, R16, R24);
+    a.sw(R13, R12, 0);
+    a.fpu(FpuOp::Fsub, R13, R17, R25);
+    a.sw(R13, R12, 1);
+    a.addi(R3, R3, 1);
+    a.blt(R3, R1, loop_j);
+    // base += 2h
+    a.add(R2, R2, R1);
+    a.add(R2, R2, R1);
+    a.blt(R2, R4, loop_base);
+    // h <<= 1 ; stride >>= 1
+    a.add(R1, R1, R1);
+    a.emit(Instruction::AluImm { op: AluOp::Srl, rd: R5, rs1: R5, imm: 1 });
+    a.blt(R1, R4, loop_stage);
+    a.halt();
+
+    let program = a.assemble().expect("fft generator emits valid code");
+    Kernel::new(KernelKind::Fft, program, buf_base, expected)
+}
+
+/// Reference FFT performing the exact same f32 operations, in the same
+/// order, as the generated assembly.
+fn reference_fft(input: &[f32], twiddles: &[f32], rev: &[u32], n: usize) -> Vec<f32> {
+    let mut buf = vec![0.0f32; 2 * n];
+    for i in 0..n {
+        let r = rev[i] as usize;
+        buf[2 * i] = input[2 * r];
+        buf[2 * i + 1] = input[2 * r + 1];
+    }
+    let mut h = 1usize;
+    let mut stride = n / 2;
+    while h < n {
+        let mut base = 0usize;
+        while base < n {
+            for j in 0..h {
+                let ti = 2 * (j * stride);
+                let (wre, wim) = (twiddles[ti], twiddles[ti + 1]);
+                let ui = 2 * (base + j);
+                let xi = 2 * (base + j + h);
+                let (ure, uim) = (buf[ui], buf[ui + 1]);
+                let (xre, xim) = (buf[xi], buf[xi + 1]);
+                let t1 = xre * wre;
+                let t2 = xim * wim;
+                let vre = t1 - t2;
+                let t3 = xre * wim;
+                let t4 = xim * wre;
+                let vim = t3 + t4;
+                buf[ui] = ure + vre;
+                buf[ui + 1] = uim + vim;
+                buf[xi] = ure - vre;
+                buf[xi + 1] = uim - vim;
+            }
+            base += 2 * h;
+        }
+        h <<= 1;
+        stride >>= 1;
+    }
+    buf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive DFT check: the reference FFT must agree with an O(N²) DFT to
+    /// within f32 tolerance, proving the algorithm (not just the plumbing)
+    /// is right.
+    #[test]
+    fn reference_matches_naive_dft() {
+        let k = fft(4, 9); // N = 16
+        let n = 16usize;
+        // Reconstruct the input from the program's data image.
+        let mem = k.program().data();
+        let input: Vec<f32> = mem[..2 * n].iter().map(|w| f32::from_bits(*w)).collect();
+        let got = k.expected();
+
+        for out_idx in 0..n {
+            let mut re = 0.0f64;
+            let mut im = 0.0f64;
+            for t in 0..n {
+                let angle = -2.0 * std::f64::consts::PI * (out_idx * t) as f64 / n as f64;
+                let (s, c) = angle.sin_cos();
+                let (xr, xi) = (f64::from(input[2 * t]), f64::from(input[2 * t + 1]));
+                re += xr * c - xi * s;
+                im += xr * s + xi * c;
+            }
+            assert!(
+                (re - f64::from(got[2 * out_idx])).abs() < 1e-3,
+                "bin {out_idx} re: naive {re} fft {}",
+                got[2 * out_idx]
+            );
+            assert!(
+                (im - f64::from(got[2 * out_idx + 1])).abs() < 1e-3,
+                "bin {out_idx} im: naive {im} fft {}",
+                got[2 * out_idx + 1]
+            );
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! GEMV kernel generator: `y = A · x` in single precision.
+
+use super::{Kernel, KernelKind, ValueStream};
+use crate::asm::Asm;
+use crate::reg::Reg;
+
+/// Generates a GEMV workload: `A` is `n×m` row-major, `x` has `m`
+/// elements, `y = A·x` has `n`.
+///
+/// GEMV's dot-product rows are embarrassingly parallel; the paper notes it
+/// is the most parallel of the three workloads, with the highest
+/// utilization (and therefore aging).
+///
+/// # Panics
+///
+/// Panics if any dimension is zero or `n*m + m + n > 30000`.
+#[must_use]
+pub fn gemv(n: usize, m: usize, seed: u64) -> Kernel {
+    assert!(n > 0 && m > 0, "dimensions must be nonzero");
+    assert!(n * m + m + n <= 30_000, "matrix too large for generator");
+
+    let mut vs = ValueStream::new(seed);
+    let a_mat: Vec<f32> = (0..n * m).map(|_| vs.next_f32()).collect();
+    let x_vec: Vec<f32> = (0..m).map(|_| vs.next_f32()).collect();
+
+    let mut expected = vec![0.0f32; n];
+    for i in 0..n {
+        let mut acc = 0.0f32;
+        for k in 0..m {
+            acc += a_mat[i * m + k] * x_vec[k];
+        }
+        expected[i] = acc;
+    }
+
+    let mut a = Asm::new();
+    let base_a = a.data(&a_mat.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    let base_x = a.data(&x_vec.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+    let base_y = a.bss(n);
+
+    // Register plan: r1 = i, r2 = k, r3 = n, r4 = m,
+    // r5/r6/r7 = bases, r8 = row pointer, r10 = acc, r11..r13 temps.
+    use Reg::*;
+    a.li(R3, n as i32);
+    a.li(R4, m as i32);
+    a.li(R5, base_a as i32);
+    a.li(R6, base_x as i32);
+    a.li(R7, base_y as i32);
+
+    a.li(R1, 0);
+    let loop_i = a.label();
+    a.bind(loop_i);
+    // r8 = &A[i*m]
+    a.mul(R8, R1, R4);
+    a.add(R8, R8, R5);
+    a.li(R10, 0); // acc
+    a.li(R2, 0); // k
+    let loop_k = a.label();
+    a.bind(loop_k);
+    a.add(R11, R8, R2);
+    a.lw(R12, R11, 0); // A[i][k]
+    a.add(R11, R6, R2);
+    a.lw(R13, R11, 0); // x[k]
+    a.fmac(R10, R12, R13);
+    a.addi(R2, R2, 1);
+    a.blt(R2, R4, loop_k);
+    // y[i] = acc
+    a.add(R11, R7, R1);
+    a.sw(R10, R11, 0);
+    a.addi(R1, R1, 1);
+    a.blt(R1, R3, loop_i);
+    a.halt();
+
+    let program = a.assemble().expect("gemv generator emits valid code");
+    Kernel::new(KernelKind::Gemv, program, base_y, expected)
+}

@@ -1,0 +1,107 @@
+//! Trap-mix kernel: a syscall-laced workload that exercises the TLU.
+//!
+//! The three paper kernels are pure compute and never trap, so the trap
+//! logic unit only sees traffic from OS interaction. This synthetic
+//! workload models a syscall-heavy service loop — integer work
+//! punctuated by a trap every iteration — giving the TLU a realistic
+//! activity factor so R2D3's detection can exercise (and be tested on)
+//! all five units.
+
+use super::{Kernel, KernelKind, ValueStream};
+use crate::asm::Asm;
+use crate::instr::TrapCode;
+use crate::reg::Reg;
+
+/// Generates a syscall-heavy workload: `iterations` rounds of integer
+/// mixing, each ending in a syscall trap, with a running checksum stored
+/// per round.
+///
+/// The kernel reports itself as [`KernelKind::Gemm`]-class for profile
+/// purposes (demand/activity weights do not apply to this synthetic
+/// workload; it exists for detection-coverage experiments).
+///
+/// # Panics
+///
+/// Panics if `iterations` is 0 or greater than 4096.
+#[must_use]
+pub fn trap_mix(iterations: usize, seed: u64) -> Kernel {
+    assert!((1..=4096).contains(&iterations), "iterations must be in 1..=4096");
+
+    let mut vs = ValueStream::new(seed);
+    // Deterministic per-round "request words" the loop mixes.
+    let requests: Vec<u32> = (0..iterations).map(|_| vs.next_f32().to_bits()).collect();
+
+    // Reference: replicate the loop's integer semantics.
+    let mut expected_bits: Vec<f32> = Vec::with_capacity(iterations);
+    let mut acc: u32 = 0;
+    for &r in &requests {
+        acc = acc.wrapping_add(r).rotate_left(3) ^ 0x5a5a_5a5a;
+        expected_bits.push(f32::from_bits(acc));
+    }
+
+    let mut a = Asm::new();
+    let base_req = a.data(&requests);
+    let base_out = a.bss(iterations);
+
+    use Reg::*;
+    a.li(R1, 0); // i
+    a.li(R2, iterations as i32);
+    a.li(R3, base_req as i32);
+    a.li(R4, base_out as i32);
+    a.li(R5, 0); // acc
+    a.li(R10, 0x5a5a_5a5au32 as i32);
+
+    let top = a.label();
+    a.bind(top);
+    // acc = rotl3(acc + req[i]) ^ 0x5a5a5a5a
+    a.add(R6, R3, R1);
+    a.lw(R7, R6, 0);
+    a.add(R5, R5, R7);
+    // rotate_left(3) = (x << 3) | (x >> 29)
+    a.slli(R8, R5, 3);
+    a.emit(crate::instr::Instruction::AluImm {
+        op: crate::instr::AluOp::Srl,
+        rd: R9,
+        rs1: R5,
+        imm: 29,
+    });
+    a.alu(crate::instr::AluOp::Or, R5, R8, R9);
+    a.alu(crate::instr::AluOp::Xor, R5, R5, R10);
+    // out[i] = acc; then the "syscall".
+    a.add(R6, R4, R1);
+    a.sw(R5, R6, 0);
+    a.trap(TrapCode::Syscall);
+    a.addi(R1, R1, 1);
+    a.blt(R1, R2, top);
+    a.halt();
+
+    let program = a.assemble().expect("trap_mix generator emits valid code");
+    Kernel::new(KernelKind::Gemm, program, base_out, expected_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+
+    #[test]
+    fn trap_mix_matches_reference() {
+        let k = trap_mix(32, 5);
+        let mut cpu = Interp::new(k.program());
+        cpu.run(100_000).unwrap();
+        assert!(k.verify(cpu.memory()));
+        assert_eq!(cpu.trap_count(), 32, "one syscall per iteration");
+    }
+
+    #[test]
+    fn trap_density_is_high() {
+        let k = trap_mix(8, 1);
+        let traps = k
+            .program()
+            .text()
+            .iter()
+            .filter(|i| matches!(i, crate::instr::Instruction::Trap { .. }))
+            .count();
+        assert!(traps > 0);
+    }
+}

@@ -1,0 +1,99 @@
+#![warn(missing_docs)]
+
+//! Minimal RISC instruction set used by the R2D3 reproduction.
+//!
+//! The DAC 2020 paper evaluates R2D3 on OpenSPARC T1 in-order pipelines
+//! running GEMM, GEMV and FFT kernels under gem5. This crate supplies the
+//! equivalent substrate for our from-scratch simulator:
+//!
+//! * a small, fixed-width (32-bit) RISC instruction set ([`Instruction`])
+//!   whose operations map onto the five OpenSPARC pipeline units
+//!   (IFU, EXU, LSU, TLU, FFU),
+//! * a binary encoding ([`encode`]) so that checkers in the R2D3 detection
+//!   circuitry can compare raw bit patterns between redundant stages,
+//! * a tiny assembler ([`asm::Asm`]) with label support,
+//! * a reference interpreter ([`interp::Interp`]) that defines the
+//!   architectural semantics (the golden model for the pipeline simulator),
+//! * generators for the paper's three workloads ([`kernels`]).
+//!
+//! # Example
+//!
+//! ```
+//! use r2d3_isa::{asm::Asm, interp::Interp, Reg};
+//!
+//! # fn main() -> Result<(), r2d3_isa::IsaError> {
+//! let mut a = Asm::new();
+//! a.li(Reg::R1, 5);
+//! a.li(Reg::R2, 7);
+//! a.add(Reg::R3, Reg::R1, Reg::R2);
+//! a.halt();
+//! let program = a.assemble()?;
+//!
+//! let mut cpu = Interp::new(&program);
+//! cpu.run(1_000)?;
+//! assert_eq!(cpu.reg(Reg::R3), 12);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod instr;
+pub mod interp;
+pub mod kernels;
+pub mod program;
+pub mod reg;
+pub mod text;
+
+pub use asm::Asm;
+pub use instr::{AluOp, BranchCond, FpuOp, Instruction, TrapCode, Unit};
+pub use interp::Interp;
+pub use program::Program;
+pub use reg::Reg;
+
+use std::fmt;
+
+/// Errors produced while assembling, encoding or executing programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A label was referenced but never bound to an address.
+    UnboundLabel(usize),
+    /// A PC-relative branch target does not fit in the immediate field.
+    BranchOutOfRange {
+        /// Instruction address of the branch.
+        from: u32,
+        /// Intended target address.
+        to: u32,
+    },
+    /// An instruction word does not decode to a valid instruction.
+    DecodeInvalid(u32),
+    /// The program counter left the text segment.
+    PcOutOfRange(u32),
+    /// A data access fell outside the memory image.
+    MemOutOfRange(u32),
+    /// The interpreter exceeded its cycle budget without halting.
+    CycleBudgetExceeded(u64),
+    /// An immediate operand does not fit in its encoding field.
+    ImmOutOfRange(i64),
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::UnboundLabel(id) => write!(f, "label {id} was never bound"),
+            IsaError::BranchOutOfRange { from, to } => {
+                write!(f, "branch from {from:#x} to {to:#x} out of immediate range")
+            }
+            IsaError::DecodeInvalid(w) => write!(f, "invalid instruction word {w:#010x}"),
+            IsaError::PcOutOfRange(pc) => write!(f, "program counter {pc:#x} outside text"),
+            IsaError::MemOutOfRange(addr) => write!(f, "memory access {addr:#x} outside image"),
+            IsaError::CycleBudgetExceeded(n) => {
+                write!(f, "program did not halt within {n} steps")
+            }
+            IsaError::ImmOutOfRange(v) => write!(f, "immediate {v} does not fit encoding"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}

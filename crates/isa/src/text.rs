@@ -1,0 +1,544 @@
+//! Textual assembly: a parser and formatter for the ISA.
+//!
+//! The binary [`crate::asm::Asm`] builder is the programmatic interface;
+//! this module adds the human-facing layer — parse `.s`-style source
+//! into a [`Program`], and format a program back to canonical text. The
+//! two round-trip: `parse(format(p)) == p`.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comments run to end of line
+//! .data 1 2 0x10        ; words appended to the data image
+//! .bss 16               ; reserve 16 zeroed words
+//!
+//! start:
+//!     li   r1, 100      ; pseudo-instruction (addi or lui+ori)
+//!     addi r2, r0, 5
+//! loop:
+//!     add  r3, r3, r1
+//!     sub  r1, r1, r2
+//!     bne  r1, r0, loop ; branch targets may be labels or numbers
+//!     lw   r4, 2(r3)    ; base-offset addressing
+//!     sw   r4, 0(r3)
+//!     fmac r5, r4, r4
+//!     halt
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use r2d3_isa::text::{format_program, parse_program};
+//! use r2d3_isa::{Interp, Reg};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = parse_program(
+//!     "li r1, 6\n\
+//!      li r2, 7\n\
+//!      mul r3, r1, r2\n\
+//!      halt\n",
+//! )?;
+//! let mut cpu = Interp::new(&program);
+//! cpu.run(100)?;
+//! assert_eq!(cpu.reg(Reg::R3), 42);
+//!
+//! // Round trip through the formatter.
+//! let again = parse_program(&format_program(&program))?;
+//! assert_eq!(again, program);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::instr::{AluOp, BranchCond, FpuOp, Instruction, TrapCode};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Errors produced while parsing assembly text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseAsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseAsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseAsmError {
+    ParseAsmError { line, message: message.into() }
+}
+
+/// Parses assembly text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseAsmError`] with the offending line on any syntax
+/// error, unknown mnemonic, bad register, out-of-range immediate or
+/// undefined label.
+pub fn parse_program(source: &str) -> Result<Program, ParseAsmError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    struct Stmt<'a> {
+        line: usize,
+        mnemonic: &'a str,
+        args: Vec<&'a str>,
+    }
+    let mut labels: HashMap<&str, u32> = HashMap::new();
+    let mut stmts: Vec<Stmt> = Vec::new();
+    let mut data: Vec<u32> = Vec::new();
+    let mut bss_words = 0usize;
+    let mut pc = 0u32;
+
+    for (li, raw) in source.lines().enumerate() {
+        let line = li + 1;
+        let text = raw.split(';').next().unwrap_or("").trim();
+        if text.is_empty() {
+            continue;
+        }
+        let mut rest = text;
+        // Labels (possibly several) at line start.
+        while let Some(colon) = rest.find(':') {
+            let (name, tail) = rest.split_at(colon);
+            let name = name.trim();
+            if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+                break;
+            }
+            if labels.insert(name, pc).is_some() {
+                return Err(err(line, format!("label `{name}` defined twice")));
+            }
+            rest = tail[1..].trim();
+        }
+        if rest.is_empty() {
+            continue;
+        }
+        let mut parts = rest.splitn(2, char::is_whitespace);
+        let mnemonic = parts.next().unwrap_or("");
+        let args: Vec<&str> =
+            parts.next().unwrap_or("").split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
+
+        match mnemonic {
+            ".data" => {
+                for word in rest[".data".len()..].split_whitespace() {
+                    data.push(parse_word(word).ok_or_else(|| {
+                        err(line, format!("bad data word `{word}`"))
+                    })?);
+                }
+            }
+            ".bss" => {
+                let n = rest[".bss".len()..].trim();
+                bss_words += n
+                    .parse::<usize>()
+                    .map_err(|_| err(line, format!("bad .bss size `{n}`")))?;
+            }
+            _ => {
+                // `li` with a wide constant expands to two words.
+                let words = if mnemonic == "li" {
+                    let imm = args
+                        .get(1)
+                        .and_then(|a| parse_imm(a))
+                        .ok_or_else(|| err(line, "li needs `reg, imm`"))?;
+                    if i16::try_from(imm).is_ok() {
+                        1
+                    } else {
+                        2
+                    }
+                } else {
+                    1
+                };
+                pc += words;
+                stmts.push(Stmt { line, mnemonic, args });
+            }
+        }
+    }
+
+    // Pass 2: encode.
+    let mut text_seg: Vec<Instruction> = Vec::new();
+    let lookup = |tok: &str, next_pc: u32, line: usize| -> Result<i32, ParseAsmError> {
+        if let Some(v) = parse_imm(tok) {
+            return Ok(v);
+        }
+        labels
+            .get(tok)
+            .map(|&target| target as i32 - next_pc as i32)
+            .ok_or_else(|| err(line, format!("undefined label `{tok}`")))
+    };
+
+    for stmt in &stmts {
+        let line = stmt.line;
+        let a = &stmt.args;
+        let reg = |i: usize| -> Result<Reg, ParseAsmError> {
+            a.get(i)
+                .and_then(|t| parse_reg(t))
+                .ok_or_else(|| err(line, format!("expected register as operand {}", i + 1)))
+        };
+        let imm16 = |i: usize| -> Result<i16, ParseAsmError> {
+            a.get(i)
+                .and_then(|t| parse_imm(t))
+                .and_then(|v| i16::try_from(v).ok())
+                .ok_or_else(|| err(line, format!("expected 16-bit immediate as operand {}", i + 1)))
+        };
+        let next_pc = text_seg.len() as u32 + 1;
+
+        let lower = stmt.mnemonic.to_ascii_lowercase();
+        match lower.as_str() {
+            "nop" => text_seg.push(Instruction::Nop),
+            "halt" => text_seg.push(Instruction::Halt),
+            "syscall" => text_seg.push(Instruction::Trap { code: TrapCode::Syscall }),
+            "break" => text_seg.push(Instruction::Trap { code: TrapCode::Break }),
+            "lui" => {
+                let imm = a
+                    .get(1)
+                    .and_then(|t| parse_imm(t))
+                    .and_then(|v| u16::try_from(v).ok())
+                    .ok_or_else(|| err(line, "lui needs `reg, imm16`"))?;
+                text_seg.push(Instruction::Lui { rd: reg(0)?, imm });
+            }
+            "li" => {
+                let rd = reg(0)?;
+                let value = a
+                    .get(1)
+                    .and_then(|t| parse_imm(t))
+                    .ok_or_else(|| err(line, "li needs `reg, imm`"))?;
+                if let Ok(imm) = i16::try_from(value) {
+                    text_seg.push(Instruction::AluImm { op: AluOp::Add, rd, rs1: Reg::R0, imm });
+                } else {
+                    let v = value as u32;
+                    text_seg.push(Instruction::Lui { rd, imm: (v >> 16) as u16 });
+                    text_seg.push(Instruction::AluImm {
+                        op: AluOp::Or,
+                        rd,
+                        rs1: rd,
+                        imm: (v & 0xffff) as u16 as i16,
+                    });
+                }
+            }
+            "lw" | "sw" => {
+                let r = reg(0)?;
+                let (offset, base) = a
+                    .get(1)
+                    .and_then(|t| parse_mem_operand(t))
+                    .ok_or_else(|| err(line, "expected `offset(base)` operand"))?;
+                text_seg.push(if lower == "lw" {
+                    Instruction::Load { rd: r, base, offset }
+                } else {
+                    Instruction::Store { src: r, base, offset }
+                });
+            }
+            "jal" => {
+                let rd = reg(0)?;
+                let target = a.get(1).ok_or_else(|| err(line, "jal needs a target"))?;
+                let offset = lookup(target, next_pc, line)?;
+                text_seg.push(Instruction::Jal { rd, offset });
+            }
+            "j" => {
+                let target = a.first().ok_or_else(|| err(line, "j needs a target"))?;
+                let offset = lookup(target, next_pc, line)?;
+                text_seg.push(Instruction::Jal { rd: Reg::R0, offset });
+            }
+            "jalr" => {
+                text_seg.push(Instruction::Jalr { rd: reg(0)?, rs1: reg(1)?, offset: imm16(2).unwrap_or(0) });
+            }
+            "jr" => {
+                text_seg.push(Instruction::Jalr { rd: Reg::R0, rs1: reg(0)?, offset: 0 });
+            }
+            "beq" | "bne" | "blt" | "bge" => {
+                let cond = match lower.as_str() {
+                    "beq" => BranchCond::Eq,
+                    "bne" => BranchCond::Ne,
+                    "blt" => BranchCond::Lt,
+                    _ => BranchCond::Ge,
+                };
+                let target = a.get(2).ok_or_else(|| err(line, "branch needs a target"))?;
+                let delta = lookup(target, next_pc, line)?;
+                let offset = i16::try_from(delta)
+                    .map_err(|_| err(line, "branch target out of range"))?;
+                text_seg.push(Instruction::Branch { cond, rs1: reg(0)?, rs2: reg(1)?, offset });
+            }
+            "fadd" | "fsub" | "fmul" | "fmac" => {
+                let op = match lower.as_str() {
+                    "fadd" => FpuOp::Fadd,
+                    "fsub" => FpuOp::Fsub,
+                    "fmul" => FpuOp::Fmul,
+                    _ => FpuOp::Fmac,
+                };
+                text_seg.push(Instruction::Fpu { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? });
+            }
+            other => {
+                // ALU family: `add r,r,r` or `addi r,r,imm`.
+                let (base, imm_form) = match other.strip_suffix('i') {
+                    Some(b) if alu_op(b).is_some() => (b, true),
+                    _ => (other, false),
+                };
+                let op = alu_op(base)
+                    .ok_or_else(|| err(line, format!("unknown mnemonic `{other}`")))?;
+                if imm_form {
+                    text_seg.push(Instruction::AluImm { op, rd: reg(0)?, rs1: reg(1)?, imm: imm16(2)? });
+                } else {
+                    text_seg.push(Instruction::Alu { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? });
+                }
+            }
+        }
+    }
+
+    Ok(Program::new(text_seg, data.clone(), data.len() + bss_words))
+}
+
+/// Formats a program as canonical assembly text (numeric branch offsets,
+/// one instruction per line, data image first).
+#[must_use]
+pub fn format_program(program: &Program) -> String {
+    let mut out = String::new();
+    if !program.data().is_empty() {
+        out.push_str(".data");
+        for w in program.data() {
+            out.push_str(&format!(" {w:#x}"));
+        }
+        out.push('\n');
+    }
+    let bss = program.data_words().saturating_sub(program.data().len());
+    if bss > 0 {
+        out.push_str(&format!(".bss {bss}\n"));
+    }
+    for instr in program.text() {
+        out.push_str(&format_instruction(*instr));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats one instruction in parseable syntax.
+#[must_use]
+pub fn format_instruction(instr: Instruction) -> String {
+    match instr {
+        Instruction::Alu { op, rd, rs1, rs2 } => {
+            format!("{} {rd}, {rs1}, {rs2}", alu_name(op))
+        }
+        Instruction::AluImm { op, rd, rs1, imm } => {
+            format!("{}i {rd}, {rs1}, {imm}", alu_name(op))
+        }
+        Instruction::Lui { rd, imm } => format!("lui {rd}, {imm:#x}"),
+        Instruction::Load { rd, base, offset } => format!("lw {rd}, {offset}({base})"),
+        Instruction::Store { src, base, offset } => format!("sw {src}, {offset}({base})"),
+        Instruction::Branch { cond, rs1, rs2, offset } => {
+            let name = match cond {
+                BranchCond::Eq => "beq",
+                BranchCond::Ne => "bne",
+                BranchCond::Lt => "blt",
+                BranchCond::Ge => "bge",
+            };
+            format!("{name} {rs1}, {rs2}, {offset}")
+        }
+        Instruction::Jal { rd, offset } => {
+            if rd.is_zero() {
+                format!("j {offset}")
+            } else {
+                format!("jal {rd}, {offset}")
+            }
+        }
+        Instruction::Jalr { rd, rs1, offset } => format!("jalr {rd}, {rs1}, {offset}"),
+        Instruction::Fpu { op, rd, rs1, rs2 } => {
+            let name = match op {
+                FpuOp::Fadd => "fadd",
+                FpuOp::Fsub => "fsub",
+                FpuOp::Fmul => "fmul",
+                FpuOp::Fmac => "fmac",
+            };
+            format!("{name} {rd}, {rs1}, {rs2}")
+        }
+        Instruction::Trap { code } => match code {
+            TrapCode::Syscall => "syscall".into(),
+            TrapCode::Break => "break".into(),
+        },
+        Instruction::Nop => "nop".into(),
+        Instruction::Halt => "halt".into(),
+    }
+}
+
+fn alu_name(op: AluOp) -> &'static str {
+    match op {
+        AluOp::Add => "add",
+        AluOp::Sub => "sub",
+        AluOp::And => "and",
+        AluOp::Or => "or",
+        AluOp::Xor => "xor",
+        AluOp::Sll => "sll",
+        AluOp::Srl => "srl",
+        AluOp::Sra => "sra",
+        AluOp::Slt => "slt",
+        AluOp::Mul => "mul",
+    }
+}
+
+fn alu_op(name: &str) -> Option<AluOp> {
+    Some(match name {
+        "add" => AluOp::Add,
+        "sub" => AluOp::Sub,
+        "and" => AluOp::And,
+        "or" => AluOp::Or,
+        "xor" => AluOp::Xor,
+        "sll" => AluOp::Sll,
+        "srl" => AluOp::Srl,
+        "sra" => AluOp::Sra,
+        "slt" => AluOp::Slt,
+        "mul" => AluOp::Mul,
+        _ => return None,
+    })
+}
+
+fn parse_reg(token: &str) -> Option<Reg> {
+    let rest = token.strip_prefix(['r', 'R'])?;
+    let idx: usize = rest.parse().ok()?;
+    Reg::from_index(idx)
+}
+
+fn parse_imm(token: &str) -> Option<i32> {
+    let token = token.trim();
+    if let Some(hex) = token.strip_prefix("0x").or_else(|| token.strip_prefix("0X")) {
+        return u32::from_str_radix(hex, 16).ok().map(|v| v as i32);
+    }
+    if let Some(hex) = token.strip_prefix("-0x") {
+        return u32::from_str_radix(hex, 16).ok().map(|v| -(v as i32));
+    }
+    token.parse::<i32>().ok()
+}
+
+fn parse_word(token: &str) -> Option<u32> {
+    parse_imm(token).map(|v| v as u32)
+}
+
+/// Parses `offset(base)` memory operands.
+fn parse_mem_operand(token: &str) -> Option<(i16, Reg)> {
+    let open = token.find('(')?;
+    let close = token.rfind(')')?;
+    let offset: i16 = if token[..open].trim().is_empty() {
+        0
+    } else {
+        i16::try_from(parse_imm(token[..open].trim())?).ok()?
+    };
+    let base = parse_reg(token[open + 1..close].trim())?;
+    Some((offset, base))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interp::Interp;
+    use proptest::prelude::*;
+
+    #[test]
+    fn parses_and_runs_a_loop() {
+        let src = "
+            ; sum 1..=5 into r3
+            li r1, 1
+            li r2, 5
+        loop:
+            add r3, r3, r1
+            addi r1, r1, 1
+            bge r2, r1, loop
+            halt
+        ";
+        let p = parse_program(src).unwrap();
+        let mut cpu = Interp::new(&p);
+        cpu.run(1000).unwrap();
+        assert_eq!(cpu.reg(Reg::R3), 15);
+    }
+
+    #[test]
+    fn data_and_bss_directives() {
+        let p = parse_program(".data 10 0x20 3\n.bss 2\nhalt\n").unwrap();
+        assert_eq!(p.initial_memory(), vec![10, 0x20, 3, 0, 0]);
+    }
+
+    #[test]
+    fn memory_operands() {
+        let p = parse_program(".data 7 0\nlw r1, 0(r0)\nsw r1, 1(r0)\nhalt\n").unwrap();
+        let mut cpu = Interp::new(&p);
+        cpu.run(10).unwrap();
+        assert_eq!(cpu.mem(1).unwrap(), 7);
+    }
+
+    #[test]
+    fn error_reporting_has_line_numbers() {
+        let e = parse_program("nop\nbogus r1, r2\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+
+        let e = parse_program("beq r1, r2, nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+
+        let e = parse_program("x: nop\nx: nop\n").unwrap_err();
+        assert!(e.message.contains("twice"));
+    }
+
+    #[test]
+    fn wide_li_occupies_two_slots_for_labels() {
+        // The label after a wide li must account for the 2-word expansion.
+        let src = "
+            li r1, 0x12345678
+            j end
+            addi r2, r0, 1 ; skipped
+        end:
+            halt
+        ";
+        let p = parse_program(src).unwrap();
+        let mut cpu = Interp::new(&p);
+        cpu.run(100).unwrap();
+        assert_eq!(cpu.reg(Reg::R1), 0x1234_5678);
+        assert_eq!(cpu.reg(Reg::R2), 0);
+    }
+
+    #[test]
+    fn kernels_roundtrip_through_text() {
+        for program in [
+            crate::kernels::gemv(4, 4, 1).program().clone(),
+            crate::kernels::gemm(3, 3, 3, 2).program().clone(),
+            crate::kernels::fft(3, 3).program().clone(),
+        ] {
+            let text = format_program(&program);
+            let parsed = parse_program(&text).unwrap();
+            assert_eq!(parsed, program, "kernel did not round-trip");
+        }
+    }
+
+    fn arb_simple_instr() -> impl Strategy<Value = Instruction> {
+        let reg = (0usize..32).prop_map(|i| Reg::from_index(i).unwrap());
+        prop_oneof![
+            (0usize..10, reg.clone(), reg.clone(), reg.clone()).prop_map(|(op, rd, rs1, rs2)| {
+                Instruction::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }
+            }),
+            (0usize..10, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(op, rd, rs1, imm)| {
+                Instruction::AluImm { op: AluOp::ALL[op], rd, rs1, imm }
+            }),
+            (reg.clone(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+            (reg.clone(), reg.clone(), any::<i16>())
+                .prop_map(|(rd, base, offset)| Instruction::Load { rd, base, offset }),
+            (reg.clone(), reg.clone(), any::<i16>())
+                .prop_map(|(src, base, offset)| Instruction::Store { src, base, offset }),
+            (0usize..4, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(c, rs1, rs2, offset)| {
+                Instruction::Branch { cond: BranchCond::ALL[c], rs1, rs2, offset }
+            }),
+            (0usize..4, reg.clone(), reg.clone(), reg).prop_map(|(op, rd, rs1, rs2)| {
+                Instruction::Fpu { op: FpuOp::ALL[op], rd, rs1, rs2 }
+            }),
+            Just(Instruction::Nop),
+            Just(Instruction::Halt),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn format_parse_roundtrip(instrs in proptest::collection::vec(arb_simple_instr(), 1..40)) {
+            let program = Program::new(instrs, vec![1, 2, 3], 8);
+            let text = format_program(&program);
+            let parsed = parse_program(&text).unwrap();
+            prop_assert_eq!(parsed, program);
+        }
+    }
+}

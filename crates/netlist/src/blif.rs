@@ -1,0 +1,271 @@
+//! BLIF interchange (Berkeley Logic Interchange Format).
+//!
+//! The generated stage netlists stand in for the paper's synthesized
+//! OpenSPARC units; exporting them as BLIF lets downstream users run the
+//! academic logic toolchain (ABC, SIS, mockturtle, …) on exactly the
+//! circuits the campaigns measure — and import variants back. The writer
+//! emits one `.names` cover per gate; the reader accepts the same subset
+//! (single-output covers over the primitive functions this crate emits).
+//!
+//! # Example
+//!
+//! ```
+//! use r2d3_netlist::{blif, NetlistBuilder};
+//!
+//! # fn main() -> Result<(), r2d3_netlist::blif::ParseBlifError> {
+//! let mut b = NetlistBuilder::new();
+//! let i = b.inputs(2);
+//! let x = b.xor2(i[0], i[1]);
+//! b.output(x);
+//! let nl = b.finish();
+//!
+//! let text = blif::write_blif(&nl, "halfadd");
+//! let back = blif::parse_blif(&text)?;
+//! assert_eq!(back.eval(&[0b01, 0b10])[0] & 0b11, 0b11);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::builder::NetlistBuilder;
+use crate::netlist::{GateKind, NetId, Netlist};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors produced while parsing BLIF text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBlifError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseBlifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blif line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseBlifError {}
+
+fn net_name(n: NetId) -> String {
+    format!("n{}", n.index())
+}
+
+/// Serializes a netlist as BLIF.
+///
+/// Gates are emitted as `.names` covers; `Mux` gates as the 3-input
+/// cover, constants as constant covers.
+#[must_use]
+pub fn write_blif(netlist: &Netlist, model: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {model}");
+    let inputs: Vec<String> = netlist.inputs().map(net_name).collect();
+    let _ = writeln!(out, ".inputs {}", inputs.join(" "));
+    let outputs: Vec<String> = netlist.outputs().iter().map(|o| net_name(*o)).collect();
+    let _ = writeln!(out, ".outputs {}", outputs.join(" "));
+
+    for gate in netlist.gates() {
+        let ins: Vec<String> = gate.inputs.iter().map(|n| net_name(*n)).collect();
+        let o = net_name(gate.output);
+        match gate.kind {
+            GateKind::Buf => {
+                let _ = writeln!(out, ".names {} {o}\n1 1", ins[0]);
+            }
+            GateKind::Not => {
+                let _ = writeln!(out, ".names {} {o}\n0 1", ins[0]);
+            }
+            GateKind::And => {
+                let _ = writeln!(out, ".names {} {} {o}\n11 1", ins[0], ins[1]);
+            }
+            GateKind::Or => {
+                let _ = writeln!(out, ".names {} {} {o}\n1- 1\n-1 1", ins[0], ins[1]);
+            }
+            GateKind::Nand => {
+                let _ = writeln!(out, ".names {} {} {o}\n0- 1\n-0 1", ins[0], ins[1]);
+            }
+            GateKind::Nor => {
+                let _ = writeln!(out, ".names {} {} {o}\n00 1", ins[0], ins[1]);
+            }
+            GateKind::Xor => {
+                let _ = writeln!(out, ".names {} {} {o}\n10 1\n01 1", ins[0], ins[1]);
+            }
+            GateKind::Xnor => {
+                let _ = writeln!(out, ".names {} {} {o}\n11 1\n00 1", ins[0], ins[1]);
+            }
+            GateKind::Mux => {
+                // out = sel ? a : b  (inputs: sel, a, b)
+                let _ = writeln!(
+                    out,
+                    ".names {} {} {} {o}\n11- 1\n0-1 1",
+                    ins[0], ins[1], ins[2]
+                );
+            }
+            GateKind::Const0 => {
+                let _ = writeln!(out, ".names {o}");
+            }
+            GateKind::Const1 => {
+                let _ = writeln!(out, ".names {o}\n 1");
+            }
+        }
+    }
+    out.push_str(".end\n");
+    out
+}
+
+/// Parses the BLIF subset produced by [`write_blif`]: single-output
+/// `.names` covers whose function matches one of this crate's gate
+/// primitives.
+///
+/// # Errors
+///
+/// Returns [`ParseBlifError`] on malformed input or covers that do not
+/// correspond to a supported primitive.
+pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
+    let mut inputs: Vec<&str> = Vec::new();
+    let mut outputs: Vec<&str> = Vec::new();
+    struct Cover<'a> {
+        line: usize,
+        ins: Vec<&'a str>,
+        out: &'a str,
+        rows: Vec<&'a str>,
+    }
+    let mut covers: Vec<Cover> = Vec::new();
+
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((li, raw)) = lines.next() {
+        let line = li + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        if let Some(rest) = stripped.strip_prefix(".inputs") {
+            inputs.extend(rest.split_whitespace());
+        } else if let Some(rest) = stripped.strip_prefix(".outputs") {
+            outputs.extend(rest.split_whitespace());
+        } else if let Some(rest) = stripped.strip_prefix(".names") {
+            let mut names: Vec<&str> = rest.split_whitespace().collect();
+            let out = names
+                .pop()
+                .ok_or_else(|| ParseBlifError { line, message: ".names needs a target".into() })?;
+            let mut rows = Vec::new();
+            while let Some((_, next)) = lines.peek() {
+                let t = next.split('#').next().unwrap_or("").trim();
+                if t.is_empty() || t.starts_with('.') {
+                    break;
+                }
+                rows.push(lines.next().expect("peeked").1.trim());
+            }
+            covers.push(Cover { line, ins: names, out, rows });
+        } else if stripped.starts_with(".model") || stripped.starts_with(".end") {
+            // metadata / terminator
+        } else {
+            return Err(ParseBlifError { line, message: format!("unsupported construct `{stripped}`") });
+        }
+    }
+
+    // Build: map names to nets; inputs first, then each cover in order
+    // (the writer emits topological order; we require it).
+    let mut b = NetlistBuilder::new();
+    let mut map: HashMap<&str, NetId> = HashMap::new();
+    for name in &inputs {
+        map.insert(name, b.input());
+    }
+    for cover in &covers {
+        let line = cover.line;
+        let resolve = |map: &HashMap<&str, NetId>, n: &str| {
+            map.get(n).copied().ok_or_else(|| ParseBlifError {
+                line,
+                message: format!("net `{n}` used before definition"),
+            })
+        };
+        let kind = classify_cover(&cover.rows, cover.ins.len()).ok_or_else(|| ParseBlifError {
+            line,
+            message: format!("unsupported cover {:?}", cover.rows),
+        })?;
+        let net = match kind {
+            GateKind::Const0 | GateKind::Const1 => b.gate(kind, &[]),
+            _ => {
+                let ins: Vec<NetId> = cover
+                    .ins
+                    .iter()
+                    .map(|n| resolve(&map, n))
+                    .collect::<Result<_, _>>()?;
+                b.gate(kind, &ins)
+            }
+        };
+        map.insert(cover.out, net);
+    }
+    for name in &outputs {
+        let net = map.get(name).copied().ok_or_else(|| ParseBlifError {
+            line: 0,
+            message: format!("output `{name}` never defined"),
+        })?;
+        b.output(net);
+    }
+    Ok(b.finish())
+}
+
+/// Maps a cover's rows back to a gate primitive.
+fn classify_cover(rows: &[&str], arity: usize) -> Option<GateKind> {
+    let rows: Vec<&str> = rows.iter().map(|r| r.trim()).collect();
+    match (arity, rows.as_slice()) {
+        (0, []) => Some(GateKind::Const0),
+        (0, ["1"]) => Some(GateKind::Const1),
+        (1, ["1 1"]) => Some(GateKind::Buf),
+        (1, ["0 1"]) => Some(GateKind::Not),
+        (2, ["11 1"]) => Some(GateKind::And),
+        (2, ["1- 1", "-1 1"]) | (2, ["-1 1", "1- 1"]) => Some(GateKind::Or),
+        (2, ["0- 1", "-0 1"]) | (2, ["-0 1", "0- 1"]) => Some(GateKind::Nand),
+        (2, ["00 1"]) => Some(GateKind::Nor),
+        (2, ["10 1", "01 1"]) | (2, ["01 1", "10 1"]) => Some(GateKind::Xor),
+        (2, ["11 1", "00 1"]) | (2, ["00 1", "11 1"]) => Some(GateKind::Xnor),
+        (3, ["11- 1", "0-1 1"]) | (3, ["0-1 1", "11- 1"]) => Some(GateKind::Mux),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stages::{stage_netlist, StageSizing};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn roundtrip_preserves_function_on_stage_netlists() {
+        let sizing = StageSizing { gates_per_mm2: 1_000.0, ..Default::default() };
+        for unit in [r2d3_isa::Unit::Exu, r2d3_isa::Unit::Tlu] {
+            let sn = stage_netlist(unit, &sizing);
+            let nl = sn.netlist();
+            let text = write_blif(nl, unit.name());
+            let back = parse_blif(&text).unwrap();
+            assert_eq!(back.num_inputs(), nl.num_inputs());
+            assert_eq!(back.outputs().len(), nl.outputs().len());
+
+            let mut rng = StdRng::seed_from_u64(9);
+            for _ in 0..8 {
+                let inputs: Vec<u64> = (0..nl.num_inputs()).map(|_| rng.gen()).collect();
+                assert_eq!(back.eval(&inputs), nl.eval(&inputs), "{unit} function changed");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let bad = ".model x\n.inputs a\n.outputs z\n.names a z\n11 1\n.end\n";
+        let e = parse_blif(bad).unwrap_err();
+        assert_eq!(e.line, 4, "{e}");
+
+        let undef = ".model x\n.inputs a\n.outputs z\n.names q z\n1 1\n.end\n";
+        assert!(parse_blif(undef).unwrap_err().message.contains("before definition"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n.model m\n.inputs a b\n\n.outputs z\n.names a b z # and\n11 1\n.end\n";
+        let nl = parse_blif(text).unwrap();
+        assert_eq!(nl.eval(&[0b11, 0b01])[0] & 0b11, 0b01);
+    }
+}

@@ -1,0 +1,100 @@
+#![warn(missing_docs)]
+
+//! Gate-level netlist substrate for the R2D3 reproduction.
+//!
+//! The paper's fault-coverage study (Fig. 4) runs Synopsys TetraMAX ATPG
+//! over the synthesized OpenSPARC T1 netlist with the industry-standard
+//! stuck-at fault model. We do not have that netlist or tool, so this crate
+//! provides the substitute substrate:
+//!
+//! * a simple combinational/sequential gate-level netlist representation
+//!   ([`Netlist`], [`Gate`], [`NetId`]) with 64-way bit-parallel evaluation
+//!   (64 test patterns per simulation pass),
+//! * builder combinators for realistic datapath structures
+//!   ([`builder::NetlistBuilder`]: adders, barrel shifters, comparators,
+//!   multipliers, priority encoders, muxes),
+//! * structural generators for the five OpenSPARC pipeline units
+//!   ([`stages`]), sized proportionally to the paper's Table III silicon
+//!   areas, with a known set of *redundant* (provably untestable) logic so
+//!   the ATPG campaign has exact ground truth for the "undetectable" class,
+//! * stage composition ([`compose_chain`]) used to model *core-level*
+//!   observability (fault effects must propagate through all downstream
+//!   stages before they can be seen).
+//!
+//! # Example
+//!
+//! ```
+//! use r2d3_netlist::builder::NetlistBuilder;
+//!
+//! // A 4-bit adder: sum = a + b.
+//! let mut b = NetlistBuilder::new();
+//! let a = b.inputs(4);
+//! let bb = b.inputs(4);
+//! let zero = b.constant(false);
+//! let (sum, _carry) = b.ripple_adder(&a, &bb, zero);
+//! b.outputs(&sum);
+//! let netlist = b.finish();
+//!
+//! // Evaluate 3 + 5 (patterns are bit-parallel; lane 0 here).
+//! let out = netlist.eval(&[1, 1, 0, 0, 1, 0, 1, 0]);
+//! let value = out.iter().enumerate().fold(0u64, |acc, (i, bit)| acc | ((bit & 1) << i));
+//! assert_eq!(value, 8);
+//! ```
+
+pub mod blif;
+pub mod builder;
+pub mod crossbar;
+pub mod netlist;
+pub mod sequential;
+pub mod stages;
+
+pub use builder::NetlistBuilder;
+pub use netlist::{
+    compose_chain, compose_chain_with, ComposeOptions, Gate, GateKind, NetId, Netlist,
+};
+pub use crossbar::{checker, crossbar_receiver};
+pub use sequential::{register_outputs, SequentialNetlist};
+pub use stages::{stage_netlist, StageNetlist, StageSizing};
+
+use std::fmt;
+
+/// Errors raised while constructing or validating netlists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A gate input references a net with no driver defined yet.
+    UndrivenInput {
+        /// Index of the offending gate in evaluation order.
+        gate_index: usize,
+        /// The undriven net.
+        net: NetId,
+    },
+    /// A net has more than one driver.
+    MultipleDrivers(NetId),
+    /// Input vector length does not match the primary-input count.
+    InputLenMismatch {
+        /// Expected width.
+        expected: usize,
+        /// Provided width.
+        got: usize,
+    },
+    /// Chain composition was asked to join an empty list.
+    EmptyChain,
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UndrivenInput { gate_index, net } => {
+                write!(f, "gate {gate_index} reads undriven net {net}")
+            }
+            NetlistError::MultipleDrivers(n) => write!(f, "net {n} has multiple drivers"),
+            NetlistError::InputLenMismatch { expected, got } => {
+                write!(f, "expected {expected} input values, got {got}")
+            }
+            NetlistError::EmptyChain => write!(f, "cannot compose an empty stage chain"),
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}

@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! 45 nm physical-design model for the R2D3 reproduction.
+//!
+//! The paper's §V-A reports a full physical design: OpenSPARC T1 cores
+//! synthesized on a commercial 45 nm SOI process (Synopsys Design
+//! Compiler + Cadence Innovus + sign-off tools), with a measured
+//! area/power breakdown (Table III), a 7.4 % crossbar area overhead, an
+//! 8.2 % frequency overhead and a 6.5 % power overhead over the NoRecon
+//! design. We cannot re-run commercial synthesis, so this crate takes the
+//! paper's reported silicon numbers as the *calibration anchor* of a
+//! parameterized model, and derives the quantities the system-level study
+//! needs: per-unit areas/powers, crossbar and checker overheads, MIV
+//! delay, and the achievable frequency of an R2D3 vs NoRecon system.
+//!
+//! # Example
+//!
+//! ```
+//! use r2d3_physical::{PhysicalModel, DesignVariant};
+//!
+//! let model = PhysicalModel::table_iii();
+//! let r2d3 = model.design(DesignVariant::R2d3);
+//! let base = model.design(DesignVariant::NoRecon);
+//! assert!(r2d3.frequency_ghz < base.frequency_ghz);
+//! assert!(r2d3.core_area_mm2 > base.core_area_mm2);
+//! ```
+
+pub mod design;
+pub mod miv;
+pub mod table;
+
+pub use design::{DesignSummary, DesignVariant, PhysicalModel};
+pub use miv::MivModel;
+pub use table::{UnitPhysical, TABLE_III};

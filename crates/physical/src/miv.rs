@@ -1,0 +1,103 @@
+//! Monolithic inter-tier via (MIV) and crossbar timing model.
+//!
+//! §III-A of the paper: "The MUX-based crossbar has a fixed channel width
+//! and, as a result, an instruction transfer from one stage to the next
+//! can occur within the same clock cycle when implemented in 3D. The
+//! frequency overhead is <8.2 % due to the small propagation delays of
+//! vertical MIVs." This module models that budget: a MIV's RC delay is
+//! tiny (nanometer-scale vias, per Dae et al. \[16\]), so even crossing the
+//! full 8-tier stack plus the crossbar mux stays within a fraction of the
+//! 1 ns cycle.
+
+use serde::{Deserialize, Serialize};
+
+/// Delay model for vertical crossings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MivModel {
+    /// Per-MIV (one tier hop) delay in picoseconds.
+    pub per_tier_ps: f64,
+    /// Crossbar mux + arbitration delay in picoseconds (paid once per
+    /// stage boundary when R2D3 is present).
+    pub mux_ps: f64,
+    /// Checker comparator setup delay in picoseconds.
+    pub checker_ps: f64,
+    /// Nominal clock period in picoseconds (1 GHz baseline).
+    pub nominal_period_ps: f64,
+}
+
+impl Default for MivModel {
+    fn default() -> Self {
+        // Calibrated so a worst-case 7-tier crossing plus mux and checker
+        // costs 8.2 % of the 1 ns cycle (the paper's measured overhead).
+        MivModel { per_tier_ps: 4.0, mux_ps: 42.0, checker_ps: 12.0, nominal_period_ps: 1000.0 }
+    }
+}
+
+impl MivModel {
+    /// A through-silicon-via (TSV) stacking variant: TSVs are orders of
+    /// magnitude larger than MIVs (micron-scale vs nanometer-scale) with
+    /// correspondingly higher RC delay and keep-out overheads. The paper
+    /// targets *monolithic* 3D precisely because MIV delay keeps the
+    /// crossbar single-cycle; this preset quantifies the alternative.
+    #[must_use]
+    pub fn tsv() -> Self {
+        MivModel { per_tier_ps: 45.0, mux_ps: 42.0, checker_ps: 12.0, nominal_period_ps: 1000.0 }
+    }
+
+    /// Delay of a transfer crossing `tiers` vertical hops through the
+    /// crossbar, in picoseconds.
+    #[must_use]
+    pub fn crossing_delay_ps(&self, tiers: usize) -> f64 {
+        self.mux_ps + self.checker_ps + self.per_tier_ps * tiers as f64
+    }
+
+    /// Worst-case crossing (full stack height) for a stack of `layers`.
+    #[must_use]
+    pub fn worst_case_ps(&self, layers: usize) -> f64 {
+        self.crossing_delay_ps(layers.saturating_sub(1))
+    }
+
+    /// Frequency overhead fraction of an R2D3 design over NoRecon for a
+    /// stack of `layers`: the crossbar delay is added to the critical
+    /// path, stretching the cycle.
+    #[must_use]
+    pub fn frequency_overhead(&self, layers: usize) -> f64 {
+        let stretched = self.nominal_period_ps + self.worst_case_ps(layers);
+        1.0 - self.nominal_period_ps / stretched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_layer_overhead_matches_paper() {
+        let m = MivModel::default();
+        let oh = m.frequency_overhead(8);
+        assert!((0.075..=0.082).contains(&oh), "frequency overhead {:.3} vs paper <8.2 %", oh);
+    }
+
+    #[test]
+    fn tsv_stacking_blows_the_frequency_budget() {
+        // The paper's <8.2 % overhead depends on MIVs; with TSV delays an
+        // 8-tier crossbar costs several times more frequency.
+        let miv = MivModel::default();
+        let tsv = MivModel::tsv();
+        assert!(tsv.frequency_overhead(8) > 2.0 * miv.frequency_overhead(8));
+        assert!(tsv.frequency_overhead(8) > 0.2);
+    }
+
+    #[test]
+    fn crossing_grows_with_tiers() {
+        let m = MivModel::default();
+        assert!(m.crossing_delay_ps(7) > m.crossing_delay_ps(0));
+        assert_eq!(m.worst_case_ps(8), m.crossing_delay_ps(7));
+    }
+
+    #[test]
+    fn same_layer_transfer_still_pays_mux() {
+        let m = MivModel::default();
+        assert!(m.crossing_delay_ps(0) >= m.mux_ps);
+    }
+}

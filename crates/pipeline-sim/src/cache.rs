@@ -1,0 +1,201 @@
+//! Set-associative caches and the Table II memory hierarchy.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and timing of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub hit_cycles: u64,
+}
+
+impl CacheConfig {
+    /// Paper Table II: 8 kB 4-way private L1 D-cache.
+    #[must_use]
+    pub fn l1d() -> Self {
+        CacheConfig { size_bytes: 8 * 1024, ways: 4, line_bytes: 32, hit_cycles: 1 }
+    }
+
+    /// Paper Table II: 4 kB 4-way private I-cache.
+    #[must_use]
+    pub fn l1i() -> Self {
+        CacheConfig { size_bytes: 4 * 1024, ways: 4, line_bytes: 32, hit_cycles: 1 }
+    }
+
+    /// Paper Table II: 64 kB 4-way shared L2.
+    #[must_use]
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 64 * 1024, ways: 4, line_bytes: 32, hit_cycles: 8 }
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        (self.size_bytes / self.line_bytes / self.ways).max(1)
+    }
+}
+
+/// A set-associative cache with true-LRU replacement.
+///
+/// Addresses are in words (matching the ISA); tags are computed over the
+/// line-aligned word address. The cache tracks only presence (this is a
+/// timing model; data lives in the pipeline's memory image).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `tags[set * ways + way]`: tag + valid, LRU-ordered per set
+    /// (index 0 = most recently used).
+    tags: Vec<Option<u32>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    #[must_use]
+    pub fn new(config: CacheConfig) -> Self {
+        Cache { tags: vec![None; config.sets() * config.ways], config, hits: 0, misses: 0 }
+    }
+
+    /// The cache's configuration.
+    #[must_use]
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Accesses a word address; returns `true` on hit. On miss the line is
+    /// filled (allocate-on-miss for both loads and stores).
+    pub fn access(&mut self, word_addr: u32) -> bool {
+        let words_per_line = (self.config.line_bytes / 4).max(1) as u32;
+        let line = word_addr / words_per_line;
+        let sets = self.config.sets() as u32;
+        let set = (line % sets) as usize;
+        let tag = line / sets;
+        let ways = self.config.ways;
+        let base = set * ways;
+        let slots = &mut self.tags[base..base + ways];
+
+        if let Some(pos) = slots.iter().position(|t| *t == Some(tag)) {
+            // Move to MRU.
+            slots[..=pos].rotate_right(1);
+            self.hits += 1;
+            true
+        } else {
+            // Evict LRU (last), insert at MRU.
+            slots.rotate_right(1);
+            slots[0] = Some(tag);
+            self.misses += 1;
+            false
+        }
+    }
+
+    /// Hit count since construction.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Miss count since construction.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Hit rate in `[0, 1]` (1.0 when never accessed).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The per-pipeline view of the memory hierarchy: private L1I/L1D, a
+/// handle to the shared L2, and the DRAM latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemoryHierarchy {
+    /// L1 D-cache config.
+    pub l1d: CacheConfig,
+    /// L1 I-cache config.
+    pub l1i: CacheConfig,
+    /// Shared L2 config.
+    pub l2: CacheConfig,
+    /// Main-memory access latency in cycles (Table II: 4-channel
+    /// DDR4-2400; ≈60 ns at 1 GHz).
+    pub memory_cycles: u64,
+}
+
+impl Default for MemoryHierarchy {
+    fn default() -> Self {
+        MemoryHierarchy {
+            l1d: CacheConfig::l1d(),
+            l1i: CacheConfig::l1i(),
+            l2: CacheConfig::l2(),
+            memory_cycles: 60,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_then_hits() {
+        let mut c = Cache::new(CacheConfig::l1d());
+        assert!(!c.access(100));
+        assert!(c.access(100));
+        assert!(c.access(101), "same 32-byte line");
+        assert_eq!(c.misses(), 1);
+        assert_eq!(c.hits(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        // 2-set toy cache: 2 ways, 1-word lines, 2 sets.
+        let cfg = CacheConfig { size_bytes: 16, ways: 2, line_bytes: 4, hit_cycles: 1 };
+        assert_eq!(cfg.sets(), 2);
+        let mut c = Cache::new(cfg);
+        // Set 0 gets addresses 0, 2, 4 (tags 0,1,2).
+        c.access(0);
+        c.access(2);
+        assert!(c.access(0), "0 still resident");
+        c.access(4); // evicts 2 (LRU), not 0
+        assert!(c.access(0), "0 was MRU, survives");
+        assert!(!c.access(2), "2 was evicted");
+    }
+
+    #[test]
+    fn sets_capacity_conservation() {
+        let cfg = CacheConfig::l1d();
+        assert_eq!(cfg.sets() * cfg.ways * cfg.line_bytes, cfg.size_bytes);
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let cfg = CacheConfig { size_bytes: 64, ways: 2, line_bytes: 4, hit_cycles: 1 };
+        let mut c = Cache::new(cfg);
+        // Stream over 64 distinct words twice: capacity is 16 words.
+        for _ in 0..2 {
+            for a in 0..64u32 {
+                c.access(a * 7); // stride to spread across sets
+            }
+        }
+        assert!(c.hit_rate() < 0.2, "hit rate {}", c.hit_rate());
+    }
+
+    #[test]
+    fn hit_rate_defaults_to_one() {
+        let c = Cache::new(CacheConfig::l2());
+        assert_eq!(c.hit_rate(), 1.0);
+    }
+}

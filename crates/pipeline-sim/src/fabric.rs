@@ -1,0 +1,191 @@
+//! The reconfigurable crossbar fabric: logical-pipeline → physical-stage
+//! assignment.
+
+use crate::stage::StageId;
+use crate::SimError;
+use r2d3_isa::Unit;
+use serde::{Deserialize, Serialize};
+
+/// Crossbar configuration: for each logical pipeline and unit type, which
+/// layer's physical stage currently does the work.
+///
+/// The identity configuration (pipeline `p` uses all of layer `p`'s
+/// stages) models a hard-wired NoRecon stack; the R2D3 controller
+/// reconfigures the map to route around faults and rotate leftovers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fabric {
+    layers: usize,
+    /// `assignment[pipe][unit] = Some(layer)`.
+    assignment: Vec<[Option<usize>; 5]>,
+}
+
+impl Fabric {
+    /// Identity fabric: `pipelines` logical pipelines, pipeline `p` mapped
+    /// onto layer `p` for every unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipelines > layers`.
+    #[must_use]
+    pub fn identity(layers: usize, pipelines: usize) -> Self {
+        assert!(pipelines <= layers, "more pipelines than layers");
+        let assignment = (0..pipelines)
+            .map(|p| [Some(p); 5])
+            .collect();
+        Fabric { layers, assignment }
+    }
+
+    /// An empty fabric with `pipelines` unmapped logical pipelines.
+    #[must_use]
+    pub fn unmapped(layers: usize, pipelines: usize) -> Self {
+        Fabric { layers, assignment: vec![[None; 5]; pipelines] }
+    }
+
+    /// Number of tiers in the stack.
+    #[must_use]
+    pub fn layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Number of logical pipelines (mapped or not).
+    #[must_use]
+    pub fn pipelines(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The physical stage serving `pipe`'s `unit` slot, if mapped.
+    #[must_use]
+    pub fn stage_for(&self, pipe: usize, unit: Unit) -> Option<StageId> {
+        self.assignment
+            .get(pipe)?
+            .get(unit.index())
+            .copied()
+            .flatten()
+            .map(|layer| StageId { layer, unit })
+    }
+
+    /// Maps `pipe`'s `unit` slot to the stage on `layer`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPipeline`] / [`SimError::UnknownStage`]
+    /// for out-of-range indices and [`SimError::InvalidFabric`] if another
+    /// pipeline already uses that physical stage.
+    pub fn assign(&mut self, pipe: usize, unit: Unit, layer: usize) -> Result<(), SimError> {
+        if pipe >= self.assignment.len() {
+            return Err(SimError::UnknownPipeline(pipe));
+        }
+        if layer >= self.layers {
+            return Err(SimError::UnknownStage(StageId { layer, unit }));
+        }
+        for (other, slots) in self.assignment.iter().enumerate() {
+            if other != pipe && slots[unit.index()] == Some(layer) {
+                return Err(SimError::InvalidFabric(format!(
+                    "stage {} already serves pipeline {other}",
+                    StageId { layer, unit }
+                )));
+            }
+        }
+        self.assignment[pipe][unit.index()] = Some(layer);
+        Ok(())
+    }
+
+    /// Unmaps `pipe`'s `unit` slot (the pipeline becomes incomplete).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPipeline`] for an out-of-range pipeline.
+    pub fn unassign(&mut self, pipe: usize, unit: Unit) -> Result<(), SimError> {
+        if pipe >= self.assignment.len() {
+            return Err(SimError::UnknownPipeline(pipe));
+        }
+        self.assignment[pipe][unit.index()] = None;
+        Ok(())
+    }
+
+    /// Whether `pipe` has all five unit slots mapped.
+    #[must_use]
+    pub fn is_complete(&self, pipe: usize) -> bool {
+        self.assignment
+            .get(pipe)
+            .is_some_and(|slots| slots.iter().all(Option::is_some))
+    }
+
+    /// Number of complete logical pipelines.
+    #[must_use]
+    pub fn complete_pipelines(&self) -> usize {
+        (0..self.pipelines()).filter(|&p| self.is_complete(p)).count()
+    }
+
+    /// Physical stages currently serving no pipeline (candidate leftovers,
+    /// before health filtering).
+    #[must_use]
+    pub fn unassigned_stages(&self) -> Vec<StageId> {
+        let mut used = vec![false; self.layers * Unit::COUNT];
+        for slots in &self.assignment {
+            for (ui, layer) in slots.iter().enumerate() {
+                if let Some(l) = layer {
+                    used[l * Unit::COUNT + ui] = true;
+                }
+            }
+        }
+        StageId::all(self.layers).filter(|s| !used[s.flat_index()]).collect()
+    }
+
+    /// Number of vertical tiers an instruction crosses between `unit` and
+    /// the next unit in program order for `pipe` (crossbar hop length).
+    #[must_use]
+    pub fn crossing_distance(&self, pipe: usize, from: Unit, to: Unit) -> Option<usize> {
+        let a = self.stage_for(pipe, from)?;
+        let b = self.stage_for(pipe, to)?;
+        Some(a.layer.abs_diff(b.layer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_complete() {
+        let f = Fabric::identity(8, 8);
+        assert_eq!(f.complete_pipelines(), 8);
+        assert!(f.unassigned_stages().is_empty());
+        assert_eq!(f.stage_for(3, Unit::Exu), Some(StageId::new(3, Unit::Exu)));
+        assert_eq!(f.crossing_distance(3, Unit::Ifu, Unit::Exu), Some(0));
+    }
+
+    #[test]
+    fn partial_stack_has_leftovers() {
+        let f = Fabric::identity(8, 6);
+        assert_eq!(f.complete_pipelines(), 6);
+        assert_eq!(f.unassigned_stages().len(), 10, "two spare layers × five units");
+    }
+
+    #[test]
+    fn double_assignment_rejected() {
+        let mut f = Fabric::identity(4, 2);
+        // Pipeline 1 tries to steal pipeline 0's EXU.
+        let err = f.assign(1, Unit::Exu, 0).unwrap_err();
+        assert!(matches!(err, SimError::InvalidFabric(_)));
+        // Free it first, then it works.
+        f.unassign(0, Unit::Exu).unwrap();
+        f.assign(1, Unit::Exu, 0).unwrap();
+        assert!(!f.is_complete(0));
+        assert_eq!(f.crossing_distance(1, Unit::Ifu, Unit::Exu), Some(1));
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let mut f = Fabric::identity(4, 2);
+        assert!(matches!(f.assign(9, Unit::Ifu, 0), Err(SimError::UnknownPipeline(9))));
+        assert!(matches!(f.assign(0, Unit::Ifu, 9), Err(SimError::UnknownStage(_))));
+        assert!(f.unassign(9, Unit::Ifu).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "more pipelines than layers")]
+    fn identity_requires_enough_layers() {
+        let _ = Fabric::identity(2, 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Fault-injection campaign: run the gate-level ATPG flow over the five
+//! generated pipeline-unit netlists and print coverage, then inject a
+//! batch of behavioral faults into the running system and measure R2D3's
+//! runtime detection latency for each.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+
+use r2d3::atpg::campaign::{run_campaign, CampaignConfig};
+use r2d3::atpg::fault::collapsed_faults;
+use r2d3::atpg::report::{unit_report, LatencyBucket};
+use r2d3::engine::{R2d3Config, R2d3Engine};
+use r2d3::isa::kernels::gemm;
+use r2d3::isa::Unit;
+use r2d3::netlist::stages::{all_stage_netlists, StageSizing};
+use r2d3::pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- part 1: gate-level coverage (the paper's §IV methodology) ----
+    println!("gate-level stuck-at campaign over the generated unit netlists");
+    println!("--------------------------------------------------------------");
+    let config = CampaignConfig { max_patterns: 8192, seed: 9, threads: 4 };
+    for sn in all_stage_netlists(&StageSizing::default()) {
+        let faults = collapsed_faults(sn.netlist());
+        let outcome = run_campaign(sn.netlist(), &faults, &config);
+        let report = unit_report(sn.unit().name(), &outcome);
+        println!(
+            "{:4}: {:5} gates, {:5} faults, detectable {:5.1} %, detected≤5k {:5.1} %",
+            report.label,
+            sn.netlist().num_gates(),
+            report.total,
+            report.detectable_pct(),
+            report.cumulative_detected_pct(LatencyBucket::Lt5k),
+        );
+    }
+
+    // ---- part 2: runtime detection latency ------------------------------
+    println!();
+    println!("runtime single-fault injections (detection latency in epochs)");
+    println!("--------------------------------------------------------------");
+    let mut detected = 0usize;
+    let mut total = 0usize;
+    for unit in Unit::ALL {
+        for bit in [0u8, 3, 7, 12] {
+            total += 1;
+            let sys_config = SystemConfig { pipelines: 6, ..Default::default() };
+            let mut sys = System3d::new(&sys_config);
+            for p in 0..6 {
+                sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone())?;
+            }
+            let mut engine = R2d3Engine::new(&R2d3Config::default());
+            let victim = StageId::new(1, unit);
+            sys.inject_fault(victim, FaultEffect { bit, stuck: true })?;
+
+            let mut latency = None;
+            for epoch in 1..=24 {
+                engine.run_epoch(&mut sys)?;
+                if engine.believed_faulty().contains(&victim) {
+                    latency = Some(epoch);
+                    break;
+                }
+            }
+            match latency {
+                Some(e) => {
+                    detected += 1;
+                    println!("{victim} sa1@bit{bit:<2} diagnosed after {e:>2} epoch(s)");
+                }
+                None => println!(
+                    "{victim} sa1@bit{bit:<2} not diagnosed in 24 epochs (fault never manifested in the workload's outputs)"
+                ),
+            }
+        }
+    }
+    println!();
+    println!(
+        "diagnosed {detected}/{total} injected faults; the misses are faults whose \
+         stuck value never differs from the workload's outputs — the same \
+         data-dependence that caps coverage in Fig. 4"
+    );
+    Ok(())
+}

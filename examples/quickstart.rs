@@ -1,0 +1,90 @@
+//! Quickstart: build the 8-core 3D system, inject a permanent stuck-at
+//! fault, and watch R2D3 detect, diagnose and repair it at runtime.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use r2d3::engine::{EngineEvent, R2d3Config, R2d3Engine};
+use r2d3::isa::kernels::gemv;
+use r2d3::isa::Unit;
+use r2d3::pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Six logical pipelines on an 8-layer stack: layers 6 and 7 supply
+    // the leftovers R2D3 uses for concurrent detection.
+    let sys_config = SystemConfig { pipelines: 6, ..Default::default() };
+    let mut sys = System3d::new(&sys_config);
+
+    let kernel = gemv(32, 32, 42);
+    for pipe in 0..6 {
+        sys.load_program(pipe, kernel.program().clone())?;
+    }
+
+    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    println!(
+        "system: {} layers × {} units, {} pipelines, T_epoch = {} cycles, T_test = {}",
+        sys.fabric().layers(),
+        Unit::COUNT,
+        sys.pipeline_count(),
+        engine.config().t_epoch,
+        engine.config().t_test,
+    );
+
+    // A wearout defect strikes pipeline 2's EXU: bit 0 of every result is
+    // stuck at 1.
+    let victim = StageId::new(2, Unit::Exu);
+    sys.inject_fault(victim, FaultEffect { bit: 0, stuck: true })?;
+    println!("\n>>> injected permanent stuck-at-1 (bit 0) into {victim}\n");
+
+    'epochs: for epoch in 1..=64 {
+        let events = engine.run_epoch(&mut sys)?;
+        for event in &events {
+            match event {
+                EngineEvent::Symptom { dut, pipe } => {
+                    println!("epoch {epoch:>2}: checker fired on {dut} (pipeline {pipe})");
+                }
+                EngineEvent::Transient { dut } => {
+                    println!("epoch {epoch:>2}: transient at {dut}; resumed after 1-cycle stall");
+                }
+                EngineEvent::Permanent { stage } => {
+                    println!("epoch {epoch:>2}: TMR replay localized a permanent fault at {stage}");
+                }
+                EngineEvent::Repaired { pipelines_formed } => {
+                    println!(
+                        "epoch {epoch:>2}: crossbars reconfigured; {pipelines_formed} pipelines re-formed"
+                    );
+                    break 'epochs;
+                }
+                other => println!("epoch {epoch:>2}: {other:?}"),
+            }
+        }
+    }
+
+    // Let all pipelines finish and verify their results are correct even
+    // though one ran on a faulty stage for a while (post-repair restart).
+    for _ in 0..200 {
+        engine.run_epoch(&mut sys)?;
+        if (0..6).all(|p| sys.pipeline(p).map(|x| x.halted()).unwrap_or(false)) {
+            break;
+        }
+    }
+
+    println!();
+    for pipe in 0..6 {
+        let p = sys.pipeline(pipe).expect("pipeline exists");
+        let status = if kernel.verify(p.memory()) { "correct" } else { "CORRUPT" };
+        println!(
+            "pipeline {pipe}: halted={} retired={} IPC={:.2} → result {status}",
+            p.halted(),
+            p.retired(),
+            p.ipc()
+        );
+        assert!(kernel.verify(p.memory()), "post-repair results must be correct");
+    }
+    println!(
+        "\nfaulty stage {victim} now serves no pipeline; believed-faulty set = {:?}",
+        engine.believed_faulty()
+    );
+    Ok(())
+}

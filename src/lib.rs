@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Façade crate re-exporting the entire R2D3 reproduction workspace.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured comparison.
+
+pub use r2d3_aging as aging;
+pub use r2d3_atpg as atpg;
+pub use r2d3_core as engine;
+pub use r2d3_isa as isa;
+pub use r2d3_netlist as netlist;
+pub use r2d3_physical as physical;
+pub use r2d3_pipeline_sim as pipeline_sim;
+pub use r2d3_thermal as thermal;

@@ -1,0 +1,90 @@
+//! Architectural equivalence: for arbitrary (terminating) programs, the
+//! timing-annotated pipeline simulator must retire exactly the state the
+//! ISA reference interpreter produces — the paper's detection scheme
+//! depends on stages being deterministic re-executable units.
+
+use proptest::prelude::*;
+use r2d3::isa::{AluOp, BranchCond, FpuOp, Instruction, Interp, Program, Reg};
+use r2d3::pipeline_sim::{System3d, SystemConfig};
+
+const DATA_WORDS: usize = 64;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0usize..32).prop_map(|i| Reg::from_index(i).expect("index < 32"))
+}
+
+/// Strategy for straight-line-plus-forward-branch programs that always
+/// terminate and only touch the first `DATA_WORDS` words of memory.
+fn arb_program() -> impl Strategy<Value = Program> {
+    let instr = prop_oneof![
+        (0usize..10, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+            Instruction::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }
+        }),
+        (0usize..10, arb_reg(), arb_reg(), any::<i8>()).prop_map(|(op, rd, rs1, imm)| {
+            Instruction::AluImm { op: AluOp::ALL[op], rd, rs1, imm: i16::from(imm) }
+        }),
+        (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
+        (arb_reg(), 0i16..DATA_WORDS as i16).prop_map(|(rd, offset)| Instruction::Load {
+            rd,
+            base: Reg::R0,
+            offset,
+        }),
+        (arb_reg(), 0i16..DATA_WORDS as i16).prop_map(|(src, offset)| Instruction::Store {
+            src,
+            base: Reg::R0,
+            offset,
+        }),
+        (0usize..4, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
+            Instruction::Fpu { op: FpuOp::ALL[op], rd, rs1, rs2 }
+        }),
+        // Forward-only branches (strictly positive offset → terminating).
+        (0usize..4, arb_reg(), arb_reg(), 1i16..4).prop_map(|(c, rs1, rs2, offset)| {
+            Instruction::Branch { cond: BranchCond::ALL[c], rs1, rs2, offset }
+        }),
+        Just(Instruction::Nop),
+    ];
+    (proptest::collection::vec(instr, 1..120), proptest::collection::vec(any::<u32>(), DATA_WORDS))
+        .prop_map(|(mut text, data)| {
+            // Pad the tail so forward branches always land inside text.
+            for _ in 0..4 {
+                text.push(Instruction::Nop);
+            }
+            text.push(Instruction::Halt);
+            Program::new(text, data, DATA_WORDS)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn pipeline_matches_interpreter(program in arb_program()) {
+        // Golden model.
+        let mut golden = Interp::new(&program);
+        golden.run(100_000).expect("terminating program");
+
+        // Pipeline simulator (pipeline 0 of a fresh system).
+        let mut sys = System3d::new(&SystemConfig::default());
+        sys.load_program(0, program.clone()).expect("load");
+        sys.run(2_000_000).expect("fault-free run");
+        let pipe = sys.pipeline(0).expect("pipeline 0");
+
+        prop_assert!(pipe.halted(), "pipeline did not halt");
+        prop_assert_eq!(pipe.retired(), golden.retired(), "retired count differs");
+        for r in Reg::ALL {
+            prop_assert_eq!(pipe.reg(r), golden.reg(r), "register {} differs", r);
+        }
+        prop_assert_eq!(pipe.memory(), golden.memory(), "memory image differs");
+    }
+
+    #[test]
+    fn trace_golden_equals_actual_when_healthy(program in arb_program()) {
+        let mut sys = System3d::new(&SystemConfig::default());
+        sys.load_program(0, program).expect("load");
+        sys.run(2_000_000).expect("fault-free run");
+        for stage in r2d3::pipeline_sim::StageId::all(8) {
+            for rec in sys.stage_trace(stage).iter() {
+                prop_assert_eq!(rec.golden_output, rec.actual_output);
+            }
+        }
+    }
+}
