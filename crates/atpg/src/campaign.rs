@@ -4,8 +4,13 @@ use crate::fault::Fault;
 use crate::observe::structurally_observable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use r2d3_netlist::Netlist;
+use r2d3_netlist::{FaultCone, FaultSim, Netlist, SimScratch};
 use serde::{Deserialize, Serialize};
+
+/// Pattern blocks whose good-value vectors are held in memory at once.
+/// Bounds peak memory at `BLOCK_BATCH * num_nets * 8` bytes while still
+/// amortizing each fault's cone derivation over many blocks.
+const BLOCK_BATCH: usize = 32;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -16,13 +21,28 @@ pub struct CampaignConfig {
     pub max_patterns: usize,
     /// RNG seed for pattern generation.
     pub seed: u64,
-    /// Number of worker threads for the fault loop (1 = serial).
+    /// Number of worker threads for the fault loop (1 = serial). Thread
+    /// count never changes results: faults are simulated independently
+    /// over the same pattern sequence.
     pub threads: usize,
+}
+
+impl CampaignConfig {
+    /// Default worker count: the machine's available parallelism, capped
+    /// at 8 (the fault loop saturates memory bandwidth beyond that).
+    #[must_use]
+    pub fn default_threads() -> usize {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+    }
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { max_patterns: 8192, seed: 0xA7C6, threads: 1 }
+        CampaignConfig {
+            max_patterns: 8192,
+            seed: 0xA7C6,
+            threads: CampaignConfig::default_threads(),
+        }
     }
 }
 
@@ -131,22 +151,11 @@ impl CampaignOutcome {
     }
 }
 
-/// Runs a random-pattern stuck-at campaign over `faults` on `netlist`,
-/// observing the netlist's primary outputs.
-///
-/// Faults that are ground-truth redundant
-/// ([`Netlist::redundant_constants`]) or structurally unobservable from
-/// the outputs are classified [`FaultStatus::Undetectable`] without
-/// simulation. The rest are fault-simulated with 64 patterns per pass and
-/// dropped once detected.
-#[must_use]
-pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig) -> CampaignOutcome {
-    let blocks = config.max_patterns.div_ceil(64).max(1);
+/// Classifies provably undetectable faults (redundant by construction or
+/// structurally unobservable); returns the indices that need simulation.
+fn preclassify(netlist: &Netlist, faults: &[Fault], statuses: &mut [FaultStatus]) -> Vec<usize> {
     let observable = structurally_observable(netlist, netlist.outputs());
-
-    // Pre-classify provably undetectable faults.
-    let mut statuses = vec![FaultStatus::Undetected; faults.len()];
-    let mut active: Vec<usize> = Vec::with_capacity(faults.len());
+    let mut active = Vec::with_capacity(faults.len());
     for (i, fault) in faults.iter().enumerate() {
         let redundant = netlist
             .redundant_constants()
@@ -158,76 +167,175 @@ pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig
             active.push(i);
         }
     }
+    active
+}
 
+/// Generates the campaign's pattern blocks up front (one `Vec<u64>` of
+/// input lanes per 64-pattern block), drawing from the same RNG stream
+/// the campaign has always used so results stay seed-compatible.
+fn pattern_blocks(netlist: &Netlist, blocks: usize, seed: u64) -> Vec<Vec<u64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..blocks)
+        .map(|_| (0..netlist.num_inputs()).map(|_| rng.gen()).collect())
+        .collect()
+}
+
+/// Runs a random-pattern stuck-at campaign over `faults` on `netlist`,
+/// observing the netlist's primary outputs.
+///
+/// Faults that are ground-truth redundant
+/// ([`Netlist::redundant_constants`]) or structurally unobservable from
+/// the outputs are classified [`FaultStatus::Undetectable`] without
+/// simulation. The rest are fault-simulated incrementally
+/// ([`FaultSim`]): pattern blocks are processed in batches whose
+/// good-value vectors are cached, each fault's fanout cone is derived
+/// once per batch, and only the cone is re-evaluated per block — with
+/// early exit once the fault effect dies out. Detected faults are
+/// dropped from later batches.
+///
+/// Results are bit-identical to [`run_campaign_reference`] for any seed
+/// and any thread count.
+#[must_use]
+pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig) -> CampaignOutcome {
+    let blocks = config.max_patterns.div_ceil(64).max(1);
+    let mut statuses = vec![FaultStatus::Undetected; faults.len()];
+    let mut remaining = preclassify(netlist, faults, &mut statuses);
+
+    let engine = FaultSim::new(netlist);
+    let inputs = pattern_blocks(netlist, blocks, config.seed);
     let threads = config.threads.max(1);
-    if threads == 1 || active.len() < 128 {
-        simulate_chunk(netlist, faults, &active, blocks, config.seed, &mut statuses);
-    } else {
-        let chunk_len = active.len().div_ceil(threads);
-        let chunks: Vec<&[usize]> = active.chunks(chunk_len).collect();
-        let mut partials: Vec<Vec<(usize, FaultStatus)>> = Vec::new();
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for chunk in &chunks {
-                let chunk: Vec<usize> = chunk.to_vec();
-                handles.push(scope.spawn(move |_| {
-                    let mut local = vec![FaultStatus::Undetected; chunk.len()];
-                    let mut local_statuses = vec![FaultStatus::Undetected; faults.len()];
-                    simulate_chunk(netlist, faults, &chunk, blocks, config.seed, &mut local_statuses);
-                    for (j, &fi) in chunk.iter().enumerate() {
-                        local[j] = local_statuses[fi];
-                    }
-                    chunk.into_iter().zip(local).collect::<Vec<_>>()
-                }));
-            }
-            for h in handles {
-                partials.push(h.join().expect("campaign worker panicked"));
-            }
-        })
-        .expect("campaign thread scope failed");
-        for partial in partials {
-            for (fi, st) in partial {
-                statuses[fi] = st;
+    let mut blocks_applied = 0usize;
+
+    // With cone bitsets available, workers walk each fault's cone row in
+    // place (`eval_stuck_detect`) — no cones are ever materialized. On
+    // netlists too large for the bitset budget, workers fall back to
+    // deriving cones per batch.
+    let use_rows = engine.cheap_cones();
+    let mut goods: Vec<Vec<u64>> = Vec::new();
+
+    for batch_start in (0..blocks).step_by(BLOCK_BATCH) {
+        if remaining.is_empty() {
+            break;
+        }
+        let batch = &inputs[batch_start..blocks.min(batch_start + BLOCK_BATCH)];
+        goods.truncate(batch.len());
+        goods.resize_with(batch.len(), Vec::new);
+        for (buf, pattern) in goods.iter_mut().zip(batch) {
+            netlist.eval_all_into(pattern, buf);
+        }
+
+        let results = if threads == 1 || remaining.len() < 128 {
+            simulate_batch(&engine, faults, &remaining, &goods, batch_start, use_rows)
+        } else {
+            let chunk_len = remaining.len().div_ceil(threads);
+            crossbeam::scope(|scope| {
+                let handles: Vec<_> = remaining
+                    .chunks(chunk_len)
+                    .map(|chunk| {
+                        let (engine, goods) = (&engine, &goods);
+                        scope.spawn(move |_| {
+                            simulate_batch(engine, faults, chunk, goods, batch_start, use_rows)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("campaign worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("campaign thread scope failed")
+        };
+
+        // Workers cover disjoint chunks of `remaining` in order, so the
+        // concatenated results are parallel to `remaining`.
+        let mut next = Vec::with_capacity(remaining.len());
+        for (fi, detected, blocks_used) in results {
+            blocks_applied = blocks_applied.max(blocks_used);
+            match detected {
+                Some(status) => statuses[fi] = status,
+                None => next.push(fi),
             }
         }
+        remaining = next;
     }
 
     CampaignOutcome {
         faults: faults.to_vec(),
         statuses,
-        patterns_applied: blocks * 64,
+        patterns_applied: blocks_applied * 64,
     }
 }
 
-/// Simulates the faults at indices `active` over all pattern blocks,
-/// updating `statuses` in place. All workers use the same seed, so the
-/// pattern sequence is identical regardless of threading.
-fn simulate_chunk(
+/// Simulates each fault in `chunk` over one batch of cached good-value
+/// vectors. Returns `(fault_index, detection, last block reached + 1)`
+/// per fault; the cone and scratch buffers are reused across faults.
+fn simulate_batch(
+    engine: &FaultSim<'_>,
+    faults: &[Fault],
+    chunk: &[usize],
+    goods: &[Vec<u64>],
+    batch_start: usize,
+    use_rows: bool,
+) -> Vec<(usize, Option<FaultStatus>, usize)> {
+    let mut cone = FaultCone::new();
+    let mut scratch = SimScratch::new();
+    chunk
+        .iter()
+        .map(|&fi| {
+            let fault = faults[fi];
+            if !use_rows {
+                engine.cone_into(fault.net, &mut cone);
+            }
+            let mut detected = None;
+            let mut blocks_used = batch_start;
+            for (bi, good) in goods.iter().enumerate() {
+                blocks_used = batch_start + bi + 1;
+                if use_rows {
+                    engine.eval_stuck_detect(good, (fault.net, fault.stuck), &mut scratch);
+                } else {
+                    engine.eval_stuck(good, (fault.net, fault.stuck), &cone, &mut scratch);
+                }
+                let diff = engine.detect_word(good, &scratch);
+                if diff != 0 {
+                    let lane = diff.trailing_zeros() as usize;
+                    detected =
+                        Some(FaultStatus::Detected { pattern: (batch_start + bi) * 64 + lane });
+                    break;
+                }
+            }
+            (fi, detected, blocks_used)
+        })
+        .collect()
+}
+
+/// Reference campaign: full-netlist re-evaluation per fault per block via
+/// [`Netlist::eval_all_stuck_into`], serial, block-outer. Kept as the
+/// correctness oracle and performance baseline for [`run_campaign`]'s
+/// incremental engine — both must classify every fault identically, with
+/// identical detection pattern indices, for any seed.
+#[must_use]
+pub fn run_campaign_reference(
     netlist: &Netlist,
     faults: &[Fault],
-    active: &[usize],
-    blocks: usize,
-    seed: u64,
-    statuses: &mut [FaultStatus],
-) {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut remaining: Vec<usize> = active.to_vec();
-    let mut inputs = vec![0u64; netlist.num_inputs()];
-    let mut faulty_values: Vec<u64> = Vec::with_capacity(netlist.num_nets());
+    config: &CampaignConfig,
+) -> CampaignOutcome {
+    let blocks = config.max_patterns.div_ceil(64).max(1);
+    let mut statuses = vec![FaultStatus::Undetected; faults.len()];
+    let mut remaining = preclassify(netlist, faults, &mut statuses);
+    let inputs = pattern_blocks(netlist, blocks, config.seed);
 
-    for block in 0..blocks {
+    let mut faulty_values: Vec<u64> = Vec::with_capacity(netlist.num_nets());
+    let mut blocks_applied = 0usize;
+    for (block, input) in inputs.iter().enumerate() {
         if remaining.is_empty() {
             break;
         }
-        for slot in inputs.iter_mut() {
-            *slot = rng.gen();
-        }
-        let good = netlist.eval_all(&inputs);
+        blocks_applied = block + 1;
+        let good = netlist.eval_all(input);
         let good_out = netlist.output_values(&good);
-
         remaining.retain(|&fi| {
             let fault = faults[fi];
-            netlist.eval_all_stuck_into(&inputs, (fault.net, fault.stuck), &mut faulty_values);
+            netlist.eval_all_stuck_into(input, (fault.net, fault.stuck), &mut faulty_values);
             let mut diff = 0u64;
             for (o, g) in netlist.outputs().iter().zip(&good_out) {
                 diff |= faulty_values[o.index()] ^ g;
@@ -240,6 +348,12 @@ fn simulate_chunk(
                 true
             }
         });
+    }
+
+    CampaignOutcome {
+        faults: faults.to_vec(),
+        statuses,
+        patterns_applied: blocks_applied * 64,
     }
 }
 
@@ -331,6 +445,53 @@ mod tests {
         let serial = run_campaign(&nl, &faults, &CampaignConfig { threads: 1, ..Default::default() });
         let par = run_campaign(&nl, &faults, &CampaignConfig { threads: 4, ..Default::default() });
         assert_eq!(serial.statuses(), par.statuses());
+    }
+
+    #[test]
+    fn incremental_matches_reference_oracle() {
+        // The incremental engine must classify every fault identically to
+        // full re-evaluation, including detection pattern indices and the
+        // honest applied-pattern count, on a circuit with redundant and
+        // unobservable logic.
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(10);
+        let x = b.xor_tree(&i[..6]);
+        let y = b.and_tree(&i[4..]);
+        let z = b.redundant_zero(i[0]);
+        let w = b.or2(y, z);
+        let dead = b.and2(i[8], i[9]);
+        let _ = dead;
+        b.output(x);
+        b.output(w);
+        let nl = b.finish();
+        let faults = all_faults(&nl);
+        for seed in [1u64, 0xA7C6, 77] {
+            let config = CampaignConfig { max_patterns: 2048, seed, threads: 1 };
+            let inc = run_campaign(&nl, &faults, &config);
+            let reference = run_campaign_reference(&nl, &faults, &config);
+            assert_eq!(inc.statuses(), reference.statuses(), "seed {seed}");
+            assert_eq!(inc.patterns_applied(), reference.patterns_applied(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn patterns_applied_reflects_blocks_simulated() {
+        // Parity faults all fall in the first block, so only 64 patterns
+        // are actually applied out of the 8192 budget.
+        let nl = parity4();
+        let out = run_campaign(&nl, &all_faults(&nl), &CampaignConfig::default());
+        assert_eq!(out.patterns_applied(), 64);
+        // A budget-limited AND tree leaves faults undetected, so the whole
+        // budget really is applied.
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(24);
+        let root = b.and_tree(&i);
+        b.output(root);
+        let hard = b.finish();
+        let tiny = CampaignConfig { max_patterns: 128, seed: 1, threads: 1 };
+        let out = run_campaign(&hard, &all_faults(&hard), &tiny);
+        assert!(out.counts().1 > 0);
+        assert_eq!(out.patterns_applied(), 128);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! coverage.
 
 use crate::fault::Fault;
-use r2d3_netlist::Netlist;
+use r2d3_netlist::{FaultCone, FaultSim, Netlist, SimScratch};
 use std::collections::HashSet;
 
 /// A single test pattern: one `bool` per primary input.
@@ -20,21 +20,29 @@ fn lanes(pattern: &Pattern) -> Vec<u64> {
     pattern.iter().map(|&b| if b { !0u64 } else { 0 }).collect()
 }
 
+/// Per-fault fanout cones, derived once and replayed for every pattern.
+fn fault_cones(engine: &FaultSim<'_>, faults: &[Fault]) -> Vec<FaultCone> {
+    let mut cones = Vec::with_capacity(faults.len());
+    for fault in faults {
+        cones.push(engine.cone(fault.net));
+    }
+    cones
+}
+
 /// Faults of `faults` detected by `pattern` (indices).
-fn detected_by(netlist: &Netlist, faults: &[Fault], pattern: &Pattern) -> Vec<usize> {
+fn detected_by(
+    engine: &FaultSim<'_>,
+    faults: &[Fault],
+    cones: &[FaultCone],
+    pattern: &Pattern,
+    scratch: &mut SimScratch,
+) -> Vec<usize> {
     let inputs = lanes(pattern);
-    let good = netlist.eval_all(&inputs);
-    let good_out = netlist.output_values(&good);
-    let mut values = Vec::new();
+    let good = engine.netlist().eval_all(&inputs);
     let mut hits = Vec::new();
-    for (i, fault) in faults.iter().enumerate() {
-        netlist.eval_all_stuck_into(&inputs, (fault.net, fault.stuck), &mut values);
-        let diff = netlist
-            .outputs()
-            .iter()
-            .zip(&good_out)
-            .any(|(o, g)| values[o.index()] & 1 != g & 1);
-        if diff {
+    for (i, (fault, cone)) in faults.iter().zip(cones).enumerate() {
+        engine.eval_stuck(&good, (fault.net, fault.stuck), cone, scratch);
+        if engine.detect_word(&good, scratch) & 1 != 0 {
             hits.push(i);
         }
     }
@@ -59,10 +67,13 @@ pub struct Compacted {
 /// (tested below).
 #[must_use]
 pub fn compact(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> Compacted {
+    let engine = FaultSim::new(netlist);
+    let cones = fault_cones(&engine, faults);
+    let mut scratch = SimScratch::new();
     let mut covered: HashSet<usize> = HashSet::new();
     let mut kept = Vec::new();
     for (idx, pattern) in patterns.iter().enumerate().rev() {
-        let hits = detected_by(netlist, faults, pattern);
+        let hits = detected_by(&engine, faults, &cones, pattern, &mut scratch);
         if hits.iter().any(|h| !covered.contains(h)) {
             covered.extend(hits);
             kept.push(idx);
@@ -75,9 +86,12 @@ pub fn compact(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> Com
 /// Coverage of an arbitrary pattern set (fault indices detected).
 #[must_use]
 pub fn coverage(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> HashSet<usize> {
+    let engine = FaultSim::new(netlist);
+    let cones = fault_cones(&engine, faults);
+    let mut scratch = SimScratch::new();
     let mut covered = HashSet::new();
     for pattern in patterns {
-        covered.extend(detected_by(netlist, faults, pattern));
+        covered.extend(detected_by(&engine, faults, &cones, pattern, &mut scratch));
     }
     covered
 }

@@ -10,7 +10,7 @@
 //! how precisely a symptom can be localized.
 
 use crate::fault::Fault;
-use r2d3_netlist::Netlist;
+use r2d3_netlist::{FaultCone, FaultSim, Netlist, SimScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -50,27 +50,25 @@ impl FaultDictionary {
             .map(|_| (0..netlist.num_inputs()).map(|_| rng.gen()).collect())
             .collect();
 
-        let goods: Vec<Vec<u64>> =
-            patterns.iter().map(|p| netlist.eval(p)).collect();
+        // Full net-value vectors per block: the incremental engine
+        // simulates each fault's fanout cone against these cached goods
+        // instead of re-evaluating the whole netlist per (fault, block).
+        let goods: Vec<Vec<u64>> = patterns.iter().map(|p| netlist.eval_all(p)).collect();
         let mut clean_hash = 0xcbf2_9ce4_8422_2325u64;
-        for good in &goods {
-            hash_words(&mut clean_hash, good.iter().map(|_| 0u64));
+        for _ in &goods {
+            hash_words(&mut clean_hash, netlist.outputs().iter().map(|_| 0u64));
         }
 
+        let engine = FaultSim::new(netlist);
+        let mut cone = FaultCone::new();
+        let mut scratch = SimScratch::new();
         let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
-        let mut values = Vec::new();
         for (fi, fault) in faults.iter().enumerate() {
+            engine.cone_into(fault.net, &mut cone);
             let mut h = 0xcbf2_9ce4_8422_2325u64;
-            for (pattern, good) in patterns.iter().zip(&goods) {
-                netlist.eval_all_stuck_into(pattern, (fault.net, fault.stuck), &mut values);
-                hash_words(
-                    &mut h,
-                    netlist
-                        .outputs()
-                        .iter()
-                        .zip(good)
-                        .map(|(o, g)| values[o.index()] ^ g),
-                );
+            for good in &goods {
+                engine.eval_stuck(good, (fault.net, fault.stuck), &cone, &mut scratch);
+                hash_words(&mut h, engine.output_diffs(good, &scratch));
             }
             classes.entry(h).or_default().push(fi);
         }

@@ -46,7 +46,9 @@ pub mod observe;
 pub mod podem;
 pub mod report;
 
-pub use campaign::{run_campaign, CampaignConfig, CampaignOutcome, FaultStatus};
+pub use campaign::{
+    run_campaign, run_campaign_reference, CampaignConfig, CampaignOutcome, FaultStatus,
+};
 pub use fault::{all_faults, collapsed_faults, Fault};
 pub use observe::{core_level_campaign, structurally_observable};
 pub use compact::{compact, Compacted};

@@ -1,14 +1,31 @@
-//! Criterion micro-benchmarks: throughput of the four substrates the
-//! reproduction is built on.
+//! Criterion micro-benchmarks plus the machine-readable perf report.
+//!
+//! After the four substrate micro-benches run, this harness measures the
+//! PR-level performance claims head-to-head and writes them to
+//! `BENCH_perf.json` at the workspace root:
+//!
+//! - **Campaign**: incremental cone-restricted fault simulation
+//!   ([`run_campaign`]) vs the full-re-evaluation oracle
+//!   ([`run_campaign_reference`]) on the EXU stage netlist, same seed and
+//!   budget, with the fault classification asserted identical.
+//! - **Lifetime**: replica-parallel Monte-Carlo at 1 vs 4 threads, with
+//!   the averaged [`LifetimeSeries`] asserted bit-identical.
+//! - **Thermal**: sweeps-to-convergence of a warm-started SOR solve vs a
+//!   cold solve, for both a perturbed power map and an exact re-solve.
+//!
+//! [`LifetimeSeries`]: r2d3_core::lifetime::LifetimeSeries
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use r2d3_atpg::campaign::{run_campaign, CampaignConfig};
+use criterion::{criterion_group, Criterion, Throughput};
+use r2d3_atpg::campaign::{run_campaign, run_campaign_reference, CampaignConfig};
 use r2d3_atpg::fault::collapsed_faults;
-use r2d3_isa::kernels::gemm;
+use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
+use r2d3_core::policy::PolicyKind;
+use r2d3_isa::kernels::{gemm, KernelKind};
 use r2d3_isa::Unit;
 use r2d3_netlist::stages::{stage_netlist, StageSizing};
 use r2d3_pipeline_sim::{System3d, SystemConfig};
 use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
+use std::time::Instant;
 
 fn pipeline_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("pipeline_sim");
@@ -73,4 +90,185 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = pipeline_sim, netlist_eval, fault_sim, thermal_solve
 }
-criterion_main!(benches);
+
+/// Runs `f` `runs` times and returns the last result with the best
+/// wall-clock time in seconds.
+fn time_best<R>(runs: usize, mut f: impl FnMut() -> R) -> (R, f64) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        out = Some(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (out.expect("runs >= 1"), best)
+}
+
+fn campaign_report(json: &mut String) {
+    let sn = stage_netlist(Unit::Exu, &StageSizing::default());
+    let nl = sn.netlist();
+    let faults = collapsed_faults(nl);
+    // The default pattern budget: survivors of the first block are
+    // re-simulated over up to 127 further blocks, which is where the
+    // incremental engine's early exits pay off.
+    let cfg = CampaignConfig { max_patterns: 8192, seed: 1, threads: 1 };
+
+    let (inc, inc_secs) = time_best(5, || run_campaign(nl, &faults, &cfg));
+    let (reference, ref_secs) = time_best(2, || run_campaign_reference(nl, &faults, &cfg));
+
+    assert_eq!(inc.counts(), reference.counts(), "incremental vs reference classification");
+    assert_eq!(inc.patterns_applied(), reference.patterns_applied(), "patterns applied");
+    let (detected, undetected, undetectable) = inc.counts();
+
+    // Normalized work: the gate evaluations a full re-evaluation performs
+    // for this budget. Same numerator for both engines, so the rate ratio
+    // equals the wall-clock speedup.
+    let blocks = inc.patterns_applied() / 64;
+    let gate_evals = (nl.num_gates() * faults.len() * blocks) as f64;
+    let speedup = ref_secs / inc_secs;
+
+    println!(
+        "perf campaign exu: incremental {inc_secs:.3}s, reference {ref_secs:.3}s, {speedup:.1}x"
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"campaign\": {{\n",
+            "    \"netlist\": \"exu_stage\",\n",
+            "    \"gates\": {},\n",
+            "    \"faults\": {},\n",
+            "    \"patterns_applied\": {},\n",
+            "    \"detected\": {},\n",
+            "    \"undetected\": {},\n",
+            "    \"undetectable\": {},\n",
+            "    \"counts_identical\": true,\n",
+            "    \"incremental_secs\": {:.6},\n",
+            "    \"reference_secs\": {:.6},\n",
+            "    \"incremental_gate_evals_per_sec\": {:.1},\n",
+            "    \"reference_gate_evals_per_sec\": {:.1},\n",
+            "    \"speedup\": {:.2}\n",
+            "  }},\n"
+        ),
+        nl.num_gates(),
+        faults.len(),
+        inc.patterns_applied(),
+        detected,
+        undetected,
+        undetectable,
+        inc_secs,
+        ref_secs,
+        gate_evals / inc_secs,
+        gate_evals / ref_secs,
+        speedup,
+    ));
+}
+
+fn lifetime_report(json: &mut String) {
+    let months = 24;
+    let replicas = 8;
+    let mk = |threads: usize| LifetimeConfig {
+        months,
+        replicas,
+        threads,
+        mttf_trials: 100,
+        grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
+        ..LifetimeConfig::new(
+            PolicyKind::Pro,
+            KernelKind::Gemm.core_demand_fraction(),
+            KernelKind::Gemm.activity_weight(),
+        )
+    };
+
+    let (serial, serial_secs) =
+        time_best(1, || LifetimeSim::new(mk(1)).run().expect("serial lifetime run"));
+    let (par, par_secs) =
+        time_best(1, || LifetimeSim::new(mk(4)).run().expect("parallel lifetime run"));
+    assert_eq!(serial.series, par.series, "1-thread vs 4-thread averaged series");
+
+    let sim_months = (months * replicas) as f64;
+    let speedup = serial_secs / par_secs;
+    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "perf lifetime: serial {serial_secs:.3}s, 4 threads {par_secs:.3}s, \
+         {speedup:.2}x on {host}-core host, series bit-identical"
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"lifetime\": {{\n",
+            "    \"months\": {},\n",
+            "    \"replicas\": {},\n",
+            "    \"host_parallelism\": {},\n",
+            "    \"serial_secs\": {:.6},\n",
+            "    \"threads4_secs\": {:.6},\n",
+            "    \"serial_months_per_sec\": {:.1},\n",
+            "    \"threads4_months_per_sec\": {:.1},\n",
+            "    \"speedup\": {:.2},\n",
+            "    \"series_bit_identical\": true\n",
+            "  }},\n"
+        ),
+        months,
+        replicas,
+        host,
+        serial_secs,
+        par_secs,
+        sim_months / serial_secs,
+        sim_months / par_secs,
+        speedup,
+    ));
+}
+
+fn thermal_report(json: &mut String) {
+    let fp = Floorplan::opensparc_3d(8);
+    let grid = ThermalGrid::new(&fp, &GridConfig { nx: 8, ny: 6, ..Default::default() });
+    let mut power = PowerMap::new(&fp);
+    for layer in 0..8 {
+        for unit in Unit::ALL {
+            power.set_block(layer, unit, 0.03);
+        }
+    }
+    let mut perturbed = PowerMap::new(&fp);
+    for layer in 0..8 {
+        for unit in Unit::ALL {
+            perturbed.set_block(layer, unit, if layer % 2 == 0 { 0.033 } else { 0.027 });
+        }
+    }
+
+    let cold = grid.steady_state_warm(&power, None).expect("cold solve");
+    let perturbed_cold = grid.steady_state_warm(&perturbed, None).expect("perturbed cold solve");
+    let warm = grid.steady_state_warm(&perturbed, Some(&cold.field)).expect("warm solve");
+    let resolve = grid.steady_state_warm(&power, Some(&cold.field)).expect("warm re-solve");
+
+    println!(
+        "perf thermal: cold {} sweeps, warm (perturbed power) {} vs {} cold, exact re-solve {}",
+        cold.sweeps, warm.sweeps, perturbed_cold.sweeps, resolve.sweeps
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"thermal_warm_start\": {{\n",
+            "    \"cold_sweeps\": {},\n",
+            "    \"perturbed_cold_sweeps\": {},\n",
+            "    \"perturbed_warm_sweeps\": {},\n",
+            "    \"exact_resolve_warm_sweeps\": {}\n",
+            "  }}\n"
+        ),
+        cold.sweeps,
+        perturbed_cold.sweeps,
+        warm.sweeps,
+        resolve.sweeps,
+    ));
+}
+
+fn main() {
+    benches();
+
+    let mut json = String::from("{\n");
+    campaign_report(&mut json);
+    lifetime_report(&mut json);
+    thermal_report(&mut json);
+    json.push_str("}\n");
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    std::fs::write(path, &json).expect("write BENCH_perf.json");
+    println!("wrote {path}");
+    print!("{json}");
+}

@@ -23,12 +23,14 @@ use r2d3_aging::nbti::{NbtiModel, NbtiParams, NbtiState};
 use r2d3_aging::{kelvin, BOLTZMANN_EV, SECONDS_PER_MONTH};
 use r2d3_isa::Unit;
 use r2d3_physical::{DesignVariant, PhysicalModel};
+use parking_lot::Mutex;
 use r2d3_pipeline_sim::StageId;
-use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
+use r2d3_thermal::{Floorplan, GridConfig, PowerMap, TemperatureField, ThermalGrid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Which system-failure criterion the forward-MTTF Monte Carlo uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -96,6 +98,10 @@ pub struct LifetimeConfig {
     pub activity_weight: f64,
     /// Monte-Carlo replicas of the whole trajectory (fault arrival varies).
     pub replicas: usize,
+    /// Worker threads for the replica loop (1 = serial). Replicas use
+    /// deterministic per-replica seeds and are averaged in replica order,
+    /// so the result is bit-identical for any thread count.
+    pub threads: usize,
     /// RNG seed.
     pub seed: u64,
     /// Fault-arrival model.
@@ -127,6 +133,7 @@ impl LifetimeConfig {
             demand,
             activity_weight,
             replicas: 12,
+            threads: default_threads(),
             seed: 0x52D3,
             reliability: ReliabilityParams::default(),
             nbti: NbtiParams::default(),
@@ -188,12 +195,45 @@ pub struct ReplicaDebug {
     pub temps: Vec<f64>,
 }
 
+/// Worker-thread default for [`LifetimeConfig::threads`]: available
+/// parallelism capped at 8 (replica counts are small; more threads idle).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+}
+
+/// One cached monthly thermal solve: per-stage block temperatures plus
+/// the full field (the next month's warm start).
+#[derive(Debug)]
+struct SolvedMonth {
+    temps: Vec<f64>,
+    field: TemperatureField,
+}
+
+/// Thermal solves shared across replicas, keyed by a *chained hash* of
+/// the quantized duty history. Two trajectories collide on a key only if
+/// their entire duty history matches — which also pins the warm-start
+/// field — so every cache entry is a pure function of its key and the
+/// simulation stays bit-identical for any thread count or interleaving.
+type ThermalCache = Mutex<HashMap<u64, Arc<SolvedMonth>>>;
+
+/// Extends a duty-history hash with one month's quantized duty vector
+/// (FNV-1a over the 8.8 fixed-point duties).
+fn chain_duty_hash(prev: u64, duty: &[f64]) -> u64 {
+    let mut h = prev ^ 0xcbf2_9ce4_8422_2325;
+    for d in duty {
+        h ^= u64::from((d * 256.0).round() as u16);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
 /// The lifetime co-simulation driver.
 #[derive(Debug)]
 pub struct LifetimeSim {
     config: LifetimeConfig,
     physical: PhysicalModel,
-    debug: std::cell::RefCell<Option<ReplicaDebug>>,
+    debug: Mutex<Option<ReplicaDebug>>,
 }
 
 impl LifetimeSim {
@@ -204,14 +244,14 @@ impl LifetimeSim {
         LifetimeSim {
             config,
             physical: PhysicalModel::table_iii(),
-            debug: std::cell::RefCell::new(None),
+            debug: Mutex::new(None),
         }
     }
 
     /// Final-month per-stage wear/duty/temps of the last replica run.
     #[doc(hidden)]
     pub fn take_debug(&self) -> Option<ReplicaDebug> {
-        self.debug.borrow_mut().take()
+        self.debug.lock().take()
     }
 
     /// The configuration.
@@ -222,6 +262,11 @@ impl LifetimeSim {
 
     /// Runs all replicas and returns the averaged outcome.
     ///
+    /// Replicas run in parallel over [`LifetimeConfig::threads`] workers.
+    /// Each replica draws from its own deterministic seed and the
+    /// per-replica series are accumulated in replica order, so the
+    /// averaged outcome is bit-identical for any thread count.
+    ///
     /// # Errors
     ///
     /// Returns [`EngineError::Thermal`] if a thermal solve fails.
@@ -229,16 +274,40 @@ impl LifetimeSim {
         let cfg = &self.config;
         let floorplan = Floorplan::opensparc_3d(cfg.layers);
         let grid = ThermalGrid::new(&floorplan, &cfg.grid);
-        let mut cache: HashMap<Vec<u16>, Vec<f64>> = HashMap::new();
+        let cache: ThermalCache = Mutex::new(HashMap::new());
+
+        type ReplicaResult = Result<(LifetimeSeries, Vec<f64>, Option<ReplicaDebug>), EngineError>;
+        let threads = cfg.threads.max(1).min(cfg.replicas.max(1));
+        let mut results: Vec<Option<ReplicaResult>> = (0..cfg.replicas).map(|_| None).collect();
+        if threads <= 1 {
+            for (replica, slot) in results.iter_mut().enumerate() {
+                *slot = Some(self.run_replica(replica, &grid, &cache));
+            }
+        } else {
+            let chunk_len = cfg.replicas.div_ceil(threads);
+            crossbeam::scope(|scope| {
+                for (ci, chunk) in results.chunks_mut(chunk_len).enumerate() {
+                    let (grid, cache) = (&grid, &cache);
+                    scope.spawn(move |_| {
+                        for (j, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(self.run_replica(ci * chunk_len + j, grid, cache));
+                        }
+                    });
+                }
+            })
+            .expect("lifetime replica scope failed");
+        }
 
         let mut acc = LifetimeSeries::default();
         let mut map = Vec::new();
-        for replica in 0..cfg.replicas {
-            let (series, hot_map) =
-                self.run_replica(replica, &grid, &mut cache)?;
+        for (replica, result) in results.into_iter().enumerate() {
+            let (series, hot_map, debug) = result.expect("replica not run")?;
             accumulate(&mut acc, &series, cfg.replicas as f64);
             if replica == 0 {
                 map = hot_map;
+            }
+            if replica + 1 == cfg.replicas {
+                *self.debug.lock() = debug;
             }
         }
 
@@ -257,8 +326,8 @@ impl LifetimeSim {
         &self,
         replica: usize,
         grid: &ThermalGrid,
-        cache: &mut HashMap<Vec<u16>, Vec<f64>>,
-    ) -> Result<(LifetimeSeries, Vec<f64>), EngineError> {
+        cache: &ThermalCache,
+    ) -> Result<(LifetimeSeries, Vec<f64>, Option<ReplicaDebug>), EngineError> {
         let cfg = &self.config;
         let nstages = cfg.layers * Unit::COUNT;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ (replica as u64).wrapping_mul(0x9e37));
@@ -270,6 +339,10 @@ impl LifetimeSim {
         let mut last_temps: Vec<f64> = initial_temp_guess(cfg.layers);
         let mut series = LifetimeSeries::default();
         let mut hot_map_month0: Vec<f64> = Vec::new();
+        // Duty-history hash (thermal cache key) and the previous month's
+        // converged field (warm start for the next solve).
+        let mut history_hash = 0u64;
+        let mut warm: Option<Arc<SolvedMonth>> = None;
 
         let mut debug_final: Option<ReplicaDebug> = None;
         let wanted = ((cfg.demand * cfg.pipelines as f64).round() as usize).max(1);
@@ -290,7 +363,19 @@ impl LifetimeSim {
             let duty = self.assign_duty(&alive, &last_temps, active, month);
 
             // --- power map + thermal solve ------------------------------
-            let temps = self.solve_temps(grid, &duty, &unit_w, uncore_w, power_factor, cache)?;
+            history_hash = chain_duty_hash(history_hash, &duty);
+            let solved = self.solve_temps(
+                grid,
+                &duty,
+                &unit_w,
+                uncore_w,
+                power_factor,
+                history_hash,
+                warm.as_deref().map(|s| &s.field),
+                cache,
+            )?;
+            let temps = solved.temps.clone();
+            warm = Some(solved);
             if month == 0 {
                 hot_map_month0 = hottest_layer_map(grid, &duty, &unit_w, uncore_w, power_factor)?;
             }
@@ -355,8 +440,7 @@ impl LifetimeSim {
             last_temps = temps;
         }
 
-        *self.debug.borrow_mut() = debug_final;
-        Ok((series, hot_map_month0))
+        Ok((series, hot_map_month0, debug_final))
     }
 
     /// Per-stage duty assignment for the month, per policy.
@@ -472,8 +556,14 @@ impl LifetimeSim {
         duty
     }
 
-    /// Thermal solve for a duty vector, with caching (duty patterns repeat
-    /// until the fault map changes).
+    /// Thermal solve for a duty vector, warm-started from the previous
+    /// month's field and cached across replicas (duty trajectories repeat
+    /// until a replica's fault map diverges).
+    ///
+    /// `key` must be the chained duty-history hash: it uniquely determines
+    /// both the power map *and* the warm-start field, so cache insertion
+    /// races between replicas are benign (both compute the same value).
+    #[allow(clippy::too_many_arguments)]
     fn solve_temps(
         &self,
         grid: &ThermalGrid,
@@ -481,23 +571,30 @@ impl LifetimeSim {
         unit_w: &[f64; 5],
         uncore_w: f64,
         power_factor: f64,
-        cache: &mut HashMap<Vec<u16>, Vec<f64>>,
-    ) -> Result<Vec<f64>, EngineError> {
-        let key: Vec<u16> = duty.iter().map(|d| (d * 256.0).round() as u16).collect();
-        if let Some(t) = cache.get(&key) {
-            return Ok(t.clone());
+        key: u64,
+        warm: Option<&TemperatureField>,
+        cache: &ThermalCache,
+    ) -> Result<Arc<SolvedMonth>, EngineError> {
+        if let Some(hit) = cache.lock().get(&key) {
+            return Ok(hit.clone());
         }
-        let field = grid
-            .steady_state(&self.power_map(grid, duty, unit_w, uncore_w, power_factor))?;
+        let outcome = grid
+            .steady_state_warm(
+                &self.power_map(grid, duty, unit_w, uncore_w, power_factor),
+                warm,
+            )
+            .map_err(EngineError::Thermal)?;
         let cfg = &self.config;
         let mut temps = vec![0.0; cfg.layers * Unit::COUNT];
         for s in StageId::all(cfg.layers) {
-            temps[s.flat_index()] = field
+            temps[s.flat_index()] = outcome
+                .field
                 .block_avg(r2d3_thermal::BlockId { layer: s.layer, unit: s.unit })
                 .map_err(EngineError::Thermal)?;
         }
-        cache.insert(key, temps.clone());
-        Ok(temps)
+        let solved = Arc::new(SolvedMonth { temps, field: outcome.field });
+        cache.lock().insert(key, solved.clone());
+        Ok(solved)
     }
 
     fn power_map(
@@ -688,6 +785,24 @@ mod tests {
             grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
             ..LifetimeConfig::new(policy, 0.75, 0.85)
         }
+    }
+
+    #[test]
+    fn thread_count_is_bit_identical() {
+        // Same config at 1 and 4 workers must produce the exact same
+        // averaged series: deterministic per-replica seeds, trajectory-
+        // keyed thermal cache, and replica-order accumulation.
+        let mut serial = quick_config(PolicyKind::Static);
+        serial.replicas = 6;
+        serial.threads = 1;
+        // Enough fault pressure that replica trajectories diverge.
+        serial.reliability.base_rate_per_month = 0.02;
+        let mut par = serial.clone();
+        par.threads = 4;
+        let a = LifetimeSim::new(serial).run().unwrap();
+        let b = LifetimeSim::new(par).run().unwrap();
+        assert_eq!(a.series, b.series, "averaged series must be bit-identical");
+        assert_eq!(a.initial_hot_layer_map, b.initial_hot_layer_map);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod builder;
 pub mod crossbar;
 pub mod netlist;
 pub mod sequential;
+pub mod sim;
 pub mod stages;
 
 pub use builder::NetlistBuilder;
@@ -54,6 +55,7 @@ pub use netlist::{
 };
 pub use crossbar::{checker, crossbar_receiver};
 pub use sequential::{register_outputs, SequentialNetlist};
+pub use sim::{FaultCone, FaultSim, SimScratch};
 pub use stages::{stage_netlist, StageNetlist, StageSizing};
 
 use std::fmt;

@@ -208,6 +208,23 @@ impl Netlist {
         values
     }
 
+    /// Allocation-free variant of [`eval_all`](Netlist::eval_all): writes
+    /// every net's value into `values`, resizing it if needed. Intended
+    /// for loops that evaluate many pattern blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != num_inputs()`.
+    pub fn eval_all_into(&self, inputs: &[u64], values: &mut Vec<u64>) {
+        assert_eq!(inputs.len(), self.num_inputs, "primary input width mismatch");
+        values.clear();
+        values.resize(self.num_nets, 0);
+        values[..self.num_inputs].copy_from_slice(inputs);
+        for gate in &self.gates {
+            values[gate.output.index()] = gate.eval(values);
+        }
+    }
+
     /// Evaluates all nets with one net overridden to a stuck value
     /// (bit-parallel fault simulation primitive).
     ///

@@ -1,0 +1,758 @@
+//! Incremental, event-driven stuck-at fault simulation.
+//!
+//! [`Netlist::eval_all_stuck`] re-evaluates every gate for every fault and
+//! every pattern block. That is wasteful: a stuck-at fault only disturbs
+//! the nets in its *fanout cone*, and on most pattern blocks the
+//! disturbance dies out (logic masking) long before it reaches the
+//! outputs. This module exploits both effects:
+//!
+//! * [`FaultSim`] precomputes a CSR fanout adjacency (which gates read
+//!   each net) over the netlist. Gates are already stored in topological
+//!   order, so ascending gate index *is* a valid levelized evaluation
+//!   order and no separate level sort is needed.
+//! * [`FaultSim::cone_into`] derives, once per fault site, the list of
+//!   gates structurally reachable from the faulty net (ascending order).
+//! * [`FaultSim::eval_stuck`] starts from a cached good-value vector and
+//!   simulates *only* the cone, stamping nets whose faulty value differs
+//!   from the good value into an epoch-tagged [`SimScratch`]. The walk
+//!   early-exits as soon as the event frontier has converged back to the
+//!   good values (no remaining cone gate reads a differing net).
+//!
+//! The result is bit-identical to [`Netlist::eval_all_stuck`] — that
+//! method stays as the reference oracle — at a fraction of the work:
+//! cost per (fault, block) is `O(active cone)` instead of `O(gates)`.
+
+use crate::netlist::{Gate, GateKind, NetId, Netlist};
+
+/// Memory cap for the precomputed per-net cone bitsets (bytes). Above
+/// this, [`FaultSim::cone_into`] falls back to an on-demand worklist walk.
+const CONE_BITS_BUDGET: usize = 16 << 20;
+
+/// One gate flattened to 16 bytes for the hot walk: three input pins
+/// (unused pins repeat pin 0, turning `Buf`/`Not` into one-input
+/// `And`/`Nand`) plus the output net and a 4-bit flag nibble — 2-bit
+/// base op (AND/OR/XOR/MUX), an invert bit, and an is-primary-output
+/// bit — packed into the last word. The flag encoding lets the walk
+/// evaluate any gate with a handful of ALU selects instead of an
+/// unpredictable indirect jump.
+#[derive(Debug, Clone, Copy)]
+struct PackedGate {
+    pins: [u32; 3],
+    /// `output_net << 4 | is_output << 3 | invert << 2 | base_op`.
+    ko: u32,
+    /// This gate's own index — the walk's frontier test compares it
+    /// against `last_needed` without a second stream.
+    idx: u32,
+    /// `last_reader[output_net] `, folded in so the frontier extension
+    /// needs no scattered lookup.
+    lr: u32,
+}
+
+const BASE_AND: u32 = 0;
+const BASE_OR: u32 = 1;
+const BASE_XOR: u32 = 2;
+const BASE_MUX: u32 = 3;
+
+impl PackedGate {
+    fn new(gate: &Gate, is_output: bool, idx: u32, lr: u32) -> Self {
+        let pin = |i: usize| gate.inputs.get(i).or_else(|| gate.inputs.first());
+        let pad = pin(0).map_or(0, |n| n.0);
+        let out = gate.output.0;
+        assert!(out < 1 << 28, "net index exceeds packed-gate range");
+        let (base, inv) = match gate.kind {
+            // With pin 1 padded to pin 0, `a AND a` is a buffer.
+            GateKind::Buf | GateKind::And => (BASE_AND, 0),
+            GateKind::Not | GateKind::Nand => (BASE_AND, 1),
+            GateKind::Or => (BASE_OR, 0),
+            GateKind::Nor => (BASE_OR, 1),
+            GateKind::Xor => (BASE_XOR, 0),
+            GateKind::Xnor => (BASE_XOR, 1),
+            GateKind::Mux => (BASE_MUX, 0),
+            // Constants read no nets, so they appear in no cone; the
+            // encoding is never evaluated.
+            GateKind::Const0 | GateKind::Const1 => (BASE_AND, 0),
+        };
+        PackedGate {
+            pins: [
+                pin(0).map_or(pad, |n| n.0),
+                pin(1).map_or(pad, |n| n.0),
+                pin(2).map_or(pad, |n| n.0),
+            ],
+            ko: out << 4 | u32::from(is_output) << 3 | inv << 2 | base,
+            idx,
+            lr,
+        }
+    }
+
+    #[inline(always)]
+    fn output(self) -> u32 {
+        self.ko >> 4
+    }
+}
+
+/// One gate step of the event-driven walk: reads the XOR-difference
+/// overlay, fires the gate branchlessly if any input differs, records
+/// the output difference, and extends the frontier horizon.
+///
+/// The body is branchless apart from the dead-input skip: gate kinds and
+/// outcomes are data-dependent with no usable pattern, so ALU selects
+/// beat an indirect jump and conditional stores here, while dead
+/// stretches of a converging frontier reduce to three loads per gate.
+///
+/// # Safety
+///
+/// `p.pins` and `p.output()` must be in range for both `good` and
+/// `scratch.diff` — guaranteed for records built by [`FaultSim::new`]
+/// against a `good` slice of `num_nets` values and a scratch sized by
+/// [`SimScratch::begin`].
+#[inline(always)]
+unsafe fn fire_gate(p: &PackedGate, good: &[u64], scratch: &mut SimScratch, last_needed: &mut u32) {
+    let [a, b, c] = p.pins;
+    let da = *scratch.diff.get_unchecked(a as usize);
+    let db = *scratch.diff.get_unchecked(b as usize);
+    let dc = *scratch.diff.get_unchecked(c as usize);
+    // No differing input ⇒ the gate reproduces its good value.
+    if da | db | dc == 0 {
+        return;
+    }
+    let va = *good.get_unchecked(a as usize) ^ da;
+    let vb = *good.get_unchecked(b as usize) ^ db;
+    let vc = *good.get_unchecked(c as usize) ^ dc;
+    let base = p.ko & 3;
+    let m_and = u64::from(base == BASE_AND).wrapping_neg();
+    let m_or = u64::from(base == BASE_OR).wrapping_neg();
+    let m_xor = u64::from(base == BASE_XOR).wrapping_neg();
+    let m_mux = u64::from(base == BASE_MUX).wrapping_neg();
+    let m_inv = (u64::from(p.ko) >> 2 & 1).wrapping_neg();
+    let v = (((va & vb) & m_and)
+        | ((va | vb) & m_or)
+        | ((va ^ vb) & m_xor)
+        | (((va & vb) | (!va & vc)) & m_mux))
+        ^ m_inv;
+    let out = p.output() as usize;
+    let d = v ^ *good.get_unchecked(out);
+    *scratch.diff.get_unchecked_mut(out) = d;
+    scratch.touched.push(out as u32);
+    // Primary outputs feed the detection word as they are walked.
+    scratch.out_diff |= d & (u64::from(p.ko) >> 3 & 1).wrapping_neg();
+    // Branchless frontier extension: differing outputs push the walk's
+    // horizon to their last reader (folded into the packed record).
+    let gated = p.lr & u32::from(d != 0).wrapping_neg();
+    *last_needed = (*last_needed).max(gated);
+}
+
+/// Per-net fanout-cone bitsets: row `n` holds one bit per gate, set iff
+/// the gate is structurally reachable from net `n`.
+#[derive(Debug)]
+struct ConeBits {
+    /// `u64` words per row.
+    words: usize,
+    /// `num_nets` rows, row-major.
+    bits: Vec<u64>,
+}
+
+/// Shared read-only engine state: fanout adjacency over one netlist.
+///
+/// Construction is `O(nets + gates)` plus (for netlists small enough to
+/// fit the budget) an `O(edges × gates/64)` cone-bitset closure; the
+/// engine borrows the netlist and is `Sync`, so one instance can serve
+/// many worker threads.
+#[derive(Debug)]
+pub struct FaultSim<'n> {
+    netlist: &'n Netlist,
+    /// CSR row offsets: readers of net `n` are
+    /// `readers[reader_off[n] as usize .. reader_off[n + 1] as usize]`.
+    reader_off: Vec<u32>,
+    /// Gate indices, ascending within each net's row.
+    readers: Vec<u32>,
+    /// Per net: largest reader gate index **plus one** (0 = no readers).
+    /// The event walk may stop at gate `g` once `g >= last_reader[n]` for
+    /// every currently-differing net `n`.
+    last_reader: Vec<u32>,
+    /// Whether each net is a primary output (observed by detection).
+    is_output: Vec<bool>,
+    /// Flattened 16-byte copy of each gate so the hot walk reads one
+    /// contiguous stream instead of chasing each [`Gate::inputs`] heap
+    /// allocation.
+    packed: Vec<PackedGate>,
+    /// Precomputed transitive fanout, when it fits [`CONE_BITS_BUDGET`].
+    cone_bits: Option<ConeBits>,
+}
+
+impl<'n> FaultSim<'n> {
+    /// Builds the fanout adjacency for `netlist`.
+    #[must_use]
+    pub fn new(netlist: &'n Netlist) -> Self {
+        let num_nets = netlist.num_nets();
+        let gates = netlist.gates();
+
+        // Counting sort into CSR form keeps each row ascending because
+        // gates are visited in index order.
+        let mut counts = vec![0u32; num_nets + 1];
+        for gate in gates {
+            for input in &gate.inputs {
+                counts[input.index() + 1] += 1;
+            }
+        }
+        let mut reader_off = counts;
+        for i in 0..num_nets {
+            reader_off[i + 1] += reader_off[i];
+        }
+        let mut cursor: Vec<u32> = reader_off[..num_nets].to_vec();
+        let mut readers = vec![0u32; reader_off[num_nets] as usize];
+        let mut last_reader = vec![0u32; num_nets];
+        for (g, gate) in gates.iter().enumerate() {
+            let g = u32::try_from(g).expect("gate count exceeds u32");
+            for input in &gate.inputs {
+                let n = input.index();
+                readers[cursor[n] as usize] = g;
+                cursor[n] += 1;
+                last_reader[n] = g + 1; // ascending visit ⇒ final value is max
+            }
+        }
+
+        let mut is_output = vec![false; num_nets];
+        for o in netlist.outputs() {
+            is_output[o.index()] = true;
+        }
+
+        let packed: Vec<PackedGate> = gates
+            .iter()
+            .enumerate()
+            .map(|(g, gate)| {
+                let out = gate.output.index();
+                PackedGate::new(gate, is_output[out], g as u32, last_reader[out])
+            })
+            .collect();
+        // Soundness gate for the unchecked loads in `eval_stuck`: every
+        // pin and output index is in range for a `num_nets`-sized vector.
+        for p in &packed {
+            assert!(
+                p.pins.iter().all(|&n| (n as usize) < num_nets)
+                    && (p.output() as usize) < num_nets,
+                "packed gate references an out-of-range net"
+            );
+        }
+
+        let words = gates.len().div_ceil(64);
+        let cone_bits = if num_nets * words * 8 <= CONE_BITS_BUDGET {
+            // Transitive closure by descending net index: every reader's
+            // output net is numbered above the net it reads, so row
+            // `out(g)` is final before any row that includes gate `g`.
+            let mut bits = vec![0u64; num_nets * words];
+            for n in (0..num_nets).rev() {
+                let (head, tail) = bits.split_at_mut((n + 1) * words);
+                let row = &mut head[n * words..];
+                for &g in &readers[reader_off[n] as usize..reader_off[n + 1] as usize] {
+                    row[g as usize / 64] |= 1u64 << (g % 64);
+                    let out = packed[g as usize].output() as usize;
+                    debug_assert!(out > n, "reader output must be numbered above its input");
+                    let src = &tail[(out - n - 1) * words..(out - n) * words];
+                    for (d, s) in row.iter_mut().zip(src) {
+                        *d |= s;
+                    }
+                }
+            }
+            Some(ConeBits { words, bits })
+        } else {
+            None
+        };
+
+        FaultSim { netlist, reader_off, readers, last_reader, is_output, packed, cone_bits }
+    }
+
+    /// The netlist this engine was built over.
+    #[must_use]
+    pub fn netlist(&self) -> &'n Netlist {
+        self.netlist
+    }
+
+    /// Gate indices reading `net`, ascending.
+    #[must_use]
+    pub fn readers_of(&self, net: NetId) -> &[u32] {
+        let n = net.index();
+        &self.readers[self.reader_off[n] as usize..self.reader_off[n + 1] as usize]
+    }
+
+    /// Rebuilds `cone` as the fanout cone of `net`: every gate whose value
+    /// can be disturbed by a stuck-at fault on `net`, in ascending
+    /// (levelized) gate order. Buffers inside `cone` are reused across
+    /// calls, so deriving one cone per fault site is cheap.
+    pub fn cone_into(&self, net: NetId, cone: &mut FaultCone) {
+        cone.begin();
+        if let Some(cb) = &self.cone_bits {
+            // Precomputed closure: emit set bits, ascending by construction.
+            let row = &cb.bits[net.index() * cb.words..(net.index() + 1) * cb.words];
+            for (w, &word) in row.iter().enumerate() {
+                let mut word = word;
+                while word != 0 {
+                    let b = word.trailing_zeros();
+                    cone.gates.push(w as u32 * 64 + b);
+                    word &= word - 1;
+                }
+            }
+        } else {
+            // Worklist walk with stamp dedup. Reachability is
+            // order-independent, so a plain vec queue suffices; one sort
+            // restores the levelized (ascending) order.
+            cone.begin_marks(self.netlist.num_gates());
+            for &g in self.readers_of(net) {
+                if cone.mark(g) {
+                    cone.gates.push(g);
+                }
+            }
+            let mut i = 0;
+            while i < cone.gates.len() {
+                let out = NetId(self.packed[cone.gates[i] as usize].output());
+                i += 1;
+                for &r in self.readers_of(out) {
+                    if cone.mark(r) {
+                        cone.gates.push(r);
+                    }
+                }
+            }
+            cone.gates.sort_unstable();
+        }
+        debug_assert!(cone.gates.windows(2).all(|w| w[0] < w[1]));
+        cone.packed.extend(cone.gates.iter().map(|&g| self.packed[g as usize]));
+    }
+
+    /// Whether cones come from the precomputed bitset closure — i.e. the
+    /// netlist fit the memory budget. Cheap cones make per-fault cone
+    /// caching across a whole campaign worthwhile.
+    #[must_use]
+    pub fn cheap_cones(&self) -> bool {
+        self.cone_bits.is_some()
+    }
+
+    /// Convenience wrapper around [`cone_into`](FaultSim::cone_into)
+    /// allocating a fresh [`FaultCone`].
+    #[must_use]
+    pub fn cone(&self, net: NetId) -> FaultCone {
+        let mut cone = FaultCone::new();
+        self.cone_into(net, &mut cone);
+        cone
+    }
+
+    /// Event-driven fault evaluation against a cached good-value vector.
+    ///
+    /// `good` must be `netlist.eval_all(..)` for the pattern block being
+    /// simulated, and `cone` the [`cone_into`](FaultSim::cone_into) result
+    /// for `stuck.0`. Afterwards `scratch` holds the nets whose faulty
+    /// value differs from `good` (query via [`SimScratch::value`],
+    /// [`FaultSim::detect_word`] or [`FaultSim::output_diffs`]).
+    ///
+    /// Bit-identical to [`Netlist::eval_all_stuck`] on every net.
+    pub fn eval_stuck(
+        &self,
+        good: &[u64],
+        stuck: (NetId, bool),
+        cone: &FaultCone,
+        scratch: &mut SimScratch,
+    ) {
+        // Hard assert: with `scratch.begin` sizing `diff` to `num_nets`
+        // and the construction-time pin-range check, this is the last
+        // bound the unchecked loads below rely on.
+        assert_eq!(good.len(), self.netlist.num_nets(), "good vector length");
+        scratch.begin(self.netlist.num_nets());
+        let (fnet, fval) = stuck;
+        let forced = if fval { !0u64 } else { 0u64 };
+        if good[fnet.index()] == forced {
+            // The net already carries the forced value in all 64 lanes:
+            // the faulty circuit is indistinguishable on this block.
+            return;
+        }
+        let fdiff = forced ^ good[fnet.index()];
+        scratch.set_diff(fnet, fdiff);
+        // A fault on a primary-output net is directly observable.
+        scratch.out_diff |= fdiff & u64::from(self.is_output[fnet.index()]).wrapping_neg();
+        let mut last_needed = self.last_reader[fnet.index()];
+
+        // The body is branchless apart from the early-exit test: gate
+        // kinds and stamp outcomes are data-dependent with no usable
+        // pattern, so ALU selects beat an indirect jump and conditional
+        // stores here.
+        for p in &cone.packed {
+            if p.idx >= last_needed {
+                // No remaining cone gate reads a differing net: the event
+                // frontier has converged back to the good values.
+                break;
+            }
+            // SAFETY: pins and outputs were range-checked against
+            // `num_nets` in `FaultSim::new`; `good` and `scratch.diff`
+            // are both `num_nets` long (asserted/sized above).
+            unsafe { fire_gate(p, good, scratch, &mut last_needed) };
+        }
+    }
+
+    /// Detection-oriented variant of [`eval_stuck`](FaultSim::eval_stuck)
+    /// that walks the precomputed cone bitset row directly — no
+    /// materialized [`FaultCone`] and no per-fault cone derivation.
+    /// Returns `false` (doing nothing) when the engine was built without
+    /// cone bitsets; callers then fall back to
+    /// [`cone_into`](FaultSim::cone_into) + `eval_stuck`.
+    ///
+    /// **Detection-exact, not value-exact**: the walk stops as soon as
+    /// pattern lane 0 observes the fault, because from that point
+    /// `detect_word` can only gain bits and `trailing_zeros` is already
+    /// pinned at 0. Relative to a full `eval_stuck`, the detect word's
+    /// nonzero-ness and its `trailing_zeros` (the first detecting lane)
+    /// are exact, but [`SimScratch::value`] is only meaningful for nets
+    /// written before the stop. Campaign classification needs exactly
+    /// the former two; dictionary building keeps the full walk.
+    pub fn eval_stuck_detect(
+        &self,
+        good: &[u64],
+        stuck: (NetId, bool),
+        scratch: &mut SimScratch,
+    ) -> bool {
+        let Some(cb) = &self.cone_bits else {
+            return false;
+        };
+        assert_eq!(good.len(), self.netlist.num_nets(), "good vector length");
+        scratch.begin(self.netlist.num_nets());
+        let (fnet, fval) = stuck;
+        let forced = if fval { !0u64 } else { 0u64 };
+        if good[fnet.index()] == forced {
+            return true;
+        }
+        let fdiff = forced ^ good[fnet.index()];
+        scratch.set_diff(fnet, fdiff);
+        scratch.out_diff |= fdiff & u64::from(self.is_output[fnet.index()]).wrapping_neg();
+        if scratch.out_diff & 1 != 0 {
+            return true;
+        }
+        let mut last_needed = self.last_reader[fnet.index()];
+        let row = &cb.bits[fnet.index() * cb.words..][..cb.words];
+        'walk: for (wi, &wbits) in row.iter().enumerate() {
+            let mut w = wbits;
+            if w == 0 {
+                continue;
+            }
+            if (wi * 64) as u32 >= last_needed {
+                // Every remaining gate index is ≥ the frontier horizon.
+                break;
+            }
+            while w != 0 {
+                let g = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                if g as u32 >= last_needed {
+                    break 'walk;
+                }
+                // SAFETY: `g` indexes a gate (the bitset has one bit per
+                // gate); pins/outputs were range-checked in `new`.
+                unsafe {
+                    let p = self.packed.get_unchecked(g);
+                    fire_gate(p, good, scratch, &mut last_needed);
+                }
+                // Lane-0 freeze: once lane 0 detects, the classification
+                // outcome and first detecting lane cannot change.
+                if scratch.out_diff & 1 != 0 {
+                    break 'walk;
+                }
+            }
+        }
+        true
+    }
+
+    /// Detection word after [`eval_stuck`](FaultSim::eval_stuck): bit
+    /// `i` set iff pattern lane `i` exposes the fault at any primary
+    /// output. `O(1)` — accumulated during the walk.
+    #[must_use]
+    pub fn detect_word(&self, good: &[u64], scratch: &SimScratch) -> u64 {
+        let _ = good;
+        scratch.out_diff
+    }
+
+    /// Per-output difference words (`faulty ^ good`) in primary-output
+    /// order, as consumed by syndrome hashing. Untouched outputs yield 0.
+    pub fn output_diffs<'s>(
+        &'s self,
+        good: &'s [u64],
+        scratch: &'s SimScratch,
+    ) -> impl Iterator<Item = u64> + 's {
+        self.netlist
+            .outputs()
+            .iter()
+            .map(move |&o| scratch.value(good, o) ^ good[o.index()])
+    }
+}
+
+/// Fanout-cone gate list for one fault site (see [`FaultSim::cone_into`]).
+///
+/// Holds reusable mark buffers so cones for successive fault sites can be
+/// derived without reallocating.
+#[derive(Debug, Default, Clone)]
+pub struct FaultCone {
+    /// Affected gate indices, ascending (= levelized order).
+    gates: Vec<u32>,
+    /// Flattened gate records parallel to `gates`, so the event walk
+    /// streams one contiguous buffer instead of gathering from the full
+    /// gate table (whose access pattern defeats the prefetcher).
+    packed: Vec<PackedGate>,
+    /// Epoch stamps per gate; a gate is in the current cone iff its stamp
+    /// equals `epoch`. Only the fallback walk uses these.
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl FaultCone {
+    /// Creates an empty cone.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultCone::default()
+    }
+
+    /// Gate indices in the cone, ascending.
+    #[must_use]
+    pub fn gates(&self) -> &[u32] {
+        &self.gates
+    }
+
+    fn begin(&mut self) {
+        self.gates.clear();
+        self.packed.clear();
+    }
+
+    /// Lazily sizes the dedup stamps (fallback walk only).
+    fn begin_marks(&mut self, num_gates: usize) {
+        if self.stamp.len() < num_gates {
+            self.stamp.resize(num_gates, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Marks `gate`; returns `false` if it was already marked this epoch.
+    fn mark(&mut self, gate: u32) -> bool {
+        let slot = &mut self.stamp[gate as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// XOR-difference overlay used by [`FaultSim::eval_stuck`].
+///
+/// `diff[n]` holds `faulty ^ good` for net `n` — zero everywhere the
+/// fault has no effect — so an overlay read is a single extra XOR and the
+/// walk needs no stamps or epochs. `begin` re-zeroes only the entries the
+/// previous evaluation wrote (via `touched`), keeping every evaluation
+/// allocation-free and `O(walked gates)`.
+#[derive(Debug, Default, Clone)]
+pub struct SimScratch {
+    diff: Vec<u64>,
+    touched: Vec<u32>,
+    /// OR of `faulty ^ good` over primary-output nets, accumulated while
+    /// the walk runs.
+    out_diff: u64,
+}
+
+impl SimScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        SimScratch::default()
+    }
+
+    fn begin(&mut self, num_nets: usize) {
+        for &n in &self.touched {
+            self.diff[n as usize] = 0;
+        }
+        self.touched.clear();
+        self.out_diff = 0;
+        if self.diff.len() < num_nets {
+            self.diff.resize(num_nets, 0);
+        }
+    }
+
+    fn set_diff(&mut self, net: NetId, diff: u64) {
+        self.diff[net.index()] = diff;
+        self.touched.push(net.0);
+    }
+
+    /// The faulty value of `net` after an evaluation: the good value
+    /// XORed with the recorded difference (zero where undisturbed).
+    #[must_use]
+    pub fn value(&self, good: &[u64], net: NetId) -> u64 {
+        self.overlay(good, net.0)
+    }
+
+    /// Raw-index overlay read used by the hot walk.
+    #[inline(always)]
+    fn overlay(&self, good: &[u64], net: u32) -> u64 {
+        good[net as usize] ^ self.diff[net as usize]
+    }
+
+    /// Nets written by the last event walk, in the order it reached them:
+    /// a superset of the differing nets (non-differing entries carry the
+    /// good value, so difference queries over them still read as zero).
+    #[must_use]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_inputs(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen()).collect()
+    }
+
+    /// Checks every stuck-at fault on every net of `nl` against the
+    /// full-re-evaluation oracle, over several pattern blocks — once with
+    /// the precomputed cone bitsets and once with the worklist fallback.
+    fn assert_matches_oracle(nl: &Netlist) {
+        let mut sim = FaultSim::new(nl);
+        assert!(sim.cone_bits.is_some(), "test netlists fit the cone-bitset budget");
+        assert_matches_oracle_with(nl, &sim);
+        sim.cone_bits = None;
+        assert_matches_oracle_with(nl, &sim);
+    }
+
+    fn assert_matches_oracle_with(nl: &Netlist, sim: &FaultSim<'_>) {
+        let mut cone = FaultCone::new();
+        let mut scratch = SimScratch::new();
+        let mut det_scratch = SimScratch::new();
+        for block in 0..4u64 {
+            let inputs = random_inputs(nl.num_inputs(), 0xBEEF ^ block);
+            let good = nl.eval_all(&inputs);
+            for net in 0..nl.num_nets() as u32 {
+                let net = NetId(net);
+                sim.cone_into(net, &mut cone);
+                for stuck in [false, true] {
+                    let oracle = nl.eval_all_stuck(&inputs, (net, stuck));
+                    sim.eval_stuck(&good, (net, stuck), &cone, &mut scratch);
+                    for n in 0..nl.num_nets() as u32 {
+                        assert_eq!(
+                            scratch.value(&good, NetId(n)),
+                            oracle[n as usize],
+                            "net n{n} mismatch for fault ({net}, sa{})",
+                            u8::from(stuck)
+                        );
+                    }
+                    // Detection word must match the oracle's output diff.
+                    let mut oracle_diff = 0u64;
+                    for (o, g) in nl.outputs().iter().zip(nl.output_values(&good)) {
+                        oracle_diff |= oracle[o.index()] ^ g;
+                    }
+                    assert_eq!(sim.detect_word(&good, &scratch), oracle_diff);
+                    // The row-walk detection variant must agree on
+                    // detection and the first detecting lane (it may
+                    // stop early once lane 0 fires).
+                    if sim.eval_stuck_detect(&good, (net, stuck), &mut det_scratch) {
+                        let det = sim.detect_word(&good, &det_scratch);
+                        assert_eq!(
+                            det != 0,
+                            oracle_diff != 0,
+                            "detect variant disagreement for fault ({net}, sa{})",
+                            u8::from(stuck)
+                        );
+                        if oracle_diff != 0 {
+                            assert_eq!(det.trailing_zeros(), oracle_diff.trailing_zeros());
+                        }
+                    } else {
+                        assert!(sim.cone_bits.is_none(), "detect walk refused with bitsets built");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_adder() {
+        let mut b = NetlistBuilder::new();
+        let a = b.inputs(6);
+        let bb = b.inputs(6);
+        let zero = b.constant(false);
+        let (sum, carry) = b.ripple_adder(&a, &bb, zero);
+        b.outputs(&sum);
+        b.output(carry);
+        assert_matches_oracle(&b.finish());
+    }
+
+    #[test]
+    fn matches_oracle_on_mixed_logic() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(8);
+        let x = b.xor_tree(&i);
+        let y = b.and_tree(&i[..4]);
+        let z = b.mux2(i[0], x, y);
+        let dead = b.and2(i[6], i[7]); // unobserved cone
+        let _ = dead;
+        b.output(z);
+        b.output(y);
+        assert_matches_oracle(&b.finish());
+    }
+
+    #[test]
+    fn cone_is_ascending_and_complete() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(4);
+        let x = b.xor2(i[0], i[1]);
+        let y = b.and2(x, i[2]);
+        let z = b.or2(y, i[3]);
+        b.output(z);
+        let nl = b.finish();
+        let sim = FaultSim::new(&nl);
+        // Fault on input 0 disturbs all three gates.
+        assert_eq!(sim.cone(i[0]).gates().len(), 3);
+        // Fault on the output net disturbs nothing downstream.
+        assert!(sim.cone(z).gates().is_empty());
+        // Fault on input 3 only disturbs the final OR.
+        assert_eq!(sim.cone(i[3]).gates().len(), 1);
+    }
+
+    #[test]
+    fn forced_value_equal_to_good_touches_nothing() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let x = b.and2(i[0], i[1]);
+        b.output(x);
+        let nl = b.finish();
+        let sim = FaultSim::new(&nl);
+        let cone = sim.cone(i[0]);
+        let mut scratch = SimScratch::new();
+        // Input 0 all-ones; stuck-at-1 on it changes nothing.
+        let good = nl.eval_all(&[!0, 0]);
+        sim.eval_stuck(&good, (i[0], true), &cone, &mut scratch);
+        assert!(scratch.touched().is_empty());
+        assert_eq!(sim.detect_word(&good, &scratch), 0);
+    }
+
+    #[test]
+    fn scratch_reuse_across_faults_is_clean() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(3);
+        let x = b.xor_tree(&i);
+        b.output(x);
+        let nl = b.finish();
+        let sim = FaultSim::new(&nl);
+        let mut scratch = SimScratch::new();
+        let inputs = random_inputs(3, 7);
+        let good = nl.eval_all(&inputs);
+        for net in 0..nl.num_nets() as u32 {
+            let net = NetId(net);
+            let cone = sim.cone(net);
+            for stuck in [false, true] {
+                sim.eval_stuck(&good, (net, stuck), &cone, &mut scratch);
+                let oracle = nl.eval_all_stuck(&inputs, (net, stuck));
+                for n in 0..nl.num_nets() as u32 {
+                    assert_eq!(scratch.value(&good, NetId(n)), oracle[n as usize]);
+                }
+            }
+        }
+    }
+}

@@ -49,6 +49,7 @@ pub use floorplan::{BlockId, Floorplan, Rect};
 pub use grid::{GridConfig, MaterialParams, ThermalGrid};
 pub use map::TemperatureField;
 pub use power::PowerMap;
+pub use solver::{CyclingProfile, SolveOutcome};
 
 use std::fmt;
 
@@ -70,6 +71,13 @@ pub enum ThermalError {
         /// Number of layers in the floorplan.
         layers: usize,
     },
+    /// A warm-start field was built for a different grid.
+    CellCountMismatch {
+        /// Cells in this grid.
+        expected: usize,
+        /// Cells in the supplied field.
+        got: usize,
+    },
 }
 
 impl fmt::Display for ThermalError {
@@ -80,6 +88,9 @@ impl fmt::Display for ThermalError {
             }
             ThermalError::UnknownBlock { layer, layers } => {
                 write!(f, "layer {layer} outside floorplan with {layers} layers")
+            }
+            ThermalError::CellCountMismatch { expected, got } => {
+                write!(f, "warm-start field has {got} cells, grid has {expected}")
             }
         }
     }

@@ -5,6 +5,16 @@ use crate::map::TemperatureField;
 use crate::power::PowerMap;
 use crate::ThermalError;
 
+/// Result of a steady-state solve: the converged field plus how many SOR
+/// sweeps it took (the warm-start figure of merit).
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// Converged temperature field.
+    pub field: TemperatureField,
+    /// SOR sweeps spent reaching the tolerance.
+    pub sweeps: usize,
+}
+
 impl ThermalGrid {
     /// Spreads block powers onto grid cells (watts per cell).
     fn cell_powers(&self, power: &PowerMap) -> Vec<f64> {
@@ -86,14 +96,47 @@ impl ThermalGrid {
     /// Returns [`ThermalError::NoConvergence`] if SOR does not reach the
     /// configured tolerance within `max_sweeps`.
     pub fn steady_state(&self, power: &PowerMap) -> Result<TemperatureField, ThermalError> {
+        self.steady_state_warm(power, None).map(|o| o.field)
+    }
+
+    /// [`steady_state`](ThermalGrid::steady_state) with an optional warm
+    /// start: SOR iterates from `init` instead of the ambient guess.
+    ///
+    /// Successive solves along a slowly-varying power trajectory (e.g. the
+    /// lifetime loop's monthly duty patterns) converge in far fewer sweeps
+    /// when seeded with the previous solution; the returned
+    /// [`SolveOutcome::sweeps`] quantifies that saving.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::NoConvergence`] if SOR does not reach the
+    /// configured tolerance within `max_sweeps`, and
+    /// [`ThermalError::CellCountMismatch`] if `init` has a different cell
+    /// count than this grid.
+    pub fn steady_state_warm(
+        &self,
+        power: &PowerMap,
+        init: Option<&TemperatureField>,
+    ) -> Result<SolveOutcome, ThermalError> {
         let cell_power = self.cell_powers(power);
-        let mut temps = vec![self.ambient(); self.cell_count()];
+        let mut temps = match init {
+            Some(field) => {
+                if field.cells().len() != self.cell_count() {
+                    return Err(ThermalError::CellCountMismatch {
+                        expected: self.cell_count(),
+                        got: field.cells().len(),
+                    });
+                }
+                field.cells().to_vec()
+            }
+            None => vec![self.ambient(); self.cell_count()],
+        };
         let cfg = self.config();
         let mut residual = f64::INFINITY;
-        for _sweep in 0..cfg.max_sweeps {
+        for sweep in 0..cfg.max_sweeps {
             residual = self.sweep(&mut temps, &cell_power, cfg.sor_omega);
             if residual < cfg.tolerance {
-                return Ok(TemperatureField::new(self, temps));
+                return Ok(SolveOutcome { field: TemperatureField::new(self, temps), sweeps: sweep + 1 });
             }
         }
         Err(ThermalError::NoConvergence { iterations: cfg.max_sweeps, residual })
@@ -361,6 +404,49 @@ mod tests {
             "longer thermal cycles must swing harder: {slow_max:.2} vs {fast_max:.2}"
         );
         assert!(slow.peak > grid.ambient());
+    }
+
+    #[test]
+    fn warm_start_converges_faster_to_the_same_field() {
+        let fp = Floorplan::opensparc_3d(4);
+        let grid = ThermalGrid::new(&fp, &GridConfig::default());
+        let cold = grid.steady_state_warm(&uniform_power(&fp, 0.05), None).unwrap();
+        // Slightly perturbed power, seeded with the previous solution —
+        // the trajectory case the lifetime loop hits every month.
+        let near = uniform_power(&fp, 0.052);
+        let warm = grid.steady_state_warm(&near, Some(&cold.field)).unwrap();
+        let scratch = grid.steady_state_warm(&near, None).unwrap();
+        assert!(
+            warm.sweeps < scratch.sweeps,
+            "warm start must need fewer sweeps ({} vs {})",
+            warm.sweeps,
+            scratch.sweeps
+        );
+        // Re-solving the *same* power from its own solution is near-free.
+        let resolve = grid
+            .steady_state_warm(&uniform_power(&fp, 0.05), Some(&cold.field))
+            .unwrap();
+        assert!(
+            resolve.sweeps * 10 <= cold.sweeps,
+            "restart at the solution should be ~free ({} vs {})",
+            resolve.sweeps,
+            cold.sweeps
+        );
+        // Both converge to the same tolerance band.
+        for layer in 0..4 {
+            assert!((warm.field.layer_avg(layer) - scratch.field.layer_avg(layer)).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn warm_start_rejects_mismatched_field() {
+        let fp2 = Floorplan::opensparc_3d(2);
+        let fp4 = Floorplan::opensparc_3d(4);
+        let g2 = ThermalGrid::new(&fp2, &GridConfig::default());
+        let g4 = ThermalGrid::new(&fp4, &GridConfig::default());
+        let f2 = g2.steady_state(&PowerMap::new(&fp2)).unwrap();
+        let err = g4.steady_state_warm(&PowerMap::new(&fp4), Some(&f2)).unwrap_err();
+        assert!(matches!(err, ThermalError::CellCountMismatch { .. }));
     }
 
     #[test]

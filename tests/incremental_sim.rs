@@ -1,0 +1,102 @@
+//! Property test: the incremental, cone-restricted fault-simulation
+//! engine is bit-identical to the full-re-evaluation oracle
+//! (`Netlist::eval_all_stuck`) on randomly generated netlists.
+
+use proptest::prelude::*;
+use r2d3_netlist::{FaultCone, FaultSim, GateKind, NetId, Netlist, NetlistBuilder, SimScratch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random combinational netlist: a few primary inputs, a random
+/// DAG of gates over already-driven nets, and a random observed subset.
+fn random_netlist(seed: u64) -> Netlist {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetlistBuilder::new();
+    let num_inputs = rng.gen_range(2usize..10);
+    let mut nets = b.inputs(num_inputs);
+    let num_gates = rng.gen_range(5usize..120);
+    for _ in 0..num_gates {
+        let kind = match rng.gen_range(0u32..9) {
+            0 => GateKind::Buf,
+            1 => GateKind::Not,
+            2 => GateKind::And,
+            3 => GateKind::Or,
+            4 => GateKind::Nand,
+            5 => GateKind::Nor,
+            6 => GateKind::Xor,
+            7 => GateKind::Xnor,
+            _ => GateKind::Mux,
+        };
+        let picks: Vec<NetId> =
+            (0..kind.arity()).map(|_| nets[rng.gen_range(0..nets.len())]).collect();
+        nets.push(b.gate(kind, &picks));
+    }
+    let mut observed = 0usize;
+    for i in 0..nets.len() {
+        if rng.gen_bool(0.15) {
+            b.output(nets[i]);
+            observed += 1;
+        }
+    }
+    if observed == 0 {
+        let last = *nets.last().unwrap();
+        b.output(last);
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn incremental_fault_sim_matches_oracle(
+        shape_seed in 0u64..(1u64 << 48),
+        pattern_seed in 0u64..(1u64 << 48),
+    ) {
+        let nl = random_netlist(shape_seed);
+        let sim = FaultSim::new(&nl);
+        let mut cone = FaultCone::new();
+        let mut scratch = SimScratch::new();
+
+        let mut det_scratch = SimScratch::new();
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        let inputs: Vec<u64> = (0..nl.num_inputs()).map(|_| rng.gen()).collect();
+        let good = nl.eval_all(&inputs);
+        let good_out = nl.output_values(&good);
+
+        // Every stuck-at fault on every net, both polarities.
+        for net in 0..nl.num_nets() as u32 {
+            let net = NetId(net);
+            sim.cone_into(net, &mut cone);
+            for stuck in [false, true] {
+                let oracle = nl.eval_all_stuck(&inputs, (net, stuck));
+                sim.eval_stuck(&good, (net, stuck), &cone, &mut scratch);
+                for n in 0..nl.num_nets() as u32 {
+                    prop_assert_eq!(
+                        scratch.value(&good, NetId(n)),
+                        oracle[n as usize],
+                        "net n{} differs for fault ({}, sa{})",
+                        n,
+                        net,
+                        u8::from(stuck)
+                    );
+                }
+                let mut oracle_diff = 0u64;
+                for (o, g) in nl.outputs().iter().zip(&good_out) {
+                    oracle_diff |= oracle[o.index()] ^ g;
+                }
+                prop_assert_eq!(sim.detect_word(&good, &scratch), oracle_diff);
+
+                // The row-walk detection variant (used by campaigns) must
+                // agree on detection and on the first detecting lane.
+                if sim.eval_stuck_detect(&good, (net, stuck), &mut det_scratch) {
+                    let det = sim.detect_word(&good, &det_scratch);
+                    prop_assert_eq!(det != 0, oracle_diff != 0);
+                    if oracle_diff != 0 {
+                        prop_assert_eq!(det.trailing_zeros(), oracle_diff.trailing_zeros());
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,88 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the scoped-thread API the workspace uses is provided:
+//! [`scope`], [`thread::Scope::spawn`] and
+//! [`thread::ScopedJoinHandle::join`], implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63). Semantics match the
+//! call sites' expectations: `scope` returns `Ok(..)` when the closure
+//! returns, and a panicking worker surfaces as an `Err` from `join`.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Result of joining a scoped thread (mirrors `std::thread::Result`).
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Scope handle passed to [`crate::scope`]'s closure.
+    pub struct Scope<'scope, 'env: 'scope> {
+        pub(crate) inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        pub(crate) inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a scope reference
+        /// (so nested spawns are possible), like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner_scope = self.inner;
+            ScopedJoinHandle {
+                inner: inner_scope.spawn(move || {
+                    let nested = Scope { inner: inner_scope };
+                    f(&nested)
+                }),
+            }
+        }
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread and returns its result (`Err` on panic).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+}
+
+/// Creates a scope for spawning borrowing threads; mirrors
+/// `crossbeam::scope`. Always returns `Ok` (worker panics are reported
+/// through the individual [`thread::ScopedJoinHandle::join`] calls; an
+/// unjoined panicking worker propagates the panic like `std::thread::scope`).
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: FnOnce(&thread::Scope<'_, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&thread::Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = super::scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn worker_panic_is_an_err_on_join() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            h.join().is_err()
+        })
+        .unwrap();
+        assert!(r);
+    }
+}

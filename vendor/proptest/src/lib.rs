@@ -1,0 +1,392 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest API the workspace uses:
+//! `proptest!` (block and closure forms), `prop_assert!`,
+//! `prop_assert_eq!`, `prop_assume!`, `prop_oneof!`, `Just`,
+//! `any::<T>()`, range strategies, tuple strategies,
+//! `proptest::collection::vec`, `Strategy::prop_map` and
+//! `ProptestConfig::with_cases`.
+//!
+//! Semantics differ from real proptest in two deliberate ways:
+//! cases are sampled from a deterministic RNG seeded by the test name
+//! (fully reproducible, no persistence files), and failing cases are
+//! *not* shrunk — the failing input is reported as sampled.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+
+/// Deterministic RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates an RNG whose seed is derived from `name` (typically the
+    /// test function name), so every test gets a stable, distinct stream.
+    #[must_use]
+    pub fn deterministic(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    #[inline]
+    pub(crate) fn rng(&mut self) -> &mut StdRng {
+        &mut self.0
+    }
+}
+
+/// Why a test case ended without a verdict.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by `prop_assume!` and does not count.
+    Reject,
+}
+
+/// Run configuration (`cases` = sampled inputs per property).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` sampled inputs.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of test values. Object-safe so `prop_oneof!` can erase
+/// arm types.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { strategy: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    strategy: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.strategy.sample(rng))
+    }
+}
+
+/// Strategy producing a single constant value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.rng().gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// Whole-domain strategy for an [`Arbitrary`] type.
+pub struct Any<T>(core::marker::PhantomData<T>);
+
+impl<T> Clone for Any<T> {
+    fn clone(&self) -> Self {
+        Any(core::marker::PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Returns the whole-domain strategy for `T` (proptest's `any::<T>()`).
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(core::marker::PhantomData)
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+ );)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0);
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+    (A.0, B.1, C.2, D.3, E.4, F.5);
+}
+
+/// Type-erased strategy, the arm type of [`Union`].
+pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+/// Boxes a strategy (helper used by `prop_oneof!` so arm types unify).
+#[must_use]
+pub fn boxed<S>(s: S) -> BoxedStrategy<S::Value>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniform choice between alternative strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union over `arms` (must be non-empty).
+    #[must_use]
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = rng.rng().gen_range(0..self.arms.len());
+        self.arms[i].sample(rng)
+    }
+}
+
+/// Everything a test module normally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Any, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestRng, Union,
+    };
+}
+
+/// Chooses uniformly among strategy arms; all arms must generate the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::boxed($arm)),+])
+    };
+}
+
+/// Asserts a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { ::std::assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { ::std::assert_eq!($($tt)*) };
+}
+
+/// Rejects the current case when the assumption fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Defines property tests (block form) or runs one inline (closure
+/// form). See crate docs for supported syntax.
+#[macro_export]
+macro_rules! proptest {
+    // Closure form: proptest!(|(a in s1, b in s2)| { body });
+    (|($($pat:pat in $strat:expr),+ $(,)?)| $body:block) => {{
+        let config = $crate::ProptestConfig::default();
+        let mut rng = $crate::TestRng::deterministic(::std::concat!(
+            ::std::file!(), ":", ::std::line!()
+        ));
+        for _case in 0..config.cases {
+            $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+            let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                let _ = $body;
+                ::std::result::Result::Ok(())
+            })();
+            match outcome {
+                ::std::result::Result::Ok(())
+                | ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+            }
+        }
+    }};
+    // Block form with a config override.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    // Block form with the default config.
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]'s block form.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(::std::stringify!($name));
+            for _case in 0..config.cases {
+                $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
+                let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    let _ = $body;
+                    ::std::result::Result::Ok(())
+                })();
+                match outcome {
+                    ::std::result::Result::Ok(())
+                    | ::std::result::Result::Err($crate::TestCaseError::Reject) => {}
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..256, y in -3i16..=3) {
+            prop_assert!(x < 256);
+            prop_assert!((-3..=3).contains(&y));
+        }
+
+        #[test]
+        fn mapped_tuples(v in (0usize..4, 10usize..20).prop_map(|(a, b)| a + b)) {
+            prop_assert!((10..24).contains(&v));
+        }
+
+        #[test]
+        fn assume_rejects(a in any::<u8>(), b in any::<u8>()) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+        #[test]
+        fn config_override_applies(_x in any::<bool>()) {
+            prop_assert!(true);
+        }
+    }
+
+    #[test]
+    fn closure_form_and_collections() {
+        proptest!(|(bits in crate::collection::vec(any::<bool>(), 40))| {
+            prop_assert_eq!(bits.len(), 40);
+        });
+        proptest!(|(v in crate::collection::vec(0u32..7, 1..5))| {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 7));
+        });
+    }
+
+    #[test]
+    fn oneof_hits_every_arm() {
+        let s = prop_oneof![Just(0u8), Just(1u8), Just(2u8)];
+        let mut rng = TestRng::deterministic("oneof");
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            seen[s.sample(&mut rng) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+    }
+}
