@@ -4,13 +4,16 @@ use crate::fault::Fault;
 use crate::observe::structurally_observable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use r2d3_netlist::{FaultCone, FaultSim, Netlist, SimScratch};
+use r2d3_netlist::{pack_blocks, FaultCone, FaultSim, Netlist, WideScratch};
 use serde::{Deserialize, Serialize};
 
 /// Pattern blocks whose good-value vectors are held in memory at once.
 /// Bounds peak memory at `BLOCK_BATCH * num_nets * 8` bytes while still
 /// amortizing each fault's cone derivation over many blocks.
 const BLOCK_BATCH: usize = 32;
+
+/// 64-pattern blocks fused into one 256-lane walk ([`WideScratch`]).
+const LANE_GROUP: usize = 4;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -188,9 +191,15 @@ fn pattern_blocks(netlist: &Netlist, blocks: usize, seed: u64) -> Vec<Vec<u64>> 
 /// the outputs are classified [`FaultStatus::Undetectable`] without
 /// simulation. The rest are fault-simulated incrementally
 /// ([`FaultSim`]): pattern blocks are processed in batches whose
-/// good-value vectors are cached, each fault's fanout cone is derived
-/// once per batch, and only the cone is re-evaluated per block — with
-/// early exit once the fault effect dies out. Detected faults are
+/// good-value vectors are cached and fused into 256-lane groups of four
+/// blocks ([`pack_blocks`]), each fault's fanout cone is derived once
+/// per batch, and only the cone is re-evaluated per lane group — with
+/// early exit once the fault effect dies out in every block of the
+/// group. Detection accounting stays block-exact: within a group the
+/// earliest block with a nonzero detection word wins, and its
+/// `trailing_zeros` picks the lane, so classifications, first-detection
+/// pattern indices, and applied-pattern counts are identical to
+/// walking the 64-lane blocks one at a time. Detected faults are
 /// dropped from later batches.
 ///
 /// Results are bit-identical to [`run_campaign_reference`] for any seed
@@ -207,8 +216,8 @@ pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig
     let mut blocks_applied = 0usize;
 
     // With cone bitsets available, workers walk each fault's cone row in
-    // place (`eval_stuck_detect`) — no cones are ever materialized. On
-    // netlists too large for the bitset budget, workers fall back to
+    // place (`eval_stuck_detect_wide`) — no cones are ever materialized.
+    // On netlists too large for the bitset budget, workers fall back to
     // deriving cones per batch.
     let use_rows = engine.cheap_cones();
     let mut goods: Vec<Vec<u64>> = Vec::new();
@@ -223,18 +232,29 @@ pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig
         for (buf, pattern) in goods.iter_mut().zip(batch) {
             netlist.eval_all_into(pattern, buf);
         }
+        // Fuse the batch's good vectors into 256-lane groups, shared by
+        // every fault (and every worker) this batch. A trailing partial
+        // group pads by repeating its last block; `real` marks how many
+        // lane groups carry genuine patterns.
+        let groups: Vec<(Vec<[u64; 4]>, usize)> = goods
+            .chunks(LANE_GROUP)
+            .map(|chunk| {
+                let refs: Vec<&[u64]> = chunk.iter().map(Vec::as_slice).collect();
+                (pack_blocks(&refs), chunk.len())
+            })
+            .collect();
 
         let results = if threads == 1 || remaining.len() < 128 {
-            simulate_batch(&engine, faults, &remaining, &goods, batch_start, use_rows)
+            simulate_batch(&engine, faults, &remaining, &groups, batch_start, use_rows)
         } else {
             let chunk_len = remaining.len().div_ceil(threads);
             crossbeam::scope(|scope| {
                 let handles: Vec<_> = remaining
                     .chunks(chunk_len)
                     .map(|chunk| {
-                        let (engine, goods) = (&engine, &goods);
+                        let (engine, groups) = (&engine, &groups);
                         scope.spawn(move |_| {
-                            simulate_batch(engine, faults, chunk, goods, batch_start, use_rows)
+                            simulate_batch(engine, faults, chunk, groups, batch_start, use_rows)
                         })
                     })
                     .collect();
@@ -266,19 +286,28 @@ pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig
     }
 }
 
-/// Simulates each fault in `chunk` over one batch of cached good-value
-/// vectors. Returns `(fault_index, detection, last block reached + 1)`
-/// per fault; the cone and scratch buffers are reused across faults.
+/// Simulates each fault in `chunk` over one batch of cached 256-lane
+/// good-value groups. Returns `(fault_index, detection, last block
+/// reached + 1)` per fault; the cone and scratch buffers are reused
+/// across faults.
+///
+/// Lane-group-aware accounting keeps the result bit-compatible with a
+/// block-at-a-time walk: within a group of four blocks the *earliest*
+/// block with a nonzero detection word is the detecting block (later
+/// blocks in the group were also simulated, but the narrow walk would
+/// have stopped before reaching them), and only that block plus its
+/// predecessors count as applied. Padded lanes of a trailing partial
+/// group (`real < LANE_GROUP`) are ignored entirely.
 fn simulate_batch(
     engine: &FaultSim<'_>,
     faults: &[Fault],
     chunk: &[usize],
-    goods: &[Vec<u64>],
+    groups: &[(Vec<[u64; 4]>, usize)],
     batch_start: usize,
     use_rows: bool,
 ) -> Vec<(usize, Option<FaultStatus>, usize)> {
     let mut cone = FaultCone::new();
-    let mut scratch = SimScratch::new();
+    let mut scratch = WideScratch::new();
     chunk
         .iter()
         .map(|&fi| {
@@ -288,20 +317,22 @@ fn simulate_batch(
             }
             let mut detected = None;
             let mut blocks_used = batch_start;
-            for (bi, good) in goods.iter().enumerate() {
-                blocks_used = batch_start + bi + 1;
+            for (gi, (good, real)) in groups.iter().enumerate() {
+                let group_start = batch_start + gi * LANE_GROUP;
                 if use_rows {
-                    engine.eval_stuck_detect(good, (fault.net, fault.stuck), &mut scratch);
+                    engine.eval_stuck_detect_wide(good, (fault.net, fault.stuck), &mut scratch);
                 } else {
-                    engine.eval_stuck(good, (fault.net, fault.stuck), &cone, &mut scratch);
+                    engine.eval_stuck_wide(good, (fault.net, fault.stuck), &cone, &mut scratch);
                 }
-                let diff = engine.detect_word(good, &scratch);
-                if diff != 0 {
-                    let lane = diff.trailing_zeros() as usize;
+                let words = scratch.detect_words();
+                if let Some(g) = (0..*real).find(|&g| words[g] != 0) {
+                    let lane = words[g].trailing_zeros() as usize;
                     detected =
-                        Some(FaultStatus::Detected { pattern: (batch_start + bi) * 64 + lane });
+                        Some(FaultStatus::Detected { pattern: (group_start + g) * 64 + lane });
+                    blocks_used = group_start + g + 1;
                     break;
                 }
+                blocks_used = group_start + real;
             }
             (fi, detected, blocks_used)
         })
@@ -471,6 +502,33 @@ mod tests {
             let reference = run_campaign_reference(&nl, &faults, &config);
             assert_eq!(inc.statuses(), reference.statuses(), "seed {seed}");
             assert_eq!(inc.patterns_applied(), reference.patterns_applied(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn partial_lane_groups_match_reference() {
+        // Budgets that are not a multiple of 256 leave a trailing partial
+        // lane group whose padded lanes must not leak into detection or
+        // applied-pattern accounting.
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(16);
+        let x = b.xor_tree(&i[..5]);
+        let y = b.and_tree(&i[4..12]);
+        let z = b.or2(x, y);
+        b.output(z);
+        b.output(y);
+        let nl = b.finish();
+        let faults = all_faults(&nl);
+        for max_patterns in [64usize, 192, 320, 2048 + 128] {
+            let config = CampaignConfig { max_patterns, seed: 9, threads: 1 };
+            let inc = run_campaign(&nl, &faults, &config);
+            let reference = run_campaign_reference(&nl, &faults, &config);
+            assert_eq!(inc.statuses(), reference.statuses(), "{max_patterns} patterns");
+            assert_eq!(
+                inc.patterns_applied(),
+                reference.patterns_applied(),
+                "{max_patterns} patterns"
+            );
         }
     }
 

@@ -33,7 +33,7 @@ fn main() {
         for _ in 0..trials {
             let mut dead = [false; 40];
             for _ in 0..faults {
-                dead[rng.gen_range(0..40)] = true;
+                dead[rng.gen_range(0..40usize)] = true;
             }
             let usable = |s: StageId| !dead[s.flat_index()];
             let balanced = form_pipelines(8, usable, 8);

@@ -10,6 +10,9 @@
 //!   budget, with the fault classification asserted identical.
 //! - **Lifetime**: replica-parallel Monte-Carlo at 1 vs 4 threads, with
 //!   the averaged [`LifetimeSeries`] asserted bit-identical.
+//! - **Substrate**: the same detect → diagnose → repair scenario driven
+//!   by one engine over the behavioral and gate-level substrates, with
+//!   epoch throughput for both and the verdicts asserted identical.
 //! - **Thermal**: sweeps-to-convergence of a warm-started SOR solve vs a
 //!   cold solve, for both a perturbed power map and an exact re-solve.
 //!
@@ -18,12 +21,15 @@
 use criterion::{criterion_group, Criterion, Throughput};
 use r2d3_atpg::campaign::{run_campaign, run_campaign_reference, CampaignConfig};
 use r2d3_atpg::fault::collapsed_faults;
+use r2d3_core::engine::R2d3Engine;
 use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
+use r2d3_core::R2d3Config;
 use r2d3_core::policy::PolicyKind;
-use r2d3_isa::kernels::{gemm, KernelKind};
+use r2d3_core::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
+use r2d3_isa::kernels::{gemm, gemv, KernelKind};
 use r2d3_isa::Unit;
 use r2d3_netlist::stages::{stage_netlist, StageSizing};
-use r2d3_pipeline_sim::{System3d, SystemConfig};
+use r2d3_pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
 use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
 use std::time::Instant;
 
@@ -85,10 +91,22 @@ fn thermal_solve(c: &mut Criterion) {
     group.finish();
 }
 
+fn substrate_epoch(c: &mut Criterion) {
+    let mut sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let cycles = R2d3Config::default().t_epoch;
+    let mut group = c.benchmark_group("substrate");
+    group.throughput(Throughput::Elements(cycles * sub.pipeline_count() as u64));
+    group.bench_function("netlist_epoch_8x6", |b| {
+        b.iter(|| engine.run_epoch(&mut sub).unwrap());
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = pipeline_sim, netlist_eval, fault_sim, thermal_solve
+    targets = pipeline_sim, netlist_eval, fault_sim, thermal_solve, substrate_epoch
 }
 
 /// Runs `f` `runs` times and returns the last result with the best
@@ -217,6 +235,79 @@ fn lifetime_report(json: &mut String) {
     ));
 }
 
+/// One engine-managed repair scenario on a substrate: injects a fault,
+/// runs epochs until diagnosis (or the epoch budget), returns
+/// `(epochs_run, diagnosed)`.
+fn drive_scenario<S: ReliabilitySubstrate>(
+    sys: &mut S,
+    victim: StageId,
+    max_epochs: usize,
+) -> (usize, bool) {
+    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    for epoch in 1..=max_epochs {
+        engine.run_epoch(sys).expect("epoch");
+        if engine.believed_faulty().contains(&victim) {
+            return (epoch, true);
+        }
+    }
+    (max_epochs, false)
+}
+
+fn substrate_report(json: &mut String) {
+    let victim = StageId::new(2, Unit::Exu);
+    let epochs = 8usize;
+    let t_epoch = R2d3Config::default().t_epoch;
+
+    // Behavioral backend: same detect → diagnose → repair scenario.
+    let ((behav_epochs, behav_hit), behav_secs) = time_best(3, || {
+        let mut sys = System3d::new(&SystemConfig { pipelines: 6, ..Default::default() });
+        for p in 0..6 {
+            sys.load_program(p, gemv(32, 32, 7).program().clone()).unwrap();
+        }
+        sys.inject_fault(victim, FaultEffect { bit: 0, stuck: true }).unwrap();
+        drive_scenario(&mut sys, victim, epochs)
+    });
+
+    // Gate-level backend, one R2D3 engine over both.
+    let ((gate_epochs, gate_hit), gate_secs) = time_best(3, || {
+        let mut sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+        let fault = sub.output_fault(Unit::Exu, 0, true);
+        sub.inject_fault(victim, fault).unwrap();
+        drive_scenario(&mut sub, victim, epochs)
+    });
+
+    assert!(behav_hit && gate_hit, "both substrates must diagnose the EXU fault");
+    let behav_cycles = (behav_epochs as u64 * t_epoch) as f64;
+    let gate_cycles = (gate_epochs as u64 * t_epoch) as f64;
+
+    println!(
+        "perf substrate: behavioral {behav_secs:.3}s / {behav_epochs} epochs, \
+         netlist {gate_secs:.3}s / {gate_epochs} epochs to diagnosis"
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"substrate\": {{\n",
+            "    \"scenario\": \"exu_l2_stuck_at_1_detect_diagnose_repair\",\n",
+            "    \"t_epoch\": {},\n",
+            "    \"behavioral_epochs_to_diagnosis\": {},\n",
+            "    \"netlist_epochs_to_diagnosis\": {},\n",
+            "    \"behavioral_secs\": {:.6},\n",
+            "    \"netlist_secs\": {:.6},\n",
+            "    \"behavioral_cycles_per_sec\": {:.1},\n",
+            "    \"netlist_cycles_per_sec\": {:.1},\n",
+            "    \"verdicts_identical\": true\n",
+            "  }},\n"
+        ),
+        t_epoch,
+        behav_epochs,
+        gate_epochs,
+        behav_secs,
+        gate_secs,
+        behav_cycles / behav_secs,
+        gate_cycles / gate_secs,
+    ));
+}
+
 fn thermal_report(json: &mut String) {
     let fp = Floorplan::opensparc_3d(8);
     let grid = ThermalGrid::new(&fp, &GridConfig { nx: 8, ny: 6, ..Default::default() });
@@ -264,6 +355,7 @@ fn main() {
     let mut json = String::from("{\n");
     campaign_report(&mut json);
     lifetime_report(&mut json);
+    substrate_report(&mut json);
     thermal_report(&mut json);
     json.push_str("}\n");
 

@@ -4,6 +4,7 @@ use r2d3_core::engine::{EngineEvent, R2d3Engine};
 use r2d3_core::R2d3Config;
 use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
 use r2d3_core::policy::PolicyKind;
+use r2d3_core::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
 use r2d3_isa::kernels::{gemv, KernelKind};
 use r2d3_isa::text::parse_program;
 use r2d3_isa::Unit;
@@ -88,25 +89,46 @@ pub fn run(args: &[String]) -> CliResult {
 
 /// `r2d3 inject <unit> <layer>`
 pub fn inject(args: &[String]) -> CliResult {
-    let mut bit = None;
-    let pos = parse_flags(args, &mut [("bit", &mut bit)])?;
+    let (mut bit, mut substrate) = (None, None);
+    let pos = parse_flags(args, &mut [("bit", &mut bit), ("substrate", &mut substrate)])?;
     let unit = parse_unit(pos.first().ok_or("inject needs a unit (e.g. EXU)")?)?;
     let layer: usize = pos.get(1).ok_or("inject needs a layer (0..8)")?.parse()?;
     let bit: u8 = bit.map_or(Ok(0), str::parse)?;
-
-    let config = SystemConfig { pipelines: 6, ..Default::default() };
-    let mut sys = System3d::new(&config);
-    let kernel = gemv(32, 32, 7);
-    for p in 0..6 {
-        sys.load_program(p, kernel.program().clone())?;
-    }
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
     let victim = StageId::new(layer, unit);
-    sys.inject_fault(victim, FaultEffect { bit, stuck: true })?;
-    println!("injected stuck-at-1 (bit {bit}) into {victim}; running epochs…");
 
+    match substrate.unwrap_or("behavioral") {
+        "behavioral" => {
+            let config = SystemConfig { pipelines: 6, ..Default::default() };
+            let mut sys = System3d::new(&config);
+            let kernel = gemv(32, 32, 7);
+            for p in 0..6 {
+                sys.load_program(p, kernel.program().clone())?;
+            }
+            sys.inject_fault(victim, FaultEffect { bit, stuck: true })?;
+            println!("behavioral substrate: stuck-at-1 (bit {bit}) into {victim}; running epochs…");
+            drive_repair(&mut sys, victim)
+        }
+        "netlist" => {
+            let mut sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+            let fault = sub.output_fault(unit, bit as usize, true);
+            sub.inject_fault(victim, fault)?;
+            println!(
+                "netlist substrate: stuck-at-1 on net {} of {victim}'s {} netlist; running epochs…",
+                fault.net.index(),
+                unit
+            );
+            drive_repair(&mut sub, victim)
+        }
+        other => Err(format!("unknown substrate `{other}` (behavioral|netlist)").into()),
+    }
+}
+
+/// Drives the engine's detect → diagnose → repair loop on any substrate,
+/// narrating events until the victim stage is diagnosed.
+fn drive_repair<S: ReliabilitySubstrate>(sys: &mut S, victim: StageId) -> CliResult {
+    let mut engine = R2d3Engine::new(&R2d3Config::default());
     for epoch in 1..=64 {
-        let events = engine.run_epoch(&mut sys)?;
+        let events = engine.run_epoch(sys)?;
         for e in &events {
             match e {
                 EngineEvent::Symptom { dut, pipe } => {

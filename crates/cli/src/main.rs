@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! r2d3 run <file.s> [--pipes N] [--cycles N]   assemble + run on the 8-core sim
-//! r2d3 inject <unit> <layer> [--bit B]         fault scenario with the engine
+//! r2d3 inject <unit> <layer> [--bit B] [--substrate behavioral|netlist]
+//!                                              fault scenario with the engine
 //! r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per unit
 //! r2d3 lifetime [--policy P] [--months N]      8-year lifetime trajectory
 //! r2d3 thermal [--active N]                    steady-state stack heat map
@@ -47,7 +48,8 @@ fn print_usage() {
          \n\
          USAGE:\n\
          \x20 r2d3 run <file.s> [--pipes N] [--cycles N]   assemble and run a program\n\
-         \x20 r2d3 inject <unit> <layer> [--bit B]         inject a fault; watch the engine repair\n\
+         \x20 r2d3 inject <unit> <layer> [--bit B] [--substrate behavioral|netlist]\n\
+         \x20                                              inject a fault; watch the engine repair\n\
          \x20 r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per pipeline unit\n\
          \x20 r2d3 lifetime [--policy P] [--months N]      lifetime trajectory (P: norecon|static|lite|pro)\n\
          \x20 r2d3 thermal [--active N]                    steady-state stack temperatures\n\

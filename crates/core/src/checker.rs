@@ -34,20 +34,32 @@ pub fn stage_output(effect: Option<FaultEffect>, golden: u32) -> u32 {
 }
 
 /// Compares a window of DUT records against re-execution on a redundant
-/// stage with (optional) permanent fault `redundant_effect`. Returns the
-/// first symptom, if any.
-#[must_use]
-pub fn compare_window(
+/// stage, where `replay` produces the redundant stage's output for a
+/// record — the substrate-generic checker primitive
+/// ([`crate::substrate::ReliabilitySubstrate::replay_output`]). Returns
+/// the first symptom, if any.
+pub fn compare_window_by(
     window: &[StageRecord],
-    redundant_effect: Option<FaultEffect>,
+    mut replay: impl FnMut(&StageRecord) -> u32,
 ) -> Option<Symptom> {
     for record in window {
-        let redundant_output = stage_output(redundant_effect, record.golden_output);
+        let redundant_output = replay(record);
         if redundant_output != record.actual_output {
             return Some(Symptom { record: *record, redundant_output });
         }
     }
     None
+}
+
+/// Compares a window of DUT records against re-execution on a behavioral
+/// redundant stage with (optional) permanent fault `redundant_effect`.
+/// Returns the first symptom, if any.
+#[must_use]
+pub fn compare_window(
+    window: &[StageRecord],
+    redundant_effect: Option<FaultEffect>,
+) -> Option<Symptom> {
+    compare_window_by(window, |record| stage_output(redundant_effect, record.golden_output))
 }
 
 #[cfg(test)]

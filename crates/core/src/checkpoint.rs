@@ -8,7 +8,9 @@
 //! symptom — otherwise the corrupted epoch is discarded and recovery
 //! rolls back to the last validated commit.
 
-use r2d3_pipeline_sim::{PipelineCheckpoint, SimError, System3d};
+use crate::substrate::ReliabilitySubstrate;
+use crate::EngineError;
+use r2d3_pipeline_sim::PipelineCheckpoint;
 use serde::{Deserialize, Serialize};
 
 /// Checkpointing parameters.
@@ -44,15 +46,18 @@ pub struct CheckpointStats {
     pub overhead_cycles: u64,
 }
 
-/// Per-pipeline checkpoint store with validated-commit semantics.
-#[derive(Debug, Clone, Default)]
-pub struct CheckpointManager {
+/// Per-pipeline checkpoint store with validated-commit semantics,
+/// generic over the substrate's checkpoint type (`C` is
+/// [`ReliabilitySubstrate::Checkpoint`]; [`PipelineCheckpoint`] for the
+/// behavioral backend).
+#[derive(Debug, Clone)]
+pub struct CheckpointManager<C = PipelineCheckpoint> {
     config: CheckpointConfig,
-    slots: Vec<Option<PipelineCheckpoint>>,
+    slots: Vec<Option<C>>,
     stats: CheckpointStats,
 }
 
-impl CheckpointManager {
+impl<C: Clone> CheckpointManager<C> {
     /// Creates a manager for `pipelines` slots.
     #[must_use]
     pub fn new(config: CheckpointConfig, pipelines: usize) -> Self {
@@ -82,8 +87,11 @@ impl CheckpointManager {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
-    pub fn commit_all(&mut self, sys: &System3d) -> Result<(), SimError> {
+    /// Propagates substrate errors.
+    pub fn commit_all<S>(&mut self, sys: &S) -> Result<(), EngineError>
+    where
+        S: ReliabilitySubstrate<Checkpoint = C>,
+    {
         for pipe in 0..self.slots.len().min(sys.pipeline_count()) {
             self.slots[pipe] = Some(sys.checkpoint_pipeline(pipe)?);
             self.stats.commits += 1;
@@ -97,13 +105,16 @@ impl CheckpointManager {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors.
-    pub fn recover(&mut self, sys: &mut System3d, pipe: usize) -> Result<(), SimError> {
-        let retired_now = sys.pipeline(pipe).map_or(0, |p| p.retired());
+    /// Propagates substrate errors.
+    pub fn recover<S>(&mut self, sys: &mut S, pipe: usize) -> Result<(), EngineError>
+    where
+        S: ReliabilitySubstrate<Checkpoint = C>,
+    {
+        let retired_now = sys.retired(pipe);
         match &self.slots[pipe] {
             Some(cp) => {
                 self.stats.lost_instructions +=
-                    retired_now.saturating_sub(cp.retired());
+                    retired_now.saturating_sub(S::checkpoint_retired(cp));
                 self.stats.restores += 1;
                 self.stats.overhead_cycles += self.config.restore_cost_cycles;
                 sys.restore_pipeline(pipe, &cp.clone())?;
@@ -137,7 +148,7 @@ impl CheckpointManager {
 mod tests {
     use super::*;
     use r2d3_isa::kernels::gemv;
-    use r2d3_pipeline_sim::SystemConfig;
+    use r2d3_pipeline_sim::{System3d, SystemConfig};
 
     fn loaded_system() -> System3d {
         let cfg = SystemConfig { pipelines: 2, ..Default::default() };
@@ -198,7 +209,7 @@ mod tests {
 
     #[test]
     fn commit_epochs_follow_interval() {
-        let mgr = CheckpointManager::new(
+        let mgr: CheckpointManager = CheckpointManager::new(
             CheckpointConfig { interval_epochs: 3, ..Default::default() },
             1,
         );

@@ -9,10 +9,11 @@
 //! rare, because workloads and thermal limits rarely allow 100 %
 //! utilization.
 
-use crate::checker::{compare_window, Symptom};
+use crate::checker::{compare_window_by, Symptom};
 use crate::config::R2d3Config;
+use crate::substrate::ReliabilitySubstrate;
 use r2d3_isa::Unit;
-use r2d3_pipeline_sim::{StageId, System3d};
+use r2d3_pipeline_sim::StageId;
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -55,8 +56,8 @@ pub struct Detection {
 /// each test, so every spare stage is exercised — and therefore itself
 /// checked — over successive epochs.
 #[must_use]
-pub fn epoch_scan(
-    sys: &System3d,
+pub fn epoch_scan<S: ReliabilitySubstrate>(
+    sys: &S,
     config: &R2d3Config,
     believed_faulty: &HashSet<StageId>,
     salt: u64,
@@ -66,7 +67,7 @@ pub fn epoch_scan(
 
     for pipe in 0..sys.pipeline_count() {
         for unit in Unit::ALL {
-            let Some(dut) = sys.fabric().stage_for(pipe, unit) else {
+            let Some(dut) = sys.stage_for(pipe, unit) else {
                 continue;
             };
             if believed_faulty.contains(&dut) {
@@ -78,12 +79,13 @@ pub fn epoch_scan(
                 continue;
             };
 
-            let window = sys.stage_trace(dut).last(config.t_test as usize);
+            let window = sys.trace_window(dut, config.t_test as usize);
             if window.is_empty() {
                 continue;
             }
-            let redundant_effect = sys.health(redundant).effect();
-            if let Some(symptom) = compare_window(&window, redundant_effect) {
+            if let Some(symptom) =
+                compare_window_by(&window, |record| sys.replay_output(redundant, record))
+            {
                 detections.push(Detection { pipe, unit, dut, redundant, source, symptom });
             }
         }
@@ -95,8 +97,8 @@ pub fn epoch_scan(
 /// the same unit (rotated by `salt` so all spares get exercised), else
 /// (if allowed) the same unit of the next pipeline.
 #[allow(clippy::too_many_arguments)]
-fn pick_redundant(
-    sys: &System3d,
+fn pick_redundant<S: ReliabilitySubstrate>(
+    sys: &S,
     pipe: usize,
     unit: Unit,
     dut: StageId,
@@ -122,7 +124,7 @@ fn pick_redundant(
     let n = sys.pipeline_count();
     for step in 1..n {
         let other = (pipe + step) % n;
-        if let Some(s) = sys.fabric().stage_for(other, unit) {
+        if let Some(s) = sys.stage_for(other, unit) {
             if s != dut && !believed_faulty.contains(&s) {
                 return Some((s, RedundantSource::SuspendedCore { pipe: other }));
             }
@@ -135,7 +137,7 @@ fn pick_redundant(
 mod tests {
     use super::*;
     use r2d3_isa::kernels::gemv;
-    use r2d3_pipeline_sim::{FaultEffect, SystemConfig};
+    use r2d3_pipeline_sim::{FaultEffect, System3d, SystemConfig};
 
     fn system_with_kernel(pipelines: usize) -> System3d {
         let config = SystemConfig { pipelines, ..Default::default() };

@@ -1,13 +1,13 @@
 //! The R2D3 reconfiguration controller (cycle-level engine).
 
-use crate::checker::stage_output;
 use crate::checkpoint::CheckpointManager;
 use crate::config::R2d3Config;
 use crate::detect::{epoch_scan, Detection, RedundantSource};
 use crate::policy::{select_assignment, PolicyKind, RotationState};
+use crate::substrate::ReliabilitySubstrate;
 use crate::EngineError;
 use r2d3_isa::Unit;
-use r2d3_pipeline_sim::{StageHealth, StageId, System3d};
+use r2d3_pipeline_sim::{StageId, System3d};
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
@@ -64,21 +64,52 @@ pub enum EngineEvent {
 ///
 /// Owns the engine's *belief* about stage health (built from diagnosis
 /// outcomes — the controller never peeks at ground truth), the rotation
-/// state, and the epoch/calibration clocks. Drives a
-/// [`System3d`] via [`run_epoch`](R2d3Engine::run_epoch).
-#[derive(Debug, Clone)]
-pub struct R2d3Engine {
+/// state, and the epoch/calibration clocks. Drives any
+/// [`ReliabilitySubstrate`] via [`run_epoch`](R2d3Engine::run_epoch);
+/// the default substrate is the behavioral [`System3d`], the alternative
+/// is the gate-level [`crate::substrate::NetlistSubstrate`].
+pub struct R2d3Engine<S: ReliabilitySubstrate = System3d> {
     config: R2d3Config,
     believed_faulty: HashSet<StageId>,
     rotation: Option<RotationState>,
-    checkpoints: Option<CheckpointManager>,
+    checkpoints: Option<CheckpointManager<S::Checkpoint>>,
     epochs: u64,
     windows: u64,
     transients_seen: u64,
     permanents_diagnosed: u64,
 }
 
-impl R2d3Engine {
+impl<S: ReliabilitySubstrate> Clone for R2d3Engine<S> {
+    fn clone(&self) -> Self {
+        R2d3Engine {
+            config: self.config,
+            believed_faulty: self.believed_faulty.clone(),
+            rotation: self.rotation.clone(),
+            checkpoints: self.checkpoints.clone(),
+            epochs: self.epochs,
+            windows: self.windows,
+            transients_seen: self.transients_seen,
+            permanents_diagnosed: self.permanents_diagnosed,
+        }
+    }
+}
+
+impl<S: ReliabilitySubstrate> std::fmt::Debug for R2d3Engine<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("R2d3Engine")
+            .field("config", &self.config)
+            .field("believed_faulty", &self.believed_faulty)
+            .field("rotation", &self.rotation)
+            .field("checkpoints", &self.checkpoints)
+            .field("epochs", &self.epochs)
+            .field("windows", &self.windows)
+            .field("transients_seen", &self.transients_seen)
+            .field("permanents_diagnosed", &self.permanents_diagnosed)
+            .finish()
+    }
+}
+
+impl<S: ReliabilitySubstrate> R2d3Engine<S> {
     /// Creates a controller with the given configuration.
     ///
     /// # Panics
@@ -143,8 +174,8 @@ impl R2d3Engine {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors ([`EngineError::Sim`]).
-    pub fn run_epoch(&mut self, sys: &mut System3d) -> Result<Vec<EngineEvent>, EngineError> {
+    /// Propagates substrate errors.
+    pub fn run_epoch(&mut self, sys: &mut S) -> Result<Vec<EngineEvent>, EngineError> {
         sys.run(self.config.t_epoch)?;
         self.epochs += 1;
         let mut events = Vec::new();
@@ -168,7 +199,7 @@ impl R2d3Engine {
                     .checkpoints
                     .get_or_insert_with(|| CheckpointManager::new(cfg, sys.pipeline_count()));
                 if mgr.is_commit_epoch(epoch) {
-                    mgr.commit_all(sys).map_err(EngineError::Sim)?;
+                    mgr.commit_all(sys)?;
                 }
             }
         }
@@ -196,12 +227,12 @@ impl R2d3Engine {
     /// symptom-generating operation on the two disagreeing stages plus a
     /// known-good third stage, and vote. Returns whether a permanent fault
     /// was diagnosed (repair needed).
-    fn diagnose(&mut self, sys: &System3d, d: &Detection, events: &mut Vec<EngineEvent>) -> bool {
-        let golden = d.symptom.record.golden_output;
+    fn diagnose(&mut self, sys: &S, d: &Detection, events: &mut Vec<EngineEvent>) -> bool {
+        let record = &d.symptom.record;
         // Replay: permanent effects persist; one-shot transients do not
         // recur (they were consumed when they fired).
-        let out_dut = stage_output(sys.health(d.dut).effect(), golden);
-        let out_red = stage_output(sys.health(d.redundant).effect(), golden);
+        let out_dut = sys.replay_output(d.dut, record);
+        let out_red = sys.replay_output(d.redundant, record);
 
         if out_dut == out_red {
             // Symptom did not recur: a soft error was detected. Resume.
@@ -214,7 +245,7 @@ impl R2d3Engine {
         let third = self.pick_third(sys, d);
         let verdicts: Vec<(StageId, u32)> = match third {
             Some(t) => {
-                let out_third = stage_output(sys.health(t).effect(), golden);
+                let out_third = sys.replay_output(t, record);
                 vec![(d.dut, out_dut), (d.redundant, out_red), (t, out_third)]
             }
             None => vec![(d.dut, out_dut), (d.redundant, out_red)],
@@ -264,22 +295,22 @@ impl R2d3Engine {
 
     /// A believed-healthy stage of the same unit, distinct from the two
     /// comparison parties.
-    fn pick_third(&self, sys: &System3d, d: &Detection) -> Option<StageId> {
-        (0..sys.fabric().layers())
+    fn pick_third(&self, sys: &S, d: &Detection) -> Option<StageId> {
+        (0..sys.layers())
             .map(|l| StageId::new(l, d.unit))
             .find(|s| {
                 *s != d.dut
                     && *s != d.redundant
                     && !self.believed_faulty.contains(s)
-                    && sys.health(*s).is_usable()
+                    && sys.stage_usable(*s)
             })
     }
 
     /// Re-forms the fabric from believed-healthy stages; `rotation` selects
     /// whether the policy's rotation ordering applies (calibration window)
     /// or the canonical repair formation.
-    fn reconfigure(&mut self, sys: &mut System3d, rotation: bool) -> Result<usize, EngineError> {
-        let layers = sys.fabric().layers();
+    fn reconfigure(&mut self, sys: &mut S, rotation: bool) -> Result<usize, EngineError> {
+        let layers = sys.layers();
         let pipelines = sys.pipeline_count();
         let believed = self.believed_faulty.clone();
         let usable = move |s: StageId| !believed.contains(&s);
@@ -293,51 +324,39 @@ impl R2d3Engine {
         // Tear down and rebuild the crossbar map.
         for p in 0..pipelines {
             for u in Unit::ALL {
-                sys.fabric_mut().unassign(p, u)?;
+                sys.unassign(p, u)?;
             }
         }
         for (p, fp) in formed.iter().enumerate() {
             for u in Unit::ALL {
-                sys.fabric_mut().assign(p, u, fp.layer_of[u.index()])?;
+                sys.assign(p, u, fp.layer_of[u.index()])?;
             }
         }
 
         if !rotation {
             // Post-repair recovery: roll corrupted pipelines back to their
-            // last committed checkpoint (or restart without one).
+            // last committed checkpoint (or restart without one). Stale
+            // pre-repair trace records need no explicit flush: the belief
+            // set already excludes diagnosed stages, and `epoch_scan`
+            // skips believed-faulty DUTs.
             for p in 0..pipelines {
-                let pipe = sys.pipeline(p).expect("index in range");
-                if pipe.tainted() || pipe.crashed() {
+                if sys.pipeline_corrupted(p) {
                     match &mut self.checkpoints {
                         Some(mgr) => mgr.recover(sys, p)?,
                         None => sys.restart_program(p)?,
                     }
                 }
             }
-            for s in StageId::all(layers) {
-                let _ = s; // traces are cleared through the system below
-            }
-            self.clear_traces(sys);
             // Power-gate diagnosed stages so they never serve again.
             for s in &self.believed_faulty {
-                if sys.health(*s).is_usable() {
+                if sys.stage_usable(*s) {
                     // The belief may be wrong (inconclusive vote): still
                     // isolate the stage, mirroring the controller's view.
-                    sys.set_health(*s, StageHealth::PoweredOff)?;
+                    sys.power_off(*s)?;
                 }
             }
         }
         Ok(formed.len())
-    }
-
-    fn clear_traces(&self, sys: &mut System3d) {
-        // The system exposes traces immutably; re-running from a restart
-        // naturally refills rings. To avoid stale pre-repair records
-        // triggering duplicate symptoms, mark them consumed by advancing
-        // past them: the belief set already excludes diagnosed stages, and
-        // `epoch_scan` skips believed-faulty DUTs, so stale records are
-        // harmless. (Kept as an explicit extension point.)
-        let _ = sys;
     }
 }
 
@@ -483,6 +502,46 @@ mod tests {
         // After rotation with 6-of-8, spare layers 6/7 must have served.
         let busy67 = sys.stats().layer_busy(6) + sys.stats().layer_busy(7);
         assert!(busy67 > 0, "rotation never used the spare layers");
+    }
+
+    #[test]
+    fn inconclusive_vote_quarantines_both_parties_and_forms_nothing() {
+        // Two layers, one pipeline: when the DUT disagrees with its only
+        // redundant EXU there is no third voter, so the verdict is
+        // inconclusive, both EXUs are quarantined (the belief may be
+        // wrong about one of them — the controller cannot tell), and
+        // repair honestly forms zero pipelines.
+        let sys_cfg = SystemConfig { layers: 2, pipelines: 1, ..Default::default() };
+        let mut sys = System3d::new(&sys_cfg);
+        sys.load_program(0, gemm(24, 24, 24, 1).program().clone()).unwrap();
+        let mut engine = R2d3Engine::new(&R2d3Config::default());
+        sys.inject_fault(StageId::new(0, Unit::Exu), FaultEffect { bit: 0, stuck: true })
+            .unwrap();
+
+        let mut inconclusive = false;
+        let mut formed = None;
+        for _ in 0..32 {
+            let events = engine.run_epoch(&mut sys).unwrap();
+            inconclusive |=
+                events.iter().any(|e| matches!(e, EngineEvent::Inconclusive { .. }));
+            if let Some(EngineEvent::Repaired { pipelines_formed }) =
+                events.iter().find(|e| matches!(e, EngineEvent::Repaired { .. }))
+            {
+                formed = Some(*pipelines_formed);
+                break;
+            }
+        }
+        assert!(inconclusive, "two-party disagreement must be inconclusive");
+        assert_eq!(formed, Some(0), "double quarantine leaves no formable pipeline");
+        for l in 0..2 {
+            assert!(
+                engine.believed_faulty().contains(&StageId::new(l, Unit::Exu)),
+                "EXU@L{l} not quarantined"
+            );
+        }
+        // The quarantined-but-possibly-healthy redundant EXU is isolated
+        // along with the truly faulty DUT.
+        assert_eq!(sys.fabric().stage_for(0, Unit::Exu), None);
     }
 
     #[test]

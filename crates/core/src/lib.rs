@@ -66,11 +66,15 @@ pub mod policy;
 pub mod repair;
 pub mod report;
 pub mod soft_error;
+pub mod substrate;
 
 pub use config::R2d3Config;
 pub use engine::{EngineEvent, R2d3Engine};
 pub use lifetime::{LifetimeOutcome, LifetimeSim};
 pub use policy::PolicyKind;
+pub use substrate::{
+    GateFault, NetlistCheckpoint, NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate,
+};
 
 use std::fmt;
 
@@ -84,6 +88,9 @@ pub enum EngineError {
     Thermal(r2d3_thermal::ThermalError),
     /// Configuration rejected.
     InvalidConfig(String),
+    /// Substrate-specific failure (e.g. a gate-level fault referencing a
+    /// net that does not exist in the stage netlist).
+    Substrate(String),
 }
 
 impl fmt::Display for EngineError {
@@ -92,6 +99,7 @@ impl fmt::Display for EngineError {
             EngineError::Sim(e) => write!(f, "simulator error: {e}"),
             EngineError::Thermal(e) => write!(f, "thermal error: {e}"),
             EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            EngineError::Substrate(msg) => write!(f, "substrate error: {msg}"),
         }
     }
 }
@@ -101,7 +109,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Sim(e) => Some(e),
             EngineError::Thermal(e) => Some(e),
-            EngineError::InvalidConfig(_) => None,
+            EngineError::InvalidConfig(_) | EngineError::Substrate(_) => None,
         }
     }
 }

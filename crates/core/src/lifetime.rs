@@ -17,6 +17,7 @@
 use crate::activity::{alpha_from_temperature, pro_layer_weights, weighted_fill};
 use crate::policy::PolicyKind;
 use crate::repair::{core_level_formable, stage_level_formable};
+use crate::substrate::ReliabilitySubstrate;
 use crate::EngineError;
 use r2d3_aging::mttf::{mttf_monte_carlo, MttfConfig};
 use r2d3_aging::nbti::{NbtiModel, NbtiParams, NbtiState};
@@ -143,6 +144,68 @@ impl LifetimeConfig {
             pro_runtime_temps: false,
             mttf_criterion: MttfCriterion::TotalLoss,
         }
+    }
+}
+
+/// Short-timescale execution profile measured on a live substrate — the
+/// cycle-level leg of the paper's two-timescale split, feeding the
+/// month-level lifetime co-simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SubstrateProfile {
+    /// Operations retired per cycle per pipeline (instructions on the
+    /// behavioral substrate, pattern lanes on the gate-level one).
+    pub ipc: f64,
+    /// Fraction of pipelines that made forward progress.
+    pub demand: f64,
+    /// Mean busy fraction across all mapped stages — the workload's
+    /// switching-activity weight.
+    pub activity_weight: f64,
+}
+
+/// Measures a [`SubstrateProfile`] by running `cycles` of execution on
+/// any [`ReliabilitySubstrate`] — behavioral or gate-level — so the same
+/// lifetime study can be parameterized from either backend.
+///
+/// Activity statistics are reset before the measurement window; the
+/// substrate's program state advances by `cycles`.
+///
+/// # Errors
+///
+/// Propagates substrate errors; rejects `cycles == 0`.
+pub fn profile_substrate<S: ReliabilitySubstrate>(
+    sys: &mut S,
+    cycles: u64,
+) -> Result<SubstrateProfile, EngineError> {
+    if cycles == 0 {
+        return Err(EngineError::InvalidConfig("profile window must be positive".into()));
+    }
+    let pipes = sys.pipeline_count();
+    let before: Vec<u64> = (0..pipes).map(|p| sys.retired(p)).collect();
+    sys.reset_stats();
+    sys.run(cycles)?;
+
+    let deltas: Vec<u64> =
+        (0..pipes).map(|p| sys.retired(p).saturating_sub(before[p])).collect();
+    let retired: u64 = deltas.iter().sum();
+    let progressed = deltas.iter().filter(|&&d| d > 0).count();
+
+    let stats = sys.stats();
+    let busy: u64 = (0..sys.layers()).map(|l| stats.layer_busy(l)).sum();
+    let stage_slots = (pipes * Unit::COUNT) as f64;
+    Ok(SubstrateProfile {
+        ipc: retired as f64 / (cycles as f64 * pipes.max(1) as f64),
+        demand: progressed as f64 / pipes.max(1) as f64,
+        activity_weight: (busy as f64 / (cycles as f64 * stage_slots.max(1.0))).min(1.0),
+    })
+}
+
+impl LifetimeConfig {
+    /// Builds a lifetime configuration from a measured substrate profile
+    /// (see [`profile_substrate`]): the profile's demand and activity
+    /// weight replace the offline per-kernel table values.
+    #[must_use]
+    pub fn from_profile(policy: PolicyKind, profile: &SubstrateProfile) -> Self {
+        LifetimeConfig::new(policy, profile.demand, profile.activity_weight)
     }
 }
 
@@ -785,6 +848,39 @@ mod tests {
             grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
             ..LifetimeConfig::new(policy, 0.75, 0.85)
         }
+    }
+
+    #[test]
+    fn profile_measures_behavioral_substrate() {
+        use r2d3_isa::kernels::gemv;
+        use r2d3_pipeline_sim::{System3d, SystemConfig};
+        let mut sys = System3d::new(&SystemConfig { pipelines: 4, ..Default::default() });
+        for p in 0..4 {
+            sys.load_program(p, gemv(16, 16, 3).program().clone()).unwrap();
+        }
+        let profile = profile_substrate(&mut sys, 20_000).unwrap();
+        assert!(profile.ipc > 0.0, "no progress measured");
+        assert!((profile.demand - 1.0).abs() < f64::EPSILON, "all 4 pipes were loaded");
+        assert!(profile.activity_weight > 0.0 && profile.activity_weight <= 1.0);
+        let config = LifetimeConfig::from_profile(PolicyKind::Pro, &profile);
+        assert_eq!(config.demand, profile.demand);
+        assert_eq!(config.activity_weight, profile.activity_weight);
+    }
+
+    #[test]
+    fn profile_measures_netlist_substrate() {
+        use crate::substrate::{NetlistSubstrate, NetlistSubstrateConfig};
+        let mut sub = NetlistSubstrate::new(&NetlistSubstrateConfig {
+            layers: 4,
+            pipelines: 2,
+            trace_capacity: 512,
+            ..Default::default()
+        });
+        let profile = profile_substrate(&mut sub, 20_000).unwrap();
+        assert!(profile.ipc > 0.0);
+        assert!((profile.demand - 1.0).abs() < f64::EPSILON);
+        assert!(profile.activity_weight > 0.0 && profile.activity_weight <= 1.0);
+        assert!(profile_substrate(&mut sub, 0).is_err());
     }
 
     #[test]

@@ -217,6 +217,45 @@ mod tests {
     #[test]
     fn formation_respects_cap() {
         assert_eq!(form_pipelines(8, |_| true, 3).len(), 3);
+        assert_eq!(form_pipelines_local(8, |_| true, 3).len(), 3);
+    }
+
+    #[test]
+    fn local_formation_zero_healthy_is_empty() {
+        // Nothing usable at all: must return empty, not panic on the
+        // empty IFU anchor column.
+        assert!(form_pipelines_local(4, |_| false, 8).is_empty());
+        assert!(form_pipelines_local(0, |_| true, 8).is_empty());
+        // One unit column entirely dead starves formation even when every
+        // other stage is healthy — both for the anchor unit (IFU) and for
+        // a downstream unit matched against the anchor.
+        assert!(form_pipelines_local(8, |s: StageId| s.unit != Unit::Ifu, 8).is_empty());
+        assert!(form_pipelines_local(8, |s: StageId| s.unit != Unit::Lsu, 8).is_empty());
+    }
+
+    #[test]
+    fn local_formation_cap_above_layer_count_is_identity() {
+        // A cap larger than the stack cannot mint pipelines out of thin
+        // air; with full health both strategies stay at identity.
+        let local = form_pipelines_local(4, |_| true, 64);
+        assert_eq!(local.len(), 4);
+        for (i, p) in local.iter().enumerate() {
+            assert_eq!(p.layer_of, [i; 5]);
+        }
+        assert_eq!(form_pipelines(4, |_| true, 64).len(), 4);
+    }
+
+    #[test]
+    fn local_formation_single_survivor_per_unit_spans_the_stack() {
+        // Exactly one usable layer per unit, staggered across the stack:
+        // one pipeline must form, routed through every lone survivor.
+        let survivor = |s: StageId| s.layer == s.unit.index() + 1;
+        let formed = form_pipelines_local(8, survivor, 8);
+        assert_eq!(formed.len(), 1);
+        assert_eq!(formed[0].layer_of, [1, 2, 3, 4, 5]);
+        assert_eq!(formed[0].max_span(), 1);
+        // The balanced strategy agrees on the (only possible) assignment.
+        assert_eq!(form_pipelines(8, survivor, 8), formed);
     }
 
     #[test]

@@ -55,7 +55,7 @@ pub use netlist::{
 };
 pub use crossbar::{checker, crossbar_receiver};
 pub use sequential::{register_outputs, SequentialNetlist};
-pub use sim::{FaultCone, FaultSim, SimScratch};
+pub use sim::{pack_blocks, FaultCone, FaultSim, SimScratch, WideScratch};
 pub use stages::{stage_netlist, StageNetlist, StageSizing};
 
 use std::fmt;

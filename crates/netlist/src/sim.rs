@@ -21,6 +21,14 @@
 //! The result is bit-identical to [`Netlist::eval_all_stuck`] — that
 //! method stays as the reference oracle — at a fraction of the work:
 //! cost per (fault, block) is `O(active cone)` instead of `O(gates)`.
+//!
+//! On top of the 64-lane walk, [`FaultSim::eval_stuck_wide`] and
+//! [`WideScratch`] process **four pattern blocks (256 lanes) per walk**:
+//! each net carries a `[u64; 4]` of independent lane groups, so one pass
+//! over the cone amortizes the event-walk bookkeeping (frontier test,
+//! touched-list maintenance, gate decode) across 4× the patterns. Lane
+//! groups never mix; per group the walk is bit-identical to the narrow
+//! one, which keeps group-aware detection accounting exact.
 
 use crate::netlist::{Gate, GateKind, NetId, Netlist};
 
@@ -138,6 +146,68 @@ unsafe fn fire_gate(p: &PackedGate, good: &[u64], scratch: &mut SimScratch, last
     // Branchless frontier extension: differing outputs push the walk's
     // horizon to their last reader (folded into the packed record).
     let gated = p.lr & u32::from(d != 0).wrapping_neg();
+    *last_needed = (*last_needed).max(gated);
+}
+
+/// 256-lane variant of [`fire_gate`]: one gate step over four 64-lane
+/// pattern blocks at once. Lanes never interact — each `[u64; 4]` entry
+/// is four independent difference words — so the result per lane group is
+/// bit-identical to running [`fire_gate`] on that block alone, except
+/// that the shared frontier keeps walking while *any* lane group still
+/// differs (extra fired gates write zero difference for converged lanes).
+///
+/// # Safety
+///
+/// Same contract as [`fire_gate`]: `p.pins` and `p.output()` must be in
+/// range for both `good` and `scratch.diff`.
+#[inline(always)]
+unsafe fn fire_gate_wide(
+    p: &PackedGate,
+    good: &[[u64; 4]],
+    scratch: &mut WideScratch,
+    last_needed: &mut u32,
+) {
+    let [a, b, c] = p.pins;
+    let da = *scratch.diff.get_unchecked(a as usize);
+    let db = *scratch.diff.get_unchecked(b as usize);
+    let dc = *scratch.diff.get_unchecked(c as usize);
+    // No differing input in any lane group ⇒ all four blocks reproduce
+    // their good values.
+    if (da[0] | da[1] | da[2] | da[3]) | (db[0] | db[1] | db[2] | db[3])
+        | (dc[0] | dc[1] | dc[2] | dc[3])
+        == 0
+    {
+        return;
+    }
+    let ga = *good.get_unchecked(a as usize);
+    let gb = *good.get_unchecked(b as usize);
+    let gc = *good.get_unchecked(c as usize);
+    let base = p.ko & 3;
+    let m_and = u64::from(base == BASE_AND).wrapping_neg();
+    let m_or = u64::from(base == BASE_OR).wrapping_neg();
+    let m_xor = u64::from(base == BASE_XOR).wrapping_neg();
+    let m_mux = u64::from(base == BASE_MUX).wrapping_neg();
+    let m_inv = (u64::from(p.ko) >> 2 & 1).wrapping_neg();
+    let m_out = (u64::from(p.ko) >> 3 & 1).wrapping_neg();
+    let out = p.output() as usize;
+    let gout = *good.get_unchecked(out);
+    let mut d = [0u64; 4];
+    for lane in 0..4 {
+        let va = ga[lane] ^ da[lane];
+        let vb = gb[lane] ^ db[lane];
+        let vc = gc[lane] ^ dc[lane];
+        let v = (((va & vb) & m_and)
+            | ((va | vb) & m_or)
+            | ((va ^ vb) & m_xor)
+            | (((va & vb) | (!va & vc)) & m_mux))
+            ^ m_inv;
+        d[lane] = v ^ gout[lane];
+        scratch.out_diff[lane] |= d[lane] & m_out;
+    }
+    *scratch.diff.get_unchecked_mut(out) = d;
+    scratch.touched.push(out as u32);
+    let any = d[0] | d[1] | d[2] | d[3];
+    let gated = p.lr & u32::from(any != 0).wrapping_neg();
     *last_needed = (*last_needed).max(gated);
 }
 
@@ -455,6 +525,126 @@ impl<'n> FaultSim<'n> {
         true
     }
 
+    /// 256-lane event-driven fault evaluation: four 64-pattern blocks in
+    /// one walk.
+    ///
+    /// `good` must hold, per net, the good values of the four blocks
+    /// being simulated (see [`pack_blocks`]), and `cone` the
+    /// [`cone_into`](FaultSim::cone_into) result for `stuck.0`. Lane
+    /// groups are independent: afterwards, lane group `g` of the scratch
+    /// (difference overlay, detection word) is bit-identical to an
+    /// [`eval_stuck`](FaultSim::eval_stuck) over block `g` alone. The
+    /// walk shares one frontier across the four blocks, so it only
+    /// converges once *every* block's fault effect has died out — the
+    /// cost of a group is bounded by its widest member, not their sum.
+    pub fn eval_stuck_wide(
+        &self,
+        good: &[[u64; 4]],
+        stuck: (NetId, bool),
+        cone: &FaultCone,
+        scratch: &mut WideScratch,
+    ) {
+        assert_eq!(good.len(), self.netlist.num_nets(), "good vector length");
+        scratch.begin(self.netlist.num_nets());
+        let (fnet, fval) = stuck;
+        let forced = if fval { !0u64 } else { 0u64 };
+        let site = good[fnet.index()];
+        let fdiff =
+            [forced ^ site[0], forced ^ site[1], forced ^ site[2], forced ^ site[3]];
+        if fdiff == [0; 4] {
+            // Every block already carries the forced value in all lanes.
+            return;
+        }
+        scratch.set_diff(fnet, fdiff);
+        let m_out = u64::from(self.is_output[fnet.index()]).wrapping_neg();
+        for (o, d) in scratch.out_diff.iter_mut().zip(fdiff) {
+            *o |= d & m_out;
+        }
+        let mut last_needed = self.last_reader[fnet.index()];
+        for p in &cone.packed {
+            if p.idx >= last_needed {
+                break;
+            }
+            // SAFETY: pins and outputs were range-checked against
+            // `num_nets` in `FaultSim::new`; `good` and `scratch.diff`
+            // are both `num_nets` long (asserted/sized above).
+            unsafe { fire_gate_wide(p, good, scratch, &mut last_needed) };
+        }
+    }
+
+    /// 256-lane detection-oriented walk over the precomputed cone bitset
+    /// row — the [`eval_stuck_detect`](FaultSim::eval_stuck_detect)
+    /// analogue for four pattern blocks at once. Returns `false` (doing
+    /// nothing) when the engine was built without cone bitsets; callers
+    /// then fall back to [`cone_into`](FaultSim::cone_into) +
+    /// [`eval_stuck_wide`](FaultSim::eval_stuck_wide).
+    ///
+    /// **Detection-exact per lane group**: each detection word's
+    /// nonzero-ness and `trailing_zeros` match a standalone walk of that
+    /// block, with one exception mirroring the narrow variant's lane-0
+    /// freeze — once lane 0 of lane group 0 observes the fault, the walk
+    /// stops, because group-aware accounting (earliest block wins, then
+    /// earliest lane) is already pinned at block 0, lane 0 and no later
+    /// block can precede it.
+    pub fn eval_stuck_detect_wide(
+        &self,
+        good: &[[u64; 4]],
+        stuck: (NetId, bool),
+        scratch: &mut WideScratch,
+    ) -> bool {
+        let Some(cb) = &self.cone_bits else {
+            return false;
+        };
+        assert_eq!(good.len(), self.netlist.num_nets(), "good vector length");
+        scratch.begin(self.netlist.num_nets());
+        let (fnet, fval) = stuck;
+        let forced = if fval { !0u64 } else { 0u64 };
+        let site = good[fnet.index()];
+        let fdiff =
+            [forced ^ site[0], forced ^ site[1], forced ^ site[2], forced ^ site[3]];
+        if fdiff == [0; 4] {
+            return true;
+        }
+        scratch.set_diff(fnet, fdiff);
+        let m_out = u64::from(self.is_output[fnet.index()]).wrapping_neg();
+        for (o, d) in scratch.out_diff.iter_mut().zip(fdiff) {
+            *o |= d & m_out;
+        }
+        if scratch.out_diff[0] & 1 != 0 {
+            return true;
+        }
+        let mut last_needed = self.last_reader[fnet.index()];
+        let row = &cb.bits[fnet.index() * cb.words..][..cb.words];
+        'walk: for (wi, &wbits) in row.iter().enumerate() {
+            let mut w = wbits;
+            if w == 0 {
+                continue;
+            }
+            if (wi * 64) as u32 >= last_needed {
+                break;
+            }
+            while w != 0 {
+                let g = wi * 64 + w.trailing_zeros() as usize;
+                w &= w - 1;
+                if g as u32 >= last_needed {
+                    break 'walk;
+                }
+                // SAFETY: `g` indexes a gate (the bitset has one bit per
+                // gate); pins/outputs were range-checked in `new`.
+                unsafe {
+                    let p = self.packed.get_unchecked(g);
+                    fire_gate_wide(p, good, scratch, &mut last_needed);
+                }
+                // Block-0 lane-0 freeze: the group-aware verdict (first
+                // block, then first lane) cannot change from here.
+                if scratch.out_diff[0] & 1 != 0 {
+                    break 'walk;
+                }
+            }
+        }
+        true
+    }
+
     /// Detection word after [`eval_stuck`](FaultSim::eval_stuck): bit
     /// `i` set iff pattern lane `i` exposes the fault at any primary
     /// output. `O(1)` — accumulated during the walk.
@@ -599,6 +789,90 @@ impl SimScratch {
     }
 }
 
+/// 256-lane XOR-difference overlay used by
+/// [`FaultSim::eval_stuck_wide`]: four independent 64-lane pattern
+/// blocks ("lane groups") simulated in one event walk. `diff[n][g]`
+/// holds `faulty ^ good` for net `n` on block `g`.
+#[derive(Debug, Default, Clone)]
+pub struct WideScratch {
+    diff: Vec<[u64; 4]>,
+    touched: Vec<u32>,
+    /// OR of `faulty ^ good` over primary-output nets, per lane group.
+    out_diff: [u64; 4],
+}
+
+impl WideScratch {
+    /// Creates an empty scratch (buffers grow on first use).
+    #[must_use]
+    pub fn new() -> Self {
+        WideScratch::default()
+    }
+
+    fn begin(&mut self, num_nets: usize) {
+        for &n in &self.touched {
+            self.diff[n as usize] = [0; 4];
+        }
+        self.touched.clear();
+        self.out_diff = [0; 4];
+        if self.diff.len() < num_nets {
+            self.diff.resize(num_nets, [0; 4]);
+        }
+    }
+
+    fn set_diff(&mut self, net: NetId, diff: [u64; 4]) {
+        self.diff[net.index()] = diff;
+        self.touched.push(net.0);
+    }
+
+    /// Per-lane-group detection words after an evaluation: entry `g`,
+    /// bit `i` set iff pattern lane `i` of block `g` exposes the fault
+    /// at any primary output. `O(1)` — accumulated during the walk.
+    #[must_use]
+    pub fn detect_words(&self) -> [u64; 4] {
+        self.out_diff
+    }
+
+    /// The faulty values of `net` (one word per lane group) after an
+    /// evaluation: the good values XORed with the recorded differences.
+    #[must_use]
+    pub fn value(&self, good: &[[u64; 4]], net: NetId) -> [u64; 4] {
+        let g = good[net.index()];
+        let d = self.diff[net.index()];
+        [g[0] ^ d[0], g[1] ^ d[1], g[2] ^ d[2], g[3] ^ d[3]]
+    }
+
+    /// Nets written by the last event walk (see [`SimScratch::touched`]).
+    #[must_use]
+    pub fn touched(&self) -> &[u32] {
+        &self.touched
+    }
+}
+
+/// Packs up to four 64-lane good-value vectors (one per pattern block,
+/// each `num_nets` long as produced by `Netlist::eval_all`) into the
+/// lane-group layout consumed by [`FaultSim::eval_stuck_wide`]. When
+/// fewer than four blocks are supplied, the trailing lane groups repeat
+/// the last block so padded lanes behave like real patterns; callers
+/// must ignore their detection words.
+///
+/// # Panics
+///
+/// Panics on an empty slice, more than four blocks, or blocks of
+/// unequal length.
+#[must_use]
+pub fn pack_blocks(blocks: &[&[u64]]) -> Vec<[u64; 4]> {
+    assert!((1..=4).contains(&blocks.len()), "pack_blocks takes 1..=4 blocks");
+    let nets = blocks[0].len();
+    assert!(blocks.iter().all(|b| b.len() == nets), "block lengths must agree");
+    let last = blocks.len() - 1;
+    (0..nets)
+        .map(|n| {
+            let lane = |g: usize| blocks[g.min(last)][n];
+            [lane(0), lane(1), lane(2), lane(3)]
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -730,6 +1004,111 @@ mod tests {
         sim.eval_stuck(&good, (i[0], true), &cone, &mut scratch);
         assert!(scratch.touched().is_empty());
         assert_eq!(sim.detect_word(&good, &scratch), 0);
+    }
+
+    /// Every fault, over four pattern blocks: one 256-lane walk must be
+    /// bit-identical, lane group by lane group, to four narrow walks —
+    /// values on every net, detection words, and the detect variant's
+    /// group-aware verdict (earliest block, then earliest lane).
+    fn assert_wide_matches_narrow(nl: &Netlist) {
+        let mut sim = FaultSim::new(nl);
+        assert!(sim.cone_bits.is_some(), "test netlists fit the cone-bitset budget");
+        for pass in 0..2 {
+            if pass == 1 {
+                sim.cone_bits = None;
+            }
+            let mut cone = FaultCone::new();
+            let mut narrow = SimScratch::new();
+            let mut wide = WideScratch::new();
+            let mut det = WideScratch::new();
+            let blocks: Vec<Vec<u64>> = (0..4u64)
+                .map(|b| random_inputs(nl.num_inputs(), 0xD1CE ^ b))
+                .collect();
+            let goods: Vec<Vec<u64>> = blocks.iter().map(|b| nl.eval_all(b)).collect();
+            let packed =
+                pack_blocks(&goods.iter().map(Vec::as_slice).collect::<Vec<_>>());
+            for net in 0..nl.num_nets() as u32 {
+                let net = NetId(net);
+                sim.cone_into(net, &mut cone);
+                for stuck in [false, true] {
+                    sim.eval_stuck_wide(&packed, (net, stuck), &cone, &mut wide);
+                    let words = wide.detect_words();
+                    let mut first = None;
+                    for (g, good) in goods.iter().enumerate() {
+                        sim.eval_stuck(good, (net, stuck), &cone, &mut narrow);
+                        for n in 0..nl.num_nets() as u32 {
+                            assert_eq!(
+                                wide.value(&packed, NetId(n))[g],
+                                narrow.value(good, NetId(n)),
+                                "net n{n} lane group {g} for fault ({net}, sa{})",
+                                u8::from(stuck)
+                            );
+                        }
+                        let word = sim.detect_word(good, &narrow);
+                        assert_eq!(words[g], word, "detect word, lane group {g}");
+                        if first.is_none() && word != 0 {
+                            first = Some((g, word.trailing_zeros()));
+                        }
+                    }
+                    // The detect variant must agree on the earliest
+                    // detecting (block, lane) pair — the only facts
+                    // group-aware campaign accounting consumes.
+                    if sim.eval_stuck_detect_wide(&packed, (net, stuck), &mut det) {
+                        let dw = det.detect_words();
+                        let got = (0..4)
+                            .find(|&g| dw[g] != 0)
+                            .map(|g| (g, dw[g].trailing_zeros()));
+                        assert_eq!(
+                            got.is_some(),
+                            first.is_some(),
+                            "detect-wide disagreement for fault ({net}, sa{})",
+                            u8::from(stuck)
+                        );
+                        if let (Some(a), Some(b)) = (got, first) {
+                            assert_eq!(a, b, "first detecting (block, lane)");
+                        }
+                    } else {
+                        assert!(sim.cone_bits.is_none(), "detect-wide refused with bitsets");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_walk_matches_narrow_on_adder() {
+        let mut b = NetlistBuilder::new();
+        let a = b.inputs(6);
+        let bb = b.inputs(6);
+        let zero = b.constant(false);
+        let (sum, carry) = b.ripple_adder(&a, &bb, zero);
+        b.outputs(&sum);
+        b.output(carry);
+        assert_wide_matches_narrow(&b.finish());
+    }
+
+    #[test]
+    fn wide_walk_matches_narrow_on_mixed_logic() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(8);
+        let x = b.xor_tree(&i);
+        let y = b.and_tree(&i[..4]);
+        let z = b.mux2(i[0], x, y);
+        let dead = b.and2(i[6], i[7]);
+        let _ = dead;
+        b.output(z);
+        b.output(y);
+        assert_wide_matches_narrow(&b.finish());
+    }
+
+    #[test]
+    fn pack_blocks_pads_with_last_block() {
+        let b0 = vec![1u64, 2, 3];
+        let b1 = vec![4u64, 5, 6];
+        let packed = pack_blocks(&[&b0, &b1]);
+        assert_eq!(packed, vec![[1, 4, 4, 4], [2, 5, 5, 5], [3, 6, 6, 6]]);
+        let full = pack_blocks(&[&b0, &b1, &b0, &b1]);
+        assert_eq!(full[0], [1, 4, 1, 4]);
     }
 
     #[test]

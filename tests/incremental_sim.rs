@@ -1,9 +1,14 @@
 //! Property test: the incremental, cone-restricted fault-simulation
 //! engine is bit-identical to the full-re-evaluation oracle
-//! (`Netlist::eval_all_stuck`) on randomly generated netlists.
+//! (`Netlist::eval_all_stuck`) on randomly generated netlists — and the
+//! 256-lane (`[u64; 4]`) wide walk is bit-identical, lane group by lane
+//! group, to four independent narrow walks.
 
 use proptest::prelude::*;
-use r2d3_netlist::{FaultCone, FaultSim, GateKind, NetId, Netlist, NetlistBuilder, SimScratch};
+use r2d3_netlist::{
+    pack_blocks, FaultCone, FaultSim, GateKind, NetId, Netlist, NetlistBuilder, SimScratch,
+    WideScratch,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,9 +37,9 @@ fn random_netlist(seed: u64) -> Netlist {
         nets.push(b.gate(kind, &picks));
     }
     let mut observed = 0usize;
-    for i in 0..nets.len() {
+    for &net in &nets {
         if rng.gen_bool(0.15) {
-            b.output(nets[i]);
+            b.output(net);
             observed += 1;
         }
     }
@@ -94,6 +99,66 @@ proptest! {
                     prop_assert_eq!(det != 0, oracle_diff != 0);
                     if oracle_diff != 0 {
                         prop_assert_eq!(det.trailing_zeros(), oracle_diff.trailing_zeros());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wide_fault_sim_matches_narrow_per_lane_group(
+        shape_seed in 0u64..(1u64 << 48),
+        pattern_seed in 0u64..(1u64 << 48),
+    ) {
+        let nl = random_netlist(shape_seed);
+        let sim = FaultSim::new(&nl);
+        let mut cone = FaultCone::new();
+        let mut narrow = SimScratch::new();
+        let mut wide = WideScratch::new();
+        let mut det = WideScratch::new();
+
+        let mut rng = StdRng::seed_from_u64(pattern_seed);
+        let blocks: Vec<Vec<u64>> = (0..4)
+            .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
+            .collect();
+        let goods: Vec<Vec<u64>> = blocks.iter().map(|b| nl.eval_all(b)).collect();
+        let packed = pack_blocks(&goods.iter().map(Vec::as_slice).collect::<Vec<_>>());
+
+        for net in 0..nl.num_nets() as u32 {
+            let net = NetId(net);
+            sim.cone_into(net, &mut cone);
+            for stuck in [false, true] {
+                sim.eval_stuck_wide(&packed, (net, stuck), &cone, &mut wide);
+                let words = wide.detect_words();
+                let mut first = None;
+                for (g, good) in goods.iter().enumerate() {
+                    sim.eval_stuck(good, (net, stuck), &cone, &mut narrow);
+                    for n in 0..nl.num_nets() as u32 {
+                        prop_assert_eq!(
+                            wide.value(&packed, NetId(n))[g],
+                            narrow.value(good, NetId(n)),
+                            "net n{} lane group {} for fault ({}, sa{})",
+                            n,
+                            g,
+                            net,
+                            u8::from(stuck)
+                        );
+                    }
+                    let word = sim.detect_word(good, &narrow);
+                    prop_assert_eq!(words[g], word, "detect word, lane group {}", g);
+                    if first.is_none() && word != 0 {
+                        first = Some((g, word.trailing_zeros()));
+                    }
+                }
+                // The campaign's group-aware accounting consumes only
+                // the earliest detecting (block, lane) pair; the wide
+                // detect walk must reproduce it exactly.
+                if sim.eval_stuck_detect_wide(&packed, (net, stuck), &mut det) {
+                    let dw = det.detect_words();
+                    let got = (0..4).find(|&g| dw[g] != 0).map(|g| (g, dw[g].trailing_zeros()));
+                    prop_assert_eq!(got.is_some(), first.is_some());
+                    if let (Some(a), Some(b)) = (got, first) {
+                        prop_assert_eq!(a, b, "first detecting (block, lane)");
                     }
                 }
             }

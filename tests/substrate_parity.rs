@@ -1,0 +1,139 @@
+//! Cross-substrate parity: the *same* R2D3 engine drives both the
+//! behavioral simulator and the gate-level netlist substrate through the
+//! same fault scenario, and must reach the same verdicts.
+//!
+//! This is the contract of the `ReliabilitySubstrate` abstraction: the
+//! detect → diagnose → repair loop is substrate-agnostic, so a permanent
+//! EXU fault at the same stage must produce the identical believed-faulty
+//! set and identical post-repair pipeline count on either backend.
+
+use r2d3::engine::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
+use r2d3::engine::{EngineEvent, R2d3Config, R2d3Engine};
+use r2d3::isa::kernels::gemv;
+use r2d3::isa::Unit;
+use r2d3::pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
+
+/// Runs epochs until a repair happened (or `max_epochs`), returning all
+/// events. Works on any substrate — that is the point of the test.
+fn run_until_repaired<S: ReliabilitySubstrate>(
+    engine: &mut R2d3Engine<S>,
+    sys: &mut S,
+    max_epochs: usize,
+) -> Vec<EngineEvent> {
+    let mut all = Vec::new();
+    for _ in 0..max_epochs {
+        all.extend(engine.run_epoch(sys).expect("epoch"));
+        if !engine.believed_faulty().is_empty() {
+            break;
+        }
+    }
+    all
+}
+
+fn last_formed(events: &[EngineEvent]) -> Option<usize> {
+    events.iter().rev().find_map(|e| match e {
+        EngineEvent::Repaired { pipelines_formed } => Some(*pipelines_formed),
+        _ => None,
+    })
+}
+
+fn behavioral_system(pipelines: usize) -> System3d {
+    let mut sys = System3d::new(&SystemConfig { pipelines, ..Default::default() });
+    for p in 0..pipelines {
+        sys.load_program(p, gemv(16, 16, p as u64 + 1).program().clone()).unwrap();
+    }
+    sys
+}
+
+#[test]
+fn same_permanent_fault_reaches_same_verdict_on_both_substrates() {
+    let victim = StageId::new(2, Unit::Exu);
+    let config = R2d3Config::default();
+
+    // Behavioral backend: architectural stuck-at on the EXU output.
+    let mut behav = behavioral_system(6);
+    behav.inject_fault(victim, FaultEffect { bit: 0, stuck: true }).unwrap();
+    let mut engine_b = R2d3Engine::new(&config);
+    let events_b = run_until_repaired(&mut engine_b, &mut behav, 64);
+
+    // Gate-level backend: stuck-at-1 on an observed output net of the
+    // same stage's EXU netlist.
+    let mut gate = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+    let fault = gate.output_fault(Unit::Exu, 0, true);
+    gate.inject_fault(victim, fault).unwrap();
+    let mut engine_n = R2d3Engine::new(&config);
+    let events_n = run_until_repaired(&mut engine_n, &mut gate, 64);
+
+    // Identical diagnosis…
+    assert!(
+        engine_b.believed_faulty().contains(&victim),
+        "behavioral backend missed the fault: {events_b:?}"
+    );
+    assert_eq!(
+        engine_b.believed_faulty(),
+        engine_n.believed_faulty(),
+        "substrates disagree on the faulty set"
+    );
+    let perm = |events: &[EngineEvent]| {
+        events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::Permanent { stage } if *stage == victim))
+    };
+    assert!(perm(&events_b), "behavioral: no Permanent verdict: {events_b:?}");
+    assert!(perm(&events_n), "netlist: no Permanent verdict: {events_n:?}");
+
+    // …and identical repair outcome: 7 healthy EXU layers still form all
+    // six pipelines on either backend.
+    let formed_b = last_formed(&events_b).expect("behavioral repair event");
+    let formed_n = last_formed(&events_n).expect("netlist repair event");
+    assert_eq!(formed_b, formed_n, "substrates disagree on pipelines formed");
+    assert_eq!(formed_b, 6);
+
+    // The faulty stage serves no pipeline on either backend.
+    for sys_formed in [
+        (0..6).filter_map(|p| behav.fabric().stage_for(p, Unit::Exu)).collect::<Vec<_>>(),
+        (0..6).filter_map(|p| gate.stage_for(p, Unit::Exu)).collect::<Vec<_>>(),
+    ] {
+        assert_eq!(sys_formed.len(), 6);
+        assert!(!sys_formed.contains(&victim), "victim stage still mapped");
+    }
+}
+
+#[test]
+fn healthy_netlist_substrate_raises_no_false_positives() {
+    let mut gate = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    for _ in 0..8 {
+        let events = engine.run_epoch(&mut gate).unwrap();
+        assert!(
+            !events.iter().any(|e| matches!(e, EngineEvent::Symptom { .. })),
+            "false positive on a healthy gate-level stack: {events:?}"
+        );
+    }
+    assert!(engine.believed_faulty().is_empty());
+    for p in 0..gate.pipeline_count() {
+        assert!(gate.retired(p) > 0, "pipe {p} made no progress");
+        assert!(!gate.pipeline_corrupted(p));
+    }
+}
+
+#[test]
+fn netlist_substrate_recovers_corrupted_pipelines_after_repair() {
+    // The pipeline that ran through the faulty stage is tainted; after
+    // diagnosis + repair the engine must roll it back (epoch-committed
+    // checkpoint) or restart it, leaving no corrupted pipeline behind.
+    let victim = StageId::new(0, Unit::Lsu);
+    let mut gate = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+    let fault = gate.output_fault(Unit::Lsu, 1, false);
+    gate.inject_fault(victim, fault).unwrap();
+    let mut engine = R2d3Engine::new(&R2d3Config::default());
+
+    let events = run_until_repaired(&mut engine, &mut gate, 64);
+    assert!(engine.believed_faulty().contains(&victim), "LSU fault missed: {events:?}");
+
+    // One more clean epoch after repair: nothing may remain corrupted.
+    engine.run_epoch(&mut gate).unwrap();
+    for p in 0..gate.pipeline_count() {
+        assert!(!gate.pipeline_corrupted(p), "pipe {p} still corrupted after recovery");
+    }
+}
