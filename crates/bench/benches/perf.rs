@@ -8,6 +8,9 @@
 //!   ([`run_campaign`]) vs the full-re-evaluation oracle
 //!   ([`run_campaign_reference`]) on the EXU stage netlist, same seed and
 //!   budget, with the fault classification asserted identical.
+//! - **Fault campaign**: adversarial fault-injection scenario throughput
+//!   ([`r2d3_core::campaign`]) on both reliability substrates, asserted
+//!   failure-free (no misdiagnosis, silent corruption or engine error).
 //! - **Lifetime**: replica-parallel Monte-Carlo at 1 vs 4 threads, with
 //!   the averaged [`LifetimeSeries`] asserted bit-identical.
 //! - **Substrate**: the same detect → diagnose → repair scenario driven
@@ -23,9 +26,9 @@ use r2d3_atpg::campaign::{run_campaign, run_campaign_reference, CampaignConfig};
 use r2d3_atpg::fault::collapsed_faults;
 use r2d3_core::engine::R2d3Engine;
 use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
-use r2d3_core::R2d3Config;
 use r2d3_core::policy::PolicyKind;
 use r2d3_core::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
+use r2d3_core::R2d3Config;
 use r2d3_isa::kernels::{gemm, gemv, KernelKind};
 use r2d3_isa::Unit;
 use r2d3_netlist::stages::{stage_netlist, StageSizing};
@@ -235,6 +238,60 @@ fn lifetime_report(json: &mut String) {
     ));
 }
 
+fn fault_campaign_report(json: &mut String) {
+    use r2d3_core::campaign::{
+        generate_scenarios, run_substrate_sweep, CampaignConfig, ScenarioSpace, SubstrateKind,
+    };
+
+    // Shrinking off: it only triggers on failures, and a bench that
+    // failed would abort on the assert below anyway.
+    let config =
+        CampaignConfig { scenarios_per_substrate: 18, shrink: false, ..Default::default() };
+    let space = ScenarioSpace {
+        seed: config.seed,
+        count: config.scenarios_per_substrate,
+        pipelines: config.pipelines,
+        layers: config.layers,
+        settle_epochs: config.settle_epochs,
+    };
+    let scenarios = generate_scenarios(&space);
+
+    let (behav, behav_secs) =
+        time_best(3, || run_substrate_sweep(SubstrateKind::Behavioral, &scenarios, &config));
+    let (gate, gate_secs) =
+        time_best(3, || run_substrate_sweep(SubstrateKind::Netlist, &scenarios, &config));
+
+    let failures =
+        behav.results.iter().chain(&gate.results).filter(|r| r.outcome.is_failure()).count();
+    assert_eq!(failures, 0, "campaign bench sweep must be failure-free");
+
+    let n = scenarios.len() as f64;
+    println!(
+        "perf fault campaign: {} scenarios — behavioral {behav_secs:.3}s \
+         ({:.1}/s), netlist {gate_secs:.3}s ({:.1}/s)",
+        scenarios.len(),
+        n / behav_secs,
+        n / gate_secs,
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"fault_campaign\": {{\n",
+            "    \"scenarios_per_substrate\": {},\n",
+            "    \"behavioral_secs\": {:.6},\n",
+            "    \"netlist_secs\": {:.6},\n",
+            "    \"behavioral_scenarios_per_sec\": {:.1},\n",
+            "    \"netlist_scenarios_per_sec\": {:.1},\n",
+            "    \"failures\": 0\n",
+            "  }},\n"
+        ),
+        scenarios.len(),
+        behav_secs,
+        gate_secs,
+        n / behav_secs,
+        n / gate_secs,
+    ));
+}
+
 /// One engine-managed repair scenario on a substrate: injects a fault,
 /// runs epochs until diagnosis (or the epoch budget), returns
 /// `(epochs_run, diagnosed)`.
@@ -342,10 +399,7 @@ fn thermal_report(json: &mut String) {
             "    \"exact_resolve_warm_sweeps\": {}\n",
             "  }}\n"
         ),
-        cold.sweeps,
-        perturbed_cold.sweeps,
-        warm.sweeps,
-        resolve.sweeps,
+        cold.sweeps, perturbed_cold.sweeps, warm.sweeps, resolve.sweeps,
     ));
 }
 
@@ -354,6 +408,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     campaign_report(&mut json);
+    fault_campaign_report(&mut json);
     lifetime_report(&mut json);
     substrate_report(&mut json);
     thermal_report(&mut json);

@@ -1,10 +1,10 @@
 //! Subcommand implementations.
 
 use r2d3_core::engine::{EngineEvent, R2d3Engine};
-use r2d3_core::R2d3Config;
 use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
 use r2d3_core::policy::PolicyKind;
 use r2d3_core::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
+use r2d3_core::R2d3Config;
 use r2d3_isa::kernels::{gemv, KernelKind};
 use r2d3_isa::text::parse_program;
 use r2d3_isa::Unit;
@@ -158,6 +158,88 @@ fn drive_repair<S: ReliabilitySubstrate>(sys: &mut S, victim: StageId) -> CliRes
     Ok(())
 }
 
+/// `r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both] [--smoke] [--out FILE]`
+pub fn campaign(args: &[String]) -> CliResult {
+    use r2d3_core::campaign::{
+        render_report, run_campaign, CampaignConfig, Outcome, SubstrateKind,
+    };
+
+    // `--smoke` is a bare switch; everything else is `--flag value`.
+    let mut smoke = false;
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| {
+            let is_smoke = *a == "--smoke";
+            smoke |= is_smoke;
+            !is_smoke
+        })
+        .cloned()
+        .collect();
+    let (mut seed, mut scenarios, mut substrate, mut out) = (None, None, None, None);
+    parse_flags(
+        &args,
+        &mut [
+            ("seed", &mut seed),
+            ("scenarios", &mut scenarios),
+            ("substrate", &mut substrate),
+            ("out", &mut out),
+        ],
+    )?;
+    let substrates = match substrate.unwrap_or("both") {
+        "behavioral" => vec![SubstrateKind::Behavioral],
+        "netlist" => vec![SubstrateKind::Netlist],
+        "both" => vec![SubstrateKind::Behavioral, SubstrateKind::Netlist],
+        other => {
+            return Err(format!("unknown substrate `{other}` (behavioral|netlist|both)").into())
+        }
+    };
+    let config = CampaignConfig {
+        seed: seed.map_or(Ok(0xCA3A), str::parse)?,
+        scenarios_per_substrate: scenarios.map_or(Ok(if smoke { 27 } else { 256 }), str::parse)?,
+        substrates,
+        ..Default::default()
+    };
+
+    eprintln!(
+        "campaign: seed {:#x}, {} scenarios × {} substrate(s)…",
+        config.seed,
+        config.scenarios_per_substrate,
+        config.substrates.len()
+    );
+    let report = run_campaign(&config);
+    for sub in &report.substrates {
+        eprintln!(
+            "  {:>10}: {} scenarios — {} benign, {} detected+repaired, \
+             {} misdiagnosed, {} silent, {} engine errors",
+            sub.substrate,
+            sub.results.len(),
+            sub.outcome_count(Outcome::Benign),
+            sub.outcome_count(Outcome::DetectedRepaired),
+            sub.outcome_count(Outcome::Misdiagnosed),
+            sub.outcome_count(Outcome::SilentCorruption),
+            sub.outcome_count(Outcome::EngineFailure),
+        );
+    }
+
+    let json = render_report(&report);
+    match out {
+        Some(path) => {
+            std::fs::write(path, &json)?;
+            eprintln!("  report written to {path}");
+        }
+        None => print!("{json}"),
+    }
+
+    let failures = report.failures();
+    if failures > 0 {
+        return Err(format!(
+            "{failures} scenario(s) ended in misdiagnosis, silent corruption or engine failure"
+        )
+        .into());
+    }
+    Ok(())
+}
+
 /// `r2d3 atpg`
 pub fn atpg(args: &[String]) -> CliResult {
     use r2d3_atpg::campaign::{run_campaign, CampaignConfig};
@@ -261,7 +343,11 @@ pub fn thermal(args: &[String]) -> CliResult {
     let t = grid.steady_state(&p)?;
     println!("{} active layers, {:.2} W total", active, p.total());
     for layer in (0..8).rev() {
-        println!("layer {layer}: avg {:6.1} °C  max {:6.1} °C", t.layer_avg(layer), t.layer_max(layer));
+        println!(
+            "layer {layer}: avg {:6.1} °C  max {:6.1} °C",
+            t.layer_avg(layer),
+            t.layer_max(layer)
+        );
     }
     let hottest = t.hottest_layer();
     let (lo, hi) = (t.layer_avg(0) - 10.0, t.layer_max(hottest));
@@ -309,8 +395,7 @@ mod tests {
     fn flags_and_positionals_separate() {
         let a = args(&["file.s", "--pipes", "4", "--cycles", "100"]);
         let (mut pipes, mut cycles) = (None, None);
-        let pos =
-            parse_flags(&a, &mut [("pipes", &mut pipes), ("cycles", &mut cycles)]).unwrap();
+        let pos = parse_flags(&a, &mut [("pipes", &mut pipes), ("cycles", &mut cycles)]).unwrap();
         assert_eq!(pos, vec!["file.s"]);
         assert_eq!(pipes, Some("4"));
         assert_eq!(cycles, Some("100"));

@@ -4,6 +4,8 @@
 //! r2d3 run <file.s> [--pipes N] [--cycles N]   assemble + run on the 8-core sim
 //! r2d3 inject <unit> <layer> [--bit B] [--substrate behavioral|netlist]
 //!                                              fault scenario with the engine
+//! r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both] [--smoke] [--out FILE]
+//!                                              adversarial fault-injection sweep
 //! r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per unit
 //! r2d3 lifetime [--policy P] [--months N]      8-year lifetime trajectory
 //! r2d3 thermal [--active N]                    steady-state stack heat map
@@ -19,6 +21,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => commands::run(&args[1..]),
         Some("inject") => commands::inject(&args[1..]),
+        Some("campaign") => commands::campaign(&args[1..]),
         Some("atpg") => commands::atpg(&args[1..]),
         Some("lifetime") => commands::lifetime(&args[1..]),
         Some("thermal") => commands::thermal(&args[1..]),
@@ -50,6 +53,8 @@ fn print_usage() {
          \x20 r2d3 run <file.s> [--pipes N] [--cycles N]   assemble and run a program\n\
          \x20 r2d3 inject <unit> <layer> [--bit B] [--substrate behavioral|netlist]\n\
          \x20                                              inject a fault; watch the engine repair\n\
+         \x20 r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both] [--smoke] [--out FILE]\n\
+         \x20                                              adversarial fault-injection campaign\n\
          \x20 r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per pipeline unit\n\
          \x20 r2d3 lifetime [--policy P] [--months N]      lifetime trajectory (P: norecon|static|lite|pro)\n\
          \x20 r2d3 thermal [--active N]                    steady-state stack temperatures\n\

@@ -1,0 +1,300 @@
+//! Adversarial substrate wrapper.
+//!
+//! [`Adversary`] sits between the engine and a real substrate and
+//! forwards everything — except where a scenario has armed a *tap*. Taps
+//! model faults in the reliability machinery itself, which no substrate
+//! fault-injection API can express:
+//!
+//! * **checker corruption** — the checker's DUT-side input register is
+//!   wrong, so the scan compares against an output the stage never
+//!   produced ([`Adversary::arm_checker_corrupt`]);
+//! * **replay-register corruption** — every re-execution on a stage
+//!   returns a flipped output, poisoning detection comparisons and TMR
+//!   votes ([`Adversary::arm_replay_corrupt`]);
+//! * **mid-window upsets** — a transient fires *inside* the epoch's
+//!   execution window rather than at its boundary
+//!   ([`Adversary::arm_mid_window`]).
+//!
+//! Interior mutability (taps behind a `Mutex`) is required because the
+//! tapped trait methods (`trace_window`, `replay_output`) take `&self`,
+//! yet one-shot taps must disarm on first use.
+
+use crate::substrate::ReliabilitySubstrate;
+use crate::EngineError;
+use parking_lot::Mutex;
+use r2d3_isa::Unit;
+use r2d3_pipeline_sim::{ActivityStats, StageId, StageRecord};
+
+/// Corrupts the checker's view of a stage's most recent traced output.
+#[derive(Debug, Clone, Copy)]
+struct CheckerTap {
+    stage: StageId,
+    mask: u32,
+    /// `false`: disarm after the first corrupted window.
+    persistent: bool,
+}
+
+/// Corrupts every replayed output of a stage.
+#[derive(Debug, Clone, Copy)]
+struct ReplayTap {
+    stage: StageId,
+    mask: u32,
+}
+
+/// One transient injected part-way through the next `run` call.
+#[derive(Debug, Clone, Copy)]
+struct MidWindowShot {
+    stage: StageId,
+    seed: u64,
+    offset: u64,
+}
+
+#[derive(Debug, Default)]
+struct Taps {
+    checker: Option<CheckerTap>,
+    replay: Option<ReplayTap>,
+    mid_window: Option<MidWindowShot>,
+}
+
+/// A [`ReliabilitySubstrate`] decorator that injects faults into the
+/// engine's own sensing and recovery paths.
+#[derive(Debug)]
+pub struct Adversary<S> {
+    inner: S,
+    taps: Mutex<Taps>,
+}
+
+impl<S: ReliabilitySubstrate> Adversary<S> {
+    /// Wraps a substrate with no taps armed.
+    pub fn new(inner: S) -> Self {
+        Adversary { inner, taps: Mutex::new(Taps::default()) }
+    }
+
+    /// Arms checker-input corruption of `stage`: the newest record of the
+    /// next compared window (every window when `persistent`) reports
+    /// `actual_output ^ mask`.
+    pub fn arm_checker_corrupt(&self, stage: StageId, mask: u32, persistent: bool) {
+        self.taps.lock().checker = Some(CheckerTap { stage, mask, persistent });
+    }
+
+    /// Arms replay-register corruption: every `replay_output` of `stage`
+    /// returns its true value XOR `mask` until quarantine removes the
+    /// stage from all comparisons.
+    pub fn arm_replay_corrupt(&self, stage: StageId, mask: u32) {
+        self.taps.lock().replay = Some(ReplayTap { stage, mask });
+    }
+
+    /// Schedules a seeded transient on `stage`, `offset` cycles into the
+    /// next `run` call (clamped to the call's span).
+    pub fn arm_mid_window(&self, stage: StageId, seed: u64, offset: u64) {
+        self.taps.lock().mid_window = Some(MidWindowShot { stage, seed, offset });
+    }
+
+    /// The wrapped substrate.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// The wrapped substrate, mutably (direct ground-truth injection).
+    pub fn inner_mut(&mut self) -> &mut S {
+        &mut self.inner
+    }
+}
+
+impl<S: ReliabilitySubstrate> ReliabilitySubstrate for Adversary<S> {
+    type Checkpoint = S::Checkpoint;
+    type Fault = S::Fault;
+
+    fn layers(&self) -> usize {
+        self.inner.layers()
+    }
+
+    fn pipeline_count(&self) -> usize {
+        self.inner.pipeline_count()
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+
+    fn run(&mut self, cycles: u64) -> Result<(), EngineError> {
+        let shot = self.taps.lock().mid_window.take();
+        match shot {
+            Some(shot) if cycles > 1 => {
+                let offset = shot.offset.clamp(1, cycles - 1);
+                self.inner.run(offset)?;
+                self.inner.inject_transient_seeded(shot.stage, shot.seed)?;
+                self.inner.run(cycles - offset)
+            }
+            _ => self.inner.run(cycles),
+        }
+    }
+
+    fn stage_for(&self, pipe: usize, unit: Unit) -> Option<StageId> {
+        self.inner.stage_for(pipe, unit)
+    }
+
+    fn leftovers(&self) -> Vec<StageId> {
+        self.inner.leftovers()
+    }
+
+    fn trace_window(&self, stage: StageId, n: usize) -> Vec<StageRecord> {
+        let mut window = self.inner.trace_window(stage, n);
+        let mut taps = self.taps.lock();
+        if let Some(tap) = taps.checker {
+            if tap.stage == stage {
+                if let Some(last) = window.last_mut() {
+                    last.actual_output ^= tap.mask;
+                    if !tap.persistent {
+                        taps.checker = None;
+                    }
+                }
+            }
+        }
+        window
+    }
+
+    fn replay_output(&self, stage: StageId, record: &StageRecord) -> u32 {
+        let out = self.inner.replay_output(stage, record);
+        match self.taps.lock().replay {
+            Some(tap) if tap.stage == stage => out ^ tap.mask,
+            _ => out,
+        }
+    }
+
+    fn stage_usable(&self, stage: StageId) -> bool {
+        self.inner.stage_usable(stage)
+    }
+
+    fn power_off(&mut self, stage: StageId) -> Result<(), EngineError> {
+        self.inner.power_off(stage)
+    }
+
+    fn unassign(&mut self, pipe: usize, unit: Unit) -> Result<(), EngineError> {
+        self.inner.unassign(pipe, unit)
+    }
+
+    fn assign(&mut self, pipe: usize, unit: Unit, layer: usize) -> Result<(), EngineError> {
+        self.inner.assign(pipe, unit, layer)
+    }
+
+    fn pipeline_corrupted(&self, pipe: usize) -> bool {
+        self.inner.pipeline_corrupted(pipe)
+    }
+
+    fn retired(&self, pipe: usize) -> u64 {
+        self.inner.retired(pipe)
+    }
+
+    fn restart_program(&mut self, pipe: usize) -> Result<(), EngineError> {
+        self.inner.restart_program(pipe)
+    }
+
+    fn checkpoint_pipeline(&self, pipe: usize) -> Result<Self::Checkpoint, EngineError> {
+        self.inner.checkpoint_pipeline(pipe)
+    }
+
+    fn checkpoint_retired(checkpoint: &Self::Checkpoint) -> u64 {
+        S::checkpoint_retired(checkpoint)
+    }
+
+    fn restore_pipeline(
+        &mut self,
+        pipe: usize,
+        checkpoint: &Self::Checkpoint,
+    ) -> Result<(), EngineError> {
+        self.inner.restore_pipeline(pipe, checkpoint)
+    }
+
+    fn inject_fault(&mut self, stage: StageId, fault: Self::Fault) -> Result<(), EngineError> {
+        self.inner.inject_fault(stage, fault)
+    }
+
+    fn inject_permanent_seeded(&mut self, stage: StageId, seed: u64) -> Result<(), EngineError> {
+        self.inner.inject_permanent_seeded(stage, seed)
+    }
+
+    fn inject_transient_seeded(&mut self, stage: StageId, seed: u64) -> Result<(), EngineError> {
+        self.inner.inject_transient_seeded(stage, seed)
+    }
+
+    fn checkpoint_digest(checkpoint: &Self::Checkpoint) -> u64 {
+        S::checkpoint_digest(checkpoint)
+    }
+
+    fn corrupt_checkpoint(checkpoint: &mut Self::Checkpoint, seed: u64) {
+        S::corrupt_checkpoint(checkpoint, seed);
+    }
+
+    fn stats(&self) -> &ActivityStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d3_isa::kernels::gemv;
+    use r2d3_pipeline_sim::{System3d, SystemConfig};
+
+    fn system() -> Adversary<System3d> {
+        let mut sys = System3d::new(&SystemConfig { pipelines: 5, ..Default::default() });
+        let kernel = gemv(8, 8, 1);
+        for p in 0..5 {
+            sys.load_program(p, kernel.program().clone()).unwrap();
+        }
+        Adversary::new(sys)
+    }
+
+    #[test]
+    fn checker_tap_corrupts_newest_record_once() {
+        let mut sys = system();
+        sys.run(2_000).unwrap();
+        let stage = StageId::new(0, Unit::Exu);
+        let clean = sys.trace_window(stage, 4);
+        assert!(!clean.is_empty());
+
+        sys.arm_checker_corrupt(stage, 0b101, false);
+        let tapped = sys.trace_window(stage, 4);
+        let last = tapped.len() - 1;
+        assert_eq!(tapped[last].actual_output, clean[last].actual_output ^ 0b101);
+        // Older records and other stages are untouched.
+        assert_eq!(tapped[..last], clean[..last]);
+        // One-shot: the next read is clean again.
+        assert_eq!(sys.trace_window(stage, 4), clean);
+    }
+
+    #[test]
+    fn replay_tap_flips_only_the_armed_stage() {
+        let mut sys = system();
+        sys.run(2_000).unwrap();
+        let armed = StageId::new(5, Unit::Exu);
+        let other = StageId::new(6, Unit::Exu);
+        let record = sys.trace_window(StageId::new(0, Unit::Exu), 1)[0];
+
+        let clean_armed = sys.replay_output(armed, &record);
+        let clean_other = sys.replay_output(other, &record);
+        sys.arm_replay_corrupt(armed, 0xF);
+        assert_eq!(sys.replay_output(armed, &record), clean_armed ^ 0xF);
+        assert_eq!(sys.replay_output(other, &record), clean_other);
+        // Persistent until disarmed/quarantined.
+        assert_eq!(sys.replay_output(armed, &record), clean_armed ^ 0xF);
+    }
+
+    #[test]
+    fn mid_window_shot_fires_inside_the_run() {
+        let mut sys = system();
+        let stage = StageId::new(1, Unit::Exu);
+        sys.arm_mid_window(stage, 7, 500);
+        sys.run(1_000).unwrap();
+        // The transient manifested mid-run: the serving pipeline tainted
+        // without any engine involvement.
+        assert!(sys.pipeline_corrupted(1));
+        // Consumed: does not recur.
+        sys.run(1_000).unwrap();
+    }
+}

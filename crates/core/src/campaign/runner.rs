@@ -1,0 +1,493 @@
+//! Campaign execution: run scenarios end-to-end, classify outcomes.
+//!
+//! Each scenario gets a fresh substrate and a fresh engine; the runner
+//! applies the scenario's injections at their epochs, drives
+//! [`R2d3Engine::run_epoch`] for the scenario's duration, and classifies
+//! what the engine did about it. The runner manages *workload* (restarts
+//! pipelines whose program ran dry) but never repairs *corruption* — a
+//! tainted pipeline the engine failed to recover must remain visible as a
+//! silent-corruption verdict.
+
+use crate::campaign::adversary::Adversary;
+use crate::campaign::scenario::{
+    generate_scenarios, truth_defective, FaultKind, FaultScenario, ScenarioSpace,
+};
+use crate::campaign::shrink::shrink_scenario;
+use crate::checkpoint::CheckpointConfig;
+use crate::config::R2d3Config;
+use crate::engine::{EngineEvent, R2d3Engine};
+use crate::history::EscalationConfig;
+use crate::policy::PolicyKind;
+use crate::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
+use r2d3_isa::kernels::trap_mix;
+use r2d3_pipeline_sim::{StageId, System3d, SystemConfig};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Which substrate a sweep runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SubstrateKind {
+    /// Instruction-level behavioral simulator ([`System3d`]).
+    Behavioral,
+    /// Synthesized gate-level stage netlists ([`NetlistSubstrate`]).
+    Netlist,
+}
+
+impl SubstrateKind {
+    /// Stable report name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            SubstrateKind::Behavioral => "behavioral",
+            SubstrateKind::Netlist => "netlist",
+        }
+    }
+}
+
+/// End-to-end verdict on one scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The fault never manifested architecturally and nothing fired.
+    Benign,
+    /// The engine saw the fault and handled it; the final state is clean
+    /// and nothing healthy was condemned.
+    DetectedRepaired,
+    /// The engine quarantined hardware the scenario never broke (beyond
+    /// the documented inconclusive double-quarantine).
+    Misdiagnosed,
+    /// Corrupted architectural state survived to the end of the scenario
+    /// — or a poisoned checkpoint was restored — without the engine
+    /// knowing.
+    SilentCorruption,
+    /// `run_epoch` returned an error.
+    EngineFailure,
+}
+
+impl Outcome {
+    /// Stable report name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Outcome::Benign => "benign",
+            Outcome::DetectedRepaired => "detected_repaired",
+            Outcome::Misdiagnosed => "misdiagnosed",
+            Outcome::SilentCorruption => "silent_corruption",
+            Outcome::EngineFailure => "engine_failure",
+        }
+    }
+
+    /// All outcomes in fixed report order.
+    pub const ALL: [Outcome; 5] = [
+        Outcome::Benign,
+        Outcome::DetectedRepaired,
+        Outcome::Misdiagnosed,
+        Outcome::SilentCorruption,
+        Outcome::EngineFailure,
+    ];
+
+    /// Whether the engine got this scenario *wrong* (shrink-worthy).
+    #[must_use]
+    pub fn is_failure(&self) -> bool {
+        matches!(self, Outcome::Misdiagnosed | Outcome::SilentCorruption | Outcome::EngineFailure)
+    }
+}
+
+/// Engine-event tallies over one scenario.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Checker firings.
+    pub symptoms: u64,
+    /// Transient verdicts.
+    pub transients: u64,
+    /// Permanent diagnoses.
+    pub permanents: u64,
+    /// Inconclusive votes (double-quarantines).
+    pub inconclusives: u64,
+    /// Symptom-history escalations.
+    pub escalations: u64,
+    /// Pipeline recoveries (rollback or restart).
+    pub recoveries: u64,
+    /// Checkpoint-integrity rejections.
+    pub checkpoint_corruptions: u64,
+}
+
+/// One scenario's result on one substrate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScenarioResult {
+    /// Scenario id (stable across substrates).
+    pub id: u32,
+    /// Fault-kind name.
+    pub kind: &'static str,
+    /// Classified verdict.
+    pub outcome: Outcome,
+    /// Event tallies.
+    pub counts: EventCounts,
+    /// Minimal reproduction, present for failure outcomes when shrinking
+    /// is enabled.
+    pub shrunk: Option<FaultScenario>,
+}
+
+/// One substrate's sweep.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstrateReport {
+    /// Substrate name.
+    pub substrate: &'static str,
+    /// Per-scenario results, in scenario-id order.
+    pub results: Vec<ScenarioResult>,
+}
+
+impl SubstrateReport {
+    /// Scenarios that ended with `outcome`.
+    #[must_use]
+    pub fn outcome_count(&self, outcome: Outcome) -> usize {
+        self.results.iter().filter(|r| r.outcome == outcome).count()
+    }
+
+    /// Sum of event tallies across the sweep.
+    #[must_use]
+    pub fn total_counts(&self) -> EventCounts {
+        let mut total = EventCounts::default();
+        for r in &self.results {
+            total.symptoms += r.counts.symptoms;
+            total.transients += r.counts.transients;
+            total.permanents += r.counts.permanents;
+            total.inconclusives += r.counts.inconclusives;
+            total.escalations += r.counts.escalations;
+            total.recoveries += r.counts.recoveries;
+            total.checkpoint_corruptions += r.counts.checkpoint_corruptions;
+        }
+        total
+    }
+}
+
+/// Full campaign output.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Scenarios generated per substrate.
+    pub scenarios_per_substrate: usize,
+    /// Per-substrate sweeps, in configuration order.
+    pub substrates: Vec<SubstrateReport>,
+}
+
+impl CampaignReport {
+    /// Total scenarios executed across all substrates.
+    #[must_use]
+    pub fn total_scenarios(&self) -> usize {
+        self.substrates.iter().map(|s| s.results.len()).sum()
+    }
+
+    /// Scenarios (across all substrates) the engine got wrong.
+    #[must_use]
+    pub fn failures(&self) -> usize {
+        self.substrates
+            .iter()
+            .map(|s| s.results.iter().filter(|r| r.outcome.is_failure()).count())
+            .sum()
+    }
+}
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Master seed: scenario generation and fault derivation.
+    pub seed: u64,
+    /// Scenarios per substrate (the same list runs on every substrate).
+    pub scenarios_per_substrate: usize,
+    /// Substrates to sweep.
+    pub substrates: Vec<SubstrateKind>,
+    /// Formed pipelines per substrate instance.
+    pub pipelines: usize,
+    /// Stack height.
+    pub layers: usize,
+    /// Fault-free epochs appended to every scenario so delayed
+    /// consequences (missed recoveries, late escalations) surface.
+    pub settle_epochs: u64,
+    /// Shrink failure scenarios to minimal reproductions.
+    pub shrink: bool,
+    /// Engine configuration under test.
+    pub engine: R2d3Config,
+}
+
+/// The engine configuration campaigns exercise: epoch-long test windows
+/// (`t_test` counts *records*, and both trace rings hold at least a full
+/// 4 k-cycle epoch) so every operation of an epoch is inside the compared
+/// window, checkpoints every other epoch, and all hardening features
+/// (escalation, inconclusive retries, transient rollback) at defaults.
+/// `t_cal` is pushed beyond scenario horizons: rotation is lifetime
+/// machinery, not a detection feature, and keeping the formation static
+/// makes fault placement deterministic.
+#[must_use]
+pub fn campaign_engine_config() -> R2d3Config {
+    R2d3Config {
+        t_epoch: 4_000,
+        t_test: 4_000,
+        t_cal: 1 << 40,
+        policy: PolicyKind::Pro,
+        suspend_when_no_leftover: true,
+        checkpoint: Some(CheckpointConfig { interval_epochs: 2, ..Default::default() }),
+        escalation: Some(EscalationConfig::default()),
+        inconclusive_retries: 2,
+        rollback_on_transient: true,
+    }
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            seed: 0xCA3A,
+            scenarios_per_substrate: 256,
+            substrates: vec![SubstrateKind::Behavioral, SubstrateKind::Netlist],
+            pipelines: 5,
+            layers: 8,
+            settle_epochs: 8,
+            shrink: true,
+            engine: campaign_engine_config(),
+        }
+    }
+}
+
+/// Runs the full campaign: generates the scenario list once, sweeps it
+/// over every configured substrate, shrinks failures. Deterministic: the
+/// same configuration produces an identical report.
+#[must_use]
+pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    let space = ScenarioSpace {
+        seed: config.seed,
+        count: config.scenarios_per_substrate,
+        pipelines: config.pipelines,
+        layers: config.layers,
+        settle_epochs: config.settle_epochs,
+    };
+    let scenarios = generate_scenarios(&space);
+    let substrates = config
+        .substrates
+        .iter()
+        .map(|&kind| run_substrate_sweep(kind, &scenarios, config))
+        .collect();
+    CampaignReport {
+        seed: config.seed,
+        scenarios_per_substrate: config.scenarios_per_substrate,
+        substrates,
+    }
+}
+
+/// Sweeps the scenario list over one substrate kind.
+#[must_use]
+pub fn run_substrate_sweep(
+    kind: SubstrateKind,
+    scenarios: &[FaultScenario],
+    config: &CampaignConfig,
+) -> SubstrateReport {
+    match kind {
+        SubstrateKind::Behavioral => {
+            // Long-running syscall-heavy kernels keep every unit class
+            // busy; built once, cloned per scenario.
+            let programs: Vec<_> = (0..config.pipelines)
+                .map(|p| trap_mix(4096, config.seed ^ (p as u64 + 1)).program().clone())
+                .collect();
+            let sys_cfg = SystemConfig {
+                pipelines: config.pipelines,
+                layers: config.layers,
+                ..Default::default()
+            };
+            run_sweep(kind, scenarios, config, || {
+                let mut sys = System3d::new(&sys_cfg);
+                for (p, prog) in programs.iter().enumerate() {
+                    sys.load_program(p, prog.clone()).expect("campaign workload load");
+                }
+                sys
+            })
+        }
+        SubstrateKind::Netlist => {
+            // Synthesis is the expensive part; build one template and
+            // clone it per scenario.
+            let template = NetlistSubstrate::new(&NetlistSubstrateConfig {
+                pipelines: config.pipelines,
+                layers: config.layers,
+                ..Default::default()
+            });
+            run_sweep(kind, scenarios, config, || template.clone())
+        }
+    }
+}
+
+fn run_sweep<S, F>(
+    kind: SubstrateKind,
+    scenarios: &[FaultScenario],
+    config: &CampaignConfig,
+    make: F,
+) -> SubstrateReport
+where
+    S: ReliabilitySubstrate,
+    F: Fn() -> S,
+{
+    let mut results = Vec::with_capacity(scenarios.len());
+    for scenario in scenarios {
+        let exec = execute_scenario(make(), scenario, &config.engine);
+        let shrunk = (config.shrink && exec.outcome.is_failure()).then(|| {
+            shrink_scenario(scenario, exec.outcome, |cand| {
+                execute_scenario(make(), cand, &config.engine).outcome
+            })
+        });
+        results.push(ScenarioResult {
+            id: scenario.id,
+            kind: scenario.kind.name(),
+            outcome: exec.outcome,
+            counts: exec.counts,
+            shrunk,
+        });
+    }
+    SubstrateReport { substrate: kind.name(), results }
+}
+
+struct Execution {
+    outcome: Outcome,
+    counts: EventCounts,
+}
+
+/// Runs one scenario end-to-end on a fresh substrate and classifies it.
+fn execute_scenario<S: ReliabilitySubstrate>(
+    sys: S,
+    scenario: &FaultScenario,
+    engine_cfg: &R2d3Config,
+) -> Execution {
+    let mut sys = Adversary::new(sys);
+    let mut engine: R2d3Engine<Adversary<S>> = R2d3Engine::new(engine_cfg);
+    let truth: BTreeSet<StageId> = truth_defective(scenario).into_iter().collect();
+    // `allowed` is what the engine may quarantine without being wrong:
+    // the ground-truth defective stages, plus both parties of any
+    // inconclusive vote (the documented double-quarantine fallback).
+    let mut allowed = truth;
+    let mut counts = EventCounts::default();
+    let mut engine_failed = false;
+    let pipes = sys.pipeline_count();
+    let mut last_retired = vec![0u64; pipes];
+
+    for epoch in 0..scenario.epochs {
+        apply_injections(&mut sys, &mut engine, scenario, epoch, engine_cfg.t_epoch);
+        match engine.run_epoch(&mut sys) {
+            Ok(events) => tally(&events, &mut counts, &mut allowed),
+            Err(_) => {
+                engine_failed = true;
+                break;
+            }
+        }
+        // Workload keep-alive: a pipeline whose program finished retires
+        // nothing and would starve detection of fresh trace records.
+        // Restart is gated on the pipeline being *uncorrupted* — the
+        // runner must never clean up state the engine failed to recover.
+        for (p, last) in last_retired.iter_mut().enumerate() {
+            if sys.retired(p) == *last && !sys.pipeline_corrupted(p) {
+                let _ = sys.restart_program(p);
+            }
+            *last = sys.retired(p);
+        }
+    }
+
+    let poisoned = engine.checkpoint_stats().map_or(0, |s| s.poisoned_restores);
+    let residual_corruption = (0..pipes).any(|p| sys.pipeline_corrupted(p));
+    let misdiagnosed = engine.believed_faulty().iter().any(|s| !allowed.contains(s));
+    let saw_fault = counts.symptoms > 0 || counts.escalations > 0;
+
+    let outcome = if engine_failed {
+        Outcome::EngineFailure
+    } else if poisoned > 0 || residual_corruption {
+        Outcome::SilentCorruption
+    } else if misdiagnosed {
+        Outcome::Misdiagnosed
+    } else if saw_fault {
+        Outcome::DetectedRepaired
+    } else {
+        Outcome::Benign
+    };
+    Execution { outcome, counts }
+}
+
+/// Applies a scenario's injections due at `epoch` (before the epoch runs).
+fn apply_injections<S: ReliabilitySubstrate>(
+    sys: &mut Adversary<S>,
+    engine: &mut R2d3Engine<Adversary<S>>,
+    scenario: &FaultScenario,
+    epoch: u64,
+    t_epoch: u64,
+) {
+    // Injection failures (e.g. a target the engine already power-gated)
+    // mean the fault has nowhere left to land; the scenario simply
+    // becomes less eventful, which the classifier handles.
+    for inj in &scenario.injections {
+        match scenario.kind {
+            FaultKind::Permanent | FaultKind::Burst | FaultKind::MidDiagnosis => {
+                if inj.epoch == epoch {
+                    let _ = sys.inject_permanent_seeded(inj.stage, inj.seed);
+                }
+            }
+            FaultKind::Transient => {
+                if inj.epoch == epoch {
+                    let _ = sys.inject_transient_seeded(inj.stage, inj.seed);
+                }
+            }
+            FaultKind::Intermittent { period } => {
+                // Duty-cycled recurrence until the engine quarantines the
+                // stage (at which point the defect is out of service).
+                if epoch >= inj.epoch
+                    && (epoch - inj.epoch).is_multiple_of(period)
+                    && !engine.believed_faulty().contains(&inj.stage)
+                {
+                    let _ = sys.inject_transient_seeded(inj.stage, inj.seed);
+                }
+            }
+            FaultKind::CheckerCorrupt { persistent } => {
+                if inj.epoch == epoch {
+                    sys.arm_checker_corrupt(inj.stage, mask_from(inj.seed), persistent);
+                }
+            }
+            FaultKind::ReplayCorrupt => {
+                if inj.epoch == epoch {
+                    sys.arm_replay_corrupt(inj.stage, mask_from(inj.seed));
+                }
+            }
+            FaultKind::CheckpointCorrupt => {
+                if inj.epoch == epoch {
+                    // Rot the committed slot, then force a recovery before
+                    // the next commit boundary via a transient on the
+                    // pipeline the slot belongs to.
+                    engine.corrupt_checkpoint(inj.pipe, inj.seed);
+                    let _ = sys.inject_transient_seeded(inj.stage, inj.seed.wrapping_add(1));
+                }
+            }
+            FaultKind::MidWindow => {
+                if inj.epoch == epoch {
+                    let third = (t_epoch / 3).max(1);
+                    sys.arm_mid_window(inj.stage, inj.seed, third + inj.seed % third);
+                }
+            }
+        }
+    }
+}
+
+fn mask_from(seed: u64) -> u32 {
+    (seed as u32) | 1
+}
+
+fn tally(events: &[EngineEvent], counts: &mut EventCounts, allowed: &mut BTreeSet<StageId>) {
+    for event in events {
+        match event {
+            EngineEvent::Symptom { .. } => counts.symptoms += 1,
+            EngineEvent::Transient { .. } => counts.transients += 1,
+            EngineEvent::Permanent { .. } => counts.permanents += 1,
+            EngineEvent::Inconclusive { dut, redundant } => {
+                counts.inconclusives += 1;
+                allowed.insert(*dut);
+                allowed.insert(*redundant);
+            }
+            EngineEvent::Escalated { .. } => counts.escalations += 1,
+            EngineEvent::Recovered { .. } => counts.recoveries += 1,
+            EngineEvent::CheckpointCorrupt { .. } => counts.checkpoint_corruptions += 1,
+            EngineEvent::Repaired { .. }
+            | EngineEvent::Suspended { .. }
+            | EngineEvent::Rotated { .. } => {}
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Seeded, deterministic fault-scenario generation.
+//!
+//! A [`FaultScenario`] is a complete adversarial experiment: what to
+//! break, where, when, and how long to keep the engine running
+//! afterwards so the outcome can settle. Generation is a pure function
+//! of the campaign seed — scenario `i` of seed `s` is identical across
+//! runs, substrates and machines, which is what makes campaign reports
+//! byte-comparable.
+
+use r2d3_isa::Unit;
+use r2d3_pipeline_sim::StageId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Units the generator injects into. FFU is excluded: the behavioral
+/// campaign workload (trap-mix) performs no floating-point work, so FFU
+/// faults can never manifest there and every scenario would be trivially
+/// benign on one substrate but not the other.
+pub const INJECTABLE_UNITS: [Unit; 4] = [Unit::Ifu, Unit::Exu, Unit::Lsu, Unit::Tlu];
+
+/// The adversarial fault classes the campaign exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// A stuck-at defect that persists from injection onwards.
+    Permanent,
+    /// A one-shot upset consumed by the next operation.
+    Transient,
+    /// A duty-cycled defect: re-arms a one-shot upset every `period`
+    /// epochs until the stage is quarantined — each individual replay
+    /// votes "transient", only the symptom history can catch it.
+    Intermittent {
+        /// Epochs between recurrences.
+        period: u64,
+    },
+    /// Several permanents landing in the same epoch on distinct stages
+    /// (a multi-stage burst, e.g. a particle strike across tiers).
+    Burst,
+    /// The checker's DUT-side input register is corrupted: the trace the
+    /// scan compares shows an output the stage never produced, creating
+    /// symptoms with no underlying stage defect.
+    CheckerCorrupt {
+        /// `false`: one glitched comparison; `true`: the register is
+        /// stuck and every scan of the stage is corrupted.
+        persistent: bool,
+    },
+    /// A replay register sticks: every re-execution on the target stage
+    /// returns a corrupted output, poisoning detection comparisons and
+    /// TMR votes in which the stage participates.
+    ReplayCorrupt,
+    /// A committed checkpoint rots in storage; a transient then forces a
+    /// recovery that would restore the poisoned state.
+    CheckpointCorrupt,
+    /// A transient fired *inside* the epoch (mid `T_test` window) rather
+    /// than at an epoch boundary.
+    MidWindow,
+    /// Two distinct permanents on a same-unit pair in the same epoch:
+    /// when they meet as DUT and redundant, every third voter disagrees
+    /// with both — the vote stays inconclusive through the bounded
+    /// retries and must fall back to double-quarantine.
+    MidDiagnosis,
+}
+
+impl FaultKind {
+    /// Stable report/JSON name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Permanent => "permanent",
+            FaultKind::Transient => "transient",
+            FaultKind::Intermittent { .. } => "intermittent",
+            FaultKind::Burst => "burst",
+            FaultKind::CheckerCorrupt { .. } => "checker_corrupt",
+            FaultKind::ReplayCorrupt => "replay_corrupt",
+            FaultKind::CheckpointCorrupt => "checkpoint_corrupt",
+            FaultKind::MidWindow => "mid_window",
+            FaultKind::MidDiagnosis => "mid_diagnosis",
+        }
+    }
+}
+
+/// All kind names in fixed report order.
+pub const KIND_NAMES: [&str; 9] = [
+    "permanent",
+    "transient",
+    "intermittent",
+    "burst",
+    "checker_corrupt",
+    "replay_corrupt",
+    "checkpoint_corrupt",
+    "mid_window",
+    "mid_diagnosis",
+];
+
+/// One injection action of a scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Injection {
+    /// Runner epoch (0-based) at whose start the action is applied.
+    pub epoch: u64,
+    /// Target stage.
+    pub stage: StageId,
+    /// The pipeline the target serves at injection time (identity
+    /// formation: pipeline `p` is served by layer `p`). Checkpoint
+    /// corruption targets this pipeline's slot.
+    pub pipe: usize,
+    /// Kind-specific seed (fault derivation, corruption mask, timing).
+    pub seed: u64,
+}
+
+/// A complete adversarial experiment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultScenario {
+    /// Index within the campaign (stable across substrates).
+    pub id: u32,
+    /// Fault class.
+    pub kind: FaultKind,
+    /// Injection actions (shrinking removes entries from this list).
+    pub injections: Vec<Injection>,
+    /// Total epochs to run, including the post-injection settle phase.
+    pub epochs: u64,
+}
+
+/// Generation parameters (a subset of the campaign configuration).
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpace {
+    /// Campaign seed.
+    pub seed: u64,
+    /// Scenarios to generate.
+    pub count: usize,
+    /// Formed pipelines (serving layers `0..pipelines`).
+    pub pipelines: usize,
+    /// Stack height (leftover layers `pipelines..layers`).
+    pub layers: usize,
+    /// Fault-free epochs appended after the active phase.
+    pub settle_epochs: u64,
+}
+
+fn scenario_rng(seed: u64, id: u32) -> StdRng {
+    // SplitMix-style stream separation so neighbouring ids decorrelate.
+    let mut z = seed ^ (u64::from(id).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// Generates the campaign's scenario list: kinds cycle round-robin (so
+/// every class is covered at any campaign size) and all remaining choices
+/// are drawn from the scenario's own seeded stream.
+#[must_use]
+pub fn generate_scenarios(space: &ScenarioSpace) -> Vec<FaultScenario> {
+    (0..space.count).map(|i| generate_one(space, i as u32)).collect()
+}
+
+fn generate_one(space: &ScenarioSpace, id: u32) -> FaultScenario {
+    let mut rng = scenario_rng(space.seed, id);
+    let settle = space.settle_epochs;
+    let unit = INJECTABLE_UNITS[rng.gen_range(0..INJECTABLE_UNITS.len())];
+    let pipe = rng.gen_range(0..space.pipelines);
+    let serving = StageId::new(pipe, unit);
+    let spare_layers = space.pipelines..space.layers;
+    let seed: u64 = rng.gen();
+
+    let (kind, injections, active) = match id % 9 {
+        0 => {
+            let epoch = 1 + rng.gen_range(0..3u64);
+            (FaultKind::Permanent, vec![Injection { epoch, stage: serving, pipe, seed }], epoch + 2)
+        }
+        1 => {
+            let epoch = 1 + rng.gen_range(0..3u64);
+            (FaultKind::Transient, vec![Injection { epoch, stage: serving, pipe, seed }], epoch + 2)
+        }
+        2 => {
+            let period = 1 + rng.gen_range(0..3u64);
+            // Enough firings for the decaying history to escalate
+            // (threshold 3.0 needs 4 recurrences at period <= 3), plus
+            // the repair epoch.
+            (
+                FaultKind::Intermittent { period },
+                vec![Injection { epoch: 1, stage: serving, pipe, seed }],
+                1 + 4 * period + 2,
+            )
+        }
+        3 => {
+            let epoch = 1 + rng.gen_range(0..2u64);
+            let n = 2 + rng.gen_range(0..2usize);
+            let mut stages = vec![serving];
+            while stages.len() < n {
+                let u = INJECTABLE_UNITS[rng.gen_range(0..INJECTABLE_UNITS.len())];
+                let p = rng.gen_range(0..space.pipelines);
+                let s = StageId::new(p, u);
+                if !stages.contains(&s) {
+                    stages.push(s);
+                }
+            }
+            let injections = stages
+                .iter()
+                .enumerate()
+                .map(|(j, &stage)| Injection {
+                    epoch,
+                    stage,
+                    pipe: stage.layer,
+                    // Consecutive seeds derive distinct fault effects, so
+                    // two burst faults meeting as a comparison pair can
+                    // never out-vote a healthy third stage.
+                    seed: seed.wrapping_add(j as u64),
+                })
+                .collect();
+            (FaultKind::Burst, injections, epoch + 3)
+        }
+        4 => {
+            let persistent = rng.gen_bool(0.5);
+            let epoch = 1 + rng.gen_range(0..2u64);
+            // Persistent corruption must outlast the escalation threshold.
+            let active = if persistent { epoch + 6 } else { epoch + 2 };
+            (
+                FaultKind::CheckerCorrupt { persistent },
+                vec![Injection { epoch, stage: serving, pipe, seed }],
+                active,
+            )
+        }
+        5 => {
+            // Replay registers matter on the *redundant* side, so the
+            // target is a leftover; the rotating scan pairs every spare
+            // within `candidates` epochs.
+            let layer = rng.gen_range(spare_layers.clone());
+            let stage = StageId::new(layer, unit);
+            (
+                FaultKind::ReplayCorrupt,
+                vec![Injection { epoch: 1, stage, pipe, seed }],
+                1 + (space.layers - space.pipelines) as u64 + 2,
+            )
+        }
+        6 => {
+            // Epoch 2: the first commit boundary (interval 2) has passed,
+            // and recovery fires before the next one can overwrite the
+            // rotted slot.
+            (
+                FaultKind::CheckpointCorrupt,
+                vec![Injection { epoch: 2, stage: serving, pipe, seed }],
+                4,
+            )
+        }
+        7 => {
+            let epoch = 1 + rng.gen_range(0..2u64);
+            (FaultKind::MidWindow, vec![Injection { epoch, stage: serving, pipe, seed }], epoch + 2)
+        }
+        _ => {
+            let layer = rng.gen_range(spare_layers);
+            let pair = [
+                Injection { epoch: 1, stage: serving, pipe, seed },
+                Injection {
+                    epoch: 1,
+                    stage: StageId::new(layer, unit),
+                    pipe,
+                    seed: seed.wrapping_add(1),
+                },
+            ];
+            (
+                FaultKind::MidDiagnosis,
+                pair.to_vec(),
+                1 + (space.layers - space.pipelines) as u64 + 2,
+            )
+        }
+    };
+
+    FaultScenario { id, kind, injections, epochs: active + settle }
+}
+
+/// The ground-truth defective stages of a scenario: the stages whose
+/// hardware (stage logic, checker input register, replay register) the
+/// scenario actually breaks. Quarantining anything outside this set —
+/// beyond the engine's documented inconclusive double-quarantine — is a
+/// misdiagnosis.
+#[must_use]
+pub fn truth_defective(scenario: &FaultScenario) -> Vec<StageId> {
+    let mut stages: Vec<StageId> = match scenario.kind {
+        FaultKind::Permanent
+        | FaultKind::Intermittent { .. }
+        | FaultKind::Burst
+        | FaultKind::ReplayCorrupt
+        | FaultKind::MidDiagnosis
+        | FaultKind::CheckerCorrupt { persistent: true } => {
+            scenario.injections.iter().map(|i| i.stage).collect()
+        }
+        FaultKind::Transient
+        | FaultKind::MidWindow
+        | FaultKind::CheckpointCorrupt
+        | FaultKind::CheckerCorrupt { persistent: false } => Vec::new(),
+    };
+    stages.sort_unstable();
+    stages.dedup();
+    stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> ScenarioSpace {
+        ScenarioSpace { seed: 0xCA3A, count: 45, pipelines: 5, layers: 8, settle_epochs: 8 }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(generate_scenarios(&space()), generate_scenarios(&space()));
+        let other = ScenarioSpace { seed: 1, ..space() };
+        assert_ne!(generate_scenarios(&space()), generate_scenarios(&other));
+    }
+
+    #[test]
+    fn kinds_cycle_and_targets_are_in_range() {
+        let scenarios = generate_scenarios(&space());
+        for name in KIND_NAMES {
+            assert!(scenarios.iter().any(|s| s.kind.name() == name), "kind {name} never generated");
+        }
+        for s in &scenarios {
+            assert!(!s.injections.is_empty());
+            for inj in &s.injections {
+                assert!(inj.stage.layer < 8);
+                assert!(inj.epoch < s.epochs, "injection after scenario end");
+                assert!(inj.stage.unit != Unit::Ffu);
+            }
+            match s.kind {
+                FaultKind::ReplayCorrupt => assert!(s.injections[0].stage.layer >= 5),
+                FaultKind::MidDiagnosis => {
+                    assert_eq!(s.injections.len(), 2);
+                    assert_eq!(s.injections[0].stage.unit, s.injections[1].stage.unit);
+                    assert_ne!(s.injections[0].stage, s.injections[1].stage);
+                }
+                FaultKind::Burst => assert!(s.injections.len() >= 2),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn truth_sets_match_kind_semantics() {
+        for s in generate_scenarios(&space()) {
+            let truth = truth_defective(&s);
+            match s.kind {
+                FaultKind::Transient
+                | FaultKind::MidWindow
+                | FaultKind::CheckpointCorrupt
+                | FaultKind::CheckerCorrupt { persistent: false } => {
+                    assert!(truth.is_empty(), "{:?} has no defective hardware", s.kind);
+                }
+                _ => assert!(!truth.is_empty()),
+            }
+        }
+    }
+}

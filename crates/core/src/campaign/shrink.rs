@@ -1,0 +1,107 @@
+//! Failure-scenario shrinking.
+//!
+//! A failing campaign scenario may carry injections and epochs that are
+//! irrelevant to the failure. [`shrink_scenario`] greedily removes
+//! injections and trims trailing epochs, re-running the candidate after
+//! every mutation and keeping it only when the *same* outcome class
+//! reproduces — the result is a minimal reproduction to debug from.
+//! Cost is bounded: O(injections²) + O(epochs) re-runs, and campaign
+//! scenarios have at most a handful of injections.
+
+use crate::campaign::runner::Outcome;
+use crate::campaign::scenario::FaultScenario;
+
+/// Shrinks `scenario` while `rerun` keeps reproducing `target`.
+///
+/// `rerun` must execute a candidate from scratch on a fresh substrate
+/// (determinism makes each verdict reliable). The returned scenario always
+/// reproduces `target` and keeps at least one injection and one epoch.
+pub fn shrink_scenario<F>(scenario: &FaultScenario, target: Outcome, mut rerun: F) -> FaultScenario
+where
+    F: FnMut(&FaultScenario) -> Outcome,
+{
+    let mut best = scenario.clone();
+
+    // Drop injections one at a time until no single removal reproduces.
+    'outer: while best.injections.len() > 1 {
+        for i in 0..best.injections.len() {
+            let mut candidate = best.clone();
+            candidate.injections.remove(i);
+            if rerun(&candidate) == target {
+                best = candidate;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+
+    // Trim trailing epochs; an injection epoch is a hard floor.
+    let floor = best.injections.iter().map(|i| i.epoch + 1).max().unwrap_or(1);
+    while best.epochs > floor {
+        let mut candidate = best.clone();
+        candidate.epochs -= 1;
+        if rerun(&candidate) != target {
+            break;
+        }
+        best = candidate;
+    }
+
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::scenario::{FaultKind, Injection};
+    use r2d3_isa::Unit;
+    use r2d3_pipeline_sim::StageId;
+
+    fn scenario(injections: Vec<Injection>, epochs: u64) -> FaultScenario {
+        FaultScenario { id: 0, kind: FaultKind::Burst, injections, epochs }
+    }
+
+    fn injection(epoch: u64, layer: usize) -> Injection {
+        Injection { epoch, stage: StageId::new(layer, Unit::Exu), pipe: layer, seed: 7 }
+    }
+
+    #[test]
+    fn drops_irrelevant_injections_and_trims_epochs() {
+        let sc = scenario(vec![injection(1, 0), injection(1, 1), injection(2, 2)], 20);
+        // Only the layer-1 injection matters, and only up to epoch 5.
+        let oracle = |c: &FaultScenario| {
+            let has_culprit = c.injections.iter().any(|i| i.stage.layer == 1);
+            if has_culprit && c.epochs >= 5 {
+                Outcome::SilentCorruption
+            } else {
+                Outcome::Benign
+            }
+        };
+        let minimal = shrink_scenario(&sc, Outcome::SilentCorruption, oracle);
+        assert_eq!(minimal.injections, vec![injection(1, 1)]);
+        assert_eq!(minimal.epochs, 5);
+    }
+
+    #[test]
+    fn keeps_everything_when_all_injections_matter() {
+        let sc = scenario(vec![injection(1, 0), injection(1, 1)], 6);
+        let oracle = |c: &FaultScenario| {
+            if c.injections.len() == 2 {
+                Outcome::Misdiagnosed
+            } else {
+                Outcome::Benign
+            }
+        };
+        let minimal = shrink_scenario(&sc, Outcome::Misdiagnosed, oracle);
+        assert_eq!(minimal.injections.len(), 2);
+        // Epochs trimmed to the injection floor.
+        assert_eq!(minimal.epochs, 2);
+    }
+
+    #[test]
+    fn never_shrinks_below_one_injection_or_the_injection_epoch() {
+        let sc = scenario(vec![injection(3, 0)], 10);
+        let minimal = shrink_scenario(&sc, Outcome::EngineFailure, |_| Outcome::EngineFailure);
+        assert_eq!(minimal.injections.len(), 1);
+        assert_eq!(minimal.epochs, 4);
+    }
+}

@@ -7,6 +7,15 @@
 //! *committed* as a checkpoint once the epoch-end detection pass found no
 //! symptom — otherwise the corrupted epoch is discarded and recovery
 //! rolls back to the last validated commit.
+//!
+//! The store itself is not assumed incorruptible: a checkpoint that rots
+//! between commit and recovery (a flipped DRAM bit, a torn write) would
+//! otherwise be restored as ground truth and silently poison the very
+//! rollback meant to remove corruption. Each committed slot therefore
+//! carries a digest of its payload, verified before any restore; a
+//! mismatch invalidates the slot and surfaces
+//! [`EngineError::CorruptCheckpoint`] so the engine can fall back to a
+//! restart instead.
 
 use crate::substrate::ReliabilitySubstrate;
 use crate::EngineError;
@@ -23,11 +32,23 @@ pub struct CheckpointConfig {
     pub save_cost_cycles: u64,
     /// Cost of a rollback restore (cycles).
     pub restore_cost_cycles: u64,
+    /// Verify each slot's payload digest before restoring from it.
+    /// `false` reproduces the historical restore-blindly behavior (the
+    /// campaign harness uses it as its re-introduced-bug oracle: digests
+    /// are still computed and mismatched restores counted in
+    /// [`CheckpointStats::poisoned_restores`], but the poisoned state is
+    /// restored anyway).
+    pub verify_integrity: bool,
 }
 
 impl Default for CheckpointConfig {
     fn default() -> Self {
-        CheckpointConfig { interval_epochs: 4, save_cost_cycles: 64, restore_cost_cycles: 256 }
+        CheckpointConfig {
+            interval_epochs: 4,
+            save_cost_cycles: 64,
+            restore_cost_cycles: 256,
+            verify_integrity: true,
+        }
     }
 }
 
@@ -44,6 +65,19 @@ pub struct CheckpointStats {
     pub lost_instructions: u64,
     /// Total bookkeeping cycles (commits + restores).
     pub overhead_cycles: u64,
+    /// Digest mismatches caught before a restore could use the slot.
+    pub corruptions_detected: u64,
+    /// Digest-mismatched restores performed anyway because integrity
+    /// verification was disabled — each one injected corrupted state
+    /// into a live pipeline.
+    pub poisoned_restores: u64,
+}
+
+/// A committed checkpoint plus the digest of its payload at commit time.
+#[derive(Debug, Clone)]
+struct Slot<C> {
+    state: C,
+    digest: u64,
 }
 
 /// Per-pipeline checkpoint store with validated-commit semantics,
@@ -53,7 +87,7 @@ pub struct CheckpointStats {
 #[derive(Debug, Clone)]
 pub struct CheckpointManager<C = PipelineCheckpoint> {
     config: CheckpointConfig,
-    slots: Vec<Option<C>>,
+    slots: Vec<Option<Slot<C>>>,
     stats: CheckpointStats,
 }
 
@@ -61,7 +95,11 @@ impl<C: Clone> CheckpointManager<C> {
     /// Creates a manager for `pipelines` slots.
     #[must_use]
     pub fn new(config: CheckpointConfig, pipelines: usize) -> Self {
-        CheckpointManager { config, slots: vec![None; pipelines], stats: CheckpointStats::default() }
+        CheckpointManager {
+            config,
+            slots: vec![None; pipelines],
+            stats: CheckpointStats::default(),
+        }
     }
 
     /// The configuration.
@@ -93,7 +131,9 @@ impl<C: Clone> CheckpointManager<C> {
         S: ReliabilitySubstrate<Checkpoint = C>,
     {
         for pipe in 0..self.slots.len().min(sys.pipeline_count()) {
-            self.slots[pipe] = Some(sys.checkpoint_pipeline(pipe)?);
+            let state = sys.checkpoint_pipeline(pipe)?;
+            let digest = S::checkpoint_digest(&state);
+            self.slots[pipe] = Some(Slot { state, digest });
             self.stats.commits += 1;
             self.stats.overhead_cycles += self.config.save_cost_cycles;
         }
@@ -103,21 +143,38 @@ impl<C: Clone> CheckpointManager<C> {
     /// Recovers one pipeline after repair: rolls back to its last
     /// committed checkpoint, or restarts the program when none exists.
     ///
+    /// The slot's payload digest is re-checked first (unless
+    /// [`CheckpointConfig::verify_integrity`] is off): a checkpoint that
+    /// rotted since commit must never be restored as ground truth.
+    ///
     /// # Errors
     ///
-    /// Propagates substrate errors.
+    /// Returns [`EngineError::CorruptCheckpoint`] when the slot fails its
+    /// digest check — the slot is invalidated first, so retrying the
+    /// recovery falls back to a program restart. Propagates substrate
+    /// errors.
     pub fn recover<S>(&mut self, sys: &mut S, pipe: usize) -> Result<(), EngineError>
     where
         S: ReliabilitySubstrate<Checkpoint = C>,
     {
         let retired_now = sys.retired(pipe);
         match &self.slots[pipe] {
-            Some(cp) => {
+            Some(slot) => {
+                let found = S::checkpoint_digest(&slot.state);
+                if found != slot.digest {
+                    if self.config.verify_integrity {
+                        let expected = slot.digest;
+                        self.stats.corruptions_detected += 1;
+                        self.slots[pipe] = None;
+                        return Err(EngineError::CorruptCheckpoint { pipe, expected, found });
+                    }
+                    self.stats.poisoned_restores += 1;
+                }
                 self.stats.lost_instructions +=
-                    retired_now.saturating_sub(S::checkpoint_retired(cp));
+                    retired_now.saturating_sub(S::checkpoint_retired(&slot.state));
                 self.stats.restores += 1;
                 self.stats.overhead_cycles += self.config.restore_cost_cycles;
-                sys.restore_pipeline(pipe, &cp.clone())?;
+                sys.restore_pipeline(pipe, &slot.state.clone())?;
             }
             None => {
                 self.stats.lost_instructions += retired_now;
@@ -127,6 +184,20 @@ impl<C: Clone> CheckpointManager<C> {
             }
         }
         Ok(())
+    }
+
+    /// Mutates a pipeline's committed checkpoint payload in place
+    /// (fault-injection ground truth: models the store rotting between
+    /// commit and recovery). The recorded commit-time digest is left
+    /// untouched — that is the point. Returns whether a slot existed.
+    pub fn corrupt_slot_with(&mut self, pipe: usize, corrupt: impl FnOnce(&mut C)) -> bool {
+        match self.slots.get_mut(pipe).and_then(Option::as_mut) {
+            Some(slot) => {
+                corrupt(&mut slot.state);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Drops a pipeline's committed checkpoint (e.g. when its epoch was
@@ -216,6 +287,60 @@ mod tests {
         assert!(mgr.is_commit_epoch(0));
         assert!(!mgr.is_commit_epoch(1));
         assert!(mgr.is_commit_epoch(3));
+    }
+
+    #[test]
+    fn corrupted_slot_is_detected_invalidated_and_surfaced() {
+        let mut sys = loaded_system();
+        let mut mgr = CheckpointManager::new(CheckpointConfig::default(), 2);
+        sys.run(5_000).unwrap();
+        mgr.commit_all(&sys).unwrap();
+        assert!(mgr.corrupt_slot_with(0, |cp| cp.corrupt_bit(7)));
+
+        let err = mgr.recover(&mut sys, 0).unwrap_err();
+        match err {
+            EngineError::CorruptCheckpoint { pipe, expected, found } => {
+                assert_eq!(pipe, 0);
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected CorruptCheckpoint, got {other}"),
+        }
+        assert_eq!(mgr.stats().corruptions_detected, 1);
+        assert_eq!(mgr.stats().restores, 0);
+        assert!(!mgr.has_checkpoint(0), "failed slot must be invalidated");
+
+        // Retrying the recovery now falls back to a program restart.
+        mgr.recover(&mut sys, 0).unwrap();
+        assert_eq!(mgr.stats().restarts, 1);
+        assert_eq!(sys.pipeline(0).unwrap().retired(), 0);
+    }
+
+    #[test]
+    fn disabled_verification_restores_poison_and_counts_it() {
+        let mut sys = loaded_system();
+        let config = CheckpointConfig { verify_integrity: false, ..Default::default() };
+        let mut mgr = CheckpointManager::new(config, 2);
+        sys.run(5_000).unwrap();
+        mgr.commit_all(&sys).unwrap();
+        assert!(mgr.corrupt_slot_with(0, |cp| cp.corrupt_bit(7)));
+
+        mgr.recover(&mut sys, 0).unwrap();
+        assert_eq!(mgr.stats().poisoned_restores, 1);
+        assert_eq!(mgr.stats().corruptions_detected, 0);
+        assert_eq!(mgr.stats().restores, 1);
+    }
+
+    #[test]
+    fn clean_slot_passes_verification() {
+        let mut sys = loaded_system();
+        let mut mgr = CheckpointManager::new(CheckpointConfig::default(), 2);
+        sys.run(5_000).unwrap();
+        mgr.commit_all(&sys).unwrap();
+        sys.run(5_000).unwrap();
+        mgr.recover(&mut sys, 0).unwrap();
+        assert_eq!(mgr.stats().restores, 1);
+        assert_eq!(mgr.stats().corruptions_detected, 0);
+        assert_eq!(mgr.stats().poisoned_restores, 0);
     }
 
     #[test]

@@ -24,6 +24,21 @@ pub struct R2d3Config {
     /// Epoch-committed checkpointing for post-repair recovery; `None`
     /// restarts corrupted programs from the beginning.
     pub checkpoint: Option<crate::checkpoint::CheckpointConfig>,
+    /// Decaying symptom-history escalation for intermittent faults: a
+    /// stage whose "transient" verdicts recur densely enough is
+    /// quarantined as if diagnosed permanent. `None` trusts every
+    /// transient verdict forever (the paper's baseline dichotomy).
+    pub escalation: Option<crate::history::EscalationConfig>,
+    /// How many *additional* third voters the diagnosis tries after an
+    /// inconclusive TMR vote before giving up and double-quarantining
+    /// the comparison pair. Retries cost one replay each and can tell
+    /// a two-fault pair apart when any healthy same-unit stage remains.
+    pub inconclusive_retries: u32,
+    /// Roll corrupted pipelines back to their last validated checkpoint
+    /// after a transient verdict. Without this the engine "classifies
+    /// and forgets": the architectural state poisoned by the consumed
+    /// upset keeps executing — a silent-corruption hole.
+    pub rollback_on_transient: bool,
 }
 
 impl Default for R2d3Config {
@@ -35,6 +50,9 @@ impl Default for R2d3Config {
             policy: crate::policy::PolicyKind::Pro,
             suspend_when_no_leftover: true,
             checkpoint: Some(crate::checkpoint::CheckpointConfig::default()),
+            escalation: Some(crate::history::EscalationConfig::default()),
+            inconclusive_retries: 2,
+            rollback_on_transient: true,
         }
     }
 }
@@ -51,14 +69,15 @@ impl R2d3Config {
             return Err(crate::EngineError::InvalidConfig("t_test must be positive".into()));
         }
         if self.t_test > self.t_epoch {
-            return Err(crate::EngineError::InvalidConfig(
-                "t_test cannot exceed t_epoch".into(),
-            ));
+            return Err(crate::EngineError::InvalidConfig("t_test cannot exceed t_epoch".into()));
         }
         if self.t_cal < self.t_epoch {
             return Err(crate::EngineError::InvalidConfig(
                 "t_cal must be at least one epoch".into(),
             ));
+        }
+        if let Some(escalation) = &self.escalation {
+            escalation.validate()?;
         }
         Ok(())
     }

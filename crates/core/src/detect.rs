@@ -79,7 +79,15 @@ pub fn epoch_scan<S: ReliabilitySubstrate>(
                 continue;
             };
 
-            let window = sys.trace_window(dut, config.t_test as usize);
+            // Bound the compared window to the *current* epoch. The ring
+            // keeps the last N records regardless of age; on a slowly
+            // retiring pipeline "the last T_test records" can span many
+            // epochs, and a record corrupted by an already-handled
+            // transient would be re-detected — and re-counted by the
+            // symptom history — every epoch until it scrolls out.
+            let epoch_start = sys.now().saturating_sub(config.t_epoch);
+            let mut window = sys.trace_window(dut, config.t_test as usize);
+            window.retain(|record| record.cycle >= epoch_start);
             if window.is_empty() {
                 continue;
             }
@@ -159,14 +167,10 @@ mod tests {
     #[test]
     fn faulty_exu_is_detected() {
         let mut sys = system_with_kernel(6);
-        sys.inject_fault(StageId::new(1, Unit::Exu), FaultEffect { bit: 0, stuck: true })
-            .unwrap();
+        sys.inject_fault(StageId::new(1, Unit::Exu), FaultEffect { bit: 0, stuck: true }).unwrap();
         sys.run(20_000).unwrap();
         let d = epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), 0);
-        assert!(
-            d.iter().any(|x| x.dut == StageId::new(1, Unit::Exu)),
-            "EXU fault missed: {d:?}"
-        );
+        assert!(d.iter().any(|x| x.dut == StageId::new(1, Unit::Exu)), "EXU fault missed: {d:?}");
     }
 
     #[test]
@@ -174,8 +178,7 @@ mod tests {
         // Fault in a *leftover* stage is caught when it serves as the
         // redundant side of a comparison.
         let mut sys = system_with_kernel(6);
-        sys.inject_fault(StageId::new(7, Unit::Exu), FaultEffect { bit: 0, stuck: true })
-            .unwrap();
+        sys.inject_fault(StageId::new(7, Unit::Exu), FaultEffect { bit: 0, stuck: true }).unwrap();
         sys.run(20_000).unwrap();
         // The salt rotates which leftover serves; within two epochs the
         // faulty spare at layer 7 must have been exercised.
@@ -192,8 +195,7 @@ mod tests {
         // 8 pipelines on 8 layers: no leftovers, so detection must borrow
         // a stage from another core when allowed.
         let mut sys = system_with_kernel(8);
-        sys.inject_fault(StageId::new(0, Unit::Lsu), FaultEffect { bit: 1, stuck: true })
-            .unwrap();
+        sys.inject_fault(StageId::new(0, Unit::Lsu), FaultEffect { bit: 1, stuck: true }).unwrap();
         sys.run(20_000).unwrap();
         let d = epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), 0);
         let hit = d.iter().find(|x| x.dut == StageId::new(0, Unit::Lsu));
@@ -201,8 +203,7 @@ mod tests {
         assert!(matches!(hit.source, RedundantSource::SuspendedCore { .. }));
 
         // With suspension disabled and no leftovers, nothing is tested.
-        let no_suspend =
-            R2d3Config { suspend_when_no_leftover: false, ..Default::default() };
+        let no_suspend = R2d3Config { suspend_when_no_leftover: false, ..Default::default() };
         let d = epoch_scan(&sys, &no_suspend, &HashSet::new(), 0);
         assert!(d.is_empty());
     }
@@ -213,8 +214,7 @@ mod tests {
         // 31, and a stuck bit that never changes an actual output cannot
         // be seen by any comparison.
         let mut sys = system_with_kernel(6);
-        sys.inject_fault(StageId::new(1, Unit::Tlu), FaultEffect { bit: 7, stuck: true })
-            .unwrap();
+        sys.inject_fault(StageId::new(1, Unit::Tlu), FaultEffect { bit: 7, stuck: true }).unwrap();
         sys.run(20_000).unwrap();
         let d = epoch_scan(&sys, &R2d3Config::default(), &HashSet::new(), 0);
         // GEMV has no traps, so the TLU never produced a record: no

@@ -3,6 +3,7 @@
 use crate::checkpoint::CheckpointManager;
 use crate::config::R2d3Config;
 use crate::detect::{epoch_scan, Detection, RedundantSource};
+use crate::history::SymptomHistory;
 use crate::policy::{select_assignment, PolicyKind, RotationState};
 use crate::substrate::ReliabilitySubstrate;
 use crate::EngineError;
@@ -58,6 +59,28 @@ pub enum EngineEvent {
         /// Calibration-window index.
         window: u64,
     },
+    /// A stage's decaying symptom history crossed the escalation
+    /// threshold: its "transient" verdicts recur too densely to be
+    /// independent soft errors, so it is quarantined as an intermittent
+    /// (hard) fault despite every individual replay voting transient.
+    Escalated {
+        /// The stage quarantined by symptom-history escalation.
+        stage: StageId,
+    },
+    /// A pipeline corrupted by a transient was recovered in place
+    /// (rollback to the last validated checkpoint, or program restart).
+    Recovered {
+        /// The recovered pipeline.
+        pipe: usize,
+        /// `true` for a checkpoint rollback, `false` for a restart.
+        rolled_back: bool,
+    },
+    /// A committed checkpoint failed its integrity check during
+    /// recovery; the slot was invalidated and the pipeline restarted.
+    CheckpointCorrupt {
+        /// Pipeline whose checkpoint was found corrupt.
+        pipe: usize,
+    },
 }
 
 /// The R2D3 reconfiguration controller.
@@ -73,10 +96,12 @@ pub struct R2d3Engine<S: ReliabilitySubstrate = System3d> {
     believed_faulty: HashSet<StageId>,
     rotation: Option<RotationState>,
     checkpoints: Option<CheckpointManager<S::Checkpoint>>,
+    history: SymptomHistory,
     epochs: u64,
     windows: u64,
     transients_seen: u64,
     permanents_diagnosed: u64,
+    escalations: u64,
 }
 
 impl<S: ReliabilitySubstrate> Clone for R2d3Engine<S> {
@@ -86,10 +111,12 @@ impl<S: ReliabilitySubstrate> Clone for R2d3Engine<S> {
             believed_faulty: self.believed_faulty.clone(),
             rotation: self.rotation.clone(),
             checkpoints: self.checkpoints.clone(),
+            history: self.history.clone(),
             epochs: self.epochs,
             windows: self.windows,
             transients_seen: self.transients_seen,
             permanents_diagnosed: self.permanents_diagnosed,
+            escalations: self.escalations,
         }
     }
 }
@@ -101,10 +128,12 @@ impl<S: ReliabilitySubstrate> std::fmt::Debug for R2d3Engine<S> {
             .field("believed_faulty", &self.believed_faulty)
             .field("rotation", &self.rotation)
             .field("checkpoints", &self.checkpoints)
+            .field("history", &self.history)
             .field("epochs", &self.epochs)
             .field("windows", &self.windows)
             .field("transients_seen", &self.transients_seen)
             .field("permanents_diagnosed", &self.permanents_diagnosed)
+            .field("escalations", &self.escalations)
             .finish()
     }
 }
@@ -125,10 +154,12 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             believed_faulty: HashSet::new(),
             rotation: None,
             checkpoints: None,
+            history: SymptomHistory::new(),
             epochs: 0,
             windows: 0,
             transients_seen: 0,
             permanents_diagnosed: 0,
+            escalations: 0,
         }
     }
 
@@ -168,6 +199,36 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
         self.permanents_diagnosed
     }
 
+    /// Stages quarantined by symptom-history escalation so far.
+    #[must_use]
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Current decayed symptom score of a stage, in 1/1024 symptom units
+    /// ([`crate::history::SYMPTOM_SCALE`]).
+    #[must_use]
+    pub fn symptom_score(&self, stage: StageId) -> u64 {
+        self.history.score(stage)
+    }
+
+    /// Whether `pipe` currently holds a committed checkpoint.
+    #[must_use]
+    pub fn has_committed_checkpoint(&self, pipe: usize) -> bool {
+        self.checkpoints.as_ref().is_some_and(|m| m.has_checkpoint(pipe))
+    }
+
+    /// Flips one seed-selected bit in `pipe`'s committed checkpoint
+    /// payload — fault-injection ground truth modeling the checkpoint
+    /// store rotting between commit and recovery (the campaign harness's
+    /// lever; the engine itself never corrupts its own store). Returns
+    /// whether a committed slot existed to corrupt.
+    pub fn corrupt_checkpoint(&mut self, pipe: usize, seed: u64) -> bool {
+        self.checkpoints
+            .as_mut()
+            .is_some_and(|m| m.corrupt_slot_with(pipe, |cp| S::corrupt_checkpoint(cp, seed)))
+    }
+
     /// Runs one epoch: `T_epoch` cycles of execution, then the detection /
     /// diagnosis / repair sequence, then (at calibration boundaries) the
     /// policy rotation.
@@ -190,6 +251,9 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             }
             need_repair |= self.diagnose(sys, d, &mut events);
         }
+        if let Some(esc) = self.config.escalation {
+            self.history.decay(&esc);
+        }
 
         // --- checkpoint commit (only after a clean scan) -------------------
         if detections.is_empty() {
@@ -206,8 +270,21 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
 
         // --- repair -------------------------------------------------------
         if need_repair {
-            let formed = self.reconfigure(sys, false)?;
+            let formed = self.reconfigure(sys, false, &mut events)?;
             events.push(EngineEvent::Repaired { pipelines_formed: formed });
+        } else if self.config.rollback_on_transient
+            && events.iter().any(|e| matches!(e, EngineEvent::Transient { .. }))
+        {
+            // --- transient rollback ---------------------------------------
+            // The upset was classified correctly, but its corruption is
+            // already in architectural state; without this the engine
+            // "classifies and forgets" and the taint runs to completion.
+            for p in 0..sys.pipeline_count() {
+                if sys.pipeline_corrupted(p) {
+                    let rolled_back = self.recover_pipe(sys, p, &mut events)?;
+                    events.push(EngineEvent::Recovered { pipe: p, rolled_back });
+                }
+            }
         }
 
         // --- calibration-window rotation -----------------------------------
@@ -215,12 +292,40 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             let window = sys.now() / self.config.t_cal;
             if window > self.windows {
                 self.windows = window;
-                self.reconfigure(sys, true)?;
+                self.reconfigure(sys, true, &mut events)?;
                 events.push(EngineEvent::Rotated { window });
             }
         }
 
         Ok(events)
+    }
+
+    /// Recovers one pipeline: checkpoint rollback when a validated slot
+    /// exists, program restart otherwise. A slot that fails its integrity
+    /// check is surfaced as a [`EngineEvent::CheckpointCorrupt`] event,
+    /// invalidated (by the manager) and the recovery retried, which then
+    /// takes the restart path. Returns whether a rollback was used.
+    fn recover_pipe(
+        &mut self,
+        sys: &mut S,
+        pipe: usize,
+        events: &mut Vec<EngineEvent>,
+    ) -> Result<bool, EngineError> {
+        let Some(mgr) = &mut self.checkpoints else {
+            sys.restart_program(pipe)?;
+            return Ok(false);
+        };
+        let had_checkpoint = mgr.has_checkpoint(pipe);
+        match mgr.recover(sys, pipe) {
+            Ok(()) => Ok(had_checkpoint),
+            Err(EngineError::CorruptCheckpoint { .. }) => {
+                events.push(EngineEvent::CheckpointCorrupt { pipe });
+                // The slot is gone; this retry restarts the program.
+                mgr.recover(sys, pipe)?;
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
     }
 
     /// Single-replay TMR diagnosis (§III-C): stall one cycle, replay the
@@ -235,26 +340,36 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
         let out_red = sys.replay_output(d.redundant, record);
 
         if out_dut == out_red {
-            // Symptom did not recur: a soft error was detected. Resume.
+            // Symptom did not recur: a soft error was detected. Resume —
+            // unless this stage's "soft errors" have been recurring too
+            // densely to be independent upsets, in which case the decaying
+            // symptom history escalates it to an intermittent hard fault.
             self.transients_seen += 1;
             events.push(EngineEvent::Transient { dut: d.dut });
+            if let Some(esc) = self.config.escalation {
+                if self.history.record(d.dut, &esc) {
+                    self.history.forget(d.dut);
+                    self.escalations += 1;
+                    events.push(EngineEvent::Escalated { stage: d.dut });
+                    return self.believed_faulty.insert(d.dut);
+                }
+            }
             return false;
         }
 
-        // Hard fault: bring in a third stage to vote.
-        let third = self.pick_third(sys, d);
-        let verdicts: Vec<(StageId, u32)> = match third {
-            Some(t) => {
-                let out_third = sys.replay_output(t, record);
-                vec![(d.dut, out_dut), (d.redundant, out_red), (t, out_third)]
-            }
-            None => vec![(d.dut, out_dut), (d.redundant, out_red)],
-        };
-
-        // Majority vote over the outputs.
-        let mut faulty: Vec<StageId> = Vec::new();
-        if verdicts.len() == 3 {
-            let (a, b, c) = (verdicts[0].1, verdicts[1].1, verdicts[2].1);
+        // Hard fault: bring in a third stage to vote. An inconclusive
+        // three-way split may mean the *third voter* is itself faulty, so
+        // retry with other distinct voters (bounded by
+        // `inconclusive_retries`) before giving up on the pair.
+        let mut tried: Vec<StageId> = Vec::new();
+        let mut majority_faulty: Option<Vec<StageId>> = None;
+        while tried.len() <= self.config.inconclusive_retries as usize {
+            let Some(third) = self.pick_third(sys, d, &tried) else {
+                break;
+            };
+            tried.push(third);
+            let out_third = sys.replay_output(third, record);
+            let (a, b, c) = (out_dut, out_red, out_third);
             let majority = if a == b || a == c {
                 Some(a)
             } else if b == c {
@@ -262,29 +377,29 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             } else {
                 None
             };
-            match majority {
-                Some(m) => {
-                    faulty.extend(verdicts.iter().filter(|(_, o)| *o != m).map(|(s, _)| *s));
-                }
-                None => {
-                    events.push(EngineEvent::Inconclusive {
-                        dut: d.dut,
-                        redundant: d.redundant,
-                    });
-                    faulty.push(d.dut);
-                    faulty.push(d.redundant);
-                }
+            if let Some(m) = majority {
+                majority_faulty = Some(
+                    [(d.dut, a), (d.redundant, b), (third, c)]
+                        .iter()
+                        .filter(|(_, o)| *o != m)
+                        .map(|(s, _)| *s)
+                        .collect(),
+                );
+                break;
             }
-        } else {
-            // No third stage available: quarantine both parties.
-            events.push(EngineEvent::Inconclusive { dut: d.dut, redundant: d.redundant });
-            faulty.push(d.dut);
-            faulty.push(d.redundant);
         }
+
+        let faulty = majority_faulty.unwrap_or_else(|| {
+            // No voter pool or every vote split three ways: quarantine
+            // both comparison parties.
+            events.push(EngineEvent::Inconclusive { dut: d.dut, redundant: d.redundant });
+            vec![d.dut, d.redundant]
+        });
 
         let mut diagnosed = false;
         for s in faulty {
             if self.believed_faulty.insert(s) {
+                self.history.forget(s);
                 self.permanents_diagnosed += 1;
                 events.push(EngineEvent::Permanent { stage: s });
                 diagnosed = true;
@@ -294,31 +409,33 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
     }
 
     /// A believed-healthy stage of the same unit, distinct from the two
-    /// comparison parties.
-    fn pick_third(&self, sys: &S, d: &Detection) -> Option<StageId> {
-        (0..sys.layers())
-            .map(|l| StageId::new(l, d.unit))
-            .find(|s| {
-                *s != d.dut
-                    && *s != d.redundant
-                    && !self.believed_faulty.contains(s)
-                    && sys.stage_usable(*s)
-            })
+    /// comparison parties and from already-consulted voters.
+    fn pick_third(&self, sys: &S, d: &Detection, exclude: &[StageId]) -> Option<StageId> {
+        (0..sys.layers()).map(|l| StageId::new(l, d.unit)).find(|s| {
+            *s != d.dut
+                && *s != d.redundant
+                && !exclude.contains(s)
+                && !self.believed_faulty.contains(s)
+                && sys.stage_usable(*s)
+        })
     }
 
     /// Re-forms the fabric from believed-healthy stages; `rotation` selects
     /// whether the policy's rotation ordering applies (calibration window)
     /// or the canonical repair formation.
-    fn reconfigure(&mut self, sys: &mut S, rotation: bool) -> Result<usize, EngineError> {
+    fn reconfigure(
+        &mut self,
+        sys: &mut S,
+        rotation: bool,
+        events: &mut Vec<EngineEvent>,
+    ) -> Result<usize, EngineError> {
         let layers = sys.layers();
         let pipelines = sys.pipeline_count();
         let believed = self.believed_faulty.clone();
         let usable = move |s: StageId| !believed.contains(&s);
 
         let kind = if rotation { self.config.policy } else { PolicyKind::Static };
-        let rotation_state = self
-            .rotation
-            .get_or_insert_with(|| RotationState::new(layers));
+        let rotation_state = self.rotation.get_or_insert_with(|| RotationState::new(layers));
         let formed = select_assignment(kind, layers, &usable, pipelines, rotation_state);
 
         // Tear down and rebuild the crossbar map.
@@ -341,10 +458,7 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             // skips believed-faulty DUTs.
             for p in 0..pipelines {
                 if sys.pipeline_corrupted(p) {
-                    match &mut self.checkpoints {
-                        Some(mgr) => mgr.recover(sys, p)?,
-                        None => sys.restart_program(p)?,
-                    }
+                    self.recover_pipe(sys, p, events)?;
                 }
             }
             // Power-gate diagnosed stages so they never serve again.
@@ -385,10 +499,7 @@ mod tests {
         let mut repaired = false;
         for _ in 0..32 {
             let events = engine.run_epoch(&mut sys).unwrap();
-            if events
-                .iter()
-                .any(|e| matches!(e, EngineEvent::Repaired { .. }))
-            {
+            if events.iter().any(|e| matches!(e, EngineEvent::Repaired { .. })) {
                 repaired = true;
                 break;
             }
@@ -467,10 +578,7 @@ mod tests {
         for p in 0..6 {
             let pipe = sys.pipeline(p).unwrap();
             assert!(pipe.halted(), "pipeline {p} unfinished");
-            assert!(
-                kernel.verify(pipe.memory()),
-                "pipeline {p} finished with corrupted results"
-            );
+            assert!(kernel.verify(pipe.memory()), "pipeline {p} finished with corrupted results");
         }
     }
 
@@ -483,6 +591,7 @@ mod tests {
             policy: PolicyKind::Lite,
             suspend_when_no_leftover: true,
             checkpoint: None,
+            ..Default::default()
         };
         let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
         let mut sys = System3d::new(&sys_cfg);
@@ -493,10 +602,7 @@ mod tests {
         let mut rotations = 0;
         for _ in 0..12 {
             let events = engine.run_epoch(&mut sys).unwrap();
-            rotations += events
-                .iter()
-                .filter(|e| matches!(e, EngineEvent::Rotated { .. }))
-                .count();
+            rotations += events.iter().filter(|e| matches!(e, EngineEvent::Rotated { .. })).count();
         }
         assert!(rotations >= 2, "expected rotations, saw {rotations}");
         // After rotation with 6-of-8, spare layers 6/7 must have served.
@@ -515,15 +621,13 @@ mod tests {
         let mut sys = System3d::new(&sys_cfg);
         sys.load_program(0, gemm(24, 24, 24, 1).program().clone()).unwrap();
         let mut engine = R2d3Engine::new(&R2d3Config::default());
-        sys.inject_fault(StageId::new(0, Unit::Exu), FaultEffect { bit: 0, stuck: true })
-            .unwrap();
+        sys.inject_fault(StageId::new(0, Unit::Exu), FaultEffect { bit: 0, stuck: true }).unwrap();
 
         let mut inconclusive = false;
         let mut formed = None;
         for _ in 0..32 {
             let events = engine.run_epoch(&mut sys).unwrap();
-            inconclusive |=
-                events.iter().any(|e| matches!(e, EngineEvent::Inconclusive { .. }));
+            inconclusive |= events.iter().any(|e| matches!(e, EngineEvent::Inconclusive { .. }));
             if let Some(EngineEvent::Repaired { pipelines_formed }) =
                 events.iter().find(|e| matches!(e, EngineEvent::Repaired { .. }))
             {
@@ -542,6 +646,126 @@ mod tests {
         // The quarantined-but-possibly-healthy redundant EXU is isolated
         // along with the truly faulty DUT.
         assert_eq!(sys.fabric().stage_for(0, Unit::Exu), None);
+    }
+
+    #[test]
+    fn intermittent_transients_escalate_to_quarantine() {
+        // A duty-cycled fault that re-arms every epoch is classified
+        // "transient" by every individual replay, yet the decaying
+        // symptom history must eventually quarantine the stage.
+        let cfg = R2d3Config { t_epoch: 4_000, t_test: 4_000, ..Default::default() };
+        let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
+        let mut sys = System3d::new(&sys_cfg);
+        for p in 0..6 {
+            sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
+        }
+        let mut engine = R2d3Engine::new(&cfg);
+        let flaky = StageId::new(1, Unit::Exu);
+
+        let mut escalated = false;
+        for _ in 0..16 {
+            if !engine.believed_faulty().contains(&flaky) {
+                sys.inject_transient(flaky, FaultEffect { bit: 0, stuck: true }).unwrap();
+            }
+            let events = engine.run_epoch(&mut sys).unwrap();
+            if events
+                .iter()
+                .any(|e| matches!(e, EngineEvent::Escalated { stage } if *stage == flaky))
+            {
+                escalated = true;
+                break;
+            }
+        }
+        assert!(escalated, "intermittent never escalated");
+        assert!(engine.believed_faulty().contains(&flaky));
+        assert_eq!(engine.escalations(), 1);
+        // The quarantined stage serves no pipeline anymore.
+        for p in 0..6 {
+            assert_ne!(sys.fabric().stage_for(p, Unit::Exu), Some(flaky));
+        }
+    }
+
+    #[test]
+    fn transient_rollback_recovers_tainted_pipe() {
+        let cfg = R2d3Config {
+            t_epoch: 4_000,
+            t_test: 4_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig {
+                interval_epochs: 1,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
+        let mut sys = System3d::new(&sys_cfg);
+        for p in 0..6 {
+            sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
+        }
+        let mut engine = R2d3Engine::new(&cfg);
+        // Two clean epochs commit checkpoints for every pipeline.
+        engine.run_epoch(&mut sys).unwrap();
+        engine.run_epoch(&mut sys).unwrap();
+
+        sys.inject_transient(StageId::new(1, Unit::Exu), FaultEffect { bit: 0, stuck: false })
+            .unwrap();
+        let mut recovered = false;
+        for _ in 0..8 {
+            let events = engine.run_epoch(&mut sys).unwrap();
+            if events.iter().any(|e| matches!(e, EngineEvent::Transient { .. })) {
+                recovered = events
+                    .iter()
+                    .any(|e| matches!(e, EngineEvent::Recovered { rolled_back: true, .. }));
+                break;
+            }
+        }
+        assert!(recovered, "tainted pipeline was not rolled back after the transient");
+        for p in 0..6 {
+            let pipe = sys.pipeline(p).unwrap();
+            assert!(!pipe.tainted() && !pipe.crashed(), "pipeline {p} still corrupted");
+        }
+        assert!(engine.believed_faulty().is_empty(), "no hardware should be quarantined");
+    }
+
+    #[test]
+    fn corrupt_checkpoint_falls_back_to_restart_with_event() {
+        let cfg = R2d3Config {
+            t_epoch: 4_000,
+            t_test: 4_000,
+            checkpoint: Some(crate::checkpoint::CheckpointConfig {
+                interval_epochs: 2,
+                ..Default::default()
+            }),
+            ..Default::default()
+        };
+        let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
+        let mut sys = System3d::new(&sys_cfg);
+        for p in 0..6 {
+            sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
+        }
+        let mut engine = R2d3Engine::new(&cfg);
+        // Two clean epochs: epoch 2 is the commit boundary.
+        engine.run_epoch(&mut sys).unwrap();
+        engine.run_epoch(&mut sys).unwrap();
+        assert!(engine.has_committed_checkpoint(1));
+        // The slot rots in storage, then a transient forces a recovery of
+        // pipeline 1 before the next commit boundary can overwrite it.
+        assert!(engine.corrupt_checkpoint(1, 0xBAD5EED));
+        let dut = sys.fabric().stage_for(1, Unit::Exu).unwrap();
+        sys.inject_transient(dut, FaultEffect { bit: 0, stuck: false }).unwrap();
+
+        let events = engine.run_epoch(&mut sys).unwrap();
+        assert!(
+            events.iter().any(|e| matches!(e, EngineEvent::CheckpointCorrupt { pipe: 1 })),
+            "corrupt checkpoint never detected: {events:?}"
+        );
+        // The poisoned slot must not have been restored: the pipeline
+        // restarted from scratch instead, and the slot is gone.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, EngineEvent::Recovered { pipe: 1, rolled_back: false })));
+        assert!(!engine.has_committed_checkpoint(1));
+        assert_eq!(sys.pipeline(1).unwrap().retired(), 0);
+        assert!(!sys.pipeline(1).unwrap().tainted());
     }
 
     #[test]

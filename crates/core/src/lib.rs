@@ -56,11 +56,13 @@
 //! ```
 
 pub mod activity;
+pub mod campaign;
 pub mod checker;
 pub mod checkpoint;
 pub mod config;
 pub mod detect;
 pub mod engine;
+pub mod history;
 pub mod lifetime;
 pub mod policy;
 pub mod repair;
@@ -70,6 +72,7 @@ pub mod substrate;
 
 pub use config::R2d3Config;
 pub use engine::{EngineEvent, R2d3Engine};
+pub use history::{EscalationConfig, SymptomHistory};
 pub use lifetime::{LifetimeOutcome, LifetimeSim};
 pub use policy::PolicyKind;
 pub use substrate::{
@@ -91,6 +94,17 @@ pub enum EngineError {
     /// Substrate-specific failure (e.g. a gate-level fault referencing a
     /// net that does not exist in the stage netlist).
     Substrate(String),
+    /// A committed checkpoint failed its payload digest check at
+    /// recovery time; the slot has been invalidated and the pipeline
+    /// must be recovered some other way (typically a program restart).
+    CorruptCheckpoint {
+        /// Pipeline whose slot failed verification.
+        pipe: usize,
+        /// Digest recorded when the checkpoint was committed.
+        expected: u64,
+        /// Digest of the payload as found at recovery.
+        found: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -100,6 +114,11 @@ impl fmt::Display for EngineError {
             EngineError::Thermal(e) => write!(f, "thermal error: {e}"),
             EngineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             EngineError::Substrate(msg) => write!(f, "substrate error: {msg}"),
+            EngineError::CorruptCheckpoint { pipe, expected, found } => write!(
+                f,
+                "checkpoint for pipeline {pipe} is corrupt \
+                 (digest {found:#018x}, committed as {expected:#018x})"
+            ),
         }
     }
 }
@@ -109,7 +128,9 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Sim(e) => Some(e),
             EngineError::Thermal(e) => Some(e),
-            EngineError::InvalidConfig(_) | EngineError::Substrate(_) => None,
+            EngineError::InvalidConfig(_)
+            | EngineError::Substrate(_)
+            | EngineError::CorruptCheckpoint { .. } => None,
         }
     }
 }

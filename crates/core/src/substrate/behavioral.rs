@@ -94,6 +94,26 @@ impl ReliabilitySubstrate for System3d {
         System3d::inject_fault(self, stage, fault).map_err(EngineError::Sim)
     }
 
+    fn inject_permanent_seeded(&mut self, stage: StageId, seed: u64) -> Result<(), EngineError> {
+        // Low architectural bits toggle on almost every operation, so a
+        // stuck-at there manifests promptly under any workload.
+        let effect = FaultEffect { bit: (seed % 4) as u8, stuck: seed & 4 == 0 };
+        System3d::inject_fault(self, stage, effect).map_err(EngineError::Sim)
+    }
+
+    fn inject_transient_seeded(&mut self, stage: StageId, seed: u64) -> Result<(), EngineError> {
+        let effect = FaultEffect { bit: (seed % 8) as u8, stuck: seed & 8 == 0 };
+        System3d::inject_transient(self, stage, effect).map_err(EngineError::Sim)
+    }
+
+    fn checkpoint_digest(checkpoint: &PipelineCheckpoint) -> u64 {
+        checkpoint.digest()
+    }
+
+    fn corrupt_checkpoint(checkpoint: &mut PipelineCheckpoint, seed: u64) {
+        checkpoint.corrupt_bit(seed);
+    }
+
     fn stats(&self) -> &ActivityStats {
         System3d::stats(self)
     }

@@ -122,6 +122,30 @@ pub trait ReliabilitySubstrate {
     ///
     /// Returns an error for unknown stages or invalid fault descriptors.
     fn inject_fault(&mut self, stage: StageId, fault: Self::Fault) -> Result<(), EngineError>;
+    /// Injects a substrate-appropriate, strongly-manifesting permanent
+    /// fault derived from `seed` — the campaign harness's uniform fault
+    /// lever (an architectural low-bit stuck-at behaviorally, a stuck
+    /// observed-output net at gate level).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown stages.
+    fn inject_permanent_seeded(&mut self, stage: StageId, seed: u64) -> Result<(), EngineError>;
+    /// Arms a one-shot transient derived from `seed`: the next operation
+    /// `stage` performs is corrupted once, then the upset is consumed
+    /// (it does not recur under replay).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown stages.
+    fn inject_transient_seeded(&mut self, stage: StageId, seed: u64) -> Result<(), EngineError>;
+    /// Digest of a checkpoint's architectural payload; any flipped bit of
+    /// the snapshot must change the digest (checkpoint-store integrity).
+    fn checkpoint_digest(checkpoint: &Self::Checkpoint) -> u64;
+    /// Flips one seed-selected bit of a checkpoint's payload — the
+    /// campaign's model of checkpoint storage rot between commit and
+    /// recover. Ground-truth corruption only; the engine never calls it.
+    fn corrupt_checkpoint(checkpoint: &mut Self::Checkpoint, seed: u64);
     /// Per-stage busy-cycle accounting.
     fn stats(&self) -> &ActivityStats;
     /// Zeroes the busy-cycle accounting.

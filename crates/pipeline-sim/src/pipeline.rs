@@ -78,6 +78,45 @@ impl PipelineCheckpoint {
     pub fn retired(&self) -> u64 {
         self.retired
     }
+
+    /// FNV-1a digest over the full architectural payload (pc, registers,
+    /// memory, halt flag, retirement count). Any single flipped bit of
+    /// the snapshot changes the digest, which is what the checkpoint
+    /// store's integrity check needs.
+    #[must_use]
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut mix = |word: u64| {
+            for byte in word.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(u64::from(self.pc));
+        for r in &self.regs {
+            mix(u64::from(*r));
+        }
+        for w in &self.mem {
+            mix(u64::from(*w));
+        }
+        mix(u64::from(self.halted));
+        mix(self.retired);
+        h
+    }
+
+    /// Flips one seed-selected bit of the snapshot's payload — the
+    /// fault-injection model for checkpoint storage rot (campaign
+    /// harness ground truth; never called by the engine itself).
+    pub fn corrupt_bit(&mut self, seed: u64) {
+        let words = 1 + 32 + self.mem.len();
+        let target = (seed as usize) % words;
+        let bit = ((seed >> 32) % 32) as u32;
+        match target {
+            0 => self.pc ^= 1 << bit,
+            t if t <= 32 => self.regs[t - 1] ^= 1 << bit,
+            t => self.mem[t - 33] ^= 1 << bit,
+        }
+    }
 }
 
 /// A logical pipeline: ISA state, private L1 caches and timing counters.

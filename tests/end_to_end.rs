@@ -57,8 +57,7 @@ fn multiple_faults_across_layers_all_survive() {
     }
     let mut engine = R2d3Engine::new(&R2d3Config::default());
     for (layer, unit) in [(0, Unit::Exu), (1, Unit::Ifu), (2, Unit::Lsu), (3, Unit::Ffu)] {
-        sys.inject_fault(StageId::new(layer, unit), FaultEffect { bit: 1, stuck: false })
-            .unwrap();
+        sys.inject_fault(StageId::new(layer, unit), FaultEffect { bit: 1, stuck: false }).unwrap();
     }
 
     run_until_halted(&mut engine, &mut sys, 400);
@@ -66,9 +65,7 @@ fn multiple_faults_across_layers_all_survive() {
     // have zero intact cores among the first four — but the engine keeps
     // forming pipelines out of spares (layers 4..8).
     let finished = (0..4)
-        .filter(|&p| {
-            sys.pipeline(p).is_some_and(|x| x.halted() && kernel.verify(x.memory()))
-        })
+        .filter(|&p| sys.pipeline(p).is_some_and(|x| x.halted() && kernel.verify(x.memory())))
         .count();
     assert_eq!(finished, 4, "all pipelines must finish correctly despite 4 faults");
 }
@@ -85,8 +82,7 @@ fn transient_storm_classified_without_losing_stages() {
 
     for round in 0..6u64 {
         let stage = StageId::new((round % 6) as usize, Unit::Exu);
-        sys.inject_transient(stage, FaultEffect { bit: (round % 8) as u8, stuck: true })
-            .unwrap();
+        sys.inject_transient(stage, FaultEffect { bit: (round % 8) as u8, stuck: true }).unwrap();
         engine.run_epoch(&mut sys).unwrap();
     }
     // Soft errors must never cost hardware.
@@ -112,10 +108,7 @@ fn detection_is_concurrent_no_throughput_cost() {
     for p in 0..6 {
         managed.load_program(p, kernel.program().clone()).unwrap();
     }
-    let cfg = R2d3Config {
-        policy: r2d3::engine::PolicyKind::Static,
-        ..Default::default()
-    };
+    let cfg = R2d3Config { policy: r2d3::engine::PolicyKind::Static, ..Default::default() };
     let mut engine = R2d3Engine::new(&cfg);
     for _ in 0..6 {
         engine.run_epoch(&mut managed).unwrap();
@@ -147,6 +140,7 @@ fn rotation_preserves_architectural_results() {
         policy: r2d3::engine::PolicyKind::Lite,
         suspend_when_no_leftover: true,
         checkpoint: None,
+        ..Default::default()
     };
     let mut engine = R2d3Engine::new(&cfg);
     let events = run_until_halted(&mut engine, &mut sys, 100);
@@ -200,10 +194,7 @@ fn tlu_fault_detected_with_trap_workload() {
     sys.inject_fault(victim, FaultEffect { bit: 0, stuck: true }).unwrap();
 
     run_until_halted(&mut engine, &mut sys, 200);
-    assert!(
-        engine.believed_faulty().contains(&victim),
-        "trap workload must expose the TLU fault"
-    );
+    assert!(engine.believed_faulty().contains(&victim), "trap workload must expose the TLU fault");
     for p in 0..6 {
         let pipe = sys.pipeline(p).unwrap();
         assert!(pipe.halted(), "pipeline {p} unfinished");
@@ -222,19 +213,13 @@ fn checkpoint_recovery_loses_less_work_than_restart() {
         for p in 0..6 {
             sys.load_program(p, kernel.program().clone()).unwrap();
         }
-        let cfg = R2d3Config {
-            checkpoint,
-            t_epoch: 10_000,
-            t_test: 5_000,
-            ..Default::default()
-        };
+        let cfg = R2d3Config { checkpoint, t_epoch: 10_000, t_test: 5_000, ..Default::default() };
         let mut engine = R2d3Engine::new(&cfg);
         // Let several clean epochs commit checkpoints, then strike.
         for _ in 0..6 {
             engine.run_epoch(&mut sys).unwrap();
         }
-        sys.inject_fault(StageId::new(1, Unit::Exu), FaultEffect { bit: 0, stuck: true })
-            .unwrap();
+        sys.inject_fault(StageId::new(1, Unit::Exu), FaultEffect { bit: 0, stuck: true }).unwrap();
         run_until_halted(&mut engine, &mut sys, 400);
         for p in 0..6 {
             let pipe = sys.pipeline(p).unwrap();

@@ -26,9 +26,8 @@ fn engine_degrades_gracefully_under_accumulating_faults() {
     // core-level scheme loses a whole core per fault; stage-level
     // salvaging loses at most one pipeline per unit-type exhaustion.
     const PLAN_UNITS: [Unit; 4] = [Unit::Ifu, Unit::Exu, Unit::Lsu, Unit::Tlu];
-    let fault_plan: Vec<StageId> = (0..8)
-        .map(|layer| StageId::new(layer, PLAN_UNITS[layer % PLAN_UNITS.len()]))
-        .collect();
+    let fault_plan: Vec<StageId> =
+        (0..8).map(|layer| StageId::new(layer, PLAN_UNITS[layer % PLAN_UNITS.len()])).collect();
 
     let mut formed_history = Vec::new();
     for (step, &victim) in fault_plan.iter().enumerate() {
@@ -84,6 +83,61 @@ fn engine_degrades_gracefully_under_accumulating_faults() {
     }
 }
 
+/// A duty-cycled intermittent fault — a transient upset re-armed every
+/// other epoch — is "transient" to every individual TMR replay, yet the
+/// decaying symptom history must quarantine the stage within a bounded
+/// number of epochs, and the formed-pipeline count must step down once
+/// and stay there (no flapping between quarantine and reinstatement).
+#[test]
+fn intermittent_fault_is_quarantined_without_capacity_oscillation() {
+    let config = SystemConfig { pipelines: 8, ..Default::default() };
+    let mut sys = System3d::new(&config);
+    for p in 0..8 {
+        sys.load_program(p, trap_mix(2048, p as u64 + 1).program().clone()).unwrap();
+    }
+    // Epoch-length test windows so every upset lands inside the compared
+    // window of the epoch it fires in.
+    let engine_cfg = R2d3Config { t_epoch: 4_000, t_test: 4_000, ..Default::default() };
+    let mut engine = R2d3Engine::new(&engine_cfg);
+
+    let flaky = StageId::new(2, Unit::Exu);
+    const PERIOD: u64 = 2; // fails one epoch in two
+    const HORIZON: u64 = 40;
+
+    let mut formed_history = Vec::new();
+    let mut quarantined_at = None;
+    for epoch in 0..HORIZON {
+        if epoch % PERIOD == 0 && !engine.believed_faulty().contains(&flaky) {
+            sys.inject_transient(flaky, FaultEffect { bit: 0, stuck: false }).unwrap();
+        }
+        engine.run_epoch(&mut sys).unwrap();
+        for p in 0..8 {
+            if sys.pipeline(p).is_some_and(r2d3::pipeline_sim::LogicalPipeline::halted) {
+                sys.restart_program(p).unwrap();
+            }
+        }
+        formed_history.push(sys.fabric().complete_pipelines());
+        if quarantined_at.is_none() && engine.believed_faulty().contains(&flaky) {
+            quarantined_at = Some(epoch);
+        }
+    }
+
+    let quarantined_at = quarantined_at.expect("intermittent fault never quarantined");
+    assert!(quarantined_at < 32, "escalation too slow: quarantined at epoch {quarantined_at}");
+    // Only the genuinely flaky stage was condemned.
+    assert_eq!(engine.believed_faulty().len(), 1);
+    assert!(engine.believed_faulty().contains(&flaky));
+
+    // Capacity is monotone non-increasing — the engine never reinstates
+    // the flaky stage during its quiet epochs and re-quarantines it later.
+    for w in formed_history.windows(2) {
+        assert!(w[1] <= w[0], "formed-pipeline count oscillated: {formed_history:?}");
+    }
+    // 8 pipelines on 8 layers: losing one EXU costs exactly one pipeline.
+    assert_eq!(*formed_history.last().unwrap(), 7);
+    assert_eq!(*formed_history.first().unwrap(), 8);
+}
+
 /// Exhausting a single unit type kills capacity unit-by-unit.
 #[test]
 fn unit_type_exhaustion_bounds_capacity() {
@@ -131,9 +185,6 @@ fn unit_type_exhaustion_bounds_capacity() {
     }
     // Nothing silently corrupted: every believed-faulty stage is isolated.
     for s in engine.believed_faulty() {
-        assert!(matches!(
-            sys.health(*s),
-            StageHealth::Faulty(_) | StageHealth::PoweredOff
-        ));
+        assert!(matches!(sys.health(*s), StageHealth::Faulty(_) | StageHealth::PoweredOff));
     }
 }
