@@ -16,6 +16,10 @@
 //! - **Substrate**: the same detect → diagnose → repair scenario driven
 //!   by one engine over the behavioral and gate-level substrates, with
 //!   epoch throughput for both and the verdicts asserted identical.
+//! - **Telemetry**: the same repair scenario with the compiled-away
+//!   `NullSink` vs a recording `RingSink` — the overhead budget (<5 %
+//!   target) and the metrics-identity determinism check, plus the
+//!   detection-latency and replay-count histograms.
 //! - **Thermal**: sweeps-to-convergence of a warm-started SOR solve vs a
 //!   cold solve, for both a perturbed power map and an exact re-solve.
 //!
@@ -96,7 +100,7 @@ fn thermal_solve(c: &mut Criterion) {
 
 fn substrate_epoch(c: &mut Criterion) {
     let mut sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine = R2d3Engine::builder().build().unwrap();
     let cycles = R2d3Config::default().t_epoch;
     let mut group = c.benchmark_group("substrate");
     group.throughput(Throughput::Elements(cycles * sub.pipeline_count() as u64));
@@ -300,10 +304,10 @@ fn drive_scenario<S: ReliabilitySubstrate>(
     victim: StageId,
     max_epochs: usize,
 ) -> (usize, bool) {
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine = R2d3Engine::builder().build().unwrap();
     for epoch in 1..=max_epochs {
         engine.run_epoch(sys).expect("epoch");
-        if engine.believed_faulty().contains(&victim) {
+        if engine.is_believed_faulty(victim) {
             return (epoch, true);
         }
     }
@@ -365,6 +369,73 @@ fn substrate_report(json: &mut String) {
     ));
 }
 
+fn telemetry_report(json: &mut String) {
+    use r2d3_core::telemetry::RingSink;
+
+    let victim = StageId::new(2, Unit::Exu);
+    let epochs = 8usize;
+
+    let make_sys = || {
+        let mut sys = System3d::new(&SystemConfig { pipelines: 6, ..Default::default() });
+        for p in 0..6 {
+            sys.load_program(p, gemv(32, 32, 7).program().clone()).unwrap();
+        }
+        sys.inject_fault(victim, FaultEffect { bit: 0, stuck: true }).unwrap();
+        sys
+    };
+
+    // Same scenario, compiled-away NullSink vs a recording RingSink.
+    let (null_metrics, null_secs) = time_best(5, || {
+        let mut sys = make_sys();
+        let mut engine = R2d3Engine::builder().build().unwrap();
+        for _ in 0..epochs {
+            engine.run_epoch(&mut sys).unwrap();
+        }
+        engine.metrics()
+    });
+    let ((ring_metrics, events), ring_secs) = time_best(5, || {
+        let mut sys = make_sys();
+        let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build().unwrap();
+        for _ in 0..epochs {
+            engine.run_epoch(&mut sys).unwrap();
+        }
+        (engine.metrics(), engine.telemetry().len())
+    });
+
+    // The determinism contract, timed: recording must not perturb the
+    // engine's observable behavior.
+    assert_eq!(null_metrics, ring_metrics, "metrics identical with and without telemetry");
+    assert!(events > 0, "the recording run must have captured events");
+
+    let overhead_pct = 100.0 * (ring_secs - null_secs) / null_secs;
+    println!(
+        "perf telemetry: {epochs} epochs — NullSink {null_secs:.3}s, \
+         RingSink {ring_secs:.3}s ({events} events, {overhead_pct:+.1}% overhead)"
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"telemetry\": {{\n",
+            "    \"scenario\": \"exu_l2_stuck_at_1_detect_diagnose_repair\",\n",
+            "    \"epochs\": {},\n",
+            "    \"null_sink_secs\": {:.6},\n",
+            "    \"ring_sink_secs\": {:.6},\n",
+            "    \"overhead_pct\": {:.2},\n",
+            "    \"events_recorded\": {},\n",
+            "    \"metrics_identical\": true,\n",
+            "    \"detection_latency\": {},\n",
+            "    \"replay_count\": {}\n",
+            "  }},\n"
+        ),
+        epochs,
+        null_secs,
+        ring_secs,
+        overhead_pct,
+        events,
+        ring_metrics.detection_latency.to_json(),
+        ring_metrics.replay_count.to_json(),
+    ));
+}
+
 fn thermal_report(json: &mut String) {
     let fp = Floorplan::opensparc_3d(8);
     let grid = ThermalGrid::new(&fp, &GridConfig { nx: 8, ny: 6, ..Default::default() });
@@ -411,6 +482,7 @@ fn main() {
     fault_campaign_report(&mut json);
     lifetime_report(&mut json);
     substrate_report(&mut json);
+    telemetry_report(&mut json);
     thermal_report(&mut json);
     json.push_str("}\n");
 

@@ -1,40 +1,26 @@
 //! Subcommand implementations.
+//!
+//! Every subcommand declares its arguments through [`crate::args`], so
+//! flag spelling, error wording and `--help` pages stay uniform across
+//! `run`/`inject`/`campaign`/`atpg`/`lifetime`/`thermal`/`trace`.
 
+use crate::args::{parse_substrate, Command, SubstrateChoice};
 use r2d3_core::engine::{EngineEvent, R2d3Engine};
 use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
 use r2d3_core::policy::PolicyKind;
 use r2d3_core::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
-use r2d3_core::R2d3Config;
+use r2d3_core::telemetry::{
+    chrome_trace, json_lines, lifetime_counter_trace, validate_chrome_trace, validate_json_lines,
+    ChromeTrace, RingSink, TelemetryRecord,
+};
 use r2d3_isa::kernels::{gemv, KernelKind};
 use r2d3_isa::text::parse_program;
 use r2d3_isa::Unit;
 use r2d3_pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
 use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
+use std::fmt::Write as _;
 
 pub type CliResult = Result<(), Box<dyn std::error::Error>>;
-
-/// Pulls `--name value` out of an argument list; returns remaining
-/// positional arguments.
-fn parse_flags<'a>(
-    args: &'a [String],
-    flags: &mut [(&str, &mut Option<&'a str>)],
-) -> Result<Vec<&'a str>, String> {
-    let mut positional = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        if let Some(name) = arg.strip_prefix("--") {
-            let slot = flags
-                .iter_mut()
-                .find(|(n, _)| *n == name)
-                .ok_or_else(|| format!("unknown flag --{name}"))?;
-            let value = it.next().ok_or_else(|| format!("--{name} needs a value"))?;
-            *slot.1 = Some(value);
-        } else {
-            positional.push(arg.as_str());
-        }
-    }
-    Ok(positional)
-}
 
 fn parse_unit(token: &str) -> Result<Unit, String> {
     Unit::ALL
@@ -44,13 +30,30 @@ fn parse_unit(token: &str) -> Result<Unit, String> {
         .ok_or_else(|| format!("unknown unit `{token}` (IFU/EXU/LSU/TLU/FFU)"))
 }
 
+/// Builds the 6-pipeline behavioral system with the standard GEMV
+/// workload loaded everywhere (the canonical detection traffic).
+fn standard_system(seed: u64) -> Result<System3d, Box<dyn std::error::Error>> {
+    let config = SystemConfig { pipelines: 6, ..Default::default() };
+    let mut sys = System3d::new(&config);
+    let kernel = gemv(32, 32, seed);
+    for p in 0..6 {
+        sys.load_program(p, kernel.program().clone())?;
+    }
+    Ok(sys)
+}
+
 /// `r2d3 run <file.s>`
 pub fn run(args: &[String]) -> CliResult {
-    let (mut pipes, mut cycles) = (None, None);
-    let pos = parse_flags(args, &mut [("pipes", &mut pipes), ("cycles", &mut cycles)])?;
-    let path = pos.first().ok_or("run needs a .s file")?;
-    let pipes: usize = pipes.map_or(Ok(1), str::parse)?;
-    let cycles: u64 = cycles.map_or(Ok(1_000_000), str::parse)?;
+    let cmd = Command::new("run", "assemble a .s program and run it on the 3D system")
+        .positional("file.s", "assembly source file")
+        .flag("pipes", "N", "logical pipelines to load (1..8)")
+        .flag("cycles", "N", "cycles to simulate");
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let path = p.positional(0);
+    let pipes: usize = p.get_or("pipes", 1)?;
+    let cycles: u64 = p.get_or("cycles", 1_000_000)?;
 
     let source = std::fs::read_to_string(path)?;
     let program = parse_program(&source)?;
@@ -89,26 +92,40 @@ pub fn run(args: &[String]) -> CliResult {
 
 /// `r2d3 inject <unit> <layer>`
 pub fn inject(args: &[String]) -> CliResult {
-    let (mut bit, mut substrate) = (None, None);
-    let pos = parse_flags(args, &mut [("bit", &mut bit), ("substrate", &mut substrate)])?;
-    let unit = parse_unit(pos.first().ok_or("inject needs a unit (e.g. EXU)")?)?;
-    let layer: usize = pos.get(1).ok_or("inject needs a layer (0..8)")?.parse()?;
-    let bit: u8 = bit.map_or(Ok(0), str::parse)?;
+    let cmd = Command::new("inject", "inject a permanent fault and watch the engine repair it")
+        .positional("unit", "pipeline unit: IFU|EXU|LSU|TLU|FFU")
+        .positional("layer", "stack layer of the victim stage (0..8)")
+        .flag("bit", "B", "output bit the fault sticks at 1")
+        .substrate_flag(false)
+        .seed_flag()
+        .epochs_flag()
+        .metrics_out_flag()
+        .trace_out_flag();
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let unit = parse_unit(p.positional(0))?;
+    let layer: usize = p
+        .positional(1)
+        .parse()
+        .map_err(|_| format!("invalid layer `{}` (expected 0..8)", p.positional(1)))?;
+    let bit: u8 = p.get_or("bit", 0)?;
+    let seed: u64 = p.get_or("seed", 7)?;
+    let opts = DriveOpts {
+        epochs: p.get_or("epochs", 64)?,
+        metrics_out: p.get("metrics-out"),
+        trace_out: p.get("trace-out"),
+    };
     let victim = StageId::new(layer, unit);
 
-    match substrate.unwrap_or("behavioral") {
-        "behavioral" => {
-            let config = SystemConfig { pipelines: 6, ..Default::default() };
-            let mut sys = System3d::new(&config);
-            let kernel = gemv(32, 32, 7);
-            for p in 0..6 {
-                sys.load_program(p, kernel.program().clone())?;
-            }
+    match parse_substrate(p.get("substrate"), SubstrateChoice::Behavioral, false)? {
+        SubstrateChoice::Behavioral => {
+            let mut sys = standard_system(seed)?;
             sys.inject_fault(victim, FaultEffect { bit, stuck: true })?;
             println!("behavioral substrate: stuck-at-1 (bit {bit}) into {victim}; running epochs…");
-            drive_repair(&mut sys, victim)
+            drive_repair(&mut sys, victim, &opts)
         }
-        "netlist" => {
+        SubstrateChoice::Netlist => {
             let mut sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
             let fault = sub.output_fault(unit, bit as usize, true);
             sub.inject_fault(victim, fault)?;
@@ -117,17 +134,30 @@ pub fn inject(args: &[String]) -> CliResult {
                 fault.net.index(),
                 unit
             );
-            drive_repair(&mut sub, victim)
+            drive_repair(&mut sub, victim, &opts)
         }
-        other => Err(format!("unknown substrate `{other}` (behavioral|netlist)").into()),
+        SubstrateChoice::Both => unreachable!("rejected by parse_substrate"),
     }
 }
 
+/// Telemetry destinations for an engine-driving command.
+struct DriveOpts<'a> {
+    epochs: u64,
+    metrics_out: Option<&'a str>,
+    trace_out: Option<&'a str>,
+}
+
 /// Drives the engine's detect → diagnose → repair loop on any substrate,
-/// narrating events until the victim stage is diagnosed.
-fn drive_repair<S: ReliabilitySubstrate>(sys: &mut S, victim: StageId) -> CliResult {
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
-    for epoch in 1..=64 {
+/// narrating events until the victim stage is diagnosed, then writes the
+/// requested telemetry artifacts.
+fn drive_repair<S: ReliabilitySubstrate>(
+    sys: &mut S,
+    victim: StageId,
+    opts: &DriveOpts,
+) -> CliResult {
+    let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build()?;
+    let mut diagnosed = false;
+    for epoch in 1..=opts.epochs {
         let events = engine.run_epoch(sys)?;
         for e in &events {
             match e {
@@ -143,59 +173,61 @@ fn drive_repair<S: ReliabilitySubstrate>(sys: &mut S, victim: StageId) -> CliRes
                 other => println!("epoch {epoch:>2}: {other:?}"),
             }
         }
-        if engine.believed_faulty().contains(&victim) {
-            println!("\ndiagnosis complete; believed-faulty = {:?}", engine.believed_faulty());
-            if let Some(stats) = engine.checkpoint_stats() {
-                println!(
-                    "recovery: {} rollback(s), {} restart(s), {} instructions of work lost",
-                    stats.restores, stats.restarts, stats.lost_instructions
-                );
-            }
-            return Ok(());
+        if engine.is_believed_faulty(victim) {
+            diagnosed = true;
+            break;
         }
     }
-    println!("fault did not manifest within 64 epochs (data-dependent masking)");
+
+    let metrics = engine.metrics();
+    if diagnosed {
+        println!("\ndiagnosis complete; believed-faulty = {:?}", metrics.believed_faulty);
+        if let Some(stats) = metrics.checkpoints {
+            println!(
+                "recovery: {} rollback(s), {} restart(s), {} instructions of work lost",
+                stats.restores, stats.restarts, stats.lost_instructions
+            );
+        }
+    } else {
+        println!("fault did not manifest within {} epochs (data-dependent masking)", opts.epochs);
+    }
+    if let Some(path) = opts.metrics_out {
+        std::fs::write(path, metrics.to_json())?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = opts.trace_out {
+        std::fs::write(path, chrome_trace(&engine.telemetry().records(), sys.name()))?;
+        eprintln!("trace written to {path} (load in Perfetto)");
+    }
     Ok(())
 }
 
-/// `r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both] [--smoke] [--out FILE]`
+/// `r2d3 campaign`
 pub fn campaign(args: &[String]) -> CliResult {
     use r2d3_core::campaign::{
-        render_report, run_campaign, CampaignConfig, Outcome, SubstrateKind,
+        render_report, run_campaign, run_campaign_traced, CampaignConfig, Outcome, SubstrateKind,
     };
 
-    // `--smoke` is a bare switch; everything else is `--flag value`.
-    let mut smoke = false;
-    let args: Vec<String> = args
-        .iter()
-        .filter(|a| {
-            let is_smoke = *a == "--smoke";
-            smoke |= is_smoke;
-            !is_smoke
-        })
-        .cloned()
-        .collect();
-    let (mut seed, mut scenarios, mut substrate, mut out) = (None, None, None, None);
-    parse_flags(
-        &args,
-        &mut [
-            ("seed", &mut seed),
-            ("scenarios", &mut scenarios),
-            ("substrate", &mut substrate),
-            ("out", &mut out),
-        ],
-    )?;
-    let substrates = match substrate.unwrap_or("both") {
-        "behavioral" => vec![SubstrateKind::Behavioral],
-        "netlist" => vec![SubstrateKind::Netlist],
-        "both" => vec![SubstrateKind::Behavioral, SubstrateKind::Netlist],
-        other => {
-            return Err(format!("unknown substrate `{other}` (behavioral|netlist|both)").into())
-        }
+    let cmd = Command::new("campaign", "adversarial fault-injection sweep over both substrates")
+        .seed_flag()
+        .flag("scenarios", "N", "scenarios per substrate")
+        .substrate_flag(true)
+        .out_flag("report")
+        .switch("smoke", "small CI-sized sweep (27 scenarios)")
+        .metrics_out_flag()
+        .trace_out_flag();
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let smoke = p.has("smoke");
+    let substrates = match parse_substrate(p.get("substrate"), SubstrateChoice::Both, true)? {
+        SubstrateChoice::Behavioral => vec![SubstrateKind::Behavioral],
+        SubstrateChoice::Netlist => vec![SubstrateKind::Netlist],
+        SubstrateChoice::Both => vec![SubstrateKind::Behavioral, SubstrateKind::Netlist],
     };
     let config = CampaignConfig {
-        seed: seed.map_or(Ok(0xCA3A), str::parse)?,
-        scenarios_per_substrate: scenarios.map_or(Ok(if smoke { 27 } else { 256 }), str::parse)?,
+        seed: p.get_or("seed", 0xCA3A)?,
+        scenarios_per_substrate: p.get_or("scenarios", if smoke { 27 } else { 256 })?,
         substrates,
         ..Default::default()
     };
@@ -206,7 +238,19 @@ pub fn campaign(args: &[String]) -> CliResult {
         config.scenarios_per_substrate,
         config.substrates.len()
     );
-    let report = run_campaign(&config);
+    let report = if let Some(path) = p.get("trace-out") {
+        let (report, traces) = run_campaign_traced(&config);
+        let mut trace = ChromeTrace::new();
+        for (i, t) in traces.iter().enumerate() {
+            let name = format!("{}:scenario-{}", t.substrate, t.scenario);
+            trace.add_process(i as u32 + 1, &name, &t.records);
+        }
+        std::fs::write(path, trace.finish())?;
+        eprintln!("  trace written to {path} (load in Perfetto)");
+        report
+    } else {
+        run_campaign(&config)
+    };
     for sub in &report.substrates {
         eprintln!(
             "  {:>10}: {} scenarios — {} benign, {} detected+repaired, \
@@ -221,8 +265,13 @@ pub fn campaign(args: &[String]) -> CliResult {
         );
     }
 
+    if let Some(path) = p.get("metrics-out") {
+        std::fs::write(path, render_campaign_metrics(&report))?;
+        eprintln!("  metrics written to {path}");
+    }
+
     let json = render_report(&report);
-    match out {
+    match p.get("out") {
         Some(path) => {
             std::fs::write(path, &json)?;
             eprintln!("  report written to {path}");
@@ -240,6 +289,105 @@ pub fn campaign(args: &[String]) -> CliResult {
     Ok(())
 }
 
+/// Per-substrate sweep metrics as a standalone deterministic document.
+fn render_campaign_metrics(report: &r2d3_core::campaign::CampaignReport) -> String {
+    let mut out = String::from("{\n  \"substrates\": [\n");
+    for (i, sub) in report.substrates.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"substrate\": \"{}\", \"detections\": {}, \"replays\": {}, \
+             \"detection_latency\": {}, \"replay_count\": {}}}",
+            sub.substrate,
+            sub.metrics.detections,
+            sub.metrics.replays,
+            sub.metrics.detection_latency.to_json(),
+            sub.metrics.replay_count.to_json()
+        );
+        out.push_str(if i + 1 < report.substrates.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// `r2d3 trace`
+pub fn trace(args: &[String]) -> CliResult {
+    let cmd =
+        Command::new("trace", "record a canonical detect → diagnose → repair scenario as a trace")
+            .substrate_flag(false)
+            .seed_flag()
+            .epochs_flag()
+            .flag("format", "NAME", "output format: chrome|jsonl")
+            .out_flag("trace")
+            .flag("check", "FILE", "validate an existing trace file and exit");
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+
+    if let Some(path) = p.get("check") {
+        return check_trace(path);
+    }
+
+    let seed: u64 = p.get_or("seed", 7)?;
+    let epochs: u64 = p.get_or("epochs", 24)?;
+    let victim = StageId::new(2, Unit::Exu);
+    let (records, substrate) =
+        match parse_substrate(p.get("substrate"), SubstrateChoice::Behavioral, false)? {
+            SubstrateChoice::Behavioral => {
+                (record_scenario(standard_system(seed)?, victim, seed, epochs)?, "behavioral")
+            }
+            SubstrateChoice::Netlist => {
+                let sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+                (record_scenario(sub, victim, seed, epochs)?, "netlist")
+            }
+            SubstrateChoice::Both => unreachable!("rejected by parse_substrate"),
+        };
+
+    let text = match p.get("format").unwrap_or("chrome") {
+        "chrome" => chrome_trace(&records, substrate),
+        "jsonl" => json_lines(&records),
+        other => return Err(format!("unknown format `{other}` (chrome|jsonl)").into()),
+    };
+    match p.get("out") {
+        Some(path) => {
+            std::fs::write(path, &text)?;
+            eprintln!("{} telemetry records written to {path}", records.len());
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Runs the canonical single-permanent-fault scenario with a recording
+/// sink and returns the telemetry it produced.
+fn record_scenario<S: ReliabilitySubstrate>(
+    mut sys: S,
+    victim: StageId,
+    seed: u64,
+    epochs: u64,
+) -> Result<Vec<TelemetryRecord>, Box<dyn std::error::Error>> {
+    sys.inject_permanent_seeded(victim, seed)?;
+    let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build()?;
+    for _ in 0..epochs {
+        engine.run_epoch(&mut sys)?;
+    }
+    Ok(engine.telemetry().records())
+}
+
+/// Validates a trace file emitted by any `--trace-out` (Chrome format)
+/// or `trace --format jsonl` (JSON lines).
+fn check_trace(path: &str) -> CliResult {
+    let text = std::fs::read_to_string(path)?;
+    // Both formats open with `{`; only the Chrome envelope opens with
+    // its mandatory `traceEvents` key. JSON-lines records never do.
+    let (kind, events) = if text.trim_start().starts_with("{\"traceEvents\"") {
+        ("Chrome trace", validate_chrome_trace(&text)?)
+    } else {
+        ("JSON lines", validate_json_lines(&text)?)
+    };
+    println!("{path}: valid {kind} ({events} events)");
+    Ok(())
+}
+
 /// `r2d3 atpg`
 pub fn atpg(args: &[String]) -> CliResult {
     use r2d3_atpg::campaign::{run_campaign, CampaignConfig};
@@ -248,11 +396,14 @@ pub fn atpg(args: &[String]) -> CliResult {
     use r2d3_atpg::report::unit_report;
     use r2d3_netlist::stages::{all_stage_netlists, StageSizing};
 
-    let (mut patterns, mut podem) = (None, None);
-    let pos = parse_flags(args, &mut [("patterns", &mut patterns), ("podem", &mut podem)])?;
-    let _ = pos;
-    let patterns: usize = patterns.map_or(Ok(8192), str::parse)?;
-    let use_podem = podem.map_or(Ok(false), str::parse)?;
+    let cmd = Command::new("atpg", "stuck-at coverage per pipeline-unit netlist")
+        .flag("patterns", "N", "random patterns per unit")
+        .switch("podem", "run PODEM cleanup on random-resistant faults");
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let patterns: usize = p.get_or("patterns", 8192)?;
+    let use_podem = p.has("podem");
 
     println!(
         "stuck-at campaign: {patterns} random patterns{}",
@@ -285,30 +436,36 @@ pub fn atpg(args: &[String]) -> CliResult {
 
 /// `r2d3 lifetime`
 pub fn lifetime(args: &[String]) -> CliResult {
-    let (mut policy, mut months, mut workload) = (None, None, None);
-    parse_flags(
-        args,
-        &mut [("policy", &mut policy), ("months", &mut months), ("workload", &mut workload)],
-    )?;
-    let policy = match policy.unwrap_or("pro") {
+    let cmd = Command::new("lifetime", "NBTI-aware lifetime trajectory (Fig. 5)")
+        .flag("policy", "P", "rotation policy: norecon|static|lite|pro")
+        .flag("months", "N", "months to simulate (paper: 96)")
+        .flag("workload", "K", "workload kernel: gemm|gemv|fft")
+        .seed_flag()
+        .metrics_out_flag()
+        .trace_out_flag();
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let policy = match p.get("policy").unwrap_or("pro") {
         "norecon" => PolicyKind::NoRecon,
         "static" => PolicyKind::Static,
         "lite" => PolicyKind::Lite,
         "pro" => PolicyKind::Pro,
-        other => return Err(format!("unknown policy `{other}`").into()),
+        other => return Err(format!("unknown policy `{other}` (norecon|static|lite|pro)").into()),
     };
-    let months: usize = months.map_or(Ok(96), str::parse)?;
-    let workload = match workload.unwrap_or("gemm") {
+    let months: usize = p.get_or("months", 96)?;
+    let workload = match p.get("workload").unwrap_or("gemm") {
         "gemm" => KernelKind::Gemm,
         "gemv" => KernelKind::Gemv,
         "fft" => KernelKind::Fft,
-        other => return Err(format!("unknown workload `{other}`").into()),
+        other => return Err(format!("unknown workload `{other}` (gemm|gemv|fft)").into()),
     };
 
     let config = LifetimeConfig {
         months,
         replicas: 6,
         mttf_trials: 200,
+        seed: p.get_or("seed", 0x52D3)?,
         grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
         ..LifetimeConfig::new(policy, workload.core_demand_fraction(), workload.activity_weight())
     };
@@ -322,14 +479,38 @@ pub fn lifetime(args: &[String]) -> CliResult {
             m, s.max_vth[m], s.mttf_months[m], s.norm_ipc[m], s.hottest_layer_temp[m]
         );
     }
+    if let Some(path) = p.get("metrics-out") {
+        let last = months - 1;
+        let mut json = String::from("{\n");
+        let _ = writeln!(json, "  \"policy\": \"{policy}\",");
+        let _ = writeln!(json, "  \"months\": {months},");
+        let _ = writeln!(json, "  \"final_max_vth\": {},", s.max_vth[last]);
+        let _ = writeln!(json, "  \"final_mttf_months\": {},", s.mttf_months[last]);
+        let _ = writeln!(json, "  \"final_norm_ipc\": {},", s.norm_ipc[last]);
+        let _ = writeln!(json, "  \"final_active_pipelines\": {},", s.active_pipelines[last]);
+        let _ = writeln!(json, "  \"final_hottest_layer_temp\": {}", s.hottest_layer_temp[last]);
+        json.push_str("}\n");
+        std::fs::write(path, json)?;
+        eprintln!("metrics written to {path}");
+    }
+    if let Some(path) = p.get("trace-out") {
+        std::fs::write(path, lifetime_counter_trace(s))?;
+        eprintln!("counter trace written to {path} (load in Perfetto)");
+    }
     Ok(())
 }
 
 /// `r2d3 thermal`
 pub fn thermal(args: &[String]) -> CliResult {
-    let mut active = None;
-    parse_flags(args, &mut [("active", &mut active)])?;
-    let active: usize = active.map_or(Ok(8), str::parse)?;
+    let cmd = Command::new("thermal", "steady-state stack heat map").flag(
+        "active",
+        "N",
+        "powered layers (1..8)",
+    );
+    let Some(parsed) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let active: usize = parsed.get_or("active", 8)?;
 
     let fp = Floorplan::opensparc_3d(8);
     let grid = ThermalGrid::new(&fp, &GridConfig::default());
@@ -387,38 +568,21 @@ pub fn info() -> CliResult {
 mod tests {
     use super::*;
 
-    fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| (*s).to_string()).collect()
-    }
-
-    #[test]
-    fn flags_and_positionals_separate() {
-        let a = args(&["file.s", "--pipes", "4", "--cycles", "100"]);
-        let (mut pipes, mut cycles) = (None, None);
-        let pos = parse_flags(&a, &mut [("pipes", &mut pipes), ("cycles", &mut cycles)]).unwrap();
-        assert_eq!(pos, vec!["file.s"]);
-        assert_eq!(pipes, Some("4"));
-        assert_eq!(cycles, Some("100"));
-    }
-
-    #[test]
-    fn unknown_flag_is_an_error() {
-        let a = args(&["--bogus", "1"]);
-        let err = parse_flags(&a, &mut []).unwrap_err();
-        assert!(err.contains("bogus"));
-    }
-
-    #[test]
-    fn missing_value_is_an_error() {
-        let a = args(&["--pipes"]);
-        let mut pipes = None;
-        assert!(parse_flags(&a, &mut [("pipes", &mut pipes)]).is_err());
-    }
-
     #[test]
     fn unit_names_parse_case_insensitively() {
         assert_eq!(parse_unit("exu").unwrap(), Unit::Exu);
         assert_eq!(parse_unit("LSU").unwrap(), Unit::Lsu);
         assert!(parse_unit("XYZ").is_err());
+    }
+
+    #[test]
+    fn trace_round_trips_through_its_own_validator() {
+        let records =
+            record_scenario(standard_system(7).unwrap(), StageId::new(2, Unit::Exu), 7, 6).unwrap();
+        assert!(!records.is_empty());
+        let chrome = chrome_trace(&records, "behavioral");
+        assert!(validate_chrome_trace(&chrome).unwrap() > 0);
+        let jsonl = json_lines(&records);
+        assert_eq!(validate_json_lines(&jsonl).unwrap(), records.len());
     }
 }

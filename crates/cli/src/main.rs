@@ -3,17 +3,24 @@
 //! ```text
 //! r2d3 run <file.s> [--pipes N] [--cycles N]   assemble + run on the 8-core sim
 //! r2d3 inject <unit> <layer> [--bit B] [--substrate behavioral|netlist]
+//!             [--seed S] [--epochs N] [--metrics-out FILE] [--trace-out FILE]
 //!                                              fault scenario with the engine
-//! r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both] [--smoke] [--out FILE]
+//! r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both]
+//!               [--smoke] [--out FILE] [--metrics-out FILE] [--trace-out FILE]
 //!                                              adversarial fault-injection sweep
+//! r2d3 trace [--format chrome|jsonl] [--out FILE] | [--check FILE]
+//!                                              record / validate telemetry traces
 //! r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per unit
 //! r2d3 lifetime [--policy P] [--months N]      8-year lifetime trajectory
 //! r2d3 thermal [--active N]                    steady-state stack heat map
 //! r2d3 info                                    physical design summary
 //! ```
+//!
+//! Every subcommand also answers `--help` with its full flag list.
 
 use std::process::ExitCode;
 
+mod args;
 mod commands;
 
 fn main() -> ExitCode {
@@ -22,6 +29,7 @@ fn main() -> ExitCode {
         Some("run") => commands::run(&args[1..]),
         Some("inject") => commands::inject(&args[1..]),
         Some("campaign") => commands::campaign(&args[1..]),
+        Some("trace") => commands::trace(&args[1..]),
         Some("atpg") => commands::atpg(&args[1..]),
         Some("lifetime") => commands::lifetime(&args[1..]),
         Some("thermal") => commands::thermal(&args[1..]),
@@ -52,12 +60,18 @@ fn print_usage() {
          USAGE:\n\
          \x20 r2d3 run <file.s> [--pipes N] [--cycles N]   assemble and run a program\n\
          \x20 r2d3 inject <unit> <layer> [--bit B] [--substrate behavioral|netlist]\n\
+         \x20            [--seed S] [--epochs N] [--metrics-out FILE] [--trace-out FILE]\n\
          \x20                                              inject a fault; watch the engine repair\n\
-         \x20 r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both] [--smoke] [--out FILE]\n\
+         \x20 r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both]\n\
+         \x20               [--smoke] [--out FILE] [--metrics-out FILE] [--trace-out FILE]\n\
          \x20                                              adversarial fault-injection campaign\n\
+         \x20 r2d3 trace [--format chrome|jsonl] [--out FILE] | [--check FILE]\n\
+         \x20                                              record or validate a telemetry trace\n\
          \x20 r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per pipeline unit\n\
          \x20 r2d3 lifetime [--policy P] [--months N]      lifetime trajectory (P: norecon|static|lite|pro)\n\
          \x20 r2d3 thermal [--active N]                    steady-state stack temperatures\n\
-         \x20 r2d3 info                                    physical design summary (Table III)\n"
+         \x20 r2d3 info                                    physical design summary (Table III)\n\
+         \n\
+         Run `r2d3 <command> --help` for the full flag list of any command.\n"
     );
 }

@@ -233,6 +233,10 @@ impl<S: ReliabilitySubstrate> ReliabilitySubstrate for Adversary<S> {
     fn reset_stats(&mut self) {
         self.inner.reset_stats();
     }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
 }
 
 #[cfg(test)]

@@ -42,8 +42,9 @@ mod shrink;
 pub use adversary::Adversary;
 pub use report::render_report;
 pub use runner::{
-    campaign_engine_config, run_campaign, run_substrate_sweep, CampaignConfig, CampaignReport,
-    EventCounts, Outcome, ScenarioResult, SubstrateKind, SubstrateReport,
+    campaign_engine_config, run_campaign, run_campaign_traced, run_substrate_sweep, CampaignConfig,
+    CampaignReport, CampaignTrace, EventCounts, Outcome, ScenarioResult, SubstrateKind,
+    SubstrateReport, SweepMetrics,
 };
 pub use scenario::{
     generate_scenarios, truth_defective, FaultKind, FaultScenario, Injection, ScenarioSpace,

@@ -55,6 +55,16 @@ fn render_substrate(out: &mut String, sub: &SubstrateReport) {
     render_counts(out, &sub.total_counts());
     out.push_str(",\n");
 
+    let _ = writeln!(
+        out,
+        "      \"metrics\": {{\"detections\": {}, \"replays\": {}, \
+         \"detection_latency\": {}, \"replay_count\": {}}},",
+        sub.metrics.detections,
+        sub.metrics.replays,
+        sub.metrics.detection_latency.to_json(),
+        sub.metrics.replay_count.to_json()
+    );
+
     out.push_str("      \"results\": [\n");
     for (i, r) in sub.results.iter().enumerate() {
         let _ = write!(
@@ -171,6 +181,7 @@ mod tests {
                         shrunk: Some(shrunk),
                     },
                 ],
+                metrics: crate::campaign::SweepMetrics::default(),
             }],
         }
     }

@@ -19,6 +19,10 @@ use crate::engine::{EngineEvent, R2d3Engine};
 use crate::history::EscalationConfig;
 use crate::policy::PolicyKind;
 use crate::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
+use crate::telemetry::{
+    Histogram, MetricsSnapshot, NullSink, RingSink, TelemetryRecord, TelemetrySink,
+    DETECTION_LATENCY_BOUNDS, REPLAY_COUNT_BOUNDS,
+};
 use r2d3_isa::kernels::trap_mix;
 use r2d3_pipeline_sim::{StageId, System3d, SystemConfig};
 use serde::{Deserialize, Serialize};
@@ -127,6 +131,43 @@ pub struct ScenarioResult {
     pub shrunk: Option<FaultScenario>,
 }
 
+/// Engine metrics aggregated over one substrate sweep. Derived from
+/// [`MetricsSnapshot`]s, which accumulate independently of the
+/// telemetry sink — so a traced campaign reports byte-identical
+/// metrics to an untraced one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepMetrics {
+    /// Checker firings across the sweep.
+    pub detections: u64,
+    /// TMR replays across the sweep.
+    pub replays: u64,
+    /// Symptom-to-scan detection latency (cycles), merged.
+    pub detection_latency: Histogram,
+    /// Replays per diagnosis, merged.
+    pub replay_count: Histogram,
+}
+
+impl Default for SweepMetrics {
+    fn default() -> Self {
+        SweepMetrics {
+            detections: 0,
+            replays: 0,
+            detection_latency: Histogram::new(DETECTION_LATENCY_BOUNDS),
+            replay_count: Histogram::new(REPLAY_COUNT_BOUNDS),
+        }
+    }
+}
+
+impl SweepMetrics {
+    /// Folds one scenario's engine snapshot into the sweep aggregate.
+    pub fn absorb(&mut self, snapshot: &MetricsSnapshot) {
+        self.detections += snapshot.detections;
+        self.replays += snapshot.replays;
+        self.detection_latency.merge(&snapshot.detection_latency);
+        self.replay_count.merge(&snapshot.replay_count);
+    }
+}
+
 /// One substrate's sweep.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SubstrateReport {
@@ -134,6 +175,8 @@ pub struct SubstrateReport {
     pub substrate: &'static str,
     /// Per-scenario results, in scenario-id order.
     pub results: Vec<ScenarioResult>,
+    /// Engine metrics aggregated over the sweep.
+    pub metrics: SweepMetrics,
 }
 
 impl SubstrateReport {
@@ -248,11 +291,41 @@ impl Default for CampaignConfig {
     }
 }
 
+/// The cycle-stamped telemetry stream of one traced scenario.
+#[derive(Debug, Clone)]
+pub struct CampaignTrace {
+    /// Substrate name.
+    pub substrate: &'static str,
+    /// Scenario id the records belong to.
+    pub scenario: u32,
+    /// Records in emission order (oldest first).
+    pub records: Vec<TelemetryRecord>,
+}
+
 /// Runs the full campaign: generates the scenario list once, sweeps it
 /// over every configured substrate, shrinks failures. Deterministic: the
 /// same configuration produces an identical report.
 #[must_use]
 pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
+    run_campaign_inner(config, None)
+}
+
+/// [`run_campaign`] with a [`RingSink`] attached to every scenario's
+/// engine, returning the per-scenario telemetry streams alongside the
+/// report. The report itself is byte-identical to [`run_campaign`]'s
+/// (the sink never feeds back into the engine); shrink re-executions
+/// stay untraced.
+#[must_use]
+pub fn run_campaign_traced(config: &CampaignConfig) -> (CampaignReport, Vec<CampaignTrace>) {
+    let mut traces = Vec::new();
+    let report = run_campaign_inner(config, Some(&mut traces));
+    (report, traces)
+}
+
+fn run_campaign_inner(
+    config: &CampaignConfig,
+    mut traces: Option<&mut Vec<CampaignTrace>>,
+) -> CampaignReport {
     let space = ScenarioSpace {
         seed: config.seed,
         count: config.scenarios_per_substrate,
@@ -264,7 +337,7 @@ pub fn run_campaign(config: &CampaignConfig) -> CampaignReport {
     let substrates = config
         .substrates
         .iter()
-        .map(|&kind| run_substrate_sweep(kind, &scenarios, config))
+        .map(|&kind| substrate_sweep_inner(kind, &scenarios, config, traces.as_deref_mut()))
         .collect();
     CampaignReport {
         seed: config.seed,
@@ -280,6 +353,15 @@ pub fn run_substrate_sweep(
     scenarios: &[FaultScenario],
     config: &CampaignConfig,
 ) -> SubstrateReport {
+    substrate_sweep_inner(kind, scenarios, config, None)
+}
+
+fn substrate_sweep_inner(
+    kind: SubstrateKind,
+    scenarios: &[FaultScenario],
+    config: &CampaignConfig,
+    traces: Option<&mut Vec<CampaignTrace>>,
+) -> SubstrateReport {
     match kind {
         SubstrateKind::Behavioral => {
             // Long-running syscall-heavy kernels keep every unit class
@@ -292,7 +374,7 @@ pub fn run_substrate_sweep(
                 layers: config.layers,
                 ..Default::default()
             };
-            run_sweep(kind, scenarios, config, || {
+            run_sweep(kind, scenarios, config, traces, || {
                 let mut sys = System3d::new(&sys_cfg);
                 for (p, prog) in programs.iter().enumerate() {
                     sys.load_program(p, prog.clone()).expect("campaign workload load");
@@ -308,7 +390,7 @@ pub fn run_substrate_sweep(
                 layers: config.layers,
                 ..Default::default()
             });
-            run_sweep(kind, scenarios, config, || template.clone())
+            run_sweep(kind, scenarios, config, traces, || template.clone())
         }
     }
 }
@@ -317,6 +399,7 @@ fn run_sweep<S, F>(
     kind: SubstrateKind,
     scenarios: &[FaultScenario],
     config: &CampaignConfig,
+    mut traces: Option<&mut Vec<CampaignTrace>>,
     make: F,
 ) -> SubstrateReport
 where
@@ -324,37 +407,62 @@ where
     F: Fn() -> S,
 {
     let mut results = Vec::with_capacity(scenarios.len());
+    let mut metrics = SweepMetrics::default();
     for scenario in scenarios {
-        let exec = execute_scenario(make(), scenario, &config.engine);
-        let shrunk = (config.shrink && exec.outcome.is_failure()).then(|| {
-            shrink_scenario(scenario, exec.outcome, |cand| {
-                execute_scenario(make(), cand, &config.engine).outcome
+        // The sink is an observer only: outcome, counts and metrics are
+        // identical on both arms (see `run_campaign_traced`).
+        let (outcome, counts, snapshot) = match traces.as_deref_mut() {
+            Some(traces) => {
+                let exec = execute_scenario(make(), scenario, &config.engine, RingSink::new());
+                traces.push(CampaignTrace {
+                    substrate: kind.name(),
+                    scenario: scenario.id,
+                    records: exec.engine.telemetry().records(),
+                });
+                (exec.outcome, exec.counts, exec.metrics)
+            }
+            None => {
+                let exec = execute_scenario(make(), scenario, &config.engine, NullSink);
+                (exec.outcome, exec.counts, exec.metrics)
+            }
+        };
+        metrics.absorb(&snapshot);
+        let shrunk = (config.shrink && outcome.is_failure()).then(|| {
+            shrink_scenario(scenario, outcome, |cand| {
+                execute_scenario(make(), cand, &config.engine, NullSink).outcome
             })
         });
         results.push(ScenarioResult {
             id: scenario.id,
             kind: scenario.kind.name(),
-            outcome: exec.outcome,
-            counts: exec.counts,
+            outcome,
+            counts,
             shrunk,
         });
     }
-    SubstrateReport { substrate: kind.name(), results }
+    SubstrateReport { substrate: kind.name(), results, metrics }
 }
 
-struct Execution {
+struct Execution<S: ReliabilitySubstrate, T: TelemetrySink> {
     outcome: Outcome,
     counts: EventCounts,
+    metrics: MetricsSnapshot,
+    engine: R2d3Engine<Adversary<S>, T>,
 }
 
 /// Runs one scenario end-to-end on a fresh substrate and classifies it.
-fn execute_scenario<S: ReliabilitySubstrate>(
+fn execute_scenario<S: ReliabilitySubstrate, T: TelemetrySink>(
     sys: S,
     scenario: &FaultScenario,
     engine_cfg: &R2d3Config,
-) -> Execution {
+    sink: T,
+) -> Execution<S, T> {
     let mut sys = Adversary::new(sys);
-    let mut engine: R2d3Engine<Adversary<S>> = R2d3Engine::new(engine_cfg);
+    let mut engine: R2d3Engine<Adversary<S>, T> = R2d3Engine::builder()
+        .config(*engine_cfg)
+        .telemetry(sink)
+        .build()
+        .expect("campaign engine configuration must be valid");
     let truth: BTreeSet<StageId> = truth_defective(scenario).into_iter().collect();
     // `allowed` is what the engine may quarantine without being wrong:
     // the ground-truth defective stages, plus both parties of any
@@ -386,9 +494,10 @@ fn execute_scenario<S: ReliabilitySubstrate>(
         }
     }
 
-    let poisoned = engine.checkpoint_stats().map_or(0, |s| s.poisoned_restores);
+    let metrics = engine.metrics();
+    let poisoned = metrics.checkpoints.map_or(0, |s| s.poisoned_restores);
     let residual_corruption = (0..pipes).any(|p| sys.pipeline_corrupted(p));
-    let misdiagnosed = engine.believed_faulty().iter().any(|s| !allowed.contains(s));
+    let misdiagnosed = metrics.believed_faulty.iter().any(|s| !allowed.contains(s));
     let saw_fault = counts.symptoms > 0 || counts.escalations > 0;
 
     let outcome = if engine_failed {
@@ -402,13 +511,13 @@ fn execute_scenario<S: ReliabilitySubstrate>(
     } else {
         Outcome::Benign
     };
-    Execution { outcome, counts }
+    Execution { outcome, counts, metrics, engine }
 }
 
 /// Applies a scenario's injections due at `epoch` (before the epoch runs).
-fn apply_injections<S: ReliabilitySubstrate>(
+fn apply_injections<S: ReliabilitySubstrate, T: TelemetrySink>(
     sys: &mut Adversary<S>,
-    engine: &mut R2d3Engine<Adversary<S>>,
+    engine: &mut R2d3Engine<Adversary<S>, T>,
     scenario: &FaultScenario,
     epoch: u64,
     t_epoch: u64,
@@ -433,7 +542,7 @@ fn apply_injections<S: ReliabilitySubstrate>(
                 // stage (at which point the defect is out of service).
                 if epoch >= inj.epoch
                     && (epoch - inj.epoch).is_multiple_of(period)
-                    && !engine.believed_faulty().contains(&inj.stage)
+                    && !engine.is_believed_faulty(inj.stage)
                 {
                     let _ = sys.inject_transient_seeded(inj.stage, inj.seed);
                 }

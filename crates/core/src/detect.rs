@@ -46,6 +46,18 @@ pub struct Detection {
     pub symptom: Symptom,
 }
 
+/// Coverage accounting for one epoch scan (telemetry feed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Mapped stages whose window was actually compared.
+    pub tested: u32,
+    /// Mapped stages skipped for lack of a redundant stage (or an empty
+    /// trace window).
+    pub untested: u32,
+    /// Tests that had to borrow a running core's stage.
+    pub suspensions: u32,
+}
+
 /// Scans every mapped stage of every pipeline at an epoch boundary.
 ///
 /// Returns all symptoms found. Stages already believed faulty are skipped
@@ -62,7 +74,20 @@ pub fn epoch_scan<S: ReliabilitySubstrate>(
     believed_faulty: &HashSet<StageId>,
     salt: u64,
 ) -> Vec<Detection> {
+    epoch_scan_counted(sys, config, believed_faulty, salt).0
+}
+
+/// [`epoch_scan`] plus coverage accounting — the engine's entry point,
+/// feeding the per-epoch `scan` telemetry event.
+#[must_use]
+pub fn epoch_scan_counted<S: ReliabilitySubstrate>(
+    sys: &S,
+    config: &R2d3Config,
+    believed_faulty: &HashSet<StageId>,
+    salt: u64,
+) -> (Vec<Detection>, ScanStats) {
     let mut detections = Vec::new();
+    let mut stats = ScanStats::default();
     let leftovers = sys.leftovers();
 
     for pipe in 0..sys.pipeline_count() {
@@ -76,6 +101,7 @@ pub fn epoch_scan<S: ReliabilitySubstrate>(
             let Some((redundant, source)) =
                 pick_redundant(sys, pipe, unit, dut, &leftovers, believed_faulty, config, salt)
             else {
+                stats.untested += 1;
                 continue;
             };
 
@@ -89,7 +115,12 @@ pub fn epoch_scan<S: ReliabilitySubstrate>(
             let mut window = sys.trace_window(dut, config.t_test as usize);
             window.retain(|record| record.cycle >= epoch_start);
             if window.is_empty() {
+                stats.untested += 1;
                 continue;
+            }
+            stats.tested += 1;
+            if matches!(source, RedundantSource::SuspendedCore { .. }) {
+                stats.suspensions += 1;
             }
             if let Some(symptom) =
                 compare_window_by(&window, |record| sys.replay_output(redundant, record))
@@ -98,7 +129,7 @@ pub fn epoch_scan<S: ReliabilitySubstrate>(
             }
         }
     }
-    detections
+    (detections, stats)
 }
 
 /// Chooses the redundant stage for a test: a believed-healthy leftover of

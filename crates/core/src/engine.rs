@@ -1,11 +1,20 @@
 //! The R2D3 reconfiguration controller (cycle-level engine).
+//!
+//! Engines are constructed with [`R2d3Engine::builder`], which validates
+//! the configuration and injects the telemetry sink, and observed with
+//! [`R2d3Engine::metrics`], which snapshots every counter and histogram
+//! the engine maintains. The pre-telemetry constructor and one-off
+//! getters survive as `#[deprecated]` shims.
 
-use crate::checkpoint::CheckpointManager;
+use crate::checkpoint::{CheckpointConfig, CheckpointManager};
 use crate::config::R2d3Config;
-use crate::detect::{epoch_scan, Detection, RedundantSource};
-use crate::history::SymptomHistory;
+use crate::detect::{epoch_scan_counted, Detection, RedundantSource};
+use crate::history::{EscalationConfig, SymptomHistory};
 use crate::policy::{select_assignment, PolicyKind, RotationState};
 use crate::substrate::ReliabilitySubstrate;
+use crate::telemetry::{
+    Metrics, MetricsSnapshot, NullSink, TelemetryEvent, TelemetryRecord, TelemetrySink, VerdictKind,
+};
 use crate::EngineError;
 use r2d3_isa::Unit;
 use r2d3_pipeline_sim::{StageId, System3d};
@@ -83,6 +92,144 @@ pub enum EngineEvent {
     },
 }
 
+/// Builds an [`R2d3Engine`]: typed configuration setters, fallible
+/// validation at [`build`](EngineBuilder::build) time, and telemetry
+/// sink injection (the sink type is a compile-time parameter, so a
+/// [`NullSink`] engine contains no recording code at all).
+///
+/// ```
+/// use r2d3_core::engine::R2d3Engine;
+/// use r2d3_core::telemetry::RingSink;
+/// use r2d3_pipeline_sim::System3d;
+///
+/// let engine = R2d3Engine::builder()
+///     .t_epoch(10_000)
+///     .t_test(2_000)
+///     .telemetry(RingSink::new())
+///     .build::<System3d>()
+///     .unwrap();
+/// assert_eq!(engine.config().t_epoch, 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EngineBuilder<T: TelemetrySink = NullSink> {
+    config: R2d3Config,
+    sink: T,
+}
+
+impl Default for EngineBuilder<NullSink> {
+    fn default() -> Self {
+        EngineBuilder { config: R2d3Config::default(), sink: NullSink }
+    }
+}
+
+impl EngineBuilder<NullSink> {
+    /// A builder with the default configuration and no telemetry.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineBuilder::default()
+    }
+}
+
+impl<T: TelemetrySink> EngineBuilder<T> {
+    /// Replaces the whole configuration at once.
+    #[must_use]
+    pub fn config(mut self, config: R2d3Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Epoch length in cycles.
+    #[must_use]
+    pub fn t_epoch(mut self, cycles: u64) -> Self {
+        self.config.t_epoch = cycles;
+        self
+    }
+
+    /// Detection re-execution window in cycles.
+    #[must_use]
+    pub fn t_test(mut self, cycles: u64) -> Self {
+        self.config.t_test = cycles;
+        self
+    }
+
+    /// Calibration (rotation) window in cycles.
+    #[must_use]
+    pub fn t_cal(mut self, cycles: u64) -> Self {
+        self.config.t_cal = cycles;
+        self
+    }
+
+    /// Wearout-leveling policy.
+    #[must_use]
+    pub fn policy(mut self, policy: PolicyKind) -> Self {
+        self.config.policy = policy;
+        self
+    }
+
+    /// Whether detection may borrow a running core's stage when no
+    /// leftover of the right unit exists.
+    #[must_use]
+    pub fn suspend_when_no_leftover(mut self, allow: bool) -> Self {
+        self.config.suspend_when_no_leftover = allow;
+        self
+    }
+
+    /// Checkpointing configuration (`None` disables checkpointing).
+    #[must_use]
+    pub fn checkpoint(mut self, checkpoint: Option<CheckpointConfig>) -> Self {
+        self.config.checkpoint = checkpoint;
+        self
+    }
+
+    /// Symptom-history escalation configuration (`None` disables it).
+    #[must_use]
+    pub fn escalation(mut self, escalation: Option<EscalationConfig>) -> Self {
+        self.config.escalation = escalation;
+        self
+    }
+
+    /// Extra third-voter attempts before an inconclusive verdict.
+    #[must_use]
+    pub fn inconclusive_retries(mut self, retries: u32) -> Self {
+        self.config.inconclusive_retries = retries;
+        self
+    }
+
+    /// Whether transient verdicts trigger rollback of tainted pipelines.
+    #[must_use]
+    pub fn rollback_on_transient(mut self, rollback: bool) -> Self {
+        self.config.rollback_on_transient = rollback;
+        self
+    }
+
+    /// Installs a telemetry sink, changing the engine's sink type.
+    #[must_use]
+    pub fn telemetry<U: TelemetrySink>(self, sink: U) -> EngineBuilder<U> {
+        EngineBuilder { config: self.config, sink }
+    }
+
+    /// Validates the configuration and constructs the engine.
+    ///
+    /// # Errors
+    ///
+    /// [`EngineError::InvalidConfig`] when the configuration fails
+    /// [`R2d3Config::validate`].
+    pub fn build<S: ReliabilitySubstrate>(self) -> Result<R2d3Engine<S, T>, EngineError> {
+        self.config.validate()?;
+        Ok(R2d3Engine {
+            config: self.config,
+            believed_faulty: HashSet::new(),
+            rotation: None,
+            checkpoints: None,
+            history: SymptomHistory::new(),
+            metrics: Metrics::new(),
+            sink: self.sink,
+            epochs: 0,
+            windows: 0,
+        })
+    }
+}
+
 /// The R2D3 reconfiguration controller.
 ///
 /// Owns the engine's *belief* about stage health (built from diagnosis
@@ -91,20 +238,25 @@ pub enum EngineEvent {
 /// [`ReliabilitySubstrate`] via [`run_epoch`](R2d3Engine::run_epoch);
 /// the default substrate is the behavioral [`System3d`], the alternative
 /// is the gate-level [`crate::substrate::NetlistSubstrate`].
-pub struct R2d3Engine<S: ReliabilitySubstrate = System3d> {
+///
+/// The second type parameter is the telemetry sink; with the default
+/// [`NullSink`] every recording path compiles away. The sink receives
+/// cycle-stamped [`TelemetryEvent`]s but never feeds back into the
+/// engine: verdicts and repairs are byte-identical whatever sink is
+/// installed.
+pub struct R2d3Engine<S: ReliabilitySubstrate = System3d, T: TelemetrySink = NullSink> {
     config: R2d3Config,
     believed_faulty: HashSet<StageId>,
     rotation: Option<RotationState>,
     checkpoints: Option<CheckpointManager<S::Checkpoint>>,
     history: SymptomHistory,
+    metrics: Metrics,
+    sink: T,
     epochs: u64,
     windows: u64,
-    transients_seen: u64,
-    permanents_diagnosed: u64,
-    escalations: u64,
 }
 
-impl<S: ReliabilitySubstrate> Clone for R2d3Engine<S> {
+impl<S: ReliabilitySubstrate, T: TelemetrySink + Clone> Clone for R2d3Engine<S, T> {
     fn clone(&self) -> Self {
         R2d3Engine {
             config: self.config,
@@ -112,16 +264,15 @@ impl<S: ReliabilitySubstrate> Clone for R2d3Engine<S> {
             rotation: self.rotation.clone(),
             checkpoints: self.checkpoints.clone(),
             history: self.history.clone(),
+            metrics: self.metrics,
+            sink: self.sink.clone(),
             epochs: self.epochs,
             windows: self.windows,
-            transients_seen: self.transients_seen,
-            permanents_diagnosed: self.permanents_diagnosed,
-            escalations: self.escalations,
         }
     }
 }
 
-impl<S: ReliabilitySubstrate> std::fmt::Debug for R2d3Engine<S> {
+impl<S: ReliabilitySubstrate, T: TelemetrySink> std::fmt::Debug for R2d3Engine<S, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("R2d3Engine")
             .field("config", &self.config)
@@ -129,12 +280,21 @@ impl<S: ReliabilitySubstrate> std::fmt::Debug for R2d3Engine<S> {
             .field("rotation", &self.rotation)
             .field("checkpoints", &self.checkpoints)
             .field("history", &self.history)
+            .field("metrics", &self.metrics)
             .field("epochs", &self.epochs)
             .field("windows", &self.windows)
-            .field("transients_seen", &self.transients_seen)
-            .field("permanents_diagnosed", &self.permanents_diagnosed)
-            .field("escalations", &self.escalations)
-            .finish()
+            .finish_non_exhaustive()
+    }
+}
+
+impl R2d3Engine {
+    /// Starts building an engine (default substrate and sink; both are
+    /// changed by the builder's type-state —
+    /// [`EngineBuilder::telemetry`] swaps the sink, and
+    /// [`EngineBuilder::build`] infers the substrate at the use site).
+    #[must_use]
+    pub fn builder() -> EngineBuilder<NullSink> {
+        EngineBuilder::new()
     }
 }
 
@@ -144,29 +304,65 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
     /// # Panics
     ///
     /// Panics if the configuration is invalid (see
-    /// [`R2d3Config::validate`]); use `validate` first for a fallible
-    /// path.
+    /// [`R2d3Config::validate`]).
+    #[deprecated(since = "0.4.0", note = "use `R2d3Engine::builder()` instead")]
     #[must_use]
     pub fn new(config: &R2d3Config) -> Self {
-        config.validate().expect("invalid R2D3 configuration");
-        R2d3Engine {
-            config: *config,
-            believed_faulty: HashSet::new(),
-            rotation: None,
-            checkpoints: None,
-            history: SymptomHistory::new(),
-            epochs: 0,
-            windows: 0,
-            transients_seen: 0,
-            permanents_diagnosed: 0,
-            escalations: 0,
+        EngineBuilder::new().config(*config).build().expect("invalid R2D3 configuration")
+    }
+}
+
+impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
+    /// Snapshots every counter, histogram and belief the engine
+    /// maintains. Metrics are accumulated unconditionally (independent
+    /// of the telemetry sink), so this is the observation API — and the
+    /// snapshot is identical whatever sink is installed.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut believed_faulty: Vec<StageId> = self.believed_faulty.iter().copied().collect();
+        believed_faulty.sort();
+        let symptom_scores =
+            self.history.tracked().into_iter().map(|s| (s, self.history.score(s))).collect();
+        MetricsSnapshot {
+            epochs: self.epochs,
+            detections: self.metrics.detections,
+            untested: self.metrics.untested,
+            suspensions: self.metrics.suspensions,
+            transients_seen: self.metrics.transients,
+            permanents_diagnosed: self.metrics.permanents,
+            inconclusives: self.metrics.inconclusives,
+            escalations: self.metrics.escalations,
+            replays: self.metrics.replays,
+            repairs: self.metrics.repairs,
+            rotations: self.metrics.rotations,
+            recoveries: self.metrics.recoveries,
+            believed_faulty,
+            symptom_scores,
+            checkpoints: self.checkpoints.as_ref().map(|m| *m.stats()),
+            detection_latency: self.metrics.detection_latency,
+            replay_count: self.metrics.replay_count,
+            reformation_ops: self.metrics.reformation_ops,
+            rotation_churn: self.metrics.rotation_churn,
         }
     }
 
-    /// Checkpoint/recovery statistics, when checkpointing is enabled.
+    /// Whether the controller has diagnosed `stage` as permanently
+    /// faulty.
     #[must_use]
-    pub fn checkpoint_stats(&self) -> Option<crate::checkpoint::CheckpointStats> {
-        self.checkpoints.as_ref().map(|m| *m.stats())
+    pub fn is_believed_faulty(&self, stage: StageId) -> bool {
+        self.believed_faulty.contains(&stage)
+    }
+
+    /// The installed telemetry sink.
+    #[must_use]
+    pub fn telemetry(&self) -> &T {
+        &self.sink
+    }
+
+    /// The installed telemetry sink, mutably (e.g. to drain a
+    /// [`crate::telemetry::RingSink`] between epochs).
+    pub fn telemetry_mut(&mut self) -> &mut T {
+        &mut self.sink
     }
 
     /// The engine's configuration.
@@ -175,38 +371,54 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
         &self.config
     }
 
+    /// Checkpoint/recovery statistics, when checkpointing is enabled.
+    #[deprecated(since = "0.4.0", note = "use `metrics().checkpoints` instead")]
+    #[must_use]
+    pub fn checkpoint_stats(&self) -> Option<crate::checkpoint::CheckpointStats> {
+        self.checkpoints.as_ref().map(|m| *m.stats())
+    }
+
     /// Stages the controller has diagnosed as permanently faulty.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `is_believed_faulty()` or `metrics().believed_faulty` instead"
+    )]
     #[must_use]
     pub fn believed_faulty(&self) -> &HashSet<StageId> {
         &self.believed_faulty
     }
 
     /// Epochs executed.
+    #[deprecated(since = "0.4.0", note = "use `metrics().epochs` instead")]
     #[must_use]
     pub fn epochs(&self) -> u64 {
         self.epochs
     }
 
     /// Transient faults classified so far.
+    #[deprecated(since = "0.4.0", note = "use `metrics().transients_seen` instead")]
     #[must_use]
     pub fn transients_seen(&self) -> u64 {
-        self.transients_seen
+        self.metrics.transients
     }
 
     /// Permanent faults diagnosed so far.
+    #[deprecated(since = "0.4.0", note = "use `metrics().permanents_diagnosed` instead")]
     #[must_use]
     pub fn permanents_diagnosed(&self) -> u64 {
-        self.permanents_diagnosed
+        self.metrics.permanents
     }
 
     /// Stages quarantined by symptom-history escalation so far.
+    #[deprecated(since = "0.4.0", note = "use `metrics().escalations` instead")]
     #[must_use]
     pub fn escalations(&self) -> u64 {
-        self.escalations
+        self.metrics.escalations
     }
 
     /// Current decayed symptom score of a stage, in 1/1024 symptom units
     /// ([`crate::history::SYMPTOM_SCALE`]).
+    #[deprecated(since = "0.4.0", note = "use `metrics().symptom_scores` instead")]
     #[must_use]
     pub fn symptom_score(&self, stage: StageId) -> u64 {
         self.history.score(stage)
@@ -229,6 +441,16 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             .is_some_and(|m| m.corrupt_slot_with(pipe, |cp| S::corrupt_checkpoint(cp, seed)))
     }
 
+    /// Records one telemetry event, stamped with the current epoch.
+    /// Inlined so that with a [`NullSink`] (whose `is_enabled` is a
+    /// constant `false`) the whole call folds away.
+    #[inline]
+    fn emit(&mut self, cycle: u64, event: TelemetryEvent) {
+        if self.sink.is_enabled() {
+            self.sink.record(TelemetryRecord { epoch: self.epochs, cycle, event });
+        }
+    }
+
     /// Runs one epoch: `T_epoch` cycles of execution, then the detection /
     /// diagnosis / repair sequence, then (at calibration boundaries) the
     /// policy rotation.
@@ -239,17 +461,42 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
     pub fn run_epoch(&mut self, sys: &mut S) -> Result<Vec<EngineEvent>, EngineError> {
         sys.run(self.config.t_epoch)?;
         self.epochs += 1;
+        let now = sys.now();
+        self.emit(now, TelemetryEvent::Exec { cycles: self.config.t_epoch });
         let mut events = Vec::new();
 
         // --- detection ---------------------------------------------------
-        let detections = epoch_scan(sys, &self.config, &self.believed_faulty, self.epochs);
+        let (detections, scan) =
+            epoch_scan_counted(sys, &self.config, &self.believed_faulty, self.epochs);
+        self.metrics.untested += u64::from(scan.untested);
+        self.metrics.suspensions += u64::from(scan.suspensions);
+        self.emit(
+            now,
+            TelemetryEvent::Scan {
+                tested: scan.tested,
+                untested: scan.untested,
+                detections: detections.len() as u32,
+            },
+        );
         let mut need_repair = false;
         for d in &detections {
             events.push(EngineEvent::Symptom { dut: d.dut, pipe: d.pipe });
             if let RedundantSource::SuspendedCore { pipe } = d.source {
                 events.push(EngineEvent::Suspended { pipe, unit: d.unit });
             }
-            need_repair |= self.diagnose(sys, d, &mut events);
+            let latency = now.saturating_sub(d.symptom.record.cycle);
+            self.metrics.detections += 1;
+            self.metrics.detection_latency.record(latency);
+            self.emit(
+                now,
+                TelemetryEvent::Detect {
+                    dut: d.dut,
+                    pipe: d.pipe as u32,
+                    latency,
+                    suspended: matches!(d.source, RedundantSource::SuspendedCore { .. }),
+                },
+            );
+            need_repair |= self.diagnose(sys, d, now, &mut events);
         }
         if let Some(esc) = self.config.escalation {
             self.history.decay(&esc);
@@ -264,6 +511,9 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
                     .get_or_insert_with(|| CheckpointManager::new(cfg, sys.pipeline_count()));
                 if mgr.is_commit_epoch(epoch) {
                     mgr.commit_all(sys)?;
+                    let pipes = sys.pipeline_count() as u32;
+                    self.metrics.checkpoint_commits += 1;
+                    self.emit(now, TelemetryEvent::CheckpointCommit { pipes });
                 }
             }
         }
@@ -294,9 +544,11 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
                 self.windows = window;
                 self.reconfigure(sys, true, &mut events)?;
                 events.push(EngineEvent::Rotated { window });
+                self.emit(sys.now(), TelemetryEvent::Rotate { window });
             }
         }
 
+        self.emit(sys.now(), TelemetryEvent::EpochEnd { events: events.len() as u32 });
         Ok(events)
     }
 
@@ -311,46 +563,80 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
         pipe: usize,
         events: &mut Vec<EngineEvent>,
     ) -> Result<bool, EngineError> {
-        let Some(mgr) = &mut self.checkpoints else {
+        let now = sys.now();
+        if self.checkpoints.is_none() {
             sys.restart_program(pipe)?;
+            self.metrics.recoveries += 1;
+            self.emit(now, TelemetryEvent::Recovery { pipe: pipe as u32, rolled_back: false });
             return Ok(false);
-        };
-        let had_checkpoint = mgr.has_checkpoint(pipe);
-        match mgr.recover(sys, pipe) {
-            Ok(()) => Ok(had_checkpoint),
+        }
+        let had_checkpoint = self.checkpoints.as_ref().is_some_and(|m| m.has_checkpoint(pipe));
+        let mgr = self.checkpoints.as_mut().expect("checked above");
+        let result = mgr.recover(sys, pipe);
+        let rolled_back = match result {
+            Ok(()) => {
+                if had_checkpoint {
+                    self.emit(
+                        now,
+                        TelemetryEvent::CheckpointVerify { pipe: pipe as u32, ok: true },
+                    );
+                }
+                had_checkpoint
+            }
             Err(EngineError::CorruptCheckpoint { .. }) => {
+                self.metrics.checkpoint_corruptions += 1;
+                self.emit(now, TelemetryEvent::CheckpointVerify { pipe: pipe as u32, ok: false });
                 events.push(EngineEvent::CheckpointCorrupt { pipe });
                 // The slot is gone; this retry restarts the program.
-                mgr.recover(sys, pipe)?;
-                Ok(false)
+                self.checkpoints.as_mut().expect("checked above").recover(sys, pipe)?;
+                false
             }
-            Err(e) => Err(e),
-        }
+            Err(e) => return Err(e),
+        };
+        self.metrics.recoveries += 1;
+        self.emit(now, TelemetryEvent::Recovery { pipe: pipe as u32, rolled_back });
+        Ok(rolled_back)
     }
 
     /// Single-replay TMR diagnosis (§III-C): stall one cycle, replay the
     /// symptom-generating operation on the two disagreeing stages plus a
     /// known-good third stage, and vote. Returns whether a permanent fault
     /// was diagnosed (repair needed).
-    fn diagnose(&mut self, sys: &S, d: &Detection, events: &mut Vec<EngineEvent>) -> bool {
+    fn diagnose(
+        &mut self,
+        sys: &S,
+        d: &Detection,
+        now: u64,
+        events: &mut Vec<EngineEvent>,
+    ) -> bool {
         let record = &d.symptom.record;
         // Replay: permanent effects persist; one-shot transients do not
         // recur (they were consumed when they fired).
         let out_dut = sys.replay_output(d.dut, record);
         let out_red = sys.replay_output(d.redundant, record);
+        self.emit(now, TelemetryEvent::Replay { stage: d.dut });
+        self.emit(now, TelemetryEvent::Replay { stage: d.redundant });
 
         if out_dut == out_red {
             // Symptom did not recur: a soft error was detected. Resume —
             // unless this stage's "soft errors" have been recurring too
             // densely to be independent upsets, in which case the decaying
             // symptom history escalates it to an intermittent hard fault.
-            self.transients_seen += 1;
+            self.metrics.transients += 1;
+            self.metrics.replays += 2;
+            self.metrics.replay_count.record(2);
             events.push(EngineEvent::Transient { dut: d.dut });
+            self.emit(
+                now,
+                TelemetryEvent::Verdict { dut: d.dut, verdict: VerdictKind::Transient, replays: 2 },
+            );
             if let Some(esc) = self.config.escalation {
                 if self.history.record(d.dut, &esc) {
+                    let score = self.history.score(d.dut);
                     self.history.forget(d.dut);
-                    self.escalations += 1;
+                    self.metrics.escalations += 1;
                     events.push(EngineEvent::Escalated { stage: d.dut });
+                    self.emit(now, TelemetryEvent::Escalated { stage: d.dut, score });
                     return self.believed_faulty.insert(d.dut);
                 }
             }
@@ -369,6 +655,7 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             };
             tried.push(third);
             let out_third = sys.replay_output(third, record);
+            self.emit(now, TelemetryEvent::Replay { stage: third });
             let (a, b, c) = (out_dut, out_red, out_third);
             let majority = if a == b || a == c {
                 Some(a)
@@ -389,18 +676,37 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
             }
         }
 
+        let replays = 2 + tried.len() as u32;
+        self.metrics.replays += u64::from(replays);
+        self.metrics.replay_count.record(u64::from(replays));
+        let conclusive = majority_faulty.is_some();
         let faulty = majority_faulty.unwrap_or_else(|| {
             // No voter pool or every vote split three ways: quarantine
             // both comparison parties.
             events.push(EngineEvent::Inconclusive { dut: d.dut, redundant: d.redundant });
             vec![d.dut, d.redundant]
         });
+        if !conclusive {
+            self.metrics.inconclusives += 1;
+        }
+        self.emit(
+            now,
+            TelemetryEvent::Verdict {
+                dut: d.dut,
+                verdict: if conclusive {
+                    VerdictKind::Permanent
+                } else {
+                    VerdictKind::Inconclusive
+                },
+                replays,
+            },
+        );
 
         let mut diagnosed = false;
         for s in faulty {
             if self.believed_faulty.insert(s) {
                 self.history.forget(s);
-                self.permanents_diagnosed += 1;
+                self.metrics.permanents += 1;
                 events.push(EngineEvent::Permanent { stage: s });
                 diagnosed = true;
             }
@@ -438,7 +744,15 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
         let rotation_state = self.rotation.get_or_insert_with(|| RotationState::new(layers));
         let formed = select_assignment(kind, layers, &usable, pipelines, rotation_state);
 
+        // Record the outgoing map so churn (slots whose serving layer
+        // changed) and crossbar operation counts are observable.
+        let previous: Vec<Option<StageId>> = (0..pipelines)
+            .flat_map(|p| Unit::ALL.iter().map(move |u| (p, *u)))
+            .map(|(p, u)| sys.stage_for(p, u))
+            .collect();
+
         // Tear down and rebuild the crossbar map.
+        let mut ops: u32 = previous.iter().flatten().count() as u32;
         for p in 0..pipelines {
             for u in Unit::ALL {
                 sys.unassign(p, u)?;
@@ -447,8 +761,30 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
         for (p, fp) in formed.iter().enumerate() {
             for u in Unit::ALL {
                 sys.assign(p, u, fp.layer_of[u.index()])?;
+                ops += 1;
             }
         }
+        let churn = previous
+            .iter()
+            .enumerate()
+            .filter(|(i, prev)| {
+                let (p, u) = (i / Unit::ALL.len(), Unit::ALL[i % Unit::ALL.len()]);
+                let next = formed.get(p).map(|fp| StageId::new(fp.layer_of[u.index()], u));
+                *prev != &next
+            })
+            .count() as u32;
+
+        self.metrics.reformation_ops.record(u64::from(ops));
+        if rotation {
+            self.metrics.rotations += 1;
+            self.metrics.rotation_churn.record(u64::from(churn));
+        } else {
+            self.metrics.repairs += 1;
+        }
+        self.emit(
+            sys.now(),
+            TelemetryEvent::Reform { formed: formed.len() as u32, ops, churn, rotation },
+        );
 
         if !rotation {
             // Post-repair recovery: roll corrupted pipelines back to their
@@ -477,6 +813,7 @@ impl<S: ReliabilitySubstrate> R2d3Engine<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::telemetry::RingSink;
     use r2d3_isa::kernels::{gemm, gemv};
     use r2d3_pipeline_sim::{FaultEffect, SystemConfig};
 
@@ -487,7 +824,7 @@ mod tests {
             // Long-running kernels so epochs always have work.
             sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
         }
-        (R2d3Engine::new(&R2d3Config::default()), sys)
+        (R2d3Engine::builder().build().unwrap(), sys)
     }
 
     #[test]
@@ -505,7 +842,12 @@ mod tests {
             }
         }
         assert!(repaired, "engine never repaired");
-        assert!(engine.believed_faulty().contains(&bad));
+        assert!(engine.is_believed_faulty(bad));
+        let metrics = engine.metrics();
+        assert!(metrics.believed_faulty.contains(&bad));
+        assert_eq!(metrics.repairs, 1);
+        assert!(metrics.detection_latency.total() >= 1);
+        assert!(metrics.replay_count.total() >= 1);
         // The faulty stage serves no pipeline anymore.
         for p in 0..6 {
             assert_ne!(sys.fabric().stage_for(p, Unit::Exu), Some(bad));
@@ -520,13 +862,13 @@ mod tests {
         // trace ring / test window when the epoch ends (a transient that
         // fires long before the comparison window is invisible — the
         // paper's detection is concurrent, not retroactive).
-        let cfg = R2d3Config { t_epoch: 4_000, t_test: 4_000, ..Default::default() };
         let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
         let mut sys = System3d::new(&sys_cfg);
         for p in 0..6 {
             sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
         }
-        let mut engine = R2d3Engine::new(&cfg);
+        let mut engine: R2d3Engine =
+            R2d3Engine::builder().t_epoch(4_000).t_test(4_000).build().unwrap();
         sys.inject_transient(StageId::new(1, Unit::Exu), FaultEffect { bit: 0, stuck: true })
             .unwrap();
 
@@ -543,8 +885,10 @@ mod tests {
             }
         }
         assert!(transient, "transient never detected");
-        assert!(engine.believed_faulty().is_empty());
-        assert_eq!(engine.transients_seen(), 1);
+        let metrics = engine.metrics();
+        assert!(metrics.believed_faulty.is_empty());
+        assert_eq!(metrics.transients_seen, 1);
+        assert_eq!(metrics.replays, 2, "a transient verdict costs exactly two replays");
     }
 
     #[test]
@@ -554,7 +898,10 @@ mod tests {
             let events = engine.run_epoch(&mut sys).unwrap();
             assert!(events.is_empty(), "spurious events: {events:?}");
         }
-        assert_eq!(engine.permanents_diagnosed(), 0);
+        let metrics = engine.metrics();
+        assert_eq!(metrics.permanents_diagnosed, 0);
+        assert_eq!(metrics.detections, 0);
+        assert_eq!(metrics.epochs, 8);
     }
 
     #[test]
@@ -565,7 +912,7 @@ mod tests {
         for p in 0..6 {
             sys.load_program(p, kernel.program().clone()).unwrap();
         }
-        let mut engine = R2d3Engine::new(&R2d3Config::default());
+        let mut engine: R2d3Engine = R2d3Engine::builder().build().unwrap();
         let bad = StageId::new(0, Unit::Ffu);
         sys.inject_fault(bad, FaultEffect { bit: 12, stuck: true }).unwrap();
 
@@ -584,27 +931,27 @@ mod tests {
 
     #[test]
     fn rotation_happens_at_calibration_boundaries() {
-        let cfg = R2d3Config {
-            t_epoch: 10_000,
-            t_test: 2_000,
-            t_cal: 40_000,
-            policy: PolicyKind::Lite,
-            suspend_when_no_leftover: true,
-            checkpoint: None,
-            ..Default::default()
-        };
         let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
         let mut sys = System3d::new(&sys_cfg);
         for p in 0..6 {
             sys.load_program(p, gemm(24, 24, 24, 3).program().clone()).unwrap();
         }
-        let mut engine = R2d3Engine::new(&cfg);
+        let mut engine: R2d3Engine = R2d3Engine::builder()
+            .t_epoch(10_000)
+            .t_test(2_000)
+            .t_cal(40_000)
+            .policy(PolicyKind::Lite)
+            .checkpoint(None)
+            .build()
+            .unwrap();
         let mut rotations = 0;
         for _ in 0..12 {
             let events = engine.run_epoch(&mut sys).unwrap();
             rotations += events.iter().filter(|e| matches!(e, EngineEvent::Rotated { .. })).count();
         }
         assert!(rotations >= 2, "expected rotations, saw {rotations}");
+        assert_eq!(engine.metrics().rotations, rotations as u64);
+        assert_eq!(engine.metrics().rotation_churn.total(), rotations as u64);
         // After rotation with 6-of-8, spare layers 6/7 must have served.
         let busy67 = sys.stats().layer_busy(6) + sys.stats().layer_busy(7);
         assert!(busy67 > 0, "rotation never used the spare layers");
@@ -620,7 +967,7 @@ mod tests {
         let sys_cfg = SystemConfig { layers: 2, pipelines: 1, ..Default::default() };
         let mut sys = System3d::new(&sys_cfg);
         sys.load_program(0, gemm(24, 24, 24, 1).program().clone()).unwrap();
-        let mut engine = R2d3Engine::new(&R2d3Config::default());
+        let mut engine: R2d3Engine = R2d3Engine::builder().build().unwrap();
         sys.inject_fault(StageId::new(0, Unit::Exu), FaultEffect { bit: 0, stuck: true }).unwrap();
 
         let mut inconclusive = false;
@@ -637,9 +984,11 @@ mod tests {
         }
         assert!(inconclusive, "two-party disagreement must be inconclusive");
         assert_eq!(formed, Some(0), "double quarantine leaves no formable pipeline");
+        let metrics = engine.metrics();
+        assert_eq!(metrics.inconclusives, 1);
         for l in 0..2 {
             assert!(
-                engine.believed_faulty().contains(&StageId::new(l, Unit::Exu)),
+                metrics.believed_faulty.contains(&StageId::new(l, Unit::Exu)),
                 "EXU@L{l} not quarantined"
             );
         }
@@ -653,18 +1002,18 @@ mod tests {
         // A duty-cycled fault that re-arms every epoch is classified
         // "transient" by every individual replay, yet the decaying
         // symptom history must eventually quarantine the stage.
-        let cfg = R2d3Config { t_epoch: 4_000, t_test: 4_000, ..Default::default() };
         let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
         let mut sys = System3d::new(&sys_cfg);
         for p in 0..6 {
             sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
         }
-        let mut engine = R2d3Engine::new(&cfg);
+        let mut engine: R2d3Engine =
+            R2d3Engine::builder().t_epoch(4_000).t_test(4_000).build().unwrap();
         let flaky = StageId::new(1, Unit::Exu);
 
         let mut escalated = false;
         for _ in 0..16 {
-            if !engine.believed_faulty().contains(&flaky) {
+            if !engine.is_believed_faulty(flaky) {
                 sys.inject_transient(flaky, FaultEffect { bit: 0, stuck: true }).unwrap();
             }
             let events = engine.run_epoch(&mut sys).unwrap();
@@ -677,8 +1026,8 @@ mod tests {
             }
         }
         assert!(escalated, "intermittent never escalated");
-        assert!(engine.believed_faulty().contains(&flaky));
-        assert_eq!(engine.escalations(), 1);
+        assert!(engine.is_believed_faulty(flaky));
+        assert_eq!(engine.metrics().escalations, 1);
         // The quarantined stage serves no pipeline anymore.
         for p in 0..6 {
             assert_ne!(sys.fabric().stage_for(p, Unit::Exu), Some(flaky));
@@ -687,21 +1036,20 @@ mod tests {
 
     #[test]
     fn transient_rollback_recovers_tainted_pipe() {
-        let cfg = R2d3Config {
-            t_epoch: 4_000,
-            t_test: 4_000,
-            checkpoint: Some(crate::checkpoint::CheckpointConfig {
-                interval_epochs: 1,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
         let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
         let mut sys = System3d::new(&sys_cfg);
         for p in 0..6 {
             sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
         }
-        let mut engine = R2d3Engine::new(&cfg);
+        let mut engine: R2d3Engine = R2d3Engine::builder()
+            .t_epoch(4_000)
+            .t_test(4_000)
+            .checkpoint(Some(crate::checkpoint::CheckpointConfig {
+                interval_epochs: 1,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap();
         // Two clean epochs commit checkpoints for every pipeline.
         engine.run_epoch(&mut sys).unwrap();
         engine.run_epoch(&mut sys).unwrap();
@@ -723,26 +1071,27 @@ mod tests {
             let pipe = sys.pipeline(p).unwrap();
             assert!(!pipe.tainted() && !pipe.crashed(), "pipeline {p} still corrupted");
         }
-        assert!(engine.believed_faulty().is_empty(), "no hardware should be quarantined");
+        let metrics = engine.metrics();
+        assert!(metrics.believed_faulty.is_empty(), "no hardware should be quarantined");
+        assert!(metrics.recoveries >= 1);
     }
 
     #[test]
     fn corrupt_checkpoint_falls_back_to_restart_with_event() {
-        let cfg = R2d3Config {
-            t_epoch: 4_000,
-            t_test: 4_000,
-            checkpoint: Some(crate::checkpoint::CheckpointConfig {
-                interval_epochs: 2,
-                ..Default::default()
-            }),
-            ..Default::default()
-        };
         let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
         let mut sys = System3d::new(&sys_cfg);
         for p in 0..6 {
             sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
         }
-        let mut engine = R2d3Engine::new(&cfg);
+        let mut engine: R2d3Engine = R2d3Engine::builder()
+            .t_epoch(4_000)
+            .t_test(4_000)
+            .checkpoint(Some(crate::checkpoint::CheckpointConfig {
+                interval_epochs: 2,
+                ..Default::default()
+            }))
+            .build()
+            .unwrap();
         // Two clean epochs: epoch 2 is the commit boundary.
         engine.run_epoch(&mut sys).unwrap();
         engine.run_epoch(&mut sys).unwrap();
@@ -775,12 +1124,86 @@ mod tests {
         sys.inject_fault(bad, FaultEffect { bit: 0, stuck: true }).unwrap();
         for _ in 0..32 {
             engine.run_epoch(&mut sys).unwrap();
-            if !engine.believed_faulty().is_empty() {
+            if !engine.metrics().believed_faulty.is_empty() {
                 break;
             }
         }
-        assert!(engine.believed_faulty().contains(&bad), "leftover fault not localized");
+        let believed = engine.metrics().believed_faulty;
+        assert!(believed.contains(&bad), "leftover fault not localized");
         // No healthy DUT was condemned.
-        assert_eq!(engine.believed_faulty().len(), 1);
+        assert_eq!(believed.len(), 1);
+    }
+
+    #[test]
+    fn telemetry_records_the_whole_loop() {
+        let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
+        let mut sys = System3d::new(&sys_cfg);
+        for p in 0..6 {
+            sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
+        }
+        let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build().unwrap();
+        let bad = StageId::new(2, Unit::Exu);
+        sys.inject_fault(bad, FaultEffect { bit: 0, stuck: true }).unwrap();
+        for _ in 0..32 {
+            engine.run_epoch(&mut sys).unwrap();
+            if engine.is_believed_faulty(bad) {
+                break;
+            }
+        }
+        let names: Vec<&str> =
+            engine.telemetry().records().iter().map(|r| r.event.name()).collect();
+        for expected in ["exec", "scan", "detect", "replay", "verdict", "reform", "epoch_end"] {
+            assert!(names.contains(&expected), "no '{expected}' event recorded: {names:?}");
+        }
+        // Cycle stamps never decrease along the record stream.
+        let cycles: Vec<u64> = engine.telemetry().records().iter().map(|r| r.cycle).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "cycle stamps regressed");
+    }
+
+    #[test]
+    fn verdicts_identical_with_and_without_telemetry() {
+        // The determinism contract: the sink observes but never steers.
+        let mk_sys = || {
+            let sys_cfg = SystemConfig { pipelines: 6, ..Default::default() };
+            let mut sys = System3d::new(&sys_cfg);
+            for p in 0..6 {
+                sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone()).unwrap();
+            }
+            sys.inject_fault(StageId::new(2, Unit::Exu), FaultEffect { bit: 0, stuck: true })
+                .unwrap();
+            sys
+        };
+        let mut sys_a = mk_sys();
+        let mut sys_b = mk_sys();
+        let mut plain: R2d3Engine = R2d3Engine::builder().build().unwrap();
+        let mut traced = R2d3Engine::builder().telemetry(RingSink::new()).build().unwrap();
+        for _ in 0..16 {
+            let ev_a = plain.run_epoch(&mut sys_a).unwrap();
+            let ev_b = traced.run_epoch(&mut sys_b).unwrap();
+            assert_eq!(ev_a, ev_b, "telemetry changed engine behavior");
+        }
+        assert_eq!(plain.metrics(), traced.metrics());
+        assert!(!traced.telemetry().is_empty());
+    }
+
+    #[test]
+    fn builder_rejects_invalid_config() {
+        let err = R2d3Engine::builder().t_epoch(100).t_test(200).build::<System3d>();
+        assert!(matches!(err, Err(EngineError::InvalidConfig(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let (_, mut sys) = engine_system(6);
+        let mut engine: R2d3Engine = R2d3Engine::new(&R2d3Config::default());
+        engine.run_epoch(&mut sys).unwrap();
+        assert_eq!(engine.epochs(), 1);
+        assert!(engine.believed_faulty().is_empty());
+        assert_eq!(engine.transients_seen(), 0);
+        assert_eq!(engine.permanents_diagnosed(), 0);
+        assert_eq!(engine.escalations(), 0);
+        assert_eq!(engine.symptom_score(StageId::new(0, Unit::Exu)), 0);
+        assert_eq!(engine.checkpoint_stats().map(|s| s.restores), Some(0));
     }
 }

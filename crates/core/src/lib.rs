@@ -22,10 +22,16 @@
 //! the thermal solver and NBTI model to reproduce the paper's 8-year
 //! evaluation (Figs. 5 and 6).
 //!
+//! Every engine action is observable through the [`telemetry`] module:
+//! a sink injected at construction receives cycle-stamped structured
+//! events, and [`engine::R2d3Engine::metrics`] returns a serializable
+//! [`telemetry::MetricsSnapshot`] of counters and latency histograms.
+//!
 //! # Example: detect, diagnose and repair an injected fault
 //!
 //! ```
-//! use r2d3_core::{engine::R2d3Engine, config::R2d3Config};
+//! use r2d3_core::engine::R2d3Engine;
+//! use r2d3_core::telemetry::RingSink;
 //! use r2d3_pipeline_sim::{System3d, SystemConfig, StageId, FaultEffect};
 //! use r2d3_isa::{kernels::gemv, Unit};
 //!
@@ -36,7 +42,7 @@
 //! for p in 0..6 {
 //!     sys.load_program(p, kernel.program().clone())?;
 //! }
-//! let mut engine = R2d3Engine::new(&R2d3Config::default());
+//! let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build()?;
 //!
 //! // A permanent stuck-at defect appears in pipeline 2's EXU.
 //! sys.inject_fault(StageId::new(2, Unit::Exu), FaultEffect { bit: 0, stuck: true })?;
@@ -44,13 +50,17 @@
 //! // Epochs run until the engine has detected, diagnosed and repaired it.
 //! for _ in 0..64 {
 //!     engine.run_epoch(&mut sys)?;
-//!     if engine.believed_faulty().contains(&StageId::new(2, Unit::Exu)) {
+//!     if engine.is_believed_faulty(StageId::new(2, Unit::Exu)) {
 //!         break;
 //!     }
 //! }
-//! assert!(engine.believed_faulty().contains(&StageId::new(2, Unit::Exu)));
+//! let metrics = engine.metrics();
+//! assert!(metrics.believed_faulty.contains(&StageId::new(2, Unit::Exu)));
+//! assert_eq!(metrics.permanents_diagnosed, 1);
 //! // The repaired fabric no longer routes anything through the bad stage.
 //! assert!(sys.fabric().complete_pipelines() >= 5);
+//! // Every step of the loop was recorded, cycle-stamped, in the sink.
+//! assert!(!engine.telemetry().is_empty());
 //! # Ok(())
 //! # }
 //! ```
@@ -69,15 +79,17 @@ pub mod repair;
 pub mod report;
 pub mod soft_error;
 pub mod substrate;
+pub mod telemetry;
 
 pub use config::R2d3Config;
-pub use engine::{EngineEvent, R2d3Engine};
+pub use engine::{EngineBuilder, EngineEvent, R2d3Engine};
 pub use history::{EscalationConfig, SymptomHistory};
 pub use lifetime::{LifetimeOutcome, LifetimeSim};
 pub use policy::PolicyKind;
 pub use substrate::{
     GateFault, NetlistCheckpoint, NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate,
 };
+pub use telemetry::{MetricsSnapshot, NullSink, RingSink, TelemetrySink};
 
 use std::fmt;
 

@@ -91,11 +91,7 @@ impl Default for SoftErrorConfig {
         SoftErrorConfig {
             injections: 40,
             epochs_per_trial: 4,
-            engine: crate::R2d3Config {
-                t_epoch: 4_000,
-                t_test: 4_000,
-                ..Default::default()
-            },
+            engine: crate::R2d3Config { t_epoch: 4_000, t_test: 4_000, ..Default::default() },
             seed: 0x50f7,
         }
     }
@@ -118,7 +114,7 @@ pub fn run_soft_error_campaign(config: &SoftErrorConfig) -> Result<SoftErrorRepo
         for p in 0..6 {
             sys.load_program(p, kernel.program().clone())?;
         }
-        let mut engine = R2d3Engine::new(&config.engine);
+        let mut engine: R2d3Engine = R2d3Engine::builder().config(config.engine).build()?;
 
         // Warm up a little so the injection lands mid-computation.
         engine.run_epoch(&mut sys)?;
@@ -180,10 +176,7 @@ mod tests {
     fn campaign_classifies_every_injection() {
         let config = SoftErrorConfig { injections: 12, ..Default::default() };
         let r = run_soft_error_campaign(&config).unwrap();
-        assert_eq!(
-            r.injected,
-            r.caught + r.masked + r.silent + r.crashed + r.misdiagnosed
-        );
+        assert_eq!(r.injected, r.caught + r.masked + r.silent + r.crashed + r.misdiagnosed);
         assert_eq!(r.injected, 12);
     }
 

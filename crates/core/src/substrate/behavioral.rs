@@ -121,4 +121,8 @@ impl ReliabilitySubstrate for System3d {
     fn reset_stats(&mut self) {
         System3d::reset_stats(self);
     }
+
+    fn name(&self) -> &'static str {
+        "behavioral"
+    }
 }

@@ -113,8 +113,11 @@ pub trait ReliabilitySubstrate {
     /// # Errors
     ///
     /// Returns an error for unknown pipelines.
-    fn restore_pipeline(&mut self, pipe: usize, checkpoint: &Self::Checkpoint)
-        -> Result<(), EngineError>;
+    fn restore_pipeline(
+        &mut self,
+        pipe: usize,
+        checkpoint: &Self::Checkpoint,
+    ) -> Result<(), EngineError>;
     /// Injects a permanent fault into a stage (ground truth; the engine
     /// only ever learns of it through detection).
     ///
@@ -150,4 +153,6 @@ pub trait ReliabilitySubstrate {
     fn stats(&self) -> &ActivityStats;
     /// Zeroes the busy-cycle accounting.
     fn reset_stats(&mut self);
+    /// Stable substrate name for reports and trace labels.
+    fn name(&self) -> &'static str;
 }

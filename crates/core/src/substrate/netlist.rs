@@ -545,6 +545,10 @@ impl ReliabilitySubstrate for NetlistSubstrate {
     fn reset_stats(&mut self) {
         self.stats.reset();
     }
+
+    fn name(&self) -> &'static str {
+        "netlist"
+    }
 }
 
 #[cfg(test)]

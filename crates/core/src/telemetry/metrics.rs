@@ -1,0 +1,375 @@
+//! Derived per-epoch metrics: counters and fixed-bucket histograms.
+//!
+//! The engine feeds a [`Metrics`] accumulator unconditionally — the
+//! updates are a handful of integer increments per *event* (healthy
+//! epochs touch it zero times beyond the epoch counter), so it costs
+//! nothing measurable and, crucially, is identical whichever
+//! [`crate::telemetry::TelemetrySink`] is installed. A serializable
+//! [`MetricsSnapshot`] is taken on demand by
+//! [`crate::engine::R2d3Engine::metrics`].
+//!
+//! Histograms use fixed bucket bounds so two snapshots merge and
+//! compare exactly; everything renders as integers for byte-stable
+//! JSON.
+
+use crate::checkpoint::CheckpointStats;
+use crate::telemetry::stage_label;
+use r2d3_pipeline_sim::StageId;
+use std::fmt::Write;
+
+/// Detection-latency buckets (cycles): the paper's <50 / <500 / <5 k
+/// analysis buckets, then epoch-scale bounds for the tail.
+pub const DETECTION_LATENCY_BOUNDS: [u64; 7] = [50, 500, 5_000, 10_000, 20_000, 40_000, 80_000];
+
+/// Replays-per-diagnosis buckets: 2 is the plain TMR vote, each
+/// inconclusive retry adds one.
+pub const REPLAY_COUNT_BOUNDS: [u64; 7] = [1, 2, 3, 4, 6, 8, 12];
+
+/// Crossbar-operation buckets for one reformation (unassigns + assigns).
+pub const REFORMATION_OPS_BOUNDS: [u64; 7] = [10, 20, 40, 60, 80, 120, 200];
+
+/// Changed-slot buckets for one rotation.
+pub const ROTATION_CHURN_BOUNDS: [u64; 7] = [0, 5, 10, 15, 20, 30, 40];
+
+/// A fixed-bucket integer histogram: 7 inclusive upper bounds plus an
+/// overflow bucket, with total/sum/max running alongside.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Histogram {
+    bounds: [u64; 7],
+    counts: [u64; 8],
+    total: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds` (must be strictly increasing).
+    #[must_use]
+    pub fn new(bounds: [u64; 7]) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        Histogram { bounds, counts: [0; 8], total: 0, sum: 0, max: 0 }
+    }
+
+    /// Records one value: the first bucket whose bound is ≥ `value`
+    /// (the last bucket is unbounded).
+    pub fn record(&mut self, value: u64) {
+        let idx = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    /// Adds another histogram's contents (bucket bounds must match).
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(self.bounds, other.bounds, "merging incompatible histograms");
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Inclusive upper bounds of the first seven buckets.
+    #[must_use]
+    pub fn bounds(&self) -> &[u64; 7] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (last bucket is the overflow bucket).
+    #[must_use]
+    pub fn counts(&self) -> &[u64; 8] {
+        &self.counts
+    }
+
+    /// Values recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sum of recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Deterministic single-line JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"bounds\": [");
+        for (i, b) in self.bounds.iter().enumerate() {
+            let _ = write!(out, "{}{b}", if i == 0 { "" } else { ", " });
+        }
+        out.push_str("], \"counts\": [");
+        for (i, c) in self.counts.iter().enumerate() {
+            let _ = write!(out, "{}{c}", if i == 0 { "" } else { ", " });
+        }
+        let _ = write!(
+            out,
+            "], \"total\": {}, \"sum\": {}, \"max\": {}}}",
+            self.total, self.sum, self.max
+        );
+        out
+    }
+}
+
+/// The engine's running metric accumulator (sink-independent; see the
+/// module docs). Counters follow the semantics of the pre-telemetry
+/// getters they replace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Metrics {
+    /// Checker firings (detections) seen.
+    pub detections: u64,
+    /// Detection tests skipped for lack of a redundant stage.
+    pub untested: u64,
+    /// Tests that borrowed a suspended core's stage.
+    pub suspensions: u64,
+    /// Transient verdicts.
+    pub transients: u64,
+    /// Stages newly believed permanently faulty.
+    pub permanents: u64,
+    /// Inconclusive votes (double-quarantines).
+    pub inconclusives: u64,
+    /// Symptom-history escalations.
+    pub escalations: u64,
+    /// TMR replays performed.
+    pub replays: u64,
+    /// Repair reformations.
+    pub repairs: u64,
+    /// Calibration-window rotations applied.
+    pub rotations: u64,
+    /// Pipeline recoveries (rollbacks + restarts).
+    pub recoveries: u64,
+    /// Checkpoints committed.
+    pub checkpoint_commits: u64,
+    /// Checkpoint digests rejected during recovery.
+    pub checkpoint_corruptions: u64,
+    /// Symptom-to-scan detection latency (cycles).
+    pub detection_latency: Histogram,
+    /// Replays consumed per diagnosis.
+    pub replay_count: Histogram,
+    /// Crossbar operations per reformation.
+    pub reformation_ops: Histogram,
+    /// Changed slots per rotation.
+    pub rotation_churn: Histogram,
+}
+
+impl Metrics {
+    /// A zeroed accumulator with the standard bucket sets.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            detections: 0,
+            untested: 0,
+            suspensions: 0,
+            transients: 0,
+            permanents: 0,
+            inconclusives: 0,
+            escalations: 0,
+            replays: 0,
+            repairs: 0,
+            rotations: 0,
+            recoveries: 0,
+            checkpoint_commits: 0,
+            checkpoint_corruptions: 0,
+            detection_latency: Histogram::new(DETECTION_LATENCY_BOUNDS),
+            replay_count: Histogram::new(REPLAY_COUNT_BOUNDS),
+            reformation_ops: Histogram::new(REFORMATION_OPS_BOUNDS),
+            rotation_churn: Histogram::new(ROTATION_CHURN_BOUNDS),
+        }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+/// A serializable point-in-time view of everything the engine knows
+/// about its own behavior — the single observation API that replaces
+/// the pre-telemetry pile of one-off getters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Epochs executed.
+    pub epochs: u64,
+    /// Checker firings seen.
+    pub detections: u64,
+    /// Detection tests skipped for lack of a redundant stage.
+    pub untested: u64,
+    /// Tests that borrowed a suspended core's stage.
+    pub suspensions: u64,
+    /// Transient faults classified.
+    pub transients_seen: u64,
+    /// Permanent faults diagnosed.
+    pub permanents_diagnosed: u64,
+    /// Inconclusive votes.
+    pub inconclusives: u64,
+    /// Symptom-history escalations.
+    pub escalations: u64,
+    /// TMR replays performed.
+    pub replays: u64,
+    /// Repair reformations.
+    pub repairs: u64,
+    /// Calibration-window rotations.
+    pub rotations: u64,
+    /// Pipeline recoveries.
+    pub recoveries: u64,
+    /// Stages believed permanently faulty, sorted.
+    pub believed_faulty: Vec<StageId>,
+    /// Nonzero decaying symptom scores, sorted by stage, in 1/1024
+    /// symptom units.
+    pub symptom_scores: Vec<(StageId, u64)>,
+    /// Checkpoint/recovery accounting, when checkpointing is enabled.
+    pub checkpoints: Option<CheckpointStats>,
+    /// Symptom-to-scan detection latency (cycles).
+    pub detection_latency: Histogram,
+    /// Replays consumed per diagnosis.
+    pub replay_count: Histogram,
+    /// Crossbar operations per reformation.
+    pub reformation_ops: Histogram,
+    /// Changed slots per rotation.
+    pub rotation_churn: Histogram,
+}
+
+impl MetricsSnapshot {
+    /// Deterministic pretty-printed JSON: fixed key order, integers
+    /// only, byte-identical for identical snapshots.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"epochs\": {},", self.epochs);
+        let _ = writeln!(out, "  \"detections\": {},", self.detections);
+        let _ = writeln!(out, "  \"untested\": {},", self.untested);
+        let _ = writeln!(out, "  \"suspensions\": {},", self.suspensions);
+        let _ = writeln!(out, "  \"transients_seen\": {},", self.transients_seen);
+        let _ = writeln!(out, "  \"permanents_diagnosed\": {},", self.permanents_diagnosed);
+        let _ = writeln!(out, "  \"inconclusives\": {},", self.inconclusives);
+        let _ = writeln!(out, "  \"escalations\": {},", self.escalations);
+        let _ = writeln!(out, "  \"replays\": {},", self.replays);
+        let _ = writeln!(out, "  \"repairs\": {},", self.repairs);
+        let _ = writeln!(out, "  \"rotations\": {},", self.rotations);
+        let _ = writeln!(out, "  \"recoveries\": {},", self.recoveries);
+        out.push_str("  \"believed_faulty\": [");
+        for (i, s) in self.believed_faulty.iter().enumerate() {
+            let _ = write!(out, "{}\"{}\"", if i == 0 { "" } else { ", " }, stage_label(*s));
+        }
+        out.push_str("],\n  \"symptom_scores\": {");
+        for (i, (s, score)) in self.symptom_scores.iter().enumerate() {
+            let _ =
+                write!(out, "{}\"{}\": {score}", if i == 0 { "" } else { ", " }, stage_label(*s));
+        }
+        out.push_str("},\n");
+        match &self.checkpoints {
+            Some(cp) => {
+                let _ = writeln!(
+                    out,
+                    "  \"checkpoints\": {{\"commits\": {}, \"restores\": {}, \
+                     \"restarts\": {}, \"lost_instructions\": {}, \
+                     \"overhead_cycles\": {}, \"corruptions_detected\": {}, \
+                     \"poisoned_restores\": {}}},",
+                    cp.commits,
+                    cp.restores,
+                    cp.restarts,
+                    cp.lost_instructions,
+                    cp.overhead_cycles,
+                    cp.corruptions_detected,
+                    cp.poisoned_restores
+                );
+            }
+            None => out.push_str("  \"checkpoints\": null,\n"),
+        }
+        let _ = writeln!(out, "  \"detection_latency\": {},", self.detection_latency.to_json());
+        let _ = writeln!(out, "  \"replay_count\": {},", self.replay_count.to_json());
+        let _ = writeln!(out, "  \"reformation_ops\": {},", self.reformation_ops.to_json());
+        let _ = writeln!(out, "  \"rotation_churn\": {}", self.rotation_churn.to_json());
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2d3_isa::Unit;
+
+    #[test]
+    fn histogram_buckets_values_inclusively() {
+        let mut h = Histogram::new(DETECTION_LATENCY_BOUNDS);
+        h.record(0);
+        h.record(50); // inclusive: first bucket
+        h.record(51); // second bucket
+        h.record(1_000_000); // overflow bucket
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[1], 1);
+        assert_eq!(h.counts()[7], 1);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.max(), 1_000_000);
+        assert_eq!(h.sum(), 1_000_101);
+    }
+
+    #[test]
+    fn histogram_merge_adds_everything() {
+        let mut a = Histogram::new(REPLAY_COUNT_BOUNDS);
+        let mut b = Histogram::new(REPLAY_COUNT_BOUNDS);
+        a.record(2);
+        b.record(3);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.sum(), 105);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.counts()[1], 1);
+        assert_eq!(a.counts()[2], 1);
+        assert_eq!(a.counts()[7], 1);
+    }
+
+    #[test]
+    fn histogram_json_is_deterministic_and_integer_only() {
+        let mut h = Histogram::new(REPLAY_COUNT_BOUNDS);
+        h.record(2);
+        let j = h.to_json();
+        assert_eq!(j, h.to_json());
+        assert!(!j.contains('.'), "floats would break byte-determinism: {j}");
+        assert!(j.starts_with("{\"bounds\": [1, 2, 3, 4, 6, 8, 12]"));
+    }
+
+    #[test]
+    fn snapshot_json_round_keys() {
+        let snap = MetricsSnapshot {
+            epochs: 3,
+            detections: 1,
+            untested: 0,
+            suspensions: 0,
+            transients_seen: 0,
+            permanents_diagnosed: 1,
+            inconclusives: 0,
+            escalations: 0,
+            replays: 3,
+            repairs: 1,
+            rotations: 0,
+            recoveries: 1,
+            believed_faulty: vec![StageId::new(2, Unit::Exu)],
+            symptom_scores: vec![(StageId::new(1, Unit::Lsu), 1024)],
+            checkpoints: None,
+            detection_latency: Histogram::new(DETECTION_LATENCY_BOUNDS),
+            replay_count: Histogram::new(REPLAY_COUNT_BOUNDS),
+            reformation_ops: Histogram::new(REFORMATION_OPS_BOUNDS),
+            rotation_churn: Histogram::new(ROTATION_CHURN_BOUNDS),
+        };
+        let j = snap.to_json();
+        assert_eq!(j, snap.to_json());
+        assert!(j.contains("\"believed_faulty\": [\"L2.Exu\"]"));
+        assert!(j.contains("\"symptom_scores\": {\"L1.Lsu\": 1024}"));
+        assert!(j.contains("\"checkpoints\": null"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -10,7 +10,7 @@
 use r2d3::atpg::campaign::{run_campaign, CampaignConfig};
 use r2d3::atpg::fault::collapsed_faults;
 use r2d3::atpg::report::{unit_report, LatencyBucket};
-use r2d3::engine::{R2d3Config, R2d3Engine};
+use r2d3::engine::R2d3Engine;
 use r2d3::isa::kernels::gemm;
 use r2d3::isa::Unit;
 use r2d3::netlist::stages::{all_stage_netlists, StageSizing};
@@ -49,14 +49,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             for p in 0..6 {
                 sys.load_program(p, gemm(24, 24, 24, p as u64 + 1).program().clone())?;
             }
-            let mut engine = R2d3Engine::new(&R2d3Config::default());
+            let mut engine = R2d3Engine::builder().build()?;
             let victim = StageId::new(1, unit);
             sys.inject_fault(victim, FaultEffect { bit, stuck: true })?;
 
             let mut latency = None;
             for epoch in 1..=24 {
                 engine.run_epoch(&mut sys)?;
-                if engine.believed_faulty().contains(&victim) {
+                if engine.is_believed_faulty(victim) {
                     latency = Some(epoch);
                     break;
                 }

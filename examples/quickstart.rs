@@ -5,7 +5,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use r2d3::engine::{EngineEvent, R2d3Config, R2d3Engine};
+use r2d3::engine::telemetry::{chrome_trace, RingSink};
+use r2d3::engine::{EngineEvent, R2d3Engine};
 use r2d3::isa::kernels::gemv;
 use r2d3::isa::Unit;
 use r2d3::pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
@@ -21,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sys.load_program(pipe, kernel.program().clone())?;
     }
 
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build()?;
     println!(
         "system: {} layers × {} units, {} pipelines, T_epoch = {} cycles, T_test = {}",
         sys.fabric().layers(),
@@ -82,9 +83,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         assert!(kernel.verify(p.memory()), "post-repair results must be correct");
     }
+    let metrics = engine.metrics();
     println!(
         "\nfaulty stage {victim} now serves no pipeline; believed-faulty set = {:?}",
-        engine.believed_faulty()
+        metrics.believed_faulty
     );
+    println!(
+        "telemetry: {} epochs, {} detections, {} transients, {} permanents; \
+         {} events in the ring buffer",
+        metrics.epochs,
+        metrics.detections,
+        metrics.transients_seen,
+        metrics.permanents_diagnosed,
+        engine.telemetry().len(),
+    );
+
+    // Dump the recorded spans as a Chrome trace; load it in Perfetto
+    // (https://ui.perfetto.dev) to see the detect → diagnose → repair
+    // timeline on the simulated cycle axis.
+    let trace = chrome_trace(&engine.telemetry().records(), "quickstart");
+    std::fs::write("quickstart-trace.json", trace)?;
+    println!("wrote quickstart-trace.json (open in Perfetto)");
     Ok(())
 }

@@ -29,7 +29,7 @@ fn single_fault_repaired_and_results_correct() {
     for p in 0..6 {
         sys.load_program(p, kernel.program().clone()).unwrap();
     }
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine = R2d3Engine::builder().build().unwrap();
     let victim = StageId::new(3, Unit::Lsu);
     sys.inject_fault(victim, FaultEffect { bit: 2, stuck: true }).unwrap();
 
@@ -55,7 +55,7 @@ fn multiple_faults_across_layers_all_survive() {
     for p in 0..4 {
         sys.load_program(p, kernel.program().clone()).unwrap();
     }
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine = R2d3Engine::builder().build().unwrap();
     for (layer, unit) in [(0, Unit::Exu), (1, Unit::Ifu), (2, Unit::Lsu), (3, Unit::Ffu)] {
         sys.inject_fault(StageId::new(layer, unit), FaultEffect { bit: 1, stuck: false }).unwrap();
     }
@@ -78,7 +78,7 @@ fn transient_storm_classified_without_losing_stages() {
         sys.load_program(p, gemm(20, 20, 20, p as u64).program().clone()).unwrap();
     }
     let cfg = R2d3Config { t_epoch: 4_000, t_test: 4_000, ..Default::default() };
-    let mut engine = R2d3Engine::new(&cfg);
+    let mut engine = R2d3Engine::builder().config(cfg).build().unwrap();
 
     for round in 0..6u64 {
         let stage = StageId::new((round % 6) as usize, Unit::Exu);
@@ -86,8 +86,8 @@ fn transient_storm_classified_without_losing_stages() {
         engine.run_epoch(&mut sys).unwrap();
     }
     // Soft errors must never cost hardware.
-    assert!(engine.believed_faulty().is_empty(), "transients misdiagnosed as permanent");
-    assert!(engine.transients_seen() > 0, "no transient was caught");
+    assert!(engine.metrics().believed_faulty.is_empty(), "transients misdiagnosed as permanent");
+    assert!(engine.metrics().transients_seen > 0, "no transient was caught");
     assert_eq!(sys.fabric().complete_pipelines(), 6);
 }
 
@@ -109,7 +109,7 @@ fn detection_is_concurrent_no_throughput_cost() {
         managed.load_program(p, kernel.program().clone()).unwrap();
     }
     let cfg = R2d3Config { policy: r2d3::engine::PolicyKind::Static, ..Default::default() };
-    let mut engine = R2d3Engine::new(&cfg);
+    let mut engine = R2d3Engine::builder().config(cfg).build().unwrap();
     for _ in 0..6 {
         engine.run_epoch(&mut managed).unwrap();
     }
@@ -142,7 +142,7 @@ fn rotation_preserves_architectural_results() {
         checkpoint: None,
         ..Default::default()
     };
-    let mut engine = R2d3Engine::new(&cfg);
+    let mut engine = R2d3Engine::builder().config(cfg).build().unwrap();
     let events = run_until_halted(&mut engine, &mut sys, 100);
     assert!(
         events.iter().any(|e| matches!(e, EngineEvent::Rotated { .. })),
@@ -166,7 +166,7 @@ fn engine_survives_fault_in_every_unit_type() {
         for p in 0..6 {
             sys.load_program(p, kernel.program().clone()).unwrap();
         }
-        let mut engine = R2d3Engine::new(&R2d3Config::default());
+        let mut engine = R2d3Engine::builder().build().unwrap();
         sys.inject_fault(StageId::new(0, unit), FaultEffect { bit: 0, stuck: true }).unwrap();
         run_until_halted(&mut engine, &mut sys, 200);
         let ok = (0..6)
@@ -188,13 +188,13 @@ fn tlu_fault_detected_with_trap_workload() {
     for p in 0..6 {
         sys.load_program(p, kernel.program().clone()).unwrap();
     }
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine = R2d3Engine::builder().build().unwrap();
     let victim = StageId::new(2, Unit::Tlu);
     // Syscall encodes as 0: a stuck-at-1 manifests on every trap.
     sys.inject_fault(victim, FaultEffect { bit: 0, stuck: true }).unwrap();
 
     run_until_halted(&mut engine, &mut sys, 200);
-    assert!(engine.believed_faulty().contains(&victim), "trap workload must expose the TLU fault");
+    assert!(engine.is_believed_faulty(victim), "trap workload must expose the TLU fault");
     for p in 0..6 {
         let pipe = sys.pipeline(p).unwrap();
         assert!(pipe.halted(), "pipeline {p} unfinished");
@@ -214,7 +214,7 @@ fn checkpoint_recovery_loses_less_work_than_restart() {
             sys.load_program(p, kernel.program().clone()).unwrap();
         }
         let cfg = R2d3Config { checkpoint, t_epoch: 10_000, t_test: 5_000, ..Default::default() };
-        let mut engine = R2d3Engine::new(&cfg);
+        let mut engine = R2d3Engine::builder().config(cfg).build().unwrap();
         // Let several clean epochs commit checkpoints, then strike.
         for _ in 0..6 {
             engine.run_epoch(&mut sys).unwrap();
@@ -248,7 +248,7 @@ fn conv2d_runs_on_the_system_and_survives_a_fault() {
     for p in 0..6 {
         sys.load_program(p, kernel.program().clone()).unwrap();
     }
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine = R2d3Engine::builder().build().unwrap();
     sys.inject_fault(StageId::new(4, Unit::Ffu), FaultEffect { bit: 9, stuck: true }).unwrap();
     run_until_halted(&mut engine, &mut sys, 300);
     for p in 0..6 {

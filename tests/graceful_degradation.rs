@@ -20,7 +20,7 @@ fn engine_degrades_gracefully_under_accumulating_faults() {
         sys.load_program(p, trap_mix(2048, p as u64 + 1).program().clone()).unwrap();
     }
     let engine_cfg = R2d3Config { t_epoch: 8_000, t_test: 5_000, ..Default::default() };
-    let mut engine = R2d3Engine::new(&engine_cfg);
+    let mut engine = R2d3Engine::builder().config(engine_cfg).build().unwrap();
 
     // One fault per layer, each in a different (exercised) unit: a
     // core-level scheme loses a whole core per fault; stage-level
@@ -41,12 +41,12 @@ fn engine_degrades_gracefully_under_accumulating_faults() {
                     sys.restart_program(p).unwrap();
                 }
             }
-            if engine.believed_faulty().contains(&victim) {
+            if engine.is_believed_faulty(victim) {
                 break;
             }
         }
         assert!(
-            engine.believed_faulty().contains(&victim),
+            engine.is_believed_faulty(victim),
             "step {step}: fault at {victim} never diagnosed"
         );
         formed_history.push(sys.fabric().complete_pipelines());
@@ -61,7 +61,7 @@ fn engine_degrades_gracefully_under_accumulating_faults() {
     // core-level scheme keeps zero intact cores; the engine still forms
     // pipelines (8 faults spread over 5 unit types leave ≥ 6 healthy
     // stages of every type).
-    let believed = engine.believed_faulty().clone();
+    let believed = engine.metrics().believed_faulty;
     let usable = |s: StageId| !believed.contains(&s);
     assert_eq!(core_level_formable(8, usable), 0, "every layer lost a stage");
     let salvaged = stage_level_formable(8, usable);
@@ -98,7 +98,7 @@ fn intermittent_fault_is_quarantined_without_capacity_oscillation() {
     // Epoch-length test windows so every upset lands inside the compared
     // window of the epoch it fires in.
     let engine_cfg = R2d3Config { t_epoch: 4_000, t_test: 4_000, ..Default::default() };
-    let mut engine = R2d3Engine::new(&engine_cfg);
+    let mut engine = R2d3Engine::builder().config(engine_cfg).build().unwrap();
 
     let flaky = StageId::new(2, Unit::Exu);
     const PERIOD: u64 = 2; // fails one epoch in two
@@ -107,7 +107,7 @@ fn intermittent_fault_is_quarantined_without_capacity_oscillation() {
     let mut formed_history = Vec::new();
     let mut quarantined_at = None;
     for epoch in 0..HORIZON {
-        if epoch % PERIOD == 0 && !engine.believed_faulty().contains(&flaky) {
+        if epoch % PERIOD == 0 && !engine.is_believed_faulty(flaky) {
             sys.inject_transient(flaky, FaultEffect { bit: 0, stuck: false }).unwrap();
         }
         engine.run_epoch(&mut sys).unwrap();
@@ -117,7 +117,7 @@ fn intermittent_fault_is_quarantined_without_capacity_oscillation() {
             }
         }
         formed_history.push(sys.fabric().complete_pipelines());
-        if quarantined_at.is_none() && engine.believed_faulty().contains(&flaky) {
+        if quarantined_at.is_none() && engine.is_believed_faulty(flaky) {
             quarantined_at = Some(epoch);
         }
     }
@@ -125,8 +125,8 @@ fn intermittent_fault_is_quarantined_without_capacity_oscillation() {
     let quarantined_at = quarantined_at.expect("intermittent fault never quarantined");
     assert!(quarantined_at < 32, "escalation too slow: quarantined at epoch {quarantined_at}");
     // Only the genuinely flaky stage was condemned.
-    assert_eq!(engine.believed_faulty().len(), 1);
-    assert!(engine.believed_faulty().contains(&flaky));
+    assert_eq!(engine.metrics().believed_faulty.len(), 1);
+    assert!(engine.is_believed_faulty(flaky));
 
     // Capacity is monotone non-increasing — the engine never reinstates
     // the flaky stage during its quiet epochs and re-quarantines it later.
@@ -146,8 +146,10 @@ fn unit_type_exhaustion_bounds_capacity() {
     for p in 0..4 {
         sys.load_program(p, gemm(20, 20, 20, p as u64 + 1).program().clone()).unwrap();
     }
-    let mut engine =
-        R2d3Engine::new(&R2d3Config { t_epoch: 8_000, t_test: 5_000, ..Default::default() });
+    let mut engine = R2d3Engine::builder()
+        .config(R2d3Config { t_epoch: 8_000, t_test: 5_000, ..Default::default() })
+        .build()
+        .unwrap();
 
     // Kill EXUs one by one. While at least three EXUs remain, TMR has a
     // third voter and capacity tracks the survivor count exactly. When
@@ -165,11 +167,11 @@ fn unit_type_exhaustion_bounds_capacity() {
                     sys.restart_program(p).unwrap();
                 }
             }
-            if engine.believed_faulty().contains(&victim) {
+            if engine.is_believed_faulty(victim) {
                 break;
             }
         }
-        assert!(engine.believed_faulty().contains(&victim), "EXU {dead} not diagnosed");
+        assert!(engine.is_believed_faulty(victim), "EXU {dead} not diagnosed");
         if dead < 3 {
             assert_eq!(
                 sys.fabric().complete_pipelines(),
@@ -184,7 +186,7 @@ fn unit_type_exhaustion_bounds_capacity() {
         }
     }
     // Nothing silently corrupted: every believed-faulty stage is isolated.
-    for s in engine.believed_faulty() {
+    for s in &engine.metrics().believed_faulty {
         assert!(matches!(sys.health(*s), StageHealth::Faulty(_) | StageHealth::PoweredOff));
     }
 }

@@ -23,7 +23,7 @@ fn run_until_repaired<S: ReliabilitySubstrate>(
     let mut all = Vec::new();
     for _ in 0..max_epochs {
         all.extend(engine.run_epoch(sys).expect("epoch"));
-        if !engine.believed_faulty().is_empty() {
+        if !engine.metrics().believed_faulty.is_empty() {
             break;
         }
     }
@@ -53,7 +53,7 @@ fn same_permanent_fault_reaches_same_verdict_on_both_substrates() {
     // Behavioral backend: architectural stuck-at on the EXU output.
     let mut behav = behavioral_system(6);
     behav.inject_fault(victim, FaultEffect { bit: 0, stuck: true }).unwrap();
-    let mut engine_b = R2d3Engine::new(&config);
+    let mut engine_b: R2d3Engine<System3d> = R2d3Engine::builder().config(config).build().unwrap();
     let events_b = run_until_repaired(&mut engine_b, &mut behav, 64);
 
     // Gate-level backend: stuck-at-1 on an observed output net of the
@@ -61,23 +61,22 @@ fn same_permanent_fault_reaches_same_verdict_on_both_substrates() {
     let mut gate = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
     let fault = gate.output_fault(Unit::Exu, 0, true);
     gate.inject_fault(victim, fault).unwrap();
-    let mut engine_n = R2d3Engine::new(&config);
+    let mut engine_n: R2d3Engine<NetlistSubstrate> =
+        R2d3Engine::builder().config(config).build().unwrap();
     let events_n = run_until_repaired(&mut engine_n, &mut gate, 64);
 
     // Identical diagnosis…
     assert!(
-        engine_b.believed_faulty().contains(&victim),
+        engine_b.is_believed_faulty(victim),
         "behavioral backend missed the fault: {events_b:?}"
     );
     assert_eq!(
-        engine_b.believed_faulty(),
-        engine_n.believed_faulty(),
+        engine_b.metrics().believed_faulty,
+        engine_n.metrics().believed_faulty,
         "substrates disagree on the faulty set"
     );
     let perm = |events: &[EngineEvent]| {
-        events
-            .iter()
-            .any(|e| matches!(e, EngineEvent::Permanent { stage } if *stage == victim))
+        events.iter().any(|e| matches!(e, EngineEvent::Permanent { stage } if *stage == victim))
     };
     assert!(perm(&events_b), "behavioral: no Permanent verdict: {events_b:?}");
     assert!(perm(&events_n), "netlist: no Permanent verdict: {events_n:?}");
@@ -102,7 +101,7 @@ fn same_permanent_fault_reaches_same_verdict_on_both_substrates() {
 #[test]
 fn healthy_netlist_substrate_raises_no_false_positives() {
     let mut gate = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine: R2d3Engine<NetlistSubstrate> = R2d3Engine::builder().build().unwrap();
     for _ in 0..8 {
         let events = engine.run_epoch(&mut gate).unwrap();
         assert!(
@@ -110,7 +109,7 @@ fn healthy_netlist_substrate_raises_no_false_positives() {
             "false positive on a healthy gate-level stack: {events:?}"
         );
     }
-    assert!(engine.believed_faulty().is_empty());
+    assert!(engine.metrics().believed_faulty.is_empty());
     for p in 0..gate.pipeline_count() {
         assert!(gate.retired(p) > 0, "pipe {p} made no progress");
         assert!(!gate.pipeline_corrupted(p));
@@ -126,10 +125,10 @@ fn netlist_substrate_recovers_corrupted_pipelines_after_repair() {
     let mut gate = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
     let fault = gate.output_fault(Unit::Lsu, 1, false);
     gate.inject_fault(victim, fault).unwrap();
-    let mut engine = R2d3Engine::new(&R2d3Config::default());
+    let mut engine: R2d3Engine<NetlistSubstrate> = R2d3Engine::builder().build().unwrap();
 
     let events = run_until_repaired(&mut engine, &mut gate, 64);
-    assert!(engine.believed_faulty().contains(&victim), "LSU fault missed: {events:?}");
+    assert!(engine.is_believed_faulty(victim), "LSU fault missed: {events:?}");
 
     // One more clean epoch after repair: nothing may remain corrupted.
     engine.run_epoch(&mut gate).unwrap();

@@ -1,0 +1,74 @@
+//! The telemetry determinism contract, end to end: recording never
+//! changes what the engine *does* — verdicts, events, metrics and whole
+//! campaign reports are byte-identical with a recording sink and with
+//! the compiled-away [`NullSink`].
+
+use r2d3::engine::campaign::{
+    render_report, run_campaign, run_campaign_traced, CampaignConfig, SubstrateKind,
+};
+use r2d3::engine::telemetry::RingSink;
+use r2d3::engine::{EngineEvent, R2d3Engine};
+use r2d3::isa::kernels::trap_mix;
+use r2d3::isa::Unit;
+use r2d3::pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
+
+fn loaded_system() -> System3d {
+    let config = SystemConfig { pipelines: 8, ..Default::default() };
+    let mut sys = System3d::new(&config);
+    for p in 0..8 {
+        sys.load_program(p, trap_mix(2048, p as u64 + 1).program().clone()).unwrap();
+    }
+    sys
+}
+
+/// Drives a mixed fault schedule (one permanent, one transient) and
+/// returns every epoch's events plus the final metrics snapshot.
+fn drive(
+    mut engine_events: impl FnMut(&mut System3d) -> Vec<EngineEvent>,
+) -> Vec<Vec<EngineEvent>> {
+    let mut sys = loaded_system();
+    sys.inject_fault(StageId::new(3, Unit::Exu), FaultEffect { bit: 0, stuck: true }).unwrap();
+    let mut all = Vec::new();
+    for epoch in 0..16 {
+        if epoch == 6 {
+            sys.inject_transient(StageId::new(5, Unit::Lsu), FaultEffect { bit: 1, stuck: false })
+                .unwrap();
+        }
+        all.push(engine_events(&mut sys));
+        for p in 0..8 {
+            if sys.pipeline(p).is_some_and(r2d3::pipeline_sim::LogicalPipeline::halted) {
+                sys.restart_program(p).unwrap();
+            }
+        }
+    }
+    all
+}
+
+#[test]
+fn engine_behavior_is_identical_with_and_without_telemetry() {
+    let mut quiet = R2d3Engine::builder().build().unwrap();
+    let quiet_events = drive(|sys| quiet.run_epoch(sys).unwrap());
+
+    let mut traced = R2d3Engine::builder().telemetry(RingSink::new()).build().unwrap();
+    let traced_events = drive(|sys| traced.run_epoch(sys).unwrap());
+
+    assert_eq!(quiet_events, traced_events, "engine events must not depend on the sink");
+    assert_eq!(quiet.metrics(), traced.metrics(), "metrics must not depend on the sink");
+    assert!(!traced.telemetry().is_empty(), "the traced engine must actually have recorded");
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_with_and_without_tracing() {
+    let config = CampaignConfig {
+        seed: 0xD37,
+        scenarios_per_substrate: 10,
+        substrates: vec![SubstrateKind::Behavioral],
+        ..Default::default()
+    };
+    let quiet = render_report(&run_campaign(&config));
+    let (traced_report, traces) = run_campaign_traced(&config);
+    let traced = render_report(&traced_report);
+    assert_eq!(quiet, traced, "tracing a campaign must not change its report");
+    assert_eq!(traces.len(), 10, "one trace per scenario");
+    assert!(traces.iter().any(|t| !t.records.is_empty()), "traces must carry records");
+}

@@ -1,0 +1,86 @@
+//! Golden-file tests for the telemetry export schemas.
+//!
+//! The canonical single-permanent-fault scenario is fully deterministic,
+//! so its JSON-lines and Chrome-trace renderings must be byte-identical
+//! run over run *and* must match the checked-in golden files — any
+//! intentional schema change regenerates them with
+//! `UPDATE_GOLDEN=1 cargo test --test telemetry_schema`.
+
+use r2d3::engine::telemetry::{
+    chrome_trace, json_lines, validate_chrome_trace, validate_json_lines, RingSink, TelemetryRecord,
+};
+use r2d3::engine::R2d3Engine;
+use r2d3::isa::kernels::gemv;
+use r2d3::isa::Unit;
+use r2d3::pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
+use std::path::Path;
+
+/// Runs the canonical scenario: a stuck-at-1 on L2.EXU under the GEMV
+/// workload, eight epochs, recording sink.
+fn canonical_records() -> Vec<TelemetryRecord> {
+    let config = SystemConfig { pipelines: 6, ..Default::default() };
+    let mut sys = System3d::new(&config);
+    let kernel = gemv(32, 32, 7);
+    for p in 0..6 {
+        sys.load_program(p, kernel.program().clone()).unwrap();
+    }
+    sys.inject_fault(StageId::new(2, Unit::Exu), FaultEffect { bit: 0, stuck: true }).unwrap();
+
+    let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build().unwrap();
+    for _ in 0..8 {
+        engine.run_epoch(&mut sys).unwrap();
+    }
+    engine.telemetry().records()
+}
+
+/// Compares `actual` against the golden file, or rewrites the golden
+/// file when `UPDATE_GOLDEN` is set.
+fn assert_matches_golden(actual: &str, name: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display())
+    });
+    assert_eq!(
+        actual, golden,
+        "{name} drifted from the golden schema; if intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn json_lines_matches_golden_and_validates() {
+    let records = canonical_records();
+    assert!(!records.is_empty());
+    let text = json_lines(&records);
+    assert_eq!(validate_json_lines(&text).unwrap(), records.len());
+    assert_matches_golden(&text, "trace.jsonl");
+}
+
+#[test]
+fn chrome_trace_matches_golden_and_validates() {
+    let records = canonical_records();
+    let text = chrome_trace(&records, "behavioral");
+    assert!(validate_chrome_trace(&text).unwrap() > 0);
+    assert_matches_golden(&text, "trace-chrome.json");
+}
+
+#[test]
+fn rendering_is_deterministic_across_runs() {
+    let a = canonical_records();
+    let b = canonical_records();
+    assert_eq!(a.len(), b.len());
+    assert_eq!(json_lines(&a), json_lines(&b));
+    assert_eq!(chrome_trace(&a, "behavioral"), chrome_trace(&b, "behavioral"));
+}
+
+#[test]
+fn validators_reject_malformed_documents() {
+    assert!(validate_json_lines("{\"epoch\": 1}\n").is_err());
+    assert!(validate_json_lines("not json\n").is_err());
+    assert!(validate_chrome_trace("{}").is_err());
+    assert!(validate_chrome_trace("{\"traceEvents\": [{\"ph\": \"Z\"}]}").is_err());
+}
