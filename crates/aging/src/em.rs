@@ -28,7 +28,12 @@ pub struct EmModel {
 
 impl Default for EmModel {
     fn default() -> Self {
-        EmModel { reference_mttf_hours: 10.0 * 365.25 * 24.0, reference_temp_c: 105.0, n: 2.0, ea_ev: 0.9 }
+        EmModel {
+            reference_mttf_hours: 10.0 * 365.25 * 24.0,
+            reference_temp_c: 105.0,
+            n: 2.0,
+            ea_ev: 0.9,
+        }
     }
 }
 

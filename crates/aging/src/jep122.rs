@@ -96,7 +96,8 @@ impl HciModel {
         let temp_term = (self.ea_ev / BOLTZMANN_EV
             * (1.0 / kelvin(temp_c) - 1.0 / kelvin(self.reference_temp_c)))
         .exp();
-        self.reference_ttf_hours * temp_term
+        self.reference_ttf_hours
+            * temp_term
             * activity.max(f64::MIN_POSITIVE).powf(-self.activity_exponent)
     }
 }

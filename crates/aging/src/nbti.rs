@@ -68,6 +68,15 @@ impl NbtiState {
     pub fn vth_shift(&self) -> f64 {
         self.vth_shift
     }
+
+    /// Rebuilds a state from a previously observed
+    /// [`vth_shift`](NbtiState::vth_shift) value, e.g. when restoring a
+    /// lifetime-simulation snapshot. The value is taken verbatim (no
+    /// clamping) so a save/restore round-trip is bit-exact.
+    #[must_use]
+    pub fn from_vth_shift(vth_shift: f64) -> Self {
+        NbtiState { vth_shift }
+    }
 }
 
 /// The NBTI aging model.
@@ -101,11 +110,7 @@ impl NbtiModel {
         let n = self.params.n;
 
         // Equivalent stress time at the current conditions.
-        let t_eq = if state.vth_shift > 0.0 {
-            (state.vth_shift / k).powf(1.0 / n)
-        } else {
-            0.0
-        };
+        let t_eq = if state.vth_shift > 0.0 { (state.vth_shift / k).powf(1.0 / n) } else { 0.0 };
         let stressed = t_eq + duty.powf(self.params.duty_exponent) * dt_seconds;
         let vth = k * stressed.powf(n);
         // The long-term component is monotone: recovery is modeled inside
@@ -182,11 +187,7 @@ mod tests {
             let duty = if month % 2 == 0 { 1.0 } else { 0.0 };
             let temp = if month % 3 == 0 { 140.0 } else { 90.0 };
             m.advance(&mut s, duty, temp, SECONDS_PER_MONTH);
-            assert!(
-                s.vth_shift() >= prev - 1e-12,
-                "month {month}: {prev} -> {}",
-                s.vth_shift()
-            );
+            assert!(s.vth_shift() >= prev - 1e-12, "month {month}: {prev} -> {}", s.vth_shift());
             prev = s.vth_shift();
         }
         assert!(s.vth_shift() > 0.0);

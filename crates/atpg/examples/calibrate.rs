@@ -1,5 +1,13 @@
-use r2d3_atpg::{campaign::{run_campaign, CampaignConfig}, fault::collapsed_faults, observe::core_level_campaign_with, report::{unit_report, UnitReport, LatencyBucket}};
-use r2d3_netlist::{stages::{all_stage_netlists, StageSizing}, ComposeOptions};
+use r2d3_atpg::{
+    campaign::{run_campaign, CampaignConfig},
+    fault::collapsed_faults,
+    observe::core_level_campaign_with,
+    report::{unit_report, LatencyBucket, UnitReport},
+};
+use r2d3_netlist::{
+    stages::{all_stage_netlists, StageSizing},
+    ComposeOptions,
+};
 
 fn main() {
     let args: Vec<f64> = std::env::args().skip(1).map(|a| a.parse().unwrap()).collect();
@@ -13,24 +21,44 @@ fn main() {
         let faults = collapsed_faults(sn.netlist());
         let out = run_campaign(sn.netlist(), &faults, &config);
         let r = unit_report(sn.unit().name(), &out);
-        println!("{:5} faults={:6} detectable={:.1}% det_of_det={:.1}% <5k={:.1}%",
-            r.label, r.total, r.detectable_pct(), r.detected_of_detectable_pct(),
-            r.cumulative_detected_pct(LatencyBucket::Lt5k));
-        match &mut total { None => total = Some(r), Some(t) => t.merge(&r) }
+        println!(
+            "{:5} faults={:6} detectable={:.1}% det_of_det={:.1}% <5k={:.1}%",
+            r.label,
+            r.total,
+            r.detectable_pct(),
+            r.detected_of_detectable_pct(),
+            r.cumulative_detected_pct(LatencyBucket::Lt5k)
+        );
+        match &mut total {
+            None => total = Some(r),
+            Some(t) => t.merge(&r),
+        }
     }
     let t = total.unwrap();
-    println!("Total detectable={:.1}% <5k={:.1}% (paper: 96 / 96)", t.detectable_pct(), t.cumulative_detected_pct(LatencyBucket::Lt5k));
+    println!(
+        "Total detectable={:.1}% <5k={:.1}% (paper: 96 / 96)",
+        t.detectable_pct(),
+        t.cumulative_detected_pct(LatencyBucket::Lt5k)
+    );
 
     let nls: Vec<_> = stages.iter().map(|s| s.netlist()).collect();
     let faults: Vec<_> = nls.iter().map(|n| collapsed_faults(n)).collect();
     let depth = args.get(2).copied().unwrap_or(14.0) as usize;
     let limit = args.get(3).map(|v| *v as usize);
-    let opts = ComposeOptions { absorb_fraction: absorb, transparent_fraction: transparent, mask_depth: depth, observe_limit: limit };
+    let opts = ComposeOptions {
+        absorb_fraction: absorb,
+        transparent_fraction: transparent,
+        mask_depth: depth,
+        observe_limit: limit,
+    };
     let core = core_level_campaign_with(&nls, &faults, &config, &opts).unwrap();
     let mut ctotal: Option<UnitReport> = None;
     for (sn, out) in stages.iter().zip(&core) {
         let r = unit_report(sn.unit().name(), out);
-        match &mut ctotal { None => ctotal = Some(r), Some(t) => t.merge(&r) }
+        match &mut ctotal {
+            None => ctotal = Some(r),
+            Some(t) => t.merge(&r),
+        }
     }
     let c = ctotal.unwrap();
     println!("Core  detectable={:.1}% <5k={:.1}% (paper: 84 / 63)  absorb={absorb} transparent={transparent} depth={depth}", c.detectable_pct(), c.cumulative_detected_pct(LatencyBucket::Lt5k));

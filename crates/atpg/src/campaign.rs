@@ -2,9 +2,9 @@
 
 use crate::fault::Fault;
 use crate::observe::structurally_observable;
+use r2d3_netlist::{pack_blocks, FaultCone, FaultSim, Netlist, WideScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use r2d3_netlist::{pack_blocks, FaultCone, FaultSim, Netlist, WideScratch};
 use serde::{Deserialize, Serialize};
 
 /// Pattern blocks whose good-value vectors are held in memory at once.
@@ -178,9 +178,7 @@ fn preclassify(netlist: &Netlist, faults: &[Fault], statuses: &mut [FaultStatus]
 /// the campaign has always used so results stay seed-compatible.
 fn pattern_blocks(netlist: &Netlist, blocks: usize, seed: u64) -> Vec<Vec<u64>> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..blocks)
-        .map(|_| (0..netlist.num_inputs()).map(|_| rng.gen()).collect())
-        .collect()
+    (0..blocks).map(|_| (0..netlist.num_inputs()).map(|_| rng.gen()).collect()).collect()
 }
 
 /// Runs a random-pattern stuck-at campaign over `faults` on `netlist`,
@@ -205,7 +203,11 @@ fn pattern_blocks(netlist: &Netlist, blocks: usize, seed: u64) -> Vec<Vec<u64>> 
 /// Results are bit-identical to [`run_campaign_reference`] for any seed
 /// and any thread count.
 #[must_use]
-pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig) -> CampaignOutcome {
+pub fn run_campaign(
+    netlist: &Netlist,
+    faults: &[Fault],
+    config: &CampaignConfig,
+) -> CampaignOutcome {
     let blocks = config.max_patterns.div_ceil(64).max(1);
     let mut statuses = vec![FaultStatus::Undetected; faults.len()];
     let mut remaining = preclassify(netlist, faults, &mut statuses);
@@ -279,11 +281,7 @@ pub fn run_campaign(netlist: &Netlist, faults: &[Fault], config: &CampaignConfig
         remaining = next;
     }
 
-    CampaignOutcome {
-        faults: faults.to_vec(),
-        statuses,
-        patterns_applied: blocks_applied * 64,
-    }
+    CampaignOutcome { faults: faults.to_vec(), statuses, patterns_applied: blocks_applied * 64 }
 }
 
 /// Simulates each fault in `chunk` over one batch of cached 256-lane
@@ -381,11 +379,7 @@ pub fn run_campaign_reference(
         });
     }
 
-    CampaignOutcome {
-        faults: faults.to_vec(),
-        statuses,
-        patterns_applied: blocks_applied * 64,
-    }
+    CampaignOutcome { faults: faults.to_vec(), statuses, patterns_applied: blocks_applied * 64 }
 }
 
 #[cfg(test)]
@@ -473,7 +467,8 @@ mod tests {
     fn threaded_matches_serial() {
         let nl = parity4();
         let faults = all_faults(&nl);
-        let serial = run_campaign(&nl, &faults, &CampaignConfig { threads: 1, ..Default::default() });
+        let serial =
+            run_campaign(&nl, &faults, &CampaignConfig { threads: 1, ..Default::default() });
         let par = run_campaign(&nl, &faults, &CampaignConfig { threads: 4, ..Default::default() });
         assert_eq!(serial.statuses(), par.statuses());
     }

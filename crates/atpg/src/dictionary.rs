@@ -46,9 +46,8 @@ impl FaultDictionary {
     pub fn build(netlist: &Netlist, faults: &[Fault], blocks: usize, seed: u64) -> Self {
         assert!(blocks > 0, "dictionary needs patterns");
         let mut rng = StdRng::seed_from_u64(seed);
-        let patterns: Vec<Vec<u64>> = (0..blocks)
-            .map(|_| (0..netlist.num_inputs()).map(|_| rng.gen()).collect())
-            .collect();
+        let patterns: Vec<Vec<u64>> =
+            (0..blocks).map(|_| (0..netlist.num_inputs()).map(|_| rng.gen()).collect()).collect();
 
         // Full net-value vectors per block: the incremental engine
         // simulates each fault's fanout cone against these cached goods
@@ -108,7 +107,11 @@ impl FaultDictionary {
 
     /// Whether a response hash equals the fault-free syndrome.
     #[must_use]
-    pub fn is_clean_syndrome(&self, netlist: &Netlist, mut respond: impl FnMut(&[u64]) -> Vec<u64>) -> bool {
+    pub fn is_clean_syndrome(
+        &self,
+        netlist: &Netlist,
+        mut respond: impl FnMut(&[u64]) -> Vec<u64>,
+    ) -> bool {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         for pattern in &self.patterns {
             let good = netlist.eval(pattern);

@@ -117,20 +117,13 @@ mod tests {
         let faults = collapsed_faults(sn.netlist());
         let random = CampaignConfig { max_patterns: 512, seed: 2, threads: 2 };
         let base = run_campaign(sn.netlist(), &faults, &random);
-        let (upgraded, stats) = run_full_flow(
-            sn.netlist(),
-            &faults,
-            &FlowConfig { random, podem_backtracks: 1_000 },
-        );
+        let (upgraded, stats) =
+            run_full_flow(sn.netlist(), &faults, &FlowConfig { random, podem_backtracks: 1_000 });
         let (d0, u0, _) = base.counts();
         let (d1, u1, _) = upgraded.counts();
         assert!(d1 >= d0, "detected must not shrink");
         assert!(u1 <= u0, "undetected must not grow");
-        assert_eq!(
-            u1,
-            stats.aborted,
-            "every surviving Undetected must be a PODEM abort"
-        );
+        assert_eq!(u1, stats.aborted, "every surviving Undetected must be a PODEM abort");
     }
 
     #[test]

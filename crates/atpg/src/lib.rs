@@ -49,10 +49,10 @@ pub mod report;
 pub use campaign::{
     run_campaign, run_campaign_reference, CampaignConfig, CampaignOutcome, FaultStatus,
 };
-pub use fault::{all_faults, collapsed_faults, Fault};
-pub use observe::{core_level_campaign, structurally_observable};
 pub use compact::{compact, Compacted};
 pub use dictionary::FaultDictionary;
+pub use fault::{all_faults, collapsed_faults, Fault};
 pub use flow::{run_full_flow, FlowConfig};
+pub use observe::{core_level_campaign, structurally_observable};
 pub use podem::{podem, PodemResult};
 pub use report::{latency_histogram, unit_report, LatencyBucket, UnitReport};

@@ -158,8 +158,7 @@ mod tests {
         let s1 = small_stage();
         let s2 = small_stage();
         let s3 = small_stage();
-        let faults: Vec<Vec<Fault>> =
-            [&s1, &s2, &s3].iter().map(|n| all_faults(n)).collect();
+        let faults: Vec<Vec<Fault>> = [&s1, &s2, &s3].iter().map(|n| all_faults(n)).collect();
         let config = CampaignConfig { max_patterns: 4096, seed: 3, threads: 1 };
 
         // Stage-level: each stage observed at its own boundary.

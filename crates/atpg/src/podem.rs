@@ -305,10 +305,7 @@ impl<'a> Podem<'a> {
                     if !has_d {
                         continue;
                     }
-                    let x_input = gate
-                        .inputs
-                        .iter()
-                        .find(|i| self.values[i.index()] == V5::X)?;
+                    let x_input = gate.inputs.iter().find(|i| self.values[i.index()] == V5::X)?;
                     let val = non_controlling(gate.kind)?;
                     return Some((*x_input, val));
                 }
@@ -397,16 +394,11 @@ fn pick_x_input(gate: &Gate, values: &[V5]) -> Option<NetId> {
 /// inputs set to 0).
 #[must_use]
 pub fn verify_test(netlist: &Netlist, fault: Fault, pattern: &[Option<bool>]) -> bool {
-    let inputs: Vec<u64> = pattern
-        .iter()
-        .map(|v| if v.unwrap_or(false) { !0u64 } else { 0u64 })
-        .collect();
+    let inputs: Vec<u64> =
+        pattern.iter().map(|v| if v.unwrap_or(false) { !0u64 } else { 0u64 }).collect();
     let good = netlist.eval_all(&inputs);
     let bad = netlist.eval_all_stuck(&inputs, (fault.net, fault.stuck));
-    netlist
-        .outputs()
-        .iter()
-        .any(|o| (good[o.index()] ^ bad[o.index()]) & 1 != 0)
+    netlist.outputs().iter().any(|o| (good[o.index()] ^ bad[o.index()]) & 1 != 0)
 }
 
 #[cfg(test)]

@@ -41,7 +41,11 @@ fn main() {
     let pro = LifetimeSim::new(cfg).run().expect("lifetime sim");
 
     let mut t = Table::new(&[
-        "Year", "Guardband ΔVth/freq", "AVS ΔVth/freq", "Facelift ΔVth/freq", "R2D3-Pro ΔVth",
+        "Year",
+        "Guardband ΔVth/freq",
+        "AVS ΔVth/freq",
+        "Facelift ΔVth/freq",
+        "R2D3-Pro ΔVth",
     ]);
     for year in [0usize, 2, 4, 6, 8] {
         let m = if year == 0 { 0 } else { year * 12 - 1 };

@@ -42,7 +42,9 @@ fn main() {
     }
     t.print();
     println!();
-    println!("Black's equation turns Pro's thermal headroom into a multiplicative EM lifetime win.");
+    println!(
+        "Black's equation turns Pro's thermal headroom into a multiplicative EM lifetime win."
+    );
 
     println!();
     println!("MTTF criterion sensitivity (R2D3-Pro, 24 months):");

@@ -19,8 +19,12 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(0xF0F0);
 
     let mut t = Table::new(&[
-        "Faults", "Formed", "Balanced avg span", "Local avg span",
-        "Balanced worst ps", "Local worst ps",
+        "Faults",
+        "Formed",
+        "Balanced avg span",
+        "Local avg span",
+        "Balanced worst ps",
+        "Local worst ps",
     ]);
     for faults in [2usize, 4, 8, 12, 16] {
         let trials = 200;

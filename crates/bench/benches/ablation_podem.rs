@@ -18,7 +18,12 @@ fn main() {
     let stages = all_stage_netlists(&StageSizing::default());
 
     let mut t = Table::new(&[
-        "Unit", "Faults", "Random det %", "Flow det %", "PODEM proved untestable", "Aborted",
+        "Unit",
+        "Faults",
+        "Random det %",
+        "Flow det %",
+        "PODEM proved untestable",
+        "Aborted",
     ]);
     let mut total_random_det = 0usize;
     let mut total_flow_det = 0usize;
@@ -29,8 +34,7 @@ fn main() {
             random: CampaignConfig { max_patterns: 4096, seed: 17, threads: 8 },
             podem_backtracks: 4_000,
         };
-        let random_only =
-            r2d3_atpg::campaign::run_campaign(sn.netlist(), &faults, &config.random);
+        let random_only = r2d3_atpg::campaign::run_campaign(sn.netlist(), &faults, &config.random);
         let (flow, stats) = run_full_flow(sn.netlist(), &faults, &config);
 
         let (rd, _, _) = random_only.counts();

@@ -12,7 +12,13 @@ fn main() {
     header("Ablation", "soft-error injection campaign (transient classification)");
 
     let mut t = Table::new(&[
-        "T_epoch", "Injected", "Caught", "Masked", "Silent", "Crashed", "Misdiagnosed",
+        "T_epoch",
+        "Injected",
+        "Caught",
+        "Masked",
+        "Silent",
+        "Crashed",
+        "Misdiagnosed",
         "Handled %",
     ]);
     // Shorter epochs keep the comparison window near the upset —

@@ -24,11 +24,8 @@ fn main() {
     // One long campaign; coverage within a window of W patterns is the
     // fraction of detectable faults whose first detection index < W.
     let cc = CampaignConfig { max_patterns: 1 << 15, seed: 11, threads: 8 };
-    let outcomes: Vec<_> = stages
-        .iter()
-        .zip(&faults)
-        .map(|(s, f)| run_campaign(s.netlist(), f, &cc))
-        .collect();
+    let outcomes: Vec<_> =
+        stages.iter().zip(&faults).map(|(s, f)| run_campaign(s.netlist(), f, &cc)).collect();
 
     let mut detectable = 0usize;
     let mut latencies: Vec<usize> = Vec::new();
@@ -47,11 +44,7 @@ fn main() {
         // Power proxy: one leftover per unit re-executing for T_test of
         // every T_epoch cycles.
         let power_mw = 1000.0 * unit_power_w * (window as f64 / t_epoch).min(1.0);
-        t.row(&[
-            format!("{window}"),
-            format!("{coverage:.1}"),
-            format!("{power_mw:.1}"),
-        ]);
+        t.row(&[format!("{window}"), format!("{coverage:.1}"), format!("{power_mw:.1}")]);
     }
     t.print();
     println!();

@@ -9,7 +9,12 @@ fn main() {
     let r = fig4_campaigns(&Fig4Config::default());
 
     let mut t = Table::new(&[
-        "Structure", "Faults", "Detected %", "Undetected %", "Undetectable %", "Detectable %",
+        "Structure",
+        "Faults",
+        "Detected %",
+        "Undetected %",
+        "Undetectable %",
+        "Detectable %",
     ]);
     let mut row = |rep: &r2d3_atpg::report::UnitReport| {
         let n = rep.total.max(1) as f64;
@@ -30,10 +35,7 @@ fn main() {
     t.print();
 
     println!();
-    println!(
-        "Total detectable (stage level): {:.1} %   — paper: 96 %",
-        r.total.detectable_pct()
-    );
+    println!("Total detectable (stage level): {:.1} %   — paper: 96 %", r.total.detectable_pct());
     println!(
         "Core-level detectable:          {:.1} %   — paper: 84 %",
         r.core_level.detectable_pct()

@@ -18,8 +18,7 @@ fn main() {
     for workload in [KernelKind::Fft, KernelKind::Gemv, KernelKind::Gemm] {
         let sweep = fig5_sweep(workload);
         println!("--- {workload} (demand {:.2}) ---", workload.core_demand_fraction());
-        let mut t =
-            Table::new(&["Year", "NoRecon", "Static", "R2D3-Lite", "R2D3-Pro"]);
+        let mut t = Table::new(&["Year", "NoRecon", "Static", "R2D3-Lite", "R2D3-Pro"]);
         let at = |k: PolicyKind, m: usize| sweep.policy(k).series.norm_ipc[m.min(95)];
         for year in 0..=8 {
             let m = if year == 0 { 0 } else { year * 12 - 1 };

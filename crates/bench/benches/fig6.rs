@@ -37,16 +37,18 @@ fn main() {
     let (t_min, t_max) = maps.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, (_, o)| {
         o.initial_hot_layer_map.iter().fold(acc, |(lo, hi), &t| (lo.min(t), hi.max(t)))
     });
-    println!("Common scale: {t_min:.0} °C (' ') … {t_max:.0} °C ('@');  paper color bar: 111–147 °C\n");
+    println!(
+        "Common scale: {t_min:.0} °C (' ') … {t_max:.0} °C ('@');  paper color bar: 111–147 °C\n"
+    );
 
     let static_avg = avg(&maps[0].1.initial_hot_layer_map);
     for (policy, out) in &maps {
         let mean = avg(&out.initial_hot_layer_map);
-        let peak = out
-            .initial_hot_layer_map
-            .iter()
-            .fold(f64::NEG_INFINITY, |a, &b| a.max(b));
-        println!("{policy}: hottest-layer avg {mean:.1} °C, peak {peak:.1} °C, Δ vs Static {:+.1} °C", mean - static_avg);
+        let peak = out.initial_hot_layer_map.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+        println!(
+            "{policy}: hottest-layer avg {mean:.1} °C, peak {peak:.1} °C, Δ vs Static {:+.1} °C",
+            mean - static_avg
+        );
         print!("{}", render(&out.initial_hot_layer_map, out.map_nx, out.map_ny, t_min, t_max));
         println!();
     }

@@ -23,21 +23,123 @@ struct Prior {
 }
 
 const PRIOR: &[Prior] = &[
-    Prior { name: "ARGUS", granularity: "Core", detection: "98%", repair: false, lifetime: "-", perf_oh: "3.9", area_oh: "17.0", power_oh: "N.R." },
-    Prior { name: "BulletProof", granularity: "Pipeline stage", detection: "89%", repair: false, lifetime: "-", perf_oh: "18.0", area_oh: "5.9", power_oh: "N.R." },
-    Prior { name: "ACE", granularity: "Core", detection: "99%", repair: false, lifetime: "-", perf_oh: "5.5", area_oh: "5.8", power_oh: "4.0" },
-    Prior { name: "CoreCannibal", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Performance: 2.4", perf_oh: "12.0", area_oh: "3.5", power_oh: "N.R." },
-    Prior { name: "3DFAR", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Frequency: 16%", perf_oh: "5.0", area_oh: "7.0", power_oh: "N.R." },
-    Prior { name: "StageNet", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Throughput: 30%", perf_oh: "33.0", area_oh: "17.0", power_oh: "16.0" },
-    Prior { name: "Viper", granularity: "Pipeline stage", detection: "-", repair: true, lifetime: "Failure: 20%", perf_oh: "24.0", area_oh: "8.0", power_oh: "N.R." },
-    Prior { name: "NBTI 3D", granularity: "Core", detection: "-", repair: false, lifetime: "MTTF: 30%", perf_oh: "9.0", area_oh: "N.R.", power_oh: "N.R." },
-    Prior { name: "Bubblewrap", granularity: "Core", detection: "-", repair: false, lifetime: "Performance: 25%", perf_oh: "N.R.", area_oh: "N.R.", power_oh: "up to 90.0" },
-    Prior { name: "NBTI Multicore", granularity: "Core", detection: "-", repair: false, lifetime: "Performance: 78%", perf_oh: "6.0", area_oh: "N.R.", power_oh: "N.R." },
-    Prior { name: "Artemis", granularity: "Core", detection: "-", repair: false, lifetime: "Lifetime: 116%", perf_oh: "2.0", area_oh: "N.R.", power_oh: "N.R." },
+    Prior {
+        name: "ARGUS",
+        granularity: "Core",
+        detection: "98%",
+        repair: false,
+        lifetime: "-",
+        perf_oh: "3.9",
+        area_oh: "17.0",
+        power_oh: "N.R.",
+    },
+    Prior {
+        name: "BulletProof",
+        granularity: "Pipeline stage",
+        detection: "89%",
+        repair: false,
+        lifetime: "-",
+        perf_oh: "18.0",
+        area_oh: "5.9",
+        power_oh: "N.R.",
+    },
+    Prior {
+        name: "ACE",
+        granularity: "Core",
+        detection: "99%",
+        repair: false,
+        lifetime: "-",
+        perf_oh: "5.5",
+        area_oh: "5.8",
+        power_oh: "4.0",
+    },
+    Prior {
+        name: "CoreCannibal",
+        granularity: "Pipeline stage",
+        detection: "-",
+        repair: true,
+        lifetime: "Performance: 2.4",
+        perf_oh: "12.0",
+        area_oh: "3.5",
+        power_oh: "N.R.",
+    },
+    Prior {
+        name: "3DFAR",
+        granularity: "Pipeline stage",
+        detection: "-",
+        repair: true,
+        lifetime: "Frequency: 16%",
+        perf_oh: "5.0",
+        area_oh: "7.0",
+        power_oh: "N.R.",
+    },
+    Prior {
+        name: "StageNet",
+        granularity: "Pipeline stage",
+        detection: "-",
+        repair: true,
+        lifetime: "Throughput: 30%",
+        perf_oh: "33.0",
+        area_oh: "17.0",
+        power_oh: "16.0",
+    },
+    Prior {
+        name: "Viper",
+        granularity: "Pipeline stage",
+        detection: "-",
+        repair: true,
+        lifetime: "Failure: 20%",
+        perf_oh: "24.0",
+        area_oh: "8.0",
+        power_oh: "N.R.",
+    },
+    Prior {
+        name: "NBTI 3D",
+        granularity: "Core",
+        detection: "-",
+        repair: false,
+        lifetime: "MTTF: 30%",
+        perf_oh: "9.0",
+        area_oh: "N.R.",
+        power_oh: "N.R.",
+    },
+    Prior {
+        name: "Bubblewrap",
+        granularity: "Core",
+        detection: "-",
+        repair: false,
+        lifetime: "Performance: 25%",
+        perf_oh: "N.R.",
+        area_oh: "N.R.",
+        power_oh: "up to 90.0",
+    },
+    Prior {
+        name: "NBTI Multicore",
+        granularity: "Core",
+        detection: "-",
+        repair: false,
+        lifetime: "Performance: 78%",
+        perf_oh: "6.0",
+        area_oh: "N.R.",
+        power_oh: "N.R.",
+    },
+    Prior {
+        name: "Artemis",
+        granularity: "Core",
+        detection: "-",
+        repair: false,
+        lifetime: "Lifetime: 116%",
+        perf_oh: "2.0",
+        area_oh: "N.R.",
+        power_oh: "N.R.",
+    },
 ];
 
 fn main() {
-    header("Table I", "feature comparison matrix (prior work = literature data; R2D3 row measured)");
+    header(
+        "Table I",
+        "feature comparison matrix (prior work = literature data; R2D3 row measured)",
+    );
 
     // Measured coverage (stage-level detectable fraction).
     let fig4 = fig4_campaigns(&Fig4Config::default());
@@ -56,8 +158,14 @@ fn main() {
     let design = model.design(DesignVariant::R2d3);
 
     let mut t = Table::new(&[
-        "Solution", "Granularity", "Detection", "Repair", "Lifetime mgmt",
-        "Perf OH %", "Area OH %", "Power OH %",
+        "Solution",
+        "Granularity",
+        "Detection",
+        "Repair",
+        "Lifetime mgmt",
+        "Perf OH %",
+        "Area OH %",
+        "Power OH %",
     ]);
     for p in PRIOR {
         t.row(&[

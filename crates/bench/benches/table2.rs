@@ -19,12 +19,22 @@ fn main() {
     ]);
     t.row(&[
         "L1 D-Cache".into(),
-        format!("{} kB, {}-way, private, {}-cycle hit", h.l1d.size_bytes / 1024, h.l1d.ways, h.l1d.hit_cycles),
+        format!(
+            "{} kB, {}-way, private, {}-cycle hit",
+            h.l1d.size_bytes / 1024,
+            h.l1d.ways,
+            h.l1d.hit_cycles
+        ),
         "8 kB, 4-way set-associative, private".into(),
     ]);
     t.row(&[
         "L2 D-Cache".into(),
-        format!("{} kB, {}-way, shared, {}-cycle hit", h.l2.size_bytes / 1024, h.l2.ways, h.l2.hit_cycles),
+        format!(
+            "{} kB, {}-way, shared, {}-cycle hit",
+            h.l2.size_bytes / 1024,
+            h.l2.ways,
+            h.l2.hit_cycles
+        ),
         "64 kB, 4-way set-associative, shared".into(),
     ]);
     t.row(&[

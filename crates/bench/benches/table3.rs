@@ -7,7 +7,12 @@ use r2d3_physical::{table, DesignVariant, PhysicalModel};
 fn main() {
     header("Table III", "area and power for a 5-stage pipeline (45 nm SOI anchor)");
     let mut t = Table::new(&[
-        "Stage", "Area (mm²)", "Crossbar OH (%)", "Checker OH (%)", "Protected (%)", "Power (mW)",
+        "Stage",
+        "Area (mm²)",
+        "Crossbar OH (%)",
+        "Checker OH (%)",
+        "Protected (%)",
+        "Power (mW)",
     ]);
     for row in &table::TABLE_III {
         t.row(&[

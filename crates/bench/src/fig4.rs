@@ -24,12 +24,7 @@ pub struct Fig4Config {
 
 impl Default for Fig4Config {
     fn default() -> Self {
-        Fig4Config {
-            sizing: StageSizing::default(),
-            max_patterns: 1 << 14,
-            threads: 8,
-            seed: 7,
-        }
+        Fig4Config { sizing: StageSizing::default(), max_patterns: 1 << 14, threads: 8, seed: 7 }
     }
 }
 
@@ -71,9 +66,8 @@ pub fn fig4_campaigns(config: &Fig4Config) -> Fig4Results {
 
     let netlists: Vec<_> = stages.iter().map(|s| s.netlist()).collect();
     let faults: Vec<_> = netlists.iter().map(|n| collapsed_faults(n)).collect();
-    let outcomes =
-        core_level_campaign_with(&netlists, &faults, &cc, &ComposeOptions::core_level())
-            .expect("non-empty chain");
+    let outcomes = core_level_campaign_with(&netlists, &faults, &cc, &ComposeOptions::core_level())
+        .expect("non-empty chain");
     let mut core_level: Option<UnitReport> = None;
     for (sn, outcome) in stages.iter().zip(&outcomes) {
         let report = unit_report(sn.unit().name(), outcome);

@@ -20,10 +20,7 @@ impl Fig5Results {
     /// Panics if the sweep did not include the policy (it always does).
     #[must_use]
     pub fn policy(&self, kind: PolicyKind) -> &LifetimeOutcome {
-        self.outcomes
-            .iter()
-            .find(|o| o.policy == kind)
-            .expect("sweep covers all policies")
+        self.outcomes.iter().find(|o| o.policy == kind).expect("sweep covers all policies")
     }
 }
 
@@ -34,11 +31,7 @@ pub fn quick_lifetime_config(policy: PolicyKind, workload: KernelKind) -> Lifeti
         replicas: 8,
         mttf_trials: 300,
         grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
-        ..LifetimeConfig::new(
-            policy,
-            workload.core_demand_fraction(),
-            workload.activity_weight(),
-        )
+        ..LifetimeConfig::new(policy, workload.core_demand_fraction(), workload.activity_weight())
     }
 }
 
@@ -93,8 +86,9 @@ mod tests {
             cfg.reliability.base_rate_per_month = 0.0;
             results.push(LifetimeSim::new(cfg).run().unwrap());
         }
-        let vth =
-            |k: PolicyKind| *results.iter().find(|o| o.policy == k).unwrap().series.max_vth.last().unwrap();
+        let vth = |k: PolicyKind| {
+            *results.iter().find(|o| o.policy == k).unwrap().series.max_vth.last().unwrap()
+        };
         assert!(vth(PolicyKind::Pro) < vth(PolicyKind::Lite));
         assert!(vth(PolicyKind::Lite) < vth(PolicyKind::NoRecon));
     }

@@ -60,6 +60,13 @@ impl Command {
         self
     }
 
+    /// Allows extra positionals beyond the declared ones (a variadic
+    /// tail, e.g. `r2d3 campaign merge <shard>...`).
+    pub fn trailing(mut self) -> Self {
+        self.trailing = true;
+        self
+    }
+
     // -- shared flags (one spelling, one help text, every command) ------
 
     /// `--substrate behavioral|netlist[|both]`.
@@ -105,6 +112,9 @@ impl Command {
         let _ = write!(out, "\nUSAGE:\n  r2d3 {}", self.name);
         for p in &self.positionals {
             let _ = write!(out, " <{}>", p.name);
+        }
+        if self.trailing {
+            let _ = write!(out, "...");
         }
         if !self.flags.is_empty() {
             let _ = write!(out, " [OPTIONS]");
@@ -207,6 +217,11 @@ impl<'a> Parsed<'a> {
     /// The `idx`-th positional argument (declared ones are guaranteed).
     pub fn positional(&self, idx: usize) -> &'a str {
         self.positionals[idx]
+    }
+
+    /// All positional arguments, declared and trailing.
+    pub fn positionals(&self) -> &[&'a str] {
+        &self.positionals
     }
 
     /// Parses `--name`'s value, or returns `default` when absent. Errors
@@ -331,5 +346,16 @@ mod tests {
     #[test]
     fn help_short_circuits_parsing() {
         assert!(cmd().parse(&args(&["--help"])).unwrap().is_none());
+    }
+
+    #[test]
+    fn trailing_accepts_extra_positionals() {
+        let variadic = Command::new("demo", "test").positional("file", "input").trailing();
+        let a = args(&["a", "b", "c"]);
+        let p = variadic.parse(&a).unwrap().unwrap();
+        assert_eq!(p.positionals(), &["a", "b", "c"]);
+        // Without trailing, the same input is rejected.
+        let strict = Command::new("demo", "test").positional("file", "input");
+        assert!(strict.parse(&a).unwrap_err().contains("unexpected argument"));
     }
 }

@@ -6,12 +6,12 @@
 
 use crate::args::{parse_substrate, Command, SubstrateChoice};
 use r2d3_core::engine::{EngineEvent, R2d3Engine};
-use r2d3_core::lifetime::{LifetimeConfig, LifetimeSim};
+use r2d3_core::lifetime::{LifetimeConfig, LifetimeRunState, LifetimeSim};
 use r2d3_core::policy::PolicyKind;
 use r2d3_core::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
 use r2d3_core::telemetry::{
     chrome_trace, json_lines, lifetime_counter_trace, validate_chrome_trace, validate_json_lines,
-    ChromeTrace, RingSink, TelemetryRecord,
+    ChromeTrace, OverflowPolicy, RingSink, StreamSink, StreamStats, TelemetryRecord,
 };
 use r2d3_isa::kernels::{gemv, KernelKind};
 use r2d3_isa::text::parse_program;
@@ -205,8 +205,13 @@ fn drive_repair<S: ReliabilitySubstrate>(
 /// `r2d3 campaign`
 pub fn campaign(args: &[String]) -> CliResult {
     use r2d3_core::campaign::{
-        render_report, run_campaign, run_campaign_traced, CampaignConfig, Outcome, SubstrateKind,
+        run_campaign, run_campaign_durable, run_campaign_traced, CampaignConfig, CampaignState,
+        ShardReport, ShardSpec, SubstrateKind,
     };
+
+    if args.first().map(String::as_str) == Some("merge") {
+        return campaign_merge(&args[1..]);
+    }
 
     let cmd = Command::new("campaign", "adversarial fault-injection sweep over both substrates")
         .seed_flag()
@@ -215,7 +220,12 @@ pub fn campaign(args: &[String]) -> CliResult {
         .out_flag("report")
         .switch("smoke", "small CI-sized sweep (27 scenarios)")
         .metrics_out_flag()
-        .trace_out_flag();
+        .trace_out_flag()
+        .flag("shard", "K/N", "run only shard K of an N-way partition (shard file goes to --out)")
+        .flag("resume", "FILE", "resume a run from a snapshot written by --snapshot")
+        .flag("snapshot", "FILE", "write a crash-safe run snapshot here as scenarios complete")
+        .flag("snapshot-every", "N", "scenarios between snapshots (default 1)")
+        .flag("stop-after", "N", "stop (after snapshotting) once N scenarios ran this invocation");
     let Some(p) = cmd.parse(args)? else {
         return Ok(());
     };
@@ -232,13 +242,74 @@ pub fn campaign(args: &[String]) -> CliResult {
         ..Default::default()
     };
 
+    let shard = p.get("shard").map(ShardSpec::parse).transpose()?;
+    let snapshot_path = p.get("snapshot");
+    let snapshot_every: usize = p.get_or("snapshot-every", 1)?.max(1);
+    let stop_after: Option<usize> = match p.get("stop-after") {
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid value for --stop-after: `{v}`"))?),
+        None => None,
+    };
+    let durable = shard.is_some()
+        || p.get("resume").is_some()
+        || snapshot_path.is_some()
+        || stop_after.is_some();
+    if durable && p.get("trace-out").is_some() {
+        return Err("--trace-out cannot be combined with \
+                    --shard/--resume/--snapshot/--stop-after"
+            .into());
+    }
+    if shard.is_some() && p.get("out").is_none() {
+        return Err("--shard needs --out FILE for the shard report \
+                    (merge later with `r2d3 campaign merge`)"
+            .into());
+    }
+
     eprintln!(
-        "campaign: seed {:#x}, {} scenarios × {} substrate(s)…",
+        "campaign: seed {:#x}, {} scenarios × {} substrate(s){}…",
         config.seed,
         config.scenarios_per_substrate,
-        config.substrates.len()
+        config.substrates.len(),
+        match shard {
+            Some(s) => format!(", shard {s}"),
+            None => String::new(),
+        }
     );
-    let report = if let Some(path) = p.get("trace-out") {
+
+    let report = if durable {
+        let resume = p
+            .get("resume")
+            .map(|path| CampaignState::load(std::path::Path::new(path)))
+            .transpose()?;
+        let mut executed = 0usize;
+        let outcome = run_campaign_durable(&config, shard, resume, |st| {
+            executed += 1;
+            let stopping = stop_after.is_some_and(|n| executed >= n);
+            if let Some(path) = snapshot_path {
+                if stopping || executed.is_multiple_of(snapshot_every) {
+                    st.save(std::path::Path::new(path))?;
+                }
+            }
+            Ok(if stopping {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            })
+        })?;
+        match outcome {
+            Some(report) => report,
+            None => {
+                match snapshot_path {
+                    Some(path) => eprintln!(
+                        "  stopped after {executed} scenario(s); resume with --resume {path}"
+                    ),
+                    None => eprintln!(
+                        "  stopped after {executed} scenario(s); no --snapshot, progress lost"
+                    ),
+                }
+                return Ok(());
+            }
+        }
+    } else if let Some(path) = p.get("trace-out") {
         let (report, traces) = run_campaign_traced(&config);
         let mut trace = ChromeTrace::new();
         for (i, t) in traces.iter().enumerate() {
@@ -251,6 +322,50 @@ pub fn campaign(args: &[String]) -> CliResult {
     } else {
         run_campaign(&config)
     };
+
+    print_campaign_summary(&report);
+    if let Some(path) = p.get("metrics-out") {
+        std::fs::write(path, render_campaign_metrics(&report))?;
+        eprintln!("  metrics written to {path}");
+    }
+
+    if let Some(shard) = shard {
+        let path = p.get("out").expect("checked above");
+        ShardReport { shard, report: report.clone() }.save(std::path::Path::new(path))?;
+        eprintln!("  shard report written to {path}");
+    } else {
+        emit_campaign_report(&report, p.get("out"))?;
+    }
+    campaign_failures_check(&report)
+}
+
+/// `r2d3 campaign merge <shard>...`
+fn campaign_merge(args: &[String]) -> CliResult {
+    use r2d3_core::campaign::{merge_shards, ShardReport};
+
+    let cmd =
+        Command::new("campaign merge", "recombine per-shard reports into one campaign report")
+            .positional("shard", "shard file written by `campaign --shard K/N --out FILE`")
+            .trailing()
+            .out_flag("report");
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let mut shards = Vec::with_capacity(p.positionals().len());
+    for path in p.positionals() {
+        shards.push(
+            ShardReport::load(std::path::Path::new(path)).map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    let report = merge_shards(&shards)?;
+    eprintln!("merged {} shard(s):", shards.len());
+    print_campaign_summary(&report);
+    emit_campaign_report(&report, p.get("out"))?;
+    campaign_failures_check(&report)
+}
+
+fn print_campaign_summary(report: &r2d3_core::campaign::CampaignReport) {
+    use r2d3_core::campaign::Outcome;
     for sub in &report.substrates {
         eprintln!(
             "  {:>10}: {} scenarios — {} benign, {} detected+repaired, \
@@ -264,21 +379,24 @@ pub fn campaign(args: &[String]) -> CliResult {
             sub.outcome_count(Outcome::EngineFailure),
         );
     }
+}
 
-    if let Some(path) = p.get("metrics-out") {
-        std::fs::write(path, render_campaign_metrics(&report))?;
-        eprintln!("  metrics written to {path}");
-    }
-
-    let json = render_report(&report);
-    match p.get("out") {
+fn emit_campaign_report(
+    report: &r2d3_core::campaign::CampaignReport,
+    out: Option<&str>,
+) -> CliResult {
+    let json = r2d3_core::campaign::render_report(report);
+    match out {
         Some(path) => {
             std::fs::write(path, &json)?;
             eprintln!("  report written to {path}");
         }
         None => print!("{json}"),
     }
+    Ok(())
+}
 
+fn campaign_failures_check(report: &r2d3_core::campaign::CampaignReport) -> CliResult {
     let failures = report.failures();
     if failures > 0 {
         return Err(format!(
@@ -318,7 +436,8 @@ pub fn trace(args: &[String]) -> CliResult {
             .epochs_flag()
             .flag("format", "NAME", "output format: chrome|jsonl")
             .out_flag("trace")
-            .flag("check", "FILE", "validate an existing trace file and exit");
+            .flag("check", "FILE", "validate an existing trace file and exit")
+            .flag("stream-out", "FILE", "stream JSON-lines through the bounded sink to FILE");
     let Some(p) = cmd.parse(args)? else {
         return Ok(());
     };
@@ -330,6 +449,25 @@ pub fn trace(args: &[String]) -> CliResult {
     let seed: u64 = p.get_or("seed", 7)?;
     let epochs: u64 = p.get_or("epochs", 24)?;
     let victim = StageId::new(2, Unit::Exu);
+
+    if let Some(path) = p.get("stream-out") {
+        let sink = StreamSink::to_file(path, OverflowPolicy::Block)?;
+        let stats = match parse_substrate(p.get("substrate"), SubstrateChoice::Behavioral, false)? {
+            SubstrateChoice::Behavioral => {
+                stream_scenario(standard_system(seed)?, victim, seed, epochs, sink)?
+            }
+            SubstrateChoice::Netlist => {
+                let sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
+                stream_scenario(sub, victim, seed, epochs, sink)?
+            }
+            SubstrateChoice::Both => unreachable!("rejected by parse_substrate"),
+        };
+        eprintln!(
+            "{path}: {} records streamed ({} written, {} dropped, {} backpressure stalls)",
+            stats.recorded, stats.written, stats.dropped, stats.stalls
+        );
+        return Ok(());
+    }
     let (records, substrate) =
         match parse_substrate(p.get("substrate"), SubstrateChoice::Behavioral, false)? {
             SubstrateChoice::Behavioral => {
@@ -371,6 +509,24 @@ fn record_scenario<S: ReliabilitySubstrate>(
         engine.run_epoch(&mut sys)?;
     }
     Ok(engine.telemetry().records())
+}
+
+/// Same canonical scenario as [`record_scenario`], but with telemetry
+/// streamed to disk through the bounded-channel [`StreamSink`] instead
+/// of buffered in memory. Returns the sink's delivery accounting.
+fn stream_scenario<S: ReliabilitySubstrate>(
+    mut sys: S,
+    victim: StageId,
+    seed: u64,
+    epochs: u64,
+    sink: StreamSink,
+) -> Result<StreamStats, Box<dyn std::error::Error>> {
+    sys.inject_permanent_seeded(victim, seed)?;
+    let mut engine = R2d3Engine::builder().telemetry(sink).build()?;
+    for _ in 0..epochs {
+        engine.run_epoch(&mut sys)?;
+    }
+    Ok(engine.into_telemetry().finish()?)
 }
 
 /// Validates a trace file emitted by any `--trace-out` (Chrome format)
@@ -442,7 +598,15 @@ pub fn lifetime(args: &[String]) -> CliResult {
         .flag("workload", "K", "workload kernel: gemm|gemv|fft")
         .seed_flag()
         .metrics_out_flag()
-        .trace_out_flag();
+        .trace_out_flag()
+        .flag("resume", "FILE", "resume a run from a snapshot written by --snapshot")
+        .flag("snapshot", "FILE", "write a crash-safe run snapshot here as months complete")
+        .flag("snapshot-every", "N", "month-steps between snapshots (default 12)")
+        .flag(
+            "stop-after",
+            "N",
+            "stop (after snapshotting) once N month-steps ran this invocation",
+        );
     let Some(p) = cmd.parse(args)? else {
         return Ok(());
     };
@@ -469,8 +633,52 @@ pub fn lifetime(args: &[String]) -> CliResult {
         grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
         ..LifetimeConfig::new(policy, workload.core_demand_fraction(), workload.activity_weight())
     };
+    let snapshot_path = p.get("snapshot");
+    let snapshot_every: usize = p.get_or("snapshot-every", 12)?.max(1);
+    let stop_after: Option<usize> = match p.get("stop-after") {
+        Some(v) => Some(v.parse().map_err(|_| format!("invalid value for --stop-after: `{v}`"))?),
+        None => None,
+    };
+    let durable = p.get("resume").is_some() || snapshot_path.is_some() || stop_after.is_some();
+
     println!("{policy} on {workload} for {months} months…");
-    let out = LifetimeSim::new(config).run()?;
+    let out = if durable {
+        let resume = p
+            .get("resume")
+            .map(|path| LifetimeRunState::load(std::path::Path::new(path)))
+            .transpose()?;
+        let mut executed = 0usize;
+        let outcome = LifetimeSim::new(config).run_durable(resume, |st| {
+            executed += 1;
+            let stopping = stop_after.is_some_and(|n| executed >= n);
+            if let Some(path) = snapshot_path {
+                if stopping || executed.is_multiple_of(snapshot_every) {
+                    st.save(std::path::Path::new(path))?;
+                }
+            }
+            Ok(if stopping {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            })
+        })?;
+        match outcome {
+            Some(out) => out,
+            None => {
+                match snapshot_path {
+                    Some(path) => eprintln!(
+                        "stopped after {executed} month-step(s); resume with --resume {path}"
+                    ),
+                    None => eprintln!(
+                        "stopped after {executed} month-step(s); no --snapshot, progress lost"
+                    ),
+                }
+                return Ok(());
+            }
+        }
+    } else {
+        LifetimeSim::new(config).run()?
+    };
     let s = &out.series;
     println!("month   ΔVth(V)   MTTF(mo)   IPC   hottest(°C)");
     for m in (0..months).step_by((months / 8).max(1)).chain([months - 1]) {

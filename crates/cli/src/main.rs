@@ -7,11 +7,15 @@
 //!                                              fault scenario with the engine
 //! r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both]
 //!               [--smoke] [--out FILE] [--metrics-out FILE] [--trace-out FILE]
+//!               [--shard K/N] [--resume FILE] [--snapshot FILE]
+//!               [--snapshot-every N] [--stop-after N]
 //!                                              adversarial fault-injection sweep
+//! r2d3 campaign merge <shard>... [--out FILE]  recombine per-shard reports
 //! r2d3 trace [--format chrome|jsonl] [--out FILE] | [--check FILE]
-//!                                              record / validate telemetry traces
+//!            [--stream-out FILE]               record / validate telemetry traces
 //! r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per unit
-//! r2d3 lifetime [--policy P] [--months N]      8-year lifetime trajectory
+//! r2d3 lifetime [--policy P] [--months N] [--resume FILE] [--snapshot FILE]
+//!                                              8-year lifetime trajectory
 //! r2d3 thermal [--active N]                    steady-state stack heat map
 //! r2d3 info                                    physical design summary
 //! ```
@@ -64,11 +68,14 @@ fn print_usage() {
          \x20                                              inject a fault; watch the engine repair\n\
          \x20 r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both]\n\
          \x20               [--smoke] [--out FILE] [--metrics-out FILE] [--trace-out FILE]\n\
+         \x20               [--shard K/N] [--resume FILE] [--snapshot FILE] [--stop-after N]\n\
          \x20                                              adversarial fault-injection campaign\n\
-         \x20 r2d3 trace [--format chrome|jsonl] [--out FILE] | [--check FILE]\n\
+         \x20 r2d3 campaign merge <shard>... [--out FILE]  recombine per-shard campaign reports\n\
+         \x20 r2d3 trace [--format chrome|jsonl] [--out FILE] | [--check FILE] | [--stream-out FILE]\n\
          \x20                                              record or validate a telemetry trace\n\
          \x20 r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per pipeline unit\n\
-         \x20 r2d3 lifetime [--policy P] [--months N]      lifetime trajectory (P: norecon|static|lite|pro)\n\
+         \x20 r2d3 lifetime [--policy P] [--months N] [--resume FILE] [--snapshot FILE]\n\
+         \x20                                              lifetime trajectory (P: norecon|static|lite|pro)\n\
          \x20 r2d3 thermal [--active N]                    steady-state stack temperatures\n\
          \x20 r2d3 info                                    physical design summary (Table III)\n\
          \n\

@@ -11,24 +11,51 @@ fn main() {
     let mut last: Vec<(String, f64, f64, f64)> = Vec::new();
     for policy in [PolicyKind::NoRecon, PolicyKind::Static, PolicyKind::Lite, PolicyKind::Pro] {
         let cfg = LifetimeConfig {
-            months, replicas: std::env::var("REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(8), mttf_trials: 300,
+            months,
+            replicas: std::env::var("REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(8),
+            mttf_trials: 300,
             grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
-            reliability: ReliabilityParams { base_rate_per_month: base, vth_accel_scale: scale, fault_ea_ev: std::env::var("FAULT_EA").ok().and_then(|v| v.parse().ok()).unwrap_or(0.35), ..Default::default() },
+            reliability: ReliabilityParams {
+                base_rate_per_month: base,
+                vth_accel_scale: scale,
+                fault_ea_ev: std::env::var("FAULT_EA")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.35),
+                ..Default::default()
+            },
             ..LifetimeConfig::new(policy, demand, 0.85)
         };
         let out = LifetimeSim::new(cfg).run().unwrap();
         let s = &out.series;
         print!("{:9} mttf:", policy.name());
-        for m in (0..months).step_by(24).chain([months-1]) { print!(" {:6.1}", s.mttf_months[m]); }
+        for m in (0..months).step_by(24).chain([months - 1]) {
+            print!(" {:6.1}", s.mttf_months[m]);
+        }
         print!("  ipc:");
-        for m in (0..months).step_by(24).chain([months-1]) { print!(" {:4.2}", s.norm_ipc[m]); }
+        for m in (0..months).step_by(24).chain([months - 1]) {
+            print!(" {:4.2}", s.norm_ipc[m]);
+        }
         println!("  maxVth={:.3}", s.max_vth.last().unwrap());
         let avg_ipc: f64 = s.norm_ipc.iter().sum::<f64>() / s.norm_ipc.len() as f64;
-        last.push((policy.name().to_string(), *s.mttf_months.last().unwrap(), *s.norm_ipc.last().unwrap(), avg_ipc));
+        last.push((
+            policy.name().to_string(),
+            *s.mttf_months.last().unwrap(),
+            *s.norm_ipc.last().unwrap(),
+            avg_ipc,
+        ));
     }
     let nr = &last[0];
     println!("ratios at end: MTTF Lite/NR={:.2} Pro/NR={:.2} | IPC Static/NR={:.2} Lite/NR={:.2} Pro/NR={:.2}",
         last[2].1/nr.1, last[3].1/nr.1, last[1].2/nr.2, last[2].2/nr.2, last[3].2/nr.2);
-    println!("time-avg IPC: NR={:.3} St={:.3} Li={:.3} Pro={:.3}  Pro/NR={:.2} Pro/St={:.2} Li/St={:.2}",
-        last[0].3, last[1].3, last[2].3, last[3].3, last[3].3/last[0].3, last[3].3/last[1].3, last[2].3/last[1].3);
+    println!(
+        "time-avg IPC: NR={:.3} St={:.3} Li={:.3} Pro={:.3}  Pro/NR={:.2} Pro/St={:.2} Li/St={:.2}",
+        last[0].3,
+        last[1].3,
+        last[2].3,
+        last[3].3,
+        last[3].3 / last[0].3,
+        last[3].3 / last[1].3,
+        last[2].3 / last[1].3
+    );
 }

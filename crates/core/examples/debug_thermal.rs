@@ -1,13 +1,21 @@
-use r2d3_thermal::*;
 use r2d3_isa::Unit;
+use r2d3_thermal::*;
 fn main() {
     let fp = Floorplan::opensparc_3d(8);
     let grid = ThermalGrid::new(&fp, &GridConfig { nx: 8, ny: 6, ..Default::default() });
     let mut p = PowerMap::new(&fp);
     let unit_w = [0.115, 0.023, 0.044, 0.010, 0.003];
-    for layer in 0..8 { for (i,u) in Unit::ALL.iter().enumerate() { p.set_block(layer, *u, unit_w[i]); } }
+    for layer in 0..8 {
+        for (i, u) in Unit::ALL.iter().enumerate() {
+            p.set_block(layer, *u, unit_w[i]);
+        }
+    }
     match grid.steady_state(&p) {
-        Ok(t) => { for l in [0,7] { println!("layer {l}: avg {:.1} max {:.1}", t.layer_avg(l), t.layer_max(l)); } }
+        Ok(t) => {
+            for l in [0, 7] {
+                println!("layer {l}: avg {:.1} max {:.1}", t.layer_avg(l), t.layer_max(l));
+            }
+        }
         Err(e) => println!("ERR {e}"),
     }
 }

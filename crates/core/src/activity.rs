@@ -32,10 +32,7 @@ pub fn activity_indices(alphas: &[f64], n_workload: f64) -> Vec<f64> {
 /// more than the whole window).
 #[must_use]
 pub fn schedule_times(indices: &[f64], t_cal: u64) -> Vec<u64> {
-    indices
-        .iter()
-        .map(|a| (a.clamp(0.0, 1.0) * t_cal as f64).round() as u64)
-        .collect()
+    indices.iter().map(|a| (a.clamp(0.0, 1.0) * t_cal as f64).round() as u64).collect()
 }
 
 /// Predicted activity factor from a measured/predicted temperature:

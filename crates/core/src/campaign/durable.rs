@@ -1,0 +1,1015 @@
+//! Durable campaign execution: sharding, fault-tolerant merge, and
+//! crash-safe resume.
+//!
+//! Three pieces, all built on the [`snapshot`] container format:
+//!
+//! * **Sharding** — [`ShardSpec`] deterministically partitions the
+//!   scenario space (`id % total == index - 1`, so the round-robin kind
+//!   cycle stays balanced across shards); [`run_campaign_sharded`]
+//!   sweeps one partition and [`ShardReport::save`] persists it.
+//! * **Merge** — [`merge_shards`] recombines per-shard reports into one
+//!   [`CampaignReport`], validating seed/size/substrate compatibility
+//!   and detecting scenario overlaps and gaps. Scenario execution is
+//!   independent and the metric folds are commutative, so the merged
+//!   report renders byte-identical to an unsharded run.
+//! * **Resume** — [`run_campaign_durable`] executes scenarios one at a
+//!   time through the same per-scenario code as the batch sweep, handing
+//!   a portable [`CampaignState`] to an observer after each one; a state
+//!   captured mid-flight resumes into a byte-identical report.
+
+use crate::campaign::runner::{
+    CampaignConfig, CampaignReport, EventCounts, Outcome, PreparedSubstrate, ScenarioResult,
+    SubstrateKind, SubstrateReport, SweepMetrics,
+};
+use crate::campaign::scenario::{
+    generate_scenarios, FaultKind, FaultScenario, Injection, ScenarioSpace, KIND_NAMES,
+};
+use crate::jsonio::{hex_u64, Value};
+use crate::snapshot::{self, SnapshotError};
+use crate::telemetry::Histogram;
+use r2d3_pipeline_sim::StageId;
+use std::fmt;
+use std::fmt::Write as _;
+use std::ops::ControlFlow;
+use std::path::Path;
+
+/// One shard of a partitioned campaign: shard `index` of `total`
+/// (1-based, like the CLI's `--shard K/N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    index: usize,
+    total: usize,
+}
+
+impl ShardSpec {
+    /// Builds a shard spec; `index` is 1-based.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `total == 0` and `index` outside `1..=total`.
+    pub fn new(index: usize, total: usize) -> Result<Self, String> {
+        if total == 0 {
+            return Err("shard total must be at least 1".into());
+        }
+        if index == 0 || index > total {
+            return Err(format!("shard index must be in 1..={total}, got {index}"));
+        }
+        Ok(ShardSpec { index, total })
+    }
+
+    /// Parses the CLI form `K/N`.
+    ///
+    /// # Errors
+    ///
+    /// Malformed syntax or an out-of-range pair.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let (k, n) = text
+            .split_once('/')
+            .ok_or_else(|| format!("expected K/N (e.g. 2/4), got \"{text}\""))?;
+        let index = k.trim().parse::<usize>().map_err(|_| format!("bad shard index \"{k}\""))?;
+        let total = n.trim().parse::<usize>().map_err(|_| format!("bad shard total \"{n}\""))?;
+        ShardSpec::new(index, total)
+    }
+
+    /// 1-based shard index.
+    #[must_use]
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Number of shards in the partition.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Whether this shard owns scenario `id`. Strided assignment keeps
+    /// the generator's round-robin kind cycle balanced across shards.
+    #[must_use]
+    pub fn owns(&self, id: u32) -> bool {
+        id as usize % self.total == self.index - 1
+    }
+}
+
+impl fmt::Display for ShardSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index, self.total)
+    }
+}
+
+/// The scenarios of `config`'s campaign owned by `shard`, in id order.
+#[must_use]
+pub fn shard_scenarios(config: &CampaignConfig, shard: ShardSpec) -> Vec<FaultScenario> {
+    campaign_scenarios(config).into_iter().filter(|s| shard.owns(s.id)).collect()
+}
+
+fn campaign_scenarios(config: &CampaignConfig) -> Vec<FaultScenario> {
+    generate_scenarios(&ScenarioSpace {
+        seed: config.seed,
+        count: config.scenarios_per_substrate,
+        pipelines: config.pipelines,
+        layers: config.layers,
+        settle_epochs: config.settle_epochs,
+    })
+}
+
+/// One shard's sweep output: the shard coordinates plus a
+/// [`CampaignReport`] whose result lists cover only the shard's
+/// scenario ids (under their campaign-global ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardReport {
+    /// Which shard of how many.
+    pub shard: ShardSpec,
+    /// The shard's sweep, scoped to its scenario partition.
+    pub report: CampaignReport,
+}
+
+impl ShardReport {
+    /// Snapshot-container kind tag for shard reports.
+    pub const KIND: &'static str = "shard";
+
+    /// Atomically persists the shard report at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError::Io`].
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        snapshot::write_atomic(path, Self::KIND, self.to_body().as_bytes())
+    }
+
+    /// Loads and verifies a shard report written by
+    /// [`save`](ShardReport::save).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: I/O, wrong magic/version/kind, truncation,
+    /// digest mismatch, malformed body.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_body(&snapshot::read_verified(path, Self::KIND)?)
+    }
+
+    fn to_body(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"shard\": [{}, {}],", self.shard.index, self.shard.total);
+        let _ = writeln!(out, "  \"seed\": {},", hex_u64(self.report.seed));
+        let _ = writeln!(
+            out,
+            "  \"scenarios_per_substrate\": {},",
+            self.report.scenarios_per_substrate
+        );
+        out.push_str("  \"substrates\": [");
+        for (i, sub) in self.report.substrates.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            substrate_report_to_json(&mut out, sub);
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    fn from_body(body: &str) -> Result<Self, SnapshotError> {
+        let v = snapshot::parse_body(body)?;
+        let pair = snapshot::field(&v, "shard")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Malformed("\"shard\" is not an array".into()))?;
+        let (Some(index), Some(total)) =
+            (pair.first().and_then(Value::as_usize), pair.get(1).and_then(Value::as_usize))
+        else {
+            return Err(SnapshotError::Malformed("\"shard\" must be [index, total]".into()));
+        };
+        let shard = ShardSpec::new(index, total).map_err(SnapshotError::Malformed)?;
+        Ok(ShardReport { shard, report: campaign_report_from_json(&v)? })
+    }
+}
+
+/// Sweeps one shard of the campaign over every configured substrate.
+/// Shard scenarios execute the same per-scenario code as the full sweep,
+/// so a merged set of shard reports is byte-identical to an unsharded
+/// run.
+#[must_use]
+pub fn run_campaign_sharded(config: &CampaignConfig, shard: ShardSpec) -> ShardReport {
+    let scenarios = shard_scenarios(config, shard);
+    let substrates = config
+        .substrates
+        .iter()
+        .map(|&kind| crate::campaign::runner::run_substrate_sweep(kind, &scenarios, config))
+        .collect();
+    ShardReport {
+        shard,
+        report: CampaignReport {
+            seed: config.seed,
+            scenarios_per_substrate: config.scenarios_per_substrate,
+            substrates,
+        },
+    }
+}
+
+/// Recombines per-shard reports into one campaign report.
+///
+/// Validation, in order: at least one shard; every shard agrees on the
+/// partition size, seed, scenario count and substrate list; shard
+/// indices `1..=total` are each present exactly once; every result id
+/// belongs to the shard that reported it; and per substrate the union of
+/// ids is exactly `0..scenarios_per_substrate` — duplicates (overlap)
+/// and holes (gap) are rejected. Results are recombined in id order and
+/// metrics are folded with the same commutative merges the straight
+/// sweep uses, so the merged report renders byte-identical to an
+/// unsharded run.
+///
+/// # Errors
+///
+/// [`SnapshotError::ConfigMismatch`] for incompatible shards,
+/// [`SnapshotError::Malformed`] for duplicate/missing shards and
+/// overlapping or gapped scenario coverage.
+pub fn merge_shards(shards: &[ShardReport]) -> Result<CampaignReport, SnapshotError> {
+    let Some(first) = shards.first() else {
+        return Err(SnapshotError::Malformed("no shard reports to merge".into()));
+    };
+    let total = first.shard.total;
+    let seed = first.report.seed;
+    let count = first.report.scenarios_per_substrate;
+    let names: Vec<&'static str> = first.report.substrates.iter().map(|s| s.substrate).collect();
+
+    let mut seen = vec![false; total];
+    for sh in shards {
+        if sh.shard.total != total {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "shard {} is of a {}-way partition, expected {}-way",
+                sh.shard, sh.shard.total, total
+            )));
+        }
+        if sh.report.seed != seed {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "shard {} ran seed {:#x}, expected {:#x}",
+                sh.shard, sh.report.seed, seed
+            )));
+        }
+        if sh.report.scenarios_per_substrate != count {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "shard {} covers a {}-scenario campaign, expected {}",
+                sh.shard, sh.report.scenarios_per_substrate, count
+            )));
+        }
+        let sh_names: Vec<&'static str> =
+            sh.report.substrates.iter().map(|s| s.substrate).collect();
+        if sh_names != names {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "shard {} swept substrates {sh_names:?}, expected {names:?}",
+                sh.shard
+            )));
+        }
+        if seen[sh.shard.index - 1] {
+            return Err(SnapshotError::Malformed(format!(
+                "shard {} appears more than once",
+                sh.shard
+            )));
+        }
+        seen[sh.shard.index - 1] = true;
+        for sub in &sh.report.substrates {
+            for r in &sub.results {
+                if (r.id as usize) >= count || !sh.shard.owns(r.id) {
+                    return Err(SnapshotError::Malformed(format!(
+                        "shard {} reports scenario {} it does not own",
+                        sh.shard, r.id
+                    )));
+                }
+            }
+        }
+    }
+    if let Some(missing) = seen.iter().position(|s| !s) {
+        return Err(SnapshotError::Malformed(format!(
+            "shard {}/{total} is missing from the merge set",
+            missing + 1
+        )));
+    }
+
+    let mut substrates = Vec::with_capacity(names.len());
+    for (si, name) in names.iter().enumerate() {
+        let mut results: Vec<ScenarioResult> = Vec::with_capacity(count);
+        let mut metrics = SweepMetrics::default();
+        for sh in shards {
+            let sub = &sh.report.substrates[si];
+            results.extend(sub.results.iter().cloned());
+            metrics.detections += sub.metrics.detections;
+            metrics.replays += sub.metrics.replays;
+            metrics.detection_latency.merge(&sub.metrics.detection_latency);
+            metrics.replay_count.merge(&sub.metrics.replay_count);
+        }
+        results.sort_by_key(|r| r.id);
+        for (want, r) in results.iter().enumerate() {
+            if r.id as usize != want {
+                let verb = if (r.id as usize) < want { "twice (overlap)" } else { "never (gap)" };
+                return Err(SnapshotError::Malformed(format!(
+                    "substrate \"{name}\" covers scenario {want} {verb}"
+                )));
+            }
+        }
+        if results.len() != count {
+            return Err(SnapshotError::Malformed(format!(
+                "substrate \"{name}\" covers {} scenarios, expected {count}",
+                results.len()
+            )));
+        }
+        substrates.push(SubstrateReport { substrate: name, results, metrics });
+    }
+    Ok(CampaignReport { seed, scenarios_per_substrate: count, substrates })
+}
+
+/// Portable mid-flight state of a (possibly sharded) campaign run: the
+/// scenario-granular cursor, every completed substrate sweep, and the
+/// in-flight substrate's partial results. Scenario execution is
+/// self-contained (fresh substrate and engine per scenario), so the
+/// scenario boundary is a perfect resume point: a resumed campaign's
+/// report is byte-identical to an uninterrupted one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignState {
+    /// Digest of the originating configuration and shard selection.
+    config_digest: u64,
+    /// Shard this run covers, if sharded.
+    shard: Option<ShardSpec>,
+    /// Index into the configured substrate list.
+    substrate_cursor: usize,
+    /// Scenarios of the current substrate completed so far.
+    scenario_cursor: usize,
+    /// Fully swept substrates.
+    completed: Vec<SubstrateReport>,
+    /// Results of the in-flight substrate, in execution order.
+    partial_results: Vec<ScenarioResult>,
+    /// Metric aggregate of the in-flight substrate.
+    partial_metrics: SweepMetrics,
+}
+
+impl CampaignState {
+    /// Snapshot-container kind tag for campaign run states.
+    pub const KIND: &'static str = "campaign";
+
+    /// Index of the substrate currently being swept.
+    #[must_use]
+    pub fn substrate(&self) -> usize {
+        self.substrate_cursor
+    }
+
+    /// Scenarios of the current substrate completed so far.
+    #[must_use]
+    pub fn scenario(&self) -> usize {
+        self.scenario_cursor
+    }
+
+    /// Atomically persists the state at `path` (see [`snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError::Io`].
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        snapshot::write_atomic(path, Self::KIND, self.to_body().as_bytes())
+    }
+
+    /// Loads and verifies a state written by [`save`](CampaignState::save).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: I/O, wrong magic/version/kind, truncation,
+    /// digest mismatch, malformed body.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_body(&snapshot::read_verified(path, Self::KIND)?)
+    }
+
+    fn to_body(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"config_digest\": {},", hex_u64(self.config_digest));
+        match self.shard {
+            Some(s) => {
+                let _ = writeln!(out, "  \"shard\": [{}, {}],", s.index, s.total);
+            }
+            None => out.push_str("  \"shard\": null,\n"),
+        }
+        let _ = writeln!(out, "  \"substrate_cursor\": {},", self.substrate_cursor);
+        let _ = writeln!(out, "  \"scenario_cursor\": {},", self.scenario_cursor);
+        out.push_str("  \"completed\": [");
+        for (i, sub) in self.completed.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            substrate_report_to_json(&mut out, sub);
+        }
+        out.push_str(if self.completed.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"partial_results\": [");
+        for (i, r) in self.partial_results.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            scenario_result_to_json(&mut out, r);
+        }
+        out.push_str(if self.partial_results.is_empty() { "],\n" } else { "\n  ],\n" });
+        out.push_str("  \"partial_metrics\": ");
+        sweep_metrics_to_json(&mut out, &self.partial_metrics);
+        out.push_str("\n}\n");
+        out
+    }
+
+    fn from_body(body: &str) -> Result<Self, SnapshotError> {
+        let v = snapshot::parse_body(body)?;
+        let config_digest = snapshot::field(&v, "config_digest")?
+            .as_hex_u64()
+            .ok_or_else(|| SnapshotError::Malformed("\"config_digest\" is not hex".into()))?;
+        let shard_field = snapshot::field(&v, "shard")?;
+        let shard = if *shard_field == Value::Null {
+            None
+        } else {
+            let pair = shard_field
+                .as_arr()
+                .ok_or_else(|| SnapshotError::Malformed("\"shard\" is not an array".into()))?;
+            let (Some(index), Some(total)) =
+                (pair.first().and_then(Value::as_usize), pair.get(1).and_then(Value::as_usize))
+            else {
+                return Err(SnapshotError::Malformed("\"shard\" must be [index, total]".into()));
+            };
+            Some(ShardSpec::new(index, total).map_err(SnapshotError::Malformed)?)
+        };
+        let completed = snapshot::field(&v, "completed")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Malformed("\"completed\" is not an array".into()))?
+            .iter()
+            .map(substrate_report_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let partial_results = snapshot::field(&v, "partial_results")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Malformed("\"partial_results\" is not an array".into()))?
+            .iter()
+            .map(scenario_result_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CampaignState {
+            config_digest,
+            shard,
+            substrate_cursor: snapshot::field(&v, "substrate_cursor")?
+                .as_usize()
+                .ok_or_else(|| SnapshotError::Malformed("bad \"substrate_cursor\"".into()))?,
+            scenario_cursor: snapshot::field(&v, "scenario_cursor")?
+                .as_usize()
+                .ok_or_else(|| SnapshotError::Malformed("bad \"scenario_cursor\"".into()))?,
+            completed,
+            partial_results,
+            partial_metrics: sweep_metrics_from_json(snapshot::field(&v, "partial_metrics")?)?,
+        })
+    }
+}
+
+/// Digest identifying a campaign configuration plus shard selection
+/// (FNV-1a over their canonical `Debug` renderings).
+fn campaign_digest(config: &CampaignConfig, shard: Option<ShardSpec>) -> u64 {
+    snapshot::fnv1a64(format!("{config:?}|{shard:?}").as_bytes())
+}
+
+/// Runs the campaign (or one shard of it) durably: scenarios execute one
+/// at a time through the same per-scenario code as [`run_campaign`]
+/// (fresh substrate and engine each), and after every scenario the
+/// observer receives the complete portable [`CampaignState`] to persist
+/// ([`CampaignState::save`]) and/or stop on ([`ControlFlow::Break`]).
+/// Passing a previously captured state resumes mid-flight; the final
+/// report is byte-identical to an uninterrupted run.
+///
+/// Returns `Ok(None)` when the observer stopped the run early,
+/// `Ok(Some(report))` on completion.
+///
+/// [`run_campaign`]: crate::campaign::run_campaign
+///
+/// # Errors
+///
+/// [`SnapshotError::ConfigMismatch`] when `resume` was captured under a
+/// different configuration or shard selection (or its cursors lie
+/// outside this run), plus whatever the observer raises.
+pub fn run_campaign_durable<F>(
+    config: &CampaignConfig,
+    shard: Option<ShardSpec>,
+    resume: Option<CampaignState>,
+    mut observe: F,
+) -> Result<Option<CampaignReport>, SnapshotError>
+where
+    F: FnMut(&CampaignState) -> Result<ControlFlow<()>, SnapshotError>,
+{
+    let digest = campaign_digest(config, shard);
+    let scenarios = match shard {
+        Some(s) => shard_scenarios(config, s),
+        None => campaign_scenarios(config),
+    };
+
+    let mut st = match resume {
+        Some(st) => {
+            if st.config_digest != digest {
+                return Err(SnapshotError::ConfigMismatch(format!(
+                    "snapshot was captured under a different campaign configuration \
+                     (digest {:#018x}, this run is {:#018x})",
+                    st.config_digest, digest
+                )));
+            }
+            if st.substrate_cursor > config.substrates.len()
+                || st.completed.len() != st.substrate_cursor
+                || st.scenario_cursor > scenarios.len()
+                || st.partial_results.len() != st.scenario_cursor
+            {
+                return Err(SnapshotError::ConfigMismatch(format!(
+                    "snapshot cursor (substrate {}, scenario {}) is inconsistent with \
+                     this run ({} substrates x {} scenarios)",
+                    st.substrate_cursor,
+                    st.scenario_cursor,
+                    config.substrates.len(),
+                    scenarios.len()
+                )));
+            }
+            st
+        }
+        None => CampaignState {
+            config_digest: digest,
+            shard,
+            substrate_cursor: 0,
+            scenario_cursor: 0,
+            completed: Vec::new(),
+            partial_results: Vec::new(),
+            partial_metrics: SweepMetrics::default(),
+        },
+    };
+
+    while st.substrate_cursor < config.substrates.len() {
+        let kind = config.substrates[st.substrate_cursor];
+        let prepared = PreparedSubstrate::new(kind, config);
+        while st.scenario_cursor < scenarios.len() {
+            let scenario = &scenarios[st.scenario_cursor];
+            let (result, metrics) = prepared.run_one(scenario, config, None);
+            st.partial_metrics.absorb(&metrics);
+            st.partial_results.push(result);
+            st.scenario_cursor += 1;
+            if observe(&st)?.is_break() {
+                return Ok(None);
+            }
+        }
+        st.completed.push(SubstrateReport {
+            substrate: kind.name(),
+            results: std::mem::take(&mut st.partial_results),
+            metrics: std::mem::take(&mut st.partial_metrics),
+        });
+        st.substrate_cursor += 1;
+        st.scenario_cursor = 0;
+    }
+
+    Ok(Some(CampaignReport {
+        seed: config.seed,
+        scenarios_per_substrate: config.scenarios_per_substrate,
+        substrates: st.completed,
+    }))
+}
+
+// --- JSON codec for report structures ------------------------------
+//
+// Hand-rolled like `render_report`, but *round-trippable*: every field
+// of the Rust structures is preserved, u64 seeds travel as hex strings
+// (JSON numbers go through f64 and lose bits past 2^53), and names are
+// parsed back to the crate's `&'static str` tables.
+
+fn substrate_report_to_json(out: &mut String, sub: &SubstrateReport) {
+    let _ = write!(out, "    {{\"substrate\": \"{}\", \"results\": [", sub.substrate);
+    for (i, r) in sub.results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        scenario_result_to_json(out, r);
+    }
+    out.push_str("], \"metrics\": ");
+    sweep_metrics_to_json(out, &sub.metrics);
+    out.push('}');
+}
+
+fn substrate_report_from_json(v: &Value) -> Result<SubstrateReport, SnapshotError> {
+    let name = snapshot::field(v, "substrate")?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Malformed("\"substrate\" is not a string".into()))?;
+    let substrate = [SubstrateKind::Behavioral, SubstrateKind::Netlist]
+        .iter()
+        .map(|k| k.name())
+        .find(|n| *n == name)
+        .ok_or_else(|| SnapshotError::Malformed(format!("unknown substrate \"{name}\"")))?;
+    let results = snapshot::field(v, "results")?
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Malformed("\"results\" is not an array".into()))?
+        .iter()
+        .map(scenario_result_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(SubstrateReport {
+        substrate,
+        results,
+        metrics: sweep_metrics_from_json(snapshot::field(v, "metrics")?)?,
+    })
+}
+
+fn scenario_result_to_json(out: &mut String, r: &ScenarioResult) {
+    let _ = write!(
+        out,
+        "{{\"id\": {}, \"kind\": \"{}\", \"outcome\": \"{}\", \"counts\": ",
+        r.id,
+        r.kind,
+        r.outcome.name()
+    );
+    event_counts_to_json(out, &r.counts);
+    out.push_str(", \"shrunk\": ");
+    match &r.shrunk {
+        Some(sc) => fault_scenario_to_json(out, sc),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+fn scenario_result_from_json(v: &Value) -> Result<ScenarioResult, SnapshotError> {
+    let id = snapshot::field(v, "id")?
+        .as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| SnapshotError::Malformed("\"id\" is not a u32".into()))?;
+    let kind_name = snapshot::field(v, "kind")?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Malformed("\"kind\" is not a string".into()))?;
+    let kind =
+        KIND_NAMES.iter().find(|n| **n == kind_name).copied().ok_or_else(|| {
+            SnapshotError::Malformed(format!("unknown fault kind \"{kind_name}\""))
+        })?;
+    let outcome_name = snapshot::field(v, "outcome")?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Malformed("\"outcome\" is not a string".into()))?;
+    let outcome =
+        Outcome::ALL.iter().find(|o| o.name() == outcome_name).copied().ok_or_else(|| {
+            SnapshotError::Malformed(format!("unknown outcome \"{outcome_name}\""))
+        })?;
+    let shrunk_field = snapshot::field(v, "shrunk")?;
+    let shrunk = if *shrunk_field == Value::Null {
+        None
+    } else {
+        Some(fault_scenario_from_json(shrunk_field)?)
+    };
+    Ok(ScenarioResult {
+        id,
+        kind,
+        outcome,
+        counts: event_counts_from_json(snapshot::field(v, "counts")?)?,
+        shrunk,
+    })
+}
+
+fn event_counts_to_json(out: &mut String, c: &EventCounts) {
+    let _ = write!(
+        out,
+        "{{\"symptoms\": {}, \"transients\": {}, \"permanents\": {}, \
+         \"inconclusives\": {}, \"escalations\": {}, \"recoveries\": {}, \
+         \"checkpoint_corruptions\": {}}}",
+        c.symptoms,
+        c.transients,
+        c.permanents,
+        c.inconclusives,
+        c.escalations,
+        c.recoveries,
+        c.checkpoint_corruptions
+    );
+}
+
+fn event_counts_from_json(v: &Value) -> Result<EventCounts, SnapshotError> {
+    let n = |key: &str| -> Result<u64, SnapshotError> {
+        snapshot::field(v, key)?
+            .as_u64()
+            .ok_or_else(|| SnapshotError::Malformed(format!("\"{key}\" is not an integer")))
+    };
+    Ok(EventCounts {
+        symptoms: n("symptoms")?,
+        transients: n("transients")?,
+        permanents: n("permanents")?,
+        inconclusives: n("inconclusives")?,
+        escalations: n("escalations")?,
+        recoveries: n("recoveries")?,
+        checkpoint_corruptions: n("checkpoint_corruptions")?,
+    })
+}
+
+fn sweep_metrics_to_json(out: &mut String, m: &SweepMetrics) {
+    let _ = write!(
+        out,
+        "{{\"detections\": {}, \"replays\": {}, \"detection_latency\": {}, \
+         \"replay_count\": {}}}",
+        m.detections,
+        m.replays,
+        m.detection_latency.to_json(),
+        m.replay_count.to_json()
+    );
+}
+
+fn sweep_metrics_from_json(v: &Value) -> Result<SweepMetrics, SnapshotError> {
+    let n = |key: &str| -> Result<u64, SnapshotError> {
+        snapshot::field(v, key)?
+            .as_u64()
+            .ok_or_else(|| SnapshotError::Malformed(format!("\"{key}\" is not an integer")))
+    };
+    Ok(SweepMetrics {
+        detections: n("detections")?,
+        replays: n("replays")?,
+        detection_latency: histogram_from_json(snapshot::field(v, "detection_latency")?)?,
+        replay_count: histogram_from_json(snapshot::field(v, "replay_count")?)?,
+    })
+}
+
+fn histogram_from_json(v: &Value) -> Result<Histogram, SnapshotError> {
+    let arr = |key: &str| -> Result<Vec<u64>, SnapshotError> {
+        snapshot::field(v, key)?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Malformed(format!("\"{key}\" is not an array")))?
+            .iter()
+            .map(|e| {
+                e.as_u64()
+                    .ok_or_else(|| SnapshotError::Malformed(format!("\"{key}\" entry not a u64")))
+            })
+            .collect()
+    };
+    let n = |key: &str| -> Result<u64, SnapshotError> {
+        snapshot::field(v, key)?
+            .as_u64()
+            .ok_or_else(|| SnapshotError::Malformed(format!("\"{key}\" is not an integer")))
+    };
+    let bounds: [u64; 7] = arr("bounds")?
+        .try_into()
+        .map_err(|_| SnapshotError::Malformed("histogram needs 7 bounds".into()))?;
+    if !bounds.windows(2).all(|w| w[0] < w[1]) {
+        return Err(SnapshotError::Malformed("histogram bounds must increase".into()));
+    }
+    let counts: [u64; 8] = arr("counts")?
+        .try_into()
+        .map_err(|_| SnapshotError::Malformed("histogram needs 8 counts".into()))?;
+    Ok(Histogram::from_parts(bounds, counts, n("total")?, n("sum")?, n("max")?))
+}
+
+fn fault_scenario_to_json(out: &mut String, sc: &FaultScenario) {
+    let _ = write!(out, "{{\"id\": {}, \"kind\": ", sc.id);
+    fault_kind_to_json(out, sc.kind);
+    let _ = write!(out, ", \"epochs\": {}, \"injections\": [", sc.epochs);
+    for (i, inj) in sc.injections.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"epoch\": {}, \"stage\": {}, \"pipe\": {}, \"seed\": {}}}",
+            inj.epoch,
+            inj.stage.flat_index(),
+            inj.pipe,
+            hex_u64(inj.seed)
+        );
+    }
+    out.push_str("]}");
+}
+
+fn fault_scenario_from_json(v: &Value) -> Result<FaultScenario, SnapshotError> {
+    let id = snapshot::field(v, "id")?
+        .as_u64()
+        .and_then(|n| u32::try_from(n).ok())
+        .ok_or_else(|| SnapshotError::Malformed("scenario \"id\" is not a u32".into()))?;
+    let epochs = snapshot::field(v, "epochs")?
+        .as_u64()
+        .ok_or_else(|| SnapshotError::Malformed("\"epochs\" is not an integer".into()))?;
+    let injections = snapshot::field(v, "injections")?
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Malformed("\"injections\" is not an array".into()))?
+        .iter()
+        .map(injection_from_json)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(FaultScenario {
+        id,
+        kind: fault_kind_from_json(snapshot::field(v, "kind")?)?,
+        injections,
+        epochs,
+    })
+}
+
+fn injection_from_json(v: &Value) -> Result<Injection, SnapshotError> {
+    let epoch = snapshot::field(v, "epoch")?
+        .as_u64()
+        .ok_or_else(|| SnapshotError::Malformed("injection \"epoch\" is not an integer".into()))?;
+    let stage = snapshot::field(v, "stage")?
+        .as_usize()
+        .ok_or_else(|| SnapshotError::Malformed("injection \"stage\" is not an index".into()))?;
+    let pipe = snapshot::field(v, "pipe")?
+        .as_usize()
+        .ok_or_else(|| SnapshotError::Malformed("injection \"pipe\" is not an index".into()))?;
+    let seed = snapshot::field(v, "seed")?
+        .as_hex_u64()
+        .ok_or_else(|| SnapshotError::Malformed("injection \"seed\" is not hex".into()))?;
+    Ok(Injection { epoch, stage: StageId::from_flat_index(stage), pipe, seed })
+}
+
+fn fault_kind_to_json(out: &mut String, kind: FaultKind) {
+    match kind {
+        FaultKind::Intermittent { period } => {
+            let _ = write!(out, "{{\"name\": \"intermittent\", \"period\": {period}}}");
+        }
+        FaultKind::CheckerCorrupt { persistent } => {
+            let _ = write!(out, "{{\"name\": \"checker_corrupt\", \"persistent\": {persistent}}}");
+        }
+        other => {
+            let _ = write!(out, "{{\"name\": \"{}\"}}", other.name());
+        }
+    }
+}
+
+fn fault_kind_from_json(v: &Value) -> Result<FaultKind, SnapshotError> {
+    let name = snapshot::field(v, "name")?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Malformed("fault-kind \"name\" is not a string".into()))?;
+    Ok(match name {
+        "permanent" => FaultKind::Permanent,
+        "transient" => FaultKind::Transient,
+        "intermittent" => FaultKind::Intermittent {
+            period: snapshot::field(v, "period")?.as_u64().ok_or_else(|| {
+                SnapshotError::Malformed("intermittent \"period\" is not an integer".into())
+            })?,
+        },
+        "burst" => FaultKind::Burst,
+        "checker_corrupt" => FaultKind::CheckerCorrupt {
+            persistent: snapshot::field(v, "persistent")?.as_bool().ok_or_else(|| {
+                SnapshotError::Malformed("checker_corrupt \"persistent\" is not a bool".into())
+            })?,
+        },
+        "replay_corrupt" => FaultKind::ReplayCorrupt,
+        "checkpoint_corrupt" => FaultKind::CheckpointCorrupt,
+        "mid_window" => FaultKind::MidWindow,
+        "mid_diagnosis" => FaultKind::MidDiagnosis,
+        other => return Err(SnapshotError::Malformed(format!("unknown fault kind \"{other}\""))),
+    })
+}
+
+fn campaign_report_from_json(v: &Value) -> Result<CampaignReport, SnapshotError> {
+    Ok(CampaignReport {
+        seed: snapshot::field(v, "seed")?
+            .as_hex_u64()
+            .ok_or_else(|| SnapshotError::Malformed("\"seed\" is not hex".into()))?,
+        scenarios_per_substrate: snapshot::field(v, "scenarios_per_substrate")?
+            .as_usize()
+            .ok_or_else(|| {
+                SnapshotError::Malformed("\"scenarios_per_substrate\" is not an integer".into())
+            })?,
+        substrates: snapshot::field(v, "substrates")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Malformed("\"substrates\" is not an array".into()))?
+            .iter()
+            .map(substrate_report_from_json)
+            .collect::<Result<Vec<_>, _>>()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::run_campaign;
+
+    fn tiny_config() -> CampaignConfig {
+        CampaignConfig {
+            scenarios_per_substrate: 9,
+            substrates: vec![SubstrateKind::Behavioral],
+            ..Default::default()
+        }
+    }
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("r2d3-campaign-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn shard_spec_parses_and_validates() {
+        let s = ShardSpec::parse("2/4").unwrap();
+        assert_eq!((s.index(), s.total()), (2, 4));
+        assert_eq!(s.to_string(), "2/4");
+        assert!(s.owns(1) && s.owns(5) && !s.owns(0) && !s.owns(2));
+        assert!(ShardSpec::parse("0/4").is_err());
+        assert!(ShardSpec::parse("5/4").is_err());
+        assert!(ShardSpec::parse("1/0").is_err());
+        assert!(ShardSpec::parse("nope").is_err());
+    }
+
+    #[test]
+    fn shards_partition_the_scenario_space() {
+        let config = tiny_config();
+        let mut ids = Vec::new();
+        for k in 1..=3 {
+            let shard = ShardSpec::new(k, 3).unwrap();
+            ids.extend(shard_scenarios(&config, shard).iter().map(|s| s.id));
+        }
+        ids.sort_unstable();
+        assert_eq!(ids, (0..9).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn merged_shards_equal_unsharded_report() {
+        let config = tiny_config();
+        let full = run_campaign(&config);
+        let shards: Vec<ShardReport> =
+            (1..=2).map(|k| run_campaign_sharded(&config, ShardSpec::new(k, 2).unwrap())).collect();
+        let merged = merge_shards(&shards).unwrap();
+        assert_eq!(full, merged, "merge must reproduce the straight sweep exactly");
+    }
+
+    #[test]
+    fn shard_report_round_trips_through_disk() {
+        let config = tiny_config();
+        let report = run_campaign_sharded(&config, ShardSpec::new(1, 3).unwrap());
+        let path = tmp_path("shard-roundtrip");
+        report.save(&path).unwrap();
+        let reloaded = ShardReport::load(&path).unwrap();
+        assert_eq!(report, reloaded);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn merge_detects_incompatible_and_incomplete_sets() {
+        let config = tiny_config();
+        let s1 = run_campaign_sharded(&config, ShardSpec::new(1, 2).unwrap());
+        let s2 = run_campaign_sharded(&config, ShardSpec::new(2, 2).unwrap());
+
+        // Missing shard -> gap.
+        match merge_shards(std::slice::from_ref(&s1)) {
+            Err(SnapshotError::Malformed(msg)) => assert!(msg.contains("missing"), "{msg}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Duplicate shard.
+        match merge_shards(&[s1.clone(), s1.clone()]) {
+            Err(SnapshotError::Malformed(msg)) => {
+                assert!(msg.contains("more than once"), "{msg}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Seed mismatch.
+        let mut alien = s2.clone();
+        alien.report.seed ^= 1;
+        match merge_shards(&[s1.clone(), alien]) {
+            Err(SnapshotError::ConfigMismatch(msg)) => assert!(msg.contains("seed"), "{msg}"),
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        // Overlapping coverage: a result smuggled into the wrong shard.
+        let mut overlap = s2.clone();
+        let stolen = s1.report.substrates[0].results[0].clone();
+        overlap.report.substrates[0].results.insert(0, stolen);
+        match merge_shards(&[s1, overlap]) {
+            Err(SnapshotError::Malformed(msg)) => {
+                assert!(msg.contains("does not own"), "{msg}")
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn durable_campaign_matches_batch_run() {
+        let config = tiny_config();
+        let batch = run_campaign(&config);
+        let durable = run_campaign_durable(&config, None, None, |_| Ok(ControlFlow::Continue(())))
+            .unwrap()
+            .expect("observer never breaks");
+        assert_eq!(batch, durable);
+    }
+
+    #[test]
+    fn campaign_stop_and_resume_is_identical() {
+        let config = tiny_config();
+        let straight = run_campaign_durable(&config, None, None, |_| Ok(ControlFlow::Continue(())))
+            .unwrap()
+            .unwrap();
+
+        let path = tmp_path("campaign-resume");
+        let mut done = 0;
+        let stopped = run_campaign_durable(&config, None, None, |st| {
+            done += 1;
+            if done == 4 {
+                st.save(&path)?;
+                return Ok(ControlFlow::Break(()));
+            }
+            Ok(ControlFlow::Continue(()))
+        })
+        .unwrap();
+        assert!(stopped.is_none());
+
+        let state = CampaignState::load(&path).unwrap();
+        assert_eq!(state.scenario(), 4);
+        let resumed =
+            run_campaign_durable(&config, None, Some(state), |_| Ok(ControlFlow::Continue(())))
+                .unwrap()
+                .unwrap();
+        assert_eq!(straight, resumed, "resumed campaign must be byte-identical");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn campaign_resume_rejects_config_change() {
+        let config = tiny_config();
+        let mut captured = None;
+        run_campaign_durable(&config, None, None, |st| {
+            captured = Some(st.clone());
+            Ok(ControlFlow::Break(()))
+        })
+        .unwrap();
+
+        let mut other = tiny_config();
+        other.seed ^= 1;
+        match run_campaign_durable(&other, None, captured, |_| unreachable!()) {
+            Err(SnapshotError::ConfigMismatch(msg)) => {
+                assert!(msg.contains("different campaign configuration"), "{msg}");
+            }
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+    }
+}

@@ -34,12 +34,17 @@
 //! ```
 
 mod adversary;
+mod durable;
 mod report;
 mod runner;
 mod scenario;
 mod shrink;
 
 pub use adversary::Adversary;
+pub use durable::{
+    merge_shards, run_campaign_durable, run_campaign_sharded, shard_scenarios, CampaignState,
+    ShardReport, ShardSpec,
+};
 pub use report::render_report;
 pub use runner::{
     campaign_engine_config, run_campaign, run_campaign_traced, run_substrate_sweep, CampaignConfig,

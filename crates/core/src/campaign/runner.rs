@@ -24,6 +24,7 @@ use crate::telemetry::{
     DETECTION_LATENCY_BOUNDS, REPLAY_COUNT_BOUNDS,
 };
 use r2d3_isa::kernels::trap_mix;
+use r2d3_isa::Program;
 use r2d3_pipeline_sim::{StageId, System3d, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -360,87 +361,123 @@ fn substrate_sweep_inner(
     kind: SubstrateKind,
     scenarios: &[FaultScenario],
     config: &CampaignConfig,
-    traces: Option<&mut Vec<CampaignTrace>>,
+    mut traces: Option<&mut Vec<CampaignTrace>>,
 ) -> SubstrateReport {
-    match kind {
-        SubstrateKind::Behavioral => {
-            // Long-running syscall-heavy kernels keep every unit class
-            // busy; built once, cloned per scenario.
-            let programs: Vec<_> = (0..config.pipelines)
-                .map(|p| trap_mix(4096, config.seed ^ (p as u64 + 1)).program().clone())
-                .collect();
-            let sys_cfg = SystemConfig {
-                pipelines: config.pipelines,
-                layers: config.layers,
-                ..Default::default()
-            };
-            run_sweep(kind, scenarios, config, traces, || {
-                let mut sys = System3d::new(&sys_cfg);
-                for (p, prog) in programs.iter().enumerate() {
-                    sys.load_program(p, prog.clone()).expect("campaign workload load");
-                }
-                sys
-            })
-        }
-        SubstrateKind::Netlist => {
-            // Synthesis is the expensive part; build one template and
-            // clone it per scenario.
-            let template = NetlistSubstrate::new(&NetlistSubstrateConfig {
-                pipelines: config.pipelines,
-                layers: config.layers,
-                ..Default::default()
-            });
-            run_sweep(kind, scenarios, config, traces, || template.clone())
+    let prepared = PreparedSubstrate::new(kind, config);
+    let mut results = Vec::with_capacity(scenarios.len());
+    let mut metrics = SweepMetrics::default();
+    for scenario in scenarios {
+        let (result, snapshot) = prepared.run_one(scenario, config, traces.as_deref_mut());
+        metrics.absorb(&snapshot);
+        results.push(result);
+    }
+    SubstrateReport { substrate: kind.name(), results, metrics }
+}
+
+/// A substrate kind with its expensive per-sweep setup done (workload
+/// programs built, netlists synthesized), able to execute scenarios one
+/// at a time — the unit of work the durable campaign runner checkpoints
+/// between. The batch sweep is a loop over [`PreparedSubstrate::run_one`],
+/// so resumed and sharded campaigns execute byte-identical per-scenario
+/// code.
+pub(crate) struct PreparedSubstrate {
+    kind: SubstrateKind,
+    inner: PreparedInner,
+}
+
+enum PreparedInner {
+    /// Long-running syscall-heavy kernels keep every unit class busy;
+    /// built once, cloned per scenario.
+    Behavioral { programs: Vec<Program>, sys_cfg: SystemConfig },
+    /// Synthesis is the expensive part; one template, cloned per scenario.
+    Netlist { template: NetlistSubstrate },
+}
+
+impl PreparedSubstrate {
+    pub(crate) fn new(kind: SubstrateKind, config: &CampaignConfig) -> Self {
+        let inner = match kind {
+            SubstrateKind::Behavioral => PreparedInner::Behavioral {
+                programs: (0..config.pipelines)
+                    .map(|p| trap_mix(4096, config.seed ^ (p as u64 + 1)).program().clone())
+                    .collect(),
+                sys_cfg: SystemConfig {
+                    pipelines: config.pipelines,
+                    layers: config.layers,
+                    ..Default::default()
+                },
+            },
+            SubstrateKind::Netlist => PreparedInner::Netlist {
+                template: NetlistSubstrate::new(&NetlistSubstrateConfig {
+                    pipelines: config.pipelines,
+                    layers: config.layers,
+                    ..Default::default()
+                }),
+            },
+        };
+        PreparedSubstrate { kind, inner }
+    }
+
+    /// Executes one scenario end-to-end: run, classify, optionally
+    /// trace, shrink failures.
+    pub(crate) fn run_one(
+        &self,
+        scenario: &FaultScenario,
+        config: &CampaignConfig,
+        traces: Option<&mut Vec<CampaignTrace>>,
+    ) -> (ScenarioResult, MetricsSnapshot) {
+        match &self.inner {
+            PreparedInner::Behavioral { programs, sys_cfg } => {
+                run_one_scenario(self.kind, scenario, config, traces, || {
+                    let mut sys = System3d::new(sys_cfg);
+                    for (p, prog) in programs.iter().enumerate() {
+                        sys.load_program(p, prog.clone()).expect("campaign workload load");
+                    }
+                    sys
+                })
+            }
+            PreparedInner::Netlist { template } => {
+                run_one_scenario(self.kind, scenario, config, traces, || template.clone())
+            }
         }
     }
 }
 
-fn run_sweep<S, F>(
+fn run_one_scenario<S, F>(
     kind: SubstrateKind,
-    scenarios: &[FaultScenario],
+    scenario: &FaultScenario,
     config: &CampaignConfig,
-    mut traces: Option<&mut Vec<CampaignTrace>>,
+    traces: Option<&mut Vec<CampaignTrace>>,
     make: F,
-) -> SubstrateReport
+) -> (ScenarioResult, MetricsSnapshot)
 where
     S: ReliabilitySubstrate,
     F: Fn() -> S,
 {
-    let mut results = Vec::with_capacity(scenarios.len());
-    let mut metrics = SweepMetrics::default();
-    for scenario in scenarios {
-        // The sink is an observer only: outcome, counts and metrics are
-        // identical on both arms (see `run_campaign_traced`).
-        let (outcome, counts, snapshot) = match traces.as_deref_mut() {
-            Some(traces) => {
-                let exec = execute_scenario(make(), scenario, &config.engine, RingSink::new());
-                traces.push(CampaignTrace {
-                    substrate: kind.name(),
-                    scenario: scenario.id,
-                    records: exec.engine.telemetry().records(),
-                });
-                (exec.outcome, exec.counts, exec.metrics)
-            }
-            None => {
-                let exec = execute_scenario(make(), scenario, &config.engine, NullSink);
-                (exec.outcome, exec.counts, exec.metrics)
-            }
-        };
-        metrics.absorb(&snapshot);
-        let shrunk = (config.shrink && outcome.is_failure()).then(|| {
-            shrink_scenario(scenario, outcome, |cand| {
-                execute_scenario(make(), cand, &config.engine, NullSink).outcome
-            })
-        });
-        results.push(ScenarioResult {
-            id: scenario.id,
-            kind: scenario.kind.name(),
-            outcome,
-            counts,
-            shrunk,
-        });
-    }
-    SubstrateReport { substrate: kind.name(), results, metrics }
+    // The sink is an observer only: outcome, counts and metrics are
+    // identical on both arms (see `run_campaign_traced`).
+    let (outcome, counts, snapshot) = match traces {
+        Some(traces) => {
+            let exec = execute_scenario(make(), scenario, &config.engine, RingSink::new());
+            traces.push(CampaignTrace {
+                substrate: kind.name(),
+                scenario: scenario.id,
+                records: exec.engine.telemetry().records(),
+            });
+            (exec.outcome, exec.counts, exec.metrics)
+        }
+        None => {
+            let exec = execute_scenario(make(), scenario, &config.engine, NullSink);
+            (exec.outcome, exec.counts, exec.metrics)
+        }
+    };
+    let shrunk = (config.shrink && outcome.is_failure()).then(|| {
+        shrink_scenario(scenario, outcome, |cand| {
+            execute_scenario(make(), cand, &config.engine, NullSink).outcome
+        })
+    });
+    let result =
+        ScenarioResult { id: scenario.id, kind: scenario.kind.name(), outcome, counts, shrunk };
+    (result, snapshot)
 }
 
 struct Execution<S: ReliabilitySubstrate, T: TelemetrySink> {

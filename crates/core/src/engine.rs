@@ -3,8 +3,7 @@
 //! Engines are constructed with [`R2d3Engine::builder`], which validates
 //! the configuration and injects the telemetry sink, and observed with
 //! [`R2d3Engine::metrics`], which snapshots every counter and histogram
-//! the engine maintains. The pre-telemetry constructor and one-off
-//! getters survive as `#[deprecated]` shims.
+//! the engine maintains.
 
 use crate::checkpoint::{CheckpointConfig, CheckpointManager};
 use crate::config::R2d3Config;
@@ -298,20 +297,6 @@ impl R2d3Engine {
     }
 }
 
-impl<S: ReliabilitySubstrate> R2d3Engine<S> {
-    /// Creates a controller with the given configuration.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid (see
-    /// [`R2d3Config::validate`]).
-    #[deprecated(since = "0.4.0", note = "use `R2d3Engine::builder()` instead")]
-    #[must_use]
-    pub fn new(config: &R2d3Config) -> Self {
-        EngineBuilder::new().config(*config).build().expect("invalid R2D3 configuration")
-    }
-}
-
 impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
     /// Snapshots every counter, histogram and belief the engine
     /// maintains. Metrics are accumulated unconditionally (independent
@@ -336,6 +321,7 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
             repairs: self.metrics.repairs,
             rotations: self.metrics.rotations,
             recoveries: self.metrics.recoveries,
+            trace_dropped: self.sink.dropped(),
             believed_faulty,
             symptom_scores,
             checkpoints: self.checkpoints.as_ref().map(|m| *m.stats()),
@@ -365,63 +351,18 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
         &mut self.sink
     }
 
+    /// Consumes the engine and returns the telemetry sink — needed for
+    /// sinks whose teardown reports something, e.g.
+    /// [`crate::telemetry::StreamSink::finish`].
+    #[must_use]
+    pub fn into_telemetry(self) -> T {
+        self.sink
+    }
+
     /// The engine's configuration.
     #[must_use]
     pub fn config(&self) -> &R2d3Config {
         &self.config
-    }
-
-    /// Checkpoint/recovery statistics, when checkpointing is enabled.
-    #[deprecated(since = "0.4.0", note = "use `metrics().checkpoints` instead")]
-    #[must_use]
-    pub fn checkpoint_stats(&self) -> Option<crate::checkpoint::CheckpointStats> {
-        self.checkpoints.as_ref().map(|m| *m.stats())
-    }
-
-    /// Stages the controller has diagnosed as permanently faulty.
-    #[deprecated(
-        since = "0.4.0",
-        note = "use `is_believed_faulty()` or `metrics().believed_faulty` instead"
-    )]
-    #[must_use]
-    pub fn believed_faulty(&self) -> &HashSet<StageId> {
-        &self.believed_faulty
-    }
-
-    /// Epochs executed.
-    #[deprecated(since = "0.4.0", note = "use `metrics().epochs` instead")]
-    #[must_use]
-    pub fn epochs(&self) -> u64 {
-        self.epochs
-    }
-
-    /// Transient faults classified so far.
-    #[deprecated(since = "0.4.0", note = "use `metrics().transients_seen` instead")]
-    #[must_use]
-    pub fn transients_seen(&self) -> u64 {
-        self.metrics.transients
-    }
-
-    /// Permanent faults diagnosed so far.
-    #[deprecated(since = "0.4.0", note = "use `metrics().permanents_diagnosed` instead")]
-    #[must_use]
-    pub fn permanents_diagnosed(&self) -> u64 {
-        self.metrics.permanents
-    }
-
-    /// Stages quarantined by symptom-history escalation so far.
-    #[deprecated(since = "0.4.0", note = "use `metrics().escalations` instead")]
-    #[must_use]
-    pub fn escalations(&self) -> u64 {
-        self.metrics.escalations
-    }
-
-    /// Current decayed symptom score of a stage, in 1/1024 symptom units
-    /// ([`crate::history::SYMPTOM_SCALE`]).
-    #[deprecated(since = "0.4.0", note = "use `metrics().symptom_scores` instead")]
-    #[must_use]
-    pub fn symptom_score(&self, stage: StageId) -> u64 {
-        self.history.score(stage)
     }
 
     /// Whether `pipe` currently holds a committed checkpoint.
@@ -459,10 +400,28 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
     ///
     /// Propagates substrate errors.
     pub fn run_epoch(&mut self, sys: &mut S) -> Result<Vec<EngineEvent>, EngineError> {
+        // Per-pipe retirement baselines for the Exec spans. Taken only
+        // when a sink is installed; the reads are side-effect-free, so
+        // engine behavior stays sink-independent.
+        let retired_before: Option<Vec<u64>> = self
+            .sink
+            .is_enabled()
+            .then(|| (0..sys.pipeline_count()).map(|p| sys.retired(p)).collect());
         sys.run(self.config.t_epoch)?;
         self.epochs += 1;
         let now = sys.now();
-        self.emit(now, TelemetryEvent::Exec { cycles: self.config.t_epoch });
+        if let Some(before) = retired_before {
+            for (p, base) in before.iter().enumerate() {
+                self.emit(
+                    now,
+                    TelemetryEvent::Exec {
+                        pipe: p as u32,
+                        cycles: self.config.t_epoch,
+                        retired: sys.retired(p).saturating_sub(*base),
+                    },
+                );
+            }
+        }
         let mut events = Vec::new();
 
         // --- detection ---------------------------------------------------
@@ -1190,20 +1149,5 @@ mod tests {
     fn builder_rejects_invalid_config() {
         let err = R2d3Engine::builder().t_epoch(100).t_test(200).build::<System3d>();
         assert!(matches!(err, Err(EngineError::InvalidConfig(_))));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        let (_, mut sys) = engine_system(6);
-        let mut engine: R2d3Engine = R2d3Engine::new(&R2d3Config::default());
-        engine.run_epoch(&mut sys).unwrap();
-        assert_eq!(engine.epochs(), 1);
-        assert!(engine.believed_faulty().is_empty());
-        assert_eq!(engine.transients_seen(), 0);
-        assert_eq!(engine.permanents_diagnosed(), 0);
-        assert_eq!(engine.escalations(), 0);
-        assert_eq!(engine.symptom_score(StageId::new(0, Unit::Exu)), 0);
-        assert_eq!(engine.checkpoint_stats().map(|s| s.restores), Some(0));
     }
 }

@@ -73,10 +73,12 @@ pub mod config;
 pub mod detect;
 pub mod engine;
 pub mod history;
+pub(crate) mod jsonio;
 pub mod lifetime;
 pub mod policy;
 pub mod repair;
 pub mod report;
+pub mod snapshot;
 pub mod soft_error;
 pub mod substrate;
 pub mod telemetry;
@@ -84,8 +86,9 @@ pub mod telemetry;
 pub use config::R2d3Config;
 pub use engine::{EngineBuilder, EngineEvent, R2d3Engine};
 pub use history::{EscalationConfig, SymptomHistory};
-pub use lifetime::{LifetimeOutcome, LifetimeSim};
+pub use lifetime::{LifetimeOutcome, LifetimeRunState, LifetimeSim};
 pub use policy::PolicyKind;
+pub use snapshot::SnapshotError;
 pub use substrate::{
     GateFault, NetlistCheckpoint, NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate,
 };
@@ -117,6 +120,8 @@ pub enum EngineError {
         /// Digest of the payload as found at recovery.
         found: u64,
     },
+    /// A durable-run snapshot could not be written or restored.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for EngineError {
@@ -131,6 +136,7 @@ impl fmt::Display for EngineError {
                 "checkpoint for pipeline {pipe} is corrupt \
                  (digest {found:#018x}, committed as {expected:#018x})"
             ),
+            EngineError::Snapshot(e) => write!(f, "{e}"),
         }
     }
 }
@@ -140,6 +146,7 @@ impl std::error::Error for EngineError {
         match self {
             EngineError::Sim(e) => Some(e),
             EngineError::Thermal(e) => Some(e),
+            EngineError::Snapshot(e) => Some(e),
             EngineError::InvalidConfig(_)
             | EngineError::Substrate(_)
             | EngineError::CorruptCheckpoint { .. } => None,
@@ -156,5 +163,11 @@ impl From<r2d3_pipeline_sim::SimError> for EngineError {
 impl From<r2d3_thermal::ThermalError> for EngineError {
     fn from(e: r2d3_thermal::ThermalError) -> Self {
         EngineError::Thermal(e)
+    }
+}
+
+impl From<SnapshotError> for EngineError {
+    fn from(e: SnapshotError) -> Self {
+        EngineError::Snapshot(e)
     }
 }

@@ -15,22 +15,27 @@
 //! split the paper uses between gem5 runs and the reliability evaluation.
 
 use crate::activity::{alpha_from_temperature, pro_layer_weights, weighted_fill};
+use crate::jsonio::Value;
 use crate::policy::PolicyKind;
 use crate::repair::{core_level_formable, stage_level_formable};
+use crate::snapshot::{self, SnapshotError};
 use crate::substrate::ReliabilitySubstrate;
 use crate::EngineError;
+use parking_lot::Mutex;
 use r2d3_aging::mttf::{mttf_monte_carlo, MttfConfig};
 use r2d3_aging::nbti::{NbtiModel, NbtiParams, NbtiState};
 use r2d3_aging::{kelvin, BOLTZMANN_EV, SECONDS_PER_MONTH};
 use r2d3_isa::Unit;
 use r2d3_physical::{DesignVariant, PhysicalModel};
-use parking_lot::Mutex;
 use r2d3_pipeline_sim::StageId;
 use r2d3_thermal::{Floorplan, GridConfig, PowerMap, TemperatureField, ThermalGrid};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::ops::ControlFlow;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Which system-failure criterion the forward-MTTF Monte Carlo uses.
@@ -184,8 +189,7 @@ pub fn profile_substrate<S: ReliabilitySubstrate>(
     sys.reset_stats();
     sys.run(cycles)?;
 
-    let deltas: Vec<u64> =
-        (0..pipes).map(|p| sys.retired(p).saturating_sub(before[p])).collect();
+    let deltas: Vec<u64> = (0..pipes).map(|p| sys.retired(p).saturating_sub(before[p])).collect();
     let retired: u64 = deltas.iter().sum();
     let progressed = deltas.iter().filter(|&&d| d > 0).count();
 
@@ -291,6 +295,341 @@ fn chain_duty_hash(prev: u64, duty: &[f64]) -> u64 {
     h
 }
 
+/// Live state of one replica mid-trajectory — everything
+/// [`LifetimeSim::step_month`] reads and writes.
+#[derive(Debug)]
+struct ReplicaState {
+    replica: usize,
+    /// Months completed (the next month to simulate).
+    month: usize,
+    rng: StdRng,
+    alive: Vec<bool>,
+    wear: Vec<NbtiState>,
+    last_temps: Vec<f64>,
+    series: LifetimeSeries,
+    hot_map_month0: Vec<f64>,
+    /// Duty-history hash (thermal cache key).
+    history_hash: u64,
+    /// Previous month's converged field (warm start for the next solve).
+    warm: Option<Arc<SolvedMonth>>,
+    debug_final: Option<ReplicaDebug>,
+}
+
+impl ReplicaState {
+    fn fresh(cfg: &LifetimeConfig, replica: usize) -> Self {
+        let nstages = cfg.layers * Unit::COUNT;
+        ReplicaState {
+            replica,
+            month: 0,
+            rng: StdRng::seed_from_u64(cfg.seed ^ (replica as u64).wrapping_mul(0x9e37)),
+            alive: vec![true; nstages],
+            wear: vec![NbtiState::new(); nstages],
+            last_temps: initial_temp_guess(cfg.layers),
+            series: LifetimeSeries::default(),
+            hot_map_month0: Vec::new(),
+            history_hash: 0,
+            warm: None,
+            debug_final: None,
+        }
+    }
+}
+
+/// Portable mid-flight state of a lifetime run: the month-granular
+/// cursor (replica × month), the accumulated average over completed
+/// replicas, and the live replica's full state — RNG stream, fault map,
+/// per-stage wear, warm-start thermal field. Serialized with `f64`s as
+/// bit patterns, so save → load → continue is byte-identical to never
+/// having stopped (the [`snapshot`] determinism contract).
+///
+/// Produced by [`LifetimeSim::run_durable`]'s observer callback and
+/// persisted/recovered with [`save`](LifetimeRunState::save) /
+/// [`load`](LifetimeRunState::load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LifetimeRunState {
+    /// Digest of the originating [`LifetimeConfig`]; resuming under a
+    /// different configuration is a [`SnapshotError::ConfigMismatch`].
+    config_digest: u64,
+    /// Replica currently in flight (replicas `0..replica` are folded
+    /// into `acc`).
+    replica: usize,
+    /// Months the in-flight replica has completed.
+    month: usize,
+    /// Replica-average accumulated over completed replicas.
+    acc: LifetimeSeries,
+    /// Replica-0 hottest-layer map (empty until replica 0 completes).
+    map: Vec<f64>,
+    rng: [u64; 4],
+    alive: Vec<bool>,
+    wear: Vec<f64>,
+    last_temps: Vec<f64>,
+    series: LifetimeSeries,
+    hot_map_month0: Vec<f64>,
+    history_hash: u64,
+    warm_temps: Option<Vec<f64>>,
+    warm_cells: Option<Vec<f64>>,
+}
+
+impl LifetimeRunState {
+    /// Snapshot-container kind tag for lifetime runs.
+    pub const KIND: &'static str = "lifetime";
+
+    /// Replica currently in flight (0-based).
+    #[must_use]
+    pub fn replica(&self) -> usize {
+        self.replica
+    }
+
+    /// Months the in-flight replica has completed.
+    #[must_use]
+    pub fn month(&self) -> usize {
+        self.month
+    }
+
+    /// Total months simulated across completed and in-flight replicas,
+    /// given the run's months-per-replica.
+    #[must_use]
+    pub fn months_done(&self, months_per_replica: usize) -> usize {
+        self.replica * months_per_replica + self.month
+    }
+
+    fn capture(st: &DurableCursor, rs: &ReplicaState, digest: u64) -> Self {
+        LifetimeRunState {
+            config_digest: digest,
+            replica: rs.replica,
+            month: rs.month,
+            acc: st.acc.clone(),
+            map: st.map.clone(),
+            rng: rs.rng.state(),
+            alive: rs.alive.clone(),
+            wear: rs.wear.iter().map(NbtiState::vth_shift).collect(),
+            last_temps: rs.last_temps.clone(),
+            series: rs.series.clone(),
+            hot_map_month0: rs.hot_map_month0.clone(),
+            history_hash: rs.history_hash,
+            warm_temps: rs.warm.as_deref().map(|s| s.temps.clone()),
+            warm_cells: rs.warm.as_deref().map(|s| s.field.cells().to_vec()),
+        }
+    }
+
+    fn rebuild_replica(&self, grid: &ThermalGrid) -> Result<ReplicaState, SnapshotError> {
+        let warm = match (&self.warm_temps, &self.warm_cells) {
+            (Some(temps), Some(cells)) => {
+                let field = TemperatureField::from_cells(grid, cells.clone())
+                    .map_err(|e| SnapshotError::ConfigMismatch(format!("warm-start field: {e}")))?;
+                Some(Arc::new(SolvedMonth { temps: temps.clone(), field }))
+            }
+            (None, None) => None,
+            _ => {
+                return Err(SnapshotError::Malformed(
+                    "warm_temps/warm_cells must be both present or both null".into(),
+                ))
+            }
+        };
+        Ok(ReplicaState {
+            replica: self.replica,
+            month: self.month,
+            rng: StdRng::from_state(self.rng),
+            alive: self.alive.clone(),
+            wear: self.wear.iter().map(|&v| NbtiState::from_vth_shift(v)).collect(),
+            last_temps: self.last_temps.clone(),
+            series: self.series.clone(),
+            hot_map_month0: self.hot_map_month0.clone(),
+            history_hash: self.history_hash,
+            warm,
+            debug_final: None,
+        })
+    }
+
+    /// Atomically persists the state at `path` (see [`snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError::Io`].
+    pub fn save(&self, path: &Path) -> Result<(), SnapshotError> {
+        snapshot::write_atomic(path, Self::KIND, self.to_body().as_bytes())
+    }
+
+    /// Loads and verifies a state previously written by
+    /// [`save`](LifetimeRunState::save).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`]: I/O, wrong magic/version/kind, truncation,
+    /// digest mismatch, malformed body.
+    pub fn load(path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_body(&snapshot::read_verified(path, Self::KIND)?)
+    }
+
+    fn to_body(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"config_digest\": {},", jsonio_hex(self.config_digest));
+        let _ = writeln!(out, "  \"replica\": {},", self.replica);
+        let _ = writeln!(out, "  \"month\": {},", self.month);
+        let _ = writeln!(out, "  \"acc\": {},", series_to_json(&self.acc));
+        let _ = writeln!(out, "  \"map\": {},", snapshot::f64_slice_to_json(&self.map));
+        let _ = writeln!(
+            out,
+            "  \"rng\": [{}, {}, {}, {}],",
+            jsonio_hex(self.rng[0]),
+            jsonio_hex(self.rng[1]),
+            jsonio_hex(self.rng[2]),
+            jsonio_hex(self.rng[3])
+        );
+        out.push_str("  \"alive\": [");
+        for (i, a) in self.alive.iter().enumerate() {
+            let _ = write!(out, "{}{a}", if i == 0 { "" } else { ", " });
+        }
+        out.push_str("],\n");
+        let _ = writeln!(out, "  \"wear\": {},", snapshot::f64_slice_to_json(&self.wear));
+        let _ =
+            writeln!(out, "  \"last_temps\": {},", snapshot::f64_slice_to_json(&self.last_temps));
+        let _ = writeln!(out, "  \"series\": {},", series_to_json(&self.series));
+        let _ = writeln!(
+            out,
+            "  \"hot_map_month0\": {},",
+            snapshot::f64_slice_to_json(&self.hot_map_month0)
+        );
+        let _ = writeln!(out, "  \"history_hash\": {},", jsonio_hex(self.history_hash));
+        match &self.warm_temps {
+            Some(t) => {
+                let _ = writeln!(out, "  \"warm_temps\": {},", snapshot::f64_slice_to_json(t));
+            }
+            None => out.push_str("  \"warm_temps\": null,\n"),
+        }
+        match &self.warm_cells {
+            Some(c) => {
+                let _ = writeln!(out, "  \"warm_cells\": {}", snapshot::f64_slice_to_json(c));
+            }
+            None => out.push_str("  \"warm_cells\": null\n"),
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    fn from_body(body: &str) -> Result<Self, SnapshotError> {
+        let v = snapshot::parse_body(body)?;
+        let hex = |key: &str| -> Result<u64, SnapshotError> {
+            snapshot::field(&v, key)?.as_hex_u64().ok_or_else(|| {
+                SnapshotError::Malformed(format!("field \"{key}\" is not a hex u64"))
+            })
+        };
+        let usize_of = |key: &str| -> Result<usize, SnapshotError> {
+            snapshot::field(&v, key)?.as_usize().ok_or_else(|| {
+                SnapshotError::Malformed(format!("field \"{key}\" is not an integer"))
+            })
+        };
+        let floats = |key: &str| -> Result<Vec<f64>, SnapshotError> {
+            crate::snapshot::json_to_f64_vec(snapshot::field(&v, key)?)
+        };
+        let opt_floats = |key: &str| -> Result<Option<Vec<f64>>, SnapshotError> {
+            let f = snapshot::field(&v, key)?;
+            if *f == Value::Null {
+                Ok(None)
+            } else {
+                crate::snapshot::json_to_f64_vec(f).map(Some)
+            }
+        };
+        let rng_arr = snapshot::field(&v, "rng")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Malformed("\"rng\" is not an array".into()))?;
+        if rng_arr.len() != 4 {
+            return Err(SnapshotError::Malformed("\"rng\" must have 4 words".into()));
+        }
+        let mut rng = [0u64; 4];
+        for (slot, w) in rng.iter_mut().zip(rng_arr) {
+            *slot = w
+                .as_hex_u64()
+                .ok_or_else(|| SnapshotError::Malformed("\"rng\" word is not hex".into()))?;
+        }
+        let alive = snapshot::field(&v, "alive")?
+            .as_arr()
+            .ok_or_else(|| SnapshotError::Malformed("\"alive\" is not an array".into()))?
+            .iter()
+            .map(|b| {
+                b.as_bool()
+                    .ok_or_else(|| SnapshotError::Malformed("\"alive\" entry not a bool".into()))
+            })
+            .collect::<Result<Vec<bool>, _>>()?;
+        Ok(LifetimeRunState {
+            config_digest: hex("config_digest")?,
+            replica: usize_of("replica")?,
+            month: usize_of("month")?,
+            acc: series_from_json(snapshot::field(&v, "acc")?)?,
+            map: floats("map")?,
+            rng,
+            alive,
+            wear: floats("wear")?,
+            last_temps: floats("last_temps")?,
+            series: series_from_json(snapshot::field(&v, "series")?)?,
+            hot_map_month0: floats("hot_map_month0")?,
+            history_hash: hex("history_hash")?,
+            warm_temps: opt_floats("warm_temps")?,
+            warm_cells: opt_floats("warm_cells")?,
+        })
+    }
+}
+
+/// Accumulator half of a durable run (completed replicas).
+struct DurableCursor {
+    acc: LifetimeSeries,
+    map: Vec<f64>,
+}
+
+/// Writes a `u64` as the snapshot hex-string token.
+fn jsonio_hex(v: u64) -> String {
+    crate::jsonio::hex_u64(v)
+}
+
+/// Digest identifying a [`LifetimeConfig`] (FNV-1a over its canonical
+/// `Debug` rendering — every field participates).
+fn config_digest(cfg: &LifetimeConfig) -> u64 {
+    snapshot::fnv1a64(format!("{cfg:?}").as_bytes())
+}
+
+fn series_to_json(s: &LifetimeSeries) -> String {
+    format!(
+        "{{\"months\": {}, \"mean_vth\": {}, \"max_vth\": {}, \"mttf_months\": {}, \
+         \"norm_ipc\": {}, \"active_pipelines\": {}, \"hottest_layer_temp\": {}}}",
+        snapshot::f64_slice_to_json(&s.months),
+        snapshot::f64_slice_to_json(&s.mean_vth),
+        snapshot::f64_slice_to_json(&s.max_vth),
+        snapshot::f64_slice_to_json(&s.mttf_months),
+        snapshot::f64_slice_to_json(&s.norm_ipc),
+        snapshot::f64_slice_to_json(&s.active_pipelines),
+        snapshot::f64_slice_to_json(&s.hottest_layer_temp)
+    )
+}
+
+fn series_from_json(v: &Value) -> Result<LifetimeSeries, SnapshotError> {
+    let floats = |key: &str| -> Result<Vec<f64>, SnapshotError> {
+        crate::snapshot::json_to_f64_vec(snapshot::field(v, key)?)
+    };
+    let series = LifetimeSeries {
+        months: floats("months")?,
+        mean_vth: floats("mean_vth")?,
+        max_vth: floats("max_vth")?,
+        mttf_months: floats("mttf_months")?,
+        norm_ipc: floats("norm_ipc")?,
+        active_pipelines: floats("active_pipelines")?,
+        hottest_layer_temp: floats("hottest_layer_temp")?,
+    };
+    let n = series.months.len();
+    if [
+        series.mean_vth.len(),
+        series.max_vth.len(),
+        series.mttf_months.len(),
+        series.norm_ipc.len(),
+        series.active_pipelines.len(),
+        series.hottest_layer_temp.len(),
+    ]
+    .iter()
+    .any(|&l| l != n)
+    {
+        return Err(SnapshotError::Malformed("series arrays have mismatched lengths".into()));
+    }
+    Ok(series)
+}
+
 /// The lifetime co-simulation driver.
 #[derive(Debug)]
 pub struct LifetimeSim {
@@ -304,11 +643,7 @@ impl LifetimeSim {
     /// to the paper's Table III anchor).
     #[must_use]
     pub fn new(config: LifetimeConfig) -> Self {
-        LifetimeSim {
-            config,
-            physical: PhysicalModel::table_iii(),
-            debug: Mutex::new(None),
-        }
+        LifetimeSim { config, physical: PhysicalModel::table_iii(), debug: Mutex::new(None) }
     }
 
     /// Final-month per-stage wear/duty/temps of the last replica run.
@@ -384,126 +719,228 @@ impl LifetimeSim {
     }
 
     /// One full 8-year trajectory.
-    #[allow(clippy::too_many_lines)]
     fn run_replica(
         &self,
         replica: usize,
         grid: &ThermalGrid,
         cache: &ThermalCache,
     ) -> Result<(LifetimeSeries, Vec<f64>, Option<ReplicaDebug>), EngineError> {
+        let mut rs = ReplicaState::fresh(&self.config, replica);
+        while rs.month < self.config.months {
+            self.step_month(&mut rs, grid, cache)?;
+        }
+        Ok((rs.series, rs.hot_map_month0, rs.debug_final))
+    }
+
+    /// Runs the sweep serially and durably: after every simulated month
+    /// the observer receives the complete portable [`LifetimeRunState`]
+    /// and may persist it ([`LifetimeRunState::save`]) and/or stop the
+    /// run ([`ControlFlow::Break`]). Passing a previously captured state
+    /// resumes mid-flight; the monthly step is the same code as
+    /// [`run`](LifetimeSim::run), so a killed-and-resumed run produces a
+    /// byte-identical outcome to an uninterrupted one.
+    ///
+    /// Returns `Ok(None)` when the observer stopped the run early,
+    /// `Ok(Some(outcome))` on completion.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::ConfigMismatch`] (as [`EngineError::Snapshot`])
+    /// when `resume` was captured under a different configuration;
+    /// otherwise the same errors as [`run`](LifetimeSim::run), plus
+    /// whatever the observer raises.
+    pub fn run_durable<F>(
+        &self,
+        resume: Option<LifetimeRunState>,
+        mut observe: F,
+    ) -> Result<Option<LifetimeOutcome>, EngineError>
+    where
+        F: FnMut(&LifetimeRunState) -> Result<ControlFlow<()>, EngineError>,
+    {
+        let cfg = &self.config;
+        let digest = config_digest(cfg);
+        let nstages = cfg.layers * Unit::COUNT;
+        let floorplan = Floorplan::opensparc_3d(cfg.layers);
+        let grid = ThermalGrid::new(&floorplan, &cfg.grid);
+        let cache: ThermalCache = Mutex::new(HashMap::new());
+
+        let (mut cursor, mut live) = match resume {
+            Some(st) => {
+                if st.config_digest != digest {
+                    return Err(SnapshotError::ConfigMismatch(format!(
+                        "snapshot was captured under a different lifetime configuration \
+                         (digest {:#018x}, this run is {:#018x})",
+                        st.config_digest, digest
+                    ))
+                    .into());
+                }
+                if st.replica >= cfg.replicas || st.month > cfg.months {
+                    return Err(SnapshotError::ConfigMismatch(format!(
+                        "snapshot cursor (replica {}, month {}) lies outside the run \
+                         ({} replicas x {} months)",
+                        st.replica, st.month, cfg.replicas, cfg.months
+                    ))
+                    .into());
+                }
+                if st.alive.len() != nstages
+                    || st.wear.len() != nstages
+                    || st.last_temps.len() != nstages
+                {
+                    return Err(SnapshotError::ConfigMismatch(format!(
+                        "snapshot stage vectors do not match the run's {nstages} stages"
+                    ))
+                    .into());
+                }
+                let rs = st.rebuild_replica(&grid)?;
+                (DurableCursor { acc: st.acc, map: st.map }, rs)
+            }
+            None => (
+                DurableCursor { acc: LifetimeSeries::default(), map: Vec::new() },
+                ReplicaState::fresh(cfg, 0),
+            ),
+        };
+
+        let debug;
+        loop {
+            while live.month < cfg.months {
+                self.step_month(&mut live, &grid, &cache)?;
+                let portable = LifetimeRunState::capture(&cursor, &live, digest);
+                if observe(&portable)?.is_break() {
+                    return Ok(None);
+                }
+            }
+            accumulate(&mut cursor.acc, &live.series, cfg.replicas as f64);
+            if live.replica == 0 {
+                cursor.map = std::mem::take(&mut live.hot_map_month0);
+            }
+            let next = live.replica + 1;
+            if next >= cfg.replicas {
+                debug = live.debug_final.take();
+                break;
+            }
+            live = ReplicaState::fresh(cfg, next);
+        }
+        *self.debug.lock() = debug;
+
+        Ok(Some(LifetimeOutcome {
+            policy: cfg.policy,
+            series: cursor.acc,
+            initial_hot_layer_map: cursor.map,
+            map_nx: cfg.grid.nx,
+            map_ny: cfg.grid.ny,
+        }))
+    }
+
+    /// Advances one replica by one month. The whole monthly co-sim loop
+    /// lives here so the parallel sweep ([`run`](LifetimeSim::run)) and
+    /// the durable resumable runner ([`run_durable`](LifetimeSim::run_durable))
+    /// execute the exact same code, which is what makes a resumed run
+    /// byte-identical to an uninterrupted one.
+    #[allow(clippy::too_many_lines)]
+    fn step_month(
+        &self,
+        rs: &mut ReplicaState,
+        grid: &ThermalGrid,
+        cache: &ThermalCache,
+    ) -> Result<(), EngineError> {
         let cfg = &self.config;
         let nstages = cfg.layers * Unit::COUNT;
-        let mut rng = StdRng::seed_from_u64(cfg.seed ^ (replica as u64).wrapping_mul(0x9e37));
         let nbti = NbtiModel::new(cfg.nbti);
         let rel = &cfg.reliability;
-
-        let mut alive = vec![true; nstages];
-        let mut wear = vec![NbtiState::new(); nstages];
-        let mut last_temps: Vec<f64> = initial_temp_guess(cfg.layers);
-        let mut series = LifetimeSeries::default();
-        let mut hot_map_month0: Vec<f64> = Vec::new();
-        // Duty-history hash (thermal cache key) and the previous month's
-        // converged field (warm start for the next solve).
-        let mut history_hash = 0u64;
-        let mut warm: Option<Arc<SolvedMonth>> = None;
-
-        let mut debug_final: Option<ReplicaDebug> = None;
         let wanted = ((cfg.demand * cfg.pipelines as f64).round() as usize).max(1);
         let freq_factor = self.frequency_factor();
         let power_factor = self.power_factor();
         let unit_w = self.physical.unit_powers_w();
         let uncore_w = self.physical.uncore_power_w();
+        let month = rs.month;
 
-        for month in 0..cfg.months {
-            // --- formation + duty assignment ---------------------------
-            let alive_c = alive.clone();
-            let usable = move |s: StageId| alive_c[s.flat_index()];
-            let formable = match cfg.policy {
-                PolicyKind::NoRecon => core_level_formable(cfg.layers, &usable),
-                _ => stage_level_formable(cfg.layers, &usable),
-            };
-            let active = formable.min(wanted);
-            let duty = self.assign_duty(&alive, &last_temps, active, month);
+        // --- formation + duty assignment ---------------------------
+        let alive_c = rs.alive.clone();
+        let usable = move |s: StageId| alive_c[s.flat_index()];
+        let formable = match cfg.policy {
+            PolicyKind::NoRecon => core_level_formable(cfg.layers, &usable),
+            _ => stage_level_formable(cfg.layers, &usable),
+        };
+        let active = formable.min(wanted);
+        let duty = self.assign_duty(&rs.alive, &rs.last_temps, active, month);
 
-            // --- power map + thermal solve ------------------------------
-            history_hash = chain_duty_hash(history_hash, &duty);
-            let solved = self.solve_temps(
-                grid,
-                &duty,
-                &unit_w,
-                uncore_w,
-                power_factor,
-                history_hash,
-                warm.as_deref().map(|s| &s.field),
-                cache,
-            )?;
-            let temps = solved.temps.clone();
-            warm = Some(solved);
-            if month == 0 {
-                hot_map_month0 = hottest_layer_map(grid, &duty, &unit_w, uncore_w, power_factor)?;
-            }
-
-            // --- aging ---------------------------------------------------
-            for s in 0..nstages {
-                if alive[s] {
-                    nbti.advance(&mut wear[s], duty[s], temps[s], SECONDS_PER_MONTH);
-                }
-            }
-
-            // --- metrics -------------------------------------------------
-            let used: Vec<usize> = (0..nstages).filter(|&s| duty[s] > 0.02).collect();
-            let mean_vth = if used.is_empty() {
-                0.0
-            } else {
-                used.iter().map(|&s| wear[s].vth_shift()).sum::<f64>() / used.len() as f64
-            };
-            let max_vth = wear.iter().map(NbtiState::vth_shift).fold(0.0f64, f64::max);
-
-            let rates: Vec<f64> = (0..nstages)
-                .map(|s| {
-                    if alive[s] {
-                        self.hazard_rate(rel, temps[s], duty[s], wear[s].vth_shift())
-                    } else {
-                        0.0
-                    }
-                })
-                .collect();
-
-            let mttf = self.forward_mttf(&alive, &rates, wanted, month as u64);
-            let norm_ipc = active as f64 / wanted as f64 * freq_factor;
-            let hottest = (0..cfg.layers)
-                .map(|l| layer_mean(&temps, l))
-                .fold(f64::NEG_INFINITY, f64::max);
-
-            series.months.push(month as f64);
-            series.mean_vth.push(mean_vth);
-            series.max_vth.push(max_vth);
-            series.mttf_months.push(mttf);
-            series.norm_ipc.push(norm_ipc);
-            series.active_pipelines.push(active as f64);
-            series.hottest_layer_temp.push(hottest);
-
-            if month + 1 == cfg.months {
-                debug_final = Some(ReplicaDebug {
-                    wear: wear.iter().map(NbtiState::vth_shift).collect(),
-                    duty: duty.clone(),
-                    temps: temps.clone(),
-                });
-            }
-
-            // --- stochastic fault arrival for next month -----------------
-            for s in 0..nstages {
-                if alive[s] {
-                    let p = 1.0 - (-rates[s]).exp();
-                    if rng.gen_bool(p.clamp(0.0, 1.0)) {
-                        alive[s] = false;
-                    }
-                }
-            }
-            last_temps = temps;
+        // --- power map + thermal solve ------------------------------
+        rs.history_hash = chain_duty_hash(rs.history_hash, &duty);
+        let solved = self.solve_temps(
+            grid,
+            &duty,
+            &unit_w,
+            uncore_w,
+            power_factor,
+            rs.history_hash,
+            rs.warm.as_deref().map(|s| &s.field),
+            cache,
+        )?;
+        let temps = solved.temps.clone();
+        rs.warm = Some(solved);
+        if month == 0 {
+            rs.hot_map_month0 = hottest_layer_map(grid, &duty, &unit_w, uncore_w, power_factor)?;
         }
 
-        Ok((series, hot_map_month0, debug_final))
+        // --- aging ---------------------------------------------------
+        for s in 0..nstages {
+            if rs.alive[s] {
+                nbti.advance(&mut rs.wear[s], duty[s], temps[s], SECONDS_PER_MONTH);
+            }
+        }
+
+        // --- metrics -------------------------------------------------
+        let used: Vec<usize> = (0..nstages).filter(|&s| duty[s] > 0.02).collect();
+        let mean_vth = if used.is_empty() {
+            0.0
+        } else {
+            used.iter().map(|&s| rs.wear[s].vth_shift()).sum::<f64>() / used.len() as f64
+        };
+        let max_vth = rs.wear.iter().map(NbtiState::vth_shift).fold(0.0f64, f64::max);
+
+        let rates: Vec<f64> = (0..nstages)
+            .map(|s| {
+                if rs.alive[s] {
+                    self.hazard_rate(rel, temps[s], duty[s], rs.wear[s].vth_shift())
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+
+        let mttf = self.forward_mttf(&rs.alive, &rates, wanted, month as u64);
+        let norm_ipc = active as f64 / wanted as f64 * freq_factor;
+        let hottest =
+            (0..cfg.layers).map(|l| layer_mean(&temps, l)).fold(f64::NEG_INFINITY, f64::max);
+
+        rs.series.months.push(month as f64);
+        rs.series.mean_vth.push(mean_vth);
+        rs.series.max_vth.push(max_vth);
+        rs.series.mttf_months.push(mttf);
+        rs.series.norm_ipc.push(norm_ipc);
+        rs.series.active_pipelines.push(active as f64);
+        rs.series.hottest_layer_temp.push(hottest);
+
+        if month + 1 == cfg.months {
+            rs.debug_final = Some(ReplicaDebug {
+                wear: rs.wear.iter().map(NbtiState::vth_shift).collect(),
+                duty: duty.clone(),
+                temps: temps.clone(),
+            });
+        }
+
+        // --- stochastic fault arrival for next month -----------------
+        for (s, rate) in rates.iter().enumerate().take(nstages) {
+            if rs.alive[s] {
+                let p = 1.0 - (-rate).exp();
+                if rs.rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    rs.alive[s] = false;
+                }
+            }
+        }
+        rs.last_temps = temps;
+        rs.month += 1;
+        Ok(())
     }
 
     /// Per-stage duty assignment for the month, per policy.
@@ -642,10 +1079,7 @@ impl LifetimeSim {
             return Ok(hit.clone());
         }
         let outcome = grid
-            .steady_state_warm(
-                &self.power_map(grid, duty, unit_w, uncore_w, power_factor),
-                warm,
-            )
+            .steady_state_warm(&self.power_map(grid, duty, unit_w, uncore_w, power_factor), warm)
             .map_err(EngineError::Thermal)?;
         let cfg = &self.config;
         let mut temps = vec![0.0; cfg.layers * Unit::COUNT];
@@ -674,17 +1108,14 @@ impl LifetimeSim {
         let _ = grid;
         for s in StageId::all(cfg.layers) {
             let d = duty[s.flat_index()];
-            let watts =
-                unit_w[s.unit.index()] * d * cfg.activity_weight * power_factor;
+            let watts = unit_w[s.unit.index()] * d * cfg.activity_weight * power_factor;
             p.add_block(s.layer, s.unit, watts);
         }
         // Uncore power scales with the layer's mean duty.
         for layer in 0..cfg.layers {
-            let mean: f64 = Unit::ALL
-                .iter()
-                .map(|&u| duty[StageId::new(layer, u).flat_index()])
-                .sum::<f64>()
-                / Unit::COUNT as f64;
+            let mean: f64 =
+                Unit::ALL.iter().map(|&u| duty[StageId::new(layer, u).flat_index()]).sum::<f64>()
+                    / Unit::COUNT as f64;
             // Spread uncore power over the layer's five blocks pro rata
             // by area (add_block accumulates onto unit blocks).
             for u in Unit::ALL {
@@ -819,11 +1250,9 @@ fn hottest_layer_map(
         p.add_block(s.layer, s.unit, watts);
     }
     for layer in 0..layers {
-        let mean: f64 = Unit::ALL
-            .iter()
-            .map(|&u| duty[StageId::new(layer, u).flat_index()])
-            .sum::<f64>()
-            / Unit::COUNT as f64;
+        let mean: f64 =
+            Unit::ALL.iter().map(|&u| duty[StageId::new(layer, u).flat_index()]).sum::<f64>()
+                / Unit::COUNT as f64;
         for u in Unit::ALL {
             let frac = r2d3_thermal::grid::UNIT_AREA_MM2[u.index()]
                 / r2d3_thermal::grid::UNIT_AREA_MM2.iter().sum::<f64>();
@@ -978,5 +1407,103 @@ mod tests {
         let n = out.series.mttf_months.len();
         let tail: f64 = out.series.mttf_months[n - 3..].iter().sum::<f64>() / 3.0;
         assert!(tail < head * 0.95, "MTTF should decline: {head:.1} -> {tail:.1}");
+    }
+
+    /// Small config with enough fault pressure that RNG state, fault
+    /// maps and warm-start fields all matter for byte-identity.
+    fn durable_config() -> LifetimeConfig {
+        let mut cfg = quick_config(PolicyKind::Pro);
+        cfg.months = 10;
+        cfg.replicas = 2;
+        cfg.reliability.base_rate_per_month = 0.02;
+        cfg
+    }
+
+    #[test]
+    fn durable_run_matches_parallel_run() {
+        let cfg = durable_config();
+        let parallel = LifetimeSim::new(cfg.clone()).run().unwrap();
+        let durable = LifetimeSim::new(cfg)
+            .run_durable(None, |_| Ok(std::ops::ControlFlow::Continue(())))
+            .unwrap()
+            .expect("observer never breaks");
+        assert_eq!(parallel.series, durable.series, "durable runner must be bit-identical");
+        assert_eq!(parallel.initial_hot_layer_map, durable.initial_hot_layer_map);
+    }
+
+    #[test]
+    fn run_state_codec_round_trips() {
+        let dir = std::env::temp_dir().join("r2d3-lifetime-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{}-codec", std::process::id()));
+
+        let cfg = durable_config();
+        let mut captured = None;
+        LifetimeSim::new(cfg)
+            .run_durable(None, |st| {
+                // Month 7 of replica 1: RNG advanced, faults possible,
+                // warm field present, replica 0 already accumulated.
+                if st.replica() == 1 && st.month() == 7 {
+                    captured = Some(st.clone());
+                    return Ok(std::ops::ControlFlow::Break(()));
+                }
+                Ok(std::ops::ControlFlow::Continue(()))
+            })
+            .unwrap();
+        let original = captured.expect("run reached replica 1, month 7");
+        original.save(&path).unwrap();
+        let reloaded = LifetimeRunState::load(&path).unwrap();
+        assert_eq!(original, reloaded, "save -> load must be lossless");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stop_and_resume_is_byte_identical() {
+        let cfg = durable_config();
+        let uninterrupted = LifetimeSim::new(cfg.clone())
+            .run_durable(None, |_| Ok(std::ops::ControlFlow::Continue(())))
+            .unwrap()
+            .unwrap();
+
+        // Stop after 13 months total (mid-replica-1), then resume.
+        let mut steps = 0;
+        let mut captured = None;
+        LifetimeSim::new(cfg.clone())
+            .run_durable(None, |st| {
+                steps += 1;
+                if steps == 13 {
+                    captured = Some(st.clone());
+                    return Ok(std::ops::ControlFlow::Break(()));
+                }
+                Ok(std::ops::ControlFlow::Continue(()))
+            })
+            .unwrap();
+        let resumed = LifetimeSim::new(cfg)
+            .run_durable(captured, |_| Ok(std::ops::ControlFlow::Continue(())))
+            .unwrap()
+            .unwrap();
+        assert_eq!(uninterrupted.series, resumed.series, "resume must be bit-identical");
+        assert_eq!(uninterrupted.initial_hot_layer_map, resumed.initial_hot_layer_map);
+    }
+
+    #[test]
+    fn resume_under_different_config_is_typed_error() {
+        let cfg = durable_config();
+        let mut captured = None;
+        LifetimeSim::new(cfg.clone())
+            .run_durable(None, |st| {
+                captured = Some(st.clone());
+                Ok(std::ops::ControlFlow::Break(()))
+            })
+            .unwrap();
+
+        let mut other = cfg;
+        other.seed ^= 1;
+        match LifetimeSim::new(other).run_durable(captured, |_| unreachable!()) {
+            Err(EngineError::Snapshot(SnapshotError::ConfigMismatch(msg))) => {
+                assert!(msg.contains("different lifetime configuration"), "msg: {msg}");
+            }
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
     }
 }

@@ -29,11 +29,7 @@ impl FormedPipeline {
     /// span), a locality metric.
     #[must_use]
     pub fn max_span(&self) -> usize {
-        self.layer_of
-            .windows(2)
-            .map(|w| w[0].abs_diff(w[1]))
-            .max()
-            .unwrap_or(0)
+        self.layer_of.windows(2).map(|w| w[0].abs_diff(w[1])).max().unwrap_or(0)
     }
 }
 
@@ -51,9 +47,7 @@ pub fn stage_level_formable(layers: usize, usable: impl Fn(StageId) -> bool) -> 
 /// own stages are all usable.
 #[must_use]
 pub fn core_level_formable(layers: usize, usable: impl Fn(StageId) -> bool) -> usize {
-    (0..layers)
-        .filter(|&l| Unit::ALL.iter().all(|&u| usable(StageId::new(l, u))))
-        .count()
+    (0..layers).filter(|&l| Unit::ALL.iter().all(|&u| usable(StageId::new(l, u)))).count()
 }
 
 /// Forms up to `max_pipelines` logical pipelines from the usable stages.

@@ -60,9 +60,8 @@ pub fn measure_kernel_profile(
     }
     let stats = sys.stats();
     let mean_unit = |unit: r2d3_isa::Unit| {
-        let total: u64 = (0..config.layers)
-            .map(|l| stats.busy(r2d3_pipeline_sim::StageId::new(l, unit)))
-            .sum();
+        let total: u64 =
+            (0..config.layers).map(|l| stats.busy(r2d3_pipeline_sim::StageId::new(l, unit))).sum();
         total as f64 / (config.layers as f64 * window as f64)
     };
 

@@ -1,0 +1,380 @@
+//! Crash-safe run snapshots: the on-disk container for durable,
+//! resumable long runs.
+//!
+//! A snapshot file is a single UTF-8 header line followed by an opaque
+//! body (§5.0 of DESIGN.md):
+//!
+//! ```text
+//! R2D3SNAP <version> <kind> <fnv1a64-of-body, 16 hex digits> <body-len>\n
+//! <body bytes…>
+//! ```
+//!
+//! * `version` — integer format version ([`SNAPSHOT_VERSION`]); readers
+//!   reject anything else, they never guess.
+//! * `kind` — what the body describes (`lifetime`, `campaign`,
+//!   `shard`); resuming a lifetime run from a campaign snapshot is a
+//!   typed error, not undefined behavior.
+//! * digest/length — FNV-1a 64 over the exact body bytes plus the body
+//!   byte count, so truncation and corruption are distinguishable.
+//!
+//! Writes are atomic: the file is assembled at `<path>.tmp`, fsynced,
+//! then renamed over `<path>` (with a best-effort directory fsync), so
+//! a crash mid-write leaves either the previous snapshot or none — never
+//! a torn one. Reads verify length then digest and return a typed
+//! [`SnapshotError`] on any mismatch: **never a panic, never silent
+//! reuse of corrupt state**.
+//!
+//! Bodies are JSON (parsed with [`crate::jsonio`]). Values that must
+//! round-trip bit-exactly — `f64` accumulators, RNG state words,
+//! digests — are serialized as hex strings of their bit patterns (see
+//! [`f64_to_json`]/[`json_to_f64`]), which is what makes a resumed run
+//! byte-identical to an uninterrupted one.
+
+use crate::jsonio::{self, Value};
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Current snapshot format version. Bump on any body-schema change.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Magic token opening every snapshot header.
+pub const SNAPSHOT_MAGIC: &str = "R2D3SNAP";
+
+/// Typed rejection reasons for snapshot files. Every failure mode of
+/// loading is represented here; loading never panics and never returns
+/// partially-parsed state.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SnapshotError {
+    /// Filesystem-level failure (open, read, write, rename, fsync).
+    Io(std::io::Error),
+    /// The file does not start with a well-formed `R2D3SNAP` header.
+    NotASnapshot,
+    /// Written by an incompatible format version.
+    Version {
+        /// Version in the file's header.
+        found: u32,
+        /// Version this build reads.
+        expected: u32,
+    },
+    /// The snapshot is of a different run type (e.g. a campaign
+    /// snapshot offered to `lifetime --resume`).
+    Kind {
+        /// Kind in the file's header.
+        found: String,
+        /// Kind the caller required.
+        expected: &'static str,
+    },
+    /// The body is shorter than the header promised (torn copy,
+    /// interrupted download, truncated file).
+    Truncated {
+        /// Body bytes the header declared.
+        expected: usize,
+        /// Body bytes actually present.
+        found: usize,
+    },
+    /// The body digest does not match the header (bit rot, manual
+    /// edit).
+    DigestMismatch {
+        /// Digest recorded in the header.
+        expected: u64,
+        /// Digest of the body as found.
+        found: u64,
+    },
+    /// The body passed integrity checks but does not parse as the
+    /// expected run state.
+    Malformed(String),
+    /// The snapshot is internally valid but belongs to a different run
+    /// configuration (seed, scenario count, grid…) than the one being
+    /// resumed.
+    ConfigMismatch(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::NotASnapshot => {
+                write!(f, "not a snapshot file (missing {SNAPSHOT_MAGIC} header)")
+            }
+            SnapshotError::Version { found, expected } => {
+                write!(f, "snapshot version {found} unsupported (this build reads {expected})")
+            }
+            SnapshotError::Kind { found, expected } => {
+                write!(f, "snapshot is a \"{found}\" run, expected \"{expected}\"")
+            }
+            SnapshotError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "snapshot truncated: header declares {expected} body bytes, {found} present"
+                )
+            }
+            SnapshotError::DigestMismatch { expected, found } => {
+                write!(
+                    f,
+                    "snapshot digest mismatch: header says {expected:016x}, body hashes to {found:016x}"
+                )
+            }
+            SnapshotError::Malformed(msg) => write!(f, "snapshot body malformed: {msg}"),
+            SnapshotError::ConfigMismatch(msg) => {
+                write!(f, "snapshot belongs to a different run: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over raw bytes — the same digest family the checkpoint
+/// slots use, applied to the snapshot body.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Serializes the bit pattern of an `f64` as a JSON hex-string token.
+/// Exact for every value including negative zero, subnormals and
+/// infinities; NaN payloads round-trip too.
+#[must_use]
+pub fn f64_to_json(v: f64) -> String {
+    format!("\"{:x}\"", v.to_bits())
+}
+
+/// Reads back a value written by [`f64_to_json`].
+pub(crate) fn json_to_f64(v: &Value) -> Result<f64, SnapshotError> {
+    v.as_hex_u64()
+        .map(f64::from_bits)
+        .ok_or_else(|| SnapshotError::Malformed("expected f64 bit-pattern hex string".into()))
+}
+
+/// Renders a slice of `f64`s as a JSON array of bit-pattern hex strings.
+#[must_use]
+pub fn f64_slice_to_json(values: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&f64_to_json(*v));
+    }
+    out.push(']');
+    out
+}
+
+/// Reads back an array written by [`f64_slice_to_json`].
+pub(crate) fn json_to_f64_vec(v: &Value) -> Result<Vec<f64>, SnapshotError> {
+    v.as_arr()
+        .ok_or_else(|| SnapshotError::Malformed("expected array of f64 bit patterns".into()))?
+        .iter()
+        .map(json_to_f64)
+        .collect()
+}
+
+/// Reads a required field out of a JSON object body.
+pub(crate) fn field<'a>(obj: &'a Value, key: &str) -> Result<&'a Value, SnapshotError> {
+    obj.get(key).ok_or_else(|| SnapshotError::Malformed(format!("missing field \"{key}\"")))
+}
+
+/// Parses a snapshot body as JSON, mapping parse failures to
+/// [`SnapshotError::Malformed`].
+pub(crate) fn parse_body(body: &str) -> Result<Value, SnapshotError> {
+    jsonio::parse_json(body).map_err(SnapshotError::Malformed)
+}
+
+/// Atomically writes a snapshot: header + `body` assembled at
+/// `<path>.tmp`, fsynced, renamed over `path`, directory fsynced
+/// (best-effort). A crash at any point leaves the previous file (or
+/// nothing), never a torn snapshot.
+pub fn write_atomic(path: &Path, kind: &str, body: &[u8]) -> Result<(), SnapshotError> {
+    let digest = fnv1a64(body);
+    let header =
+        format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} {kind} {digest:016x} {}\n", body.len());
+
+    let tmp = {
+        let mut os = path.as_os_str().to_owned();
+        os.push(".tmp");
+        std::path::PathBuf::from(os)
+    };
+    let mut file = File::create(&tmp)?;
+    file.write_all(header.as_bytes())?;
+    file.write_all(body)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)?;
+    // Make the rename itself durable where the platform allows opening
+    // directories; failure here can't tear the file, so best-effort.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Reads and verifies a snapshot of the given `kind`, returning the body
+/// as a string. Verifies, in order: magic/header shape, version, kind,
+/// declared length (→ [`SnapshotError::Truncated`]), digest
+/// (→ [`SnapshotError::DigestMismatch`]).
+pub fn read_verified(path: &Path, kind: &'static str) -> Result<String, SnapshotError> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    let newline = raw.iter().position(|&b| b == b'\n').ok_or(SnapshotError::NotASnapshot)?;
+    let header = std::str::from_utf8(&raw[..newline]).map_err(|_| SnapshotError::NotASnapshot)?;
+    let mut parts = header.split(' ');
+    let (magic, version, found_kind, digest, len) = match (
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+        parts.next(),
+    ) {
+        (Some(m), Some(v), Some(k), Some(d), Some(l), None) => (m, v, k, d, l),
+        _ => return Err(SnapshotError::NotASnapshot),
+    };
+    if magic != SNAPSHOT_MAGIC {
+        return Err(SnapshotError::NotASnapshot);
+    }
+    let version: u32 = version.parse().map_err(|_| SnapshotError::NotASnapshot)?;
+    if version != SNAPSHOT_VERSION {
+        return Err(SnapshotError::Version { found: version, expected: SNAPSHOT_VERSION });
+    }
+    if found_kind != kind {
+        return Err(SnapshotError::Kind { found: found_kind.to_string(), expected: kind });
+    }
+    let expected_digest =
+        u64::from_str_radix(digest, 16).map_err(|_| SnapshotError::NotASnapshot)?;
+    let expected_len: usize = len.parse().map_err(|_| SnapshotError::NotASnapshot)?;
+
+    let body = &raw[newline + 1..];
+    if body.len() != expected_len {
+        return Err(SnapshotError::Truncated { expected: expected_len, found: body.len() });
+    }
+    let found_digest = fnv1a64(body);
+    if found_digest != expected_digest {
+        return Err(SnapshotError::DigestMismatch {
+            expected: expected_digest,
+            found: found_digest,
+        });
+    }
+    String::from_utf8(body.to_vec())
+        .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("r2d3-snapshot-tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_body_exactly() {
+        let path = tmp_path("roundtrip");
+        let body = br#"{"cursor": 7, "acc": ["3ff0000000000000"]}"#;
+        write_atomic(&path, "lifetime", body).unwrap();
+        let read = read_verified(&path, "lifetime").unwrap();
+        assert_eq!(read.as_bytes(), body);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wrong_kind_is_typed() {
+        let path = tmp_path("kind");
+        write_atomic(&path, "campaign", b"{}").unwrap();
+        match read_verified(&path, "lifetime") {
+            Err(SnapshotError::Kind { found, expected }) => {
+                assert_eq!(found, "campaign");
+                assert_eq!(expected, "lifetime");
+            }
+            other => panic!("expected Kind error, got {other:?}"),
+        }
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn truncation_and_corruption_are_distinguished() {
+        let path = tmp_path("corrupt");
+        write_atomic(&path, "shard", b"0123456789").unwrap();
+        let full = fs::read(&path).unwrap();
+
+        // Truncated body: length check fires before the digest check.
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(matches!(
+            read_verified(&path, "shard"),
+            Err(SnapshotError::Truncated { expected: 10, found: 7 })
+        ));
+
+        // Same length, one bit flipped: digest check fires.
+        let mut flipped = full.clone();
+        let last = flipped.len() - 1;
+        flipped[last] ^= 0x01;
+        fs::write(&path, &flipped).unwrap();
+        assert!(matches!(read_verified(&path, "shard"), Err(SnapshotError::DigestMismatch { .. })));
+
+        // Version bump: rejected before looking at the body.
+        let bumped = String::from_utf8(full).unwrap().replacen(
+            &format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} "),
+            &format!("{SNAPSHOT_MAGIC} {} ", SNAPSHOT_VERSION + 1),
+            1,
+        );
+        fs::write(&path, bumped).unwrap();
+        assert!(matches!(
+            read_verified(&path, "shard"),
+            Err(SnapshotError::Version { found, .. }) if found == SNAPSHOT_VERSION + 1
+        ));
+
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn garbage_is_not_a_snapshot() {
+        let path = tmp_path("garbage");
+        fs::write(&path, b"hello world\nnot a snapshot").unwrap();
+        assert!(matches!(read_verified(&path, "lifetime"), Err(SnapshotError::NotASnapshot)));
+        fs::write(&path, b"no newline at all").unwrap();
+        assert!(matches!(read_verified(&path, "lifetime"), Err(SnapshotError::NotASnapshot)));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn f64_bits_round_trip() {
+        for v in [0.0, -0.0, 1.5, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE, 1e308] {
+            let token = f64_to_json(v);
+            let parsed = crate::jsonio::parse_json(&token).unwrap();
+            let back = json_to_f64(&parsed).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{v}");
+        }
+        let vals = vec![1.0 / 3.0, 2.0f64.sqrt(), -1e-300];
+        let arr = f64_slice_to_json(&vals);
+        let parsed = crate::jsonio::parse_json(&arr).unwrap();
+        let back = json_to_f64_vec(&parsed).unwrap();
+        assert_eq!(
+            back.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            vals.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -10,11 +10,12 @@
 //!   spans become `"X"` complete events; everything else is an `"i"`
 //!   instant event carried with its fields in `args`.
 //!
-//! The validators parse with a tiny private JSON reader and check the
-//! schema the golden-file tests pin, so CI can verify an emitted
-//! trace without any external tooling.
+//! The validators parse with the crate's minimal JSON reader
+//! ([`crate::jsonio`]) and check the schema the golden-file tests pin,
+//! so CI can verify an emitted trace without any external tooling.
 
 use super::{TelemetryEvent, TelemetryRecord};
+use crate::jsonio::{parse_json, Value};
 use crate::lifetime::LifetimeSeries;
 use std::fmt::Write;
 
@@ -23,8 +24,8 @@ use std::fmt::Write;
 /// field names never diverge between formats.
 fn event_fields(event: &TelemetryEvent, out: &mut String) {
     match event {
-        TelemetryEvent::Exec { cycles } => {
-            let _ = write!(out, "\"cycles\": {cycles}");
+        TelemetryEvent::Exec { pipe, cycles, retired } => {
+            let _ = write!(out, "\"pipe\": {pipe}, \"cycles\": {cycles}, \"retired\": {retired}");
         }
         TelemetryEvent::Scan { tested, untested, detections } => {
             let _ = write!(
@@ -84,7 +85,8 @@ fn event_fields(event: &TelemetryEvent, out: &mut String) {
 /// identified, else lane 0 (engine-wide events).
 fn event_tid(event: &TelemetryEvent) -> u32 {
     match event {
-        TelemetryEvent::Detect { pipe, .. }
+        TelemetryEvent::Exec { pipe, .. }
+        | TelemetryEvent::Detect { pipe, .. }
         | TelemetryEvent::CheckpointVerify { pipe, .. }
         | TelemetryEvent::Recovery { pipe, .. } => *pipe,
         _ => 0,
@@ -147,8 +149,9 @@ impl ChromeTrace {
             let tid = event_tid(&r.event);
             let ev = match r.event {
                 // Execution spans know their duration: render a
-                // complete event starting where the run began.
-                TelemetryEvent::Exec { cycles } => format!(
+                // complete event starting where the run began, on the
+                // pipeline's own lane.
+                TelemetryEvent::Exec { cycles, .. } => format!(
                     "{{\"name\": \"exec\", \"ph\": \"X\", \"ts\": {}, \"dur\": {cycles}, \
                      \"pid\": {pid}, \"tid\": {tid}, \"args\": {{{args}}}}}",
                     r.cycle.saturating_sub(cycles)
@@ -223,197 +226,6 @@ pub fn lifetime_counter_trace(series: &LifetimeSeries) -> String {
     trace.finish()
 }
 
-// ---------------------------------------------------------------------------
-// Minimal JSON reader for the validators. Parses into an owned value
-// tree; enough JSON for our own emitters plus reasonable hand edits.
-// ---------------------------------------------------------------------------
-
-/// Parsed JSON value (validator-internal).
-#[derive(Debug, Clone, PartialEq)]
-enum Value {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Value>),
-    Obj(Vec<(String, Value)>),
-}
-
-impl Value {
-    fn get(&self, key: &str) -> Option<&Value> {
-        match self {
-            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn as_u64(&self) -> Option<u64> {
-        match self {
-            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser { bytes: text.as_bytes(), pos: 0 }
-    }
-
-    fn skip_ws(&mut self) {
-        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, ch: u8) -> Result<(), String> {
-        if self.peek() == Some(ch) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(format!("expected '{}' at byte {}", ch as char, self.pos))
-        }
-    }
-
-    fn parse_value(&mut self) -> Result<Value, String> {
-        match self.peek() {
-            Some(b'{') => self.parse_object(),
-            Some(b'[') => self.parse_array(),
-            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
-            Some(b't') => self.parse_lit("true", Value::Bool(true)),
-            Some(b'f') => self.parse_lit("false", Value::Bool(false)),
-            Some(b'n') => self.parse_lit("null", Value::Null),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
-            Some(c) => Err(format!("unexpected '{}' at byte {}", c as char, self.pos)),
-            None => Err("unexpected end of input".to_string()),
-        }
-    }
-
-    fn parse_lit(&mut self, lit: &str, value: Value) -> Result<Value, String> {
-        self.skip_ws();
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(format!("invalid literal at byte {}", self.pos))
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<Value, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.pos < self.bytes.len()
-            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-        {
-            self.pos += 1;
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .ok()
-            .and_then(|s| s.parse::<f64>().ok())
-            .map(Value::Num)
-            .ok_or_else(|| format!("bad number at byte {start}"))
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        while let Some(&c) = self.bytes.get(self.pos) {
-            self.pos += 1;
-            match c {
-                b'"' => return Ok(out),
-                b'\\' => {
-                    let esc = *self
-                        .bytes
-                        .get(self.pos)
-                        .ok_or_else(|| "unterminated escape".to_string())?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'n' => out.push('\n'),
-                        b't' => out.push('\t'),
-                        b'r' => out.push('\r'),
-                        other => return Err(format!("unsupported escape '\\{}'", other as char)),
-                    }
-                }
-                _ => out.push(c as char),
-            }
-        }
-        Err("unterminated string".to_string())
-    }
-
-    fn parse_array(&mut self) -> Result<Value, String> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Value::Arr(items));
-        }
-        loop {
-            items.push(self.parse_value()?);
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Value::Arr(items));
-                }
-                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-            }
-        }
-    }
-
-    fn parse_object(&mut self) -> Result<Value, String> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Value::Obj(fields));
-        }
-        loop {
-            let key = self.parse_string()?;
-            self.expect(b':')?;
-            let value = self.parse_value()?;
-            fields.push((key, value));
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Value::Obj(fields));
-                }
-                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-            }
-        }
-    }
-}
-
-fn parse_json(text: &str) -> Result<Value, String> {
-    let mut p = Parser::new(text);
-    let v = p.parse_value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(format!("trailing garbage at byte {}", p.pos));
-    }
-    Ok(v)
-}
-
 /// Validates a JSON-lines telemetry dump: every non-empty line must be
 /// an object with integer `epoch`/`cycle` and a known `type`. Returns
 /// the number of records on success.
@@ -484,7 +296,7 @@ mod tests {
             TelemetryRecord {
                 epoch: 0,
                 cycle: 20_000,
-                event: TelemetryEvent::Exec { cycles: 20_000 },
+                event: TelemetryEvent::Exec { pipe: 1, cycles: 20_000, retired: 512 },
             },
             TelemetryRecord {
                 epoch: 0,
@@ -515,8 +327,9 @@ mod tests {
         assert_eq!(validate_chrome_trace(&text), Ok(4));
         assert!(text.contains("\"ph\": \"X\""));
         assert!(text.contains("\"dur\": 20000"));
-        // Exec span starts at cycle - dur.
+        // Exec span starts at cycle - dur, on its pipeline's lane.
         assert!(text.contains("\"ts\": 0, \"dur\": 20000"));
+        assert!(text.contains("\"dur\": 20000, \"pid\": 0, \"tid\": 1"));
     }
 
     #[test]

@@ -60,6 +60,17 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Rebuilds a histogram from serialized parts (the fields
+    /// [`to_json`](Histogram::to_json) writes), e.g. when parsing a
+    /// campaign shard file back for merging. Bounds must be strictly
+    /// increasing; consistency of `counts`/`total`/`sum`/`max` is the
+    /// caller's contract.
+    #[must_use]
+    pub fn from_parts(bounds: [u64; 7], counts: [u64; 8], total: u64, sum: u64, max: u64) -> Self {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must increase");
+        Histogram { bounds, counts, total, sum, max }
+    }
+
     /// Adds another histogram's contents (bucket bounds must match).
     pub fn merge(&mut self, other: &Histogram) {
         debug_assert_eq!(self.bounds, other.bounds, "merging incompatible histograms");
@@ -223,6 +234,10 @@ pub struct MetricsSnapshot {
     pub rotations: u64,
     /// Pipeline recoveries.
     pub recoveries: u64,
+    /// Telemetry records the installed sink lost (ring overwrite or
+    /// stream overflow under a drop policy): nonzero means the trace is
+    /// truncated even though the metrics here are complete.
+    pub trace_dropped: u64,
     /// Stages believed permanently faulty, sorted.
     pub believed_faulty: Vec<StageId>,
     /// Nonzero decaying symptom scores, sorted by stage, in 1/1024
@@ -258,6 +273,7 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "  \"repairs\": {},", self.repairs);
         let _ = writeln!(out, "  \"rotations\": {},", self.rotations);
         let _ = writeln!(out, "  \"recoveries\": {},", self.recoveries);
+        let _ = writeln!(out, "  \"trace_dropped\": {},", self.trace_dropped);
         out.push_str("  \"believed_faulty\": [");
         for (i, s) in self.believed_faulty.iter().enumerate() {
             let _ = write!(out, "{}\"{}\"", if i == 0 { "" } else { ", " }, stage_label(*s));
@@ -357,6 +373,7 @@ mod tests {
             repairs: 1,
             rotations: 0,
             recoveries: 1,
+            trace_dropped: 0,
             believed_faulty: vec![StageId::new(2, Unit::Exu)],
             symptom_scores: vec![(StageId::new(1, Unit::Lsu), 1024)],
             checkpoints: None,
@@ -367,6 +384,7 @@ mod tests {
         };
         let j = snap.to_json();
         assert_eq!(j, snap.to_json());
+        assert!(j.contains("\"trace_dropped\": 0"));
         assert!(j.contains("\"believed_faulty\": [\"L2.Exu\"]"));
         assert!(j.contains("\"symptom_scores\": {\"L1.Lsu\": 1024}"));
         assert!(j.contains("\"checkpoints\": null"));

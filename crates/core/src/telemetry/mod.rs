@@ -16,6 +16,9 @@
 //!   away;
 //! * [`RingSink`] is a fixed-capacity ring buffer with a zero-alloc
 //!   record path (records are `Copy`; the buffer is preallocated);
+//! * [`StreamSink`] streams JSON-lines through a bounded channel to a
+//!   writer thread, so million-epoch traces survive without the ring
+//!   cap — with explicit backpressure accounting ([`OverflowPolicy`]);
 //! * [`Metrics`]/[`MetricsSnapshot`] aggregate derived per-epoch
 //!   metrics — counters plus fixed-bucket [`Histogram`]s for detection
 //!   latency, replay count, reformation cost and rotation churn;
@@ -34,6 +37,7 @@
 
 mod export;
 mod metrics;
+mod stream;
 
 pub use export::{
     chrome_trace, json_lines, lifetime_counter_trace, validate_chrome_trace, validate_json_lines,
@@ -43,6 +47,7 @@ pub use metrics::{
     Histogram, Metrics, MetricsSnapshot, DETECTION_LATENCY_BOUNDS, REFORMATION_OPS_BOUNDS,
     REPLAY_COUNT_BOUNDS, ROTATION_CHURN_BOUNDS,
 };
+pub use stream::{OverflowPolicy, StreamSink, StreamStats, DEFAULT_STREAM_CAPACITY};
 
 use r2d3_pipeline_sim::StageId;
 
@@ -73,11 +78,17 @@ impl VerdictKind {
 /// path never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TelemetryEvent {
-    /// The substrate executed `cycles` cycles of an epoch (a span: it
-    /// ends at the record's cycle stamp).
+    /// One pipeline's share of an epoch's execution (a span: it ends at
+    /// the record's cycle stamp). Emitted once per logical pipeline per
+    /// epoch so trace viewers render per-pipe lanes.
     Exec {
+        /// The logical pipeline.
+        pipe: u32,
         /// Cycles executed.
         cycles: u64,
+        /// Operations the pipeline retired during the span (0 for
+        /// broken/idle pipelines).
+        retired: u64,
     },
     /// Epoch-boundary detection scan summary.
     Scan {
@@ -230,6 +241,16 @@ pub trait TelemetrySink {
     fn is_enabled(&self) -> bool {
         true
     }
+
+    /// Records this sink has lost (ring overwrite, channel overflow
+    /// under a drop policy, …). Surfaced in
+    /// [`MetricsSnapshot::trace_dropped`](crate::telemetry::MetricsSnapshot)
+    /// so truncated traces are visible in reports. Lossless sinks keep
+    /// the default of 0.
+    #[must_use]
+    fn dropped(&self) -> u64 {
+        0
+    }
 }
 
 /// The disabled sink: records are never constructed, the instrumented
@@ -335,6 +356,11 @@ impl TelemetrySink for RingSink {
             self.dropped += 1;
         }
     }
+
+    #[inline]
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
 }
 
 /// Renders a stage as the stable export label (e.g. `L2.Exu`), matching
@@ -389,7 +415,7 @@ mod tests {
     #[test]
     fn event_names_match_schema_list() {
         let sample = [
-            TelemetryEvent::Exec { cycles: 1 },
+            TelemetryEvent::Exec { pipe: 0, cycles: 1, retired: 0 },
             TelemetryEvent::Scan { tested: 0, untested: 0, detections: 0 },
             TelemetryEvent::Detect {
                 dut: StageId::new(0, Unit::Exu),

@@ -1,0 +1,329 @@
+//! Streaming JSON-lines sink: a bounded channel into a writer thread.
+//!
+//! [`RingSink`](super::RingSink) keeps the newest 64k records and drops
+//! the rest; for million-epoch lifetime studies that silently truncates
+//! the trace. [`StreamSink`] instead formats each record as one
+//! JSON-lines object (the exact [`json_lines`](super::json_lines)
+//! schema) and hands it to a dedicated writer thread over a bounded
+//! channel, so the simulation thread never does file I/O and a trace of
+//! any length survives.
+//!
+//! Backpressure is explicit, never silent:
+//!
+//! * [`OverflowPolicy::Block`] — when the channel is full the record
+//!   call blocks until the writer catches up. Lossless; the number of
+//!   stalls is counted.
+//! * [`OverflowPolicy::Drop`] — when the channel is full the record is
+//!   discarded and counted, mirroring `RingSink::dropped()`.
+//!
+//! Either way [`StreamStats`] reconciles exactly:
+//! `recorded == written + dropped`.
+//!
+//! The *trace file contents* under `Block` are byte-deterministic (the
+//! record stream itself is, by the telemetry determinism contract).
+//! Stall/drop *counts* depend on host scheduling and are diagnostics,
+//! not part of any deterministic report.
+
+use super::{TelemetryRecord, TelemetrySink};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
+use std::thread::JoinHandle;
+
+/// Default bound of the record channel (records in flight).
+pub const DEFAULT_STREAM_CAPACITY: usize = 8 * 1024;
+
+/// What to do when the writer thread falls behind and the channel fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverflowPolicy {
+    /// Block the recording thread until space frees up (lossless).
+    #[default]
+    Block,
+    /// Drop the record and count it (lossy, non-stalling).
+    Drop,
+}
+
+/// End-of-run accounting for a [`StreamSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamStats {
+    /// Records offered to the sink.
+    pub recorded: u64,
+    /// Records the writer thread serialized to the output.
+    pub written: u64,
+    /// Records discarded because the channel was full
+    /// ([`OverflowPolicy::Drop`] only). `recorded == written + dropped`.
+    pub dropped: u64,
+    /// Times the recording thread had to wait for the writer
+    /// ([`OverflowPolicy::Block`] only).
+    pub stalls: u64,
+}
+
+enum WriterMsg {
+    Record(TelemetryRecord),
+    Flush,
+}
+
+/// A [`TelemetrySink`] that streams records as JSON-lines through a
+/// bounded channel to a background writer thread.
+///
+/// Call [`finish`](StreamSink::finish) to flush, join the writer and
+/// collect [`StreamStats`]; dropping the sink joins the writer too but
+/// swallows late I/O errors.
+#[derive(Debug)]
+pub struct StreamSink {
+    tx: Option<SyncSender<WriterMsg>>,
+    writer: Option<JoinHandle<io::Result<u64>>>,
+    policy: OverflowPolicy,
+    recorded: u64,
+    dropped: u64,
+    stalls: u64,
+}
+
+impl StreamSink {
+    /// Streams to `out` with the given channel bound and overflow
+    /// policy. `capacity` is clamped to at least 1.
+    pub fn with_capacity<W>(out: W, capacity: usize, policy: OverflowPolicy) -> Self
+    where
+        W: Write + Send + 'static,
+    {
+        let (tx, rx) = sync_channel::<WriterMsg>(capacity.max(1));
+        let writer = std::thread::Builder::new()
+            .name("r2d3-stream-sink".into())
+            .spawn(move || {
+                let mut out = out;
+                let mut written = 0u64;
+                for msg in rx {
+                    match msg {
+                        WriterMsg::Record(r) => {
+                            let line = super::export::json_lines(std::slice::from_ref(&r));
+                            out.write_all(line.as_bytes())?;
+                            written += 1;
+                        }
+                        WriterMsg::Flush => out.flush()?,
+                    }
+                }
+                out.flush()?;
+                Ok(written)
+            })
+            .expect("spawn stream-sink writer thread");
+        StreamSink {
+            tx: Some(tx),
+            writer: Some(writer),
+            policy,
+            recorded: 0,
+            dropped: 0,
+            stalls: 0,
+        }
+    }
+
+    /// Streams to `out` with the default capacity
+    /// ([`DEFAULT_STREAM_CAPACITY`]) and the blocking (lossless) policy.
+    pub fn new<W>(out: W) -> Self
+    where
+        W: Write + Send + 'static,
+    {
+        StreamSink::with_capacity(out, DEFAULT_STREAM_CAPACITY, OverflowPolicy::Block)
+    }
+
+    /// Streams to a buffered file created (truncated) at `path`.
+    pub fn to_file<P: AsRef<Path>>(path: P, policy: OverflowPolicy) -> io::Result<Self> {
+        let file = BufWriter::new(File::create(path)?);
+        Ok(StreamSink::with_capacity(file, DEFAULT_STREAM_CAPACITY, policy))
+    }
+
+    /// The configured overflow policy.
+    #[must_use]
+    pub fn policy(&self) -> OverflowPolicy {
+        self.policy
+    }
+
+    /// Records offered so far.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Times the recording thread blocked on a full channel so far.
+    #[must_use]
+    pub fn stalls(&self) -> u64 {
+        self.stalls
+    }
+
+    /// Asks the writer thread to flush its output (non-blocking best
+    /// effort; a full channel under the drop policy skips the request).
+    pub fn request_flush(&mut self) {
+        if let Some(tx) = &self.tx {
+            match self.policy {
+                OverflowPolicy::Block => {
+                    let _ = tx.send(WriterMsg::Flush);
+                }
+                OverflowPolicy::Drop => {
+                    let _ = tx.try_send(WriterMsg::Flush);
+                }
+            }
+        }
+    }
+
+    /// Closes the channel, joins the writer thread and returns the final
+    /// accounting. An I/O error from the writer thread is returned here
+    /// rather than panicking the simulation.
+    pub fn finish(mut self) -> io::Result<StreamStats> {
+        self.close()
+    }
+
+    fn close(&mut self) -> io::Result<StreamStats> {
+        drop(self.tx.take());
+        let written = match self.writer.take() {
+            Some(handle) => match handle.join() {
+                Ok(result) => result?,
+                Err(_) => {
+                    return Err(io::Error::other("stream-sink writer thread panicked"));
+                }
+            },
+            None => 0,
+        };
+        Ok(StreamStats {
+            recorded: self.recorded,
+            written,
+            dropped: self.dropped,
+            stalls: self.stalls,
+        })
+    }
+}
+
+impl TelemetrySink for StreamSink {
+    fn record(&mut self, record: TelemetryRecord) {
+        self.recorded += 1;
+        let Some(tx) = &self.tx else {
+            self.dropped += 1;
+            return;
+        };
+        match tx.try_send(WriterMsg::Record(record)) {
+            Ok(()) => {}
+            Err(TrySendError::Full(msg)) => match self.policy {
+                OverflowPolicy::Block => {
+                    self.stalls += 1;
+                    if tx.send(msg).is_err() {
+                        self.dropped += 1;
+                    }
+                }
+                OverflowPolicy::Drop => {
+                    self.dropped += 1;
+                }
+            },
+            // Writer gone (I/O error surfaced at finish()): count the
+            // loss instead of panicking mid-simulation.
+            Err(TrySendError::Disconnected(_)) => {
+                self.dropped += 1;
+            }
+        }
+    }
+
+    fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl Drop for StreamSink {
+    fn drop(&mut self) {
+        if self.writer.is_some() {
+            let _ = self.close();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{validate_json_lines, TelemetryEvent};
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    /// Test writer capturing bytes behind a shared handle.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn rec(i: u64) -> TelemetryRecord {
+        TelemetryRecord { epoch: i, cycle: i * 10, event: TelemetryEvent::EpochEnd { events: 0 } }
+    }
+
+    #[test]
+    fn blocking_stream_is_lossless_and_validates() {
+        let out = Shared::default();
+        let mut sink = StreamSink::with_capacity(out.clone(), 4, OverflowPolicy::Block);
+        let n = 10_000u64;
+        for i in 0..n {
+            sink.record(rec(i));
+        }
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.recorded, n);
+        assert_eq!(stats.written, n);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.recorded, stats.written + stats.dropped);
+        let text = String::from_utf8(out.0.lock().unwrap().clone()).unwrap();
+        assert_eq!(validate_json_lines(&text), Ok(n as usize));
+        // Streamed lines are in record order.
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("{\"epoch\": 0,"), "{first}");
+    }
+
+    #[test]
+    fn drop_policy_accounts_exactly() {
+        /// A writer that parks until allowed, forcing the channel full.
+        struct Gated(Arc<Mutex<Vec<u8>>>, Arc<std::sync::atomic::AtomicBool>);
+        impl Write for Gated {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                while !self.1.load(std::sync::atomic::Ordering::Acquire) {
+                    std::thread::yield_now();
+                }
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let bytes = Arc::new(Mutex::new(Vec::new()));
+        let gate = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut sink =
+            StreamSink::with_capacity(Gated(bytes.clone(), gate.clone()), 2, OverflowPolicy::Drop);
+        for i in 0..64 {
+            sink.record(rec(i));
+        }
+        gate.store(true, std::sync::atomic::Ordering::Release);
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.recorded, 64);
+        assert!(stats.dropped > 0, "gated writer must have overflowed the channel");
+        assert_eq!(stats.recorded, stats.written + stats.dropped);
+        let text = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+        assert_eq!(validate_json_lines(&text), Ok(stats.written as usize));
+    }
+
+    #[test]
+    fn finish_surfaces_writer_io_errors() {
+        struct Failing;
+        impl Write for Failing {
+            fn write(&mut self, _buf: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = StreamSink::with_capacity(Failing, 2, OverflowPolicy::Drop);
+        for i in 0..16 {
+            sink.record(rec(i));
+        }
+        assert!(sink.finish().is_err());
+    }
+}

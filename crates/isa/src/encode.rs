@@ -179,8 +179,11 @@ mod tests {
                 Instruction::AluImm { op: AluOp::ALL[op], rd, rs1, imm }
             }),
             (arb_reg(), any::<u16>()).prop_map(|(rd, imm)| Instruction::Lui { rd, imm }),
-            (arb_reg(), arb_reg(), any::<i16>())
-                .prop_map(|(rd, base, offset)| Instruction::Load { rd, base, offset }),
+            (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, base, offset)| Instruction::Load {
+                rd,
+                base,
+                offset
+            }),
             (arb_reg(), arb_reg(), any::<i16>())
                 .prop_map(|(src, base, offset)| Instruction::Store { src, base, offset }),
             (0usize..4, arb_reg(), arb_reg(), any::<i16>()).prop_map(|(c, rs1, rs2, offset)| {
@@ -188,8 +191,11 @@ mod tests {
             }),
             (arb_reg(), JAL_OFFSET_MIN..=JAL_OFFSET_MAX)
                 .prop_map(|(rd, offset)| Instruction::Jal { rd, offset }),
-            (arb_reg(), arb_reg(), any::<i16>())
-                .prop_map(|(rd, rs1, offset)| Instruction::Jalr { rd, rs1, offset }),
+            (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rd, rs1, offset)| Instruction::Jalr {
+                rd,
+                rs1,
+                offset
+            }),
             (0usize..4, arb_reg(), arb_reg(), arb_reg()).prop_map(|(op, rd, rs1, rs2)| {
                 Instruction::Fpu { op: FpuOp::ALL[op], rd, rs1, rs2 }
             }),

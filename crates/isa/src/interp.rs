@@ -128,10 +128,7 @@ impl Interp {
             Instruction::Store { src, base, offset } => {
                 let addr = self.reg(base).wrapping_add(offset as i32 as u32);
                 let value = self.reg(src);
-                let slot = self
-                    .mem
-                    .get_mut(addr as usize)
-                    .ok_or(IsaError::MemOutOfRange(addr))?;
+                let slot = self.mem.get_mut(addr as usize).ok_or(IsaError::MemOutOfRange(addr))?;
                 *slot = value;
             }
             Instruction::Branch { cond, rs1, rs2, offset } => {

@@ -35,9 +35,7 @@ pub fn fft(log2n: u32, seed: u64) -> Kernel {
     }
 
     // Bit-reversal table.
-    let rev: Vec<u32> = (0..n as u32)
-        .map(|i| i.reverse_bits() >> (32 - log2n))
-        .collect();
+    let rev: Vec<u32> = (0..n as u32).map(|i| i.reverse_bits() >> (32 - log2n)).collect();
 
     let expected = reference_fft(&input, &twiddles, &rev, n);
 
@@ -88,26 +86,26 @@ pub fn fft(log2n: u32, seed: u64) -> Kernel {
     a.add(R8, R8, R7);
     a.lw(R20, R8, 0); // wre
     a.lw(R21, R8, 1); // wim
-    // u = buf[base + j]
+                      // u = buf[base + j]
     a.add(R9, R2, R3);
     a.slli(R10, R9, 1);
     a.add(R10, R10, R6);
     a.lw(R16, R10, 0); // ure
     a.lw(R17, R10, 1); // uim
-    // x = buf[base + j + h]
+                       // x = buf[base + j + h]
     a.add(R11, R9, R1);
     a.slli(R12, R11, 1);
     a.add(R12, R12, R6);
     a.lw(R18, R12, 0); // xre
     a.lw(R19, R12, 1); // xim
-    // v = x * w (complex)
+                       // v = x * w (complex)
     a.fpu(FpuOp::Fmul, R22, R18, R20);
     a.fpu(FpuOp::Fmul, R23, R19, R21);
     a.fpu(FpuOp::Fsub, R24, R22, R23); // vre = xre*wre - xim*wim
     a.fpu(FpuOp::Fmul, R22, R18, R21);
     a.fpu(FpuOp::Fmul, R23, R19, R20);
     a.fpu(FpuOp::Fadd, R25, R22, R23); // vim = xre*wim + xim*wre
-    // buf[base+j] = u + v ; buf[base+j+h] = u - v
+                                       // buf[base+j] = u + v ; buf[base+j+h] = u - v
     a.fpu(FpuOp::Fadd, R13, R16, R24);
     a.sw(R13, R10, 0);
     a.fpu(FpuOp::Fadd, R13, R17, R25);

@@ -151,10 +151,7 @@ impl Kernel {
     pub fn verify(&self, memory: &[u32]) -> bool {
         let got = self.extract_output(memory);
         got.len() == self.expected.len()
-            && got
-                .iter()
-                .zip(&self.expected)
-                .all(|(a, b)| a.to_bits() == b.to_bits())
+            && got.iter().zip(&self.expected).all(|(a, b)| a.to_bits() == b.to_bits())
     }
 }
 

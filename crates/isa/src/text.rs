@@ -120,22 +120,27 @@ pub fn parse_program(source: &str) -> Result<Program, ParseAsmError> {
         }
         let mut parts = rest.splitn(2, char::is_whitespace);
         let mnemonic = parts.next().unwrap_or("");
-        let args: Vec<&str> =
-            parts.next().unwrap_or("").split(',').map(str::trim).filter(|a| !a.is_empty()).collect();
+        let args: Vec<&str> = parts
+            .next()
+            .unwrap_or("")
+            .split(',')
+            .map(str::trim)
+            .filter(|a| !a.is_empty())
+            .collect();
 
         match mnemonic {
             ".data" => {
                 for word in rest[".data".len()..].split_whitespace() {
-                    data.push(parse_word(word).ok_or_else(|| {
-                        err(line, format!("bad data word `{word}`"))
-                    })?);
+                    data.push(
+                        parse_word(word)
+                            .ok_or_else(|| err(line, format!("bad data word `{word}`")))?,
+                    );
                 }
             }
             ".bss" => {
                 let n = rest[".bss".len()..].trim();
-                bss_words += n
-                    .parse::<usize>()
-                    .map_err(|_| err(line, format!("bad .bss size `{n}`")))?;
+                bss_words +=
+                    n.parse::<usize>().map_err(|_| err(line, format!("bad .bss size `{n}`")))?;
             }
             _ => {
                 // `li` with a wide constant expands to two words.
@@ -243,7 +248,11 @@ pub fn parse_program(source: &str) -> Result<Program, ParseAsmError> {
                 text_seg.push(Instruction::Jal { rd: Reg::R0, offset });
             }
             "jalr" => {
-                text_seg.push(Instruction::Jalr { rd: reg(0)?, rs1: reg(1)?, offset: imm16(2).unwrap_or(0) });
+                text_seg.push(Instruction::Jalr {
+                    rd: reg(0)?,
+                    rs1: reg(1)?,
+                    offset: imm16(2).unwrap_or(0),
+                });
             }
             "jr" => {
                 text_seg.push(Instruction::Jalr { rd: Reg::R0, rs1: reg(0)?, offset: 0 });
@@ -257,8 +266,8 @@ pub fn parse_program(source: &str) -> Result<Program, ParseAsmError> {
                 };
                 let target = a.get(2).ok_or_else(|| err(line, "branch needs a target"))?;
                 let delta = lookup(target, next_pc, line)?;
-                let offset = i16::try_from(delta)
-                    .map_err(|_| err(line, "branch target out of range"))?;
+                let offset =
+                    i16::try_from(delta).map_err(|_| err(line, "branch target out of range"))?;
                 text_seg.push(Instruction::Branch { cond, rs1: reg(0)?, rs2: reg(1)?, offset });
             }
             "fadd" | "fsub" | "fmul" | "fmac" => {
@@ -276,10 +285,15 @@ pub fn parse_program(source: &str) -> Result<Program, ParseAsmError> {
                     Some(b) if alu_op(b).is_some() => (b, true),
                     _ => (other, false),
                 };
-                let op = alu_op(base)
-                    .ok_or_else(|| err(line, format!("unknown mnemonic `{other}`")))?;
+                let op =
+                    alu_op(base).ok_or_else(|| err(line, format!("unknown mnemonic `{other}`")))?;
                 if imm_form {
-                    text_seg.push(Instruction::AluImm { op, rd: reg(0)?, rs1: reg(1)?, imm: imm16(2)? });
+                    text_seg.push(Instruction::AluImm {
+                        op,
+                        rd: reg(0)?,
+                        rs1: reg(1)?,
+                        imm: imm16(2)?,
+                    });
                 } else {
                     text_seg.push(Instruction::Alu { op, rd: reg(0)?, rs1: reg(1)?, rs2: reg(2)? });
                 }
@@ -521,9 +535,11 @@ mod tests {
                 .prop_map(|(rd, base, offset)| Instruction::Load { rd, base, offset }),
             (reg.clone(), reg.clone(), any::<i16>())
                 .prop_map(|(src, base, offset)| Instruction::Store { src, base, offset }),
-            (0usize..4, reg.clone(), reg.clone(), any::<i16>()).prop_map(|(c, rs1, rs2, offset)| {
-                Instruction::Branch { cond: BranchCond::ALL[c], rs1, rs2, offset }
-            }),
+            (0usize..4, reg.clone(), reg.clone(), any::<i16>()).prop_map(
+                |(c, rs1, rs2, offset)| {
+                    Instruction::Branch { cond: BranchCond::ALL[c], rs1, rs2, offset }
+                }
+            ),
             (0usize..4, reg.clone(), reg.clone(), reg).prop_map(|(op, rd, rs1, rs2)| {
                 Instruction::Fpu { op: FpuOp::ALL[op], rd, rs1, rs2 }
             }),

@@ -96,11 +96,7 @@ pub fn write_blif(netlist: &Netlist, model: &str) -> String {
             }
             GateKind::Mux => {
                 // out = sel ? a : b  (inputs: sel, a, b)
-                let _ = writeln!(
-                    out,
-                    ".names {} {} {} {o}\n11- 1\n0-1 1",
-                    ins[0], ins[1], ins[2]
-                );
+                let _ = writeln!(out, ".names {} {} {} {o}\n11- 1\n0-1 1", ins[0], ins[1], ins[2]);
             }
             GateKind::Const0 => {
                 let _ = writeln!(out, ".names {o}");
@@ -161,7 +157,10 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
         } else if stripped.starts_with(".model") || stripped.starts_with(".end") {
             // metadata / terminator
         } else {
-            return Err(ParseBlifError { line, message: format!("unsupported construct `{stripped}`") });
+            return Err(ParseBlifError {
+                line,
+                message: format!("unsupported construct `{stripped}`"),
+            });
         }
     }
 
@@ -187,11 +186,8 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
         let net = match kind {
             GateKind::Const0 | GateKind::Const1 => b.gate(kind, &[]),
             _ => {
-                let ins: Vec<NetId> = cover
-                    .ins
-                    .iter()
-                    .map(|n| resolve(&map, n))
-                    .collect::<Result<_, _>>()?;
+                let ins: Vec<NetId> =
+                    cover.ins.iter().map(|n| resolve(&map, n)).collect::<Result<_, _>>()?;
                 b.gate(kind, &ins)
             }
         };
@@ -264,7 +260,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_skipped() {
-        let text = "# header\n.model m\n.inputs a b\n\n.outputs z\n.names a b z # and\n11 1\n.end\n";
+        let text =
+            "# header\n.model m\n.inputs a b\n\n.outputs z\n.names a b z # and\n11 1\n.end\n";
         let nl = parse_blif(text).unwrap();
         assert_eq!(nl.eval(&[0b11, 0b01])[0] & 0b11, 0b01);
     }

@@ -187,11 +187,8 @@ impl NetlistBuilder {
     /// Panics if the operand widths differ.
     pub fn equal(&mut self, a: &[NetId], b: &[NetId]) -> NetId {
         assert_eq!(a.len(), b.len(), "comparator operand widths differ");
-        let eqs: Vec<NetId> = a
-            .iter()
-            .zip(b)
-            .map(|(&x, &y)| self.gate(GateKind::Xnor, &[x, y]))
-            .collect();
+        let eqs: Vec<NetId> =
+            a.iter().zip(b).map(|(&x, &y)| self.gate(GateKind::Xnor, &[x, y])).collect();
         self.and_tree(&eqs)
     }
 
@@ -215,9 +212,8 @@ impl NetlistBuilder {
         for s in 0..stages as usize {
             let Some(&sel) = shamt.get(s) else { break };
             let shift = 1usize << s;
-            let shifted: Vec<NetId> = (0..width)
-                .map(|i| if i >= shift { cur[i - shift] } else { zero })
-                .collect();
+            let shifted: Vec<NetId> =
+                (0..width).map(|i| if i >= shift { cur[i - shift] } else { zero }).collect();
             cur = self.mux_word(sel, &shifted, &cur);
         }
         cur
@@ -425,7 +421,9 @@ mod tests {
         let g = b.priority_encoder(&req);
         b.outputs(&g);
         let nl = b.finish();
-        for (r, want) in [(0b0000u64, 0b0000u64), (0b0110, 0b0010), (0b1000, 0b1000), (0b1111, 0b0001)] {
+        for (r, want) in
+            [(0b0000u64, 0b0000u64), (0b0110, 0b0010), (0b1000, 0b1000), (0b1111, 0b0001)]
+        {
             let lanes = bits_to_lanes(r, 4);
             assert_eq!(lanes_to_bits(&nl.eval(&lanes)), want, "req {r:#b}");
         }

@@ -50,10 +50,10 @@ pub mod sim;
 pub mod stages;
 
 pub use builder::NetlistBuilder;
+pub use crossbar::{checker, crossbar_receiver};
 pub use netlist::{
     compose_chain, compose_chain_with, ComposeOptions, Gate, GateKind, NetId, Netlist,
 };
-pub use crossbar::{checker, crossbar_receiver};
 pub use sequential::{register_outputs, SequentialNetlist};
 pub use sim::{pack_blocks, FaultCone, FaultSim, SimScratch, WideScratch};
 pub use stages::{stage_netlist, StageNetlist, StageSizing};

@@ -484,13 +484,8 @@ pub fn compose_chain_with(
         prev_outputs.truncate(limit.max(1));
     }
 
-    let composed = Netlist::from_parts(
-        next_net as usize,
-        num_inputs,
-        gates,
-        prev_outputs,
-        redundant,
-    );
+    let composed =
+        Netlist::from_parts(next_net as usize, num_inputs, gates, prev_outputs, redundant);
     Ok((composed, maps))
 }
 

@@ -158,10 +158,7 @@ impl SequentialNetlist {
         all.extend_from_slice(scan_state);
         let good = self.core.eval_all(&all);
         let bad = self.core.eval_all_stuck(&all, stuck);
-        self.core
-            .outputs()
-            .iter()
-            .any(|o| good[o.index()] != bad[o.index()])
+        self.core.outputs().iter().any(|o| good[o.index()] != bad[o.index()])
     }
 }
 
@@ -266,8 +263,7 @@ mod tests {
             all.extend_from_slice(&state);
             let good = core.eval_all(&all);
             let bad = core.eval_all_stuck(&all, (fault_net, stuck));
-            let comb_detects =
-                core.outputs().iter().any(|o| good[o.index()] != bad[o.index()]);
+            let comb_detects = core.outputs().iter().any(|o| good[o.index()] != bad[o.index()]);
 
             assert_eq!(
                 seq.scan_detects(&inputs, &state, (fault_net, stuck)),

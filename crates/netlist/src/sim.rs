@@ -173,7 +173,8 @@ unsafe fn fire_gate_wide(
     let dc = *scratch.diff.get_unchecked(c as usize);
     // No differing input in any lane group ⇒ all four blocks reproduce
     // their good values.
-    if (da[0] | da[1] | da[2] | da[3]) | (db[0] | db[1] | db[2] | db[3])
+    if (da[0] | da[1] | da[2] | da[3])
+        | (db[0] | db[1] | db[2] | db[3])
         | (dc[0] | dc[1] | dc[2] | dc[3])
         == 0
     {
@@ -298,8 +299,7 @@ impl<'n> FaultSim<'n> {
         // pin and output index is in range for a `num_nets`-sized vector.
         for p in &packed {
             assert!(
-                p.pins.iter().all(|&n| (n as usize) < num_nets)
-                    && (p.output() as usize) < num_nets,
+                p.pins.iter().all(|&n| (n as usize) < num_nets) && (p.output() as usize) < num_nets,
                 "packed gate references an out-of-range net"
             );
         }
@@ -549,8 +549,7 @@ impl<'n> FaultSim<'n> {
         let (fnet, fval) = stuck;
         let forced = if fval { !0u64 } else { 0u64 };
         let site = good[fnet.index()];
-        let fdiff =
-            [forced ^ site[0], forced ^ site[1], forced ^ site[2], forced ^ site[3]];
+        let fdiff = [forced ^ site[0], forced ^ site[1], forced ^ site[2], forced ^ site[3]];
         if fdiff == [0; 4] {
             // Every block already carries the forced value in all lanes.
             return;
@@ -600,8 +599,7 @@ impl<'n> FaultSim<'n> {
         let (fnet, fval) = stuck;
         let forced = if fval { !0u64 } else { 0u64 };
         let site = good[fnet.index()];
-        let fdiff =
-            [forced ^ site[0], forced ^ site[1], forced ^ site[2], forced ^ site[3]];
+        let fdiff = [forced ^ site[0], forced ^ site[1], forced ^ site[2], forced ^ site[3]];
         if fdiff == [0; 4] {
             return true;
         }
@@ -661,10 +659,7 @@ impl<'n> FaultSim<'n> {
         good: &'s [u64],
         scratch: &'s SimScratch,
     ) -> impl Iterator<Item = u64> + 's {
-        self.netlist
-            .outputs()
-            .iter()
-            .map(move |&o| scratch.value(good, o) ^ good[o.index()])
+        self.netlist.outputs().iter().map(move |&o| scratch.value(good, o) ^ good[o.index()])
     }
 }
 
@@ -1021,12 +1016,10 @@ mod tests {
             let mut narrow = SimScratch::new();
             let mut wide = WideScratch::new();
             let mut det = WideScratch::new();
-            let blocks: Vec<Vec<u64>> = (0..4u64)
-                .map(|b| random_inputs(nl.num_inputs(), 0xD1CE ^ b))
-                .collect();
+            let blocks: Vec<Vec<u64>> =
+                (0..4u64).map(|b| random_inputs(nl.num_inputs(), 0xD1CE ^ b)).collect();
             let goods: Vec<Vec<u64>> = blocks.iter().map(|b| nl.eval_all(b)).collect();
-            let packed =
-                pack_blocks(&goods.iter().map(Vec::as_slice).collect::<Vec<_>>());
+            let packed = pack_blocks(&goods.iter().map(Vec::as_slice).collect::<Vec<_>>());
             for net in 0..nl.num_nets() as u32 {
                 let net = NetId(net);
                 sim.cone_into(net, &mut cone);
@@ -1055,9 +1048,7 @@ mod tests {
                     // group-aware campaign accounting consumes.
                     if sim.eval_stuck_detect_wide(&packed, (net, stuck), &mut det) {
                         let dw = det.detect_words();
-                        let got = (0..4)
-                            .find(|&g| dw[g] != 0)
-                            .map(|g| (g, dw[g].trailing_zeros()));
+                        let got = (0..4).find(|&g| dw[g] != 0).map(|g| (g, dw[g].trailing_zeros()));
                         assert_eq!(
                             got.is_some(),
                             first.is_some(),

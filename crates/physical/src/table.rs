@@ -139,10 +139,8 @@ mod tests {
     fn area_weighted_crossbar_overhead_is_consistent() {
         // The per-unit crossbar overheads, weighted by unit area and spread
         // over the whole core, should land near the paper's 7.4 % total.
-        let weighted: f64 = TABLE_III
-            .iter()
-            .map(|u| u.area_mm2 * u.crossbar_overhead_pct / 100.0)
-            .sum();
+        let weighted: f64 =
+            TABLE_III.iter().map(|u| u.area_mm2 * u.crossbar_overhead_pct / 100.0).sum();
         let total_pct = 100.0 * weighted / totals().area_mm2;
         assert!(
             (total_pct - totals().crossbar_overhead_pct).abs() < 1.0,
@@ -152,11 +150,9 @@ mod tests {
 
     #[test]
     fn protected_area_near_93_pct() {
-        let weighted: f64 = TABLE_III
-            .iter()
-            .map(|u| u.area_mm2 * u.protected_area_pct)
-            .sum::<f64>()
-            / units_area_mm2();
+        let weighted: f64 =
+            TABLE_III.iter().map(|u| u.area_mm2 * u.protected_area_pct).sum::<f64>()
+                / units_area_mm2();
         assert!((weighted - totals().protected_area_pct).abs() < 2.0, "weighted {weighted:.1}%");
     }
 }

@@ -29,9 +29,7 @@ impl Fabric {
     #[must_use]
     pub fn identity(layers: usize, pipelines: usize) -> Self {
         assert!(pipelines <= layers, "more pipelines than layers");
-        let assignment = (0..pipelines)
-            .map(|p| [Some(p); 5])
-            .collect();
+        let assignment = (0..pipelines).map(|p| [Some(p); 5]).collect();
         Fabric { layers, assignment }
     }
 
@@ -106,9 +104,7 @@ impl Fabric {
     /// Whether `pipe` has all five unit slots mapped.
     #[must_use]
     pub fn is_complete(&self, pipe: usize) -> bool {
-        self.assignment
-            .get(pipe)
-            .is_some_and(|slots| slots.iter().all(Option::is_some))
+        self.assignment.get(pipe).is_some_and(|slots| slots.iter().all(Option::is_some))
     }
 
     /// Number of complete logical pipelines.

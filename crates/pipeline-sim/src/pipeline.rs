@@ -368,7 +368,8 @@ impl LogicalPipeline {
         let mut cycles = 1u64; // base CPI of the in-order core
         let mut ifu_cycles = 1u64;
         if !self.l1i.access(self.pc) {
-            let extra = if l2.access(self.pc) { l2.config().hit_cycles } else { hierarchy.memory_cycles };
+            let extra =
+                if l2.access(self.pc) { l2.config().hit_cycles } else { hierarchy.memory_cycles };
             cycles += extra;
             ifu_cycles += extra;
         }
@@ -417,8 +418,7 @@ impl LogicalPipeline {
             }
             Instruction::AluImm { op, rd, rs1, imm } => {
                 let golden = op.apply(self.reg(rs1), imm as i32 as u32);
-                let actual =
-                    self.finish_value(effects, unit, self.pc, &[rs1], golden, &mut record);
+                let actual = self.finish_value(effects, unit, self.pc, &[rs1], golden, &mut record);
                 self.set_reg(rd, actual);
             }
             Instruction::Lui { rd, imm } => {
@@ -454,11 +454,8 @@ impl LogicalPipeline {
             }
             Instruction::Branch { cond, rs1, rs2, offset } => {
                 let taken = cond.eval(self.reg(rs1), self.reg(rs2));
-                let golden = if taken {
-                    next_pc.wrapping_add(offset as i32 as u32)
-                } else {
-                    next_pc
-                };
+                let golden =
+                    if taken { next_pc.wrapping_add(offset as i32 as u32) } else { next_pc };
                 let actual =
                     self.finish_value(effects, unit, self.pc, &[rs1, rs2], golden, &mut record);
                 if !self.predictor.resolve(self.pc, next_pc, actual) {
@@ -479,8 +476,7 @@ impl LogicalPipeline {
             }
             Instruction::Jalr { rd, rs1, offset } => {
                 let golden = self.reg(rs1).wrapping_add(offset as i32 as u32);
-                let actual =
-                    self.finish_value(effects, unit, self.pc, &[rs1], golden, &mut record);
+                let actual = self.finish_value(effects, unit, self.pc, &[rs1], golden, &mut record);
                 self.set_reg(rd, next_pc);
                 if !self.predictor.resolve(self.pc, next_pc, actual) {
                     cycles += self.timing.branch_penalty;
@@ -620,8 +616,7 @@ mod tests {
         let mut p = LogicalPipeline::new(0, &h, TimingParams::default());
         p.load(program);
         let mut effects = StageEffects::none();
-        effects.permanent[Unit::Exu.index()] =
-            Some(FaultEffect { bit: 0, stuck: true });
+        effects.permanent[Unit::Exu.index()] = Some(FaultEffect { bit: 0, stuck: true });
         while p.runnable() {
             p.step(&mut effects, &mut l2, &h, |_, _| {}, |_, _| {}).unwrap();
         }
@@ -672,8 +667,7 @@ mod tests {
         a.j(top);
         p.load(a.assemble().unwrap());
         let mut effects = StageEffects::none();
-        effects.permanent[Unit::Exu.index()] =
-            Some(FaultEffect { bit: 13, stuck: true });
+        effects.permanent[Unit::Exu.index()] = Some(FaultEffect { bit: 13, stuck: true });
         for _ in 0..100 {
             if !p.runnable() {
                 break;

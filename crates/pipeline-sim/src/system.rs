@@ -125,10 +125,7 @@ impl System3d {
     ///
     /// Returns [`SimError::UnknownStage`] for out-of-range stages.
     pub fn set_health(&mut self, stage: StageId, health: StageHealth) -> Result<(), SimError> {
-        let slot = self
-            .health
-            .get_mut(stage.flat_index())
-            .ok_or(SimError::UnknownStage(stage))?;
+        let slot = self.health.get_mut(stage.flat_index()).ok_or(SimError::UnknownStage(stage))?;
         *slot = health;
         Ok(())
     }
@@ -148,7 +145,11 @@ impl System3d {
     /// # Errors
     ///
     /// Returns [`SimError::UnknownStage`] for out-of-range stages.
-    pub fn inject_transient(&mut self, stage: StageId, effect: FaultEffect) -> Result<(), SimError> {
+    pub fn inject_transient(
+        &mut self,
+        stage: StageId,
+        effect: FaultEffect,
+    ) -> Result<(), SimError> {
         let slot = self
             .pending_transients
             .get_mut(stage.flat_index())
@@ -163,10 +164,7 @@ impl System3d {
     ///
     /// Returns [`SimError::UnknownPipeline`] for bad indices.
     pub fn load_program(&mut self, pipe: usize, program: Program) -> Result<(), SimError> {
-        self.pipelines
-            .get_mut(pipe)
-            .ok_or(SimError::UnknownPipeline(pipe))?
-            .load(program);
+        self.pipelines.get_mut(pipe).ok_or(SimError::UnknownPipeline(pipe))?.load(program);
         Ok(())
     }
 
@@ -176,10 +174,7 @@ impl System3d {
     ///
     /// Returns [`SimError::UnknownPipeline`] for bad indices.
     pub fn restart_program(&mut self, pipe: usize) -> Result<(), SimError> {
-        self.pipelines
-            .get_mut(pipe)
-            .ok_or(SimError::UnknownPipeline(pipe))?
-            .restart();
+        self.pipelines.get_mut(pipe).ok_or(SimError::UnknownPipeline(pipe))?.restart();
         Ok(())
     }
 
@@ -209,10 +204,7 @@ impl System3d {
         pipe: usize,
         checkpoint: &crate::pipeline::PipelineCheckpoint,
     ) -> Result<(), SimError> {
-        self.pipelines
-            .get_mut(pipe)
-            .ok_or(SimError::UnknownPipeline(pipe))?
-            .restore(checkpoint);
+        self.pipelines.get_mut(pipe).ok_or(SimError::UnknownPipeline(pipe))?.restore(checkpoint);
         Ok(())
     }
 
@@ -280,8 +272,7 @@ impl System3d {
             for unit in Unit::ALL {
                 let sid = stage_of[unit.index()].expect("complete pipeline");
                 effects.permanent[unit.index()] = self.health[sid.flat_index()].effect();
-                effects.transient[unit.index()] =
-                    self.pending_transients[sid.flat_index()].take();
+                effects.transient[unit.index()] = self.pending_transients[sid.flat_index()].take();
             }
 
             let traces = &mut self.traces;
@@ -389,8 +380,7 @@ mod tests {
         let mut sys = System3d::new(&SystemConfig::default());
         let k = gemv(8, 8, 2);
         sys.load_program(3, k.program().clone()).unwrap();
-        sys.inject_fault(StageId::new(3, Unit::Ffu), FaultEffect { bit: 30, stuck: true })
-            .unwrap();
+        sys.inject_fault(StageId::new(3, Unit::Ffu), FaultEffect { bit: 30, stuck: true }).unwrap();
         sys.run(200_000).unwrap();
         let p = sys.pipeline(3).unwrap();
         assert!(p.tainted());
@@ -429,8 +419,7 @@ mod tests {
         assert_eq!(sys.leftovers().len(), 10);
         // Ground-truth faults do NOT hide leftovers: the controller only
         // learns about them through diagnosis.
-        sys.inject_fault(StageId::new(7, Unit::Ifu), FaultEffect { bit: 0, stuck: false })
-            .unwrap();
+        sys.inject_fault(StageId::new(7, Unit::Ifu), FaultEffect { bit: 0, stuck: false }).unwrap();
         assert_eq!(sys.leftovers().len(), 10);
     }
 

@@ -31,9 +31,8 @@ fn ident(i: usize) -> String {
 #[must_use]
 pub fn dump_vcd(sys: &System3d) -> String {
     let layers = sys.fabric().layers();
-    let stages: Vec<StageId> = StageId::all(layers)
-        .filter(|s| !sys.stage_trace(*s).is_empty())
-        .collect();
+    let stages: Vec<StageId> =
+        StageId::all(layers).filter(|s| !sys.stage_trace(*s).is_empty()).collect();
 
     let mut out = String::new();
     out.push_str("$date r2d3 trace $end\n$version r2d3-pipeline-sim $end\n");
@@ -112,7 +111,10 @@ mod tests {
         let mut faulty = System3d::new(&SystemConfig { pipelines: 1, ..Default::default() });
         faulty.load_program(0, gemv(6, 6, 2).program().clone()).unwrap();
         faulty
-            .inject_fault(crate::stage::StageId::new(0, Unit::Exu), FaultEffect { bit: 0, stuck: true })
+            .inject_fault(
+                crate::stage::StageId::new(0, Unit::Exu),
+                FaultEffect { bit: 0, stuck: true },
+            )
             .unwrap();
         faulty.run(20_000).unwrap();
         assert!(raised_flags(&dump_vcd(&faulty)) > 0, "fault must raise mismatch flags");

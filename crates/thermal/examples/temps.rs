@@ -1,13 +1,19 @@
-use r2d3_thermal::*;
 use r2d3_isa::Unit;
+use r2d3_thermal::*;
 fn main() {
     let fp = Floorplan::opensparc_3d(8);
     let grid = ThermalGrid::new(&fp, &GridConfig::default());
     let mut p = PowerMap::new(&fp);
     // Table III unit powers (W): IFU .115, EXU .023, LSU .044, TLU .010, FFU .003 => 0.195/core (+caches excluded)
     let unit_w = [0.115, 0.023, 0.044, 0.010, 0.003];
-    for layer in 0..8 { for (i,u) in Unit::ALL.iter().enumerate() { p.set_block(layer, *u, unit_w[i]); } }
+    for layer in 0..8 {
+        for (i, u) in Unit::ALL.iter().enumerate() {
+            p.set_block(layer, *u, unit_w[i]);
+        }
+    }
     let t = grid.steady_state(&p).unwrap();
-    for layer in 0..8 { println!("layer {layer}: avg {:.1} max {:.1}", t.layer_avg(layer), t.layer_max(layer)); }
+    for layer in 0..8 {
+        println!("layer {layer}: avg {:.1} max {:.1}", t.layer_avg(layer), t.layer_max(layer));
+    }
     println!("total power {:.2} W", p.total());
 }

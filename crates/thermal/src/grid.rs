@@ -236,7 +236,6 @@ impl ThermalGrid {
     pub fn unit_order(&self) -> &[r2d3_isa::Unit] {
         &self.unit_order
     }
-
 }
 
 /// Computes `(cell_in_layer, fraction_of_block_area)` coverage of a rect.
@@ -296,9 +295,7 @@ mod tests {
     fn field_block_lookup_bounds_checked() {
         let fp = Floorplan::opensparc_3d(2);
         let grid = ThermalGrid::new(&fp, &GridConfig::default());
-        let field = grid
-            .steady_state(&crate::PowerMap::new(&fp))
-            .expect("zero-power solve");
+        let field = grid.steady_state(&crate::PowerMap::new(&fp)).expect("zero-power solve");
         let id = crate::floorplan::BlockId { layer: 5, unit: r2d3_isa::Unit::Ifu };
         assert!(field.block_avg(id).is_err());
     }

@@ -34,6 +34,19 @@ impl TemperatureField {
         }
     }
 
+    /// Rebuilds a field from a grid and raw per-cell temperatures, e.g.
+    /// when restoring a run snapshot that captured [`cells`](Self::cells).
+    /// The grid must be the one the field was originally solved on; the
+    /// cell count is checked, everything else (block coverage, unit
+    /// order) is re-derived from the grid.
+    pub fn from_cells(grid: &ThermalGrid, cells: Vec<f64>) -> Result<Self, ThermalError> {
+        let expected = grid.nx() * grid.ny() * grid.layers();
+        if cells.len() != expected {
+            return Err(ThermalError::CellCountMismatch { expected, got: cells.len() });
+        }
+        Ok(TemperatureField::new(grid, cells))
+    }
+
     /// Raw per-cell temperatures (layer-major, row-major within a layer).
     #[must_use]
     pub fn cells(&self) -> &[f64] {
@@ -66,10 +79,7 @@ impl TemperatureField {
     #[must_use]
     pub fn layer_max(&self, layer: usize) -> f64 {
         let per = self.nx * self.ny;
-        self.cells[layer * per..(layer + 1) * per]
-            .iter()
-            .copied()
-            .fold(f64::NEG_INFINITY, f64::max)
+        self.cells[layer * per..(layer + 1) * per].iter().copied().fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// Index of the hottest tier (the layer farthest from the heat sink in
@@ -90,11 +100,8 @@ impl TemperatureField {
         if id.layer >= self.layers {
             return Err(ThermalError::UnknownBlock { layer: id.layer, layers: self.layers });
         }
-        let pos = self
-            .unit_order
-            .iter()
-            .position(|u| *u == id.unit)
-            .expect("unit present in floorplan");
+        let pos =
+            self.unit_order.iter().position(|u| *u == id.unit).expect("unit present in floorplan");
         let bi = id.layer * self.blocks_per_layer + pos;
         let per = self.nx * self.ny;
         let base = id.layer * per;

@@ -261,9 +261,7 @@ impl ThermalGrid {
         let mut residual = f64::INFINITY;
         for sweep in 0..cfg.max_sweeps {
             residual = match cfg.ordering {
-                SweepOrdering::Lexicographic => {
-                    self.sweep(&mut temps, &cell_power, cfg.sor_omega)
-                }
+                SweepOrdering::Lexicographic => self.sweep(&mut temps, &cell_power, cfg.sor_omega),
                 SweepOrdering::RedBlack => self.sweep_red_black(
                     &mut temps,
                     &cell_power,
@@ -273,7 +271,10 @@ impl ThermalGrid {
                 ),
             };
             if residual < cfg.tolerance {
-                return Ok(SolveOutcome { field: TemperatureField::new(self, temps), sweeps: sweep + 1 });
+                return Ok(SolveOutcome {
+                    field: TemperatureField::new(self, temps),
+                    sweeps: sweep + 1,
+                });
             }
         }
         Err(ThermalError::NoConvergence { iterations: cfg.max_sweeps, residual })
@@ -421,9 +422,7 @@ impl ThermalGrid {
                 for _ in 0..steps_per_half {
                     let next = self.transient_step(state.as_ref(), power, dt)?;
                     if last {
-                        for (bi, (lo, hi)) in
-                            min_t.iter_mut().zip(max_t.iter_mut()).enumerate()
-                        {
+                        for (bi, (lo, hi)) in min_t.iter_mut().zip(max_t.iter_mut()).enumerate() {
                             let layer = bi / self.blocks_per_layer();
                             let per = self.nx() * self.ny();
                             let base = layer * per;
@@ -440,11 +439,7 @@ impl ThermalGrid {
                 }
             }
         }
-        let swing = min_t
-            .iter()
-            .zip(&max_t)
-            .map(|(lo, hi)| (hi - lo).max(0.0))
-            .collect();
+        let swing = min_t.iter().zip(&max_t).map(|(lo, hi)| (hi - lo).max(0.0)).collect();
         Ok(CyclingProfile { swing, peak })
     }
 }
@@ -560,9 +555,7 @@ mod tests {
             scratch.sweeps
         );
         // Re-solving the *same* power from its own solution is near-free.
-        let resolve = grid
-            .steady_state_warm(&uniform_power(&fp, 0.05), Some(&cold.field))
-            .unwrap();
+        let resolve = grid.steady_state_warm(&uniform_power(&fp, 0.05), Some(&cold.field)).unwrap();
         assert!(
             resolve.sweeps * 10 <= cold.sweeps,
             "restart at the solution should be ~free ({} vs {})",
@@ -591,25 +584,16 @@ mod tests {
         let fp = Floorplan::opensparc_3d(4);
         let mut p = uniform_power(&fp, 0.04);
         p.set_block(2, Unit::Lsu, 0.15); // break symmetry
-        let lex = ThermalGrid::new(&fp, &GridConfig::default())
-            .steady_state(&p)
-            .unwrap();
+        let lex = ThermalGrid::new(&fp, &GridConfig::default()).steady_state(&p).unwrap();
         let rb = ThermalGrid::new(
             &fp,
             &GridConfig { ordering: crate::SweepOrdering::RedBlack, ..Default::default() },
         )
         .steady_state(&p)
         .unwrap();
-        let max_diff = lex
-            .cells()
-            .iter()
-            .zip(rb.cells())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f64, f64::max);
-        assert!(
-            max_diff < 0.05,
-            "orderings disagree by {max_diff:.4} K beyond the tolerance band"
-        );
+        let max_diff =
+            lex.cells().iter().zip(rb.cells()).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        assert!(max_diff < 0.05, "orderings disagree by {max_diff:.4} K beyond the tolerance band");
     }
 
     #[test]
@@ -617,12 +601,10 @@ mod tests {
         let fp = Floorplan::opensparc_3d(8);
         let mut p = uniform_power(&fp, 0.05);
         p.set_block(5, Unit::Exu, 0.12);
-        let mk = |threads| {
-            GridConfig {
-                ordering: crate::SweepOrdering::RedBlack,
-                threads,
-                ..Default::default()
-            }
+        let mk = |threads| GridConfig {
+            ordering: crate::SweepOrdering::RedBlack,
+            threads,
+            ..Default::default()
         };
         let serial = ThermalGrid::new(&fp, &mk(1)).steady_state_warm(&p, None).unwrap();
         let par = ThermalGrid::new(&fp, &mk(4)).steady_state_warm(&p, None).unwrap();

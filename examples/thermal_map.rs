@@ -11,11 +11,7 @@ use r2d3::physical::PhysicalModel;
 use r2d3::thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let active: usize = std::env::args()
-        .nth(1)
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(6)
-        .min(8);
+    let active: usize = std::env::args().nth(1).and_then(|v| v.parse().ok()).unwrap_or(6).min(8);
 
     let floorplan = Floorplan::opensparc_3d(8);
     let grid = ThermalGrid::new(&floorplan, &GridConfig::default());
@@ -50,7 +46,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for layer in (0..8).rev() {
         println!(
             "layer {layer} ({}): avg {:6.1} °C, max {:6.1} °C",
-            if layer == 0 { "heat-sink side" } else if layer == 7 { "farthest from sink" } else { "mid-stack" },
+            if layer == 0 {
+                "heat-sink side"
+            } else if layer == 7 {
+                "farthest from sink"
+            } else {
+                "mid-stack"
+            },
             field.layer_avg(layer),
             field.layer_max(layer)
         );

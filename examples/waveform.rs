@@ -52,9 +52,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ppm = field.render_layer_ppm(hot, t_min, t_max);
     let ppm_path = format!("{out_dir}/r2d3_layer{hot}.ppm");
     std::fs::write(&ppm_path, &ppm)?;
-    println!(
-        "wrote {ppm_path}: layer {hot} map, {:.1}–{:.1} °C (blue→red)",
-        t_min, t_max
-    );
+    println!("wrote {ppm_path}: layer {hot} map, {:.1}–{:.1} °C (blue→red)", t_min, t_max);
     Ok(())
 }

@@ -122,11 +122,8 @@ fn physical_frequency_feeds_lifetime_normalization() {
     // frequency ratio — a cross-check that the overhead plumbs through.
     let physical = r2d3::physical::PhysicalModel::table_iii();
     let expected = physical.design(r2d3::physical::DesignVariant::R2d3).frequency_ghz;
-    let mut cfg = r2d3::engine::lifetime::LifetimeConfig::new(
-        r2d3::engine::PolicyKind::Pro,
-        0.75,
-        0.85,
-    );
+    let mut cfg =
+        r2d3::engine::lifetime::LifetimeConfig::new(r2d3::engine::PolicyKind::Pro, 0.75, 0.85);
     cfg.months = 1;
     cfg.replicas = 1;
     cfg.mttf_trials = 10;

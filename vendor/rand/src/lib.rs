@@ -183,14 +183,34 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Returns the raw xoshiro256++ state, for serialization into
+        /// run snapshots. Restoring with [`StdRng::from_state`] resumes
+        /// the stream exactly where it left off.
+        #[must_use]
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a previously captured
+        /// [`state`](StdRng::state). The all-zero state is degenerate
+        /// for xoshiro and is mapped to the same non-zero seed word
+        /// `seed_from_u64` uses, so a round-trip can never wedge the
+        /// generator.
+        #[must_use]
+        pub fn from_state(mut s: [u64; 4]) -> Self {
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9e37_79b9_7f4a_7c15;
+            }
+            StdRng { s }
+        }
+    }
+
     impl RngCore for StdRng {
         #[inline]
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
-            let result = s[0]
-                .wrapping_add(s[3])
-                .rotate_left(23)
-                .wrapping_add(s[0]);
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
             let t = s[1] << 17;
             s[2] ^= s[0];
             s[3] ^= s[1];
