@@ -1,8 +1,9 @@
 //! Random-pattern fault-simulation campaigns.
 
+use crate::collapse::{collapse_active, FaultClasses};
 use crate::fault::Fault;
 use crate::observe::structurally_observable;
-use r2d3_netlist::{pack_blocks, FaultCone, FaultSim, Netlist, WideScratch};
+use r2d3_netlist::{pack_blocks, FaultCone, FaultSim, Netlist, SimBlock, SimScratch, WideScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -12,8 +13,15 @@ use serde::{Deserialize, Serialize};
 /// amortizing each fault's cone derivation over many blocks.
 const BLOCK_BATCH: usize = 32;
 
-/// 64-pattern blocks fused into one 256-lane walk ([`WideScratch`]).
-const LANE_GROUP: usize = 4;
+/// 64-pattern blocks fused into one 512-lane walk ([`WideScratch`]) —
+/// a full cache line of lanes per net, matching the SIMD kernels'
+/// widest (AVX-512) chunk.
+const LANE_GROUP: usize = 8;
+
+/// Faults simulated per 2D tile: the inner fault loop re-walks the same
+/// lane group's good values while they are hot in cache, and faults are
+/// sorted by site first so tile members have overlapping cones.
+const FAULT_TILE: usize = 64;
 
 /// Campaign parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -187,18 +195,25 @@ fn pattern_blocks(netlist: &Netlist, blocks: usize, seed: u64) -> Vec<Vec<u64>> 
 /// Faults that are ground-truth redundant
 /// ([`Netlist::redundant_constants`]) or structurally unobservable from
 /// the outputs are classified [`FaultStatus::Undetectable`] without
-/// simulation. The rest are fault-simulated incrementally
-/// ([`FaultSim`]): pattern blocks are processed in batches whose
-/// good-value vectors are cached and fused into 256-lane groups of four
-/// blocks ([`pack_blocks`]), each fault's fanout cone is derived once
-/// per batch, and only the cone is re-evaluated per lane group — with
-/// early exit once the fault effect dies out in every block of the
-/// group. Detection accounting stays block-exact: within a group the
-/// earliest block with a nonzero detection word wins, and its
-/// `trailing_zeros` picks the lane, so classifications, first-detection
-/// pattern indices, and applied-pattern counts are identical to
-/// walking the 64-lane blocks one at a time. Detected faults are
-/// dropped from later batches.
+/// simulation. The rest are **collapsed** into structural equivalence
+/// classes ([`FaultClasses`]) and only one representative per class is
+/// simulated; class members receive the representative's verdict at the
+/// end. Because the classes are function-exact, the expanded statuses,
+/// first-detection pattern indices, and applied-pattern counts are
+/// byte-identical to simulating every fault.
+///
+/// Representatives are fault-simulated incrementally ([`FaultSim`]):
+/// pattern blocks are processed in batches whose good-value vectors are
+/// cached and fused into 512-lane groups of eight blocks
+/// ([`pack_blocks`]), then walked with the engine's runtime-dispatched
+/// SIMD kernel. Work is tiled in two dimensions — lane group outer,
+/// faults (sorted by site, so their cones overlap) inner — so each
+/// group's good values stay cache-hot across a whole fault tile.
+/// Detection accounting stays block-exact: within a group the earliest
+/// block with a nonzero detection word wins, and its `trailing_zeros`
+/// picks the lane, so classifications, first-detection pattern indices,
+/// and applied-pattern counts are identical to walking the 64-lane
+/// blocks one at a time. Detected faults are dropped from later batches.
 ///
 /// Results are bit-identical to [`run_campaign_reference`] for any seed
 /// and any thread count.
@@ -210,7 +225,13 @@ pub fn run_campaign(
 ) -> CampaignOutcome {
     let blocks = config.max_patterns.div_ceil(64).max(1);
     let mut statuses = vec![FaultStatus::Undetected; faults.len()];
-    let mut remaining = preclassify(netlist, faults, &mut statuses);
+    let active = preclassify(netlist, faults, &mut statuses);
+
+    // Collapse the active faults: simulate one representative per
+    // equivalence class, expand verdicts to members afterwards.
+    let classes = FaultClasses::build(netlist);
+    let (reps, expansions) = collapse_active(&classes, faults, &active);
+    let mut remaining = reps;
 
     let engine = FaultSim::new(netlist);
     let inputs = pattern_blocks(netlist, blocks, config.seed);
@@ -234,29 +255,44 @@ pub fn run_campaign(
         for (buf, pattern) in goods.iter_mut().zip(batch) {
             netlist.eval_all_into(pattern, buf);
         }
-        // Fuse the batch's good vectors into 256-lane groups, shared by
-        // every fault (and every worker) this batch. A trailing partial
-        // group pads by repeating its last block; `real` marks how many
-        // lane groups carry genuine patterns.
-        let groups: Vec<(Vec<[u64; 4]>, usize)> = goods
+        // Fuse the batch's good vectors into 512-lane groups, shared by
+        // every fault (and every worker) this batch. The first batch's
+        // first block is covered by the narrow probe in
+        // `simulate_batch` — most detectable faults die there — so its
+        // groups start at the second block. Later batches hold only
+        // hard-to-detect survivors, for which a narrow probe almost
+        // always misses; they go straight to the wide groups. A trailing
+        // partial group pads by repeating its last block; `real` marks
+        // how many lane groups carry genuine patterns.
+        let probe = batch_start == 0;
+        let grouped = if probe { &goods[1..] } else { &goods[..] };
+        let groups: Vec<(Vec<SimBlock<LANE_GROUP>>, usize)> = grouped
             .chunks(LANE_GROUP)
             .map(|chunk| {
                 let refs: Vec<&[u64]> = chunk.iter().map(Vec::as_slice).collect();
-                (pack_blocks(&refs), chunk.len())
+                (pack_blocks::<LANE_GROUP>(&refs), chunk.len())
             })
             .collect();
 
         let results = if threads == 1 || remaining.len() < 128 {
-            simulate_batch(&engine, faults, &remaining, &groups, batch_start, use_rows)
+            simulate_batch(&engine, faults, &remaining, &goods, &groups, batch_start, use_rows)
         } else {
             let chunk_len = remaining.len().div_ceil(threads);
             crossbeam::scope(|scope| {
                 let handles: Vec<_> = remaining
                     .chunks(chunk_len)
                     .map(|chunk| {
-                        let (engine, groups) = (&engine, &groups);
+                        let (engine, goods, groups) = (&engine, &goods, &groups);
                         scope.spawn(move |_| {
-                            simulate_batch(engine, faults, chunk, groups, batch_start, use_rows)
+                            simulate_batch(
+                                engine,
+                                faults,
+                                chunk,
+                                goods,
+                                groups,
+                                batch_start,
+                                use_rows,
+                            )
                         })
                     })
                     .collect();
@@ -281,60 +317,142 @@ pub fn run_campaign(
         remaining = next;
     }
 
+    // Expand class verdicts: every member inherits its representative's
+    // status (byte-identical to simulating the member — the classes are
+    // function-exact, so detect words match block for block).
+    for (member, rep) in expansions {
+        statuses[member] = statuses[rep];
+    }
+
     CampaignOutcome { faults: faults.to_vec(), statuses, patterns_applied: blocks_applied * 64 }
 }
 
-/// Simulates each fault in `chunk` over one batch of cached 256-lane
+/// Simulates each fault in `chunk` over one batch of cached 512-lane
 /// good-value groups. Returns `(fault_index, detection, last block
-/// reached + 1)` per fault; the cone and scratch buffers are reused
-/// across faults.
+/// reached + 1)` per fault, parallel to `chunk`; the cone and scratch
+/// buffers are reused across faults.
 ///
-/// Lane-group-aware accounting keeps the result bit-compatible with a
-/// block-at-a-time walk: within a group of four blocks the *earliest*
-/// block with a nonzero detection word is the detecting block (later
-/// blocks in the group were also simulated, but the narrow walk would
-/// have stopped before reaching them), and only that block plus its
-/// predecessors count as applied. Padded lanes of a trailing partial
+/// Work is tiled in two dimensions: faults are sorted by site (so tile
+/// members have overlapping cones), and for each [`FAULT_TILE`]-sized
+/// tile the lane groups run *outer* and the faults *inner* — a group's
+/// good values are walked by the whole tile while they are cache-hot.
+/// This only reorders independent (fault, group) evaluations, so the
+/// accounting below yields exactly what the fault-outer loop would:
+/// a fault detected in group `g` skips groups after `g` (its entry is
+/// frozen once `detected` is set), and within a group the *earliest*
+/// block with a nonzero detection word is the detecting block, with
+/// `trailing_zeros` picking the lane. Only that block plus its
+/// predecessors count as applied; padded lanes of a trailing partial
 /// group (`real < LANE_GROUP`) are ignored entirely.
 fn simulate_batch(
-    engine: &FaultSim<'_>,
+    engine: &FaultSim,
     faults: &[Fault],
     chunk: &[usize],
-    groups: &[(Vec<[u64; 4]>, usize)],
+    goods: &[Vec<u64>],
+    groups: &[(Vec<SimBlock<LANE_GROUP>>, usize)],
     batch_start: usize,
     use_rows: bool,
 ) -> Vec<(usize, Option<FaultStatus>, usize)> {
+    // The probe only runs on the campaign's first batch; later batches
+    // hold hard-to-detect survivors and go straight to the wide groups
+    // (mirrors the group slicing in `run_campaign`).
+    let probe = batch_start == 0;
     let mut cone = FaultCone::new();
-    let mut scratch = WideScratch::new();
-    chunk
-        .iter()
-        .map(|&fi| {
-            let fault = faults[fi];
-            if !use_rows {
-                engine.cone_into(fault.net, &mut cone);
+    let mut narrow = SimScratch::new();
+    let mut scratch = WideScratch::<LANE_GROUP>::new();
+
+    // Results are kept parallel to `chunk` (callers rely on that order);
+    // the tile traversal uses a site-sorted view of the indices.
+    let mut results: Vec<(usize, Option<FaultStatus>, usize)> =
+        chunk.iter().map(|&fi| (fi, None, batch_start)).collect();
+    let mut order: Vec<usize> = (0..chunk.len()).collect();
+    order.sort_by_key(|&ri| {
+        let f = faults[chunk[ri]];
+        (f.net.index(), f.stuck)
+    });
+
+    for tile in order.chunks(FAULT_TILE) {
+        // Narrow first-block probe: most detectable faults are caught in
+        // the campaign's very first 64-pattern block, so a single-block
+        // narrow walk here — one *flip* walk per fault site, covering
+        // both polarities — spares them the full `LANE_GROUP`-wide
+        // group walk below. The probe block *is* the
+        // batch's first block and the wide groups then start at the
+        // second, so a hit pins exactly the pattern a block-by-block
+        // walk would have found (earliest block wins, `trailing_zeros`
+        // lane), and a miss still charges the probe block to the
+        // accounting before the group loop takes over. Later batches
+        // (`probe == false`) skip straight to the groups: their
+        // survivors rarely die in any single block, so a narrow walk
+        // there is almost pure overhead.
+        if probe {
+            let consume = |results: &mut [(usize, Option<FaultStatus>, usize)],
+                           ri: usize,
+                           word: u64| {
+                let (_, detected, blocks_used) = &mut results[ri];
+                *blocks_used = batch_start + 1;
+                if word != 0 {
+                    let lane = word.trailing_zeros() as usize;
+                    *detected = Some(FaultStatus::Detected { pattern: batch_start * 64 + lane });
+                }
+            };
+            let mut i = 0;
+            while i < tile.len() {
+                let ri = tile[i];
+                let fault = faults[results[ri].0];
+                // Site-sorted order puts a net's two polarities next to
+                // each other; one flip walk classifies both (each
+                // polarity's detect word is the flip word masked by its
+                // excitation lanes — bit-identical to a dedicated walk).
+                if let Some(&rj) = tile.get(i + 1) {
+                    let other = faults[results[rj].0];
+                    if other.net == fault.net {
+                        engine.eval_flip_detect(&goods[0], fault.net, &mut narrow);
+                        let word = engine.detect_word(&goods[0], &narrow);
+                        let g = goods[0][fault.net.index()];
+                        consume(&mut results, ri, word & if fault.stuck { !g } else { g });
+                        consume(&mut results, rj, word & if other.stuck { !g } else { g });
+                        i += 2;
+                        continue;
+                    }
+                }
+                engine.eval_stuck_detect(&goods[0], (fault.net, fault.stuck), &mut narrow);
+                let word = engine.detect_word(&goods[0], &narrow);
+                consume(&mut results, ri, word);
+                i += 1;
             }
-            let mut detected = None;
-            let mut blocks_used = batch_start;
-            for (gi, (good, real)) in groups.iter().enumerate() {
-                let group_start = batch_start + gi * LANE_GROUP;
+        }
+        for (gi, (good, real)) in groups.iter().enumerate() {
+            let group_start = batch_start + usize::from(probe) + gi * LANE_GROUP;
+            for &ri in tile {
+                let (fi, detected, blocks_used) = &mut results[ri];
+                if detected.is_some() {
+                    continue;
+                }
+                let fault = faults[*fi];
                 if use_rows {
                     engine.eval_stuck_detect_wide(good, (fault.net, fault.stuck), &mut scratch);
                 } else {
+                    // Cones are cheap to re-derive relative to the walk
+                    // itself on the (large) netlists that overflow the
+                    // bitset budget, and the stamp cache makes repeats
+                    // for the same site nearly free.
+                    engine.cone_into(fault.net, &mut cone);
                     engine.eval_stuck_wide(good, (fault.net, fault.stuck), &cone, &mut scratch);
                 }
                 let words = scratch.detect_words();
                 if let Some(g) = (0..*real).find(|&g| words[g] != 0) {
                     let lane = words[g].trailing_zeros() as usize;
-                    detected =
+                    *detected =
                         Some(FaultStatus::Detected { pattern: (group_start + g) * 64 + lane });
-                    blocks_used = group_start + g + 1;
-                    break;
+                    *blocks_used = group_start + g + 1;
+                } else {
+                    *blocks_used = group_start + real;
                 }
-                blocks_used = group_start + real;
             }
-            (fi, detected, blocks_used)
-        })
-        .collect()
+        }
+    }
+    results
 }
 
 /// Reference campaign: full-netlist re-evaluation per fault per block via

@@ -6,6 +6,14 @@
 //! patterns that detect nothing new when the set is replayed backwards —
 //! typically shrinking random-generated sets severalfold at equal
 //! coverage.
+//!
+//! Patterns are packed 64-per-block into the simulator's bit-parallel
+//! lanes, so the detection matrix costs one incremental walk per fault
+//! per *block* rather than per pattern. Lane `l` of a block's detect
+//! word is exactly the single-pattern detect bit for pattern
+//! `block * 64 + l` (lanes are independent in bit-parallel simulation),
+//! so the greedy reverse-order decisions — which read one `(block,
+//! lane)` bit per pattern — are identical to the unpacked walk.
 
 use crate::fault::Fault;
 use r2d3_netlist::{FaultCone, FaultSim, Netlist, SimScratch};
@@ -14,39 +22,55 @@ use std::collections::HashSet;
 /// A single test pattern: one `bool` per primary input.
 pub type Pattern = Vec<bool>;
 
-/// Expands a pattern to the bit-parallel input encoding (all 64 lanes
-/// carry the same pattern).
-fn lanes(pattern: &Pattern) -> Vec<u64> {
-    pattern.iter().map(|&b| if b { !0u64 } else { 0 }).collect()
+/// Packs patterns 64-per-block into bit-parallel input lanes: lane `l`
+/// of block `b` carries pattern `b * 64 + l`. Padding lanes of a
+/// trailing partial block are all-false; callers must mask them out of
+/// detect words before treating them as coverage.
+fn pattern_blocks(patterns: &[Pattern], width: usize) -> Vec<Vec<u64>> {
+    patterns
+        .chunks(64)
+        .map(|chunk| {
+            let mut inputs = vec![0u64; width];
+            for (lane, pattern) in chunk.iter().enumerate() {
+                for (i, &bit) in pattern.iter().enumerate() {
+                    inputs[i] |= u64::from(bit) << lane;
+                }
+            }
+            inputs
+        })
+        .collect()
 }
 
-/// Per-fault fanout cones, derived once and replayed for every pattern.
-fn fault_cones(engine: &FaultSim<'_>, faults: &[Fault]) -> Vec<FaultCone> {
-    let mut cones = Vec::with_capacity(faults.len());
-    for fault in faults {
-        cones.push(engine.cone(fault.net));
+/// Detect word for the trailing partial block's real lanes only.
+fn real_mask(n_real: usize) -> u64 {
+    if n_real >= 64 {
+        !0
+    } else {
+        (1u64 << n_real) - 1
     }
-    cones
 }
 
-/// Faults of `faults` detected by `pattern` (indices).
-fn detected_by(
-    engine: &FaultSim<'_>,
-    faults: &[Fault],
-    cones: &[FaultCone],
-    pattern: &Pattern,
-    scratch: &mut SimScratch,
-) -> Vec<usize> {
-    let inputs = lanes(pattern);
-    let good = engine.netlist().eval_all(&inputs);
-    let mut hits = Vec::new();
-    for (i, (fault, cone)) in faults.iter().zip(cones).enumerate() {
-        engine.eval_stuck(&good, (fault.net, fault.stuck), cone, scratch);
-        if engine.detect_word(&good, scratch) & 1 != 0 {
-            hits.push(i);
-        }
-    }
-    hits
+/// Full detection matrix: `det[block][fault]` is the 64-lane detect word
+/// of `fault` under that block's packed patterns (padding lanes
+/// unmasked). One value-exact incremental walk per `(fault, block)`.
+fn detection_matrix(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> Vec<Vec<u64>> {
+    let engine = FaultSim::new(netlist);
+    let mut cone = FaultCone::new();
+    let mut scratch = SimScratch::new();
+    pattern_blocks(patterns, netlist.num_inputs())
+        .iter()
+        .map(|inputs| {
+            let good = netlist.eval_all(inputs);
+            faults
+                .iter()
+                .map(|fault| {
+                    engine.cone_into(fault.net, &mut cone);
+                    engine.eval_stuck(&good, (fault.net, fault.stuck), &cone, &mut scratch);
+                    engine.detect_word(&good, &scratch)
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Result of a compaction pass.
@@ -67,13 +91,13 @@ pub struct Compacted {
 /// (tested below).
 #[must_use]
 pub fn compact(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> Compacted {
-    let engine = FaultSim::new(netlist);
-    let cones = fault_cones(&engine, faults);
-    let mut scratch = SimScratch::new();
+    let det = detection_matrix(netlist, faults, patterns);
     let mut covered: HashSet<usize> = HashSet::new();
     let mut kept = Vec::new();
-    for (idx, pattern) in patterns.iter().enumerate().rev() {
-        let hits = detected_by(&engine, faults, &cones, pattern, &mut scratch);
+    for idx in (0..patterns.len()).rev() {
+        let (block, lane) = (idx / 64, idx % 64);
+        let bit = 1u64 << lane;
+        let hits: Vec<usize> = (0..faults.len()).filter(|&f| det[block][f] & bit != 0).collect();
         if hits.iter().any(|h| !covered.contains(h)) {
             covered.extend(hits);
             kept.push(idx);
@@ -86,12 +110,11 @@ pub fn compact(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> Com
 /// Coverage of an arbitrary pattern set (fault indices detected).
 #[must_use]
 pub fn coverage(netlist: &Netlist, faults: &[Fault], patterns: &[Pattern]) -> HashSet<usize> {
-    let engine = FaultSim::new(netlist);
-    let cones = fault_cones(&engine, faults);
-    let mut scratch = SimScratch::new();
+    let det = detection_matrix(netlist, faults, patterns);
     let mut covered = HashSet::new();
-    for pattern in patterns {
-        covered.extend(detected_by(&engine, faults, &cones, pattern, &mut scratch));
+    for (block, row) in det.iter().enumerate() {
+        let mask = real_mask(patterns.len() - block * 64);
+        covered.extend((0..faults.len()).filter(|&f| row[f] & mask != 0));
     }
     covered
 }
@@ -154,5 +177,26 @@ mod tests {
         let c = compact(nl, &faults, &[]);
         assert!(c.kept.is_empty());
         assert!(c.covered.is_empty());
+    }
+
+    #[test]
+    fn packed_matrix_matches_one_pattern_per_block() {
+        // The packed detection matrix's (block, lane) bits must equal the
+        // old one-pattern-per-walk scheme: replaying each pattern alone in
+        // lane 0 of its own block.
+        let sizing = StageSizing { gates_per_mm2: 400.0, ..Default::default() };
+        let sn = stage_netlist(r2d3_isa::Unit::Lsu, &sizing);
+        let nl = sn.netlist();
+        let faults = collapsed_faults(nl);
+        let patterns = random_patterns(70, nl.num_inputs(), 11);
+
+        let det = detection_matrix(nl, &faults, &patterns);
+        for (idx, pattern) in patterns.iter().enumerate() {
+            let solo = detection_matrix(nl, &faults, std::slice::from_ref(pattern));
+            for (f, &word) in solo[0].iter().enumerate() {
+                let packed_bit = det[idx / 64][f] >> (idx % 64) & 1;
+                assert_eq!(packed_bit, word & 1, "pattern {idx} fault {f}");
+            }
+        }
     }
 }

@@ -10,7 +10,7 @@
 //! how precisely a symptom can be localized.
 
 use crate::fault::Fault;
-use r2d3_netlist::{FaultCone, FaultSim, Netlist, SimScratch};
+use r2d3_netlist::{pack_blocks, FaultCone, FaultSim, Netlist, SimBlock, WideScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -58,16 +58,39 @@ impl FaultDictionary {
             hash_words(&mut clean_hash, netlist.outputs().iter().map(|_| 0u64));
         }
 
+        // Fuse blocks into 512-lane groups and walk each fault's cone
+        // once per group with the value-exact wide kernel. Hashing the
+        // per-output diff of each *real* block in global block order
+        // yields hashes identical to a block-at-a-time walk — lanes are
+        // independent, so the wide diffs match the narrow ones bit for
+        // bit, and padded lanes are never hashed.
+        const DICT_LANES: usize = 8;
+        let groups: Vec<(Vec<SimBlock<DICT_LANES>>, usize)> = goods
+            .chunks(DICT_LANES)
+            .map(|chunk| {
+                let refs: Vec<&[u64]> = chunk.iter().map(Vec::as_slice).collect();
+                (pack_blocks::<DICT_LANES>(&refs), chunk.len())
+            })
+            .collect();
+
         let engine = FaultSim::new(netlist);
         let mut cone = FaultCone::new();
-        let mut scratch = SimScratch::new();
+        let mut wide = WideScratch::<DICT_LANES>::new();
         let mut classes: HashMap<u64, Vec<usize>> = HashMap::new();
         for (fi, fault) in faults.iter().enumerate() {
             engine.cone_into(fault.net, &mut cone);
             let mut h = 0xcbf2_9ce4_8422_2325u64;
-            for good in &goods {
-                engine.eval_stuck(good, (fault.net, fault.stuck), &cone, &mut scratch);
-                hash_words(&mut h, engine.output_diffs(good, &scratch));
+            for (packed, real) in &groups {
+                engine.eval_stuck_wide(packed, (fault.net, fault.stuck), &cone, &mut wide);
+                for g in 0..*real {
+                    hash_words(
+                        &mut h,
+                        netlist
+                            .outputs()
+                            .iter()
+                            .map(|&o| wide.value(packed, o)[g] ^ packed[o.index()][g]),
+                    );
+                }
             }
             classes.entry(h).or_default().push(fi);
         }

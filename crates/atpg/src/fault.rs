@@ -1,6 +1,6 @@
 //! The stuck-at fault universe.
 
-use r2d3_netlist::{GateKind, NetId, Netlist};
+use r2d3_netlist::{NetId, Netlist};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -44,76 +44,21 @@ pub fn all_faults(netlist: &Netlist) -> Vec<Fault> {
         .collect()
 }
 
-/// Equivalence-collapsed fault universe.
+/// Equivalence-collapsed fault universe: one representative (the
+/// smallest fault key, net-major with SA0 before SA1) per structural
+/// equivalence class of [`crate::collapse::FaultClasses`].
 ///
-/// Classical structural collapsing rules for single-fanout nets:
-///
-/// * `Buf`: output faults are equivalent to the same input faults — drop
-///   the output pair.
-/// * `Not`: output faults are equivalent to the *inverted* input faults —
-///   drop the output pair.
-/// * `And`/`Nand`: SA0 on any input is equivalent to SA0 (`And`) / SA1
-///   (`Nand`) on the output — keep the output fault, drop input SA0s when
-///   the input net has fanout 1 and is itself a gate output (so dropping
-///   does not orphan a site).
-/// * `Or`/`Nor`: dual rule for input SA1s.
-///
-/// Collapsing only changes which representative of an equivalence class is
-/// simulated; coverage percentages over the collapsed set equal those over
-/// the full set up to class weighting, which is how commercial tools
-/// report coverage.
+/// The classes are function-exact — members share detection words on
+/// every pattern block — so a campaign over the collapsed set loses no
+/// information, and coverage percentages over it equal those over the
+/// full set up to class weighting, which is how commercial tools report
+/// coverage. (Campaigns over *uncollapsed* lists collapse internally
+/// anyway; this set is for callers who want the smaller universe as
+/// their unit of account, e.g. dictionaries and compaction.)
 #[must_use]
 pub fn collapsed_faults(netlist: &Netlist) -> Vec<Fault> {
-    let mut fanout = vec![0usize; netlist.num_nets()];
-    for gate in netlist.gates() {
-        for input in &gate.inputs {
-            fanout[input.index()] += 1;
-        }
-    }
-    for out in netlist.outputs() {
-        fanout[out.index()] += 1;
-    }
-
-    let mut keep_sa0 = vec![true; netlist.num_nets()];
-    let mut keep_sa1 = vec![true; netlist.num_nets()];
-
-    for gate in netlist.gates() {
-        match gate.kind {
-            GateKind::Buf | GateKind::Not => {
-                // Output faults fold into the (possibly inverted) input
-                // faults; always safe to drop the output pair.
-                keep_sa0[gate.output.index()] = false;
-                keep_sa1[gate.output.index()] = false;
-            }
-            GateKind::And | GateKind::Nand => {
-                for input in &gate.inputs {
-                    if fanout[input.index()] == 1 {
-                        keep_sa0[input.index()] = false;
-                    }
-                }
-            }
-            GateKind::Or | GateKind::Nor => {
-                for input in &gate.inputs {
-                    if fanout[input.index()] == 1 {
-                        keep_sa1[input.index()] = false;
-                    }
-                }
-            }
-            _ => {}
-        }
-    }
-
-    let mut faults = Vec::new();
-    for n in 0..netlist.num_nets() as u32 {
-        let net = NetId(n);
-        if keep_sa0[net.index()] {
-            faults.push(Fault::sa0(net));
-        }
-        if keep_sa1[net.index()] {
-            faults.push(Fault::sa1(net));
-        }
-    }
-    faults
+    let classes = crate::collapse::FaultClasses::build(netlist);
+    all_faults(netlist).into_iter().filter(|&f| classes.is_representative(f)).collect()
 }
 
 #[cfg(test)]

@@ -9,8 +9,10 @@
 //! (Fig. 4(c)). This crate reproduces that flow on the generated stage
 //! netlists from [`r2d3_netlist`]:
 //!
-//! * [`fault`] — the stuck-at fault universe with simple equivalence
-//!   collapsing,
+//! * [`fault`] — the stuck-at fault universe,
+//! * [`collapse`] — function-exact structural equivalence classes; the
+//!   campaign simulates one representative per class and expands
+//!   verdicts back byte-identically,
 //! * [`observe`] — stage-boundary vs core-boundary observation models,
 //!   including structural-observability analysis (reverse reachability
 //!   from the observed outputs),
@@ -38,6 +40,7 @@
 //! ```
 
 pub mod campaign;
+pub mod collapse;
 pub mod compact;
 pub mod dictionary;
 pub mod fault;
@@ -49,6 +52,7 @@ pub mod report;
 pub use campaign::{
     run_campaign, run_campaign_reference, CampaignConfig, CampaignOutcome, FaultStatus,
 };
+pub use collapse::{collapse_active, FaultClasses};
 pub use compact::{compact, Compacted};
 pub use dictionary::FaultDictionary;
 pub use fault::{all_faults, collapsed_faults, Fault};

@@ -389,8 +389,9 @@ enum PreparedInner {
     /// Long-running syscall-heavy kernels keep every unit class busy;
     /// built once, cloned per scenario.
     Behavioral { programs: Vec<Program>, sys_cfg: SystemConfig },
-    /// Synthesis is the expensive part; one template, cloned per scenario.
-    Netlist { template: NetlistSubstrate },
+    /// Synthesis is the expensive part; one template, cloned per
+    /// scenario. Boxed: the substrate dwarfs the behavioral variant.
+    Netlist { template: Box<NetlistSubstrate> },
 }
 
 impl PreparedSubstrate {
@@ -407,11 +408,11 @@ impl PreparedSubstrate {
                 },
             },
             SubstrateKind::Netlist => PreparedInner::Netlist {
-                template: NetlistSubstrate::new(&NetlistSubstrateConfig {
+                template: Box::new(NetlistSubstrate::new(&NetlistSubstrateConfig {
                     pipelines: config.pipelines,
                     layers: config.layers,
                     ..Default::default()
-                }),
+                })),
             },
         };
         PreparedSubstrate { kind, inner }
@@ -436,7 +437,7 @@ impl PreparedSubstrate {
                 })
             }
             PreparedInner::Netlist { template } => {
-                run_one_scenario(self.kind, scenario, config, traces, || template.clone())
+                run_one_scenario(self.kind, scenario, config, traces, || (**template).clone())
             }
         }
     }

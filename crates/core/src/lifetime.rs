@@ -277,12 +277,46 @@ struct SolvedMonth {
     field: TemperatureField,
 }
 
+/// Lock stripes in [`ThermalCache`]. A power of two (shard selection
+/// masks the key's low bits); 16 comfortably exceeds the worker cap.
+const CACHE_SHARDS: usize = 16;
+
 /// Thermal solves shared across replicas, keyed by a *chained hash* of
 /// the quantized duty history. Two trajectories collide on a key only if
 /// their entire duty history matches — which also pins the warm-start
 /// field — so every cache entry is a pure function of its key and the
 /// simulation stays bit-identical for any thread count or interleaving.
-type ThermalCache = Mutex<HashMap<u64, Arc<SolvedMonth>>>;
+///
+/// The map is striped across [`CACHE_SHARDS`] independently locked
+/// shards, so concurrent replicas rarely contend on the map locks (the
+/// old single global `Mutex<HashMap>` serialized every lookup *and*
+/// every multi-millisecond solve under one lock, making 4-thread runs
+/// slightly slower than serial). Each key owns a per-entry slot mutex:
+/// the first replica to want a key computes the solve while holding
+/// only that slot, and later replicas wanting the same key block on the
+/// slot — never the shard — and then reuse the result instead of
+/// re-solving. Entries are pure functions of their key, so striping and
+/// in-flight dedup change timing only, never results.
+/// One in-flight-dedup cache slot: filled exactly once, under the slot's
+/// own lock, by the first replica to claim the key.
+type CacheSlot = Arc<Mutex<Option<Arc<SolvedMonth>>>>;
+
+struct ThermalCache {
+    shards: [Mutex<HashMap<u64, CacheSlot>>; CACHE_SHARDS],
+}
+
+impl ThermalCache {
+    fn new() -> Self {
+        ThermalCache { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+
+    /// The slot for `key`, creating it empty if absent. Holds the shard
+    /// lock only for the map access, never across a solve.
+    fn slot(&self, key: u64) -> CacheSlot {
+        let shard = &self.shards[key as usize & (CACHE_SHARDS - 1)];
+        Arc::clone(shard.lock().entry(key).or_insert_with(|| Arc::new(Mutex::new(None))))
+    }
+}
 
 /// Extends a duty-history hash with one month's quantized duty vector
 /// (FNV-1a over the 8.8 fixed-point duties).
@@ -672,10 +706,14 @@ impl LifetimeSim {
         let cfg = &self.config;
         let floorplan = Floorplan::opensparc_3d(cfg.layers);
         let grid = ThermalGrid::new(&floorplan, &cfg.grid);
-        let cache: ThermalCache = Mutex::new(HashMap::new());
+        let cache = ThermalCache::new();
 
         type ReplicaResult = Result<(LifetimeSeries, Vec<f64>, Option<ReplicaDebug>), EngineError>;
-        let threads = cfg.threads.max(1).min(cfg.replicas.max(1));
+        // Oversubscribing a CPU-bound replica loop only adds context
+        // switches, so the worker count is clamped to the host's
+        // parallelism (results are thread-count-invariant either way).
+        let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let threads = cfg.threads.max(1).min(cfg.replicas.max(1)).min(host);
         let mut results: Vec<Option<ReplicaResult>> = (0..cfg.replicas).map(|_| None).collect();
         if threads <= 1 {
             for (replica, slot) in results.iter_mut().enumerate() {
@@ -762,7 +800,7 @@ impl LifetimeSim {
         let nstages = cfg.layers * Unit::COUNT;
         let floorplan = Floorplan::opensparc_3d(cfg.layers);
         let grid = ThermalGrid::new(&floorplan, &cfg.grid);
-        let cache: ThermalCache = Mutex::new(HashMap::new());
+        let cache = ThermalCache::new();
 
         let (mut cursor, mut live) = match resume {
             Some(st) => {
@@ -1075,7 +1113,14 @@ impl LifetimeSim {
         warm: Option<&TemperatureField>,
         cache: &ThermalCache,
     ) -> Result<Arc<SolvedMonth>, EngineError> {
-        if let Some(hit) = cache.lock().get(&key) {
+        // Hold only this key's slot during the solve: replicas solving
+        // different months proceed in parallel, and a replica wanting a
+        // month already in flight waits for that result instead of
+        // recomputing it. (An errored solve releases the slot empty, so
+        // waiters retry the solve themselves.)
+        let slot = cache.slot(key);
+        let mut entry = slot.lock();
+        if let Some(hit) = entry.as_ref() {
             return Ok(hit.clone());
         }
         let outcome = grid
@@ -1090,7 +1135,7 @@ impl LifetimeSim {
                 .map_err(EngineError::Thermal)?;
         }
         let solved = Arc::new(SolvedMonth { temps, field: outcome.field });
-        cache.lock().insert(key, solved.clone());
+        *entry = Some(solved.clone());
         Ok(solved)
     }
 

@@ -22,10 +22,12 @@ use parking_lot::Mutex;
 use r2d3_isa::Unit;
 use r2d3_netlist::netlist::{NetId, Netlist};
 use r2d3_netlist::stages::{stage_netlist, StageNetlist, StageSizing};
+use r2d3_netlist::{FaultCone, FaultSim, SimScratch};
 use r2d3_pipeline_sim::{ActivityStats, Fabric, StageId, StageRecord, TraceRing};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A permanent gate-level fault: one net stuck at a logic level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +134,11 @@ struct PipeState {
 /// affects results — only evaluation count.
 #[derive(Default)]
 struct FoldCache {
+    /// `(unit index, block)` → full good net-value vectors, shared by the
+    /// good fold and the incremental faulty scan (which walks only a
+    /// fault's fanout cone over these instead of re-evaluating the whole
+    /// netlist).
+    goods: HashMap<(usize, u64), Arc<Vec<u64>>>,
     /// `(unit index, block)` → good signatures.
     good: HashMap<(usize, u64), [u32; 64]>,
     /// `(stage flat index, block)` → signatures under the stage's fault.
@@ -149,6 +156,10 @@ pub struct NetlistSubstrate {
     seed: u64,
     /// One synthesized netlist per unit kind, shared by all layers.
     stage_netlists: Vec<StageNetlist>,
+    /// One incremental fault-simulation engine per unit kind (owned —
+    /// [`FaultSim`] copies what it needs), so faulty scans walk fanout
+    /// cones instead of re-evaluating whole netlists.
+    scan_sims: Vec<FaultSim>,
     fabric: Fabric,
     health: Vec<GateHealth>,
     /// Armed one-shot transients: a per-stage XOR mask applied to the
@@ -172,6 +183,7 @@ impl Clone for NetlistSubstrate {
             cycles_per_op: self.cycles_per_op,
             seed: self.seed,
             stage_netlists: self.stage_netlists.clone(),
+            scan_sims: self.scan_sims.clone(),
             fabric: self.fabric.clone(),
             health: self.health.clone(),
             pending_transients: self.pending_transients.clone(),
@@ -208,16 +220,20 @@ fn decode_sig(sig: u64) -> (usize, u64, usize) {
 /// Folds each pattern lane's observed-output column into a 32-bit
 /// signature (XOR onto rotating positions): any single flipped output bit
 /// flips the signature, which is all the inter-stage checkers need.
-fn fold_block(nl: &Netlist, values: &[u64]) -> [u32; 64] {
+fn fold_lanes(outputs: &[NetId], mut value: impl FnMut(NetId) -> u64) -> [u32; 64] {
     let mut out = [0u32; 64];
-    for (j, net) in nl.outputs().iter().enumerate() {
-        let word = values[net.index()];
+    for (j, &net) in outputs.iter().enumerate() {
+        let word = value(net);
         let rot = (j & 31) as u32;
         for (lane, sig) in out.iter_mut().enumerate() {
             *sig ^= (((word >> lane) & 1) as u32) << rot;
         }
     }
     out
+}
+
+fn fold_block(nl: &Netlist, values: &[u64]) -> [u32; 64] {
+    fold_lanes(nl.outputs(), |net| values[net.index()])
 }
 
 impl NetlistSubstrate {
@@ -231,12 +247,15 @@ impl NetlistSubstrate {
     pub fn new(config: &NetlistSubstrateConfig) -> Self {
         let stage_netlists: Vec<StageNetlist> =
             Unit::ALL.iter().map(|&u| stage_netlist(u, &config.sizing)).collect();
+        let scan_sims: Vec<FaultSim> =
+            stage_netlists.iter().map(|sn| FaultSim::new(sn.netlist())).collect();
         let nstages = config.layers * Unit::COUNT;
         NetlistSubstrate {
             layers: config.layers,
             cycles_per_op: config.cycles_per_op.max(1),
             seed: config.seed,
             stage_netlists,
+            scan_sims,
             fabric: Fabric::identity(config.layers, config.pipelines),
             health: vec![GateHealth::Healthy; nstages],
             pending_transients: vec![None; nstages],
@@ -280,12 +299,27 @@ impl NetlistSubstrate {
         (0..nl.num_inputs()).map(|_| rng.gen()).collect()
     }
 
+    /// Full good net-value vector for `(unit, block)`, shared between the
+    /// good fold and the incremental faulty scan via the cache.
+    fn good_values(&self, unit: usize, block: u64) -> Arc<Vec<u64>> {
+        if let Some(hit) = self.cache.lock().goods.get(&(unit, block)) {
+            return Arc::clone(hit);
+        }
+        let nl = self.stage_netlists[unit].netlist();
+        let values = Arc::new(nl.eval_all(&self.block_inputs(unit, block)));
+        let mut cache = self.cache.lock();
+        if cache.goods.len() >= CACHE_CAP {
+            cache.goods.clear();
+        }
+        Arc::clone(cache.goods.entry((unit, block)).or_insert(values))
+    }
+
     fn good_fold(&self, unit: usize, block: u64) -> [u32; 64] {
         if let Some(hit) = self.cache.lock().good.get(&(unit, block)) {
             return *hit;
         }
         let nl = self.stage_netlists[unit].netlist();
-        let fold = fold_block(nl, &nl.eval_all(&self.block_inputs(unit, block)));
+        let fold = fold_block(nl, &self.good_values(unit, block));
         let mut cache = self.cache.lock();
         if cache.good.len() >= CACHE_CAP {
             cache.good.clear();
@@ -299,10 +333,17 @@ impl NetlistSubstrate {
         if let Some(hit) = self.cache.lock().faulty.get(&key) {
             return *hit;
         }
+        // Incremental scan: walk only the fault's fanout cone over the
+        // cached good values instead of re-evaluating the whole netlist
+        // per (stage, block).
         let unit = stage.unit.index();
-        let nl = self.stage_netlists[unit].netlist();
-        let values = nl.eval_all_stuck(&self.block_inputs(unit, block), (fault.net, fault.stuck));
-        let fold = fold_block(nl, &values);
+        let good = self.good_values(unit, block);
+        let sim = &self.scan_sims[unit];
+        let mut cone = FaultCone::new();
+        let mut scratch = SimScratch::new();
+        sim.cone_into(fault.net, &mut cone);
+        sim.eval_stuck(&good, (fault.net, fault.stuck), &cone, &mut scratch);
+        let fold = fold_lanes(sim.outputs(), |net| scratch.value(&good, net));
         let mut cache = self.cache.lock();
         if cache.faulty.len() >= CACHE_CAP {
             cache.faulty.clear();

@@ -1,4 +1,5 @@
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 //! Gate-level netlist substrate for the R2D3 reproduction.
 //!
@@ -55,7 +56,7 @@ pub use netlist::{
     compose_chain, compose_chain_with, ComposeOptions, Gate, GateKind, NetId, Netlist,
 };
 pub use sequential::{register_outputs, SequentialNetlist};
-pub use sim::{pack_blocks, FaultCone, FaultSim, SimScratch, WideScratch};
+pub use sim::{pack_blocks, FaultCone, FaultSim, SimBlock, SimScratch, SimdKernel, WideScratch};
 pub use stages::{stage_netlist, StageNetlist, StageSizing};
 
 use std::fmt;

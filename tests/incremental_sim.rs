@@ -92,14 +92,24 @@ proptest! {
                 }
                 prop_assert_eq!(sim.detect_word(&good, &scratch), oracle_diff);
 
-                // The row-walk detection variant (used by campaigns) must
-                // agree on detection and on the first detecting lane.
-                if sim.eval_stuck_detect(&good, (net, stuck), &mut det_scratch) {
-                    let det = sim.detect_word(&good, &det_scratch);
-                    prop_assert_eq!(det != 0, oracle_diff != 0);
-                    if oracle_diff != 0 {
-                        prop_assert_eq!(det.trailing_zeros(), oracle_diff.trailing_zeros());
-                    }
+                // The levelized event-walk detection variant (used by
+                // campaigns) must agree on detection and on the first
+                // detecting lane.
+                sim.eval_stuck_detect(&good, (net, stuck), &mut det_scratch);
+                let det = sim.detect_word(&good, &det_scratch);
+                prop_assert_eq!(det != 0, oracle_diff != 0);
+                if oracle_diff != 0 {
+                    prop_assert_eq!(det.trailing_zeros(), oracle_diff.trailing_zeros());
+                }
+
+                // The both-polarity flip walk, masked by this polarity's
+                // excitation lanes, must agree with the oracle too.
+                sim.eval_flip_detect(&good, net, &mut det_scratch);
+                let excite = if stuck { !good[net.index()] } else { good[net.index()] };
+                let flip = sim.detect_word(&good, &det_scratch) & excite;
+                prop_assert_eq!(flip != 0, oracle_diff != 0);
+                if oracle_diff != 0 {
+                    prop_assert_eq!(flip.trailing_zeros(), oracle_diff.trailing_zeros());
                 }
             }
         }
@@ -114,15 +124,15 @@ proptest! {
         let sim = FaultSim::new(&nl);
         let mut cone = FaultCone::new();
         let mut narrow = SimScratch::new();
-        let mut wide = WideScratch::new();
-        let mut det = WideScratch::new();
+        let mut wide = WideScratch::<4>::new();
+        let mut det = WideScratch::<4>::new();
 
         let mut rng = StdRng::seed_from_u64(pattern_seed);
         let blocks: Vec<Vec<u64>> = (0..4)
             .map(|_| (0..nl.num_inputs()).map(|_| rng.gen()).collect())
             .collect();
         let goods: Vec<Vec<u64>> = blocks.iter().map(|b| nl.eval_all(b)).collect();
-        let packed = pack_blocks(&goods.iter().map(Vec::as_slice).collect::<Vec<_>>());
+        let packed = pack_blocks::<4>(&goods.iter().map(Vec::as_slice).collect::<Vec<_>>());
 
         for net in 0..nl.num_nets() as u32 {
             let net = NetId(net);
