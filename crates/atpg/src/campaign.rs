@@ -223,6 +223,11 @@ pub fn run_campaign(
     faults: &[Fault],
     config: &CampaignConfig,
 ) -> CampaignOutcome {
+    debug_assert!(
+        r2d3_netlist::ir::validate(netlist).is_ok(),
+        "campaign requires a valid IR netlist: {:?}",
+        r2d3_netlist::ir::validate(netlist)
+    );
     let blocks = config.max_patterns.div_ceil(64).max(1);
     let mut statuses = vec![FaultStatus::Undetected; faults.len()];
     let active = preclassify(netlist, faults, &mut statuses);
@@ -498,6 +503,32 @@ pub fn run_campaign_reference(
     }
 
     CampaignOutcome { faults: faults.to_vec(), statuses, patterns_applied: blocks_applied * 64 }
+}
+
+/// Validates `netlist`, runs the standard IR rewrite pipeline, and
+/// campaigns over the **full stuck-at universe of the post-rewrite
+/// netlist** ([`all_faults`](crate::fault::all_faults) on the rewritten
+/// IR). This is the fault-universe convention for optimized logic: sites
+/// that the rewrite folds away (dead cones, merged duplicates) do not
+/// exist in the manufactured circuit model, so they are not enumerated.
+///
+/// Returns the rewrite outcome (rewritten netlist + original-net
+/// survival map + pass statistics) alongside the campaign outcome, so
+/// callers can relate pre-rewrite sites to post-rewrite verdicts via
+/// [`r2d3_netlist::RewriteOutcome::net_map`].
+///
+/// # Errors
+///
+/// Returns the [`r2d3_netlist::IrError`] if `netlist` fails IR
+/// validation.
+pub fn run_campaign_rewritten(
+    netlist: &Netlist,
+    config: &CampaignConfig,
+) -> Result<(r2d3_netlist::RewriteOutcome, CampaignOutcome), r2d3_netlist::IrError> {
+    let rewritten = r2d3_netlist::rewrite(netlist)?;
+    let faults = crate::fault::all_faults(&rewritten.netlist);
+    let outcome = run_campaign(&rewritten.netlist, &faults, config);
+    Ok((rewritten, outcome))
 }
 
 #[cfg(test)]

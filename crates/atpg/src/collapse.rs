@@ -67,6 +67,11 @@ impl FaultClasses {
     /// Builds the equivalence classes for `netlist`'s fault universe.
     #[must_use]
     pub fn build(netlist: &Netlist) -> Self {
+        debug_assert!(
+            r2d3_netlist::ir::validate(netlist).is_ok(),
+            "fault collapsing requires a valid IR netlist: {:?}",
+            r2d3_netlist::ir::validate(netlist)
+        );
         let num_nets = netlist.num_nets();
         let mut parent: Vec<u32> = (0..2 * num_nets as u32).collect();
 

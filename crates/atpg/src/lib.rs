@@ -50,13 +50,16 @@ pub mod podem;
 pub mod report;
 
 pub use campaign::{
-    run_campaign, run_campaign_reference, CampaignConfig, CampaignOutcome, FaultStatus,
+    run_campaign, run_campaign_reference, run_campaign_rewritten, CampaignConfig, CampaignOutcome,
+    FaultStatus,
 };
 pub use collapse::{collapse_active, FaultClasses};
 pub use compact::{compact, Compacted};
 pub use dictionary::FaultDictionary;
 pub use fault::{all_faults, collapsed_faults, Fault};
 pub use flow::{run_full_flow, FlowConfig};
-pub use observe::{core_level_campaign, structurally_observable};
+pub use observe::{
+    core_level_campaign, core_level_campaign_rewritten, structurally_observable, CoreCampaignError,
+};
 pub use podem::{podem, PodemResult};
 pub use report::{latency_histogram, unit_report, LatencyBucket, UnitReport};

@@ -8,10 +8,11 @@
 //! composing the five unit netlists into a chain and re-running the same
 //! fault universe against the final outputs only.
 
-use crate::campaign::{run_campaign, CampaignConfig, CampaignOutcome};
+use crate::campaign::{run_campaign, CampaignConfig, CampaignOutcome, FaultStatus};
 use crate::fault::Fault;
 use r2d3_netlist::netlist::ComposeOptions;
-use r2d3_netlist::{compose_chain_with, NetId, Netlist, NetlistError};
+use r2d3_netlist::{compose_chain_with, IrError, NetId, Netlist, NetlistError, RewriteOutcome};
+use std::fmt;
 
 /// Computes, for every net, whether a structural path exists from the net
 /// to any of the `observed` outputs (reverse reachability over gate
@@ -110,10 +111,123 @@ pub fn core_level_campaign_with(
     Ok(per_stage)
 }
 
+/// Errors from [`core_level_campaign_rewritten`]: either the stage
+/// composition failed or the composed netlist failed IR validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreCampaignError {
+    /// Stage composition failed.
+    Compose(NetlistError),
+    /// The composed chain violated an IR invariant.
+    Ir(IrError),
+}
+
+impl fmt::Display for CoreCampaignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreCampaignError::Compose(e) => write!(f, "stage composition: {e}"),
+            CoreCampaignError::Ir(e) => write!(f, "composed chain: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreCampaignError {}
+
+impl From<NetlistError> for CoreCampaignError {
+    fn from(e: NetlistError) -> Self {
+        CoreCampaignError::Compose(e)
+    }
+}
+
+impl From<IrError> for CoreCampaignError {
+    fn from(e: IrError) -> Self {
+        CoreCampaignError::Ir(e)
+    }
+}
+
+/// [`core_level_campaign_with`] over the **rewritten** composed chain:
+/// the stage chain is composed, run through the standard IR rewrite
+/// pipeline, and the fault universe is enumerated against the
+/// post-rewrite netlist.
+///
+/// Stage-local fault sites are carried across the rewrite via
+/// [`RewriteOutcome::net_map`]. A site the rewrite eliminates (dead
+/// cone removed by DCE, or a constant net that no longer exists) has no
+/// physical counterpart in the optimized circuit, so its fault is
+/// classified [`FaultStatus::Undetectable`] without simulation; sites
+/// merged with an equivalent net are simulated at the surviving net,
+/// which computes the identical function for both polarities.
+///
+/// Returns the rewrite outcome alongside one [`CampaignOutcome`] per
+/// stage (aligned with the input fault lists, like
+/// [`core_level_campaign`]).
+///
+/// # Errors
+///
+/// Returns [`CoreCampaignError`] if composition fails or the composed
+/// chain violates IR invariants.
+///
+/// # Panics
+///
+/// Panics if `stage_faults.len() != stage_netlists.len()`.
+pub fn core_level_campaign_rewritten(
+    stage_netlists: &[&Netlist],
+    stage_faults: &[Vec<Fault>],
+    config: &CampaignConfig,
+    options: &ComposeOptions,
+) -> Result<(RewriteOutcome, Vec<CampaignOutcome>), CoreCampaignError> {
+    assert_eq!(stage_netlists.len(), stage_faults.len(), "one fault list per stage");
+    let (composed, maps) = compose_chain_with(stage_netlists, options)?;
+    let rewritten = r2d3_netlist::rewrite(&composed)?;
+
+    // stage-local net → composed net → rewritten net.
+    let mut sim_faults: Vec<Fault> = Vec::new();
+    let mut slots: Vec<Vec<Option<usize>>> = Vec::with_capacity(stage_faults.len());
+    for (si, faults) in stage_faults.iter().enumerate() {
+        let map = &maps[si];
+        let mut stage_slots = Vec::with_capacity(faults.len());
+        for fault in faults {
+            let composed_net = map[fault.net.index()];
+            let survives = if composed_net == NetId(u32::MAX) {
+                None
+            } else {
+                rewritten.net_map[composed_net.index()]
+            };
+            match survives {
+                Some(net) => {
+                    stage_slots.push(Some(sim_faults.len()));
+                    sim_faults.push(Fault { net, stuck: fault.stuck });
+                }
+                None => stage_slots.push(None),
+            }
+        }
+        slots.push(stage_slots);
+    }
+
+    let outcome = run_campaign(&rewritten.netlist, &sim_faults, config);
+
+    let statuses = outcome.statuses();
+    let mut per_stage = Vec::with_capacity(stage_faults.len());
+    for (si, faults) in stage_faults.iter().enumerate() {
+        let stage_statuses: Vec<FaultStatus> = slots[si]
+            .iter()
+            .map(|slot| match slot {
+                Some(k) => statuses[*k],
+                None => FaultStatus::Undetectable,
+            })
+            .collect();
+        per_stage.push(CampaignOutcome::from_raw_parts(
+            faults.clone(),
+            stage_statuses,
+            outcome.patterns_applied(),
+        ));
+    }
+    Ok((rewritten, per_stage))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::campaign::FaultStatus;
     use crate::fault::all_faults;
     use r2d3_netlist::NetlistBuilder;
 
@@ -180,6 +294,29 @@ mod tests {
         for (o, f) in core.iter().zip(&faults) {
             assert_eq!(o.faults().len(), f.len());
         }
+    }
+
+    #[test]
+    fn rewritten_core_campaign_aligns_with_fault_lists() {
+        let s1 = small_stage();
+        let s2 = small_stage();
+        let faults: Vec<Vec<Fault>> = [&s1, &s2].iter().map(|n| all_faults(n)).collect();
+        let config = CampaignConfig { max_patterns: 4096, seed: 5, threads: 1 };
+        let (rewritten, core) = core_level_campaign_rewritten(
+            &[&s1, &s2],
+            &faults,
+            &config,
+            &ComposeOptions::default(),
+        )
+        .unwrap();
+        assert!(rewritten.stats.gates_after <= rewritten.stats.gates_before);
+        assert_eq!(core.len(), 2);
+        for (outcome, stage_faults) in core.iter().zip(&faults) {
+            assert_eq!(outcome.faults().len(), stage_faults.len());
+        }
+        // The directly observed final stage still detects a majority.
+        let (d, _, _) = core[1].counts();
+        assert!(d * 2 > faults[1].len(), "detected {d} of {}", faults[1].len());
     }
 
     #[test]

@@ -170,6 +170,11 @@ pub enum PodemResult {
 /// exhausting the decision space, so that verdict is a proof.
 #[must_use]
 pub fn podem(netlist: &Netlist, fault: Fault, max_backtracks: usize) -> PodemResult {
+    debug_assert!(
+        r2d3_netlist::ir::validate(netlist).is_ok(),
+        "PODEM requires a valid IR netlist: {:?}",
+        r2d3_netlist::ir::validate(netlist)
+    );
     let mut engine = Podem::new(netlist, fault);
     engine.run(max_backtracks)
 }

@@ -8,6 +8,11 @@
 //!   ([`run_campaign`]) vs the full-re-evaluation oracle
 //!   ([`run_campaign_reference`]) on the EXU stage netlist, same seed and
 //!   budget, with the fault classification asserted identical.
+//! - **Rewritten netlist**: the 8-stage composed pipeline chain put
+//!   through the IR rewrite pipeline ([`r2d3_netlist::rewrite`]), with
+//!   campaign gate-evals/s, logic depth and fault-universe size measured
+//!   before and after — the rewrite must not regress fault-sim
+//!   throughput.
 //! - **Fault campaign**: adversarial fault-injection scenario throughput
 //!   ([`r2d3_core::campaign`]) on both reliability substrates, asserted
 //!   failure-free (no misdiagnosis, silent corruption or engine error).
@@ -193,6 +198,96 @@ fn campaign_report(json: &mut String) {
         gate_evals / inc_secs,
         gate_evals / ref_secs,
         speedup,
+    ));
+}
+
+fn rewritten_netlist_report(json: &mut String) {
+    use r2d3_netlist::{analyze_levels, compose_chain, rewrite, Netlist};
+
+    // The 8-stage logical pipeline: Unit::ALL cycled, as formed by the
+    // reconfiguration layer when it chains stages across layers.
+    let sizing = StageSizing::default();
+    let stages: Vec<Netlist> = Unit::ALL
+        .iter()
+        .cycle()
+        .take(8)
+        .map(|&u| stage_netlist(u, &sizing).netlist().clone())
+        .collect();
+    let refs: Vec<&Netlist> = stages.iter().collect();
+    let (chain, _maps) = compose_chain(&refs).expect("compose 8-stage chain");
+
+    let outcome = rewrite(&chain).expect("rewrite 8-stage chain");
+    let rewritten = &outcome.netlist;
+    let stats = &outcome.stats;
+    debug_assert_eq!(stats.depth_after, analyze_levels(rewritten).depth());
+
+    let faults_before = all_faults(&chain);
+    let faults_after = all_faults(rewritten);
+    let cfg = CampaignConfig { max_patterns: 8192, seed: 1, threads: 1 };
+
+    let (before, before_secs) = time_best(3, || run_campaign(&chain, &faults_before, &cfg));
+    let (after, after_secs) = time_best(3, || run_campaign(rewritten, &faults_after, &cfg));
+
+    // Same normalization as the campaign row: gate evaluations a full
+    // re-evaluation would perform for the applied budget.
+    let evals = |nl: &Netlist, faults: usize, patterns: usize| {
+        (nl.num_gates() * faults) as f64 * (patterns / 64) as f64
+    };
+    let before_rate = evals(&chain, faults_before.len(), before.patterns_applied()) / before_secs;
+    let after_rate = evals(rewritten, faults_after.len(), after.patterns_applied()) / after_secs;
+
+    // The acceptance gate: rewriting must never cost fault-sim
+    // throughput on the composed chain (it should win — fewer gates,
+    // fewer fault sites, shallower logic).
+    assert!(
+        after_rate >= before_rate,
+        "rewrite regressed chain fault-sim throughput: {after_rate:.3e} < {before_rate:.3e}"
+    );
+
+    println!(
+        "perf rewritten netlist: 8-stage chain {} → {} gates, depth {} → {}, \
+         {:.2e} → {:.2e} gate-evals/s",
+        stats.gates_before,
+        stats.gates_after,
+        stats.depth_before,
+        stats.depth_after,
+        before_rate,
+        after_rate,
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"rewritten_netlist\": {{\n",
+            "    \"netlist\": \"8_stage_chain\",\n",
+            "    \"gates_before\": {},\n",
+            "    \"gates_after\": {},\n",
+            "    \"depth_before\": {},\n",
+            "    \"depth_after\": {},\n",
+            "    \"faults_before\": {},\n",
+            "    \"faults_after\": {},\n",
+            "    \"merged_duplicates\": {},\n",
+            "    \"rebalanced_chains\": {},\n",
+            "    \"dead_gates_removed\": {},\n",
+            "    \"before_secs\": {:.6},\n",
+            "    \"after_secs\": {:.6},\n",
+            "    \"before_gate_evals_per_sec\": {:.1},\n",
+            "    \"after_gate_evals_per_sec\": {:.1},\n",
+            "    \"rewrite_speedup\": {:.2}\n",
+            "  }},\n"
+        ),
+        stats.gates_before,
+        stats.gates_after,
+        stats.depth_before,
+        stats.depth_after,
+        faults_before.len(),
+        faults_after.len(),
+        stats.merged_duplicates,
+        stats.rebalanced_chains,
+        stats.dead_gates_removed,
+        before_secs,
+        after_secs,
+        before_rate,
+        after_rate,
+        after_rate / before_rate,
     ));
 }
 
@@ -488,6 +583,7 @@ fn main() {
 
     let mut json = String::from("{\n");
     campaign_report(&mut json);
+    rewritten_netlist_report(&mut json);
     fault_campaign_report(&mut json);
     lifetime_report(&mut json);
     substrate_report(&mut json);

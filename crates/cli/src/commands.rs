@@ -219,6 +219,12 @@ pub fn campaign(args: &[String]) -> CliResult {
         .substrate_flag(true)
         .out_flag("report")
         .switch("smoke", "small CI-sized sweep (27 scenarios)")
+        .flag(
+            "core",
+            "FILE",
+            "gate-level stages use this imported core (text netlist from `r2d3 import`, \
+             or raw Yosys JSON) instead of the synthesized stage netlists",
+        )
         .metrics_out_flag()
         .trace_out_flag()
         .flag("shard", "K/N", "run only shard K of an N-way partition (shard file goes to --out)")
@@ -235,10 +241,20 @@ pub fn campaign(args: &[String]) -> CliResult {
         SubstrateChoice::Netlist => vec![SubstrateKind::Netlist],
         SubstrateChoice::Both => vec![SubstrateKind::Behavioral, SubstrateKind::Netlist],
     };
+    let netlist_stages = p.get("core").map(load_core_stages).transpose()?;
+    if let Some(stages) = &netlist_stages {
+        let nl = stages[0].netlist();
+        eprintln!(
+            "core: {} gates, {} outputs per stage (imported netlist on all units)",
+            nl.gates().len(),
+            nl.outputs().len()
+        );
+    }
     let config = CampaignConfig {
         seed: p.get_or("seed", 0xCA3A)?,
         scenarios_per_substrate: p.get_or("scenarios", if smoke { 27 } else { 256 })?,
         substrates,
+        netlist_stages,
         ..Default::default()
     };
 
@@ -437,7 +453,13 @@ pub fn trace(args: &[String]) -> CliResult {
             .flag("format", "NAME", "output format: chrome|jsonl")
             .out_flag("trace")
             .flag("check", "FILE", "validate an existing trace file and exit")
-            .flag("stream-out", "FILE", "stream JSON-lines through the bounded sink to FILE");
+            .flag("stream-out", "FILE", "stream JSON-lines through the bounded sink to FILE")
+            .flag(
+                "rotate-bytes",
+                "N",
+                "rotate --stream-out into FILE, FILE.1, … once a segment reaches N bytes \
+                 (0 = single unbounded file)",
+            );
     let Some(p) = cmd.parse(args)? else {
         return Ok(());
     };
@@ -451,7 +473,8 @@ pub fn trace(args: &[String]) -> CliResult {
     let victim = StageId::new(2, Unit::Exu);
 
     if let Some(path) = p.get("stream-out") {
-        let sink = StreamSink::to_file(path, OverflowPolicy::Block)?;
+        let rotate_bytes: u64 = p.get_or("rotate-bytes", 0)?;
+        let sink = StreamSink::to_file_rotating(path, OverflowPolicy::Block, rotate_bytes)?;
         let stats = match parse_substrate(p.get("substrate"), SubstrateChoice::Behavioral, false)? {
             SubstrateChoice::Behavioral => {
                 stream_scenario(standard_system(seed)?, victim, seed, epochs, sink)?
@@ -542,6 +565,99 @@ fn check_trace(path: &str) -> CliResult {
     };
     println!("{path}: valid {kind} ({events} events)");
     Ok(())
+}
+
+/// `r2d3 import`
+pub fn import(args: &[String]) -> CliResult {
+    use r2d3_netlist::{analyze_levels, parse_yosys_json, rewrite, text_emit};
+
+    let cmd = Command::new(
+        "import",
+        "import a Yosys `write_json` combinational core: validate it against the \
+         IR invariants, run the deterministic rewrite passes, and emit the text \
+         netlist format (feed the result to `campaign --core`)",
+    )
+    .positional("core.json", "Yosys `write_json` netlist file")
+    .flag("top", "NAME", "module to import (default: the file's only module)")
+    .out_flag("text netlist")
+    .switch("no-rewrite", "skip the rewrite passes (validate and emit as imported)");
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let path = p.positional(0);
+    let json = std::fs::read_to_string(path)?;
+    let core = parse_yosys_json(&json, p.get("top")).map_err(|e| format!("{path}: {e}"))?;
+
+    let ports = |ports: &[(String, usize)]| {
+        ports.iter().map(|(n, w)| format!("{n}[{w}]")).collect::<Vec<_>>().join(" ")
+    };
+    eprintln!(
+        "{path}: module `{}` — {} inputs ({}), {} outputs ({}), {} gates, depth {}",
+        core.name,
+        core.netlist.num_inputs(),
+        ports(&core.input_ports),
+        core.netlist.outputs().len(),
+        ports(&core.output_ports),
+        core.netlist.gates().len(),
+        analyze_levels(&core.netlist).depth(),
+    );
+
+    let netlist = if p.has("no-rewrite") {
+        core.netlist
+    } else {
+        let outcome = rewrite(&core.netlist).map_err(|e| format!("{path}: {e}"))?;
+        let s = &outcome.stats;
+        eprintln!(
+            "rewrite: {} → {} gates, depth {} → {} ({} consts folded, {} buffers removed, \
+             {} duplicates merged, {} chains rebalanced, {} dead gates removed)",
+            s.gates_before,
+            s.gates_after,
+            s.depth_before,
+            s.depth_after,
+            s.folded_constants,
+            s.removed_buffers,
+            s.merged_duplicates,
+            s.rebalanced_chains,
+            s.dead_gates_removed,
+        );
+        outcome.netlist
+    };
+
+    let text = text_emit(&netlist);
+    match p.get("out") {
+        Some(out) => {
+            std::fs::write(out, &text)?;
+            eprintln!("text netlist written to {out}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
+/// Loads a `campaign --core` file — either the text netlist format
+/// emitted by `r2d3 import` (used as-is) or a raw Yosys-JSON core (which
+/// gets the full import pipeline: validate + rewrite) — and maps the one
+/// core onto every pipeline-unit stage.
+fn load_core_stages(
+    path: &str,
+) -> Result<Vec<r2d3_netlist::stages::StageNetlist>, Box<dyn std::error::Error>> {
+    use r2d3_netlist::stages::StageNetlist;
+    let text = std::fs::read_to_string(path)?;
+    let netlist = if text.trim_start().starts_with('{') {
+        let core =
+            r2d3_netlist::parse_yosys_json(&text, None).map_err(|e| format!("{path}: {e}"))?;
+        r2d3_netlist::rewrite(&core.netlist).map_err(|e| format!("{path}: {e}"))?.netlist
+    } else {
+        r2d3_netlist::text_parse(&text).map_err(|e| format!("{path}: {e}"))?
+    };
+    let core_outputs = netlist.outputs().len();
+    Unit::ALL
+        .iter()
+        .map(|&u| {
+            StageNetlist::from_netlist(u, netlist.clone(), core_outputs)
+                .map_err(|e| format!("{path}: {e}").into())
+        })
+        .collect()
 }
 
 /// `r2d3 atpg`

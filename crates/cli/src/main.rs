@@ -6,13 +6,16 @@
 //!             [--seed S] [--epochs N] [--metrics-out FILE] [--trace-out FILE]
 //!                                              fault scenario with the engine
 //! r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both]
-//!               [--smoke] [--out FILE] [--metrics-out FILE] [--trace-out FILE]
-//!               [--shard K/N] [--resume FILE] [--snapshot FILE]
+//!               [--smoke] [--core FILE] [--out FILE] [--metrics-out FILE]
+//!               [--trace-out FILE] [--shard K/N] [--resume FILE] [--snapshot FILE]
 //!               [--snapshot-every N] [--stop-after N]
 //!                                              adversarial fault-injection sweep
 //! r2d3 campaign merge <shard>... [--out FILE]  recombine per-shard reports
 //! r2d3 trace [--format chrome|jsonl] [--out FILE] | [--check FILE]
-//!            [--stream-out FILE]               record / validate telemetry traces
+//!            [--stream-out FILE] [--rotate-bytes N]
+//!                                              record / validate telemetry traces
+//! r2d3 import <core.json> [--top NAME] [--out FILE] [--no-rewrite]
+//!                                              import a Yosys-JSON core as a stage netlist
 //! r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per unit
 //! r2d3 lifetime [--policy P] [--months N] [--resume FILE] [--snapshot FILE]
 //!                                              8-year lifetime trajectory
@@ -34,6 +37,7 @@ fn main() -> ExitCode {
         Some("inject") => commands::inject(&args[1..]),
         Some("campaign") => commands::campaign(&args[1..]),
         Some("trace") => commands::trace(&args[1..]),
+        Some("import") => commands::import(&args[1..]),
         Some("atpg") => commands::atpg(&args[1..]),
         Some("lifetime") => commands::lifetime(&args[1..]),
         Some("thermal") => commands::thermal(&args[1..]),
@@ -67,12 +71,16 @@ fn print_usage() {
          \x20            [--seed S] [--epochs N] [--metrics-out FILE] [--trace-out FILE]\n\
          \x20                                              inject a fault; watch the engine repair\n\
          \x20 r2d3 campaign [--seed S] [--scenarios N] [--substrate behavioral|netlist|both]\n\
-         \x20               [--smoke] [--out FILE] [--metrics-out FILE] [--trace-out FILE]\n\
-         \x20               [--shard K/N] [--resume FILE] [--snapshot FILE] [--stop-after N]\n\
+         \x20               [--smoke] [--core FILE] [--out FILE] [--metrics-out FILE]\n\
+         \x20               [--trace-out FILE] [--shard K/N] [--resume FILE] [--snapshot FILE]\n\
+         \x20               [--snapshot-every N] [--stop-after N]\n\
          \x20                                              adversarial fault-injection campaign\n\
          \x20 r2d3 campaign merge <shard>... [--out FILE]  recombine per-shard campaign reports\n\
          \x20 r2d3 trace [--format chrome|jsonl] [--out FILE] | [--check FILE] | [--stream-out FILE]\n\
-         \x20                                              record or validate a telemetry trace\n\
+         \x20            [--rotate-bytes N]               record or validate a telemetry trace\n\
+         \x20 r2d3 import <core.json> [--top NAME] [--out FILE] [--no-rewrite]\n\
+         \x20                                              import a Yosys-JSON core (validate,\n\
+         \x20                                              rewrite, emit the text netlist format)\n\
          \x20 r2d3 atpg [--patterns N] [--podem]           stuck-at coverage per pipeline unit\n\
          \x20 r2d3 lifetime [--policy P] [--months N] [--resume FILE] [--snapshot FILE]\n\
          \x20                                              lifetime trajectory (P: norecon|static|lite|pro)\n\

@@ -25,6 +25,7 @@ use crate::telemetry::{
 };
 use r2d3_isa::kernels::trap_mix;
 use r2d3_isa::Program;
+use r2d3_netlist::stages::StageNetlist;
 use r2d3_pipeline_sim::{StageId, System3d, SystemConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
@@ -252,6 +253,11 @@ pub struct CampaignConfig {
     pub shrink: bool,
     /// Engine configuration under test.
     pub engine: R2d3Config,
+    /// Caller-provided stage netlists for the gate-level substrate (one
+    /// per unit, in [`r2d3_isa::Unit::ALL`] order) — e.g. a core imported
+    /// from Yosys JSON mapped onto the pipeline stages. `None` (the
+    /// default) synthesizes the built-in stage netlists.
+    pub netlist_stages: Option<Vec<StageNetlist>>,
 }
 
 /// The engine configuration campaigns exercise: epoch-long test windows
@@ -288,6 +294,7 @@ impl Default for CampaignConfig {
             settle_epochs: 8,
             shrink: true,
             engine: campaign_engine_config(),
+            netlist_stages: None,
         }
     }
 }
@@ -407,13 +414,19 @@ impl PreparedSubstrate {
                     ..Default::default()
                 },
             },
-            SubstrateKind::Netlist => PreparedInner::Netlist {
-                template: Box::new(NetlistSubstrate::new(&NetlistSubstrateConfig {
+            SubstrateKind::Netlist => {
+                let sub_cfg = NetlistSubstrateConfig {
                     pipelines: config.pipelines,
                     layers: config.layers,
                     ..Default::default()
-                })),
-            },
+                };
+                let template = match &config.netlist_stages {
+                    Some(stages) => NetlistSubstrate::with_stage_netlists(&sub_cfg, stages.clone())
+                        .expect("netlist_stages validated at configuration time"),
+                    None => NetlistSubstrate::new(&sub_cfg),
+                };
+                PreparedInner::Netlist { template: Box::new(template) }
+            }
         };
         PreparedSubstrate { kind, inner }
     }

@@ -247,6 +247,58 @@ impl NetlistSubstrate {
     pub fn new(config: &NetlistSubstrateConfig) -> Self {
         let stage_netlists: Vec<StageNetlist> =
             Unit::ALL.iter().map(|&u| stage_netlist(u, &config.sizing)).collect();
+        Self::from_stage_netlists(config, stage_netlists)
+    }
+
+    /// Builds the stack over caller-provided stage netlists (for example
+    /// cores imported from Yosys JSON, or stage netlists run through the
+    /// IR rewrite passes) instead of synthesizing them from
+    /// `config.sizing`.
+    ///
+    /// Each netlist is re-checked against the IR validity invariants; an
+    /// invalid netlist (multiple drivers, cycles, non-topological order,
+    /// …) is rejected with the typed [`r2d3_netlist::IrError`] rather
+    /// than risking a mis-simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `stages` does not provide exactly one netlist
+    /// per unit kind (in [`Unit::ALL`] order) or if any netlist fails IR
+    /// validation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pipelines > layers` or `trace_capacity == 0` (same
+    /// contract as [`NetlistSubstrate::new`]).
+    pub fn with_stage_netlists(
+        config: &NetlistSubstrateConfig,
+        stages: Vec<StageNetlist>,
+    ) -> Result<Self, EngineError> {
+        if stages.len() != Unit::COUNT {
+            return Err(EngineError::Substrate(format!(
+                "expected {} stage netlists (one per unit), got {}",
+                Unit::COUNT,
+                stages.len()
+            )));
+        }
+        for (sn, &unit) in stages.iter().zip(Unit::ALL.iter()) {
+            if sn.unit() != unit {
+                return Err(EngineError::Substrate(format!(
+                    "stage netlist order mismatch: expected {unit}, got {}",
+                    sn.unit()
+                )));
+            }
+            r2d3_netlist::ir::validate(sn.netlist()).map_err(|e| {
+                EngineError::Substrate(format!("invalid {unit} stage netlist: {e}"))
+            })?;
+        }
+        Ok(Self::from_stage_netlists(config, stages))
+    }
+
+    fn from_stage_netlists(
+        config: &NetlistSubstrateConfig,
+        stage_netlists: Vec<StageNetlist>,
+    ) -> Self {
         let scan_sims: Vec<FaultSim> =
             stage_netlists.iter().map(|sn| FaultSim::new(sn.netlist())).collect();
         let nstages = config.layers * Unit::COUNT;

@@ -25,9 +25,10 @@
 //! not part of any deterministic report.
 
 use super::{TelemetryRecord, TelemetrySink};
+use std::ffi::OsString;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::mpsc::{sync_channel, SyncSender, TrySendError};
 use std::thread::JoinHandle;
 
@@ -132,6 +133,42 @@ impl StreamSink {
         Ok(StreamSink::with_capacity(file, DEFAULT_STREAM_CAPACITY, policy))
     }
 
+    /// Streams to `path` with size-based segment rotation: once a segment
+    /// would grow past `max_segment_bytes`, the writer closes it and
+    /// continues in the next segment (`trace.jsonl`, `trace.jsonl.1`,
+    /// `trace.jsonl.2`, …). Rotation happens *between* records, so every
+    /// segment is itself a valid JSON-lines file, and the concatenation
+    /// of all segments in order is byte-identical to the unrotated
+    /// stream. `max_segment_bytes == 0` disables rotation (single
+    /// unbounded segment, same as [`StreamSink::to_file`]).
+    ///
+    /// A record line larger than `max_segment_bytes` still lands whole in
+    /// its own segment — rotation never splits a line.
+    ///
+    /// Accounting is unchanged: [`StreamStats`] reconcile exactly
+    /// (`recorded == written + dropped`) across all segments combined.
+    pub fn to_file_rotating<P: AsRef<Path>>(
+        path: P,
+        policy: OverflowPolicy,
+        max_segment_bytes: u64,
+    ) -> io::Result<Self> {
+        let writer = RotatingFileWriter::create(path.as_ref(), max_segment_bytes)?;
+        Ok(StreamSink::with_capacity(writer, DEFAULT_STREAM_CAPACITY, policy))
+    }
+
+    /// The on-disk path of rotated segment `index` for a base `path`:
+    /// segment 0 is `path` itself, segment `n` is `path.n`.
+    #[must_use]
+    pub fn segment_path<P: AsRef<Path>>(path: P, index: usize) -> PathBuf {
+        let path = path.as_ref();
+        if index == 0 {
+            return path.to_path_buf();
+        }
+        let mut name = OsString::from(path.as_os_str());
+        name.push(format!(".{index}"));
+        PathBuf::from(name)
+    }
+
     /// The configured overflow policy.
     #[must_use]
     pub fn policy(&self) -> OverflowPolicy {
@@ -189,6 +226,61 @@ impl StreamSink {
             dropped: self.dropped,
             stalls: self.stalls,
         })
+    }
+}
+
+/// Size-rotated segment writer behind [`StreamSink::to_file_rotating`].
+///
+/// Each `write` call carries one complete JSON line (the writer thread
+/// writes record-at-a-time), so checking the budget per call keeps every
+/// segment line-aligned.
+struct RotatingFileWriter {
+    base: PathBuf,
+    max_bytes: u64,
+    segment: usize,
+    segment_bytes: u64,
+    out: BufWriter<File>,
+}
+
+impl RotatingFileWriter {
+    fn create(base: &Path, max_bytes: u64) -> io::Result<Self> {
+        Ok(RotatingFileWriter {
+            base: base.to_path_buf(),
+            max_bytes,
+            segment: 0,
+            segment_bytes: 0,
+            out: BufWriter::new(File::create(base)?),
+        })
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        self.out.flush()?;
+        self.segment += 1;
+        self.segment_bytes = 0;
+        let next = StreamSink::segment_path(&self.base, self.segment);
+        self.out = BufWriter::new(File::create(next)?);
+        Ok(())
+    }
+}
+
+impl Write for RotatingFileWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        // Rotate *before* a write that would overflow the segment — never
+        // mid-line — except when the segment is empty (an oversized line
+        // still lands whole in its own segment).
+        if self.max_bytes > 0
+            && self.segment_bytes > 0
+            && self.segment_bytes + buf.len() as u64 > self.max_bytes
+        {
+            self.rotate()?;
+        }
+        self.out.write_all(buf)?;
+        self.segment_bytes += buf.len() as u64;
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
     }
 }
 
@@ -307,6 +399,71 @@ mod tests {
         assert_eq!(stats.recorded, stats.written + stats.dropped);
         let text = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
         assert_eq!(validate_json_lines(&text), Ok(stats.written as usize));
+    }
+
+    #[test]
+    fn rotating_file_sink_splits_on_line_boundaries_and_reconciles() {
+        let dir = std::env::temp_dir().join(format!("r2d3-rotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("trace.jsonl");
+        let max = 512u64;
+        let mut sink = StreamSink::to_file_rotating(&base, OverflowPolicy::Block, max).unwrap();
+        let n = 200u64;
+        for i in 0..n {
+            sink.record(rec(i));
+        }
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.recorded, n);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.recorded, stats.written + stats.dropped);
+
+        // Walk the segments in order; together they must reproduce the
+        // full stream, each one a valid JSON-lines file within budget.
+        let mut combined = String::new();
+        let mut total_lines = 0usize;
+        let mut segments = 0usize;
+        loop {
+            let path = StreamSink::segment_path(&base, segments);
+            let Ok(text) = std::fs::read_to_string(&path) else { break };
+            segments += 1;
+            assert!(
+                text.len() as u64 <= max,
+                "segment {} is {} bytes, budget {}",
+                segments - 1,
+                text.len(),
+                max
+            );
+            assert!(text.ends_with('\n'), "segment split mid-line");
+            total_lines += validate_json_lines(&text).unwrap();
+            combined.push_str(&text);
+        }
+        assert!(segments > 1, "{n} records never rotated a {max}-byte segment");
+        assert_eq!(total_lines as u64, stats.written);
+        assert_eq!(validate_json_lines(&combined), Ok(n as usize));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_budget_disables_rotation() {
+        let dir = std::env::temp_dir().join(format!("r2d3-norotate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("trace.jsonl");
+        let mut sink = StreamSink::to_file_rotating(&base, OverflowPolicy::Block, 0).unwrap();
+        for i in 0..100 {
+            sink.record(rec(i));
+        }
+        let stats = sink.finish().unwrap();
+        assert_eq!(stats.written, 100);
+        assert!(std::fs::metadata(StreamSink::segment_path(&base, 1)).is_err());
+        let text = std::fs::read_to_string(&base).unwrap();
+        assert_eq!(validate_json_lines(&text), Ok(100));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segment_paths_are_stable() {
+        assert_eq!(StreamSink::segment_path("t.jsonl", 0), PathBuf::from("t.jsonl"));
+        assert_eq!(StreamSink::segment_path("t.jsonl", 3), PathBuf::from("t.jsonl.3"));
     }
 
     #[test]

@@ -191,7 +191,15 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
                 b.gate(kind, &ins)
             }
         };
-        map.insert(cover.out, net);
+        if map.insert(cover.out, net).is_some() {
+            // A redefined name silently orphans the earlier cover's net,
+            // which the IR validator cannot attribute to a source line —
+            // report it here with one.
+            return Err(ParseBlifError {
+                line,
+                message: format!("net `{}` driven more than once", cover.out),
+            });
+        }
     }
     for name in &outputs {
         let net = map.get(name).copied().ok_or_else(|| ParseBlifError {
@@ -200,7 +208,13 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
         })?;
         b.output(net);
     }
-    Ok(b.finish())
+    let netlist = b.finish();
+    // Anything the line-based checks above cannot see (dangling nets,
+    // arity or ordering damage) is caught by the structural validator,
+    // so a successful parse always yields a valid IR netlist.
+    crate::ir::validate(&netlist)
+        .map_err(|e| ParseBlifError { line: 0, message: format!("invalid netlist: {e}") })?;
+    Ok(netlist)
 }
 
 /// Maps a cover's rows back to a gate primitive.
@@ -256,6 +270,29 @@ mod tests {
 
         let undef = ".model x\n.inputs a\n.outputs z\n.names q z\n1 1\n.end\n";
         assert!(parse_blif(undef).unwrap_err().message.contains("before definition"));
+    }
+
+    #[test]
+    fn duplicate_drivers_are_typed_errors() {
+        let twice = ".model x\n.inputs a b\n.outputs z\n\
+                     .names a b z\n11 1\n.names a b z\n00 1\n.end\n";
+        let e = parse_blif(twice).unwrap_err();
+        assert_eq!(e.line, 6, "{e}");
+        assert!(e.message.contains("driven more than once"), "{e}");
+
+        // Redefining an input is also a second driver.
+        let input_redef = ".model x\n.inputs a b\n.outputs a\n.names b a\n1 1\n.end\n";
+        let e = parse_blif(input_redef).unwrap_err();
+        assert!(e.message.contains("driven more than once"), "{e}");
+    }
+
+    #[test]
+    fn parsed_netlists_pass_ir_validation() {
+        let sizing = StageSizing { gates_per_mm2: 1_000.0, ..Default::default() };
+        let sn = stage_netlist(r2d3_isa::Unit::Ffu, &sizing);
+        let text = write_blif(sn.netlist(), "ffu");
+        let back = parse_blif(&text).unwrap();
+        crate::ir::validate(&back).unwrap();
     }
 
     #[test]

@@ -1,0 +1,875 @@
+//! Deterministic rewrite passes over validated netlists.
+//!
+//! The pass order is fixed and is part of the determinism contract:
+//!
+//! 1. **Constant folding** — propagate `Const0`/`Const1` through gate
+//!    functions, apply controlling-value and same-input identities.
+//! 2. **Buf/inv chain cleanup** — forward every `Buf` to its source,
+//!    collapse `Not(Not(x))` to `x`.
+//! 3. **AIG-style normalization** — canonical (ascending) pin order for
+//!    commutative gates plus structural hashing, merging structurally
+//!    identical gates into a single driver.
+//! 4. **Chain→tree rebalancing** — flatten fanout-free `And`/`Or`/`Xor`
+//!    chains and rebuild them as balanced trees, cutting logic depth
+//!    (fewer event-walk levels in [`crate::sim::FaultSim`]).
+//!
+//! A final compaction removes dead gates, re-sorts topologically and
+//! renumbers nets densely (inputs keep `0..num_inputs`, each gate
+//! output is numbered above everything it reads — the invariant the
+//! fault simulator's cone builder relies on). The same input netlist
+//! always produces a byte-identical rewritten netlist.
+
+use super::{analyze_levels, validate, IrError};
+use crate::netlist::{Gate, GateKind, NetId, Netlist};
+use std::collections::{BTreeSet, HashMap};
+
+/// Counters describing what the rewrite pipeline did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RewriteStats {
+    /// Gate count before rewriting.
+    pub gates_before: usize,
+    /// Gate count after rewriting.
+    pub gates_after: usize,
+    /// Logic depth before rewriting.
+    pub depth_before: u32,
+    /// Logic depth after rewriting.
+    pub depth_after: u32,
+    /// Gates reduced to constants by folding.
+    pub folded_constants: usize,
+    /// `Buf` gates forwarded and `Not(Not(x))` pairs collapsed.
+    pub removed_buffers: usize,
+    /// Structurally duplicate gates merged by normalization.
+    pub merged_duplicates: usize,
+    /// `And`/`Or`/`Xor` chains rebuilt as balanced trees.
+    pub rebalanced_chains: usize,
+    /// Gates removed by dead-code elimination during compaction.
+    pub dead_gates_removed: usize,
+}
+
+/// Result of running the rewrite pipeline.
+#[derive(Debug, Clone)]
+pub struct RewriteOutcome {
+    /// The rewritten, validated netlist (topologically renumbered).
+    pub netlist: Netlist,
+    /// For each net of the *original* netlist, the net in the rewritten
+    /// netlist that carries the same logic function, or `None` if the
+    /// net was eliminated (folded to a removed constant or dead code).
+    /// Fault sites survive this map with both polarities intact: nets
+    /// are only merged when their driving functions are identical.
+    pub net_map: Vec<Option<NetId>>,
+    /// What the passes did.
+    pub stats: RewriteStats,
+}
+
+/// Runs the fixed rewrite pipeline. Construct with
+/// [`PassManager::standard`]; the pass order is not configurable — a
+/// fixed order is what makes rewritten netlists reproducible across
+/// the campaign and bench layers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassManager {
+    _private: (),
+}
+
+impl PassManager {
+    /// The standard pipeline (the only one): constant folding, buf/inv
+    /// cleanup, normalization, rebalancing, compaction.
+    #[must_use]
+    pub fn standard() -> Self {
+        PassManager { _private: () }
+    }
+
+    /// Validates `netlist`, rewrites it, and validates the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`IrError`] from validating the input; rewriting a
+    /// valid netlist cannot fail.
+    pub fn run(&self, netlist: &Netlist) -> Result<RewriteOutcome, IrError> {
+        validate(netlist)?;
+        let mut stats = RewriteStats {
+            gates_before: netlist.num_gates(),
+            depth_before: analyze_levels(netlist).depth(),
+            ..RewriteStats::default()
+        };
+        let mut work = Work::new(netlist);
+        stats.folded_constants = work.const_fold();
+        stats.removed_buffers = work.cleanup_buf_inv();
+        stats.merged_duplicates = work.normalize();
+        stats.rebalanced_chains = work.rebalance();
+        let (rewritten, net_map, dead) = work.finish();
+        stats.dead_gates_removed = dead;
+        stats.gates_after = rewritten.num_gates();
+        stats.depth_after = analyze_levels(&rewritten).depth();
+        validate(&rewritten)?;
+        Ok(RewriteOutcome { netlist: rewritten, net_map, stats })
+    }
+}
+
+/// Convenience wrapper: [`PassManager::standard`]`.run(netlist)`.
+///
+/// # Errors
+///
+/// Returns the [`IrError`] from validating the input netlist.
+pub fn rewrite(netlist: &Netlist) -> Result<RewriteOutcome, IrError> {
+    PassManager::standard().run(netlist)
+}
+
+const NONE: u32 = u32::MAX;
+
+/// Mutable rewrite workspace. Gates stay in their original slots
+/// (deleted ones become `None`) so slot index order remains the
+/// topological order throughout the forward passes; only `rebalance`
+/// appends out-of-order gates, and `finish` re-sorts.
+struct Work {
+    num_inputs: usize,
+    orig_num_nets: usize,
+    gates: Vec<Option<Gate>>,
+    /// Net → driving slot (`NONE` for inputs / undriven).
+    driver: Vec<u32>,
+    /// Net → replacement net; identity when the net stands for itself.
+    alias: Vec<u32>,
+    /// Net → proven constant value.
+    konst: Vec<Option<bool>>,
+    outputs: Vec<NetId>,
+    redundant: Vec<(NetId, bool)>,
+}
+
+fn resolve(alias: &mut [u32], mut net: u32) -> u32 {
+    while alias[net as usize] != net {
+        let parent = alias[net as usize];
+        alias[net as usize] = alias[parent as usize];
+        net = alias[net as usize];
+    }
+    net
+}
+
+/// What a single gate simplifies to, given resolved inputs and any
+/// proven-constant values among them.
+enum Simplified {
+    Keep,
+    ToConst(bool),
+    ToGate(GateKind, Vec<u32>),
+}
+
+fn simplify(kind: GateKind, ins: &[u32], kv: &[Option<bool>]) -> Simplified {
+    use GateKind::*;
+    use Simplified::*;
+    let buf = |n: u32| ToGate(Buf, vec![n]);
+    let inv = |n: u32| ToGate(Not, vec![n]);
+    match kind {
+        Const0 => ToConst(false),
+        Const1 => ToConst(true),
+        Buf => match kv[0] {
+            Some(v) => ToConst(v),
+            None => Keep,
+        },
+        Not => match kv[0] {
+            Some(v) => ToConst(!v),
+            None => Keep,
+        },
+        And | Or | Nand | Nor | Xor | Xnor => {
+            let (a, b) = (ins[0], ins[1]);
+            match (kv[0], kv[1]) {
+                (Some(x), Some(y)) => {
+                    let v = match kind {
+                        And => x & y,
+                        Or => x | y,
+                        Nand => !(x & y),
+                        Nor => !(x | y),
+                        Xor => x ^ y,
+                        Xnor => !(x ^ y),
+                        _ => unreachable!(),
+                    };
+                    ToConst(v)
+                }
+                (Some(c), None) | (None, Some(c)) => {
+                    let other = if kv[0].is_some() { b } else { a };
+                    match (kind, c) {
+                        (And, false) | (Nor, true) => ToConst(false),
+                        (Or, true) | (Nand, false) => ToConst(true),
+                        (And, true) | (Or, false) | (Xor, false) | (Xnor, true) => buf(other),
+                        (Nand, true) | (Nor, false) | (Xor, true) | (Xnor, false) => inv(other),
+                        _ => unreachable!(),
+                    }
+                }
+                (None, None) if a == b => match kind {
+                    And | Or => buf(a),
+                    Nand | Nor => inv(a),
+                    Xor => ToConst(false),
+                    Xnor => ToConst(true),
+                    _ => unreachable!(),
+                },
+                _ => Keep,
+            }
+        }
+        Mux => {
+            let (s, a, b) = (ins[0], ins[1], ins[2]);
+            match (kv[0], kv[1], kv[2]) {
+                (Some(true), _, _) => buf(a),
+                (Some(false), _, _) => buf(b),
+                (None, Some(x), Some(y)) if x == y => ToConst(x),
+                (None, Some(true), Some(false)) => buf(s),
+                (None, Some(false), Some(true)) => inv(s),
+                (None, Some(true), None) => ToGate(Or, vec![s, b]),
+                (None, None, Some(false)) => ToGate(And, vec![s, a]),
+                _ => {
+                    if a == b {
+                        buf(a)
+                    } else if s == a {
+                        // s ? s : b == s | b
+                        ToGate(Or, vec![s, b])
+                    } else if s == b {
+                        // s ? a : s == s & a
+                        ToGate(And, vec![s, a])
+                    } else {
+                        Keep
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Work {
+    fn new(netlist: &Netlist) -> Self {
+        let num_nets = netlist.num_nets();
+        let mut driver = vec![NONE; num_nets];
+        let gates: Vec<Option<Gate>> = netlist.gates().iter().cloned().map(Some).collect();
+        for (slot, gate) in gates.iter().enumerate() {
+            let gate = gate.as_ref().expect("fresh workspace has no holes");
+            driver[gate.output.index()] = slot as u32;
+        }
+        Work {
+            num_inputs: netlist.num_inputs(),
+            orig_num_nets: num_nets,
+            gates,
+            driver,
+            alias: (0..num_nets as u32).collect(),
+            konst: vec![None; num_nets],
+            outputs: netlist.outputs().to_vec(),
+            redundant: netlist.redundant_constants().to_vec(),
+        }
+    }
+
+    /// Resolves a gate's inputs in place; returns the resolved ids.
+    fn resolved_inputs(&mut self, slot: usize) -> Vec<u32> {
+        let gate = self.gates[slot].as_mut().expect("live gate");
+        let mut ins = Vec::with_capacity(gate.inputs.len());
+        for pin in &mut gate.inputs {
+            let r = resolve(&mut self.alias, pin.0);
+            *pin = NetId(r);
+            ins.push(r);
+        }
+        ins
+    }
+
+    /// Pass 1: constant folding and local identities. Single forward
+    /// sweep is exhaustive because gates are in topological order;
+    /// each gate is re-simplified to a fixpoint so e.g.
+    /// `And(x, 1) → Buf(x)` with constant `x` folds all the way.
+    fn const_fold(&mut self) -> usize {
+        let mut folded = 0usize;
+        for slot in 0..self.gates.len() {
+            if self.gates[slot].is_none() {
+                continue;
+            }
+            loop {
+                let ins = self.resolved_inputs(slot);
+                let kv: Vec<Option<bool>> = ins.iter().map(|&n| self.konst[n as usize]).collect();
+                let kind = self.gates[slot].as_ref().expect("live gate").kind;
+                match simplify(kind, &ins, &kv) {
+                    Simplified::Keep => break,
+                    Simplified::ToConst(value) => {
+                        let gate = self.gates[slot].as_mut().expect("live gate");
+                        let was_const = matches!(gate.kind, GateKind::Const0 | GateKind::Const1);
+                        gate.kind = if value { GateKind::Const1 } else { GateKind::Const0 };
+                        gate.inputs.clear();
+                        self.konst[gate.output.index()] = Some(value);
+                        if !was_const {
+                            folded += 1;
+                        }
+                        break;
+                    }
+                    Simplified::ToGate(kind, ins) => {
+                        let gate = self.gates[slot].as_mut().expect("live gate");
+                        gate.kind = kind;
+                        gate.inputs = ins.into_iter().map(NetId).collect();
+                        // Loop: the new form may simplify further.
+                    }
+                }
+            }
+        }
+        folded
+    }
+
+    /// Pass 2: forward `Buf` outputs to their sources and collapse
+    /// double inversions.
+    fn cleanup_buf_inv(&mut self) -> usize {
+        let mut removed = 0usize;
+        for slot in 0..self.gates.len() {
+            if self.gates[slot].is_none() {
+                continue;
+            }
+            let ins = self.resolved_inputs(slot);
+            let gate = self.gates[slot].as_ref().expect("live gate");
+            match gate.kind {
+                GateKind::Buf => {
+                    let out = gate.output.0;
+                    self.alias[out as usize] = ins[0];
+                    self.gates[slot] = None;
+                    removed += 1;
+                }
+                GateKind::Not => {
+                    let src = ins[0] as usize;
+                    if src >= self.num_inputs {
+                        let d = self.driver[src];
+                        if d != NONE {
+                            if let Some(inner) = &self.gates[d as usize] {
+                                if inner.kind == GateKind::Not {
+                                    let target = resolve(&mut self.alias, inner.inputs[0].0);
+                                    let out =
+                                        self.gates[slot].as_ref().expect("live gate").output.0;
+                                    self.alias[out as usize] = target;
+                                    self.gates[slot] = None;
+                                    removed += 1;
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        removed
+    }
+
+    /// Pass 3: canonical pin order for commutative gates + structural
+    /// hashing. Two gates with the same kind and (canonicalized)
+    /// inputs compute the same function, so the later one is merged
+    /// into the earlier one.
+    fn normalize(&mut self) -> usize {
+        let mut merged = 0usize;
+        let mut table: HashMap<(u8, u32, u32, u32), u32> = HashMap::new();
+        for slot in 0..self.gates.len() {
+            if self.gates[slot].is_none() {
+                continue;
+            }
+            let mut ins = self.resolved_inputs(slot);
+            let gate = self.gates[slot].as_mut().expect("live gate");
+            let commutative = matches!(
+                gate.kind,
+                GateKind::And
+                    | GateKind::Or
+                    | GateKind::Nand
+                    | GateKind::Nor
+                    | GateKind::Xor
+                    | GateKind::Xnor
+            );
+            if commutative && ins[0] > ins[1] {
+                ins.swap(0, 1);
+                gate.inputs.swap(0, 1);
+            }
+            let key = (
+                gate.kind as u8,
+                *ins.first().unwrap_or(&NONE),
+                *ins.get(1).unwrap_or(&NONE),
+                *ins.get(2).unwrap_or(&NONE),
+            );
+            let out = gate.output.0;
+            match table.get(&key) {
+                Some(&canonical) => {
+                    self.alias[out as usize] = canonical;
+                    self.gates[slot] = None;
+                    merged += 1;
+                }
+                None => {
+                    table.insert(key, out);
+                }
+            }
+        }
+        merged
+    }
+
+    fn alloc_net(&mut self) -> u32 {
+        let net = self.alias.len() as u32;
+        self.alias.push(net);
+        self.konst.push(None);
+        self.driver.push(NONE);
+        net
+    }
+
+    /// Pass 4: rebuild deep fanout-free `And`/`Or`/`Xor` chains as
+    /// balanced trees. The chain root's slot and output net are reused
+    /// (so downstream readers and fault sites are untouched);
+    /// flattened internal gates are deleted and fresh intermediate
+    /// nets are appended. Gates are visited in reverse order so roots
+    /// (which sit deepest in topological order) claim their chains
+    /// before the internals are visited.
+    fn rebalance(&mut self) -> usize {
+        let total = self.alias.len();
+        let mut fanout = vec![0u32; total];
+        for gate in self.gates.iter().flatten() {
+            for pin in &gate.inputs {
+                fanout[pin.index()] += 1;
+            }
+        }
+        let mut is_output = vec![false; total];
+        for i in 0..self.outputs.len() {
+            let o = resolve(&mut self.alias, self.outputs[i].0);
+            is_output[o as usize] = true;
+        }
+
+        let mut rebuilt = 0usize;
+        let mut visited = vec![false; self.gates.len()];
+        for slot in (0..self.gates.len()).rev() {
+            let Some(gate) = &self.gates[slot] else { continue };
+            if visited[slot] || !matches!(gate.kind, GateKind::And | GateKind::Or | GateKind::Xor) {
+                continue;
+            }
+            visited[slot] = true;
+            let kind = gate.kind;
+            let root_out = gate.output.0;
+            let (lhs, rhs) = (gate.inputs[0].0, gate.inputs[1].0);
+
+            let mut leaves: Vec<u32> = Vec::new();
+            let mut consumed: Vec<usize> = Vec::new();
+            let dl = collect_chain(
+                &self.gates,
+                &self.driver,
+                &fanout,
+                &is_output,
+                self.num_inputs,
+                kind,
+                lhs,
+                &mut visited,
+                &mut leaves,
+                &mut consumed,
+            );
+            let dr = collect_chain(
+                &self.gates,
+                &self.driver,
+                &fanout,
+                &is_output,
+                self.num_inputs,
+                kind,
+                rhs,
+                &mut visited,
+                &mut leaves,
+                &mut consumed,
+            );
+            let depth = dl.max(dr) + 1;
+            let balanced_depth = ceil_log2(leaves.len());
+            if leaves.len() < 4 || depth <= balanced_depth {
+                continue; // nothing to gain; leave the chain alone
+            }
+
+            rebuilt += 1;
+            for &dead in &consumed {
+                self.gates[dead] = None;
+            }
+            // Pairwise reduction; the final combine reuses the root
+            // slot so the root's output net id is preserved.
+            let mut level: Vec<u32> = leaves;
+            while level.len() > 2 {
+                let mut next = Vec::with_capacity(level.len().div_ceil(2));
+                let mut chunks = level.chunks_exact(2);
+                for pair in &mut chunks {
+                    let out = self.alloc_net();
+                    let new_slot = self.gates.len() as u32;
+                    self.gates.push(Some(Gate {
+                        kind,
+                        inputs: vec![NetId(pair[0]), NetId(pair[1])],
+                        output: NetId(out),
+                    }));
+                    self.driver[out as usize] = new_slot;
+                    next.push(out);
+                }
+                next.extend(chunks.remainder().iter().copied());
+                level = next;
+            }
+            self.gates[slot] = Some(Gate {
+                kind,
+                inputs: vec![NetId(level[0]), NetId(level[1])],
+                output: NetId(root_out),
+            });
+        }
+        rebuilt
+    }
+
+    /// Compaction: dead-code elimination, deterministic topological
+    /// re-sort, dense renumbering. Returns the rewritten netlist, the
+    /// original-net survival map, and the dead-gate count.
+    fn finish(mut self) -> (Netlist, Vec<Option<NetId>>, usize) {
+        let total = self.alias.len();
+
+        // Resolve every remaining reference once, up front.
+        for slot in 0..self.gates.len() {
+            if self.gates[slot].is_some() {
+                self.resolved_inputs(slot);
+            }
+        }
+        let outputs: Vec<u32> =
+            (0..self.outputs.len()).map(|i| resolve(&mut self.alias, self.outputs[i].0)).collect();
+
+        // DCE: iteratively drop gates whose output nobody reads or
+        // observes. Confluent, so processing order does not affect the
+        // surviving set.
+        let mut reads = vec![0u32; total];
+        for gate in self.gates.iter().flatten() {
+            for pin in &gate.inputs {
+                reads[pin.index()] += 1;
+            }
+        }
+        let mut observed = vec![false; total];
+        for &o in &outputs {
+            observed[o as usize] = true;
+        }
+        let mut dead_removed = 0usize;
+        let mut stack: Vec<usize> =
+            (0..self.gates.len()).filter(|&s| self.gates[s].is_some()).collect();
+        while let Some(slot) = stack.pop() {
+            let Some(gate) = &self.gates[slot] else { continue };
+            let out = gate.output.index();
+            if reads[out] > 0 || observed[out] {
+                continue;
+            }
+            let gate = self.gates[slot].take().expect("checked live");
+            dead_removed += 1;
+            for pin in &gate.inputs {
+                reads[pin.index()] -= 1;
+                if reads[pin.index()] == 0 && pin.index() >= self.num_inputs {
+                    let d = self.driver[pin.index()];
+                    if d != NONE {
+                        stack.push(d as usize);
+                    }
+                }
+            }
+        }
+
+        // Deterministic Kahn ordering over live gates: seed queue in
+        // ascending slot order, FIFO processing, reader lists recorded
+        // in ascending slot order.
+        let live: Vec<usize> = (0..self.gates.len()).filter(|&s| self.gates[s].is_some()).collect();
+        let mut pending: HashMap<usize, u32> = HashMap::with_capacity(live.len());
+        let mut readers: Vec<Vec<u32>> = vec![Vec::new(); total];
+        for &slot in &live {
+            let gate = self.gates[slot].as_ref().expect("live gate");
+            let mut need = 0u32;
+            for pin in &gate.inputs {
+                if pin.index() >= self.num_inputs {
+                    need += 1;
+                    readers[pin.index()].push(slot as u32);
+                }
+            }
+            pending.insert(slot, need);
+        }
+        let mut queue: Vec<u32> = Vec::with_capacity(live.len());
+        for &slot in &live {
+            if pending[&slot] == 0 {
+                queue.push(slot as u32);
+            }
+        }
+        let mut order: Vec<usize> = Vec::with_capacity(live.len());
+        let mut head = 0usize;
+        while head < queue.len() {
+            let slot = queue[head] as usize;
+            head += 1;
+            order.push(slot);
+            let out = self.gates[slot].as_ref().expect("live gate").output.index();
+            for &reader in &readers[out] {
+                let reader = reader as usize;
+                let entry = pending.get_mut(&reader).expect("reader is live");
+                *entry -= 1;
+                if *entry == 0 {
+                    queue.push(reader as u32);
+                }
+            }
+        }
+        debug_assert_eq!(order.len(), live.len(), "live gate graph must be acyclic");
+
+        // Dense renumbering: inputs keep their ids, each gate output is
+        // numbered after everything it reads.
+        let mut net_map_all: Vec<Option<u32>> = vec![None; total];
+        for (i, slot) in net_map_all.iter_mut().enumerate().take(self.num_inputs) {
+            *slot = Some(i as u32);
+        }
+        let mut new_gates: Vec<Gate> = Vec::with_capacity(order.len());
+        let mut next = self.num_inputs as u32;
+        for &slot in &order {
+            let gate = self.gates[slot].as_ref().expect("live gate");
+            let out = next;
+            next += 1;
+            net_map_all[gate.output.index()] = Some(out);
+            new_gates.push(Gate {
+                kind: gate.kind,
+                inputs: gate
+                    .inputs
+                    .iter()
+                    .map(|pin| {
+                        NetId(net_map_all[pin.index()].expect("topo order maps inputs first"))
+                    })
+                    .collect(),
+                output: NetId(out),
+            });
+        }
+        let new_outputs: Vec<NetId> = outputs
+            .iter()
+            .map(|&o| NetId(net_map_all[o as usize].expect("observed nets survive DCE")))
+            .collect();
+
+        // Redundancy ground truth: original entries that survive, plus
+        // every net the fold pass proved constant. Sorted and deduped
+        // so emission is deterministic.
+        let mut redundant: BTreeSet<(u32, bool)> = BTreeSet::new();
+        for i in 0..self.redundant.len() {
+            let (net, value) = self.redundant[i];
+            let r = resolve(&mut self.alias, net.0);
+            if let Some(new) = net_map_all[r as usize] {
+                redundant.insert((new, value));
+            }
+        }
+        for net in 0..total {
+            if let Some(value) = self.konst[net] {
+                let r = resolve(&mut self.alias, net as u32);
+                if let Some(new) = net_map_all[r as usize] {
+                    redundant.insert((new, value));
+                }
+            }
+        }
+        let redundant: Vec<(NetId, bool)> =
+            redundant.into_iter().map(|(n, v)| (NetId(n), v)).collect();
+
+        let net_map: Vec<Option<NetId>> = (0..self.orig_num_nets as u32)
+            .map(|n| {
+                let r = resolve(&mut self.alias, n);
+                net_map_all[r as usize].map(NetId)
+            })
+            .collect();
+
+        let netlist =
+            Netlist::from_parts(next as usize, self.num_inputs, new_gates, new_outputs, redundant);
+        (netlist, net_map, dead_removed)
+    }
+}
+
+/// DFS leaf collection for `rebalance`: descends through same-kind
+/// gates whose output has exactly one reader and is not observed,
+/// marking them consumed; everything else is a leaf. Returns the
+/// subtree depth (leaf = 0). Leaves come out in deterministic
+/// left-to-right pin order.
+#[allow(clippy::too_many_arguments)]
+fn collect_chain(
+    gates: &[Option<Gate>],
+    driver: &[u32],
+    fanout: &[u32],
+    is_output: &[bool],
+    num_inputs: usize,
+    kind: GateKind,
+    net: u32,
+    visited: &mut [bool],
+    leaves: &mut Vec<u32>,
+    consumed: &mut Vec<usize>,
+) -> u32 {
+    let n = net as usize;
+    if n >= num_inputs && fanout[n] == 1 && !is_output[n] {
+        let d = driver[n];
+        if d != NONE {
+            let slot = d as usize;
+            if let Some(inner) = &gates[slot] {
+                if inner.kind == kind && !visited[slot] {
+                    visited[slot] = true;
+                    consumed.push(slot);
+                    let (a, b) = (inner.inputs[0].0, inner.inputs[1].0);
+                    let dl = collect_chain(
+                        gates, driver, fanout, is_output, num_inputs, kind, a, visited, leaves,
+                        consumed,
+                    );
+                    let dr = collect_chain(
+                        gates, driver, fanout, is_output, num_inputs, kind, b, visited, leaves,
+                        consumed,
+                    );
+                    return dl.max(dr) + 1;
+                }
+            }
+        }
+    }
+    leaves.push(net);
+    0
+}
+
+/// `ceil(log2(n))` for `n >= 1`.
+fn ceil_log2(n: usize) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        usize::BITS - (n - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+
+    fn eval_pair(a: &Netlist, b: &Netlist, inputs: &[u64]) {
+        assert_eq!(a.num_inputs(), b.num_inputs());
+        assert_eq!(a.outputs().len(), b.outputs().len());
+        assert_eq!(a.eval(inputs), b.eval(inputs), "functional mismatch");
+    }
+
+    #[test]
+    fn folds_constants_through() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let zero = b.constant(false);
+        let x = b.and2(i[0], zero); // == 0
+        let y = b.or2(x, i[1]); // == i1
+        b.output(y);
+        let nl = b.finish();
+        let out = rewrite(&nl).unwrap();
+        assert!(out.stats.folded_constants >= 1);
+        eval_pair(&nl, &out.netlist, &[0b1100, 0b1010]);
+        // The folded net must land in the redundancy ground truth.
+        assert!(!out.netlist.redundant_constants().is_empty() || out.netlist.num_gates() == 0);
+    }
+
+    #[test]
+    fn removes_buf_and_double_inversion() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(1);
+        let n1 = b.not(i[0]);
+        let n2 = b.not(n1);
+        let n3 = b.gate(GateKind::Buf, &[n2]);
+        b.output(n3);
+        let nl = b.finish();
+        let out = rewrite(&nl).unwrap();
+        assert_eq!(out.netlist.num_gates(), 0, "buf(not(not(x))) is just x");
+        assert_eq!(out.netlist.outputs(), &[NetId(0)]);
+        eval_pair(&nl, &out.netlist, &[0b1010]);
+    }
+
+    #[test]
+    fn merges_structural_duplicates() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let x = b.and2(i[0], i[1]);
+        let y = b.and2(i[1], i[0]); // same function, swapped pins
+        let z = b.xor2(x, y); // == 0
+        b.output(z);
+        let nl = b.finish();
+        let out = rewrite(&nl).unwrap();
+        assert!(out.stats.merged_duplicates >= 1);
+        eval_pair(&nl, &out.netlist, &[0b1100, 0b1010]);
+    }
+
+    #[test]
+    fn rebalances_chain_and_cuts_depth() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(8);
+        let mut acc = i[0];
+        for &input in &i[1..] {
+            acc = b.and2(acc, input);
+        }
+        b.output(acc);
+        let nl = b.finish();
+        let before = analyze_levels(&nl).depth();
+        assert_eq!(before, 7);
+        let out = rewrite(&nl).unwrap();
+        assert_eq!(out.stats.rebalanced_chains, 1);
+        assert_eq!(out.stats.depth_after, 3, "8-leaf chain balances to depth 3");
+        assert_eq!(out.netlist.num_gates(), nl.num_gates(), "same gate count, less depth");
+        for pattern in [[0u64; 8], [!0u64; 8], [0x5555, 0xFF, !0, 0, 1, 2, 3, 4]] {
+            eval_pair(&nl, &out.netlist, &pattern);
+        }
+    }
+
+    #[test]
+    fn preserves_fanout_boundaries_when_rebalancing() {
+        // The chain's midpoint feeds a second output, so only the
+        // fanout-free suffix may be flattened.
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(8);
+        let mut acc = i[0];
+        for &input in &i[1..4] {
+            acc = b.and2(acc, input);
+        }
+        let mid = acc;
+        for &input in &i[4..] {
+            acc = b.and2(acc, input);
+        }
+        b.output(acc);
+        b.output(mid);
+        let nl = b.finish();
+        let out = rewrite(&nl).unwrap();
+        eval_pair(&nl, &out.netlist, &[0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0]);
+    }
+
+    #[test]
+    fn dead_code_is_removed() {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let live = b.xor2(i[0], i[1]);
+        let _dead = b.and2(i[0], i[1]); // never observed
+        b.output(live);
+        let nl = b.finish();
+        let out = rewrite(&nl).unwrap();
+        assert_eq!(out.stats.dead_gates_removed, 1);
+        assert_eq!(out.netlist.num_gates(), 1);
+        assert_eq!(out.net_map[3], None, "dead net is gone");
+    }
+
+    #[test]
+    fn rewrite_is_deterministic_and_idempotent_on_structure() {
+        let stage = crate::stages::stage_netlist(
+            r2d3_isa::Unit::Exu,
+            &crate::stages::StageSizing::default(),
+        );
+        let a = rewrite(stage.netlist()).unwrap();
+        let b = rewrite(stage.netlist()).unwrap();
+        assert_eq!(a.netlist, b.netlist, "same input, byte-identical output");
+        assert_eq!(a.net_map, b.net_map);
+        // Emitted text is identical too (the bench/CLI determinism contract).
+        assert_eq!(super::super::text_emit(&a.netlist), super::super::text_emit(&b.netlist));
+    }
+
+    #[test]
+    fn rewritten_stage_is_functionally_identical() {
+        let stage = crate::stages::stage_netlist(
+            r2d3_isa::Unit::Ifu,
+            &crate::stages::StageSizing::default(),
+        );
+        let nl = stage.netlist();
+        let out = rewrite(nl).unwrap();
+        assert!(out.stats.gates_after <= out.stats.gates_before);
+        let mut pattern = vec![0u64; nl.num_inputs()];
+        for (k, slot) in pattern.iter_mut().enumerate() {
+            *slot = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(k as u64 + 1);
+        }
+        eval_pair(nl, &out.netlist, &pattern);
+    }
+
+    #[test]
+    fn net_map_points_at_equivalent_nets() {
+        let stage = crate::stages::stage_netlist(
+            r2d3_isa::Unit::Ffu,
+            &crate::stages::StageSizing::default(),
+        );
+        let nl = stage.netlist();
+        let out = rewrite(nl).unwrap();
+        let mut pattern = vec![0u64; nl.num_inputs()];
+        for (k, slot) in pattern.iter_mut().enumerate() {
+            *slot = 0xD134_2543_DE82_EF95u64.wrapping_mul(k as u64 + 7);
+        }
+        let old_values = nl.eval_all(&pattern);
+        let new_values = out.netlist.eval_all(&pattern);
+        for (old, mapped) in out.net_map.iter().enumerate() {
+            if let Some(new) = mapped {
+                assert_eq!(
+                    old_values[old],
+                    new_values[new.index()],
+                    "net {old} must keep its function across rewrite"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Structural IR validator.
+
+use super::IrError;
+use crate::netlist::{NetId, Netlist};
+
+/// Checks every structural invariant the simulator and ATPG layers rely
+/// on: net indices in range, gate arities exact, a single driver per
+/// net, no gate driving a primary input, no net that is read or
+/// observed without a driver, no net missing from the circuit entirely,
+/// an acyclic gate graph, and a stored gate order that is a valid
+/// evaluation order.
+///
+/// Nets that are *driven* but never read or observed are legal — width
+/// adaptation in [`crate::netlist::compose_chain_with`] deliberately
+/// drops logic cones, and the rewrite passes' dead-code elimination is
+/// an optimization, not an invariant.
+///
+/// # Errors
+///
+/// Returns the first violated invariant as a typed [`IrError`]; never
+/// panics, even on arbitrarily malformed input.
+pub fn validate(netlist: &Netlist) -> Result<(), IrError> {
+    let num_nets = netlist.num_nets();
+    let num_inputs = netlist.num_inputs();
+    if num_inputs > num_nets {
+        return Err(IrError::NetOutOfRange { net: NetId(num_nets as u32), num_nets });
+    }
+    let check = |net: NetId| {
+        if net.index() < num_nets {
+            Ok(())
+        } else {
+            Err(IrError::NetOutOfRange { net, num_nets })
+        }
+    };
+
+    // Range, arity and driver uniqueness in one sweep.
+    const NO_DRIVER: u32 = u32::MAX;
+    let mut driver = vec![NO_DRIVER; num_nets];
+    for (gi, gate) in netlist.gates().iter().enumerate() {
+        let expected = gate.kind.arity();
+        if gate.inputs.len() != expected {
+            return Err(IrError::ArityMismatch {
+                gate_index: gi,
+                kind: gate.kind,
+                expected,
+                got: gate.inputs.len(),
+            });
+        }
+        for &input in &gate.inputs {
+            check(input)?;
+        }
+        check(gate.output)?;
+        if gate.output.index() < num_inputs {
+            return Err(IrError::InputDriven { gate_index: gi, net: gate.output });
+        }
+        if driver[gate.output.index()] != NO_DRIVER {
+            return Err(IrError::MultipleDrivers { net: gate.output });
+        }
+        driver[gate.output.index()] = gi as u32;
+    }
+    for &output in netlist.outputs() {
+        check(output)?;
+    }
+    for &(net, _) in netlist.redundant_constants() {
+        check(net)?;
+    }
+
+    // Every non-input net must be driven if it participates at all, and
+    // must participate somehow (dangling nets bloat the fault universe
+    // with sites that do not exist in the circuit).
+    let mut used = vec![false; num_nets];
+    for gate in netlist.gates() {
+        for &input in &gate.inputs {
+            used[input.index()] = true;
+        }
+    }
+    for &output in netlist.outputs() {
+        used[output.index()] = true;
+    }
+    for (net, &drv) in driver.iter().enumerate().skip(num_inputs) {
+        if drv == NO_DRIVER {
+            let net = NetId(net as u32);
+            return Err(if used[net.index()] {
+                IrError::UndrivenNet { net }
+            } else {
+                IrError::DanglingNet { net }
+            });
+        }
+    }
+
+    // Stored order must be a valid evaluation order; if it is not,
+    // distinguish a mere misordering from a genuine cycle.
+    let mut ready = vec![false; num_nets];
+    for slot in ready.iter_mut().take(num_inputs) {
+        *slot = true;
+    }
+    for (gi, gate) in netlist.gates().iter().enumerate() {
+        for &input in &gate.inputs {
+            if !ready[input.index()] {
+                return Err(match find_cycle_net(netlist, &driver) {
+                    Some(net) => IrError::CombinationalCycle { net },
+                    None => IrError::NotTopological { gate_index: gi, net: input },
+                });
+            }
+        }
+        ready[gate.output.index()] = true;
+    }
+    Ok(())
+}
+
+/// Kahn scheduling over the gate graph ignoring stored order; returns
+/// the output net of the first unschedulable gate (a gate on or behind
+/// a cycle), or `None` if the graph is acyclic.
+fn find_cycle_net(netlist: &Netlist, driver: &[u32]) -> Option<NetId> {
+    let gates = netlist.gates();
+    let num_inputs = netlist.num_inputs();
+    let mut pending: Vec<u32> = gates
+        .iter()
+        .map(|g| g.inputs.iter().filter(|n| n.index() >= num_inputs).count() as u32)
+        .collect();
+    // Reader adjacency: for each gate, which gates consume its output.
+    let mut readers: Vec<Vec<u32>> = vec![Vec::new(); gates.len()];
+    for (gi, gate) in gates.iter().enumerate() {
+        for &input in &gate.inputs {
+            if input.index() >= num_inputs {
+                let d = driver[input.index()];
+                if d != u32::MAX {
+                    readers[d as usize].push(gi as u32);
+                }
+            }
+        }
+    }
+    let mut queue: Vec<u32> =
+        (0..gates.len() as u32).filter(|&gi| pending[gi as usize] == 0).collect();
+    let mut scheduled = 0usize;
+    let mut head = 0usize;
+    while head < queue.len() {
+        let gi = queue[head] as usize;
+        head += 1;
+        scheduled += 1;
+        for &reader in &readers[gi] {
+            pending[reader as usize] -= 1;
+            if pending[reader as usize] == 0 {
+                queue.push(reader);
+            }
+        }
+    }
+    if scheduled == gates.len() {
+        return None;
+    }
+    let mut done = vec![false; gates.len()];
+    for &gi in &queue {
+        done[gi as usize] = true;
+    }
+    gates.iter().enumerate().find(|(gi, _)| !done[*gi]).map(|(_, gate)| gate.output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetlistBuilder;
+    use crate::netlist::{Gate, GateKind};
+
+    fn sample() -> Netlist {
+        let mut b = NetlistBuilder::new();
+        let i = b.inputs(2);
+        let x = b.xor2(i[0], i[1]);
+        let y = b.and2(x, i[0]);
+        b.output(y);
+        b.finish()
+    }
+
+    #[test]
+    fn accepts_builder_output() {
+        validate(&sample()).unwrap();
+    }
+
+    #[test]
+    fn rejects_out_of_range_net() {
+        let gates = vec![Gate { kind: GateKind::Buf, inputs: vec![NetId(9)], output: NetId(1) }];
+        let nl = Netlist::from_parts(2, 1, gates, vec![NetId(1)], vec![]);
+        assert!(matches!(validate(&nl), Err(IrError::NetOutOfRange { net: NetId(9), .. })));
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let gates = vec![Gate { kind: GateKind::And, inputs: vec![NetId(0)], output: NetId(1) }];
+        let nl = Netlist::from_parts(2, 1, gates, vec![NetId(1)], vec![]);
+        assert!(matches!(validate(&nl), Err(IrError::ArityMismatch { expected: 2, got: 1, .. })));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let gates = vec![
+            Gate { kind: GateKind::Buf, inputs: vec![NetId(0)], output: NetId(1) },
+            Gate { kind: GateKind::Not, inputs: vec![NetId(0)], output: NetId(1) },
+        ];
+        let nl = Netlist::from_parts(2, 1, gates, vec![NetId(1)], vec![]);
+        assert!(matches!(validate(&nl), Err(IrError::MultipleDrivers { net: NetId(1) })));
+    }
+
+    #[test]
+    fn rejects_driving_primary_input() {
+        let gates = vec![Gate { kind: GateKind::Buf, inputs: vec![NetId(0)], output: NetId(1) }];
+        let nl = Netlist::from_parts(2, 2, gates, vec![NetId(1)], vec![]);
+        assert!(matches!(validate(&nl), Err(IrError::InputDriven { net: NetId(1), .. })));
+    }
+
+    #[test]
+    fn rejects_undriven_read_net() {
+        let gates = vec![Gate { kind: GateKind::Buf, inputs: vec![NetId(2)], output: NetId(1) }];
+        let nl = Netlist::from_parts(3, 1, gates, vec![NetId(1)], vec![]);
+        assert!(matches!(validate(&nl), Err(IrError::UndrivenNet { net: NetId(2) })));
+    }
+
+    #[test]
+    fn rejects_dangling_net() {
+        let gates = vec![Gate { kind: GateKind::Buf, inputs: vec![NetId(0)], output: NetId(1) }];
+        let nl = Netlist::from_parts(3, 1, gates, vec![NetId(1)], vec![]);
+        assert!(matches!(validate(&nl), Err(IrError::DanglingNet { net: NetId(2) })));
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let gates = vec![
+            Gate { kind: GateKind::And, inputs: vec![NetId(0), NetId(2)], output: NetId(1) },
+            Gate { kind: GateKind::Buf, inputs: vec![NetId(1)], output: NetId(2) },
+        ];
+        let nl = Netlist::from_parts(3, 1, gates, vec![NetId(2)], vec![]);
+        assert!(matches!(validate(&nl), Err(IrError::CombinationalCycle { .. })));
+    }
+
+    #[test]
+    fn rejects_misordered_gates() {
+        let gates = vec![
+            Gate { kind: GateKind::Buf, inputs: vec![NetId(2)], output: NetId(1) },
+            Gate { kind: GateKind::Not, inputs: vec![NetId(0)], output: NetId(2) },
+        ];
+        let nl = Netlist::from_parts(3, 1, gates, vec![NetId(1)], vec![]);
+        assert!(matches!(
+            validate(&nl),
+            Err(IrError::NotTopological { gate_index: 0, net: NetId(2) })
+        ));
+    }
+
+    #[test]
+    fn accepts_driven_but_unread_net() {
+        // Dropped cones from compose_chain leave driven-unused nets.
+        let gates = vec![
+            Gate { kind: GateKind::Buf, inputs: vec![NetId(0)], output: NetId(1) },
+            Gate { kind: GateKind::Not, inputs: vec![NetId(0)], output: NetId(2) },
+        ];
+        let nl = Netlist::from_parts(3, 1, gates, vec![NetId(1)], vec![]);
+        validate(&nl).unwrap();
+    }
+
+    #[test]
+    fn accepts_all_generated_stages() {
+        for &unit in r2d3_isa::Unit::ALL.iter() {
+            let stage = crate::stages::stage_netlist(unit, &crate::stages::StageSizing::default());
+            validate(stage.netlist()).unwrap();
+        }
+    }
+}

@@ -20,7 +20,13 @@
 //!   the ATPG campaign has exact ground truth for the "undetectable" class,
 //! * stage composition ([`compose_chain`]) used to model *core-level*
 //!   observability (fault effects must propagate through all downstream
-//!   stages before they can be seen).
+//!   stages before they can be seen),
+//! * a validated IR layer ([`ir`]) with a structural validator, a
+//!   deterministic text format, level analysis, and a fixed-order rewrite
+//!   pipeline (constant folding, buf/inv cleanup, normalization,
+//!   chain→tree rebalancing),
+//! * a Yosys-JSON importer ([`yosys_json`]) that maps real synthesized
+//!   combinational cores onto this substrate.
 //!
 //! # Example
 //!
@@ -45,19 +51,26 @@
 pub mod blif;
 pub mod builder;
 pub mod crossbar;
+pub mod ir;
 pub mod netlist;
 pub mod sequential;
 pub mod sim;
 pub mod stages;
+pub mod yosys_json;
 
 pub use builder::NetlistBuilder;
 pub use crossbar::{checker, crossbar_receiver};
+pub use ir::{
+    analyze_levels, rewrite, text_emit, text_parse, IrError, LevelMap, PassManager, RewriteOutcome,
+    RewriteStats,
+};
 pub use netlist::{
     compose_chain, compose_chain_with, ComposeOptions, Gate, GateKind, NetId, Netlist,
 };
 pub use sequential::{register_outputs, SequentialNetlist};
 pub use sim::{pack_blocks, FaultCone, FaultSim, SimBlock, SimScratch, SimdKernel, WideScratch};
 pub use stages::{stage_netlist, StageNetlist, StageSizing};
+pub use yosys_json::{parse_yosys_json, ImportedCore, YosysJsonError};
 
 use std::fmt;
 

@@ -787,14 +787,10 @@ impl FaultSim {
         let gates = netlist.gates();
         let num_gates = gates.len();
 
-        // Logic levels via one pass in topological gate order: a net's
-        // level is 1 + the max level of the driving gate's inputs
-        // (primary inputs and constants sit at level 0).
-        let mut net_level = vec![0u32; num_nets];
-        for gate in gates {
-            let lvl = gate.inputs.iter().map(|n| net_level[n.index()]).max().unwrap_or(0) + 1;
-            net_level[gate.output.index()] = lvl;
-        }
+        // Logic levels come from the IR level-analysis pass (primary
+        // inputs and constants sit at level 0); the level-major slot
+        // permutation and event-walk buckets below are derived from it.
+        let net_level = crate::ir::analyze_levels(netlist).into_net_levels();
         // Level-major slot order: stable sort keeps the topological tie
         // break, so ascending slot order is still topological and every
         // level occupies one contiguous slot run.

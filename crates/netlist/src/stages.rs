@@ -80,6 +80,26 @@ impl StageNetlist {
     pub fn core_output_count(&self) -> usize {
         self.core_outputs
     }
+
+    /// Wraps an externally built netlist (e.g. a Yosys-JSON import) as a
+    /// stage for `unit`, validating it against the IR invariants first.
+    /// All of the netlist's outputs are treated as architectural
+    /// stage-boundary signals (`core_outputs` clamps to the output
+    /// count).
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`crate::ir::IrError`] if the netlist violates any
+    /// structural IR invariant.
+    pub fn from_netlist(
+        unit: Unit,
+        netlist: Netlist,
+        core_outputs: usize,
+    ) -> Result<Self, crate::ir::IrError> {
+        crate::ir::validate(&netlist)?;
+        let core_outputs = core_outputs.min(netlist.outputs().len());
+        Ok(StageNetlist { unit, netlist, core_outputs })
+    }
 }
 
 /// Generates the structural netlist for one pipeline unit.
