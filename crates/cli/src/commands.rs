@@ -216,6 +216,7 @@ pub fn campaign(args: &[String]) -> CliResult {
     let cmd = Command::new("campaign", "adversarial fault-injection sweep over both substrates")
         .seed_flag()
         .flag("scenarios", "N", "scenarios per substrate")
+        .flag("kinds", "LIST", "comma-separated fault kinds to sweep (default: all)")
         .substrate_flag(true)
         .out_flag("report")
         .switch("smoke", "small CI-sized sweep (27 scenarios)")
@@ -250,11 +251,13 @@ pub fn campaign(args: &[String]) -> CliResult {
             nl.outputs().len()
         );
     }
+    let kinds = parse_kinds(p.get("kinds"))?;
     let config = CampaignConfig {
         seed: p.get_or("seed", 0xCA3A)?,
         scenarios_per_substrate: p.get_or("scenarios", if smoke { 27 } else { 256 })?,
         substrates,
         netlist_stages,
+        kinds,
         ..Default::default()
     };
 
@@ -281,10 +284,18 @@ pub fn campaign(args: &[String]) -> CliResult {
     }
 
     eprintln!(
-        "campaign: seed {:#x}, {} scenarios × {} substrate(s){}…",
+        "campaign: seed {:#x}, {} scenarios × {} substrate(s){}{}…",
         config.seed,
         config.scenarios_per_substrate,
         config.substrates.len(),
+        if config.kinds.len() < r2d3_core::campaign::KindId::COUNT {
+            format!(
+                ", kinds {}",
+                config.kinds.iter().map(|k| k.name()).collect::<Vec<_>>().join(",")
+            )
+        } else {
+            String::new()
+        },
         match shard {
             Some(s) => format!(", shard {s}"),
             None => String::new(),
@@ -380,19 +391,45 @@ fn campaign_merge(args: &[String]) -> CliResult {
     campaign_failures_check(&report)
 }
 
+/// Resolves `--kinds a,b,c` into scenario-kind ids (all kinds when absent).
+fn parse_kinds(
+    list: Option<&str>,
+) -> Result<Vec<r2d3_core::campaign::KindId>, Box<dyn std::error::Error>> {
+    use r2d3_core::campaign::{KindId, KIND_NAMES};
+    let Some(list) = list else {
+        return Ok(KindId::ALL.to_vec());
+    };
+    let mut kinds = Vec::new();
+    for name in list.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        let kind = KindId::from_name(name).ok_or_else(|| {
+            format!("unknown fault kind `{name}` (known kinds: {})", KIND_NAMES.join(", "))
+        })?;
+        if !kinds.contains(&kind) {
+            kinds.push(kind);
+        }
+    }
+    if kinds.is_empty() {
+        return Err("--kinds needs at least one fault kind".into());
+    }
+    Ok(kinds)
+}
+
 fn print_campaign_summary(report: &r2d3_core::campaign::CampaignReport) {
     use r2d3_core::campaign::Outcome;
+    // Derived from `Outcome::ALL` so the line can never drift from the
+    // outcome table; zero-count outcomes are elided to keep it readable.
     for sub in &report.substrates {
+        let tallies: Vec<String> = Outcome::ALL
+            .iter()
+            .map(|o| (sub.outcome_count(*o), o.name()))
+            .filter(|(n, _)| *n > 0)
+            .map(|(n, name)| format!("{n} {name}"))
+            .collect();
         eprintln!(
-            "  {:>10}: {} scenarios — {} benign, {} detected+repaired, \
-             {} misdiagnosed, {} silent, {} engine errors",
+            "  {:>10}: {} scenarios — {}",
             sub.substrate,
             sub.results.len(),
-            sub.outcome_count(Outcome::Benign),
-            sub.outcome_count(Outcome::DetectedRepaired),
-            sub.outcome_count(Outcome::Misdiagnosed),
-            sub.outcome_count(Outcome::SilentCorruption),
-            sub.outcome_count(Outcome::EngineFailure),
+            if tallies.is_empty() { "none ran".to_string() } else { tallies.join(", ") },
         );
     }
 }
@@ -416,7 +453,8 @@ fn campaign_failures_check(report: &r2d3_core::campaign::CampaignReport) -> CliR
     let failures = report.failures();
     if failures > 0 {
         return Err(format!(
-            "{failures} scenario(s) ended in misdiagnosis, silent corruption or engine failure"
+            "{failures} scenario(s) ended in misdiagnosis, an undetected misroute, \
+             silent corruption or engine failure"
         )
         .into());
     }
@@ -897,6 +935,19 @@ mod tests {
         assert_eq!(parse_unit("exu").unwrap(), Unit::Exu);
         assert_eq!(parse_unit("LSU").unwrap(), Unit::Lsu);
         assert!(parse_unit("XYZ").is_err());
+    }
+
+    #[test]
+    fn kinds_flag_parses_names_and_rejects_unknowns() {
+        use r2d3_core::campaign::KindId;
+        assert_eq!(parse_kinds(None).unwrap(), KindId::ALL.to_vec());
+        assert_eq!(
+            parse_kinds(Some("tsv_stuck, mux_select,tsv_stuck")).unwrap(),
+            vec![KindId::TsvStuck, KindId::MuxSelect],
+            "names trim whitespace and duplicates collapse"
+        );
+        assert!(parse_kinds(Some("warp_core")).unwrap_err().to_string().contains("tsv_bridge"));
+        assert!(parse_kinds(Some(" , ")).is_err());
     }
 
     #[test]

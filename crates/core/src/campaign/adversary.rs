@@ -226,6 +226,26 @@ impl<S: ReliabilitySubstrate> ReliabilitySubstrate for Adversary<S> {
         S::corrupt_checkpoint(checkpoint, seed);
     }
 
+    fn inject_link_fault(
+        &mut self,
+        link: StageId,
+        fault: crate::substrate::LinkFault,
+    ) -> Result<(), EngineError> {
+        self.inner.inject_link_fault(link, fault)
+    }
+
+    fn route_readback(&self, pipe: usize, unit: Unit) -> Option<usize> {
+        self.inner.route_readback(pipe, unit)
+    }
+
+    fn corrupt_route(&mut self, pipe: usize, unit: Unit, layer: usize) -> Result<(), EngineError> {
+        self.inner.corrupt_route(pipe, unit, layer)
+    }
+
+    fn scrub_route(&mut self, pipe: usize, unit: Unit) {
+        self.inner.scrub_route(pipe, unit);
+    }
+
     fn stats(&self) -> &ActivityStats {
         self.inner.stats()
     }

@@ -22,7 +22,7 @@ use crate::campaign::runner::{
     SubstrateKind, SubstrateReport, SweepMetrics,
 };
 use crate::campaign::scenario::{
-    generate_scenarios, FaultKind, FaultScenario, Injection, ScenarioSpace, KIND_NAMES,
+    generate_scenarios_with, FaultKind, FaultScenario, Injection, KindId, ScenarioSpace, KIND_NAMES,
 };
 use crate::jsonio::{hex_u64, Value};
 use crate::snapshot::{self, SnapshotError};
@@ -104,13 +104,20 @@ pub fn shard_scenarios(config: &CampaignConfig, shard: ShardSpec) -> Vec<FaultSc
 }
 
 fn campaign_scenarios(config: &CampaignConfig) -> Vec<FaultScenario> {
-    generate_scenarios(&ScenarioSpace {
-        seed: config.seed,
-        count: config.scenarios_per_substrate,
-        pipelines: config.pipelines,
-        layers: config.layers,
-        settle_epochs: config.settle_epochs,
-    })
+    generate_scenarios_with(
+        &ScenarioSpace {
+            seed: config.seed,
+            count: config.scenarios_per_substrate,
+            pipelines: config.pipelines,
+            layers: config.layers,
+            settle_epochs: config.settle_epochs,
+        },
+        &config.kinds,
+    )
+}
+
+fn kind_names(config: &CampaignConfig) -> Vec<&'static str> {
+    config.kinds.iter().map(|k| k.name()).collect()
 }
 
 /// One shard's sweep output: the shard coordinates plus a
@@ -157,6 +164,14 @@ impl ShardReport {
             "  \"scenarios_per_substrate\": {},",
             self.report.scenarios_per_substrate
         );
+        out.push_str("  \"kinds\": [");
+        for (i, k) in self.report.kinds.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "\"{k}\"");
+        }
+        out.push_str("],\n");
         out.push_str("  \"substrates\": [");
         for (i, sub) in self.report.substrates.iter().enumerate() {
             out.push_str(if i == 0 { "\n" } else { ",\n" });
@@ -198,6 +213,7 @@ pub fn run_campaign_sharded(config: &CampaignConfig, shard: ShardSpec) -> ShardR
         report: CampaignReport {
             seed: config.seed,
             scenarios_per_substrate: config.scenarios_per_substrate,
+            kinds: kind_names(config),
             substrates,
         },
     }
@@ -247,6 +263,12 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<CampaignReport, SnapshotEr
             return Err(SnapshotError::ConfigMismatch(format!(
                 "shard {} covers a {}-scenario campaign, expected {}",
                 sh.shard, sh.report.scenarios_per_substrate, count
+            )));
+        }
+        if sh.report.kinds != first.report.kinds {
+            return Err(SnapshotError::ConfigMismatch(format!(
+                "shard {} ran kinds {:?}, expected {:?}",
+                sh.shard, sh.report.kinds, first.report.kinds
             )));
         }
         let sh_names: Vec<&'static str> =
@@ -311,7 +333,12 @@ pub fn merge_shards(shards: &[ShardReport]) -> Result<CampaignReport, SnapshotEr
         }
         substrates.push(SubstrateReport { substrate: name, results, metrics });
     }
-    Ok(CampaignReport { seed, scenarios_per_substrate: count, substrates })
+    Ok(CampaignReport {
+        seed,
+        scenarios_per_substrate: count,
+        kinds: first.report.kinds.clone(),
+        substrates,
+    })
 }
 
 /// Portable mid-flight state of a (possibly sharded) campaign run: the
@@ -550,6 +577,7 @@ where
     Ok(Some(CampaignReport {
         seed: config.seed,
         scenarios_per_substrate: config.scenarios_per_substrate,
+        kinds: kind_names(config),
         substrates: st.completed,
     }))
 }
@@ -652,14 +680,16 @@ fn event_counts_to_json(out: &mut String, c: &EventCounts) {
         out,
         "{{\"symptoms\": {}, \"transients\": {}, \"permanents\": {}, \
          \"inconclusives\": {}, \"escalations\": {}, \"recoveries\": {}, \
-         \"checkpoint_corruptions\": {}}}",
+         \"checkpoint_corruptions\": {}, \"reroutes\": {}, \"link_quarantines\": {}}}",
         c.symptoms,
         c.transients,
         c.permanents,
         c.inconclusives,
         c.escalations,
         c.recoveries,
-        c.checkpoint_corruptions
+        c.checkpoint_corruptions,
+        c.reroutes,
+        c.link_quarantines
     );
 }
 
@@ -677,6 +707,8 @@ fn event_counts_from_json(v: &Value) -> Result<EventCounts, SnapshotError> {
         escalations: n("escalations")?,
         recoveries: n("recoveries")?,
         checkpoint_corruptions: n("checkpoint_corruptions")?,
+        reroutes: n("reroutes")?,
+        link_quarantines: n("link_quarantines")?,
     })
 }
 
@@ -829,11 +861,29 @@ fn fault_kind_from_json(v: &Value) -> Result<FaultKind, SnapshotError> {
         "checkpoint_corrupt" => FaultKind::CheckpointCorrupt,
         "mid_window" => FaultKind::MidWindow,
         "mid_diagnosis" => FaultKind::MidDiagnosis,
+        "tsv_stuck" => FaultKind::TsvStuck,
+        "tsv_bridge" => FaultKind::TsvBridge,
+        "crosstalk" => FaultKind::Crosstalk,
+        "mux_select" => FaultKind::MuxSelect,
+        "seu_burst" => FaultKind::SeuBurst,
         other => return Err(SnapshotError::Malformed(format!("unknown fault kind \"{other}\""))),
     })
 }
 
 fn campaign_report_from_json(v: &Value) -> Result<CampaignReport, SnapshotError> {
+    let kinds = snapshot::field(v, "kinds")?
+        .as_arr()
+        .ok_or_else(|| SnapshotError::Malformed("\"kinds\" is not an array".into()))?
+        .iter()
+        .map(|k| {
+            let name = k
+                .as_str()
+                .ok_or_else(|| SnapshotError::Malformed("kind name is not a string".into()))?;
+            KindId::from_name(name)
+                .map(KindId::name)
+                .ok_or_else(|| SnapshotError::Malformed(format!("unknown fault kind \"{name}\"")))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(CampaignReport {
         seed: snapshot::field(v, "seed")?
             .as_hex_u64()
@@ -843,6 +893,7 @@ fn campaign_report_from_json(v: &Value) -> Result<CampaignReport, SnapshotError>
             .ok_or_else(|| {
                 SnapshotError::Malformed("\"scenarios_per_substrate\" is not an integer".into())
             })?,
+        kinds,
         substrates: snapshot::field(v, "substrates")?
             .as_arr()
             .ok_or_else(|| SnapshotError::Malformed("\"substrates\" is not an array".into()))?

@@ -7,11 +7,21 @@
 //! corrupted checker inputs, stuck replay registers, rotting checkpoint
 //! slots, mid-window upsets and concurrent-fault diagnoses — runs every
 //! one end-to-end on a fresh substrate (behavioral and gate-level), and
-//! classifies what the engine did about it:
+//! classifies what the engine did about it. The universe covers *fabric*
+//! faults too — stuck/bridged/crosstalking TSV links, crossbar
+//! mux-select upsets and multi-link SEU bursts — where the hardware at
+//! fault is the vertical interconnect, not any stage:
 //!
 //! * [`Outcome::Benign`] — the fault never manifested;
 //! * [`Outcome::DetectedRepaired`] — handled, final state clean;
+//! * [`Outcome::Rerouted`] — a mux-select upset caught by the route
+//!   scrub and rewritten;
+//! * [`Outcome::LinkQuarantined`] — symptoms attributed to a vertical
+//!   link; the link became a routing constraint and the (healthy) stage
+//!   behind it stayed in service;
 //! * [`Outcome::Misdiagnosed`] — healthy hardware was condemned;
+//! * [`Outcome::MisroutedUndetected`] — a crossbar upset outlived every
+//!   detection mechanism;
 //! * [`Outcome::SilentCorruption`] — corrupted state survived unnoticed
 //!   (including a poisoned checkpoint being restored);
 //! * [`Outcome::EngineFailure`] — the engine itself errored.
@@ -52,7 +62,7 @@ pub use runner::{
     SubstrateReport, SweepMetrics,
 };
 pub use scenario::{
-    generate_scenarios, truth_defective, FaultKind, FaultScenario, Injection, ScenarioSpace,
-    INJECTABLE_UNITS, KIND_NAMES,
+    generate_scenarios, generate_scenarios_with, truth_defective, truth_links, FaultKind,
+    FaultScenario, Injection, KindId, ScenarioSpace, INJECTABLE_UNITS, KIND_NAMES,
 };
 pub use shrink::shrink_scenario;

@@ -16,6 +16,12 @@ pub fn render_report(report: &CampaignReport) -> String {
     out.push_str("{\n");
     let _ = writeln!(out, "  \"seed\": {},", report.seed);
     let _ = writeln!(out, "  \"scenarios_per_substrate\": {},", report.scenarios_per_substrate);
+    out.push_str("  \"active_kinds\": [");
+    for (i, k) in report.kinds.iter().enumerate() {
+        let sep = if i == 0 { "" } else { ", " };
+        let _ = write!(out, "{sep}\"{k}\"");
+    }
+    out.push_str("],\n");
     let _ = writeln!(out, "  \"total_scenarios\": {},", report.total_scenarios());
     let _ = writeln!(out, "  \"failures\": {},", report.failures());
     out.push_str("  \"substrates\": [\n");
@@ -110,14 +116,16 @@ fn render_counts(out: &mut String, c: &EventCounts) {
         out,
         "{{\"symptoms\": {}, \"transients\": {}, \"permanents\": {}, \
          \"inconclusives\": {}, \"escalations\": {}, \"recoveries\": {}, \
-         \"checkpoint_corruptions\": {}}}",
+         \"checkpoint_corruptions\": {}, \"reroutes\": {}, \"link_quarantines\": {}}}",
         c.symptoms,
         c.transients,
         c.permanents,
         c.inconclusives,
         c.escalations,
         c.recoveries,
-        c.checkpoint_corruptions
+        c.checkpoint_corruptions,
+        c.reroutes,
+        c.link_quarantines
     );
 }
 
@@ -163,6 +171,7 @@ mod tests {
         CampaignReport {
             seed: 7,
             scenarios_per_substrate: 2,
+            kinds: vec!["permanent", "burst"],
             substrates: vec![SubstrateReport {
                 substrate: "behavioral",
                 results: vec![

@@ -10,7 +10,8 @@
 
 use crate::campaign::adversary::Adversary;
 use crate::campaign::scenario::{
-    generate_scenarios, truth_defective, FaultKind, FaultScenario, ScenarioSpace,
+    generate_scenarios_with, truth_defective, truth_links, FaultKind, FaultScenario, KindId,
+    ScenarioSpace,
 };
 use crate::campaign::shrink::shrink_scenario;
 use crate::checkpoint::CheckpointConfig;
@@ -18,13 +19,13 @@ use crate::config::R2d3Config;
 use crate::engine::{EngineEvent, R2d3Engine};
 use crate::history::EscalationConfig;
 use crate::policy::PolicyKind;
-use crate::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
+use crate::substrate::{LinkFault, NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
 use crate::telemetry::{
     Histogram, MetricsSnapshot, NullSink, RingSink, TelemetryRecord, TelemetrySink,
     DETECTION_LATENCY_BOUNDS, REPLAY_COUNT_BOUNDS,
 };
 use r2d3_isa::kernels::trap_mix;
-use r2d3_isa::Program;
+use r2d3_isa::{Program, Unit};
 use r2d3_netlist::stages::StageNetlist;
 use r2d3_pipeline_sim::{StageId, System3d, SystemConfig};
 use serde::{Deserialize, Serialize};
@@ -58,9 +59,20 @@ pub enum Outcome {
     /// The engine saw the fault and handled it; the final state is clean
     /// and nothing healthy was condemned.
     DetectedRepaired,
+    /// A crossbar mux-select upset was caught by the route scrub and the
+    /// select register rewritten; the final state is clean.
+    Rerouted,
+    /// The engine attributed the symptoms to a vertical link, quarantined
+    /// the link (a routing constraint — the stage behind it stays in
+    /// service) and rerouted around it; the final state is clean.
+    LinkQuarantined,
     /// The engine quarantined hardware the scenario never broke (beyond
     /// the documented inconclusive double-quarantine).
     Misdiagnosed,
+    /// A pipeline still latches a layer other than the controller's
+    /// routing intent at scenario end — the crossbar upset outlived every
+    /// detection mechanism.
+    MisroutedUndetected,
     /// Corrupted architectural state survived to the end of the scenario
     /// — or a poisoned checkpoint was restored — without the engine
     /// knowing.
@@ -76,17 +88,23 @@ impl Outcome {
         match self {
             Outcome::Benign => "benign",
             Outcome::DetectedRepaired => "detected_repaired",
+            Outcome::Rerouted => "rerouted",
+            Outcome::LinkQuarantined => "link_quarantined",
             Outcome::Misdiagnosed => "misdiagnosed",
+            Outcome::MisroutedUndetected => "misrouted_undetected",
             Outcome::SilentCorruption => "silent_corruption",
             Outcome::EngineFailure => "engine_failure",
         }
     }
 
     /// All outcomes in fixed report order.
-    pub const ALL: [Outcome; 5] = [
+    pub const ALL: [Outcome; 8] = [
         Outcome::Benign,
         Outcome::DetectedRepaired,
+        Outcome::Rerouted,
+        Outcome::LinkQuarantined,
         Outcome::Misdiagnosed,
+        Outcome::MisroutedUndetected,
         Outcome::SilentCorruption,
         Outcome::EngineFailure,
     ];
@@ -94,7 +112,13 @@ impl Outcome {
     /// Whether the engine got this scenario *wrong* (shrink-worthy).
     #[must_use]
     pub fn is_failure(&self) -> bool {
-        matches!(self, Outcome::Misdiagnosed | Outcome::SilentCorruption | Outcome::EngineFailure)
+        matches!(
+            self,
+            Outcome::Misdiagnosed
+                | Outcome::MisroutedUndetected
+                | Outcome::SilentCorruption
+                | Outcome::EngineFailure
+        )
     }
 }
 
@@ -115,6 +139,11 @@ pub struct EventCounts {
     pub recoveries: u64,
     /// Checkpoint-integrity rejections.
     pub checkpoint_corruptions: u64,
+    /// Route-scrub rewrites of upset mux-select registers.
+    pub reroutes: u64,
+    /// Vertical-link quarantines (routing constraints, not stage
+    /// retirements).
+    pub link_quarantines: u64,
 }
 
 /// One scenario's result on one substrate.
@@ -200,6 +229,8 @@ impl SubstrateReport {
             total.escalations += r.counts.escalations;
             total.recoveries += r.counts.recoveries;
             total.checkpoint_corruptions += r.counts.checkpoint_corruptions;
+            total.reroutes += r.counts.reroutes;
+            total.link_quarantines += r.counts.link_quarantines;
         }
         total
     }
@@ -212,6 +243,9 @@ pub struct CampaignReport {
     pub seed: u64,
     /// Scenarios generated per substrate.
     pub scenarios_per_substrate: usize,
+    /// Active fault-kind names (the `--kinds` filter, or the full
+    /// universe), in generation-cycle order.
+    pub kinds: Vec<&'static str>,
     /// Per-substrate sweeps, in configuration order.
     pub substrates: Vec<SubstrateReport>,
 }
@@ -242,6 +276,10 @@ pub struct CampaignConfig {
     pub scenarios_per_substrate: usize,
     /// Substrates to sweep.
     pub substrates: Vec<SubstrateKind>,
+    /// Fault kinds the generator cycles through (the `--kinds` CLI
+    /// filter). Defaults to the full [`KindId::ALL`] universe; must not
+    /// be empty.
+    pub kinds: Vec<KindId>,
     /// Formed pipelines per substrate instance.
     pub pipelines: usize,
     /// Stack height.
@@ -280,6 +318,7 @@ pub fn campaign_engine_config() -> R2d3Config {
         escalation: Some(EscalationConfig::default()),
         inconclusive_retries: 2,
         rollback_on_transient: true,
+        route_scrub: true,
     }
 }
 
@@ -289,6 +328,7 @@ impl Default for CampaignConfig {
             seed: 0xCA3A,
             scenarios_per_substrate: 256,
             substrates: vec![SubstrateKind::Behavioral, SubstrateKind::Netlist],
+            kinds: KindId::ALL.to_vec(),
             pipelines: 5,
             layers: 8,
             settle_epochs: 8,
@@ -341,7 +381,7 @@ fn run_campaign_inner(
         layers: config.layers,
         settle_epochs: config.settle_epochs,
     };
-    let scenarios = generate_scenarios(&space);
+    let scenarios = generate_scenarios_with(&space, &config.kinds);
     let substrates = config
         .substrates
         .iter()
@@ -350,6 +390,7 @@ fn run_campaign_inner(
     CampaignReport {
         seed: config.seed,
         scenarios_per_substrate: config.scenarios_per_substrate,
+        kinds: config.kinds.iter().map(|k| k.name()).collect(),
         substrates,
     }
 }
@@ -519,6 +560,9 @@ fn execute_scenario<S: ReliabilitySubstrate, T: TelemetrySink>(
     // the ground-truth defective stages, plus both parties of any
     // inconclusive vote (the documented double-quarantine fallback).
     let mut allowed = truth;
+    // Same contract for vertical links: the engine may only quarantine
+    // links the scenario actually damaged.
+    let allowed_links: BTreeSet<StageId> = truth_links(scenario).into_iter().collect();
     let mut counts = EventCounts::default();
     let mut engine_failed = false;
     let pipes = sys.pipeline_count();
@@ -548,15 +592,33 @@ fn execute_scenario<S: ReliabilitySubstrate, T: TelemetrySink>(
     let metrics = engine.metrics();
     let poisoned = metrics.checkpoints.map_or(0, |s| s.poisoned_restores);
     let residual_corruption = (0..pipes).any(|p| sys.pipeline_corrupted(p));
-    let misdiagnosed = metrics.believed_faulty.iter().any(|s| !allowed.contains(s));
-    let saw_fault = counts.symptoms > 0 || counts.escalations > 0;
+    // Ground truth the engine cannot see if scrubbing is off: does any
+    // pipeline slot still latch a layer other than the controller's
+    // routing intent?
+    let misrouted_end = (0..pipes).any(|p| {
+        Unit::ALL.iter().any(|&u| {
+            sys.stage_for(p, u).is_some_and(|intent| sys.route_readback(p, u) != Some(intent.layer))
+        })
+    });
+    let misdiagnosed = metrics.believed_faulty.iter().any(|s| !allowed.contains(s))
+        || metrics.quarantined_links.iter().any(|s| !allowed_links.contains(s));
+    let saw_fault = counts.symptoms > 0
+        || counts.escalations > 0
+        || counts.reroutes > 0
+        || counts.link_quarantines > 0;
 
     let outcome = if engine_failed {
         Outcome::EngineFailure
+    } else if misrouted_end {
+        Outcome::MisroutedUndetected
     } else if poisoned > 0 || residual_corruption {
         Outcome::SilentCorruption
     } else if misdiagnosed {
         Outcome::Misdiagnosed
+    } else if counts.link_quarantines > 0 {
+        Outcome::LinkQuarantined
+    } else if counts.reroutes > 0 {
+        Outcome::Rerouted
     } else if saw_fault {
         Outcome::DetectedRepaired
     } else {
@@ -623,6 +685,67 @@ fn apply_injections<S: ReliabilitySubstrate, T: TelemetrySink>(
                     sys.arm_mid_window(inj.stage, inj.seed, third + inj.seed % third);
                 }
             }
+            FaultKind::TsvStuck => {
+                if inj.epoch == epoch {
+                    let fault = LinkFault::Stuck {
+                        mask: mask_from(inj.seed),
+                        pattern: (inj.seed >> 32) as u32,
+                    };
+                    let _ = sys.inject_link_fault(inj.stage, fault);
+                }
+            }
+            FaultKind::TsvBridge => {
+                if inj.epoch == epoch {
+                    // One scenario entry arms both ends of the bridge
+                    // (the partner is the layer above — see generation).
+                    let mask = mask_from(inj.seed);
+                    let lo = inj.stage;
+                    let hi = StageId::new(lo.layer + 1, lo.unit);
+                    let _ = sys
+                        .inject_link_fault(lo, LinkFault::Bridge { other_layer: hi.layer, mask });
+                    let _ = sys
+                        .inject_link_fault(hi, LinkFault::Bridge { other_layer: lo.layer, mask });
+                }
+            }
+            FaultKind::Crosstalk => {
+                if inj.epoch == epoch {
+                    // The aggressor is the physically adjacent *serving*
+                    // layer (the coupling is gated on its activity).
+                    let aggressor = if inj.stage.layer + 1 < sys.pipeline_count() {
+                        inj.stage.layer + 1
+                    } else {
+                        inj.stage.layer.saturating_sub(1)
+                    };
+                    let period = 2 + 2 * (inj.seed & 1);
+                    let fault = LinkFault::Crosstalk {
+                        aggressor_layer: aggressor,
+                        mask: mask_from(inj.seed),
+                        period,
+                        phase: (inj.seed >> 1) % period,
+                    };
+                    let _ = sys.inject_link_fault(inj.stage, fault);
+                }
+            }
+            FaultKind::MuxSelect => {
+                if inj.epoch == epoch && sys.pipeline_count() > 1 {
+                    let pipes = sys.pipeline_count();
+                    let intent = sys
+                        .stage_for(inj.pipe, inj.stage.unit)
+                        .map_or(inj.stage.layer, |s| s.layer);
+                    // Any serving layer other than the intended one.
+                    let wrong = (intent + 1 + (inj.seed as usize) % (pipes - 1)) % pipes;
+                    let _ = sys.corrupt_route(inj.pipe, inj.stage.unit, wrong);
+                }
+            }
+            FaultKind::SeuBurst => {
+                if inj.epoch == epoch {
+                    let fault = LinkFault::BurstOnce {
+                        mask: mask_from(inj.seed),
+                        ops: 1 + ((inj.seed >> 8) % 3) as u32,
+                    };
+                    let _ = sys.inject_link_fault(inj.stage, fault);
+                }
+            }
         }
     }
 }
@@ -645,6 +768,8 @@ fn tally(events: &[EngineEvent], counts: &mut EventCounts, allowed: &mut BTreeSe
             EngineEvent::Escalated { .. } => counts.escalations += 1,
             EngineEvent::Recovered { .. } => counts.recoveries += 1,
             EngineEvent::CheckpointCorrupt { .. } => counts.checkpoint_corruptions += 1,
+            EngineEvent::Misrouted { .. } => counts.reroutes += 1,
+            EngineEvent::LinkQuarantined { .. } => counts.link_quarantines += 1,
             EngineEvent::Repaired { .. }
             | EngineEvent::Suspended { .. }
             | EngineEvent::Rotated { .. } => {}

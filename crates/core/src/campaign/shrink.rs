@@ -104,4 +104,49 @@ mod tests {
         assert_eq!(minimal.injections.len(), 1);
         assert_eq!(minimal.epochs, 4);
     }
+
+    #[test]
+    fn shrinking_fabric_scenarios_preserves_invariants() {
+        // Greedy shrink over generated fabric scenarios: whatever subset
+        // the oracle keeps, the result must stay a well-formed scenario
+        // of the same kind, reproduce the target under the oracle, and
+        // never lose every injection or cut below an injection epoch.
+        use crate::campaign::scenario::{generate_scenarios_with, KindId, ScenarioSpace};
+        use proptest::prelude::*;
+        let fabric = [
+            KindId::TsvStuck,
+            KindId::TsvBridge,
+            KindId::Crosstalk,
+            KindId::MuxSelect,
+            KindId::SeuBurst,
+        ];
+        proptest!(|(seed in any::<u64>(), culprit_layer in 0usize..5, floor_epochs in 1u64..12)| {
+            let sp = ScenarioSpace { seed, count: 10, pipelines: 5, layers: 8, settle_epochs: 8 };
+            for sc in generate_scenarios_with(&sp, &fabric) {
+                let oracle = |c: &crate::campaign::scenario::FaultScenario| {
+                    let hit = c.injections.iter().any(|i| i.stage.layer == culprit_layer);
+                    if hit && c.epochs >= floor_epochs {
+                        Outcome::MisroutedUndetected
+                    } else {
+                        Outcome::Benign
+                    }
+                };
+                let target = oracle(&sc);
+                let minimal = shrink_scenario(&sc, target, oracle);
+                prop_assert_eq!(oracle(&minimal), target, "shrink lost the repro");
+                prop_assert_eq!(minimal.kind, sc.kind);
+                prop_assert_eq!(minimal.id, sc.id);
+                prop_assert!(!minimal.injections.is_empty());
+                let floor =
+                    minimal.injections.iter().map(|i| i.epoch + 1).max().unwrap();
+                prop_assert!(minimal.epochs >= floor);
+                prop_assert!(minimal.epochs <= sc.epochs);
+                // Shrinking only removes: every surviving injection was
+                // in the original.
+                for inj in &minimal.injections {
+                    prop_assert!(sc.injections.contains(inj));
+                }
+            }
+        });
+    }
 }

@@ -33,6 +33,20 @@ pub fn stage_output(effect: Option<FaultEffect>, golden: u32) -> u32 {
     effect.map_or(golden, |e| e.apply(golden))
 }
 
+/// Full comparison of one window: the first symptom (if any) plus the
+/// window's mismatch density, the discriminator between a stage fault
+/// that strikes once per window and a path (TSV/crossbar) fault that
+/// corrupts a large fraction of every transfer it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowComparison {
+    /// The first disagreeing record, if any.
+    pub symptom: Option<Symptom>,
+    /// Records on which DUT and redundant outputs disagreed.
+    pub mismatches: u32,
+    /// Records compared.
+    pub compared: u32,
+}
+
 /// Compares a window of DUT records against re-execution on a redundant
 /// stage, where `replay` produces the redundant stage's output for a
 /// record — the substrate-generic checker primitive
@@ -40,15 +54,30 @@ pub fn stage_output(effect: Option<FaultEffect>, golden: u32) -> u32 {
 /// the first symptom, if any.
 pub fn compare_window_by(
     window: &[StageRecord],
-    mut replay: impl FnMut(&StageRecord) -> u32,
+    replay: impl FnMut(&StageRecord) -> u32,
 ) -> Option<Symptom> {
+    compare_window_counted(window, replay).symptom
+}
+
+/// [`compare_window_by`] plus mismatch accounting over the whole window.
+/// Every record is replayed regardless of where the first symptom falls,
+/// so the mismatch density is comparable across windows.
+pub fn compare_window_counted(
+    window: &[StageRecord],
+    mut replay: impl FnMut(&StageRecord) -> u32,
+) -> WindowComparison {
+    let mut symptom = None;
+    let mut mismatches = 0u32;
     for record in window {
         let redundant_output = replay(record);
         if redundant_output != record.actual_output {
-            return Some(Symptom { record: *record, redundant_output });
+            mismatches += 1;
+            if symptom.is_none() {
+                symptom = Some(Symptom { record: *record, redundant_output });
+            }
         }
     }
-    None
+    WindowComparison { symptom, mismatches, compared: window.len() as u32 }
 }
 
 /// Compares a window of DUT records against re-execution on a behavioral

@@ -39,6 +39,13 @@ pub struct R2d3Config {
     /// and forgets": the architectural state poisoned by the consumed
     /// upset keeps executing — a silent-corruption hole.
     pub rollback_on_transient: bool,
+    /// Compare every crossbar select register against the controller's
+    /// routing intent at each epoch boundary and rewrite registers that
+    /// disagree (an SEU in the mux-select silently feeds a pipeline the
+    /// wrong layer's stage). Without this the engine never notices a
+    /// misroute: data keeps flowing from the wrong stage — the
+    /// `misrouted_undetected` hole in the campaign taxonomy.
+    pub route_scrub: bool,
 }
 
 impl Default for R2d3Config {
@@ -53,6 +60,7 @@ impl Default for R2d3Config {
             escalation: Some(crate::history::EscalationConfig::default()),
             inconclusive_retries: 2,
             rollback_on_transient: true,
+            route_scrub: true,
         }
     }
 }

@@ -9,7 +9,7 @@
 //! rare, because workloads and thermal limits rarely allow 100 %
 //! utilization.
 
-use crate::checker::{compare_window_by, Symptom};
+use crate::checker::{compare_window_counted, Symptom};
 use crate::config::R2d3Config;
 use crate::substrate::ReliabilitySubstrate;
 use r2d3_isa::Unit;
@@ -44,6 +44,13 @@ pub struct Detection {
     pub source: RedundantSource,
     /// The disagreeing record.
     pub symptom: Symptom,
+    /// Records of the compared window that disagreed. A stage transient
+    /// strikes exactly once per window; a TSV/crossbar path fault
+    /// corrupts a large fraction of every window it carries — the
+    /// engine's link-attribution evidence.
+    pub mismatches: u32,
+    /// Records compared in the window.
+    pub compared: u32,
 }
 
 /// Coverage accounting for one epoch scan (telemetry feed).
@@ -74,23 +81,31 @@ pub fn epoch_scan<S: ReliabilitySubstrate>(
     believed_faulty: &HashSet<StageId>,
     salt: u64,
 ) -> Vec<Detection> {
-    epoch_scan_counted(sys, config, believed_faulty, salt).0
+    epoch_scan_counted(sys, config, believed_faulty, salt, &HashSet::new()).0
 }
 
 /// [`epoch_scan`] plus coverage accounting — the engine's entry point,
 /// feeding the per-epoch `scan` telemetry event.
+///
+/// `skip_pipes` excludes pipelines whose route was scrubbed this epoch:
+/// their trace windows carry misroute skew that would be misattributed
+/// to the (healthy) serving stages.
 #[must_use]
 pub fn epoch_scan_counted<S: ReliabilitySubstrate>(
     sys: &S,
     config: &R2d3Config,
     believed_faulty: &HashSet<StageId>,
     salt: u64,
+    skip_pipes: &HashSet<usize>,
 ) -> (Vec<Detection>, ScanStats) {
     let mut detections = Vec::new();
     let mut stats = ScanStats::default();
     let leftovers = sys.leftovers();
 
     for pipe in 0..sys.pipeline_count() {
+        if skip_pipes.contains(&pipe) {
+            continue;
+        }
         for unit in Unit::ALL {
             let Some(dut) = sys.stage_for(pipe, unit) else {
                 continue;
@@ -122,10 +137,19 @@ pub fn epoch_scan_counted<S: ReliabilitySubstrate>(
             if matches!(source, RedundantSource::SuspendedCore { .. }) {
                 stats.suspensions += 1;
             }
-            if let Some(symptom) =
-                compare_window_by(&window, |record| sys.replay_output(redundant, record))
-            {
-                detections.push(Detection { pipe, unit, dut, redundant, source, symptom });
+            let cmp =
+                compare_window_counted(&window, |record| sys.replay_output(redundant, record));
+            if let Some(symptom) = cmp.symptom {
+                detections.push(Detection {
+                    pipe,
+                    unit,
+                    dut,
+                    redundant,
+                    source,
+                    symptom,
+                    mismatches: cmp.mismatches,
+                    compared: cmp.compared,
+                });
             }
         }
     }

@@ -18,7 +18,7 @@ use crate::EngineError;
 use r2d3_isa::Unit;
 use r2d3_pipeline_sim::{StageId, System3d};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Events the controller emitted during an epoch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -88,6 +88,24 @@ pub enum EngineEvent {
     CheckpointCorrupt {
         /// Pipeline whose checkpoint was found corrupt.
         pipe: usize,
+    },
+    /// Route scrub found a mux-select register disagreeing with the
+    /// controller's routing intent (the pipeline was silently reading
+    /// the wrong layer) and rewrote it.
+    Misrouted {
+        /// Pipeline whose slot was misrouted.
+        pipe: usize,
+        /// Unit slot whose select register was corrupted.
+        unit: Unit,
+    },
+    /// A vertical TSV link bundle was quarantined: its symptom history
+    /// escalated with dense-majority window evidence, so the corruption
+    /// rides the path, not the stage. The link becomes a routing
+    /// constraint — repair avoids it without retiring its stage, which
+    /// stays powered and keeps serving as a replay voter.
+    LinkQuarantined {
+        /// The quarantined link (stage-coordinate addressed).
+        link: StageId,
     },
 }
 
@@ -218,6 +236,8 @@ impl<T: TelemetrySink> EngineBuilder<T> {
         Ok(R2d3Engine {
             config: self.config,
             believed_faulty: HashSet::new(),
+            quarantined_links: HashSet::new(),
+            link_evidence: HashMap::new(),
             rotation: None,
             checkpoints: None,
             history: SymptomHistory::new(),
@@ -246,6 +266,15 @@ impl<T: TelemetrySink> EngineBuilder<T> {
 pub struct R2d3Engine<S: ReliabilitySubstrate = System3d, T: TelemetrySink = NullSink> {
     config: R2d3Config,
     believed_faulty: HashSet<StageId>,
+    /// TSV link bundles quarantined as routing constraints: repair never
+    /// routes a pipeline across them, but their stages stay usable
+    /// (powered, voting in replays).
+    quarantined_links: HashSet<StageId>,
+    /// Per-stage window-density evidence accumulated alongside the
+    /// symptom history: (dense windows, total windows). Dense-majority
+    /// evidence at escalation time attributes the fault to the link
+    /// rather than the stage.
+    link_evidence: HashMap<StageId, (u64, u64)>,
     rotation: Option<RotationState>,
     checkpoints: Option<CheckpointManager<S::Checkpoint>>,
     history: SymptomHistory,
@@ -260,6 +289,8 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink + Clone> Clone for R2d3Engine<S, 
         R2d3Engine {
             config: self.config,
             believed_faulty: self.believed_faulty.clone(),
+            quarantined_links: self.quarantined_links.clone(),
+            link_evidence: self.link_evidence.clone(),
             rotation: self.rotation.clone(),
             checkpoints: self.checkpoints.clone(),
             history: self.history.clone(),
@@ -306,6 +337,8 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut believed_faulty: Vec<StageId> = self.believed_faulty.iter().copied().collect();
         believed_faulty.sort();
+        let mut quarantined_links: Vec<StageId> = self.quarantined_links.iter().copied().collect();
+        quarantined_links.sort();
         let symptom_scores =
             self.history.tracked().into_iter().map(|s| (s, self.history.score(s))).collect();
         MetricsSnapshot {
@@ -321,8 +354,11 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
             repairs: self.metrics.repairs,
             rotations: self.metrics.rotations,
             recoveries: self.metrics.recoveries,
+            reroutes: self.metrics.reroutes,
+            link_quarantines: self.metrics.link_quarantines,
             trace_dropped: self.sink.dropped(),
             believed_faulty,
+            quarantined_links,
             symptom_scores,
             checkpoints: self.checkpoints.as_ref().map(|m| *m.stats()),
             detection_latency: self.metrics.detection_latency,
@@ -337,6 +373,13 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
     #[must_use]
     pub fn is_believed_faulty(&self, stage: StageId) -> bool {
         self.believed_faulty.contains(&stage)
+    }
+
+    /// Whether the controller has quarantined `link`'s vertical TSV
+    /// bundle as a routing constraint (the stage itself stays usable).
+    #[must_use]
+    pub fn is_link_quarantined(&self, link: StageId) -> bool {
+        self.quarantined_links.contains(&link)
     }
 
     /// The installed telemetry sink.
@@ -424,9 +467,55 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
         }
         let mut events = Vec::new();
 
+        // --- route scrub --------------------------------------------------
+        // Compare every slot's select-register readback against routing
+        // intent before trusting any trace: a mux-select SEU silently
+        // feeds a pipeline the wrong layer's stage, and the records such
+        // a slot produced this epoch carry misroute skew that must not be
+        // attributed to the (healthy) serving stages.
+        let mut rerouted_pipes: HashSet<usize> = HashSet::new();
+        if self.config.route_scrub {
+            for p in 0..sys.pipeline_count() {
+                for u in Unit::ALL {
+                    let Some(intent) = sys.stage_for(p, u) else {
+                        continue;
+                    };
+                    let readback = sys.route_readback(p, u);
+                    if readback != Some(intent.layer) {
+                        sys.scrub_route(p, u);
+                        self.metrics.reroutes += 1;
+                        events.push(EngineEvent::Misrouted { pipe: p, unit: u });
+                        self.emit(
+                            now,
+                            TelemetryEvent::Misroute {
+                                pipe: p as u32,
+                                expected: intent.layer as u32,
+                                actual: readback.map_or(u32::MAX, |l| l as u32),
+                            },
+                        );
+                        rerouted_pipes.insert(p);
+                    }
+                }
+            }
+            // Whatever the misrouted slot delivered is already in
+            // architectural state: recover the pipe now, before the
+            // detection scan and any checkpoint commit.
+            for p in 0..sys.pipeline_count() {
+                if rerouted_pipes.contains(&p) && sys.pipeline_corrupted(p) {
+                    let rolled_back = self.recover_pipe(sys, p, &mut events)?;
+                    events.push(EngineEvent::Recovered { pipe: p, rolled_back });
+                }
+            }
+        }
+
         // --- detection ---------------------------------------------------
-        let (detections, scan) =
-            epoch_scan_counted(sys, &self.config, &self.believed_faulty, self.epochs);
+        let (detections, scan) = epoch_scan_counted(
+            sys,
+            &self.config,
+            &self.believed_faulty,
+            self.epochs,
+            &rerouted_pipes,
+        );
         self.metrics.untested += u64::from(scan.untested);
         self.metrics.suspensions += u64::from(scan.suspensions);
         self.emit(
@@ -459,6 +548,11 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
         }
         if let Some(esc) = self.config.escalation {
             self.history.decay(&esc);
+            // Window-density evidence rides the symptom history: once a
+            // stage's counter has fully decayed it can never escalate
+            // from that evidence, so the tallies are pruned alongside.
+            let history = &self.history;
+            self.link_evidence.retain(|s, _| history.score(*s) > 0);
         }
 
         // --- checkpoint commit (only after a clean scan) -------------------
@@ -589,10 +683,35 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
                 now,
                 TelemetryEvent::Verdict { dut: d.dut, verdict: VerdictKind::Transient, replays: 2 },
             );
+            // Window-density attribution: a genuine stage transient is a
+            // consumed one-shot — exactly one mismatch in its window — while
+            // a TSV/crossbar path fault corrupts a large fraction of every
+            // transfer it carries (and still replays clean, because the
+            // replay network bypasses the TSVs). Tally which shape each
+            // "transient" window had; the majority decides, at escalation
+            // time, whether the link or the stage is quarantined.
+            let dense = d.mismatches >= 2.max(d.compared / 8);
+            let evidence = self.link_evidence.entry(d.dut).or_insert((0, 0));
+            evidence.1 += 1;
+            if dense {
+                evidence.0 += 1;
+            }
             if let Some(esc) = self.config.escalation {
                 if self.history.record(d.dut, &esc) {
                     let score = self.history.score(d.dut);
                     self.history.forget(d.dut);
+                    let (dense_n, total_n) = self.link_evidence.remove(&d.dut).unwrap_or((0, 0));
+                    if dense_n > 0 && dense_n * 2 >= total_n {
+                        // Dense-majority windows: the corruption rides the
+                        // vertical link, not the stage (whose replays are
+                        // clean). Quarantine the link as a routing
+                        // constraint — the stage stays powered, keeps
+                        // voting, and repair simply routes around the span.
+                        self.metrics.link_quarantines += 1;
+                        events.push(EngineEvent::LinkQuarantined { link: d.dut });
+                        self.emit(now, TelemetryEvent::LinkQuarantine { link: d.dut });
+                        return self.quarantined_links.insert(d.dut);
+                    }
                     self.metrics.escalations += 1;
                     events.push(EngineEvent::Escalated { stage: d.dut });
                     self.emit(now, TelemetryEvent::Escalated { stage: d.dut, score });
@@ -697,7 +816,11 @@ impl<S: ReliabilitySubstrate, T: TelemetrySink> R2d3Engine<S, T> {
         let layers = sys.layers();
         let pipelines = sys.pipeline_count();
         let believed = self.believed_faulty.clone();
-        let usable = move |s: StageId| !believed.contains(&s);
+        // A quarantined link is a routing constraint, not a dead stage:
+        // its stage cannot *serve* (data would ride the broken vertical
+        // span) but stays powered and available as a replay voter.
+        let links = self.quarantined_links.clone();
+        let usable = move |s: StageId| !believed.contains(&s) && !links.contains(&s);
 
         let kind = if rotation { self.config.policy } else { PolicyKind::Static };
         let rotation_state = self.rotation.get_or_insert_with(|| RotationState::new(layers));

@@ -5,7 +5,8 @@ use crate::checker::stage_output;
 use crate::EngineError;
 use r2d3_isa::Unit;
 use r2d3_pipeline_sim::{
-    ActivityStats, FaultEffect, PipelineCheckpoint, StageHealth, StageId, StageRecord, System3d,
+    ActivityStats, FaultEffect, LinkFault, PipelineCheckpoint, StageHealth, StageId, StageRecord,
+    System3d,
 };
 
 impl ReliabilitySubstrate for System3d {
@@ -112,6 +113,22 @@ impl ReliabilitySubstrate for System3d {
 
     fn corrupt_checkpoint(checkpoint: &mut PipelineCheckpoint, seed: u64) {
         checkpoint.corrupt_bit(seed);
+    }
+
+    fn inject_link_fault(&mut self, link: StageId, fault: LinkFault) -> Result<(), EngineError> {
+        self.fabric_mut().inject_link_fault(link.layer, link.unit, fault).map_err(EngineError::Sim)
+    }
+
+    fn route_readback(&self, pipe: usize, unit: Unit) -> Option<usize> {
+        self.fabric().route_readback(pipe, unit)
+    }
+
+    fn corrupt_route(&mut self, pipe: usize, unit: Unit, layer: usize) -> Result<(), EngineError> {
+        self.fabric_mut().override_route(pipe, unit, layer).map_err(EngineError::Sim)
+    }
+
+    fn scrub_route(&mut self, pipe: usize, unit: Unit) {
+        self.fabric_mut().scrub_route(pipe, unit);
     }
 
     fn stats(&self) -> &ActivityStats {

@@ -21,6 +21,7 @@ mod behavioral;
 mod netlist;
 
 pub use netlist::{GateFault, NetlistCheckpoint, NetlistSubstrate, NetlistSubstrateConfig};
+pub use r2d3_pipeline_sim::LinkFault;
 
 use crate::EngineError;
 use r2d3_isa::Unit;
@@ -149,6 +150,32 @@ pub trait ReliabilitySubstrate {
     /// campaign's model of checkpoint storage rot between commit and
     /// recover. Ground-truth corruption only; the engine never calls it.
     fn corrupt_checkpoint(checkpoint: &mut Self::Checkpoint, seed: u64);
+    /// Arms a fault on the vertical TSV link bundle of `link`'s stage
+    /// (ground truth). Link faults corrupt delivered values in flight —
+    /// the stage computes correctly, the consumer and the snooped trace
+    /// see the corruption — while the engine's replay network bypasses
+    /// the TSVs, so replays come back clean.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for out-of-range links.
+    fn inject_link_fault(&mut self, link: StageId, fault: LinkFault) -> Result<(), EngineError>;
+    /// The layer `pipe`'s `unit` mux-select *hardware* actually reads —
+    /// normally the assignment ([`stage_for`](Self::stage_for)'s layer),
+    /// but a select-register upset makes the two disagree. The engine's
+    /// route scrub compares this readback against its intent.
+    fn route_readback(&self, pipe: usize, unit: Unit) -> Option<usize>;
+    /// Upsets the mux-select register of `pipe`'s `unit` slot to read
+    /// `layer` (ground-truth SEU in the crossbar configuration; the
+    /// engine only learns of it through readback or data corruption).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown coordinates.
+    fn corrupt_route(&mut self, pipe: usize, unit: Unit, layer: usize) -> Result<(), EngineError>;
+    /// Rewrites `pipe`'s `unit` select register from the assignment —
+    /// the controller's route-scrub repair for select upsets.
+    fn scrub_route(&mut self, pipe: usize, unit: Unit);
     /// Per-stage busy-cycle accounting.
     fn stats(&self) -> &ActivityStats;
     /// Zeroes the busy-cycle accounting.

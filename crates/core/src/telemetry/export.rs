@@ -75,6 +75,12 @@ fn event_fields(event: &TelemetryEvent, out: &mut String) {
         TelemetryEvent::Rotate { window } => {
             let _ = write!(out, "\"window\": {window}");
         }
+        TelemetryEvent::Misroute { pipe, expected, actual } => {
+            let _ = write!(out, "\"pipe\": {pipe}, \"expected\": {expected}, \"actual\": {actual}");
+        }
+        TelemetryEvent::LinkQuarantine { link } => {
+            let _ = write!(out, "\"link\": \"{}\"", super::stage_label(*link));
+        }
         TelemetryEvent::EpochEnd { events } => {
             let _ = write!(out, "\"events\": {events}");
         }
@@ -88,7 +94,8 @@ fn event_tid(event: &TelemetryEvent) -> u32 {
         TelemetryEvent::Exec { pipe, .. }
         | TelemetryEvent::Detect { pipe, .. }
         | TelemetryEvent::CheckpointVerify { pipe, .. }
-        | TelemetryEvent::Recovery { pipe, .. } => *pipe,
+        | TelemetryEvent::Recovery { pipe, .. }
+        | TelemetryEvent::Misroute { pipe, .. } => *pipe,
         _ => 0,
     }
 }

@@ -159,6 +159,11 @@ pub struct Metrics {
     pub rotations: u64,
     /// Pipeline recoveries (rollbacks + restarts).
     pub recoveries: u64,
+    /// Mux-select registers found disagreeing with routing intent and
+    /// rewritten by the route scrub.
+    pub reroutes: u64,
+    /// TSV link bundles quarantined as routing constraints.
+    pub link_quarantines: u64,
     /// Checkpoints committed.
     pub checkpoint_commits: u64,
     /// Checkpoint digests rejected during recovery.
@@ -189,6 +194,8 @@ impl Metrics {
             repairs: 0,
             rotations: 0,
             recoveries: 0,
+            reroutes: 0,
+            link_quarantines: 0,
             checkpoint_commits: 0,
             checkpoint_corruptions: 0,
             detection_latency: Histogram::new(DETECTION_LATENCY_BOUNDS),
@@ -234,12 +241,19 @@ pub struct MetricsSnapshot {
     pub rotations: u64,
     /// Pipeline recoveries.
     pub recoveries: u64,
+    /// Mux-select registers rewritten by the route scrub.
+    pub reroutes: u64,
+    /// TSV link bundles quarantined as routing constraints.
+    pub link_quarantines: u64,
     /// Telemetry records the installed sink lost (ring overwrite or
     /// stream overflow under a drop policy): nonzero means the trace is
     /// truncated even though the metrics here are complete.
     pub trace_dropped: u64,
     /// Stages believed permanently faulty, sorted.
     pub believed_faulty: Vec<StageId>,
+    /// Links quarantined as routing constraints (their stages stay
+    /// healthy and still vote), sorted.
+    pub quarantined_links: Vec<StageId>,
     /// Nonzero decaying symptom scores, sorted by stage, in 1/1024
     /// symptom units.
     pub symptom_scores: Vec<(StageId, u64)>,
@@ -273,9 +287,15 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "  \"repairs\": {},", self.repairs);
         let _ = writeln!(out, "  \"rotations\": {},", self.rotations);
         let _ = writeln!(out, "  \"recoveries\": {},", self.recoveries);
+        let _ = writeln!(out, "  \"reroutes\": {},", self.reroutes);
+        let _ = writeln!(out, "  \"link_quarantines\": {},", self.link_quarantines);
         let _ = writeln!(out, "  \"trace_dropped\": {},", self.trace_dropped);
         out.push_str("  \"believed_faulty\": [");
         for (i, s) in self.believed_faulty.iter().enumerate() {
+            let _ = write!(out, "{}\"{}\"", if i == 0 { "" } else { ", " }, stage_label(*s));
+        }
+        out.push_str("],\n  \"quarantined_links\": [");
+        for (i, s) in self.quarantined_links.iter().enumerate() {
             let _ = write!(out, "{}\"{}\"", if i == 0 { "" } else { ", " }, stage_label(*s));
         }
         out.push_str("],\n  \"symptom_scores\": {");
@@ -373,8 +393,11 @@ mod tests {
             repairs: 1,
             rotations: 0,
             recoveries: 1,
+            reroutes: 0,
+            link_quarantines: 0,
             trace_dropped: 0,
             believed_faulty: vec![StageId::new(2, Unit::Exu)],
+            quarantined_links: vec![],
             symptom_scores: vec![(StageId::new(1, Unit::Lsu), 1024)],
             checkpoints: None,
             detection_latency: Histogram::new(DETECTION_LATENCY_BOUNDS),

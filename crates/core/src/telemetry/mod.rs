@@ -169,6 +169,24 @@ pub enum TelemetryEvent {
         /// Calibration-window index.
         window: u64,
     },
+    /// Route scrub found a crossbar select register disagreeing with the
+    /// controller's routing intent and rewrote it.
+    Misroute {
+        /// Pipeline whose slot was misrouted.
+        pipe: u32,
+        /// Layer the controller intended the slot to read.
+        expected: u32,
+        /// Layer the select register actually read (`u32::MAX` when the
+        /// readback was empty).
+        actual: u32,
+    },
+    /// A vertical TSV link bundle was quarantined as a routing
+    /// constraint: repair avoids it without retiring its (healthy)
+    /// stage.
+    LinkQuarantine {
+        /// The quarantined link (stage-coordinate addressed).
+        link: StageId,
+    },
     /// End of one `run_epoch` call.
     EpochEnd {
         /// [`crate::engine::EngineEvent`]s the epoch produced.
@@ -192,12 +210,14 @@ impl TelemetryEvent {
             TelemetryEvent::Recovery { .. } => "recovery",
             TelemetryEvent::Reform { .. } => "reform",
             TelemetryEvent::Rotate { .. } => "rotate",
+            TelemetryEvent::Misroute { .. } => "misroute",
+            TelemetryEvent::LinkQuarantine { .. } => "link_quarantine",
             TelemetryEvent::EpochEnd { .. } => "epoch_end",
         }
     }
 
     /// Every event name the exporters can emit, in schema order.
-    pub const NAMES: [&'static str; 12] = [
+    pub const NAMES: [&'static str; 14] = [
         "exec",
         "scan",
         "detect",
@@ -209,6 +229,8 @@ impl TelemetryEvent {
         "recovery",
         "reform",
         "rotate",
+        "misroute",
+        "link_quarantine",
         "epoch_end",
     ];
 }
@@ -435,6 +457,8 @@ mod tests {
             TelemetryEvent::Recovery { pipe: 0, rolled_back: true },
             TelemetryEvent::Reform { formed: 0, ops: 0, churn: 0, rotation: false },
             TelemetryEvent::Rotate { window: 1 },
+            TelemetryEvent::Misroute { pipe: 0, expected: 1, actual: 2 },
+            TelemetryEvent::LinkQuarantine { link: StageId::new(0, Unit::Exu) },
             TelemetryEvent::EpochEnd { events: 0 },
         ];
         let names: Vec<&str> = sample.iter().map(TelemetryEvent::name).collect();

@@ -50,7 +50,7 @@ pub mod trace;
 pub mod vcd;
 
 pub use cache::{Cache, CacheConfig, MemoryHierarchy};
-pub use fabric::Fabric;
+pub use fabric::{Fabric, LinkFault};
 pub use pipeline::{LogicalPipeline, PipelineCheckpoint};
 pub use predictor::BranchPredictor;
 pub use stage::{FaultEffect, StageHealth, StageId};

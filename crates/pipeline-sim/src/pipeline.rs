@@ -222,6 +222,13 @@ impl LogicalPipeline {
         self.tainted
     }
 
+    /// Marks architectural state as fault-corrupted from outside the
+    /// pipeline — the system calls this when the vertical interconnect
+    /// corrupts a value this pipeline consumed in flight.
+    pub fn mark_tainted(&mut self) {
+        self.tainted = true;
+    }
+
     /// Local cycle counter.
     #[must_use]
     pub fn cycles(&self) -> u64 {

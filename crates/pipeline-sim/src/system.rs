@@ -257,6 +257,7 @@ impl System3d {
             stage_of[unit.index()] = self.fabric.stage_for(pipe, unit);
         }
         let complete = stage_of.iter().all(Option::is_some);
+        let mut link_corrupt = false;
 
         loop {
             let p = &mut self.pipelines[pipe];
@@ -277,12 +278,21 @@ impl System3d {
 
             let traces = &mut self.traces;
             let stats = &mut self.stats;
+            let fabric = &mut self.fabric;
             let result = p.step(
                 &mut effects,
                 &mut self.l2,
                 &self.config.hierarchy,
-                |unit, rec| {
+                |unit, mut rec| {
                     let sid = stage_of[unit.index()].expect("complete pipeline");
+                    // Every stage output crosses the vertical interconnect
+                    // before the consumer (and the trace ring, which snoops
+                    // the delivered bundle) sees it.
+                    let delivered = fabric.deliver(pipe, unit, rec.actual_output);
+                    if delivered != rec.actual_output {
+                        rec.actual_output = delivered;
+                        link_corrupt = true;
+                    }
                     traces[sid.flat_index()].push(rec);
                 },
                 |unit, busy| {
@@ -299,6 +309,12 @@ impl System3d {
                 }
             }
             result?;
+        }
+        if link_corrupt {
+            // The consumer latched corrupted bundles: downstream
+            // architectural state is poisoned even though every stage
+            // computed correctly.
+            self.pipelines[pipe].mark_tainted();
         }
         Ok(())
     }
@@ -421,6 +437,23 @@ mod tests {
         // learns about them through diagnosis.
         sys.inject_fault(StageId::new(7, Unit::Ifu), FaultEffect { bit: 0, stuck: false }).unwrap();
         assert_eq!(sys.leftovers().len(), 10);
+    }
+
+    #[test]
+    fn link_fault_corrupts_delivery_and_taints_consumer() {
+        use crate::fabric::LinkFault;
+        let mut sys = System3d::new(&SystemConfig::default());
+        sys.load_program(2, gemv(6, 6, 3).program().clone()).unwrap();
+        sys.fabric_mut()
+            .inject_link_fault(2, Unit::Exu, LinkFault::Stuck { mask: 1 << 30, pattern: 1 << 30 })
+            .unwrap();
+        sys.run(100_000).unwrap();
+        let trace = sys.stage_trace(StageId::new(2, Unit::Exu));
+        let corrupted = trace.iter().filter(|r| r.golden_output != r.actual_output).count();
+        assert!(corrupted > 0, "stuck TSV must corrupt delivered records");
+        assert!(sys.pipeline(2).unwrap().tainted(), "consumer state is poisoned");
+        // The stage itself is healthy: other pipelines are unaffected.
+        assert_eq!(sys.health(StageId::new(2, Unit::Exu)), StageHealth::Healthy);
     }
 
     #[test]
