@@ -5,41 +5,28 @@
 //! `run`/`inject`/`campaign`/`atpg`/`lifetime`/`thermal`/`trace`.
 
 use crate::args::{parse_substrate, Command, SubstrateChoice};
+use r2d3_core::api::{
+    execute_local, render_outcome, run_inject_with, standard_system, JobKind, JobOutcome, JobSpec,
+};
+use r2d3_core::campaign::SubstrateKind;
 use r2d3_core::engine::{EngineEvent, R2d3Engine};
-use r2d3_core::lifetime::{LifetimeConfig, LifetimeRunState, LifetimeSim};
-use r2d3_core::policy::PolicyKind;
+use r2d3_core::lifetime::{LifetimeRunState, LifetimeSim};
 use r2d3_core::substrate::{NetlistSubstrate, NetlistSubstrateConfig, ReliabilitySubstrate};
 use r2d3_core::telemetry::{
     chrome_trace, json_lines, lifetime_counter_trace, validate_chrome_trace, validate_json_lines,
     ChromeTrace, OverflowPolicy, RingSink, StreamSink, StreamStats, TelemetryRecord,
 };
-use r2d3_isa::kernels::{gemv, KernelKind};
 use r2d3_isa::text::parse_program;
 use r2d3_isa::Unit;
-use r2d3_pipeline_sim::{FaultEffect, StageId, System3d, SystemConfig};
+use r2d3_pipeline_sim::{StageId, System3d, SystemConfig};
 use r2d3_thermal::{Floorplan, GridConfig, PowerMap, ThermalGrid};
 use std::fmt::Write as _;
 
 pub type CliResult = Result<(), Box<dyn std::error::Error>>;
 
 fn parse_unit(token: &str) -> Result<Unit, String> {
-    Unit::ALL
-        .iter()
-        .copied()
-        .find(|u| u.name().eq_ignore_ascii_case(token))
-        .ok_or_else(|| format!("unknown unit `{token}` (IFU/EXU/LSU/TLU/FFU)"))
-}
-
-/// Builds the 6-pipeline behavioral system with the standard GEMV
-/// workload loaded everywhere (the canonical detection traffic).
-fn standard_system(seed: u64) -> Result<System3d, Box<dyn std::error::Error>> {
-    let config = SystemConfig { pipelines: 6, ..Default::default() };
-    let mut sys = System3d::new(&config);
-    let kernel = gemv(32, 32, seed);
-    for p in 0..6 {
-        sys.load_program(p, kernel.program().clone())?;
-    }
-    Ok(sys)
+    r2d3_core::api::parse_unit(token)
+        .map_err(|_| format!("unknown unit `{token}` (IFU/EXU/LSU/TLU/FFU)"))
 }
 
 /// `r2d3 run <file.s>`
@@ -110,93 +97,65 @@ pub fn inject(args: &[String]) -> CliResult {
         .parse()
         .map_err(|_| format!("invalid layer `{}` (expected 0..8)", p.positional(1)))?;
     let bit: u8 = p.get_or("bit", 0)?;
-    let seed: u64 = p.get_or("seed", 7)?;
-    let opts = DriveOpts {
-        epochs: p.get_or("epochs", 64)?,
-        metrics_out: p.get("metrics-out"),
-        trace_out: p.get("trace-out"),
+    let substrate = match parse_substrate(p.get("substrate"), SubstrateChoice::Behavioral, false)? {
+        SubstrateChoice::Behavioral => SubstrateKind::Behavioral,
+        SubstrateChoice::Netlist => SubstrateKind::Netlist,
+        SubstrateChoice::Both => unreachable!("rejected by parse_substrate"),
     };
+    let spec = JobSpec::inject(unit, layer)
+        .bit(bit)
+        .substrate(substrate)
+        .seed(p.get_or("seed", 7)?)
+        .epochs(p.get_or("epochs", 64)?)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let JobKind::Inject(ispec) = &spec.kind else { unreachable!("built as inject") };
+    let epochs = ispec.epochs;
     let victim = StageId::new(layer, unit);
 
-    match parse_substrate(p.get("substrate"), SubstrateChoice::Behavioral, false)? {
-        SubstrateChoice::Behavioral => {
-            let mut sys = standard_system(seed)?;
-            sys.inject_fault(victim, FaultEffect { bit, stuck: true })?;
-            println!("behavioral substrate: stuck-at-1 (bit {bit}) into {victim}; running epochs…");
-            drive_repair(&mut sys, victim, &opts)
-        }
-        SubstrateChoice::Netlist => {
-            let mut sub = NetlistSubstrate::new(&NetlistSubstrateConfig::default());
-            let fault = sub.output_fault(unit, bit as usize, true);
-            sub.inject_fault(victim, fault)?;
-            println!(
-                "netlist substrate: stuck-at-1 on net {} of {victim}'s {} netlist; running epochs…",
-                fault.net.index(),
-                unit
-            );
-            drive_repair(&mut sub, victim, &opts)
-        }
-        SubstrateChoice::Both => unreachable!("rejected by parse_substrate"),
-    }
-}
-
-/// Telemetry destinations for an engine-driving command.
-struct DriveOpts<'a> {
-    epochs: u64,
-    metrics_out: Option<&'a str>,
-    trace_out: Option<&'a str>,
-}
-
-/// Drives the engine's detect → diagnose → repair loop on any substrate,
-/// narrating events until the victim stage is diagnosed, then writes the
-/// requested telemetry artifacts.
-fn drive_repair<S: ReliabilitySubstrate>(
-    sys: &mut S,
-    victim: StageId,
-    opts: &DriveOpts,
-) -> CliResult {
-    let mut engine = R2d3Engine::builder().telemetry(RingSink::new()).build()?;
-    let mut diagnosed = false;
-    for epoch in 1..=opts.epochs {
-        let events = engine.run_epoch(sys)?;
-        for e in &events {
-            match e {
-                EngineEvent::Symptom { dut, pipe } => {
-                    println!("epoch {epoch:>2}: symptom on {dut} (pipeline {pipe})");
-                }
-                EngineEvent::Permanent { stage } => {
-                    println!("epoch {epoch:>2}: permanent fault localized at {stage}");
-                }
-                EngineEvent::Repaired { pipelines_formed } => {
-                    println!("epoch {epoch:>2}: repaired — {pipelines_formed} pipelines formed");
-                }
-                other => println!("epoch {epoch:>2}: {other:?}"),
+    let out = run_inject_with(
+        ispec,
+        |net| match net {
+            None => println!(
+                "behavioral substrate: stuck-at-1 (bit {bit}) into {victim}; running epochs…"
+            ),
+            Some(net) => println!(
+                "netlist substrate: stuck-at-1 on net {net} of {victim}'s {unit} netlist; \
+                 running epochs…"
+            ),
+        },
+        |epoch, e| match e {
+            EngineEvent::Symptom { dut, pipe } => {
+                println!("epoch {epoch:>2}: symptom on {dut} (pipeline {pipe})");
             }
-        }
-        if engine.is_believed_faulty(victim) {
-            diagnosed = true;
-            break;
-        }
-    }
+            EngineEvent::Permanent { stage } => {
+                println!("epoch {epoch:>2}: permanent fault localized at {stage}");
+            }
+            EngineEvent::Repaired { pipelines_formed } => {
+                println!("epoch {epoch:>2}: repaired — {pipelines_formed} pipelines formed");
+            }
+            other => println!("epoch {epoch:>2}: {other:?}"),
+        },
+    )?;
 
-    let metrics = engine.metrics();
-    if diagnosed {
+    let metrics = &out.metrics;
+    if out.diagnosed {
         println!("\ndiagnosis complete; believed-faulty = {:?}", metrics.believed_faulty);
-        if let Some(stats) = metrics.checkpoints {
+        if let Some(stats) = &metrics.checkpoints {
             println!(
                 "recovery: {} rollback(s), {} restart(s), {} instructions of work lost",
                 stats.restores, stats.restarts, stats.lost_instructions
             );
         }
     } else {
-        println!("fault did not manifest within {} epochs (data-dependent masking)", opts.epochs);
+        println!("fault did not manifest within {epochs} epochs (data-dependent masking)");
     }
-    if let Some(path) = opts.metrics_out {
+    if let Some(path) = p.get("metrics-out") {
         std::fs::write(path, metrics.to_json())?;
         eprintln!("metrics written to {path}");
     }
-    if let Some(path) = opts.trace_out {
-        std::fs::write(path, chrome_trace(&engine.telemetry().records(), sys.name()))?;
+    if let Some(path) = p.get("trace-out") {
+        std::fs::write(path, chrome_trace(&out.records, out.substrate))?;
         eprintln!("trace written to {path} (load in Perfetto)");
     }
     Ok(())
@@ -205,8 +164,8 @@ fn drive_repair<S: ReliabilitySubstrate>(
 /// `r2d3 campaign`
 pub fn campaign(args: &[String]) -> CliResult {
     use r2d3_core::campaign::{
-        run_campaign, run_campaign_durable, run_campaign_traced, CampaignConfig, CampaignState,
-        ShardReport, ShardSpec, SubstrateKind,
+        run_campaign, run_campaign_durable, run_campaign_traced, CampaignState, ShardReport,
+        ShardSpec,
     };
 
     if args.first().map(String::as_str) == Some("merge") {
@@ -242,8 +201,22 @@ pub fn campaign(args: &[String]) -> CliResult {
         SubstrateChoice::Netlist => vec![SubstrateKind::Netlist],
         SubstrateChoice::Both => vec![SubstrateKind::Behavioral, SubstrateKind::Netlist],
     };
-    let netlist_stages = p.get("core").map(load_core_stages).transpose()?;
-    if let Some(stages) = &netlist_stages {
+    // Everything the flags describe funnels into one JobSpec — the same
+    // description `r2d3 submit campaign` puts on the wire — and the
+    // config comes out of its `to_config()`, so batch and served runs
+    // cannot assemble different campaigns from the same parameters.
+    let mut builder = JobSpec::campaign()
+        .seed(p.get_or("seed", 0xCA3A)?)
+        .scenarios(p.get_or("scenarios", if smoke { 27 } else { 256 })?)
+        .substrates(substrates)
+        .kinds(parse_kinds(p.get("kinds"))?);
+    if let Some(core) = p.get("core") {
+        builder = builder.core(core);
+    }
+    let spec = builder.build().map_err(|e| e.to_string())?;
+    let JobKind::Campaign(cspec) = &spec.kind else { unreachable!("built as campaign") };
+    let config = cspec.to_config()?;
+    if let Some(stages) = &config.netlist_stages {
         let nl = stages[0].netlist();
         eprintln!(
             "core: {} gates, {} outputs per stage (imported netlist on all units)",
@@ -251,15 +224,6 @@ pub fn campaign(args: &[String]) -> CliResult {
             nl.outputs().len()
         );
     }
-    let kinds = parse_kinds(p.get("kinds"))?;
-    let config = CampaignConfig {
-        seed: p.get_or("seed", 0xCA3A)?,
-        scenarios_per_substrate: p.get_or("scenarios", if smoke { 27 } else { 256 })?,
-        substrates,
-        netlist_stages,
-        kinds,
-        ..Default::default()
-    };
 
     let shard = p.get("shard").map(ShardSpec::parse).transpose()?;
     let snapshot_path = p.get("snapshot");
@@ -347,6 +311,8 @@ pub fn campaign(args: &[String]) -> CliResult {
         eprintln!("  trace written to {path} (load in Perfetto)");
         report
     } else {
+        // `execute_local`'s campaign arm, with the config already built
+        // from the spec above (avoids re-reading `--core`).
         run_campaign(&config)
     };
 
@@ -392,7 +358,7 @@ fn campaign_merge(args: &[String]) -> CliResult {
 }
 
 /// Resolves `--kinds a,b,c` into scenario-kind ids (all kinds when absent).
-fn parse_kinds(
+pub(crate) fn parse_kinds(
     list: Option<&str>,
 ) -> Result<Vec<r2d3_core::campaign::KindId>, Box<dyn std::error::Error>> {
     use r2d3_core::campaign::{KindId, KIND_NAMES};
@@ -672,32 +638,6 @@ pub fn import(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// Loads a `campaign --core` file — either the text netlist format
-/// emitted by `r2d3 import` (used as-is) or a raw Yosys-JSON core (which
-/// gets the full import pipeline: validate + rewrite) — and maps the one
-/// core onto every pipeline-unit stage.
-fn load_core_stages(
-    path: &str,
-) -> Result<Vec<r2d3_netlist::stages::StageNetlist>, Box<dyn std::error::Error>> {
-    use r2d3_netlist::stages::StageNetlist;
-    let text = std::fs::read_to_string(path)?;
-    let netlist = if text.trim_start().starts_with('{') {
-        let core =
-            r2d3_netlist::parse_yosys_json(&text, None).map_err(|e| format!("{path}: {e}"))?;
-        r2d3_netlist::rewrite(&core.netlist).map_err(|e| format!("{path}: {e}"))?.netlist
-    } else {
-        r2d3_netlist::text_parse(&text).map_err(|e| format!("{path}: {e}"))?
-    };
-    let core_outputs = netlist.outputs().len();
-    Unit::ALL
-        .iter()
-        .map(|&u| {
-            StageNetlist::from_netlist(u, netlist.clone(), core_outputs)
-                .map_err(|e| format!("{path}: {e}").into())
-        })
-        .collect()
-}
-
 /// `r2d3 atpg`
 pub fn atpg(args: &[String]) -> CliResult {
     use r2d3_atpg::campaign::{run_campaign, CampaignConfig};
@@ -764,29 +704,26 @@ pub fn lifetime(args: &[String]) -> CliResult {
     let Some(p) = cmd.parse(args)? else {
         return Ok(());
     };
-    let policy = match p.get("policy").unwrap_or("pro") {
-        "norecon" => PolicyKind::NoRecon,
-        "static" => PolicyKind::Static,
-        "lite" => PolicyKind::Lite,
-        "pro" => PolicyKind::Pro,
-        other => return Err(format!("unknown policy `{other}` (norecon|static|lite|pro)").into()),
-    };
+    let policy_token = p.get("policy").unwrap_or("pro");
+    let policy = r2d3_core::api::parse_policy(policy_token)
+        .map_err(|_| format!("unknown policy `{policy_token}` (norecon|static|lite|pro)"))?;
     let months: usize = p.get_or("months", 96)?;
-    let workload = match p.get("workload").unwrap_or("gemm") {
-        "gemm" => KernelKind::Gemm,
-        "gemv" => KernelKind::Gemv,
-        "fft" => KernelKind::Fft,
-        other => return Err(format!("unknown workload `{other}` (gemm|gemv|fft)").into()),
-    };
+    let workload_token = p.get("workload").unwrap_or("gemm");
+    let workload = r2d3_core::api::parse_workload(workload_token)
+        .map_err(|_| format!("unknown workload `{workload_token}` (gemm|gemv|fft)"))?;
 
-    let config = LifetimeConfig {
-        months,
-        replicas: 6,
-        mttf_trials: 200,
-        seed: p.get_or("seed", 0x52D3)?,
-        grid: GridConfig { nx: 8, ny: 6, ..Default::default() },
-        ..LifetimeConfig::new(policy, workload.core_demand_fraction(), workload.activity_weight())
-    };
+    // One JobSpec describes the run — the same description `r2d3 submit
+    // lifetime` sends — and `to_config()` yields the exact config this
+    // command used to assemble by hand.
+    let spec = JobSpec::lifetime()
+        .policy(policy)
+        .months(months)
+        .workload(workload)
+        .seed(p.get_or("seed", 0x52D3)?)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let JobKind::Lifetime(lspec) = &spec.kind else { unreachable!("built as lifetime") };
+    let config = lspec.to_config();
     let snapshot_path = p.get("snapshot");
     let snapshot_every: usize = p.get_or("snapshot-every", 12)?.max(1);
     let stop_after: Option<usize> = match p.get("stop-after") {
@@ -831,8 +768,13 @@ pub fn lifetime(args: &[String]) -> CliResult {
             }
         }
     } else {
-        LifetimeSim::new(config).run()?
+        let JobOutcome::Lifetime(out) = execute_local(&spec)? else {
+            unreachable!("lifetime spec executes to a lifetime outcome")
+        };
+        *out
     };
+    let outcome = JobOutcome::Lifetime(Box::new(out));
+    let JobOutcome::Lifetime(out) = &outcome else { unreachable!() };
     let s = &out.series;
     println!("month   ΔVth(V)   MTTF(mo)   IPC   hottest(°C)");
     for m in (0..months).step_by((months / 8).max(1)).chain([months - 1]) {
@@ -842,17 +784,9 @@ pub fn lifetime(args: &[String]) -> CliResult {
         );
     }
     if let Some(path) = p.get("metrics-out") {
-        let last = months - 1;
-        let mut json = String::from("{\n");
-        let _ = writeln!(json, "  \"policy\": \"{policy}\",");
-        let _ = writeln!(json, "  \"months\": {months},");
-        let _ = writeln!(json, "  \"final_max_vth\": {},", s.max_vth[last]);
-        let _ = writeln!(json, "  \"final_mttf_months\": {},", s.mttf_months[last]);
-        let _ = writeln!(json, "  \"final_norm_ipc\": {},", s.norm_ipc[last]);
-        let _ = writeln!(json, "  \"final_active_pipelines\": {},", s.active_pipelines[last]);
-        let _ = writeln!(json, "  \"final_hottest_layer_temp\": {}", s.hottest_layer_temp[last]);
-        json.push_str("}\n");
-        std::fs::write(path, json)?;
+        // Rendered by the shared executor so the document is the same
+        // bytes a served lifetime job's report carries.
+        std::fs::write(path, render_outcome(&spec, &outcome))?;
         eprintln!("metrics written to {path}");
     }
     if let Some(path) = p.get("trace-out") {

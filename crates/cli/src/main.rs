@@ -21,6 +21,12 @@
 //!                                              8-year lifetime trajectory
 //! r2d3 thermal [--active N]                    steady-state stack heat map
 //! r2d3 info                                    physical design summary
+//! r2d3 serve [--listen ADDR] [--state-dir DIR] [--workers N] [--quota LIST]
+//!                                              campaign-as-a-service job daemon
+//! r2d3 submit campaign|lifetime|inject ...     submit a job to a daemon
+//! r2d3 status [job] [--result-out FILE]        list daemon jobs / fetch a report
+//! r2d3 watch <job> [--overflow block|drop]     stream a job's events to completion
+//! r2d3 cancel <job>                            cancel a queued or running job
 //! ```
 //!
 //! Every subcommand also answers `--help` with its full flag list.
@@ -29,6 +35,7 @@ use std::process::ExitCode;
 
 mod args;
 mod commands;
+mod serve_cmds;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +49,11 @@ fn main() -> ExitCode {
         Some("lifetime") => commands::lifetime(&args[1..]),
         Some("thermal") => commands::thermal(&args[1..]),
         Some("info") => commands::info(),
+        Some("serve") => serve_cmds::serve(&args[1..]),
+        Some("submit") => serve_cmds::submit(&args[1..]),
+        Some("status") => serve_cmds::status(&args[1..]),
+        Some("watch") => serve_cmds::watch(&args[1..]),
+        Some("cancel") => serve_cmds::cancel(&args[1..]),
         Some("help") | None => {
             print_usage();
             Ok(())
@@ -86,6 +98,12 @@ fn print_usage() {
          \x20                                              lifetime trajectory (P: norecon|static|lite|pro)\n\
          \x20 r2d3 thermal [--active N]                    steady-state stack temperatures\n\
          \x20 r2d3 info                                    physical design summary (Table III)\n\
+         \x20 r2d3 serve [--listen ADDR] [--state-dir DIR] [--workers N] [--quota LIST]\n\
+         \x20                                              campaign-as-a-service job daemon\n\
+         \x20 r2d3 submit campaign|lifetime|inject ...     submit a job to a serve daemon\n\
+         \x20 r2d3 status [job] [--result-out FILE]        list daemon jobs / fetch a report\n\
+         \x20 r2d3 watch <job> [--overflow block|drop]     stream a job's events to completion\n\
+         \x20 r2d3 cancel <job>                            cancel a queued or running job\n\
          \n\
          Run `r2d3 <command> --help` for the full flag list of any command.\n"
     );

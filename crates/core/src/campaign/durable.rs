@@ -582,6 +582,31 @@ where
     }))
 }
 
+/// Durable single-shard execution: [`run_campaign_durable`] scoped to
+/// one shard, with the completed sweep wrapped as a [`ShardReport`] so a
+/// worker pool can drive shards incrementally and hand the results
+/// straight to [`merge_shards`]. The observer sees the same
+/// scenario-granular [`CampaignState`] as the unsharded durable path.
+///
+/// Returns `Ok(None)` when the observer stopped the run early,
+/// `Ok(Some(shard_report))` on completion.
+///
+/// # Errors
+///
+/// Same as [`run_campaign_durable`].
+pub fn run_shard<F>(
+    config: &CampaignConfig,
+    shard: ShardSpec,
+    resume: Option<CampaignState>,
+    observe: F,
+) -> Result<Option<ShardReport>, SnapshotError>
+where
+    F: FnMut(&CampaignState) -> Result<ControlFlow<()>, SnapshotError>,
+{
+    Ok(run_campaign_durable(config, Some(shard), resume, observe)?
+        .map(|report| ShardReport { shard, report }))
+}
+
 // --- JSON codec for report structures ------------------------------
 //
 // Hand-rolled like `render_report`, but *round-trippable*: every field

@@ -52,8 +52,8 @@ mod shrink;
 
 pub use adversary::Adversary;
 pub use durable::{
-    merge_shards, run_campaign_durable, run_campaign_sharded, shard_scenarios, CampaignState,
-    ShardReport, ShardSpec,
+    merge_shards, run_campaign_durable, run_campaign_sharded, run_shard, shard_scenarios,
+    CampaignState, ShardReport, ShardSpec,
 };
 pub use report::render_report;
 pub use runner::{

@@ -66,6 +66,7 @@
 //! ```
 
 pub mod activity;
+pub mod api;
 pub mod campaign;
 pub mod checker;
 pub mod checkpoint;
@@ -78,6 +79,7 @@ pub mod lifetime;
 pub mod policy;
 pub mod repair;
 pub mod report;
+pub mod serve;
 pub mod snapshot;
 pub mod soft_error;
 pub mod substrate;

@@ -1,0 +1,189 @@
+//! Blocking client for the serve protocol: one socket, line-oriented
+//! request/response, plus the streaming `watch` conversation.
+
+use super::{Listen, ServeError};
+use crate::api::wire::{decode_response, JobEvent, JobStatus, Reply, Request, Response};
+use crate::api::{ApiError, JobId, JobSpec};
+use crate::telemetry::OverflowPolicy;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+
+enum Conn {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Conn {
+    fn try_clone(&self) -> std::io::Result<Conn> {
+        Ok(match self {
+            Conn::Unix(s) => Conn::Unix(s.try_clone()?),
+            Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
+        })
+    }
+}
+
+impl Read for Conn {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.read(buf),
+            Conn::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Conn {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Conn::Unix(s) => s.write(buf),
+            Conn::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.flush(),
+            Conn::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// A connection to a running [`super::Daemon`].
+pub struct Client {
+    reader: BufReader<Conn>,
+    writer: Conn,
+}
+
+fn unexpected_reply() -> ServeError {
+    ServeError::Protocol(ApiError::Invalid {
+        field: "reply".into(),
+        reason: "unexpected reply type for this request".into(),
+    })
+}
+
+impl Client {
+    /// Connects to a daemon at the given address.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] when the socket cannot be opened.
+    pub fn connect(listen: &Listen) -> Result<Client, ServeError> {
+        let writer = match listen {
+            Listen::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
+            Listen::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
+        };
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    fn read_line(&mut self) -> Result<String, ServeError> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(ServeError::Closed);
+        }
+        Ok(line)
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> Result<Reply, ServeError> {
+        self.writer.write_all(req.encode().as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let line = self.read_line()?;
+        match decode_response(&line)? {
+            Response::Ok(reply) => Ok(reply),
+            Response::Err { code, message } => Err(ServeError::Remote { code, message }),
+        }
+    }
+
+    /// Submits a job under a client name; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] when the daemon rejects the job, transport
+    /// errors otherwise.
+    pub fn submit(&mut self, client: &str, spec: &JobSpec) -> Result<JobId, ServeError> {
+        match self.roundtrip(&Request::Submit { client: client.to_string(), spec: spec.clone() })? {
+            Reply::Submitted { job } => Ok(job),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Fetches the status of one job, or of every job when `job` is
+    /// `None` (sorted by id).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with code `not_found` for an unknown job.
+    pub fn status(&mut self, job: Option<JobId>) -> Result<Vec<JobStatus>, ServeError> {
+        match self.roundtrip(&Request::Status { job })? {
+            Reply::Jobs(jobs) => Ok(jobs),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Requests cancellation. `Ok(false)` means the job was already
+    /// terminal.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with code `not_found` for an unknown job.
+    pub fn cancel(&mut self, job: JobId) -> Result<bool, ServeError> {
+        match self.roundtrip(&Request::Cancel { job })? {
+            Reply::Canceled { canceled, .. } => Ok(canceled),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Fetches a completed job's rendered report.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Remote`] with code `not_ready` while the job is
+    /// still running, `not_found` for an unknown job.
+    pub fn result(&mut self, job: JobId) -> Result<String, ServeError> {
+        match self.roundtrip(&Request::Result { job })? {
+            Reply::Report { report, .. } => Ok(report),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Asks the daemon to shut down (running units checkpoint first).
+    ///
+    /// # Errors
+    ///
+    /// Transport errors only.
+    pub fn shutdown_server(&mut self) -> Result<(), ServeError> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Reply::ShuttingDown => Ok(()),
+            _ => Err(unexpected_reply()),
+        }
+    }
+
+    /// Streams a job's events — full history replay, then live — calling
+    /// `on_event` for each, until the terminal event, which is returned.
+    /// The connection remains usable for further requests afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Closed`] if the daemon goes away mid-stream,
+    /// [`ServeError::Remote`] with `not_found` for an unknown job.
+    pub fn watch(
+        &mut self,
+        job: JobId,
+        overflow: OverflowPolicy,
+        mut on_event: impl FnMut(&JobEvent),
+    ) -> Result<JobEvent, ServeError> {
+        match self.roundtrip(&Request::Watch { job, overflow })? {
+            Reply::Watching { .. } => {}
+            _ => return Err(unexpected_reply()),
+        }
+        loop {
+            let line = self.read_line()?;
+            let ev = JobEvent::decode(&line)?;
+            on_event(&ev);
+            if ev.is_terminal() {
+                return Ok(ev);
+            }
+        }
+    }
+}

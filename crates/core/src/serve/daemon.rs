@@ -1,0 +1,761 @@
+//! The job daemon: socket front end, admission, worker pool, durable
+//! execution and recovery.
+//!
+//! Locking discipline: `jobs` before `sched` when both are needed;
+//! event emission ([`EventHub::emit`]) never takes either, so it may be
+//! called with or without them held (helpers here emit *after*
+//! releasing `jobs` so a blocked watcher can never stall status
+//! queries).
+
+use super::events::EventHub;
+use super::sched::{QueueEntry, Scheduler};
+use super::store::{scan_jobs, JobRec};
+use super::{Listen, ServeConfig, ServeError};
+use crate::api::wire::{JobEvent, JobState, Reply, Request, Response};
+use crate::api::{
+    render_outcome, run_inject_with, CampaignSpec, InjectSpec, JobId, JobKind, JobOutcome, JobSpec,
+    LifetimeSpec,
+};
+use crate::campaign::{
+    merge_shards, render_report, run_shard, CampaignState, ShardReport, ShardSpec,
+};
+use crate::lifetime::{LifetimeRunState, LifetimeSim};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpListener;
+use std::ops::ControlFlow;
+use std::os::unix::net::UnixListener;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+struct Inner {
+    config: ServeConfig,
+    jobs: Mutex<BTreeMap<u64, JobRec>>,
+    sched: Mutex<Scheduler>,
+    cond: Condvar,
+    hub: EventHub,
+    shutdown: AtomicBool,
+    next_id: AtomicU64,
+    next_seq: AtomicU64,
+    dispatch_log: Mutex<Vec<String>>,
+}
+
+/// A running `r2d3 serve` daemon. Dropping the handle does **not**
+/// stop it — call [`Daemon::shutdown`] then [`Daemon::join`] (or let a
+/// remote `shutdown` request do it).
+pub struct Daemon {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the listener, recovers persisted jobs from the state
+    /// directory (non-terminal jobs re-queue and resume from their unit
+    /// checkpoints), and starts the accept loop and worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError`] on bind failure or unreadable state.
+    pub fn start(config: ServeConfig, listen: &Listen) -> Result<Daemon, ServeError> {
+        std::fs::create_dir_all(&config.state_dir)?;
+        let hub = EventHub::new();
+        let mut sched = Scheduler::new(config.default_quota, &config.quotas, config.paused);
+        let mut jobs = BTreeMap::new();
+        let (mut next_id, mut next_seq) = (1u64, 1u64);
+        for mut j in scan_jobs(&config.state_dir)? {
+            next_id = next_id.max(j.id + 1);
+            next_seq = next_seq.max(j.seq + 1);
+            hub.preload(j.id, &JobRec::events_path(&config.state_dir, j.id))?;
+            if !j.state.is_terminal() {
+                if j.state == JobState::Running {
+                    j.state = JobState::Queued;
+                    j.save(&config.state_dir)?;
+                }
+                for unit in 0..j.units() {
+                    if !j.unit_done[unit as usize] {
+                        sched.push(QueueEntry {
+                            client: j.client.clone(),
+                            job: j.id,
+                            seq: j.seq,
+                            priority: j.spec.priority,
+                            unit,
+                        });
+                    }
+                }
+            }
+            jobs.insert(j.id, j);
+        }
+
+        let workers = config.workers.max(1);
+        let inner = Arc::new(Inner {
+            config,
+            jobs: Mutex::new(jobs),
+            sched: Mutex::new(sched),
+            cond: Condvar::new(),
+            hub,
+            shutdown: AtomicBool::new(false),
+            next_id: AtomicU64::new(next_id),
+            next_seq: AtomicU64::new(next_seq),
+            dispatch_log: Mutex::new(Vec::new()),
+        });
+
+        let accept = spawn_accept(&inner, listen)?;
+        let workers = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("r2d3-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Ok(Daemon { inner, accept: Some(accept), workers })
+    }
+
+    /// Unpauses dispatch (no-op unless started with
+    /// [`ServeConfig::paused`]).
+    pub fn release(&self) {
+        self.inner.sched.lock().unwrap().release();
+        self.inner.cond.notify_all();
+    }
+
+    /// The dispatch decisions taken so far, in order, as
+    /// `client:jobid.unit` strings — the observable scheduler trace the
+    /// fairness contract is tested against.
+    #[must_use]
+    pub fn dispatch_log(&self) -> Vec<String> {
+        self.inner.dispatch_log.lock().unwrap().clone()
+    }
+
+    /// Asks every thread to stop. Running units checkpoint and exit at
+    /// their next observer step; their jobs resume on the next start
+    /// over the same state directory.
+    pub fn shutdown(&self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.cond.notify_all();
+    }
+
+    /// Waits for the accept loop and workers to finish (connection
+    /// handler threads are detached and die with their sockets).
+    pub fn join(mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn spawn_accept(inner: &Arc<Inner>, listen: &Listen) -> Result<JoinHandle<()>, ServeError> {
+    enum Bound {
+        Unix(UnixListener),
+        Tcp(TcpListener),
+    }
+    let bound = match listen {
+        Listen::Unix(path) => {
+            if path.exists() {
+                std::fs::remove_file(path)?;
+            }
+            let l = UnixListener::bind(path)?;
+            l.set_nonblocking(true)?;
+            Bound::Unix(l)
+        }
+        Listen::Tcp(addr) => {
+            let l = TcpListener::bind(addr.as_str())?;
+            l.set_nonblocking(true)?;
+            Bound::Tcp(l)
+        }
+    };
+    let inner = Arc::clone(inner);
+    let handle = std::thread::Builder::new()
+        .name("r2d3-accept".into())
+        .spawn(move || loop {
+            if inner.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let conn: Option<(Box<dyn Read + Send>, Box<dyn Write + Send>)> = match &bound {
+                Bound::Unix(l) => match l.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_nonblocking(false);
+                        match s.try_clone() {
+                            Ok(r) => Some((Box::new(r), Box::new(s))),
+                            Err(_) => None,
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(_) => return,
+                },
+                Bound::Tcp(l) => match l.accept() {
+                    Ok((s, _)) => {
+                        let _ = s.set_nonblocking(false);
+                        match s.try_clone() {
+                            Ok(r) => Some((Box::new(r), Box::new(s))),
+                            Err(_) => None,
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => None,
+                    Err(_) => return,
+                },
+            };
+            match conn {
+                Some((reader, writer)) => {
+                    let inner = Arc::clone(&inner);
+                    let _ = std::thread::Builder::new()
+                        .name("r2d3-conn".into())
+                        .spawn(move || handle_conn(&inner, reader, writer));
+                }
+                None => std::thread::sleep(Duration::from_millis(20)),
+            }
+        })
+        .map_err(ServeError::Io)?;
+    Ok(handle)
+}
+
+// --- connection handling -------------------------------------------
+
+fn write_line(out: &mut impl Write, line: &str) -> std::io::Result<()> {
+    out.write_all(line.as_bytes())?;
+    out.write_all(b"\n")?;
+    out.flush()
+}
+
+fn handle_conn(inner: &Arc<Inner>, reader: Box<dyn Read + Send>, mut out: Box<dyn Write + Send>) {
+    let reader = BufReader::new(reader);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = match Request::decode(&line) {
+            Ok(req) => req,
+            Err(e) => {
+                // A malformed line is the sender's problem, not the
+                // daemon's: typed error back, connection stays usable.
+                if write_line(&mut out, &Response::protocol_error(&e).encode()).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        match serve_request(inner, req, &mut out) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => return,
+        }
+    }
+}
+
+fn err_response(code: &str, message: String) -> Response {
+    Response::Err { code: code.into(), message }
+}
+
+/// Handles one decoded request. `Ok(false)` closes the connection.
+fn serve_request(inner: &Arc<Inner>, req: Request, out: &mut impl Write) -> std::io::Result<bool> {
+    match req {
+        Request::Submit { client, spec } => {
+            let resp = match admit(inner, client, spec) {
+                Ok(id) => Response::Ok(Reply::Submitted { job: JobId(id) }),
+                Err(e) => err_response("rejected", e.to_string()),
+            };
+            write_line(out, &resp.encode())?;
+        }
+        Request::Status { job } => {
+            let jobs = inner.jobs.lock().unwrap();
+            let resp = match job {
+                Some(id) => match jobs.get(&id.0) {
+                    Some(j) => Response::Ok(Reply::Jobs(vec![j.status()])),
+                    None => err_response("not_found", format!("no job {id}")),
+                },
+                None => Response::Ok(Reply::Jobs(jobs.values().map(JobRec::status).collect())),
+            };
+            drop(jobs);
+            write_line(out, &resp.encode())?;
+        }
+        Request::Watch { job, overflow } => {
+            if !inner.jobs.lock().unwrap().contains_key(&job.0) {
+                write_line(out, &err_response("not_found", format!("no job {job}")).encode())?;
+                return Ok(true);
+            }
+            // Subscribe *before* replying so the reply/replay/live
+            // sequence is gapless.
+            let (history, rx) = inner.hub.subscribe(job.0, overflow);
+            write_line(out, &Response::Ok(Reply::Watching { job }).encode())?;
+            let mut terminal = false;
+            for ev in &history {
+                terminal = ev.is_terminal();
+                write_line(out, &ev.encode())?;
+            }
+            if let Some(rx) = rx {
+                while !terminal {
+                    let Ok(ev) = rx.recv() else { break };
+                    terminal = ev.is_terminal();
+                    write_line(out, &ev.encode())?;
+                }
+            }
+        }
+        Request::Cancel { job } => {
+            let resp = match cancel_job(inner, job.0) {
+                Some(canceled) => Response::Ok(Reply::Canceled { job, canceled }),
+                None => err_response("not_found", format!("no job {job}")),
+            };
+            write_line(out, &resp.encode())?;
+        }
+        Request::Result { job } => {
+            let state = inner.jobs.lock().unwrap().get(&job.0).map(|j| j.state);
+            let resp = match state {
+                None => err_response("not_found", format!("no job {job}")),
+                Some(JobState::Completed) => {
+                    match std::fs::read_to_string(JobRec::report_path(
+                        &inner.config.state_dir,
+                        job.0,
+                    )) {
+                        Ok(report) => Response::Ok(Reply::Report { job, report }),
+                        Err(e) => err_response("io", format!("report for {job}: {e}")),
+                    }
+                }
+                Some(st) => err_response("not_ready", format!("job {job} is {}", st.token())),
+            };
+            write_line(out, &resp.encode())?;
+        }
+        Request::Shutdown => {
+            write_line(out, &Response::Ok(Reply::ShuttingDown).encode())?;
+            inner.shutdown.store(true, Ordering::SeqCst);
+            inner.cond.notify_all();
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+fn admit(inner: &Arc<Inner>, client: String, spec: JobSpec) -> Result<u64, ServeError> {
+    let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+    let seq = inner.next_seq.fetch_add(1, Ordering::SeqCst);
+    let rec = JobRec::new(id, seq, client.clone(), spec);
+    let units = rec.units();
+    let priority = rec.spec.priority;
+    std::fs::create_dir_all(JobRec::dir(&inner.config.state_dir, id))?;
+    rec.save(&inner.config.state_dir)?;
+    inner.hub.open(id, &JobRec::events_path(&inner.config.state_dir, id))?;
+    inner.jobs.lock().unwrap().insert(id, rec);
+    inner.hub.emit(&JobEvent::Accepted { job: JobId(id), units });
+    {
+        let mut sched = inner.sched.lock().unwrap();
+        for unit in 0..units {
+            sched.push(QueueEntry { client: client.clone(), job: id, seq, priority, unit });
+        }
+    }
+    inner.cond.notify_all();
+    Ok(id)
+}
+
+/// `None` = unknown job; `Some(false)` = already terminal.
+fn cancel_job(inner: &Arc<Inner>, id: u64) -> Option<bool> {
+    let mut emit_canceled = false;
+    {
+        let mut jobs = inner.jobs.lock().unwrap();
+        let j = jobs.get_mut(&id)?;
+        if j.state.is_terminal() {
+            return Some(false);
+        }
+        j.cancel_requested = true;
+        inner.sched.lock().unwrap().remove_job(id);
+        if j.running_units == 0 {
+            j.state = JobState::Canceled;
+            let _ = j.save(&inner.config.state_dir);
+            emit_canceled = true;
+        }
+        // Units already on a worker observe the latch at their next
+        // step, checkpoint, and the last one out finalizes the cancel.
+    }
+    if emit_canceled {
+        inner.hub.emit(&JobEvent::Canceled { job: JobId(id) });
+    }
+    Some(true)
+}
+
+// --- workers -------------------------------------------------------
+
+enum UnitRun {
+    Done,
+    Interrupted(Stop),
+    Failed(String),
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Stop {
+    Shutdown,
+    Cancel,
+    Lease,
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    loop {
+        let entry = {
+            let mut sched = inner.sched.lock().unwrap();
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(e) = sched.pick() {
+                    break e;
+                }
+                let (guard, _) =
+                    inner.cond.wait_timeout(sched, Duration::from_millis(200)).unwrap();
+                sched = guard;
+            }
+        };
+        inner
+            .dispatch_log
+            .lock()
+            .unwrap()
+            .push(format!("{}:{:08x}.{}", entry.client, entry.job, entry.unit));
+        run_unit(inner, entry);
+    }
+}
+
+fn run_unit(inner: &Arc<Inner>, entry: QueueEntry) {
+    let spec = {
+        let mut jobs = inner.jobs.lock().unwrap();
+        let Some(j) = jobs.get_mut(&entry.job) else { return };
+        if j.state.is_terminal() || j.cancel_requested || j.unit_done[entry.unit as usize] {
+            return;
+        }
+        j.running_units += 1;
+        if j.state == JobState::Queued {
+            j.state = JobState::Running;
+            let _ = j.save(&inner.config.state_dir);
+        }
+        j.spec.clone()
+    };
+    inner.hub.emit(&JobEvent::Started { job: JobId(entry.job), unit: entry.unit });
+    let outcome = match &spec.kind {
+        JobKind::Campaign(c) => run_campaign_unit(inner, entry.job, entry.unit, &spec, c),
+        JobKind::Lifetime(l) => run_lifetime_unit(inner, entry.job, &spec, l),
+        JobKind::Inject(i) => run_inject_unit(inner, entry.job, &spec, i),
+    };
+    finalize_unit(inner, entry, &spec, outcome);
+}
+
+fn update_progress(inner: &Arc<Inner>, job: u64, unit: u64, unit_steps: u64) -> u64 {
+    let mut jobs = inner.jobs.lock().unwrap();
+    match jobs.get_mut(&job) {
+        Some(j) => {
+            j.unit_progress[unit as usize] = unit_steps;
+            j.progress_done()
+        }
+        None => unit_steps,
+    }
+}
+
+fn save_manifest(inner: &Arc<Inner>, job: u64) {
+    let jobs = inner.jobs.lock().unwrap();
+    if let Some(j) = jobs.get(&job) {
+        let _ = j.save(&inner.config.state_dir);
+    }
+}
+
+fn cancel_requested(inner: &Arc<Inner>, job: u64) -> bool {
+    inner.jobs.lock().unwrap().get(&job).is_some_and(|j| j.cancel_requested)
+}
+
+/// The shared checkpoint-or-stop tail of every durable unit observer:
+/// counts the step, decides whether to stop (shutdown / cancel /
+/// lease expiry), persists on schedule or before stopping, and emits
+/// the progress/checkpoint events.
+struct UnitObserver<'a> {
+    inner: &'a Arc<Inner>,
+    job: u64,
+    unit: u64,
+    total: u64,
+    since_ckpt: u64,
+    lease_used: u64,
+    stop: Option<Stop>,
+}
+
+impl<'a> UnitObserver<'a> {
+    fn new(inner: &'a Arc<Inner>, job: u64, unit: u64, total: u64) -> Self {
+        UnitObserver { inner, job, unit, total, since_ckpt: 0, lease_used: 0, stop: None }
+    }
+
+    /// Returns `(job_wide_done, should_checkpoint, control_flow)`.
+    fn step(&mut self, unit_steps: u64) -> (u64, bool, ControlFlow<()>) {
+        let done = update_progress(self.inner, self.job, self.unit, unit_steps);
+        self.inner.hub.emit(&JobEvent::Progress {
+            job: JobId(self.job),
+            unit: self.unit,
+            done,
+            total: self.total,
+        });
+        self.since_ckpt += 1;
+        self.lease_used += 1;
+        let shutdown = self.inner.shutdown.load(Ordering::SeqCst);
+        let cancel = cancel_requested(self.inner, self.job);
+        let lease = self.inner.config.lease_steps.is_some_and(|n| self.lease_used >= n);
+        let stopping = shutdown || cancel || lease;
+        if stopping {
+            self.stop = Some(if cancel {
+                Stop::Cancel
+            } else if shutdown {
+                Stop::Shutdown
+            } else {
+                Stop::Lease
+            });
+        }
+        let checkpoint = stopping || self.since_ckpt >= self.inner.config.snapshot_every.max(1);
+        if checkpoint {
+            self.since_ckpt = 0;
+        }
+        (
+            done,
+            checkpoint,
+            if stopping { ControlFlow::Break(()) } else { ControlFlow::Continue(()) },
+        )
+    }
+
+    fn checkpointed(&self, done: u64) {
+        save_manifest(self.inner, self.job);
+        self.inner.hub.emit(&JobEvent::Checkpointed {
+            job: JobId(self.job),
+            unit: self.unit,
+            done,
+        });
+    }
+}
+
+fn run_campaign_unit(
+    inner: &Arc<Inner>,
+    job: u64,
+    unit: u64,
+    spec: &JobSpec,
+    c: &CampaignSpec,
+) -> UnitRun {
+    let cfg = match c.to_config() {
+        Ok(cfg) => cfg,
+        Err(e) => return UnitRun::Failed(e.to_string()),
+    };
+    let shard = match ShardSpec::new(unit as usize + 1, c.shards) {
+        Ok(s) => s,
+        Err(e) => return UnitRun::Failed(e),
+    };
+    let state_path = JobRec::unit_state_path(&inner.config.state_dir, job, unit);
+    // A corrupt or stale checkpoint is discarded (typed rejection →
+    // fresh start for this unit); a valid one resumes mid-shard.
+    let resume = CampaignState::load(&state_path).ok();
+    let owned = (0..c.scenarios).filter(|id| id % c.shards == unit as usize).count();
+    let mut obs = UnitObserver::new(inner, job, unit, spec.progress_total());
+    let result = run_shard(&cfg, shard, resume, |st| {
+        let unit_steps = (st.substrate() * owned + st.scenario()) as u64;
+        let (done, checkpoint, flow) = obs.step(unit_steps);
+        if checkpoint {
+            st.save(&state_path)?;
+            obs.checkpointed(done);
+        }
+        Ok(flow)
+    });
+    match result {
+        Err(e) => UnitRun::Failed(e.to_string()),
+        Ok(None) => UnitRun::Interrupted(obs.stop.unwrap_or(Stop::Shutdown)),
+        Ok(Some(shard_report)) => {
+            let shard_path = JobRec::unit_shard_path(&inner.config.state_dir, job, unit);
+            if let Err(e) = shard_report.save(&shard_path) {
+                return UnitRun::Failed(e.to_string());
+            }
+            let _ = std::fs::remove_file(&state_path);
+            update_progress(inner, job, unit, (owned * cfg.substrates.len()) as u64);
+            UnitRun::Done
+        }
+    }
+}
+
+fn run_lifetime_unit(inner: &Arc<Inner>, job: u64, spec: &JobSpec, l: &LifetimeSpec) -> UnitRun {
+    let cfg = l.to_config();
+    let months = cfg.months;
+    let state_path = JobRec::unit_state_path(&inner.config.state_dir, job, 0);
+    let resume = LifetimeRunState::load(&state_path).ok();
+    let mut obs = UnitObserver::new(inner, job, 0, spec.progress_total());
+    let result = LifetimeSim::new(cfg).run_durable(resume, |st| {
+        let (done, checkpoint, flow) = obs.step(st.months_done(months) as u64);
+        if checkpoint {
+            st.save(&state_path)?;
+            obs.checkpointed(done);
+        }
+        Ok(flow)
+    });
+    match result {
+        Err(e) => UnitRun::Failed(e.to_string()),
+        Ok(None) => UnitRun::Interrupted(obs.stop.unwrap_or(Stop::Shutdown)),
+        Ok(Some(outcome)) => {
+            let report = render_outcome(spec, &JobOutcome::Lifetime(Box::new(outcome)));
+            if let Err(e) =
+                write_report(&JobRec::report_path(&inner.config.state_dir, job), &report)
+            {
+                return UnitRun::Failed(e.to_string());
+            }
+            let _ = std::fs::remove_file(&state_path);
+            update_progress(inner, job, 0, spec.progress_total());
+            UnitRun::Done
+        }
+    }
+}
+
+fn run_inject_unit(inner: &Arc<Inner>, job: u64, spec: &JobSpec, i: &InjectSpec) -> UnitRun {
+    // Inject runs are short and have no durable mid-state: they are
+    // non-preemptible, and a worker lost mid-run restarts the unit
+    // (documented exception to resume-not-restart).
+    match run_inject_with(i, |_| {}, |_, _| {}) {
+        Err(e) => UnitRun::Failed(e.to_string()),
+        Ok(outcome) => {
+            let report = render_outcome(spec, &JobOutcome::Inject(Box::new(outcome)));
+            if let Err(e) =
+                write_report(&JobRec::report_path(&inner.config.state_dir, job), &report)
+            {
+                return UnitRun::Failed(e.to_string());
+            }
+            let done = update_progress(inner, job, 0, 1);
+            inner.hub.emit(&JobEvent::Progress { job: JobId(job), unit: 0, done, total: 1 });
+            UnitRun::Done
+        }
+    }
+}
+
+fn write_report(path: &Path, report: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, report)?;
+    std::fs::rename(&tmp, path)
+}
+
+fn finalize_unit(inner: &Arc<Inner>, entry: QueueEntry, spec: &JobSpec, outcome: UnitRun) {
+    let (job, unit) = (entry.job, entry.unit);
+    match outcome {
+        UnitRun::Done => {
+            let all_done = {
+                let mut jobs = inner.jobs.lock().unwrap();
+                let Some(j) = jobs.get_mut(&job) else { return };
+                j.unit_done[unit as usize] = true;
+                j.running_units -= 1;
+                let _ = j.save(&inner.config.state_dir);
+                j.all_done()
+            };
+            inner.hub.emit(&JobEvent::UnitDone { job: JobId(job), unit });
+            if all_done {
+                finalize_job_completion(inner, job, spec);
+            } else {
+                maybe_finalize_cancel(inner, job);
+            }
+        }
+        UnitRun::Failed(error) => {
+            {
+                let mut jobs = inner.jobs.lock().unwrap();
+                let Some(j) = jobs.get_mut(&job) else { return };
+                j.running_units -= 1;
+                if !j.state.is_terminal() {
+                    j.state = JobState::Failed;
+                    j.error = Some(error.clone());
+                    let _ = j.save(&inner.config.state_dir);
+                }
+                inner.sched.lock().unwrap().remove_job(job);
+            }
+            inner.hub.emit(&JobEvent::Failed { job: JobId(job), error });
+        }
+        UnitRun::Interrupted(Stop::Lease) => {
+            let done = {
+                let mut jobs = inner.jobs.lock().unwrap();
+                let Some(j) = jobs.get_mut(&job) else { return };
+                j.running_units -= 1;
+                j.progress_done()
+            };
+            inner.hub.emit(&JobEvent::WorkerLost { job: JobId(job), unit, done });
+            inner.sched.lock().unwrap().push(entry);
+            inner.cond.notify_all();
+        }
+        UnitRun::Interrupted(Stop::Cancel) => {
+            {
+                let mut jobs = inner.jobs.lock().unwrap();
+                if let Some(j) = jobs.get_mut(&job) {
+                    j.running_units -= 1;
+                }
+            }
+            maybe_finalize_cancel(inner, job);
+        }
+        UnitRun::Interrupted(Stop::Shutdown) => {
+            let mut jobs = inner.jobs.lock().unwrap();
+            if let Some(j) = jobs.get_mut(&job) {
+                j.running_units -= 1;
+                let _ = j.save(&inner.config.state_dir);
+            }
+        }
+    }
+}
+
+fn maybe_finalize_cancel(inner: &Arc<Inner>, job: u64) {
+    let emit = {
+        let mut jobs = inner.jobs.lock().unwrap();
+        match jobs.get_mut(&job) {
+            Some(j) if j.cancel_requested && !j.state.is_terminal() && j.running_units == 0 => {
+                j.state = JobState::Canceled;
+                let _ = j.save(&inner.config.state_dir);
+                true
+            }
+            _ => false,
+        }
+    };
+    if emit {
+        inner.hub.emit(&JobEvent::Canceled { job: JobId(job) });
+    }
+}
+
+/// All units done: render the final report (merging campaign shards),
+/// then flip the job to its terminal state.
+fn finalize_job_completion(inner: &Arc<Inner>, job: u64, spec: &JobSpec) {
+    let result = render_final_report(inner, job, spec);
+    let event = {
+        let mut jobs = inner.jobs.lock().unwrap();
+        let Some(j) = jobs.get_mut(&job) else { return };
+        match &result {
+            Ok(()) => {
+                j.state = JobState::Completed;
+                let _ = j.save(&inner.config.state_dir);
+                JobEvent::Completed { job: JobId(job) }
+            }
+            Err(error) => {
+                j.state = JobState::Failed;
+                j.error = Some(error.clone());
+                let _ = j.save(&inner.config.state_dir);
+                JobEvent::Failed { job: JobId(job), error: error.clone() }
+            }
+        }
+    };
+    inner.hub.emit(&event);
+}
+
+fn render_final_report(inner: &Arc<Inner>, job: u64, spec: &JobSpec) -> Result<(), String> {
+    match &spec.kind {
+        JobKind::Campaign(_) => {
+            let units = spec.units();
+            let mut shards = Vec::with_capacity(units as usize);
+            for unit in 0..units {
+                let path = JobRec::unit_shard_path(&inner.config.state_dir, job, unit);
+                shards.push(ShardReport::load(&path).map_err(|e| format!("shard {unit}: {e}"))?);
+            }
+            let merged = merge_shards(&shards).map_err(|e| e.to_string())?;
+            write_report(
+                &JobRec::report_path(&inner.config.state_dir, job),
+                &render_report(&merged),
+            )
+            .map_err(|e| e.to_string())
+        }
+        // Lifetime/inject units rendered their report on completion.
+        JobKind::Lifetime(_) | JobKind::Inject(_) => {
+            let path = JobRec::report_path(&inner.config.state_dir, job);
+            if path.exists() {
+                Ok(())
+            } else {
+                Err("unit completed without rendering its report".into())
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Per-job live event streams with durable history.
+//!
+//! Every job owns one channel: events append to an in-memory history,
+//! to the job's `events.jsonl` log (one wire line each, so history
+//! survives a daemon restart), and fan out to live subscribers.
+//! Subscription replays the full history first — atomically with
+//! registration, so no event can fall in the gap — then delivers live
+//! events per the subscriber's [`OverflowPolicy`]:
+//!
+//! * [`OverflowPolicy::Block`] — the emitter blocks until the
+//!   subscriber drains (lossless backpressure; a stalled watcher slows
+//!   its job's event emission, never the engine math).
+//! * [`OverflowPolicy::Drop`] — events beyond the buffer are shed for
+//!   that subscriber only (the history and log remain complete).
+//!
+//! A terminal event closes the channel: senders drop, subscribers see
+//! end-of-stream after draining, and later subscribers get history
+//! only. Mirrors the telemetry stream sink's overflow semantics.
+
+use crate::api::wire::JobEvent;
+use crate::telemetry::OverflowPolicy;
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+
+/// Buffered events per live subscriber before its policy applies.
+const SUBSCRIBER_CAPACITY: usize = 256;
+
+struct Channel {
+    history: Vec<JobEvent>,
+    subs: Vec<(SyncSender<JobEvent>, OverflowPolicy)>,
+    log: Option<File>,
+    closed: bool,
+}
+
+/// All job channels of one daemon.
+pub(crate) struct EventHub {
+    chans: Mutex<HashMap<u64, Arc<Mutex<Channel>>>>,
+}
+
+impl EventHub {
+    pub(crate) fn new() -> EventHub {
+        EventHub { chans: Mutex::new(HashMap::new()) }
+    }
+
+    fn chan(&self, job: u64) -> Arc<Mutex<Channel>> {
+        Arc::clone(self.chans.lock().unwrap().entry(job).or_insert_with(|| {
+            Arc::new(Mutex::new(Channel {
+                history: Vec::new(),
+                subs: Vec::new(),
+                log: None,
+                closed: false,
+            }))
+        }))
+    }
+
+    /// Opens (or reopens) a job's channel with its durable log file.
+    pub(crate) fn open(&self, job: u64, log_path: &Path) -> std::io::Result<()> {
+        let chan = self.chan(job);
+        let mut c = chan.lock().unwrap();
+        c.log = Some(OpenOptions::new().create(true).append(true).open(log_path)?);
+        Ok(())
+    }
+
+    /// Restores a job's history from its event log (daemon restart).
+    /// Terminal history closes the channel immediately.
+    pub(crate) fn preload(&self, job: u64, log_path: &Path) -> std::io::Result<()> {
+        let mut history = Vec::new();
+        if log_path.exists() {
+            for line in std::fs::read_to_string(log_path)?.lines() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                // A torn tail line (daemon killed mid-write) is not an
+                // error; everything before it is intact.
+                if let Ok(ev) = JobEvent::decode(line) {
+                    history.push(ev);
+                }
+            }
+        }
+        let closed = history.last().is_some_and(JobEvent::is_terminal);
+        let chan = self.chan(job);
+        let mut c = chan.lock().unwrap();
+        c.history = history;
+        c.closed = closed;
+        c.log = Some(OpenOptions::new().create(true).append(true).open(log_path)?);
+        Ok(())
+    }
+
+    /// Emits one event: history + log + live fanout. Terminal events
+    /// close the channel.
+    pub(crate) fn emit(&self, event: &JobEvent) {
+        let chan = self.chan(event.job().0);
+        let mut c = chan.lock().unwrap();
+        if c.closed {
+            return;
+        }
+        c.history.push(event.clone());
+        if let Some(log) = &mut c.log {
+            let _ = writeln!(log, "{}", event.encode());
+            let _ = log.flush();
+        }
+        let mut i = 0;
+        while i < c.subs.len() {
+            let (tx, policy) = &c.subs[i];
+            let gone = match policy {
+                OverflowPolicy::Block => tx.send(event.clone()).is_err(),
+                OverflowPolicy::Drop => {
+                    matches!(tx.try_send(event.clone()), Err(TrySendError::Disconnected(_)))
+                }
+            };
+            if gone {
+                c.subs.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        if event.is_terminal() {
+            c.closed = true;
+            c.subs.clear();
+        }
+    }
+
+    /// Subscribes to a job: returns the history so far and, when the
+    /// stream is still open, a receiver for everything after it.
+    /// History copy and registration happen under one lock, so the
+    /// subscriber sees every event exactly once.
+    pub(crate) fn subscribe(
+        &self,
+        job: u64,
+        policy: OverflowPolicy,
+    ) -> (Vec<JobEvent>, Option<Receiver<JobEvent>>) {
+        let chan = self.chan(job);
+        let mut c = chan.lock().unwrap();
+        let history = c.history.clone();
+        if c.closed {
+            return (history, None);
+        }
+        let (tx, rx) = sync_channel(SUBSCRIBER_CAPACITY);
+        c.subs.push((tx, policy));
+        (history, Some(rx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::JobId;
+    use std::path::PathBuf;
+
+    fn tmp_log(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("r2d3-events-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join(format!("{}-{name}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    fn ev(done: u64) -> JobEvent {
+        JobEvent::Progress { job: JobId(1), unit: 0, done, total: 10 }
+    }
+
+    #[test]
+    fn history_replays_and_terminal_closes() {
+        let hub = EventHub::new();
+        let log = tmp_log("replay");
+        hub.open(1, &log).unwrap();
+        hub.emit(&ev(1));
+        hub.emit(&ev(2));
+
+        let (history, rx) = hub.subscribe(1, OverflowPolicy::Block);
+        assert_eq!(history, vec![ev(1), ev(2)]);
+        let rx = rx.expect("stream still open");
+
+        hub.emit(&ev(3));
+        hub.emit(&JobEvent::Completed { job: JobId(1) });
+        assert_eq!(rx.recv().unwrap(), ev(3));
+        assert!(rx.recv().unwrap().is_terminal());
+        assert!(rx.recv().is_err(), "channel must close after the terminal event");
+
+        // Late subscriber: full history, no live stream.
+        let (history, rx) = hub.subscribe(1, OverflowPolicy::Block);
+        assert_eq!(history.len(), 4);
+        assert!(rx.is_none());
+
+        // Restart path: preload reconstructs the same closed channel.
+        let hub2 = EventHub::new();
+        hub2.preload(1, &log).unwrap();
+        let (history, rx) = hub2.subscribe(1, OverflowPolicy::Block);
+        assert_eq!(history.len(), 4);
+        assert!(rx.is_none());
+        let _ = std::fs::remove_file(&log);
+    }
+
+    #[test]
+    fn drop_policy_sheds_only_for_the_slow_subscriber() {
+        let hub = EventHub::new();
+        let log = tmp_log("drop");
+        hub.open(2, &log).unwrap();
+        let (_, rx) = hub.subscribe(2, OverflowPolicy::Drop);
+        let rx = rx.unwrap();
+        // Overfill the subscriber buffer without draining.
+        for i in 0..(SUBSCRIBER_CAPACITY as u64 + 50) {
+            hub.emit(&JobEvent::Progress { job: JobId(2), unit: 0, done: i, total: 1000 });
+        }
+        let delivered = rx.try_iter().count();
+        assert_eq!(delivered, SUBSCRIBER_CAPACITY, "excess events are shed under Drop");
+        // History kept everything regardless.
+        let (history, _) = hub.subscribe(2, OverflowPolicy::Drop);
+        assert_eq!(history.len(), SUBSCRIBER_CAPACITY + 50);
+        let _ = std::fs::remove_file(&log);
+    }
+}

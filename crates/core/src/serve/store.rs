@@ -1,0 +1,280 @@
+//! Durable job records: one `job-<id>/` directory per job under the
+//! daemon's state directory.
+//!
+//! ```text
+//! state_dir/job-0000002a/
+//!   manifest.r2d3s        R2D3SNAP "job" container: spec + lifecycle
+//!   unit-<k>.state.r2d3s  unit checkpoint (campaign/lifetime state)
+//!   unit-<k>.shard.r2d3s  completed campaign shard report
+//!   report.json           rendered report (written once, on completion)
+//!   events.jsonl          append-only event log (one wire line each)
+//! ```
+//!
+//! The manifest rides the same `R2D3SNAP` container as every other
+//! durable artifact (atomic replace, digest-verified, versioned with a
+//! migration window), under the v2-introduced kind `"job"`.
+
+use crate::api::wire::{decode_spec_value, encode_spec, JobState, JobStatus};
+use crate::api::{JobId, JobSpec, PROTO_VERSION};
+use crate::jsonio;
+use crate::snapshot::{self, SnapshotError};
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+pub(crate) const JOB_KIND: &str = "job";
+
+/// The daemon's in-memory (and persisted) record of one job.
+#[derive(Debug, Clone)]
+pub(crate) struct JobRec {
+    pub id: u64,
+    pub client: String,
+    /// Admission order; scheduler tie-break and recovery-stable.
+    pub seq: u64,
+    pub spec: JobSpec,
+    pub state: JobState,
+    pub error: Option<String>,
+    pub unit_done: Vec<bool>,
+    /// Per-unit completed observer steps (progress numerators).
+    pub unit_progress: Vec<u64>,
+    /// Units currently on a worker. Not persisted: a restarted daemon
+    /// has no workers running yet.
+    pub running_units: u64,
+    /// Cancellation latch. Not persisted: queued units of a canceled
+    /// job are removed before the terminal state is saved.
+    pub cancel_requested: bool,
+}
+
+impl JobRec {
+    pub(crate) fn new(id: u64, seq: u64, client: String, spec: JobSpec) -> JobRec {
+        let units = spec.units() as usize;
+        JobRec {
+            id,
+            client,
+            seq,
+            spec,
+            state: JobState::Queued,
+            error: None,
+            unit_done: vec![false; units],
+            unit_progress: vec![0; units],
+            running_units: 0,
+            cancel_requested: false,
+        }
+    }
+
+    pub(crate) fn units(&self) -> u64 {
+        self.unit_done.len() as u64
+    }
+
+    pub(crate) fn all_done(&self) -> bool {
+        self.unit_done.iter().all(|&d| d)
+    }
+
+    pub(crate) fn progress_done(&self) -> u64 {
+        self.unit_progress.iter().sum()
+    }
+
+    pub(crate) fn status(&self) -> JobStatus {
+        JobStatus {
+            id: JobId(self.id),
+            client: self.client.clone(),
+            kind: self.spec.kind_name(),
+            priority: self.spec.priority,
+            state: self.state,
+            error: self.error.clone(),
+            units: self.units(),
+            units_done: self.unit_done.iter().filter(|&&d| d).count() as u64,
+            progress_done: self.progress_done(),
+            progress_total: self.spec.progress_total(),
+        }
+    }
+
+    pub(crate) fn dir(state_dir: &Path, id: u64) -> PathBuf {
+        state_dir.join(format!("job-{id:08x}"))
+    }
+
+    pub(crate) fn manifest_path(state_dir: &Path, id: u64) -> PathBuf {
+        Self::dir(state_dir, id).join("manifest.r2d3s")
+    }
+
+    pub(crate) fn unit_state_path(state_dir: &Path, id: u64, unit: u64) -> PathBuf {
+        Self::dir(state_dir, id).join(format!("unit-{unit}.state.r2d3s"))
+    }
+
+    pub(crate) fn unit_shard_path(state_dir: &Path, id: u64, unit: u64) -> PathBuf {
+        Self::dir(state_dir, id).join(format!("unit-{unit}.shard.r2d3s"))
+    }
+
+    pub(crate) fn report_path(state_dir: &Path, id: u64) -> PathBuf {
+        Self::dir(state_dir, id).join("report.json")
+    }
+
+    pub(crate) fn events_path(state_dir: &Path, id: u64) -> PathBuf {
+        Self::dir(state_dir, id).join("events.jsonl")
+    }
+
+    /// Atomically persists the manifest.
+    pub(crate) fn save(&self, state_dir: &Path) -> Result<(), SnapshotError> {
+        let mut body = format!(
+            "{{\"proto_version\":{PROTO_VERSION},\"id\":{},\"client\":\"{}\",\"seq\":{},\"state\":\"{}\",\"error\":",
+            jsonio::hex_u64(self.id),
+            crate::api::wire::escape(&self.client),
+            self.seq,
+            self.state.token(),
+        );
+        match &self.error {
+            Some(e) => {
+                let _ = write!(body, "\"{}\"", crate::api::wire::escape(e));
+            }
+            None => body.push_str("null"),
+        }
+        body.push_str(",\"unit_done\":[");
+        for (i, d) in self.unit_done.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "{d}");
+        }
+        body.push_str("],\"unit_progress\":[");
+        for (i, p) in self.unit_progress.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "{p}");
+        }
+        let _ = write!(body, "],\"spec\":{}}}", encode_spec(&self.spec));
+        body.push('\n');
+        snapshot::write_atomic(&Self::manifest_path(state_dir, self.id), JOB_KIND, body.as_bytes())
+    }
+
+    /// Loads and validates a manifest.
+    pub(crate) fn load(path: &Path) -> Result<JobRec, SnapshotError> {
+        let body = snapshot::read_verified(path, JOB_KIND)?;
+        let v = snapshot::parse_body(&body)?;
+        let bad = |msg: &str| SnapshotError::Malformed(msg.into());
+        let id = snapshot::field(&v, "id")?.as_hex_u64().ok_or_else(|| bad("bad \"id\""))?;
+        let spec = decode_spec_value(snapshot::field(&v, "spec")?)
+            .map_err(|e| SnapshotError::Malformed(format!("job spec: {e}")))?;
+        let unit_done: Vec<bool> = snapshot::field(&v, "unit_done")?
+            .as_arr()
+            .ok_or_else(|| bad("bad \"unit_done\""))?
+            .iter()
+            .map(|b| b.as_bool().ok_or_else(|| bad("bad \"unit_done\" entry")))
+            .collect::<Result<_, _>>()?;
+        let unit_progress: Vec<u64> = snapshot::field(&v, "unit_progress")?
+            .as_arr()
+            .ok_or_else(|| bad("bad \"unit_progress\""))?
+            .iter()
+            .map(|p| p.as_u64().ok_or_else(|| bad("bad \"unit_progress\" entry")))
+            .collect::<Result<_, _>>()?;
+        if unit_done.len() as u64 != spec.units() || unit_progress.len() != unit_done.len() {
+            return Err(bad("unit arrays do not match the spec's unit count"));
+        }
+        let state = JobState::parse(
+            snapshot::field(&v, "state")?.as_str().ok_or_else(|| bad("bad \"state\""))?,
+        )
+        .map_err(|e| SnapshotError::Malformed(format!("job state: {e}")))?;
+        Ok(JobRec {
+            id,
+            client: snapshot::field(&v, "client")?
+                .as_str()
+                .ok_or_else(|| bad("bad \"client\""))?
+                .to_string(),
+            seq: snapshot::field(&v, "seq")?.as_u64().ok_or_else(|| bad("bad \"seq\""))?,
+            spec,
+            state,
+            error: match v.get("error") {
+                Some(jsonio::Value::Null) | None => None,
+                Some(val) => Some(val.as_str().ok_or_else(|| bad("bad \"error\""))?.to_string()),
+            },
+            unit_done,
+            unit_progress,
+            running_units: 0,
+            cancel_requested: false,
+        })
+    }
+}
+
+/// Scans a state directory for persisted jobs, skipping (and reporting
+/// through the returned list's absence) nothing: a manifest that fails
+/// to load is a hard error — a daemon must not silently forget jobs.
+pub(crate) fn scan_jobs(state_dir: &Path) -> Result<Vec<JobRec>, SnapshotError> {
+    let mut jobs = Vec::new();
+    if !state_dir.exists() {
+        return Ok(jobs);
+    }
+    let mut dirs: Vec<PathBuf> = std::fs::read_dir(state_dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.is_dir()
+                && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("job-"))
+        })
+        .collect();
+    dirs.sort();
+    for dir in dirs {
+        let manifest = dir.join("manifest.r2d3s");
+        if manifest.exists() {
+            jobs.push(JobRec::load(&manifest)?);
+        }
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::SubstrateKind;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("r2d3-store-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifests_round_trip_and_scan() {
+        let dir = tmp_dir("roundtrip");
+        let spec = JobSpec::campaign()
+            .scenarios(12)
+            .shards(3)
+            .substrates(vec![SubstrateKind::Behavioral])
+            .build()
+            .unwrap();
+        let mut rec = JobRec::new(0x2a, 7, "alice".into(), spec);
+        rec.state = JobState::Running;
+        rec.unit_done[1] = true;
+        rec.unit_progress = vec![2, 4, 0];
+        rec.error = Some("not really".into());
+        std::fs::create_dir_all(JobRec::dir(&dir, rec.id)).unwrap();
+        rec.save(&dir).unwrap();
+
+        let jobs = scan_jobs(&dir).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let back = &jobs[0];
+        assert_eq!(back.id, rec.id);
+        assert_eq!(back.client, rec.client);
+        assert_eq!(back.seq, rec.seq);
+        assert_eq!(back.spec, rec.spec);
+        assert_eq!(back.state, rec.state);
+        assert_eq!(back.error, rec.error);
+        assert_eq!(back.unit_done, rec.unit_done);
+        assert_eq!(back.unit_progress, rec.unit_progress);
+        assert_eq!(back.status().progress_done, 6);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let dir = tmp_dir("kind");
+        let spec = JobSpec::lifetime().months(1).build().unwrap();
+        let rec = JobRec::new(1, 1, "c".into(), spec);
+        std::fs::create_dir_all(JobRec::dir(&dir, rec.id)).unwrap();
+        rec.save(&dir).unwrap();
+        let path = JobRec::manifest_path(&dir, rec.id);
+        assert!(matches!(
+            crate::campaign::CampaignState::load(&path),
+            Err(SnapshotError::Kind { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

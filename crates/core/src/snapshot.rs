@@ -10,7 +10,9 @@
 //! ```
 //!
 //! * `version` — integer format version ([`SNAPSHOT_VERSION`]); readers
-//!   reject anything else, they never guess.
+//!   accept the current version, migrate bodies one version back
+//!   ([`OLDEST_MIGRATABLE_VERSION`]), and reject anything else with a
+//!   typed error — they never guess.
 //! * `kind` — what the body describes (`lifetime`, `campaign`,
 //!   `shard`); resuming a lifetime run from a campaign snapshot is a
 //!   typed error, not undefined behavior.
@@ -37,7 +39,18 @@ use std::io::{Read, Write};
 use std::path::Path;
 
 /// Current snapshot format version. Bump on any body-schema change.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// History:
+/// * **1** — initial container (kinds `lifetime`, `campaign`, `shard`).
+/// * **2** — adds the `job` manifest kind for the serve daemon's durable
+///   job store. The v1 kinds' body schemas are unchanged, so v1
+///   containers migrate losslessly (see [`read_verified`]).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// Oldest snapshot version [`read_verified`] can still migrate forward.
+/// The window is exactly one version (N−1): anything older is refused
+/// with [`SnapshotError::UnsupportedMigration`] instead of a guess.
+pub const OLDEST_MIGRATABLE_VERSION: u32 = 1;
 
 /// Magic token opening every snapshot header.
 pub const SNAPSHOT_MAGIC: &str = "R2D3SNAP";
@@ -90,6 +103,14 @@ pub enum SnapshotError {
     /// configuration (seed, scenario count, grid…) than the one being
     /// resumed.
     ConfigMismatch(String),
+    /// The snapshot predates the migration window: this build migrates
+    /// bodies forward from [`OLDEST_MIGRATABLE_VERSION`] only.
+    UnsupportedMigration {
+        /// Version in the file's header.
+        found: u32,
+        /// Oldest version this build can still migrate.
+        oldest: u32,
+    },
 }
 
 impl fmt::Display for SnapshotError {
@@ -120,6 +141,13 @@ impl fmt::Display for SnapshotError {
             SnapshotError::Malformed(msg) => write!(f, "snapshot body malformed: {msg}"),
             SnapshotError::ConfigMismatch(msg) => {
                 write!(f, "snapshot belongs to a different run: {msg}")
+            }
+            SnapshotError::UnsupportedMigration { found, oldest } => {
+                write!(
+                    f,
+                    "snapshot version {found} predates the migration window \
+                     (this build migrates {oldest} and newer)"
+                )
             }
         }
     }
@@ -231,10 +259,39 @@ pub fn write_atomic(path: &Path, kind: &str, body: &[u8]) -> Result<(), Snapshot
     Ok(())
 }
 
+/// Migrates a verified body from `version` up to [`SNAPSHOT_VERSION`],
+/// one step at a time. Each step is a total function of (kind, body):
+/// it either produces a valid next-version body or a typed error.
+fn migrate(version: u32, kind: &str, mut body: String) -> Result<String, SnapshotError> {
+    let mut v = version;
+    while v < SNAPSHOT_VERSION {
+        body = match v {
+            // v1 → v2: the `job` kind was introduced; the pre-existing
+            // kinds' body schemas are unchanged. A v1 container claiming
+            // to be a `job` manifest cannot exist, so it is malformed,
+            // not migratable.
+            1 => {
+                if kind == "job" {
+                    return Err(SnapshotError::Malformed(
+                        "\"job\" manifests do not exist in snapshot version 1".into(),
+                    ));
+                }
+                body
+            }
+            _ => unreachable!("no migration step registered for version {v}"),
+        };
+        v += 1;
+    }
+    Ok(body)
+}
+
 /// Reads and verifies a snapshot of the given `kind`, returning the body
-/// as a string. Verifies, in order: magic/header shape, version, kind,
-/// declared length (→ [`SnapshotError::Truncated`]), digest
-/// (→ [`SnapshotError::DigestMismatch`]).
+/// as a string. Verifies, in order: magic/header shape, version (newer
+/// than this build → [`SnapshotError::Version`]; older than
+/// [`OLDEST_MIGRATABLE_VERSION`] → [`SnapshotError::UnsupportedMigration`]),
+/// kind, declared length (→ [`SnapshotError::Truncated`]), digest
+/// (→ [`SnapshotError::DigestMismatch`]). Bodies from versions inside
+/// the migration window are migrated forward after integrity checks.
 pub fn read_verified(path: &Path, kind: &'static str) -> Result<String, SnapshotError> {
     let mut raw = Vec::new();
     File::open(path)?.read_to_end(&mut raw)?;
@@ -256,8 +313,14 @@ pub fn read_verified(path: &Path, kind: &'static str) -> Result<String, Snapshot
         return Err(SnapshotError::NotASnapshot);
     }
     let version: u32 = version.parse().map_err(|_| SnapshotError::NotASnapshot)?;
-    if version != SNAPSHOT_VERSION {
+    if version > SNAPSHOT_VERSION {
         return Err(SnapshotError::Version { found: version, expected: SNAPSHOT_VERSION });
+    }
+    if version < OLDEST_MIGRATABLE_VERSION {
+        return Err(SnapshotError::UnsupportedMigration {
+            found: version,
+            oldest: OLDEST_MIGRATABLE_VERSION,
+        });
     }
     if found_kind != kind {
         return Err(SnapshotError::Kind { found: found_kind.to_string(), expected: kind });
@@ -277,8 +340,9 @@ pub fn read_verified(path: &Path, kind: &'static str) -> Result<String, Snapshot
             found: found_digest,
         });
     }
-    String::from_utf8(body.to_vec())
-        .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))
+    let body = String::from_utf8(body.to_vec())
+        .map_err(|_| SnapshotError::Malformed("body is not UTF-8".into()))?;
+    migrate(version, kind, body)
 }
 
 #[cfg(test)]
@@ -347,6 +411,58 @@ mod tests {
             Err(SnapshotError::Version { found, .. }) if found == SNAPSHOT_VERSION + 1
         ));
 
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_containers_migrate_forward() {
+        let path = tmp_path("migrate-v1");
+        let body = br#"{"cursor": 3}"#;
+        write_atomic(&path, "campaign", body).unwrap();
+        // Rewrite the header as version 1; the digest covers only the
+        // body, so the container stays internally consistent.
+        let v1 = fs::read_to_string(&path).unwrap().replacen(
+            &format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} "),
+            &format!("{SNAPSHOT_MAGIC} {OLDEST_MIGRATABLE_VERSION} "),
+            1,
+        );
+        fs::write(&path, v1).unwrap();
+        let read = read_verified(&path, "campaign").unwrap();
+        assert_eq!(read.as_bytes(), body);
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn v1_job_manifest_is_malformed_not_migrated() {
+        let path = tmp_path("migrate-v1-job");
+        write_atomic(&path, "job", b"{}").unwrap();
+        let v1 = fs::read_to_string(&path).unwrap().replacen(
+            &format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} "),
+            &format!("{SNAPSHOT_MAGIC} {OLDEST_MIGRATABLE_VERSION} "),
+            1,
+        );
+        fs::write(&path, v1).unwrap();
+        assert!(matches!(read_verified(&path, "job"), Err(SnapshotError::Malformed(_))));
+        fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn pre_window_versions_are_unsupported() {
+        let path = tmp_path("migrate-v0");
+        write_atomic(&path, "campaign", b"{}").unwrap();
+        let v0 = fs::read_to_string(&path).unwrap().replacen(
+            &format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} "),
+            &format!("{SNAPSHOT_MAGIC} 0 "),
+            1,
+        );
+        fs::write(&path, v0).unwrap();
+        assert!(matches!(
+            read_verified(&path, "campaign"),
+            Err(SnapshotError::UnsupportedMigration {
+                found: 0,
+                oldest: OLDEST_MIGRATABLE_VERSION
+            })
+        ));
         fs::remove_file(&path).unwrap();
     }
 

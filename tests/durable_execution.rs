@@ -114,11 +114,20 @@ fn damaged_snapshots_are_rejected_not_reused() {
 
     // Version bump → refused before the body is even looked at.
     let text = String::from_utf8(good.clone()).unwrap();
+    let current = format!("R2D3SNAP {} ", r2d3::engine::snapshot::SNAPSHOT_VERSION);
     let bumped = tmp_path("lifetime-version.r2d3s");
-    std::fs::write(&bumped, text.replacen("R2D3SNAP 1 ", "R2D3SNAP 99 ", 1)).unwrap();
+    std::fs::write(&bumped, text.replacen(&current, "R2D3SNAP 99 ", 1)).unwrap();
     assert!(matches!(
         LifetimeRunState::load(&bumped),
         Err(SnapshotError::Version { found: 99, .. })
+    ));
+
+    // Pre-migration-window version → typed UnsupportedMigration.
+    let ancient = tmp_path("lifetime-ancient.r2d3s");
+    std::fs::write(&ancient, text.replacen(&current, "R2D3SNAP 0 ", 1)).unwrap();
+    assert!(matches!(
+        LifetimeRunState::load(&ancient),
+        Err(SnapshotError::UnsupportedMigration { found: 0, .. })
     ));
 
     // A lifetime snapshot offered to the campaign loader → kind error.
