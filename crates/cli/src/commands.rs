@@ -3,6 +3,16 @@
 //! Every subcommand declares its arguments through [`crate::args`], so
 //! flag spelling, error wording and `--help` pages stay uniform across
 //! `run`/`inject`/`campaign`/`atpg`/`lifetime`/`thermal`/`trace`.
+//!
+//! I/O note: one-shot artifact reads and writes here (assembly sources,
+//! `--out`/`--metrics-out`/`--trace-out` reports) deliberately use
+//! `std::fs` directly rather than the [`r2d3_core::chaos::Vfs`] seam.
+//! They are terminal, user-facing outputs of a batch command — a failed
+//! or torn write surfaces immediately as a non-zero exit, and rerunning
+//! the command regenerates the bytes deterministically. Only
+//! *recovery-critical* durable state (snapshots, campaign/lifetime
+//! checkpoints, the serve job store, the streaming sink) goes through
+//! the seam, where the chaos harness can torture it.
 
 use crate::args::{parse_substrate, Command, SubstrateChoice};
 use r2d3_core::api::{
@@ -831,6 +841,39 @@ pub fn thermal(args: &[String]) -> CliResult {
     println!("\nhottest layer ({hottest}):");
     print!("{}", t.render_layer(hottest, lo, hi));
     Ok(())
+}
+
+/// `r2d3 chaos`
+pub fn chaos(args: &[String]) -> CliResult {
+    let cmd = Command::new(
+        "chaos",
+        "torture the durable stack with seeded I/O fault schedules (torn writes, \
+         fsync/rename failures, ENOSPC, crash points) and verify the recovery contract",
+    )
+    .seed_flag()
+    .flag("schedules", "N", "fault schedules to run, rotating over the five targets (default 256)")
+    .switch("smoke", "CI-sized sweep (40 schedules)");
+    let Some(p) = cmd.parse(args)? else {
+        return Ok(());
+    };
+    let smoke = p.has("smoke");
+    let config = r2d3_core::campaign::ChaosConfig {
+        seed: p.get_or("seed", 0xC4A0)?,
+        schedules: p.get_or("schedules", if smoke { 40 } else { 256 })?,
+    };
+    let report = r2d3_core::campaign::run_chaos(&config);
+    print!("{}", report.render());
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} contract violation(s) — reproduce with `r2d3 chaos --seed {:#x} --schedules {}`",
+            report.violations.len(),
+            report.seed,
+            report.schedules
+        )
+        .into())
+    }
 }
 
 /// `r2d3 info`

@@ -20,6 +20,8 @@
 //! r2d3 lifetime [--policy P] [--months N] [--resume FILE] [--snapshot FILE]
 //!                                              8-year lifetime trajectory
 //! r2d3 thermal [--active N]                    steady-state stack heat map
+//! r2d3 chaos [--seed S] [--schedules N] [--smoke]
+//!                                              I/O fault-injection torture of the durable stack
 //! r2d3 info                                    physical design summary
 //! r2d3 serve [--listen ADDR] [--state-dir DIR] [--workers N] [--quota LIST]
 //!                                              campaign-as-a-service job daemon
@@ -48,6 +50,7 @@ fn main() -> ExitCode {
         Some("atpg") => commands::atpg(&args[1..]),
         Some("lifetime") => commands::lifetime(&args[1..]),
         Some("thermal") => commands::thermal(&args[1..]),
+        Some("chaos") => commands::chaos(&args[1..]),
         Some("info") => commands::info(),
         Some("serve") => serve_cmds::serve(&args[1..]),
         Some("submit") => serve_cmds::submit(&args[1..]),
@@ -97,6 +100,9 @@ fn print_usage() {
          \x20 r2d3 lifetime [--policy P] [--months N] [--resume FILE] [--snapshot FILE]\n\
          \x20                                              lifetime trajectory (P: norecon|static|lite|pro)\n\
          \x20 r2d3 thermal [--active N]                    steady-state stack temperatures\n\
+         \x20 r2d3 chaos [--seed S] [--schedules N] [--smoke]\n\
+         \x20                                              I/O fault-injection torture of the\n\
+         \x20                                              durable stack (crash, torn write, ENOSPC)\n\
          \x20 r2d3 info                                    physical design summary (Table III)\n\
          \x20 r2d3 serve [--listen ADDR] [--state-dir DIR] [--workers N] [--quota LIST]\n\
          \x20                                              campaign-as-a-service job daemon\n\

@@ -18,7 +18,11 @@ use r2d3_core::telemetry::OverflowPolicy;
 const DEFAULT_ADDR: &str = "r2d3.sock";
 
 fn connect_flag(cmd: Command) -> Command {
-    cmd.flag("connect", "ADDR", "daemon address: unix:PATH, tcp:HOST:PORT or a socket path")
+    cmd.flag("connect", "ADDR", "daemon address: unix:PATH, tcp:HOST:PORT or a socket path").flag(
+        "timeout",
+        "MS",
+        "deadline in milliseconds for the tcp connect and each request/response roundtrip",
+    )
 }
 
 fn client_flags(cmd: Command) -> Command {
@@ -27,9 +31,18 @@ fn client_flags(cmd: Command) -> Command {
         .flag("priority", "N", "scheduling priority within this client's queue (default 0)")
 }
 
-fn connect(addr: Option<&str>) -> Result<Client, Box<dyn std::error::Error>> {
+fn connect(
+    addr: Option<&str>,
+    timeout_ms: Option<&str>,
+) -> Result<Client, Box<dyn std::error::Error>> {
     let listen = Listen::parse(addr.unwrap_or(DEFAULT_ADDR))?;
-    Ok(Client::connect(&listen)?)
+    let deadline = match timeout_ms {
+        Some(v) => Some(std::time::Duration::from_millis(
+            v.parse().map_err(|_| format!("invalid --timeout `{v}` (expected milliseconds)"))?,
+        )),
+        None => None,
+    };
+    Ok(Client::connect_with_deadlines(&listen, deadline, deadline)?)
 }
 
 /// `r2d3 serve`
@@ -74,6 +87,7 @@ pub fn serve(args: &[String]) -> CliResult {
         snapshot_every: p.get_or("snapshot-every", 1)?,
         lease_steps,
         paused: false,
+        io: r2d3_core::chaos::IoEnv::default(),
     };
     eprintln!(
         "serving on {listen} — state in {}, {} worker(s)",
@@ -110,8 +124,13 @@ pub fn submit(args: &[String]) -> CliResult {
     }
 }
 
-fn send(p_connect: Option<&str>, client_name: Option<&str>, spec: &JobSpec) -> CliResult {
-    let mut client = connect(p_connect)?;
+fn send(
+    p_connect: Option<&str>,
+    timeout_ms: Option<&str>,
+    client_name: Option<&str>,
+    spec: &JobSpec,
+) -> CliResult {
+    let mut client = connect(p_connect, timeout_ms)?;
     let job = client.submit(client_name.unwrap_or("cli"), spec)?;
     eprintln!("submitted as job {job}");
     println!("{job}");
@@ -149,7 +168,7 @@ fn submit_campaign(args: &[String]) -> CliResult {
         builder = builder.core(core);
     }
     let spec = builder.build().map_err(|e| e.to_string())?;
-    send(p.get("connect"), p.get("client"), &spec)
+    send(p.get("connect"), p.get("timeout"), p.get("client"), &spec)
 }
 
 fn submit_lifetime(args: &[String]) -> CliResult {
@@ -177,7 +196,7 @@ fn submit_lifetime(args: &[String]) -> CliResult {
         .priority(p.get_or("priority", 0)?)
         .build()
         .map_err(|e| e.to_string())?;
-    send(p.get("connect"), p.get("client"), &spec)
+    send(p.get("connect"), p.get("timeout"), p.get("client"), &spec)
 }
 
 fn submit_inject(args: &[String]) -> CliResult {
@@ -212,7 +231,7 @@ fn submit_inject(args: &[String]) -> CliResult {
         .priority(p.get_or("priority", 0)?)
         .build()
         .map_err(|e| e.to_string())?;
-    send(p.get("connect"), p.get("client"), &spec)
+    send(p.get("connect"), p.get("timeout"), p.get("client"), &spec)
 }
 
 fn status_line(s: &JobStatus) -> String {
@@ -251,7 +270,7 @@ pub fn status(args: &[String]) -> CliResult {
         [one] => Some(JobId::parse(one).map_err(|e| e.to_string())?),
         more => return Err(format!("expected at most one job id, got {}", more.len()).into()),
     };
-    let mut client = connect(p.get("connect"))?;
+    let mut client = connect(p.get("connect"), p.get("timeout"))?;
     let jobs = client.status(job)?;
     println!("job       client      kind      state      units    progress");
     for s in &jobs {
@@ -259,6 +278,9 @@ pub fn status(args: &[String]) -> CliResult {
     }
     if let Some(path) = p.get("result-out") {
         let job = job.ok_or("--result-out needs a job id")?;
+        // Client-side convenience copy of the daemon's durable report —
+        // a torn write here exits non-zero and refetching regenerates
+        // the bytes, so it stays off the chaos Vfs seam.
         std::fs::write(path, client.result(job)?)?;
         eprintln!("report written to {path}");
     }
@@ -278,6 +300,9 @@ fn event_line(ev: &JobEvent) -> String {
         JobEvent::UnitDone { job, unit } => format!("{job}: unit {unit} done"),
         JobEvent::WorkerLost { job, unit, done } => {
             format!("{job}: unit {unit} lost its worker at {done}; re-queued")
+        }
+        JobEvent::Degraded { job, reason } => {
+            format!("{job}: degraded — {reason} (parked; resumes when disk pressure lifts)")
         }
         JobEvent::Completed { job } => format!("{job}: completed"),
         JobEvent::Failed { job, error } => format!("{job}: failed — {error}"),
@@ -305,8 +330,18 @@ pub fn watch(args: &[String]) -> CliResult {
         Some(tok) => parse_overflow(tok)
             .map_err(|_| format!("unknown overflow policy `{tok}` (block|drop)"))?,
     };
-    let mut client = connect(p.get("connect"))?;
-    let terminal = client.watch(job, overflow, |ev| println!("{}", event_line(ev)))?;
+    let mut client = connect(p.get("connect"), p.get("timeout"))?;
+    let terminal =
+        client.watch(job, overflow, |ev| println!("{}", event_line(ev))).map_err(|e| match e {
+            // A dead daemon must be a loud, non-zero exit — not a
+            // silent end-of-stream that looks like completion.
+            r2d3_core::serve::ServeError::Closed => format!(
+                "watch {job}: connection closed before the job finished — the daemon died or \
+                 was shut down; its state is durable, restart it and re-run `r2d3 watch {job}`"
+            )
+            .into(),
+            other => Box::<dyn std::error::Error>::from(other),
+        })?;
     match terminal {
         JobEvent::Completed { .. } => Ok(()),
         JobEvent::Failed { error, .. } => Err(format!("job {job} failed: {error}").into()),
@@ -325,7 +360,7 @@ pub fn cancel(args: &[String]) -> CliResult {
         return Ok(());
     };
     let job = JobId::parse(p.positional(0)).map_err(|e| e.to_string())?;
-    let mut client = connect(p.get("connect"))?;
+    let mut client = connect(p.get("connect"), p.get("timeout"))?;
     if client.cancel(job)? {
         eprintln!("job {job} canceled");
     } else {

@@ -74,6 +74,10 @@ pub enum ApiError {
     UnknownOp(String),
     /// The job/event/state kind token is not part of the protocol.
     UnknownKind(String),
+    /// A client-side deadline expired before the peer answered (connect
+    /// or read timeout). The connection is no longer usable: a reply
+    /// arriving after the timeout would desynchronize the stream.
+    Timeout,
 }
 
 impl ApiError {
@@ -87,6 +91,7 @@ impl ApiError {
             ApiError::Invalid { .. } => "invalid",
             ApiError::UnknownOp(_) => "unknown_op",
             ApiError::UnknownKind(_) => "unknown_kind",
+            ApiError::Timeout => "timeout",
         }
     }
 
@@ -113,6 +118,7 @@ impl fmt::Display for ApiError {
             ApiError::Invalid { field, reason } => write!(f, "invalid \"{field}\": {reason}"),
             ApiError::UnknownOp(op) => write!(f, "unknown op \"{op}\""),
             ApiError::UnknownKind(kind) => write!(f, "unknown kind \"{kind}\""),
+            ApiError::Timeout => write!(f, "operation timed out"),
         }
     }
 }

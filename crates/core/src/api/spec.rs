@@ -593,6 +593,8 @@ pub(crate) fn parse_substrate_kind(token: &str) -> Result<SubstrateKind, ApiErro
 ///
 /// [`EngineError::InvalidConfig`] describing the read or parse failure.
 pub fn load_core_stages(path: &str) -> Result<Vec<StageNetlist>, EngineError> {
+    // Read-only user input, not durable state: stays off the chaos Vfs
+    // seam on purpose (a failed read is a typed config error up front).
     let text = std::fs::read_to_string(path)
         .map_err(|e| EngineError::InvalidConfig(format!("{path}: {e}")))?;
     let netlist = if text.trim_start().starts_with('{') {

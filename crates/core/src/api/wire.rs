@@ -374,6 +374,11 @@ pub enum JobState {
     Queued,
     /// At least one unit is executing.
     Running,
+    /// Persistent disk pressure (`ENOSPC`): the daemon parked the job's
+    /// units instead of failing them; see [`JobStatus::error`] for the
+    /// reason. Not terminal — the job resumes (→ [`JobState::Queued`])
+    /// when writes to the state directory succeed again.
+    Degraded,
     /// All units finished and the report is rendered.
     Completed,
     /// The engine reported an error; see [`JobStatus::error`].
@@ -389,6 +394,7 @@ impl JobState {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
+            JobState::Degraded => "degraded",
             JobState::Completed => "completed",
             JobState::Failed => "failed",
             JobState::Canceled => "canceled",
@@ -404,6 +410,7 @@ impl JobState {
         match token {
             "queued" => Ok(JobState::Queued),
             "running" => Ok(JobState::Running),
+            "degraded" => Ok(JobState::Degraded),
             "completed" => Ok(JobState::Completed),
             "failed" => Ok(JobState::Failed),
             "canceled" => Ok(JobState::Canceled),
@@ -431,7 +438,8 @@ pub struct JobStatus {
     pub priority: u8,
     /// Lifecycle state.
     pub state: JobState,
-    /// Failure description when `state` is [`JobState::Failed`].
+    /// Failure description when `state` is [`JobState::Failed`], or the
+    /// disk-pressure reason when it is [`JobState::Degraded`].
     pub error: Option<String>,
     /// Schedulable units the job splits into.
     pub units: u64,
@@ -555,6 +563,14 @@ pub enum JobEvent {
         /// Steps completed job-wide when the worker was lost.
         done: u64,
     },
+    /// Persistent disk pressure parked the job's units; not terminal —
+    /// the job resumes when writes succeed again.
+    Degraded {
+        /// Job id.
+        job: JobId,
+        /// Why the job was parked (e.g. the `ENOSPC` description).
+        reason: String,
+    },
     /// All units finished; the report is rendered and fetchable.
     Completed {
         /// Job id.
@@ -585,6 +601,7 @@ impl JobEvent {
             | JobEvent::Checkpointed { job, .. }
             | JobEvent::UnitDone { job, .. }
             | JobEvent::WorkerLost { job, .. }
+            | JobEvent::Degraded { job, .. }
             | JobEvent::Completed { job }
             | JobEvent::Failed { job, .. }
             | JobEvent::Canceled { job } => *job,
@@ -610,6 +627,7 @@ impl JobEvent {
             JobEvent::Checkpointed { .. } => "checkpointed",
             JobEvent::UnitDone { .. } => "unit_done",
             JobEvent::WorkerLost { .. } => "worker_lost",
+            JobEvent::Degraded { .. } => "degraded",
             JobEvent::Completed { .. } => "completed",
             JobEvent::Failed { .. } => "failed",
             JobEvent::Canceled { .. } => "canceled",
@@ -637,6 +655,9 @@ impl JobEvent {
             }
             JobEvent::Completed { .. } | JobEvent::Canceled { .. } => format!("{head}}}"),
             JobEvent::Failed { error, .. } => format!("{head},\"error\":\"{}\"}}", escape(error)),
+            JobEvent::Degraded { reason, .. } => {
+                format!("{head},\"reason\":\"{}\"}}", escape(reason))
+            }
         }
     }
 
@@ -668,6 +689,9 @@ impl JobEvent {
                 unit: need_u64(&v, "unit")?,
                 done: need_u64(&v, "done")?,
             }),
+            "degraded" => {
+                Ok(JobEvent::Degraded { job, reason: need_str(&v, "reason")?.to_string() })
+            }
             "completed" => Ok(JobEvent::Completed { job }),
             "failed" => Ok(JobEvent::Failed { job, error: need_str(&v, "error")?.to_string() }),
             "canceled" => Ok(JobEvent::Canceled { job }),

@@ -24,6 +24,7 @@ use crate::campaign::runner::{
 use crate::campaign::scenario::{
     generate_scenarios_with, FaultKind, FaultScenario, Injection, KindId, ScenarioSpace, KIND_NAMES,
 };
+use crate::chaos::Vfs;
 use crate::jsonio::{hex_u64, Value};
 use crate::snapshot::{self, SnapshotError};
 use crate::telemetry::Histogram;
@@ -144,6 +145,15 @@ impl ShardReport {
         snapshot::write_atomic(path, Self::KIND, self.to_body().as_bytes())
     }
 
+    /// [`save`](ShardReport::save) through a [`Vfs`] seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError::Io`].
+    pub fn save_with(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), SnapshotError> {
+        snapshot::write_atomic_with(vfs, path, Self::KIND, self.to_body().as_bytes())
+    }
+
     /// Loads and verifies a shard report written by
     /// [`save`](ShardReport::save).
     ///
@@ -153,6 +163,15 @@ impl ShardReport {
     /// digest mismatch, malformed body.
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
         Self::from_body(&snapshot::read_verified(path, Self::KIND)?)
+    }
+
+    /// [`load`](ShardReport::load) through a [`Vfs`] seam.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`].
+    pub fn load_with(vfs: &dyn Vfs, path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_body(&snapshot::read_verified_with(vfs, path, Self::KIND)?)
     }
 
     fn to_body(&self) -> String {
@@ -390,6 +409,15 @@ impl CampaignState {
         snapshot::write_atomic(path, Self::KIND, self.to_body().as_bytes())
     }
 
+    /// [`save`](CampaignState::save) through a [`Vfs`] seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError::Io`].
+    pub fn save_with(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), SnapshotError> {
+        snapshot::write_atomic_with(vfs, path, Self::KIND, self.to_body().as_bytes())
+    }
+
     /// Loads and verifies a state written by [`save`](CampaignState::save).
     ///
     /// # Errors
@@ -398,6 +426,15 @@ impl CampaignState {
     /// digest mismatch, malformed body.
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
         Self::from_body(&snapshot::read_verified(path, Self::KIND)?)
+    }
+
+    /// [`load`](CampaignState::load) through a [`Vfs`] seam.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`].
+    pub fn load_with(vfs: &dyn Vfs, path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_body(&snapshot::read_verified_with(vfs, path, Self::KIND)?)
     }
 
     fn to_body(&self) -> String {

@@ -44,6 +44,7 @@
 //! ```
 
 mod adversary;
+pub mod chaos;
 mod durable;
 mod report;
 mod runner;
@@ -51,6 +52,7 @@ mod scenario;
 mod shrink;
 
 pub use adversary::Adversary;
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport, CHAOS_TARGETS};
 pub use durable::{
     merge_shards, run_campaign_durable, run_campaign_sharded, run_shard, shard_scenarios,
     CampaignState, ShardReport, ShardSpec,

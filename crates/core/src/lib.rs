@@ -68,6 +68,7 @@
 pub mod activity;
 pub mod api;
 pub mod campaign;
+pub mod chaos;
 pub mod checker;
 pub mod checkpoint;
 pub mod config;

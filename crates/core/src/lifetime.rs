@@ -483,6 +483,16 @@ impl LifetimeRunState {
         snapshot::write_atomic(path, Self::KIND, self.to_body().as_bytes())
     }
 
+    /// [`save`](LifetimeRunState::save) through a
+    /// [`Vfs`](crate::chaos::Vfs) seam.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SnapshotError::Io`].
+    pub fn save_with(&self, vfs: &dyn crate::chaos::Vfs, path: &Path) -> Result<(), SnapshotError> {
+        snapshot::write_atomic_with(vfs, path, Self::KIND, self.to_body().as_bytes())
+    }
+
     /// Loads and verifies a state previously written by
     /// [`save`](LifetimeRunState::save).
     ///
@@ -492,6 +502,16 @@ impl LifetimeRunState {
     /// digest mismatch, malformed body.
     pub fn load(path: &Path) -> Result<Self, SnapshotError> {
         Self::from_body(&snapshot::read_verified(path, Self::KIND)?)
+    }
+
+    /// [`load`](LifetimeRunState::load) through a
+    /// [`Vfs`](crate::chaos::Vfs) seam.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SnapshotError`].
+    pub fn load_with(vfs: &dyn crate::chaos::Vfs, path: &Path) -> Result<Self, SnapshotError> {
+        Self::from_body(&snapshot::read_verified_with(vfs, path, Self::KIND)?)
     }
 
     fn to_body(&self) -> String {

@@ -1,13 +1,23 @@
 //! Blocking client for the serve protocol: one socket, line-oriented
 //! request/response, plus the streaming `watch` conversation.
+//!
+//! Deadlines: [`Client::connect_with_deadlines`] bounds both the TCP
+//! connect and every request/response roundtrip; an expired deadline
+//! surfaces as the typed [`ApiError::Timeout`] (wrapped in
+//! [`ServeError::Protocol`]), never as a bare I/O error, so callers
+//! can distinguish "the daemon is slow/gone" from "my request was
+//! malformed". The streaming phase of [`Client::watch`] suspends the
+//! per-request deadline — the gap between job events is unbounded by
+//! design — and restores it before returning.
 
 use super::{Listen, ServeError};
 use crate::api::wire::{decode_response, JobEvent, JobStatus, Reply, Request, Response};
 use crate::api::{ApiError, JobId, JobSpec};
 use crate::telemetry::OverflowPolicy;
-use std::io::{BufRead, BufReader, Read, Write};
-use std::net::TcpStream;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::net::UnixStream;
+use std::time::Duration;
 
 enum Conn {
     Unix(UnixStream),
@@ -20,6 +30,30 @@ impl Conn {
             Conn::Unix(s) => Conn::Unix(s.try_clone()?),
             Conn::Tcp(s) => Conn::Tcp(s.try_clone()?),
         })
+    }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_read_timeout(d),
+            Conn::Tcp(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Conn::Unix(s) => s.set_write_timeout(d),
+            Conn::Tcp(s) => s.set_write_timeout(d),
+        }
+    }
+}
+
+/// Maps an expired socket deadline to the typed timeout error; every
+/// other I/O failure stays an I/O error.
+fn map_io(e: std::io::Error) -> ServeError {
+    if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) {
+        ServeError::Protocol(ApiError::Timeout)
+    } else {
+        ServeError::Io(e)
     }
 }
 
@@ -52,6 +86,8 @@ impl Write for Conn {
 pub struct Client {
     reader: BufReader<Conn>,
     writer: Conn,
+    /// Per-roundtrip read/write deadline (`None` = wait forever).
+    request_deadline: Option<Duration>,
 }
 
 fn unexpected_reply() -> ServeError {
@@ -62,32 +98,75 @@ fn unexpected_reply() -> ServeError {
 }
 
 impl Client {
-    /// Connects to a daemon at the given address.
+    /// Connects to a daemon at the given address with no deadlines
+    /// (waits forever, like a plain blocking socket).
     ///
     /// # Errors
     ///
     /// [`ServeError::Io`] when the socket cannot be opened.
     pub fn connect(listen: &Listen) -> Result<Client, ServeError> {
+        Self::connect_with_deadlines(listen, None, None)
+    }
+
+    /// Connects with an optional connect deadline (TCP only — a Unix
+    /// socket connect is a local operation that either succeeds or
+    /// fails immediately) and an optional per-request deadline applied
+    /// to every roundtrip.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Protocol`] carrying [`ApiError::Timeout`] when the
+    /// connect deadline expires; [`ServeError::Io`] for other socket
+    /// failures.
+    pub fn connect_with_deadlines(
+        listen: &Listen,
+        connect: Option<Duration>,
+        request: Option<Duration>,
+    ) -> Result<Client, ServeError> {
         let writer = match listen {
             Listen::Unix(path) => Conn::Unix(UnixStream::connect(path)?),
-            Listen::Tcp(addr) => Conn::Tcp(TcpStream::connect(addr.as_str())?),
+            Listen::Tcp(addr) => Conn::Tcp(match connect {
+                None => TcpStream::connect(addr.as_str())?,
+                Some(d) => {
+                    let sa =
+                        addr.as_str().to_socket_addrs()?.next().ok_or_else(|| {
+                            ServeError::Addr(format!("{addr}: no usable address"))
+                        })?;
+                    TcpStream::connect_timeout(&sa, d).map_err(map_io)?
+                }
+            }),
         };
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        let mut client = Client { reader, writer, request_deadline: None };
+        client.set_request_deadline(request)?;
+        Ok(client)
+    }
+
+    /// Sets (or clears) the per-roundtrip deadline on an existing
+    /// connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Io`] if the socket rejects the option.
+    pub fn set_request_deadline(&mut self, d: Option<Duration>) -> Result<(), ServeError> {
+        self.reader.get_ref().set_read_timeout(d)?;
+        self.writer.set_write_timeout(d)?;
+        self.request_deadline = d;
+        Ok(())
     }
 
     fn read_line(&mut self) -> Result<String, ServeError> {
         let mut line = String::new();
-        if self.reader.read_line(&mut line)? == 0 {
+        if self.reader.read_line(&mut line).map_err(map_io)? == 0 {
             return Err(ServeError::Closed);
         }
         Ok(line)
     }
 
     fn roundtrip(&mut self, req: &Request) -> Result<Reply, ServeError> {
-        self.writer.write_all(req.encode().as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()?;
+        self.writer.write_all(req.encode().as_bytes()).map_err(map_io)?;
+        self.writer.write_all(b"\n").map_err(map_io)?;
+        self.writer.flush().map_err(map_io)?;
         let line = self.read_line()?;
         match decode_response(&line)? {
             Response::Ok(reply) => Ok(reply),
@@ -177,13 +256,19 @@ impl Client {
             Reply::Watching { .. } => {}
             _ => return Err(unexpected_reply()),
         }
-        loop {
+        // The gap between live events is unbounded (a unit can compute
+        // arbitrarily long between observer steps), so the roundtrip
+        // deadline is suspended for the stream and restored afterwards.
+        self.reader.get_ref().set_read_timeout(None)?;
+        let result = (|| loop {
             let line = self.read_line()?;
             let ev = JobEvent::decode(&line)?;
             on_event(&ev);
             if ev.is_terminal() {
                 return Ok(ev);
             }
-        }
+        })();
+        let _ = self.reader.get_ref().set_read_timeout(self.request_deadline);
+        result
     }
 }

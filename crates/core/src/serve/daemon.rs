@@ -1,11 +1,18 @@
 //! The job daemon: socket front end, admission, worker pool, durable
 //! execution and recovery.
 //!
-//! Locking discipline: `jobs` before `sched` when both are needed;
-//! event emission ([`EventHub::emit`]) never takes either, so it may be
-//! called with or without them held (helpers here emit *after*
-//! releasing `jobs` so a blocked watcher can never stall status
-//! queries).
+//! Locking discipline: `jobs` before `sched` before `parked` when more
+//! than one is needed; event emission ([`EventHub::emit`]) never takes
+//! any of them, so it may be called with or without them held (helpers
+//! here emit *after* releasing `jobs` so a blocked watcher can never
+//! stall status queries).
+//!
+//! Every durable byte goes through [`ServeConfig::io`]: transient
+//! write/fsync/rename faults get a bounded retry on the env's clock;
+//! persistent `ENOSPC` parks the affected job ([`JobState::Degraded`],
+//! units moved off the run queue) instead of failing it, and a periodic
+//! write probe un-parks everything once the state directory accepts
+//! writes again.
 
 use super::events::EventHub;
 use super::sched::{QueueEntry, Scheduler};
@@ -19,7 +26,9 @@ use crate::api::{
 use crate::campaign::{
     merge_shards, render_report, run_shard, CampaignState, ShardReport, ShardSpec,
 };
+use crate::chaos::{is_disk_full, IoEnv};
 use crate::lifetime::{LifetimeRunState, LifetimeSim};
+use crate::snapshot::SnapshotError;
 use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpListener;
@@ -41,6 +50,15 @@ struct Inner {
     next_id: AtomicU64,
     next_seq: AtomicU64,
     dispatch_log: Mutex<Vec<String>>,
+    /// Units parked by disk-pressure degradation: off the run queue
+    /// until a write probe succeeds, never lost.
+    parked: Mutex<Vec<QueueEntry>>,
+}
+
+impl Inner {
+    fn env(&self) -> &IoEnv {
+        &self.config.io
+    }
 }
 
 /// A running `r2d3 serve` daemon. Dropping the handle does **not**
@@ -61,19 +79,24 @@ impl Daemon {
     ///
     /// [`ServeError`] on bind failure or unreadable state.
     pub fn start(config: ServeConfig, listen: &Listen) -> Result<Daemon, ServeError> {
-        std::fs::create_dir_all(&config.state_dir)?;
-        let hub = EventHub::new();
+        let env = config.io.clone();
+        env.vfs.create_dir_all(&config.state_dir)?;
+        let hub = EventHub::new(env.clone());
         let mut sched = Scheduler::new(config.default_quota, &config.quotas, config.paused);
         let mut jobs = BTreeMap::new();
         let (mut next_id, mut next_seq) = (1u64, 1u64);
-        for mut j in scan_jobs(&config.state_dir)? {
+        for mut j in scan_jobs(env.vfs.as_ref(), &config.state_dir)? {
             next_id = next_id.max(j.id + 1);
             next_seq = next_seq.max(j.seq + 1);
             hub.preload(j.id, &JobRec::events_path(&config.state_dir, j.id))?;
             if !j.state.is_terminal() {
-                if j.state == JobState::Running {
+                // A job mid-run (or parked for disk pressure) when the
+                // previous daemon died starts over from Queued; its
+                // units resume from their checkpoints.
+                if j.state == JobState::Running || j.state == JobState::Degraded {
                     j.state = JobState::Queued;
-                    j.save(&config.state_dir)?;
+                    j.error = None;
+                    j.save(&env, &config.state_dir)?;
                 }
                 for unit in 0..j.units() {
                     if !j.unit_done[unit as usize] {
@@ -101,6 +124,7 @@ impl Daemon {
             next_id: AtomicU64::new(next_id),
             next_seq: AtomicU64::new(next_seq),
             dispatch_log: Mutex::new(Vec::new()),
+            parked: Mutex::new(Vec::new()),
         });
 
         let accept = spawn_accept(&inner, listen)?;
@@ -158,6 +182,8 @@ fn spawn_accept(inner: &Arc<Inner>, listen: &Listen) -> Result<JoinHandle<()>, S
     }
     let bound = match listen {
         Listen::Unix(path) => {
+            // The socket file is ephemeral plumbing, not durable state —
+            // clearing a stale one bypasses the chaos Vfs seam on purpose.
             if path.exists() {
                 std::fs::remove_file(path)?;
             }
@@ -309,10 +335,14 @@ fn serve_request(inner: &Arc<Inner>, req: Request, out: &mut impl Write) -> std:
             let resp = match state {
                 None => err_response("not_found", format!("no job {job}")),
                 Some(JobState::Completed) => {
-                    match std::fs::read_to_string(JobRec::report_path(
-                        &inner.config.state_dir,
-                        job.0,
-                    )) {
+                    let path = JobRec::report_path(&inner.config.state_dir, job.0);
+                    match inner
+                        .env()
+                        .vfs
+                        .read(&path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|raw| String::from_utf8(raw).map_err(|e| e.to_string()))
+                    {
                         Ok(report) => Response::Ok(Reply::Report { job, report }),
                         Err(e) => err_response("io", format!("report for {job}: {e}")),
                     }
@@ -337,8 +367,12 @@ fn admit(inner: &Arc<Inner>, client: String, spec: JobSpec) -> Result<u64, Serve
     let rec = JobRec::new(id, seq, client.clone(), spec);
     let units = rec.units();
     let priority = rec.spec.priority;
-    std::fs::create_dir_all(JobRec::dir(&inner.config.state_dir, id))?;
-    rec.save(&inner.config.state_dir)?;
+    let env = inner.env();
+    env.vfs.create_dir_all(&JobRec::dir(&inner.config.state_dir, id))?;
+    // The job directory's *entry* must be durable too, or a crash could
+    // forget an accepted job — same bug class as the snapshot rename.
+    env.retry_io(|| env.vfs.sync_dir(&inner.config.state_dir))?;
+    rec.save(env, &inner.config.state_dir)?;
     inner.hub.open(id, &JobRec::events_path(&inner.config.state_dir, id))?;
     inner.jobs.lock().unwrap().insert(id, rec);
     inner.hub.emit(&JobEvent::Accepted { job: JobId(id), units });
@@ -363,9 +397,10 @@ fn cancel_job(inner: &Arc<Inner>, id: u64) -> Option<bool> {
         }
         j.cancel_requested = true;
         inner.sched.lock().unwrap().remove_job(id);
+        inner.parked.lock().unwrap().retain(|e| e.job != id);
         if j.running_units == 0 {
             j.state = JobState::Canceled;
-            let _ = j.save(&inner.config.state_dir);
+            let _ = j.save(inner.env(), &inner.config.state_dir);
             emit_canceled = true;
         }
         // Units already on a worker observe the latch at their next
@@ -385,15 +420,18 @@ enum UnitRun {
     Failed(String),
 }
 
-#[derive(Clone, Copy, PartialEq)]
+#[derive(Clone, PartialEq)]
 enum Stop {
     Shutdown,
     Cancel,
     Lease,
+    /// Persistent disk pressure: the unit parks instead of failing.
+    Degraded(String),
 }
 
 fn worker_loop(inner: &Arc<Inner>) {
     loop {
+        maybe_unpark(inner);
         let entry = {
             let mut sched = inner.sched.lock().unwrap();
             loop {
@@ -401,13 +439,20 @@ fn worker_loop(inner: &Arc<Inner>) {
                     return;
                 }
                 if let Some(e) = sched.pick() {
-                    break e;
+                    break Some(e);
                 }
-                let (guard, _) =
+                let (guard, timeout) =
                     inner.cond.wait_timeout(sched, Duration::from_millis(200)).unwrap();
                 sched = guard;
+                if timeout.timed_out() {
+                    // Release the queue lock so the outer loop can
+                    // re-probe parked (degraded) work without holding
+                    // `sched` across the jobs lock.
+                    break None;
+                }
             }
         };
+        let Some(entry) = entry else { continue };
         inner
             .dispatch_log
             .lock()
@@ -415,6 +460,50 @@ fn worker_loop(inner: &Arc<Inner>) {
             .push(format!("{}:{:08x}.{}", entry.client, entry.job, entry.unit));
         run_unit(inner, entry);
     }
+}
+
+/// When parked units exist, probes the state directory with a small
+/// write+fsync; on success every parked unit re-queues and its job
+/// leaves [`JobState::Degraded`]. Pressure still present → leave them
+/// parked and try again on the next idle tick.
+fn maybe_unpark(inner: &Arc<Inner>) {
+    if inner.parked.lock().unwrap().is_empty() {
+        return;
+    }
+    let env = inner.env();
+    let probe = inner.config.state_dir.join(".write-probe");
+    let probe_ok = (|| -> std::io::Result<()> {
+        let mut f = env.vfs.create(&probe)?;
+        f.write_all(b"probe")?;
+        f.sync_all()?;
+        drop(f);
+        env.vfs.remove_file(&probe)
+    })()
+    .is_ok();
+    if !probe_ok {
+        return;
+    }
+    let entries: Vec<QueueEntry> = std::mem::take(&mut *inner.parked.lock().unwrap());
+    if entries.is_empty() {
+        return;
+    }
+    {
+        let mut jobs = inner.jobs.lock().unwrap();
+        let mut sched = inner.sched.lock().unwrap();
+        for entry in entries {
+            if let Some(j) = jobs.get_mut(&entry.job) {
+                if j.state == JobState::Degraded {
+                    j.state = JobState::Queued;
+                    j.error = None;
+                    let _ = j.save(inner.env(), &inner.config.state_dir);
+                }
+                if !j.state.is_terminal() && !j.cancel_requested {
+                    sched.push(entry);
+                }
+            }
+        }
+    }
+    inner.cond.notify_all();
 }
 
 fn run_unit(inner: &Arc<Inner>, entry: QueueEntry) {
@@ -427,7 +516,7 @@ fn run_unit(inner: &Arc<Inner>, entry: QueueEntry) {
         j.running_units += 1;
         if j.state == JobState::Queued {
             j.state = JobState::Running;
-            let _ = j.save(&inner.config.state_dir);
+            let _ = j.save(inner.env(), &inner.config.state_dir);
         }
         j.spec.clone()
     };
@@ -454,7 +543,7 @@ fn update_progress(inner: &Arc<Inner>, job: u64, unit: u64, unit_steps: u64) -> 
 fn save_manifest(inner: &Arc<Inner>, job: u64) {
     let jobs = inner.jobs.lock().unwrap();
     if let Some(j) = jobs.get(&job) {
-        let _ = j.save(&inner.config.state_dir);
+        let _ = j.save(inner.env(), &inner.config.state_dir);
     }
 }
 
@@ -541,18 +630,27 @@ fn run_campaign_unit(
         Ok(s) => s,
         Err(e) => return UnitRun::Failed(e),
     };
+    let env = inner.env();
     let state_path = JobRec::unit_state_path(&inner.config.state_dir, job, unit);
     // A corrupt or stale checkpoint is discarded (typed rejection →
     // fresh start for this unit); a valid one resumes mid-shard.
-    let resume = CampaignState::load(&state_path).ok();
+    let resume = CampaignState::load_with(env.vfs.as_ref(), &state_path).ok();
     let owned = (0..c.scenarios).filter(|id| id % c.shards == unit as usize).count();
     let mut obs = UnitObserver::new(inner, job, unit, spec.progress_total());
     let result = run_shard(&cfg, shard, resume, |st| {
         let unit_steps = (st.substrate() * owned + st.scenario()) as u64;
         let (done, checkpoint, flow) = obs.step(unit_steps);
         if checkpoint {
-            st.save(&state_path)?;
-            obs.checkpointed(done);
+            match env.retry_snapshot(|| st.save_with(env.vfs.as_ref(), &state_path)) {
+                Ok(()) => obs.checkpointed(done),
+                Err(SnapshotError::Io(e)) if is_disk_full(&e) => {
+                    // Persistent pressure: park instead of failing; the
+                    // next dispatch resumes from the last checkpoint.
+                    obs.stop = Some(Stop::Degraded(format!("unit checkpoint: {e}")));
+                    return Ok(ControlFlow::Break(()));
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(flow)
     });
@@ -561,10 +659,14 @@ fn run_campaign_unit(
         Ok(None) => UnitRun::Interrupted(obs.stop.unwrap_or(Stop::Shutdown)),
         Ok(Some(shard_report)) => {
             let shard_path = JobRec::unit_shard_path(&inner.config.state_dir, job, unit);
-            if let Err(e) = shard_report.save(&shard_path) {
-                return UnitRun::Failed(e.to_string());
+            match env.retry_snapshot(|| shard_report.save_with(env.vfs.as_ref(), &shard_path)) {
+                Ok(()) => {}
+                Err(SnapshotError::Io(e)) if is_disk_full(&e) => {
+                    return UnitRun::Interrupted(Stop::Degraded(format!("shard report: {e}")));
+                }
+                Err(e) => return UnitRun::Failed(e.to_string()),
             }
-            let _ = std::fs::remove_file(&state_path);
+            let _ = env.vfs.remove_file(&state_path);
             update_progress(inner, job, unit, (owned * cfg.substrates.len()) as u64);
             UnitRun::Done
         }
@@ -574,14 +676,21 @@ fn run_campaign_unit(
 fn run_lifetime_unit(inner: &Arc<Inner>, job: u64, spec: &JobSpec, l: &LifetimeSpec) -> UnitRun {
     let cfg = l.to_config();
     let months = cfg.months;
+    let env = inner.env();
     let state_path = JobRec::unit_state_path(&inner.config.state_dir, job, 0);
-    let resume = LifetimeRunState::load(&state_path).ok();
+    let resume = LifetimeRunState::load_with(env.vfs.as_ref(), &state_path).ok();
     let mut obs = UnitObserver::new(inner, job, 0, spec.progress_total());
     let result = LifetimeSim::new(cfg).run_durable(resume, |st| {
         let (done, checkpoint, flow) = obs.step(st.months_done(months) as u64);
         if checkpoint {
-            st.save(&state_path)?;
-            obs.checkpointed(done);
+            match env.retry_snapshot(|| st.save_with(env.vfs.as_ref(), &state_path)) {
+                Ok(()) => obs.checkpointed(done),
+                Err(SnapshotError::Io(e)) if is_disk_full(&e) => {
+                    obs.stop = Some(Stop::Degraded(format!("unit checkpoint: {e}")));
+                    return Ok(ControlFlow::Break(()));
+                }
+                Err(e) => return Err(e.into()),
+            }
         }
         Ok(flow)
     });
@@ -590,12 +699,14 @@ fn run_lifetime_unit(inner: &Arc<Inner>, job: u64, spec: &JobSpec, l: &LifetimeS
         Ok(None) => UnitRun::Interrupted(obs.stop.unwrap_or(Stop::Shutdown)),
         Ok(Some(outcome)) => {
             let report = render_outcome(spec, &JobOutcome::Lifetime(Box::new(outcome)));
-            if let Err(e) =
-                write_report(&JobRec::report_path(&inner.config.state_dir, job), &report)
-            {
-                return UnitRun::Failed(e.to_string());
+            match write_report(env, &JobRec::report_path(&inner.config.state_dir, job), &report) {
+                Ok(()) => {}
+                Err(e) if is_disk_full(&e) => {
+                    return UnitRun::Interrupted(Stop::Degraded(format!("final report: {e}")));
+                }
+                Err(e) => return UnitRun::Failed(e.to_string()),
             }
-            let _ = std::fs::remove_file(&state_path);
+            let _ = env.vfs.remove_file(&state_path);
             update_progress(inner, job, 0, spec.progress_total());
             UnitRun::Done
         }
@@ -610,10 +721,16 @@ fn run_inject_unit(inner: &Arc<Inner>, job: u64, spec: &JobSpec, i: &InjectSpec)
         Err(e) => UnitRun::Failed(e.to_string()),
         Ok(outcome) => {
             let report = render_outcome(spec, &JobOutcome::Inject(Box::new(outcome)));
-            if let Err(e) =
-                write_report(&JobRec::report_path(&inner.config.state_dir, job), &report)
-            {
-                return UnitRun::Failed(e.to_string());
+            match write_report(
+                inner.env(),
+                &JobRec::report_path(&inner.config.state_dir, job),
+                &report,
+            ) {
+                Ok(()) => {}
+                Err(e) if is_disk_full(&e) => {
+                    return UnitRun::Interrupted(Stop::Degraded(format!("final report: {e}")));
+                }
+                Err(e) => return UnitRun::Failed(e.to_string()),
             }
             let done = update_progress(inner, job, 0, 1);
             inner.hub.emit(&JobEvent::Progress { job: JobId(job), unit: 0, done, total: 1 });
@@ -622,10 +739,23 @@ fn run_inject_unit(inner: &Arc<Inner>, job: u64, spec: &JobSpec, i: &InjectSpec)
     }
 }
 
-fn write_report(path: &Path, report: &str) -> std::io::Result<()> {
+/// Atomic, durable report write: tmp + fsync + rename + dir sync, with
+/// the env's transient-fault retry. The rendered report is the job's
+/// externally-visible product; it gets the same durability discipline
+/// as the snapshots.
+fn write_report(env: &IoEnv, path: &Path, report: &str) -> std::io::Result<()> {
     let tmp = path.with_extension("json.tmp");
-    std::fs::write(&tmp, report)?;
-    std::fs::rename(&tmp, path)
+    env.retry_io(|| {
+        let mut f = env.vfs.create(&tmp)?;
+        f.write_all(report.as_bytes())?;
+        f.sync_all()?;
+        drop(f);
+        env.vfs.rename(&tmp, path)?;
+        match path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            Some(dir) => env.vfs.sync_dir(dir),
+            None => Ok(()),
+        }
+    })
 }
 
 fn finalize_unit(inner: &Arc<Inner>, entry: QueueEntry, spec: &JobSpec, outcome: UnitRun) {
@@ -637,7 +767,7 @@ fn finalize_unit(inner: &Arc<Inner>, entry: QueueEntry, spec: &JobSpec, outcome:
                 let Some(j) = jobs.get_mut(&job) else { return };
                 j.unit_done[unit as usize] = true;
                 j.running_units -= 1;
-                let _ = j.save(&inner.config.state_dir);
+                let _ = j.save(inner.env(), &inner.config.state_dir);
                 j.all_done()
             };
             inner.hub.emit(&JobEvent::UnitDone { job: JobId(job), unit });
@@ -655,7 +785,7 @@ fn finalize_unit(inner: &Arc<Inner>, entry: QueueEntry, spec: &JobSpec, outcome:
                 if !j.state.is_terminal() {
                     j.state = JobState::Failed;
                     j.error = Some(error.clone());
-                    let _ = j.save(&inner.config.state_dir);
+                    let _ = j.save(inner.env(), &inner.config.state_dir);
                 }
                 inner.sched.lock().unwrap().remove_job(job);
             }
@@ -685,8 +815,28 @@ fn finalize_unit(inner: &Arc<Inner>, entry: QueueEntry, spec: &JobSpec, outcome:
             let mut jobs = inner.jobs.lock().unwrap();
             if let Some(j) = jobs.get_mut(&job) {
                 j.running_units -= 1;
-                let _ = j.save(&inner.config.state_dir);
+                let _ = j.save(inner.env(), &inner.config.state_dir);
             }
+        }
+        UnitRun::Interrupted(Stop::Degraded(reason)) => {
+            // Disk pressure: park the unit instead of failing the job.
+            // The worker loop re-probes writability and requeues it when
+            // the pressure lifts (`maybe_unpark`).
+            {
+                let mut jobs = inner.jobs.lock().unwrap();
+                let Some(j) = jobs.get_mut(&job) else { return };
+                j.running_units -= 1;
+                if !j.state.is_terminal() {
+                    j.state = JobState::Degraded;
+                    j.error = Some(reason.clone());
+                    // Best effort: under ENOSPC this save may itself
+                    // fail; the in-memory state still degrades and the
+                    // unpark path re-saves once writes succeed again.
+                    let _ = j.save(inner.env(), &inner.config.state_dir);
+                }
+            }
+            inner.parked.lock().unwrap().push(entry);
+            inner.hub.emit(&JobEvent::Degraded { job: JobId(job), reason });
         }
     }
 }
@@ -697,7 +847,7 @@ fn maybe_finalize_cancel(inner: &Arc<Inner>, job: u64) {
         match jobs.get_mut(&job) {
             Some(j) if j.cancel_requested && !j.state.is_terminal() && j.running_units == 0 => {
                 j.state = JobState::Canceled;
-                let _ = j.save(&inner.config.state_dir);
+                let _ = j.save(inner.env(), &inner.config.state_dir);
                 true
             }
             _ => false,
@@ -718,13 +868,13 @@ fn finalize_job_completion(inner: &Arc<Inner>, job: u64, spec: &JobSpec) {
         match &result {
             Ok(()) => {
                 j.state = JobState::Completed;
-                let _ = j.save(&inner.config.state_dir);
+                let _ = j.save(inner.env(), &inner.config.state_dir);
                 JobEvent::Completed { job: JobId(job) }
             }
             Err(error) => {
                 j.state = JobState::Failed;
                 j.error = Some(error.clone());
-                let _ = j.save(&inner.config.state_dir);
+                let _ = j.save(inner.env(), &inner.config.state_dir);
                 JobEvent::Failed { job: JobId(job), error: error.clone() }
             }
         }
@@ -739,10 +889,14 @@ fn render_final_report(inner: &Arc<Inner>, job: u64, spec: &JobSpec) -> Result<(
             let mut shards = Vec::with_capacity(units as usize);
             for unit in 0..units {
                 let path = JobRec::unit_shard_path(&inner.config.state_dir, job, unit);
-                shards.push(ShardReport::load(&path).map_err(|e| format!("shard {unit}: {e}"))?);
+                shards.push(
+                    ShardReport::load_with(inner.env().vfs.as_ref(), &path)
+                        .map_err(|e| format!("shard {unit}: {e}"))?,
+                );
             }
             let merged = merge_shards(&shards).map_err(|e| e.to_string())?;
             write_report(
+                inner.env(),
                 &JobRec::report_path(&inner.config.state_dir, job),
                 &render_report(&merged),
             )
@@ -751,7 +905,7 @@ fn render_final_report(inner: &Arc<Inner>, job: u64, spec: &JobSpec) -> Result<(
         // Lifetime/inject units rendered their report on completion.
         JobKind::Lifetime(_) | JobKind::Inject(_) => {
             let path = JobRec::report_path(&inner.config.state_dir, job);
-            if path.exists() {
+            if inner.env().vfs.exists(&path) {
                 Ok(())
             } else {
                 Err("unit completed without rendering its report".into())

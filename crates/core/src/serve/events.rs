@@ -16,11 +16,18 @@
 //! A terminal event closes the channel: senders drop, subscribers see
 //! end-of-stream after draining, and later subscribers get history
 //! only. Mirrors the telemetry stream sink's overflow semantics.
+//!
+//! Log I/O goes through the daemon's [`IoEnv`]: a transient write fault
+//! gets the env's bounded retry; a write that still fails is *counted*,
+//! never blocks the scheduler, and the accounting reconciles exactly —
+//! `log_recorded == log_written + log_dropped` per job
+//! ([`EventHub::log_stats`]), the same contract the telemetry
+//! [`StreamStats`](crate::telemetry::StreamStats) keeps.
 
 use crate::api::wire::JobEvent;
+use crate::chaos::{IoEnv, VfsFile};
 use crate::telemetry::OverflowPolicy;
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
@@ -32,18 +39,26 @@ const SUBSCRIBER_CAPACITY: usize = 256;
 struct Channel {
     history: Vec<JobEvent>,
     subs: Vec<(SyncSender<JobEvent>, OverflowPolicy)>,
-    log: Option<File>,
+    log: Option<Box<dyn VfsFile>>,
     closed: bool,
+    /// Events offered to the durable log.
+    log_recorded: u64,
+    /// Events whose line landed in the log (possibly after retries).
+    log_written: u64,
+    /// Events whose line could not be written (fault persisted through
+    /// the retry budget). `log_recorded == log_written + log_dropped`.
+    log_dropped: u64,
 }
 
 /// All job channels of one daemon.
 pub(crate) struct EventHub {
     chans: Mutex<HashMap<u64, Arc<Mutex<Channel>>>>,
+    env: IoEnv,
 }
 
 impl EventHub {
-    pub(crate) fn new() -> EventHub {
-        EventHub { chans: Mutex::new(HashMap::new()) }
+    pub(crate) fn new(env: IoEnv) -> EventHub {
+        EventHub { chans: Mutex::new(HashMap::new()), env }
     }
 
     fn chan(&self, job: u64) -> Arc<Mutex<Channel>> {
@@ -53,6 +68,9 @@ impl EventHub {
                 subs: Vec::new(),
                 log: None,
                 closed: false,
+                log_recorded: 0,
+                log_written: 0,
+                log_dropped: 0,
             }))
         }))
     }
@@ -61,7 +79,7 @@ impl EventHub {
     pub(crate) fn open(&self, job: u64, log_path: &Path) -> std::io::Result<()> {
         let chan = self.chan(job);
         let mut c = chan.lock().unwrap();
-        c.log = Some(OpenOptions::new().create(true).append(true).open(log_path)?);
+        c.log = Some(self.env.vfs.open_append(log_path)?);
         Ok(())
     }
 
@@ -69,8 +87,10 @@ impl EventHub {
     /// Terminal history closes the channel immediately.
     pub(crate) fn preload(&self, job: u64, log_path: &Path) -> std::io::Result<()> {
         let mut history = Vec::new();
-        if log_path.exists() {
-            for line in std::fs::read_to_string(log_path)?.lines() {
+        if self.env.vfs.exists(log_path) {
+            let raw = self.env.vfs.read(log_path)?;
+            let text = String::from_utf8_lossy(&raw);
+            for line in text.lines() {
                 if line.trim().is_empty() {
                     continue;
                 }
@@ -86,12 +106,14 @@ impl EventHub {
         let mut c = chan.lock().unwrap();
         c.history = history;
         c.closed = closed;
-        c.log = Some(OpenOptions::new().create(true).append(true).open(log_path)?);
+        c.log = Some(self.env.vfs.open_append(log_path)?);
         Ok(())
     }
 
     /// Emits one event: history + log + live fanout. Terminal events
-    /// close the channel.
+    /// close the channel. A log write that fails through the retry
+    /// budget is dropped and counted — emission never propagates the
+    /// fault into the scheduler.
     pub(crate) fn emit(&self, event: &JobEvent) {
         let chan = self.chan(event.job().0);
         let mut c = chan.lock().unwrap();
@@ -99,9 +121,23 @@ impl EventHub {
             return;
         }
         c.history.push(event.clone());
-        if let Some(log) = &mut c.log {
-            let _ = writeln!(log, "{}", event.encode());
-            let _ = log.flush();
+        if c.log.is_some() {
+            c.log_recorded += 1;
+            let line = format!("{}\n", event.encode());
+            let log = c.log.as_mut().expect("checked above");
+            let ok = self
+                .env
+                .retry
+                .run(self.env.clock.as_ref(), || {
+                    log.write_all(line.as_bytes())?;
+                    log.flush()
+                })
+                .is_ok();
+            if ok {
+                c.log_written += 1;
+            } else {
+                c.log_dropped += 1;
+            }
         }
         let mut i = 0;
         while i < c.subs.len() {
@@ -122,6 +158,17 @@ impl EventHub {
             c.closed = true;
             c.subs.clear();
         }
+    }
+
+    /// Durable-log accounting for a job:
+    /// `(recorded, written, dropped)`, reconciling exactly as
+    /// `recorded == written + dropped`. Exercised by the chaos tests;
+    /// production code observes the invariant, not the counters.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn log_stats(&self, job: u64) -> (u64, u64, u64) {
+        let chan = self.chan(job);
+        let c = chan.lock().unwrap();
+        (c.log_recorded, c.log_written, c.log_dropped)
     }
 
     /// Subscribes to a job: returns the history so far and, when the
@@ -149,7 +196,9 @@ impl EventHub {
 mod tests {
     use super::*;
     use crate::api::JobId;
+    use crate::chaos::{FaultPlan, FaultyFs, Vfs as _};
     use std::path::PathBuf;
+    use std::sync::Arc;
 
     fn tmp_log(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join("r2d3-events-tests");
@@ -165,7 +214,7 @@ mod tests {
 
     #[test]
     fn history_replays_and_terminal_closes() {
-        let hub = EventHub::new();
+        let hub = EventHub::new(IoEnv::default());
         let log = tmp_log("replay");
         hub.open(1, &log).unwrap();
         hub.emit(&ev(1));
@@ -186,8 +235,11 @@ mod tests {
         assert_eq!(history.len(), 4);
         assert!(rx.is_none());
 
+        // Everything reconciled to the log.
+        assert_eq!(hub.log_stats(1), (4, 4, 0));
+
         // Restart path: preload reconstructs the same closed channel.
-        let hub2 = EventHub::new();
+        let hub2 = EventHub::new(IoEnv::default());
         hub2.preload(1, &log).unwrap();
         let (history, rx) = hub2.subscribe(1, OverflowPolicy::Block);
         assert_eq!(history.len(), 4);
@@ -197,7 +249,7 @@ mod tests {
 
     #[test]
     fn drop_policy_sheds_only_for_the_slow_subscriber() {
-        let hub = EventHub::new();
+        let hub = EventHub::new(IoEnv::default());
         let log = tmp_log("drop");
         hub.open(2, &log).unwrap();
         let (_, rx) = hub.subscribe(2, OverflowPolicy::Drop);
@@ -212,5 +264,64 @@ mod tests {
         let (history, _) = hub.subscribe(2, OverflowPolicy::Drop);
         assert_eq!(history.len(), SUBSCRIBER_CAPACITY + 50);
         let _ = std::fs::remove_file(&log);
+    }
+
+    /// Satellite: a faulty `events.jsonl` writer preserves exact
+    /// `recorded == written + dropped`, emission never errors out, and
+    /// a Drop-policy subscriber (the scheduler side) never blocks.
+    #[test]
+    fn faulty_log_writer_keeps_exact_accounting() {
+        let fs = FaultyFs::new(FaultPlan {
+            seed: 0xE7E7,
+            torn_write_in: 3,
+            fsync_fail_in: 4,
+            ..FaultPlan::default()
+        });
+        fs.create_dir_all(Path::new("/logs")).unwrap();
+        let env = IoEnv {
+            // One attempt: faults count as drops instead of being
+            // retried away, so both sides of the ledger get exercised.
+            retry: crate::chaos::RetryPolicy::disabled(),
+            ..IoEnv::with_vfs(Arc::new(fs.clone()))
+        };
+        let hub = EventHub::new(env);
+        hub.open(9, Path::new("/logs/events.jsonl")).unwrap();
+        let (_, rx) = hub.subscribe(9, OverflowPolicy::Drop);
+        let _rx = rx.unwrap();
+
+        let total = 200u64;
+        for i in 0..total {
+            hub.emit(&JobEvent::Progress { job: JobId(9), unit: 0, done: i, total });
+        }
+        let (recorded, written, dropped) = hub.log_stats(9);
+        assert_eq!(recorded, total, "every emit is offered to the log");
+        assert_eq!(recorded, written + dropped, "ledger must reconcile exactly");
+        assert!(dropped > 0, "the fault plan must actually drop some lines");
+        assert!(written > 0, "the fault plan must let some lines through");
+
+        // History is complete regardless of log faults.
+        let (history, _) = hub.subscribe(9, OverflowPolicy::Drop);
+        assert_eq!(history.len() as u64, total);
+
+        // With the default retry budget the same fault plan drops far
+        // fewer lines: most transients are retried away (a line only
+        // drops if every attempt in the budget faults), and the ledger
+        // still reconciles exactly.
+        let fs2 = FaultyFs::new(FaultPlan {
+            seed: 0xE7E7,
+            torn_write_in: 3,
+            fsync_fail_in: 4,
+            ..FaultPlan::default()
+        });
+        fs2.create_dir_all(Path::new("/logs")).unwrap();
+        let hub2 = EventHub::new(IoEnv::with_vfs(Arc::new(fs2)));
+        hub2.open(9, Path::new("/logs/events.jsonl")).unwrap();
+        for i in 0..total {
+            hub2.emit(&JobEvent::Progress { job: JobId(9), unit: 0, done: i, total });
+        }
+        let (recorded2, written2, dropped2) = hub2.log_stats(9);
+        assert_eq!(recorded2, total);
+        assert_eq!(recorded2, written2 + dropped2, "ledger reconciles under retry too");
+        assert!(dropped2 < dropped, "retries must strictly reduce drops ({dropped2} vs {dropped})");
     }
 }

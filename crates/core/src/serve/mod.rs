@@ -35,7 +35,7 @@ mod client;
 mod daemon;
 mod events;
 mod sched;
-mod store;
+pub(crate) mod store;
 
 pub use client::Client;
 pub use daemon::Daemon;
@@ -120,6 +120,11 @@ pub struct ServeConfig {
     /// [`Daemon::release`]. Lets tests (and batch pre-loading) submit a
     /// whole job set before the first dispatch decision.
     pub paused: bool,
+    /// I/O environment every durable byte goes through: filesystem seam,
+    /// transient-failure retry policy, and the clock backoff sleeps on.
+    /// Defaults to the real filesystem; chaos tests inject a
+    /// [`crate::chaos::FaultyFs`] and a virtual clock here.
+    pub io: crate::chaos::IoEnv,
 }
 
 impl Default for ServeConfig {
@@ -132,6 +137,7 @@ impl Default for ServeConfig {
             snapshot_every: 1,
             lease_steps: None,
             paused: false,
+            io: crate::chaos::IoEnv::default(),
         }
     }
 }

@@ -16,6 +16,7 @@
 
 use crate::api::wire::{decode_spec_value, encode_spec, JobState, JobStatus};
 use crate::api::{JobId, JobSpec, PROTO_VERSION};
+use crate::chaos::{IoEnv, Vfs};
 use crate::jsonio;
 use crate::snapshot::{self, SnapshotError};
 use std::fmt::Write as _;
@@ -112,8 +113,9 @@ impl JobRec {
         Self::dir(state_dir, id).join("events.jsonl")
     }
 
-    /// Atomically persists the manifest.
-    pub(crate) fn save(&self, state_dir: &Path) -> Result<(), SnapshotError> {
+    /// Atomically persists the manifest through the environment's
+    /// [`Vfs`], retrying transient injected faults per its policy.
+    pub(crate) fn save(&self, env: &IoEnv, state_dir: &Path) -> Result<(), SnapshotError> {
         let mut body = format!(
             "{{\"proto_version\":{PROTO_VERSION},\"id\":{},\"client\":\"{}\",\"seq\":{},\"state\":\"{}\",\"error\":",
             jsonio::hex_u64(self.id),
@@ -143,12 +145,23 @@ impl JobRec {
         }
         let _ = write!(body, "],\"spec\":{}}}", encode_spec(&self.spec));
         body.push('\n');
-        snapshot::write_atomic(&Self::manifest_path(state_dir, self.id), JOB_KIND, body.as_bytes())
+        // Transient write/fsync/rename faults get the env's bounded
+        // retry; the atomic write syncs the job directory so the
+        // manifest entry itself is crash-durable (satellite: the
+        // unsynced-dir bug applies to manifests too).
+        env.retry_snapshot(|| {
+            snapshot::write_atomic_with(
+                env.vfs.as_ref(),
+                &Self::manifest_path(state_dir, self.id),
+                JOB_KIND,
+                body.as_bytes(),
+            )
+        })
     }
 
     /// Loads and validates a manifest.
-    pub(crate) fn load(path: &Path) -> Result<JobRec, SnapshotError> {
-        let body = snapshot::read_verified(path, JOB_KIND)?;
+    pub(crate) fn load(vfs: &dyn Vfs, path: &Path) -> Result<JobRec, SnapshotError> {
+        let body = snapshot::read_verified_with(vfs, path, JOB_KIND)?;
         let v = snapshot::parse_body(&body)?;
         let bad = |msg: &str| SnapshotError::Malformed(msg.into());
         let id = snapshot::field(&v, "id")?.as_hex_u64().ok_or_else(|| bad("bad \"id\""))?;
@@ -197,23 +210,24 @@ impl JobRec {
 /// Scans a state directory for persisted jobs, skipping (and reporting
 /// through the returned list's absence) nothing: a manifest that fails
 /// to load is a hard error — a daemon must not silently forget jobs.
-pub(crate) fn scan_jobs(state_dir: &Path) -> Result<Vec<JobRec>, SnapshotError> {
+pub(crate) fn scan_jobs(vfs: &dyn Vfs, state_dir: &Path) -> Result<Vec<JobRec>, SnapshotError> {
     let mut jobs = Vec::new();
-    if !state_dir.exists() {
+    if !vfs.exists(state_dir) {
         return Ok(jobs);
     }
-    let mut dirs: Vec<PathBuf> = std::fs::read_dir(state_dir)?
-        .filter_map(|e| e.ok().map(|e| e.path()))
+    let mut dirs: Vec<PathBuf> = vfs
+        .read_dir(state_dir)?
+        .into_iter()
         .filter(|p| {
-            p.is_dir()
+            vfs.is_dir(p)
                 && p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("job-"))
         })
         .collect();
     dirs.sort();
     for dir in dirs {
         let manifest = dir.join("manifest.r2d3s");
-        if manifest.exists() {
-            jobs.push(JobRec::load(&manifest)?);
+        if vfs.exists(&manifest) {
+            jobs.push(JobRec::load(vfs, &manifest)?);
         }
     }
     Ok(jobs)
@@ -245,10 +259,11 @@ mod tests {
         rec.unit_done[1] = true;
         rec.unit_progress = vec![2, 4, 0];
         rec.error = Some("not really".into());
+        let env = IoEnv::default();
         std::fs::create_dir_all(JobRec::dir(&dir, rec.id)).unwrap();
-        rec.save(&dir).unwrap();
+        rec.save(&env, &dir).unwrap();
 
-        let jobs = scan_jobs(&dir).unwrap();
+        let jobs = scan_jobs(env.vfs.as_ref(), &dir).unwrap();
         assert_eq!(jobs.len(), 1);
         let back = &jobs[0];
         assert_eq!(back.id, rec.id);
@@ -269,7 +284,7 @@ mod tests {
         let spec = JobSpec::lifetime().months(1).build().unwrap();
         let rec = JobRec::new(1, 1, "c".into(), spec);
         std::fs::create_dir_all(JobRec::dir(&dir, rec.id)).unwrap();
-        rec.save(&dir).unwrap();
+        rec.save(&IoEnv::default(), &dir).unwrap();
         let path = JobRec::manifest_path(&dir, rec.id);
         assert!(matches!(
             crate::campaign::CampaignState::load(&path),

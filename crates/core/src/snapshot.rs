@@ -20,9 +20,12 @@
 //!   byte count, so truncation and corruption are distinguishable.
 //!
 //! Writes are atomic: the file is assembled at `<path>.tmp`, fsynced,
-//! then renamed over `<path>` (with a best-effort directory fsync), so
-//! a crash mid-write leaves either the previous snapshot or none — never
-//! a torn one. Reads verify length then digest and return a typed
+//! then renamed over `<path>`, and the parent directory is fsynced so
+//! the rename itself is durable. A crash mid-write leaves either the
+//! previous snapshot or none — never a torn one. All I/O goes through
+//! the [`crate::chaos::Vfs`] seam ([`write_atomic_with`] /
+//! [`read_verified_with`]) so chaos tests can inject torn writes,
+//! `ENOSPC` and crash points. Reads verify length then digest and return a typed
 //! [`SnapshotError`] on any mismatch: **never a panic, never silent
 //! reuse of corrupt state**.
 //!
@@ -32,10 +35,10 @@
 //! [`f64_to_json`]/[`json_to_f64`]), which is what makes a resumed run
 //! byte-identical to an uninterrupted one.
 
+use crate::chaos::{RealFs, Vfs};
 use crate::jsonio::{self, Value};
 use std::fmt;
-use std::fs::{self, File};
-use std::io::{Read, Write};
+use std::io::Write;
 use std::path::Path;
 
 /// Current snapshot format version. Bump on any body-schema change.
@@ -229,11 +232,24 @@ pub(crate) fn parse_body(body: &str) -> Result<Value, SnapshotError> {
     jsonio::parse_json(body).map_err(SnapshotError::Malformed)
 }
 
-/// Atomically writes a snapshot: header + `body` assembled at
-/// `<path>.tmp`, fsynced, renamed over `path`, directory fsynced
-/// (best-effort). A crash at any point leaves the previous file (or
-/// nothing), never a torn snapshot.
+/// Atomically writes a snapshot through the real filesystem — see
+/// [`write_atomic_with`].
 pub fn write_atomic(path: &Path, kind: &str, body: &[u8]) -> Result<(), SnapshotError> {
+    write_atomic_with(&RealFs, path, kind, body)
+}
+
+/// Atomically writes a snapshot through a [`Vfs`]: header + `body`
+/// assembled at `<path>.tmp`, fsynced, renamed over `path`, and the
+/// parent directory fsynced — *mandatory*, because a crash after the
+/// rename but before the directory sync can lose the file entirely
+/// (the entry was never durable). A crash at any point leaves the
+/// previous snapshot (or nothing), never a torn one.
+pub fn write_atomic_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    kind: &str,
+    body: &[u8],
+) -> Result<(), SnapshotError> {
     let digest = fnv1a64(body);
     let header =
         format!("{SNAPSHOT_MAGIC} {SNAPSHOT_VERSION} {kind} {digest:016x} {}\n", body.len());
@@ -243,18 +259,14 @@ pub fn write_atomic(path: &Path, kind: &str, body: &[u8]) -> Result<(), Snapshot
         os.push(".tmp");
         std::path::PathBuf::from(os)
     };
-    let mut file = File::create(&tmp)?;
+    let mut file = vfs.create(&tmp)?;
     file.write_all(header.as_bytes())?;
     file.write_all(body)?;
     file.sync_all()?;
     drop(file);
-    fs::rename(&tmp, path)?;
-    // Make the rename itself durable where the platform allows opening
-    // directories; failure here can't tear the file, so best-effort.
+    vfs.rename(&tmp, path)?;
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        if let Ok(d) = File::open(dir) {
-            let _ = d.sync_all();
-        }
+        vfs.sync_dir(dir)?;
     }
     Ok(())
 }
@@ -293,8 +305,17 @@ fn migrate(version: u32, kind: &str, mut body: String) -> Result<String, Snapsho
 /// (→ [`SnapshotError::DigestMismatch`]). Bodies from versions inside
 /// the migration window are migrated forward after integrity checks.
 pub fn read_verified(path: &Path, kind: &'static str) -> Result<String, SnapshotError> {
-    let mut raw = Vec::new();
-    File::open(path)?.read_to_end(&mut raw)?;
+    read_verified_with(&RealFs, path, kind)
+}
+
+/// [`read_verified`] through a [`Vfs`] — the seam chaos tests inject
+/// torn files and crash-rolled-back state through.
+pub fn read_verified_with(
+    vfs: &dyn Vfs,
+    path: &Path,
+    kind: &'static str,
+) -> Result<String, SnapshotError> {
+    let raw = vfs.read(path)?;
     let newline = raw.iter().position(|&b| b == b'\n').ok_or(SnapshotError::NotASnapshot)?;
     let header = std::str::from_utf8(&raw[..newline]).map_err(|_| SnapshotError::NotASnapshot)?;
     let mut parts = header.split(' ');
@@ -348,6 +369,7 @@ pub fn read_verified(path: &Path, kind: &'static str) -> Result<String, Snapshot
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     fn tmp_path(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("r2d3-snapshot-tests");
@@ -474,6 +496,46 @@ mod tests {
         fs::write(&path, b"no newline at all").unwrap();
         assert!(matches!(read_verified(&path, "lifetime"), Err(SnapshotError::NotASnapshot)));
         fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_survives_crash_after_rename() {
+        // Regression for the classic unsynced-dir bug: under strict
+        // crash semantics (MemFs), a tmp+fsync+rename whose directory
+        // is never fsynced loses the file on power loss. write_atomic
+        // must sync the parent directory, so the snapshot survives.
+        use crate::chaos::MemFs;
+        let fs = MemFs::new();
+        let dir = Path::new("/state");
+        fs.create_dir_all(dir).unwrap();
+        fs.sync_dir(dir).unwrap();
+        let path = dir.join("run.snap");
+        write_atomic_with(&fs, &path, "lifetime", b"{\"cursor\": 9}").unwrap();
+        fs.crash();
+        let body = read_verified_with(&fs, &path, "lifetime").unwrap();
+        assert_eq!(body, "{\"cursor\": 9}");
+        assert!(!fs.exists(&dir.join("run.snap.tmp")), "tmp file must not survive");
+    }
+
+    #[test]
+    fn crash_mid_write_leaves_previous_snapshot() {
+        use crate::chaos::{FaultPlan, FaultyFs};
+        let fs = FaultyFs::new(FaultPlan::clean());
+        let dir = Path::new("/state");
+        fs.create_dir_all(dir).unwrap();
+        fs.sync_dir(dir).unwrap();
+        let path = dir.join("run.snap");
+        write_atomic_with(&fs, &path, "campaign", b"{\"gen\": 1}").unwrap();
+
+        // Crash somewhere inside the second write's op sequence: the
+        // write fails with a typed error and, after restart, the
+        // previous snapshot reads back intact.
+        fs.set_plan(FaultPlan { crash_at: Some(fs.op_count() + 3), ..FaultPlan::clean() });
+        let err = write_atomic_with(&fs, &path, "campaign", b"{\"gen\": 2}").unwrap_err();
+        assert!(matches!(err, SnapshotError::Io(ref e) if crate::chaos::is_injected_crash(e)));
+        fs.restart();
+        let body = read_verified_with(&fs, &path, "campaign").unwrap();
+        assert_eq!(body, "{\"gen\": 1}");
     }
 
     #[test]

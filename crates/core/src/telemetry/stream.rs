@@ -128,8 +128,27 @@ impl StreamSink {
     }
 
     /// Streams to a buffered file created (truncated) at `path`.
+    ///
+    /// Real-filesystem convenience constructor; chaos tests use
+    /// [`to_file_with`](StreamSink::to_file_with) to route the writer
+    /// thread's I/O through an injected [`Vfs`](crate::chaos::Vfs).
     pub fn to_file<P: AsRef<Path>>(path: P, policy: OverflowPolicy) -> io::Result<Self> {
         let file = BufWriter::new(File::create(path)?);
+        Ok(StreamSink::with_capacity(file, DEFAULT_STREAM_CAPACITY, policy))
+    }
+
+    /// [`to_file`](StreamSink::to_file) through a
+    /// [`Vfs`](crate::chaos::Vfs) seam: the writer thread's I/O goes
+    /// through the injected filesystem, so chaos tests can tear writes
+    /// and fill the disk under the sink. Write errors surface at
+    /// [`finish`](StreamSink::finish) as always — the recording thread
+    /// never blocks on a dead writer.
+    pub fn to_file_with(
+        vfs: &dyn crate::chaos::Vfs,
+        path: &Path,
+        policy: OverflowPolicy,
+    ) -> io::Result<Self> {
+        let file = BufWriter::new(vfs.create(path)?);
         Ok(StreamSink::with_capacity(file, DEFAULT_STREAM_CAPACITY, policy))
     }
 
